@@ -1,0 +1,31 @@
+//! Cost of deriving and machine-checking the Appendix B realizability
+//! catalog (351 + rows, each with model-enumeration soundness checks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esafe_core::catalog::{self, Capability, GoalForm, LiftPos, Shape};
+use std::hint::black_box;
+
+fn catalog_bench(c: &mut Criterion) {
+    c.bench_function("resolve_one_row", |b| {
+        let form = GoalForm::new(Shape::OrConsequent, LiftPos::FirstAntecedent);
+        let caps = [
+            Capability::Observable,
+            Capability::Controllable,
+            Capability::Unavailable,
+        ];
+        b.iter(|| black_box(catalog::resolve(&form, &caps)))
+    });
+    c.bench_function("table_b1_simple_form", |b| {
+        let form = GoalForm::new(Shape::Simple, LiftPos::None);
+        b.iter(|| black_box(catalog::table(&form)))
+    });
+    let mut group = c.benchmark_group("appendix_b_full");
+    group.sample_size(10);
+    group.bench_function("all_thirteen_tables", |b| {
+        b.iter(|| black_box(catalog::appendix_b()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, catalog_bench);
+criterion_main!(benches);

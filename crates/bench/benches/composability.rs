@@ -1,0 +1,44 @@
+//! Cost of the Chapter 3 composability judgements (model enumeration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esafe_core::compose;
+use esafe_logic::{parse, Expr};
+use std::hint::black_box;
+
+fn classify_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    for n in [2usize, 4, 6, 8] {
+        // A chain decomposition a -> v0, v0 -> v1, …, v(n-1) -> b of a -> b.
+        let mut subgoals = vec![parse("a -> v0").unwrap()];
+        for i in 0..n - 1 {
+            subgoals.push(parse(&format!("v{i} -> v{}", i + 1)).unwrap());
+        }
+        subgoals.push(parse(&format!("v{} -> b", n - 1)).unwrap());
+        let parent = parse("a -> b").unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("chain_{n}")),
+            &(parent, subgoals),
+            |bench, (parent, subgoals)| {
+                bench.iter(|| {
+                    black_box(compose::classify(parent, &[subgoals.clone()]).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn and_reduction(c: &mut Criterion) {
+    c.bench_function("and_reduction_conditions", |b| {
+        let parent = parse("a -> b").unwrap();
+        let subs: Vec<Expr> = vec![
+            parse("a -> c").unwrap(),
+            parse("c -> d").unwrap(),
+            parse("d -> b").unwrap(),
+        ];
+        b.iter(|| black_box(compose::and_reduction(&subs, &parent).unwrap()))
+    });
+}
+
+criterion_group!(benches, classify_families, and_reduction);
+criterion_main!(benches);

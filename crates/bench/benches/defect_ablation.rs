@@ -1,0 +1,39 @@
+//! Ablation cost: scenario 3 under individual defect configurations (the
+//! design-choice ablation DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esafe_scenarios::{catalog, runner};
+use esafe_vehicle::config::DefectSet;
+use std::hint::black_box;
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario3_ablation");
+    group.sample_size(10);
+    let configs: Vec<(&str, DefectSet)> = vec![
+        ("none", DefectSet::none()),
+        ("thesis", DefectSet::thesis()),
+        (
+            "ca_only",
+            DefectSet {
+                ca_intermittent_braking: true,
+                ..DefectSet::none()
+            },
+        ),
+        (
+            "acc_only",
+            DefectSet {
+                acc_requests_while_disengaged: true,
+                ..DefectSet::none()
+            },
+        ),
+    ];
+    for (name, defects) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &defects, |b, d| {
+            b.iter(|| black_box(runner::run(&catalog::scenario(3), *d).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Simulation throughput: elevator ticks per second with and without the
+//! goal monitors attached.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esafe_elevator::{build_elevator, faults::ElevatorFaults, goals, ElevatorParams};
+use std::hint::black_box;
+
+fn throughput(c: &mut Criterion) {
+    let params = ElevatorParams::default();
+    let mut group = c.benchmark_group("elevator");
+    group.bench_function("1000_ticks_unmonitored", |b| {
+        b.iter(|| {
+            let mut sim = build_elevator(params, ElevatorFaults::none(), 5);
+            for _ in 0..1000 {
+                sim.step();
+            }
+            black_box(sim.tick())
+        })
+    });
+    group.bench_function("1000_ticks_monitored", |b| {
+        b.iter(|| {
+            let mut sim = build_elevator(params, ElevatorFaults::none(), 5);
+            let mut suite = goals::build_suite(&params).unwrap();
+            for _ in 0..1000 {
+                sim.step();
+                suite.observe(sim.state()).unwrap();
+            }
+            suite.finish();
+            black_box(suite.correlate(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Cost of the ICPA machinery: path tracing, table construction, and
+//! machine verification of a decomposition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esafe_elevator::ElevatorParams;
+use esafe_vehicle::config::VehicleParams;
+use std::hint::black_box;
+
+fn icpa(c: &mut Criterion) {
+    let eparams = ElevatorParams::default();
+    let graph = esafe_elevator::icpa::control_graph(&eparams);
+    c.bench_function("trace_door_closed_path", |b| {
+        b.iter(|| black_box(graph.trace("door_closed")))
+    });
+    c.bench_function("build_door_icpa_table", |b| {
+        b.iter(|| black_box(esafe_elevator::icpa::door_or_stopped_icpa(&eparams)))
+    });
+    let table = esafe_elevator::icpa::overweight_icpa(&eparams);
+    c.bench_function("verify_overweight_icpa", |b| {
+        b.iter(|| black_box(table.verify()))
+    });
+    let vparams = VehicleParams::default();
+    c.bench_function("build_vehicle_goal1_icpa", |b| {
+        b.iter(|| black_box(esafe_vehicle::icpa_model::icpa_goal_1(&vparams)))
+    });
+}
+
+criterion_group!(benches, icpa);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Per-tick cost of run-time goal monitoring: one monitor across formula
+//! sizes, and the full 49-monitor vehicle suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esafe_logic::{parse, CompiledMonitor, State};
+use esafe_vehicle::config::VehicleParams;
+use std::hint::black_box;
+
+fn single_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_monitor_tick");
+    let cases = [
+        ("atom", "p"),
+        ("implication", "p -> q"),
+        ("temporal", "prev(p) && once_within(q, 100ticks) -> r"),
+        (
+            "goal4_shape",
+            "(held_for(p, 300ticks) && !once_within(q, 300ticks) && r) -> !s",
+        ),
+    ];
+    let state = State::new()
+        .with_bool("p", true)
+        .with_bool("q", false)
+        .with_bool("r", true)
+        .with_bool("s", false);
+    for (name, src) in cases {
+        let expr = parse(src).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &expr, |b, e| {
+            let mut m = CompiledMonitor::compile(e).unwrap();
+            b.iter(|| black_box(m.observe(&state).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn full_suite(c: &mut Criterion) {
+    let params = VehicleParams::default();
+    c.bench_function("vehicle_suite_49_monitors_tick", |b| {
+        let mut suite = esafe_vehicle::goals::build_suite(&params).unwrap();
+        // A representative derived state.
+        let mut sim = esafe_vehicle::builder::build_vehicle(
+            params,
+            esafe_vehicle::config::DefectSet::none(),
+            esafe_vehicle::dynamics::Scene::default(),
+            vec![],
+        );
+        sim.step();
+        let state = esafe_vehicle::probe::derive(sim.state(), &params);
+        b.iter(|| suite.observe(black_box(&state)).unwrap());
+    });
+}
+
+criterion_group!(benches, single_monitor, full_suite);
+criterion_main!(benches);

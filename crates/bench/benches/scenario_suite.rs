@@ -1,0 +1,25 @@
+//! End-to-end cost of one monitored 20 s scenario (20k ticks × 49
+//! monitors + simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esafe_scenarios::{catalog, runner};
+use esafe_vehicle::config::DefectSet;
+use std::hint::black_box;
+
+fn scenario_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    group.bench_function("scenario1_thesis_defects", |b| {
+        b.iter(|| black_box(runner::run(&catalog::scenario(1), DefectSet::thesis()).unwrap()))
+    });
+    group.bench_function("scenario1_fixed", |b| {
+        b.iter(|| black_box(runner::run(&catalog::scenario(1), DefectSet::none()).unwrap()))
+    });
+    group.bench_function("scenario9_short_horizon", |b| {
+        b.iter(|| black_box(runner::run(&catalog::scenario(9), DefectSet::thesis()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scenario_runs);
+criterion_main!(benches);

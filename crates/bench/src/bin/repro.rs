@@ -1,0 +1,163 @@
+//! `repro` — regenerates every table and figure of the thesis's
+//! evaluation from the Rust reproduction.
+//!
+//! ```text
+//! repro --table 5.1|5.2|5.3|4.1|4.5|b1..b13|d1..d10
+//! repro --figure 5.1..5.15
+//! repro --ablation [scenario]
+//! repro --all            # everything, in thesis order
+//! repro --json <scenario># dump a scenario's figure series as JSON
+//! ```
+
+use esafe_bench::{ablation, figure_map, thesis_run};
+use esafe_core::render;
+use esafe_elevator::ElevatorParams;
+use esafe_scenarios::tables;
+use esafe_vehicle::config::VehicleParams;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, value] if flag == "--table" => print_table(value),
+        [flag, value] if flag == "--figure" => print_figure(value),
+        [flag] if flag == "--ablation" => print_ablation(3),
+        [flag, value] if flag == "--ablation" => {
+            print_ablation(value.parse().unwrap_or(3));
+        }
+        [flag, value] if flag == "--json" => {
+            let n: u8 = value.parse().expect("scenario number");
+            let report = thesis_run(n);
+            println!("{}", tables::series_json(&report).expect("serializable"));
+        }
+        [flag] if flag == "--all" => print_all(),
+        _ => {
+            eprintln!(
+                "usage: repro --table <id> | --figure <id> | --ablation [n] \
+                 | --json <n> | --all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_all() {
+    for t in ["5.1", "5.2", "5.3", "4.1", "4.6", "4.9", "4.5"] {
+        print_table(t);
+        println!();
+    }
+    print_figure("5.1");
+    for n in 2..=15 {
+        print_figure(&format!("5.{n}"));
+        println!();
+    }
+    for n in 1..=10 {
+        print_table(&format!("d{n}"));
+        println!();
+    }
+    print_ablation(3);
+}
+
+fn print_table(id: &str) {
+    let vparams = VehicleParams::default();
+    let eparams = ElevatorParams::default();
+    match id {
+        // Tables 5.1/5.2: the nine vehicle safety goals as KAOS cards.
+        "5.1" | "5.2" => {
+            let specs = esafe_vehicle::goals::specs(&vparams);
+            let range: &[usize] = if id == "5.1" { &[0, 1, 2, 3] } else { &[4, 5, 6, 7, 8] };
+            println!("Safety goals for a semi-autonomous vehicle (Table {id})");
+            for &i in range {
+                println!("{}. {}", i + 1, render::goal_card(&specs[i].goal));
+            }
+        }
+        "5.3" => print!("{}", tables::monitoring_matrix()),
+        // Chapter 4 elevator ICPA tables.
+        "4.1" | "4.2" | "4.3" | "4.4" => {
+            println!("Elevator ICPA for Maintain[DoorClosedOrElevatorStopped] (Tables 4.1-4.4)");
+            print!(
+                "{}",
+                render::icpa_table(&esafe_elevator::icpa::door_or_stopped_icpa(&eparams))
+            );
+        }
+        "4.6" => print!(
+            "{}",
+            render::icpa_table(&esafe_elevator::icpa::overweight_icpa(&eparams))
+        ),
+        "4.9" => print!(
+            "{}",
+            render::icpa_table(&esafe_elevator::icpa::hoistway_icpa(&eparams))
+        ),
+        // Table 4.5 and Appendix B: realizability patterns.
+        "4.5" => {
+            let tables_b = esafe_core::catalog::appendix_b();
+            println!("{}", render::catalog_markdown("Table 4.5 / B.1", &tables_b[0].1));
+        }
+        b if b.starts_with('b') => {
+            let idx: usize = b[1..].parse().unwrap_or(0);
+            let tables_b = esafe_core::catalog::appendix_b();
+            match tables_b.get(idx.wrapping_sub(1)) {
+                Some((name, rows)) => {
+                    println!("{}", render::catalog_markdown(name, rows));
+                }
+                None => eprintln!("no appendix table {b} (b1..b13)"),
+            }
+        }
+        // Tables D.1–D.11: per-scenario violations.
+        d if d.starts_with('d') => {
+            let n: u8 = d[1..].parse().unwrap_or(0);
+            if (1..=10).contains(&n) {
+                let report = thesis_run(n);
+                print!("{}", tables::violation_table(&report));
+            } else {
+                eprintln!("no violation table {d} (d1..d10)");
+            }
+        }
+        other => eprintln!("unknown table id `{other}`"),
+    }
+}
+
+fn print_figure(id: &str) {
+    if id == "5.1" {
+        // The architecture diagram, rendered as a wiring list.
+        println!("Figure 5.1: semi-autonomous automotive system (wiring)");
+        let graph = esafe_vehicle::icpa_model::control_graph();
+        for agent in graph.agents() {
+            let controls: Vec<&str> =
+                agent.controlled_vars().iter().map(String::as_str).collect();
+            let monitors: Vec<&str> =
+                agent.monitored_vars().iter().map(String::as_str).collect();
+            println!(
+                "  {:<20} writes [{}] reads [{}]",
+                agent.name(),
+                controls.join(", "),
+                monitors.join(", ")
+            );
+        }
+        return;
+    }
+    let Some((scenario, signals)) = figure_map(id) else {
+        eprintln!("unknown figure id `{id}` (5.1..5.15)");
+        return;
+    };
+    println!("Figure {id} (from scenario {scenario}):");
+    let report = thesis_run(scenario);
+    for signal in signals {
+        print!("{}", tables::ascii_figure(&report, signal, 72));
+    }
+}
+
+fn print_ablation(scenario: u8) {
+    println!("Defect ablation for scenario {scenario}:");
+    println!("{:<32} violated monitors", "configuration");
+    let mut cache: HashMap<String, Vec<String>> = HashMap::new();
+    for (label, ids) in ablation(scenario) {
+        cache.insert(label.clone(), ids.clone());
+        let list = if ids.is_empty() {
+            "(none)".to_owned()
+        } else {
+            ids.join(", ")
+        };
+        println!("{label:<32} {list}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared helpers for the reproduction harness and benchmarks.
+
+use esafe_scenarios::{catalog, runner, ScenarioReport};
+use esafe_vehicle::config::DefectSet;
+
+/// Figure-number → (scenario, signals) mapping for the thesis's
+/// Figures 5.2–5.15.
+pub fn figure_map(figure: &str) -> Option<(u8, Vec<&'static str>)> {
+    Some(match figure {
+        "5.2" => (1, vec!["ca.accel_request"]),
+        "5.3" => (1, vec!["pa.accel_request"]),
+        "5.4" => (2, vec!["arbiter.accel_cmd", "ca.accel_request", "ca.selected"]),
+        "5.5" => (3, vec!["ca.accel_request", "host.speed", "world.lead_distance"]),
+        "5.6" => (3, vec!["acc.accel_request"]),
+        "5.7" => (4, vec!["acc.accel_request", "acc.accel_request_rate"]),
+        "5.8" => (4, vec!["acc.active", "host.speed", "arbiter.accel_cmd"]),
+        "5.9" => (5, vec!["driver.throttle", "acc.active"]),
+        "5.10" => (6, vec!["lca.active", "lca.steering_request", "arbiter.steering_cmd"]),
+        "5.11" => (6, vec!["host.speed", "acc.selected", "lca.selected"]),
+        "5.12" => (7, vec!["rca.active", "world.rear_distance", "host.speed"]),
+        "5.13" => (8, vec!["acc.active", "acc.selected"]),
+        "5.14" => (9, vec!["pa.accel_request", "arbiter.accel_cmd", "pa.selected"]),
+        "5.15" => (10, vec!["acc.active", "arbiter.accel_cmd", "host.speed"]),
+        _ => return None,
+    })
+}
+
+/// Runs a scenario under the thesis defect set (cached per call site —
+/// runs are deterministic, so callers may memoize freely).
+pub fn thesis_run(scenario: u8) -> ScenarioReport {
+    runner::run(&catalog::scenario(scenario), DefectSet::thesis())
+        .expect("scenario formulas compile against the simulator signals")
+}
+
+/// The per-defect ablation: which single defect produces which goal
+/// violations in a scenario. Returns `(label, violated monitor ids)`.
+pub fn ablation(scenario: u8) -> Vec<(String, Vec<String>)> {
+    let mut rows = Vec::new();
+    let configs: Vec<(String, DefectSet)> = vec![
+        ("none".into(), DefectSet::none()),
+        ("thesis (all)".into(), DefectSet::thesis()),
+        (
+            "pa_requests_while_disabled".into(),
+            DefectSet {
+                pa_requests_while_disabled: true,
+                ..DefectSet::none()
+            },
+        ),
+        (
+            "steering_arbitration_reversed".into(),
+            DefectSet {
+                steering_arbitration_reversed: true,
+                ..DefectSet::none()
+            },
+        ),
+        (
+            "ca_intermittent_braking".into(),
+            DefectSet {
+                ca_intermittent_braking: true,
+                ..DefectSet::none()
+            },
+        ),
+        (
+            "acc_ghost_accel_from_stop".into(),
+            DefectSet {
+                acc_ghost_accel_from_stop: true,
+                ..DefectSet::none()
+            },
+        ),
+    ];
+    for (label, defects) in configs {
+        let report = runner::run(&catalog::scenario(scenario), defects)
+            .expect("scenario runs");
+        let ids = report
+            .violations
+            .iter()
+            .map(|(id, _)| id.clone())
+            .collect();
+        rows.push((label, ids));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_map_covers_all_fourteen_figures() {
+        for n in 2..=15 {
+            let key = format!("5.{n}");
+            assert!(figure_map(&key).is_some(), "missing figure {key}");
+        }
+        assert!(figure_map("5.99").is_none());
+    }
+
+    #[test]
+    fn ablation_none_config_is_clean() {
+        let rows = ablation(1);
+        let (label, ids) = &rows[0];
+        assert_eq!(label, "none");
+        assert!(ids.is_empty());
+        let (_, thesis_ids) = &rows[1];
+        assert!(!thesis_ids.is_empty());
+    }
+}

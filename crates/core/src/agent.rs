@@ -1,0 +1,157 @@
+//! Agents: the entities that monitor and control state variables.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The kind of an agent in the control architecture (thesis §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgentKind {
+    /// A software control agent (e.g. `DriveController`).
+    Software,
+    /// A physical actuator that changes plant state (e.g. `Drive`).
+    Actuator,
+    /// A sensor producing a sensed state variable.
+    Sensor,
+    /// An environmental agent outside the system boundary (e.g.
+    /// `Passenger`, the driver).
+    Environment,
+}
+
+impl fmt::Display for AgentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AgentKind::Software => "software",
+            AgentKind::Actuator => "actuator",
+            AgentKind::Sensor => "sensor",
+            AgentKind::Environment => "environment",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An agent with monitorability and controllability over state variables.
+///
+/// Following KAOS (thesis §2.3.2), a goal `G(M, C)` is realizable by an
+/// agent iff `M ⊆ Mon(ag)` and `C ⊆ Ctrl(ag)`. Unlike strict KAOS, the
+/// thesis's *direct control* relation allows several agents to produce the
+/// same kind of output variable (e.g. one hall-call message per button
+/// controller), so no uniqueness is enforced here.
+///
+/// # Example
+///
+/// ```
+/// use esafe_core::{Agent, AgentKind};
+///
+/// let ag = Agent::new("DriveController", AgentKind::Software)
+///     .controls(["drive_command"])
+///     .monitors(["door_closed", "door_motor_command"]);
+/// assert!(ag.can_control("drive_command"));
+/// assert!(ag.can_monitor("door_closed"));
+/// assert!(ag.can_monitor("drive_command")); // control implies monitoring
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Agent {
+    name: String,
+    kind: AgentKind,
+    monitors: BTreeSet<String>,
+    controls: BTreeSet<String>,
+}
+
+impl Agent {
+    /// Creates an agent with empty monitor/control sets.
+    pub fn new(name: impl Into<String>, kind: AgentKind) -> Self {
+        Agent {
+            name: name.into(),
+            kind,
+            monitors: BTreeSet::new(),
+            controls: BTreeSet::new(),
+        }
+    }
+
+    /// Adds directly controlled variables (builder style).
+    pub fn controls<S: Into<String>>(mut self, vars: impl IntoIterator<Item = S>) -> Self {
+        self.controls.extend(vars.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds monitored variables (builder style).
+    pub fn monitors<S: Into<String>>(mut self, vars: impl IntoIterator<Item = S>) -> Self {
+        self.monitors.extend(vars.into_iter().map(Into::into));
+        self
+    }
+
+    /// The agent's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The agent's kind.
+    pub fn kind(&self) -> AgentKind {
+        self.kind
+    }
+
+    /// The set of variables this agent directly controls.
+    pub fn controlled_vars(&self) -> &BTreeSet<String> {
+        &self.controls
+    }
+
+    /// The set of variables this agent monitors (excluding those it
+    /// controls; see [`Agent::can_monitor`]).
+    pub fn monitored_vars(&self) -> &BTreeSet<String> {
+        &self.monitors
+    }
+
+    /// Whether the agent directly controls `var`.
+    pub fn can_control(&self, var: &str) -> bool {
+        self.controls.contains(var)
+    }
+
+    /// Whether the agent can observe `var`. An agent always knows the
+    /// values it directly controls.
+    pub fn can_monitor(&self, var: &str) -> bool {
+        self.monitors.contains(var) || self.controls.contains(var)
+    }
+
+    /// Input variables: everything monitored but not controlled. These
+    /// drive the upstream step of indirect control path tracing.
+    pub fn inputs(&self) -> impl Iterator<Item = &str> {
+        self.monitors
+            .iter()
+            .filter(|v| !self.controls.contains(*v))
+            .map(String::as_str)
+    }
+}
+
+impl fmt::Display for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_implies_monitorability() {
+        let ag = Agent::new("A", AgentKind::Software).controls(["x"]);
+        assert!(ag.can_monitor("x"));
+        assert!(!ag.can_monitor("y"));
+    }
+
+    #[test]
+    fn inputs_exclude_controlled() {
+        let ag = Agent::new("A", AgentKind::Software)
+            .controls(["out"])
+            .monitors(["in1", "in2", "out"]);
+        let inputs: Vec<_> = ag.inputs().collect();
+        assert_eq!(inputs, vec!["in1", "in2"]);
+    }
+
+    #[test]
+    fn display_includes_kind() {
+        let ag = Agent::new("Passenger", AgentKind::Environment);
+        assert_eq!(ag.to_string(), "Passenger (environment)");
+    }
+}

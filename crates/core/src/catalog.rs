@@ -1,0 +1,599 @@
+//! The goal realizability-pattern catalog (thesis Table 4.5, Appendix B).
+//!
+//! Appendix B tabulates, for thirteen goal forms built from `A ⇒ B` with
+//! optional `●` lifts and `∨`/`∧` compounds, which combinations of variable
+//! controllability/observability make the goal realizable as written, and
+//! what *alternative goal* (equivalent, or sound-but-restrictive) to use
+//! otherwise.
+//!
+//! Rather than transcribing the tables, this module **derives** them from
+//! the rules of §4.5.3 — controlled variables must be referenced in the
+//! present state, observed variables in a prior state — and machine-checks
+//! every emitted alternative for soundness (`alternative ⊨ original`, with
+//! the alternative treated as an invariant). The thesis asserts these
+//! properties; here they are proved per row by model enumeration.
+//!
+//! # Example
+//!
+//! ```
+//! use esafe_core::catalog::{resolve, Capability, GoalForm, LiftPos, Shape};
+//!
+//! // A ⇒ ●B with B observable and A controllable: the contrapositive
+//! // ¬●B ⇒ ¬A is an equivalent (nonrestrictive) realizable form.
+//! let form = GoalForm::new(Shape::Simple, LiftPos::FirstConsequent);
+//! let entry = resolve(&form, &[Capability::Controllable, Capability::Observable]);
+//! assert!(!entry.realizable_as_is);
+//! assert!(!entry.restrictive);
+//! assert_eq!(entry.alternative.as_ref().unwrap().to_string(), "!prev(b) => !a");
+//! ```
+
+use crate::goal::var_roles;
+use esafe_logic::prop::{self, PropSet};
+use esafe_logic::Expr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The boolean structure of a goal form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// `A ⇒ B` (Appendix B.1 / Table 4.5).
+    Simple,
+    /// `A ∨ B ⇒ C` (B.2–B.4).
+    OrAntecedent,
+    /// `A ∧ B ⇒ C` (B.5–B.7).
+    AndAntecedent,
+    /// `A ⇒ B ∧ C` (B.8–B.10).
+    AndConsequent,
+    /// `A ⇒ B ∨ C` (B.11–B.13).
+    OrConsequent,
+}
+
+impl Shape {
+    /// Number of distinct variables in the form.
+    pub fn var_count(self) -> usize {
+        match self {
+            Shape::Simple => 2,
+            _ => 3,
+        }
+    }
+}
+
+/// Where the `●` lift sits in the form, following the appendix's three
+/// variants per shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LiftPos {
+    /// No lift: e.g. `A ∨ B ⇒ C`.
+    None,
+    /// Lift on the first antecedent variable: e.g. `●A ∨ B ⇒ C`.
+    FirstAntecedent,
+    /// Lift on the first consequent variable: e.g. `A ⇒ ●B ∨ C`.
+    FirstConsequent,
+}
+
+/// A goal form: shape plus lift position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GoalForm {
+    /// Boolean structure.
+    pub shape: Shape,
+    /// `●` placement.
+    pub lift: LiftPos,
+}
+
+impl GoalForm {
+    /// Creates a goal form.
+    pub fn new(shape: Shape, lift: LiftPos) -> Self {
+        GoalForm { shape, lift }
+    }
+
+    /// Variable names of the form, in order (`a`, `b`[, `c`]).
+    pub fn var_names(&self) -> Vec<&'static str> {
+        match self.shape.var_count() {
+            2 => vec!["a", "b"],
+            _ => vec!["a", "b", "c"],
+        }
+    }
+
+    /// The form's goal expression over variables `a`, `b`[, `c`].
+    pub fn expr(&self) -> Expr {
+        let lift_first = |e: Expr, do_lift: bool| if do_lift { Expr::prev(e) } else { e };
+        let (ante, cons) = match self.shape {
+            Shape::Simple => (
+                lift_first(Expr::var("a"), self.lift == LiftPos::FirstAntecedent),
+                lift_first(Expr::var("b"), self.lift == LiftPos::FirstConsequent),
+            ),
+            Shape::OrAntecedent => (
+                Expr::or(
+                    lift_first(Expr::var("a"), self.lift == LiftPos::FirstAntecedent),
+                    Expr::var("b"),
+                ),
+                lift_first(Expr::var("c"), self.lift == LiftPos::FirstConsequent),
+            ),
+            Shape::AndAntecedent => (
+                Expr::and(
+                    lift_first(Expr::var("a"), self.lift == LiftPos::FirstAntecedent),
+                    Expr::var("b"),
+                ),
+                lift_first(Expr::var("c"), self.lift == LiftPos::FirstConsequent),
+            ),
+            Shape::AndConsequent => (
+                lift_first(Expr::var("a"), self.lift == LiftPos::FirstAntecedent),
+                Expr::and(
+                    lift_first(Expr::var("b"), self.lift == LiftPos::FirstConsequent),
+                    Expr::var("c"),
+                ),
+            ),
+            Shape::OrConsequent => (
+                lift_first(Expr::var("a"), self.lift == LiftPos::FirstAntecedent),
+                Expr::or(
+                    lift_first(Expr::var("b"), self.lift == LiftPos::FirstConsequent),
+                    Expr::var("c"),
+                ),
+            ),
+        };
+        Expr::entails(ante, cons)
+    }
+}
+
+impl fmt::Display for GoalForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr())
+    }
+}
+
+/// An agent's capability over one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capability {
+    /// The agent can set the variable (and therefore also knows it).
+    Controllable,
+    /// The agent can observe the variable one state later, but not set it.
+    Observable,
+    /// Neither.
+    Unavailable,
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Capability::Controllable => "ctrl",
+            Capability::Observable => "obs",
+            Capability::Unavailable => "—",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the catalog: a form, a capability assignment, and the
+/// resolved alternative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// The goal form.
+    pub form: GoalForm,
+    /// Per-variable capabilities, in [`GoalForm::var_names`] order.
+    pub capabilities: Vec<Capability>,
+    /// The original goal expression.
+    pub original: Expr,
+    /// Whether the original is realizable as written.
+    pub realizable_as_is: bool,
+    /// The recommended goal (the original when realizable; an equivalent
+    /// or restrictive rewrite otherwise; `None` when no sound realizable
+    /// goal exists under these capabilities).
+    pub alternative: Option<Expr>,
+    /// Whether the alternative strictly strengthens the original.
+    pub restrictive: bool,
+    /// Machine check: `alternative ⊨ original` (as invariants). Always
+    /// `true` for emitted alternatives; kept explicit for audits.
+    pub verified_sound: bool,
+}
+
+/// Resolves one catalog row.
+///
+/// # Panics
+///
+/// Panics if `caps.len()` differs from the form's variable count.
+pub fn resolve(form: &GoalForm, caps: &[Capability]) -> CatalogEntry {
+    let names = form.var_names();
+    assert_eq!(caps.len(), names.len(), "one capability per variable");
+    let original = form.expr();
+
+    // Direction-aware realizability (§4.5.3): in `ante ⇒ cons` the agent
+    // constrains the *consequent*, so every consequent variable must be
+    // controllable even when referenced in the past (`A ⇒ ●B` with B merely
+    // observable is only realizable via its contrapositive). Antecedent
+    // variables follow the positional rule: present ⇒ controllable,
+    // past ⇒ at least observable.
+    fn is_realizable(e: &Expr, names: &[&str], caps: &[Capability]) -> bool {
+        let ctrl = |v: &String| cap_of(v, names, caps) == Capability::Controllable;
+        let avail = |v: &String| cap_of(v, names, caps) != Capability::Unavailable;
+        match e {
+            Expr::Entails(a, c) | Expr::Implies(a, c) => {
+                let (ante_past, ante_now) = var_roles(a);
+                c.vars().iter().all(ctrl)
+                    && ante_now.iter().all(ctrl)
+                    && ante_past.iter().all(avail)
+            }
+            Expr::Always(inner) => is_realizable(inner, names, caps),
+            other => {
+                let (past, now) = var_roles(other);
+                now.iter().all(ctrl) && past.iter().all(avail)
+            }
+        }
+    }
+    let realizable = |e: &Expr| -> bool { is_realizable(e, &names, caps) };
+
+    if realizable(&original) {
+        return CatalogEntry {
+            form: *form,
+            capabilities: caps.to_vec(),
+            original: original.clone(),
+            realizable_as_is: true,
+            alternative: Some(original),
+            restrictive: false,
+            verified_sound: true,
+        };
+    }
+
+    // Search the candidate space for the best sound, realizable rewrite.
+    let mut best: Option<(Expr, bool, u64)> = None; // (expr, restrictive, weakness)
+    for cand in candidates(&original) {
+        if !realizable(&cand) {
+            continue;
+        }
+        if !entails_invariant_one(&cand, &original) {
+            continue;
+        }
+        let equivalent = entails_invariant_one(&original, &cand);
+        let weakness = model_weight(&cand, &original);
+        let better = match &best {
+            None => true,
+            Some((_, best_restrictive, best_weak)) => {
+                // Prefer nonrestrictive; then the weakest restriction.
+                match (equivalent, !best_restrictive) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => weakness > *best_weak,
+                }
+            }
+        };
+        if better {
+            best = Some((cand, !equivalent, weakness));
+        }
+    }
+
+    match best {
+        Some((alt, restrictive, _)) => CatalogEntry {
+            form: *form,
+            capabilities: caps.to_vec(),
+            original,
+            realizable_as_is: false,
+            alternative: Some(alt),
+            restrictive,
+            verified_sound: true,
+        },
+        None => CatalogEntry {
+            form: *form,
+            capabilities: caps.to_vec(),
+            original,
+            realizable_as_is: false,
+            alternative: None,
+            restrictive: false,
+            verified_sound: false,
+        },
+    }
+}
+
+fn cap_of(var: &str, names: &[&str], caps: &[Capability]) -> Capability {
+    names
+        .iter()
+        .position(|n| *n == var)
+        .map(|i| caps[i])
+        .unwrap_or(Capability::Unavailable)
+}
+
+fn entails_invariant_one(premise: &Expr, conclusion: &Expr) -> bool {
+    prop::entails_invariant(&[premise], conclusion).unwrap_or(false)
+}
+
+/// Weakness score: how many models the candidate admits jointly with the
+/// original (higher = weaker = less restrictive).
+fn model_weight(cand: &Expr, original: &Expr) -> u64 {
+    PropSet::build(&[cand, original])
+        .map(|s| s.count_models_where(|t| t[0]))
+        .unwrap_or(0)
+}
+
+/// Candidate rewrites for an entailment goal: the original, contrapositive,
+/// antecedent-conjunct strengthenings, consequent-disjunct strengthenings,
+/// their contrapositives, and the blunt `□v` / `□¬v` restrictions per
+/// variable.
+fn candidates(original: &Expr) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::new();
+    let push = |e: Expr, out: &mut Vec<Expr>| {
+        if !out.contains(&e) {
+            out.push(e);
+        }
+    };
+
+    if let Expr::Entails(a, c) = original {
+        // Contrapositive.
+        push(
+            Expr::entails(Expr::not((**c).clone()), Expr::not((**a).clone())),
+            &mut out,
+        );
+        // Strengthen: drop antecedent conjuncts.
+        if let Expr::And(items) = a.as_ref() {
+            for keep in proper_subsets(items) {
+                let g = Expr::entails(Expr::and_all(keep), (**c).clone());
+                push(g.clone(), &mut out);
+                if let Expr::Entails(ga, gc) = &g {
+                    push(
+                        Expr::entails(Expr::not((**gc).clone()), Expr::not((**ga).clone())),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        // Strengthen: drop consequent disjuncts.
+        if let Expr::Or(items) = c.as_ref() {
+            for keep in proper_subsets(items) {
+                let g = Expr::entails((**a).clone(), Expr::or_all(keep));
+                push(g.clone(), &mut out);
+                if let Expr::Entails(ga, gc) = &g {
+                    push(
+                        Expr::entails(Expr::not((**gc).clone()), Expr::not((**ga).clone())),
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+
+    // Blunt restrictions: force or forbid a single variable everywhere.
+    let vars: BTreeSet<String> = original.vars();
+    for v in &vars {
+        push(Expr::always(Expr::var(v.clone())), &mut out);
+        push(Expr::always(Expr::not(Expr::var(v.clone()))), &mut out);
+    }
+    out
+}
+
+fn proper_subsets(items: &[Expr]) -> Vec<Vec<Expr>> {
+    let n = items.len();
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) - 1 {
+        let subset: Vec<Expr> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, e)| e.clone())
+            .collect();
+        out.push(subset);
+    }
+    out
+}
+
+/// All capability assignments for `n` variables (3ⁿ rows).
+pub fn capability_assignments(n: usize) -> Vec<Vec<Capability>> {
+    let all = [
+        Capability::Controllable,
+        Capability::Observable,
+        Capability::Unavailable,
+    ];
+    let mut out: Vec<Vec<Capability>> = vec![vec![]];
+    for _ in 0..n {
+        out = out
+            .into_iter()
+            .flat_map(|prefix| {
+                all.iter().map(move |c| {
+                    let mut next = prefix.clone();
+                    next.push(*c);
+                    next
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+/// Generates the full table for one goal form (one Appendix B table's
+/// worth of rows).
+pub fn table(form: &GoalForm) -> Vec<CatalogEntry> {
+    capability_assignments(form.shape.var_count())
+        .into_iter()
+        .map(|caps| resolve(form, &caps))
+        .collect()
+}
+
+/// The thirteen Appendix B tables, keyed `B.1` … `B.13`.
+///
+/// `B.1` combines the three lifts of the simple form, as in the thesis;
+/// compound shapes get one table per lift.
+pub fn appendix_b() -> Vec<(String, Vec<CatalogEntry>)> {
+    let mut out = Vec::new();
+    // B.1: A ⇒ B, ●A ⇒ B, A ⇒ ●B.
+    let mut b1 = Vec::new();
+    for lift in [LiftPos::None, LiftPos::FirstAntecedent, LiftPos::FirstConsequent] {
+        b1.extend(table(&GoalForm::new(Shape::Simple, lift)));
+    }
+    out.push(("B.1".to_owned(), b1));
+    let mut idx = 2;
+    for shape in [
+        Shape::OrAntecedent,
+        Shape::AndAntecedent,
+        Shape::AndConsequent,
+        Shape::OrConsequent,
+    ] {
+        for lift in [LiftPos::None, LiftPos::FirstAntecedent, LiftPos::FirstConsequent] {
+            out.push((format!("B.{idx}"), table(&GoalForm::new(shape, lift))));
+            idx += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::parse;
+
+    const C: Capability = Capability::Controllable;
+    const O: Capability = Capability::Observable;
+    const U: Capability = Capability::Unavailable;
+
+    fn simple(lift: LiftPos) -> GoalForm {
+        GoalForm::new(Shape::Simple, lift)
+    }
+
+    #[test]
+    fn form_expressions_match_the_tables() {
+        assert_eq!(simple(LiftPos::None).expr(), parse("a => b").unwrap());
+        assert_eq!(
+            simple(LiftPos::FirstAntecedent).expr(),
+            parse("prev(a) => b").unwrap()
+        );
+        assert_eq!(
+            GoalForm::new(Shape::OrAntecedent, LiftPos::FirstAntecedent).expr(),
+            parse("prev(a) || b => c").unwrap()
+        );
+        assert_eq!(
+            GoalForm::new(Shape::OrConsequent, LiftPos::FirstConsequent).expr(),
+            parse("a => prev(b) || c").unwrap()
+        );
+    }
+
+    // Table 4.5, form A ⇒ B.
+    #[test]
+    fn a_implies_b_needs_both_controllable() {
+        let e = resolve(&simple(LiftPos::None), &[C, C]);
+        assert!(e.realizable_as_is && !e.restrictive);
+    }
+
+    #[test]
+    fn a_implies_b_with_only_a_controllable_forbids_a() {
+        let e = resolve(&simple(LiftPos::None), &[C, U]);
+        assert!(!e.realizable_as_is && e.restrictive);
+        assert_eq!(e.alternative.unwrap(), parse("always(!a)").unwrap());
+    }
+
+    #[test]
+    fn a_implies_b_with_only_b_controllable_forces_b() {
+        let e = resolve(&simple(LiftPos::None), &[U, C]);
+        assert!(e.restrictive);
+        assert_eq!(e.alternative.unwrap(), parse("always(b)").unwrap());
+    }
+
+    #[test]
+    fn a_implies_b_observable_antecedent_is_still_restricted() {
+        // A observable, B controllable: same-state reaction impossible.
+        let e = resolve(&simple(LiftPos::None), &[O, C]);
+        assert!(!e.realizable_as_is);
+        assert!(e.restrictive);
+        assert_eq!(e.alternative.unwrap(), parse("always(b)").unwrap());
+    }
+
+    // Table 4.5, form ●A ⇒ B.
+    #[test]
+    fn prev_a_implies_b_realizable_with_observation() {
+        let e = resolve(&simple(LiftPos::FirstAntecedent), &[O, C]);
+        assert!(e.realizable_as_is);
+        let e2 = resolve(&simple(LiftPos::FirstAntecedent), &[C, C]);
+        assert!(e2.realizable_as_is);
+    }
+
+    #[test]
+    fn prev_a_implies_b_without_observation_restricts() {
+        let e = resolve(&simple(LiftPos::FirstAntecedent), &[U, C]);
+        assert!(e.restrictive);
+        assert_eq!(e.alternative.unwrap(), parse("always(b)").unwrap());
+    }
+
+    // Table 4.5, form A ⇒ ●B.
+    #[test]
+    fn a_implies_prev_b_contrapositive_is_equivalent() {
+        let e = resolve(&simple(LiftPos::FirstConsequent), &[C, O]);
+        assert!(!e.realizable_as_is);
+        assert!(!e.restrictive, "thesis: ¬●B ⇒ ¬A is an equivalent form");
+        assert_eq!(e.alternative.unwrap(), parse("!prev(b) => !a").unwrap());
+    }
+
+    #[test]
+    fn a_implies_prev_b_both_controllable_realizable() {
+        let e = resolve(&simple(LiftPos::FirstConsequent), &[C, C]);
+        assert!(e.realizable_as_is);
+    }
+
+    #[test]
+    fn no_capabilities_yields_no_alternative() {
+        let e = resolve(&simple(LiftPos::None), &[U, U]);
+        assert!(e.alternative.is_none());
+        assert!(!e.verified_sound);
+    }
+
+    #[test]
+    fn and_antecedent_drops_unobservable_conjunct() {
+        // A ∧ B ⇒ C with B unavailable: strengthen to A ⇒ C.
+        let form = GoalForm::new(Shape::AndAntecedent, LiftPos::FirstAntecedent);
+        let e = resolve(&form, &[O, U, C]);
+        assert!(e.restrictive);
+        assert_eq!(e.alternative.unwrap(), parse("prev(a) => c").unwrap());
+    }
+
+    #[test]
+    fn or_consequent_drops_uncontrollable_disjunct() {
+        // A ⇒ B ∨ C with C unavailable: strengthen to A ⇒ B.
+        let form = GoalForm::new(Shape::OrConsequent, LiftPos::FirstAntecedent);
+        let e = resolve(&form, &[O, C, U]);
+        assert!(e.restrictive);
+        assert_eq!(e.alternative.unwrap(), parse("prev(a) => b").unwrap());
+    }
+
+    #[test]
+    fn or_antecedent_with_unavailable_disjunct_forces_consequent() {
+        // A ∨ B ⇒ C with B unavailable: only □C covers B's firing.
+        let form = GoalForm::new(Shape::OrAntecedent, LiftPos::None);
+        let e = resolve(&form, &[C, U, C]);
+        assert!(e.restrictive);
+        assert_eq!(e.alternative.unwrap(), parse("always(c)").unwrap());
+    }
+
+    #[test]
+    fn every_emitted_alternative_is_sound() {
+        for (name, rows) in appendix_b() {
+            for row in rows {
+                if let Some(alt) = &row.alternative {
+                    assert!(
+                        prop::entails_invariant(&[alt], &row.original).unwrap(),
+                        "{name}: {} does not entail {}",
+                        alt,
+                        row.original
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn appendix_b_has_thirteen_tables() {
+        let tables = appendix_b();
+        assert_eq!(tables.len(), 13);
+        assert_eq!(tables[0].0, "B.1");
+        assert_eq!(tables[0].1.len(), 27); // 3 lifts × 9 assignments
+        assert_eq!(tables[1].1.len(), 27); // 27 assignments of 3 vars
+    }
+
+    #[test]
+    fn nonrestrictive_alternatives_are_equivalent() {
+        for (_, rows) in appendix_b() {
+            for row in rows {
+                if let (Some(alt), false) = (&row.alternative, row.restrictive) {
+                    assert!(
+                        prop::entails_invariant(&[&row.original], alt).unwrap(),
+                        "nonrestrictive {} must be equivalent to {}",
+                        alt,
+                        row.original
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Emergence and composability of safety goals (thesis Chapter 3).
+//!
+//! Goals here are propositional/two-state expressions; all judgements are
+//! made by model enumeration over their unrolling ([`esafe_logic::prop`]).
+//! Write `C = G1 ∧ … ∧ Gn` for a subgoal group's conjunction and
+//! `D = C1 ∨ … ∨ Cp` for the disjunction over redundant groups. The
+//! thesis's definitions become:
+//!
+//! * **fully composable** (eq. 3.1): `C ⇔ G`;
+//! * **fully composable with redundancy** (eq. 3.9): `D ⇔ G`;
+//! * **emergent but partially composable** (eq. 3.14): `C ∧ X ⇔ G` for some
+//!   unknown/unrealizable `X` — such an `X` exists iff `G ⊨ C`, and the
+//!   weakest admissible `X` is `C → G`; the models of `C ∧ ¬G` measure the
+//!   "demon" region that `X` must exclude;
+//! * **emergent but partially composable with redundancy** (eq. 3.23):
+//!   `D ∨ Y ⇔ G` — such a `Y` exists iff `D ⊨ G`, the weakest admissible
+//!   `Y` is `G ∧ ¬D`, and its model count measures the "angel" region
+//!   through which the system satisfies `G` by unspecified means;
+//! * **restrictive composition** (§3.3.5, §4.5.2): `C ⊨ G` strictly — the
+//!   subgoals guarantee the parent but prohibit some safe behavior; the
+//!   models of `G ∧ ¬C` count the behaviors given up.
+
+use esafe_logic::prop::PropSet;
+use esafe_logic::{Expr, PropError};
+use serde::{Deserialize, Serialize};
+
+/// Darimont's four conditions for a complete and-reduction (thesis §3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AndReductionReport {
+    /// Condition 1: `G1, …, Gn ⊢ G`.
+    pub entails_parent: bool,
+    /// Condition 2: no proper subset of the subgoals already entails `G`.
+    pub minimal: bool,
+    /// Condition 3: the subgoals are jointly satisfiable.
+    pub consistent: bool,
+    /// Condition 4: the reduction is not a mere restatement (`n > 1`, or a
+    /// single subgoal differs syntactically *and* semantically from `G`).
+    pub nontrivial: bool,
+}
+
+impl AndReductionReport {
+    /// All four conditions hold: the subgoals form a complete
+    /// and-reduction of the parent.
+    pub fn is_complete(&self) -> bool {
+        self.entails_parent && self.minimal && self.consistent && self.nontrivial
+    }
+}
+
+/// Evaluates Darimont's and-reduction conditions for `subgoals` against
+/// `parent`.
+///
+/// # Errors
+///
+/// Propagates [`PropError`] when any formula cannot be unrolled or the
+/// joint atom count exceeds the enumeration limit.
+///
+/// # Example
+///
+/// ```
+/// use esafe_core::compose::and_reduction;
+/// use esafe_logic::parse;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let parent = parse("a -> b")?;
+/// let subgoals = vec![parse("a -> c")?, parse("c -> b")?];
+/// let r = and_reduction(&subgoals, &parent)?;
+/// assert!(r.is_complete());
+/// # Ok(())
+/// # }
+/// ```
+pub fn and_reduction(subgoals: &[Expr], parent: &Expr) -> Result<AndReductionReport, PropError> {
+    let mut exprs: Vec<&Expr> = subgoals.iter().collect();
+    exprs.push(parent);
+    let set = PropSet::build(&exprs)?;
+    let n = subgoals.len();
+    let parent_idx = n;
+    let all: Vec<usize> = (0..n).collect();
+
+    let entails_parent = set.all_entail(&all, parent_idx);
+    let consistent = set.jointly_satisfiable(&all);
+
+    // Minimality: removing any one subgoal must break the entailment.
+    let mut minimal = true;
+    if entails_parent {
+        for skip in 0..n {
+            let subset: Vec<usize> = (0..n).filter(|&i| i != skip).collect();
+            if set.all_entail(&subset, parent_idx) {
+                minimal = false;
+                break;
+            }
+        }
+    }
+
+    // Non-triviality: a single subgoal equivalent to the parent is a
+    // restatement, not a decomposition.
+    let nontrivial = n > 1 || (n == 1 && !set.equivalent(0, parent_idx));
+
+    Ok(AndReductionReport {
+        entails_parent,
+        minimal,
+        consistent,
+        nontrivial,
+    })
+}
+
+/// Returns whether `subgoals` form a *partial* and-reduction of `parent`:
+/// they are consistent, do not by themselves entail the parent, and can be
+/// extended to a complete and-reduction (which propositionally reduces to
+/// the subgoals not contradicting the parent).
+///
+/// # Errors
+///
+/// See [`and_reduction`].
+pub fn is_partial_and_reduction(subgoals: &[Expr], parent: &Expr) -> Result<bool, PropError> {
+    let mut exprs: Vec<&Expr> = subgoals.iter().collect();
+    exprs.push(parent);
+    let set = PropSet::build(&exprs)?;
+    let n = subgoals.len();
+    let all: Vec<usize> = (0..n).collect();
+    let jointly_sat_with_parent =
+        set.count_models_where(|t| t[..n].iter().all(|&b| b) && t[n]) > 0;
+    let entails = set.all_entail(&all, n);
+    Ok(jointly_sat_with_parent && !entails)
+}
+
+/// The composability classification of a goal against one or more
+/// redundant and-reduction groups (thesis Chapter 3 taxonomy).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Composability {
+    /// Eq. 3.1: one group, `C ⇔ G`.
+    FullyComposable,
+    /// Eq. 3.9: several groups, `D ⇔ G`.
+    FullyComposableWithRedundancy,
+    /// Eq. 3.14 with a nontrivial demon `X`: `G ⊨ C` but `C ⊭ G`.
+    EmergentPartiallyComposable {
+        /// Models of `C ∧ ¬G`: states the unknown subgoal `X` must exclude.
+        demon_models: u64,
+    },
+    /// Eq. 3.23 with a nontrivial angel `Y`: `D ⊨ G` but `G ⊭ D`.
+    EmergentPartiallyComposableWithRedundancy {
+        /// Models of `G ∧ ¬D`: states where only emergence satisfies `G`.
+        angel_models: u64,
+    },
+    /// §3.3.5/§4.5.2: the subgoals strictly strengthen the parent
+    /// (`C ⊨ G`, `G ⊭ C`) — sound but restrictive.
+    ComposableWithRestriction {
+        /// Models of `G ∧ ¬C`: safe behaviors the subgoals prohibit.
+        excluded_models: u64,
+    },
+    /// Neither direction of entailment holds: both a demon `X` and an
+    /// angel `Y` would be needed.
+    Emergent {
+        /// Models of `C ∧ ¬G` (or `D ∧ ¬G` with redundancy).
+        demon_models: u64,
+        /// Models of `G ∧ ¬C` (or `G ∧ ¬D`).
+        angel_models: u64,
+    },
+}
+
+/// Classifies `parent` against redundant subgoal `groups` (each group is
+/// one and-reduction; a single group means no redundancy).
+///
+/// # Errors
+///
+/// Propagates [`PropError`] from unrolling.
+///
+/// # Example
+///
+/// ```
+/// use esafe_core::compose::{classify, Composability};
+/// use esafe_logic::parse;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Thesis Table 3.1: G = A ⇒ B decomposed through C and D.
+/// let parent = parse("a -> b")?;
+/// let group = vec![parse("a -> c")?, parse("c -> d")?, parse("d -> b")?];
+/// // The chain entails the parent but excludes safe states (e.g. a ∧ ¬c ∧ b):
+/// let c = classify(&parent, &[group])?;
+/// assert!(matches!(c, Composability::ComposableWithRestriction { .. }));
+/// # Ok(())
+/// # }
+/// ```
+pub fn classify(parent: &Expr, groups: &[Vec<Expr>]) -> Result<Composability, PropError> {
+    assert!(!groups.is_empty(), "at least one subgoal group is required");
+    let disjunction = Expr::or_all(
+        groups
+            .iter()
+            .map(|g| Expr::and_all(g.iter().cloned()))
+            .collect::<Vec<_>>(),
+    );
+    let set = PropSet::build(&[&disjunction, parent])?;
+    let demon_models = set.count_models_where(|t| t[0] && !t[1]);
+    let angel_models = set.count_models_where(|t| t[1] && !t[0]);
+    let redundant = groups.len() > 1;
+
+    Ok(match (demon_models, angel_models) {
+        (0, 0) if redundant => Composability::FullyComposableWithRedundancy,
+        (0, 0) => Composability::FullyComposable,
+        (0, excluded) if redundant => {
+            Composability::EmergentPartiallyComposableWithRedundancy {
+                angel_models: excluded,
+            }
+        }
+        (0, excluded) => Composability::ComposableWithRestriction {
+            excluded_models: excluded,
+        },
+        (demons, 0) => Composability::EmergentPartiallyComposable {
+            demon_models: demons,
+        },
+        (demons, angels) => Composability::Emergent {
+            demon_models: demons,
+            angel_models: angels,
+        },
+    })
+}
+
+/// The weakest demon `X` satisfying eq. 3.14 (`C ∧ X ⇔ G`), namely
+/// `C → G`. Only meaningful when `G ⊨ C` (checked by [`classify`]).
+pub fn weakest_demon(parent: &Expr, subgoals: &[Expr]) -> Expr {
+    Expr::implies(Expr::and_all(subgoals.iter().cloned()), parent.clone())
+}
+
+/// The weakest angel `Y` satisfying eq. 3.23 (`D ∨ Y ⇔ G`), namely
+/// `G ∧ ¬D`. Only meaningful when `D ⊨ G`.
+pub fn weakest_angel(parent: &Expr, groups: &[Vec<Expr>]) -> Expr {
+    let d = Expr::or_all(
+        groups
+            .iter()
+            .map(|g| Expr::and_all(g.iter().cloned()))
+            .collect::<Vec<_>>(),
+    );
+    Expr::and(parent.clone(), Expr::not(d))
+}
+
+/// Conjunctive-reduction (thesis §3.3.4): splits `always(a ∧ b ∧ …)` or an
+/// `Or`-antecedent implication into independently assignable subgoals.
+/// Returns `None` when the shape does not decompose conjunctively.
+///
+/// * `□(A ∧ X)` ⟶ `[□A, □X]` (eq. 3.32–3.34);
+/// * `(A ∨ X) ⇒ B` ⟶ `[A ⇒ B, X ⇒ B]` (eq. 3.35–3.38).
+pub fn conjunctive_reduction(goal: &Expr) -> Option<Vec<Expr>> {
+    match goal {
+        Expr::Always(inner) => match inner.as_ref() {
+            Expr::And(items) if items.len() > 1 => {
+                Some(items.iter().cloned().map(Expr::always).collect())
+            }
+            _ => None,
+        },
+        Expr::And(items) if items.len() > 1 => Some(items.clone()),
+        Expr::Entails(a, b) | Expr::Implies(a, b) => match a.as_ref() {
+            Expr::Or(items) if items.len() > 1 => Some(
+                items
+                    .iter()
+                    .map(|d| match goal {
+                        Expr::Entails(..) => Expr::entails(d.clone(), (**b).clone()),
+                        _ => Expr::implies(d.clone(), (**b).clone()),
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// OR-reduction (thesis §3.3.5, eq. 3.42–3.46): strengthens a disjunctive
+/// goal by keeping only the realizable disjuncts. The result entails the
+/// original but prohibits some acceptable behavior.
+///
+/// * `□(A ∨ X)` with `keep` selecting `A` ⟶ `□A`;
+/// * `(A ∧ X) ⇒ B` ⟶ `A ⇒ B` (dropping conjuncts of the antecedent
+///   strengthens the goal).
+///
+/// Returns `None` when the shape does not admit the reduction or `keep`
+/// selects nothing.
+pub fn or_reduction(goal: &Expr, keep: &dyn Fn(&Expr) -> bool) -> Option<Expr> {
+    match goal {
+        Expr::Always(inner) => match inner.as_ref() {
+            Expr::Or(items) => {
+                let kept: Vec<Expr> = items.iter().filter(|e| keep(e)).cloned().collect();
+                if kept.is_empty() || kept.len() == items.len() {
+                    None
+                } else {
+                    Some(Expr::always(Expr::or_all(kept)))
+                }
+            }
+            _ => None,
+        },
+        Expr::Or(items) => {
+            let kept: Vec<Expr> = items.iter().filter(|e| keep(e)).cloned().collect();
+            if kept.is_empty() || kept.len() == items.len() {
+                None
+            } else {
+                Some(Expr::or_all(kept))
+            }
+        }
+        Expr::Entails(a, b) | Expr::Implies(a, b) => match a.as_ref() {
+            Expr::And(items) => {
+                let kept: Vec<Expr> = items.iter().filter(|e| keep(e)).cloned().collect();
+                if kept.is_empty() || kept.len() == items.len() {
+                    None
+                } else {
+                    let ante = Expr::and_all(kept);
+                    Some(match goal {
+                        Expr::Entails(..) => Expr::entails(ante, (**b).clone()),
+                        _ => Expr::implies(ante, (**b).clone()),
+                    })
+                }
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::{parse, prop};
+
+    fn p(s: &str) -> Expr {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn chain_is_complete_and_reduction() {
+        // Thesis Table 3.1 first reduction: {A⇒C, C⇒D, D⇒B} of A⇒B.
+        let r = and_reduction(&[p("a -> c"), p("c -> d"), p("d -> b")], &p("a -> b")).unwrap();
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn dropping_a_link_breaks_completeness_but_leaves_partial() {
+        let subgoals = [p("a -> c"), p("d -> b")];
+        let r = and_reduction(&subgoals, &p("a -> b")).unwrap();
+        assert!(!r.entails_parent);
+        assert!(is_partial_and_reduction(&subgoals, &p("a -> b")).unwrap());
+    }
+
+    #[test]
+    fn restatement_is_trivial() {
+        let r = and_reduction(&[p("a -> b")], &p("!a || b")).unwrap();
+        assert!(r.entails_parent && !r.nontrivial);
+    }
+
+    #[test]
+    fn redundant_padding_is_not_minimal() {
+        let r = and_reduction(
+            &[p("a -> c"), p("c -> b"), p("a -> b")],
+            &p("a -> b"),
+        )
+        .unwrap();
+        assert!(r.entails_parent && !r.minimal);
+    }
+
+    #[test]
+    fn contradictory_subgoals_are_inconsistent() {
+        let r = and_reduction(&[p("a"), p("!a")], &p("b")).unwrap();
+        assert!(!r.consistent);
+    }
+
+    #[test]
+    fn fully_composable_exact_split() {
+        // □(A ∧ B) decomposed as {□A, □B} is exact.
+        let c = classify(&p("a && b"), &[vec![p("a"), p("b")]]).unwrap();
+        assert_eq!(c, Composability::FullyComposable);
+    }
+
+    #[test]
+    fn redundant_groups_covering_exactly() {
+        // G = a ∨ b via groups {a} and {b}.
+        let c = classify(&p("a || b"), &[vec![p("a")], vec![p("b")]]).unwrap();
+        assert_eq!(c, Composability::FullyComposableWithRedundancy);
+    }
+
+    #[test]
+    fn missing_subgoal_leaves_demon_region() {
+        // G = a ∧ b, but only {a} is specified: satisfying `a` does not
+        // guarantee G — X = (b) is hidden. G ⊨ a holds.
+        let c = classify(&p("a && b"), &[vec![p("a")]]).unwrap();
+        match c {
+            Composability::EmergentPartiallyComposable { demon_models } => {
+                assert_eq!(demon_models, 1); // model a ∧ ¬b
+            }
+            other => panic!("unexpected classification {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncovered_redundancy_leaves_angel_region() {
+        // G = a ∨ b ∨ c with groups {a}, {b}: c-only models satisfied by Y.
+        let c = classify(&p("a || b || c"), &[vec![p("a")], vec![p("b")]]).unwrap();
+        match c {
+            Composability::EmergentPartiallyComposableWithRedundancy { angel_models } => {
+                assert_eq!(angel_models, 1); // model ¬a ∧ ¬b ∧ c
+            }
+            other => panic!("unexpected classification {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strengthening_is_restrictive() {
+        // G = a ∨ b covered by just {a}: sound but prohibits ¬a ∧ b.
+        let c = classify(&p("a || b"), &[vec![p("a")]]).unwrap();
+        match c {
+            Composability::ComposableWithRestriction { excluded_models } => {
+                assert_eq!(excluded_models, 1);
+            }
+            other => panic!("unexpected classification {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomparable_goals_are_emergent() {
+        let c = classify(&p("a"), &[vec![p("b")]]).unwrap();
+        assert!(matches!(c, Composability::Emergent { demon_models: 1, angel_models: 1 }));
+    }
+
+    #[test]
+    fn weakest_demon_closes_the_equivalence() {
+        let parent = p("a && b");
+        let subgoals = vec![p("a")];
+        let x = weakest_demon(&parent, &subgoals);
+        let closed = Expr::and(Expr::and_all(subgoals), x);
+        assert!(prop::equivalent(&closed, &parent).unwrap());
+    }
+
+    #[test]
+    fn weakest_angel_closes_the_equivalence() {
+        let parent = p("a || b || c");
+        let groups = vec![vec![p("a")], vec![p("b")]];
+        let y = weakest_angel(&parent, &groups);
+        let d = Expr::or_all(groups.iter().map(|g| Expr::and_all(g.clone())).collect::<Vec<_>>());
+        let closed = Expr::or(d, y);
+        assert!(prop::equivalent(&closed, &parent).unwrap());
+    }
+
+    #[test]
+    fn conjunctive_reduction_splits_always_and() {
+        let subs = conjunctive_reduction(&p("always(a && x)")).unwrap();
+        assert_eq!(subs, vec![p("always(a)"), p("always(x)")]);
+        let subs2 = conjunctive_reduction(&p("a || x => b")).unwrap();
+        assert_eq!(subs2, vec![p("a => b"), p("x => b")]);
+        assert!(conjunctive_reduction(&p("a || b")).is_none());
+    }
+
+    #[test]
+    fn conjunctive_reduction_is_exact() {
+        let goal = p("a || x => b");
+        let subs = conjunctive_reduction(&goal).unwrap();
+        let conj = Expr::and_all(subs);
+        assert!(prop::equivalent(&conj, &goal).unwrap());
+    }
+
+    #[test]
+    fn or_reduction_strengthens() {
+        let goal = p("always(a || x)");
+        let reduced = or_reduction(&goal, &|e| *e == p("a")).unwrap();
+        assert_eq!(reduced, p("always(a)"));
+        assert!(prop::entails(&[&reduced], &goal).unwrap());
+        assert!(!prop::entails(&[&goal], &reduced).unwrap());
+    }
+
+    #[test]
+    fn or_reduction_on_conjunctive_antecedent() {
+        // (A ∧ X) ⇒ B strengthened to A ⇒ B (eq. 3.44–3.46).
+        let goal = p("a && x => b");
+        let reduced = or_reduction(&goal, &|e| *e == p("a")).unwrap();
+        assert_eq!(reduced, p("a => b"));
+        assert!(prop::entails(&[&reduced], &goal).unwrap());
+    }
+
+    #[test]
+    fn or_reduction_requires_a_proper_subset() {
+        let goal = p("always(a || b)");
+        assert!(or_reduction(&goal, &|_| true).is_none());
+        assert!(or_reduction(&goal, &|_| false).is_none());
+    }
+}

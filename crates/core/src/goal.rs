@@ -1,0 +1,292 @@
+//! KAOS-style goal definitions.
+
+use esafe_logic::Expr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The four KAOS goal pattern classes (thesis Table 2.2).
+///
+/// | Class    | Pattern        |
+/// |----------|----------------|
+/// | Achieve  | `P ⇒ ♦Q`       |
+/// | Cease    | `P ⇒ ♦¬Q`      |
+/// | Maintain | `P ⇒ □Q`       |
+/// | Avoid    | `P ⇒ □¬Q`      |
+///
+/// Safety goals are typically `Avoid` goals (constrain a hazardous
+/// condition) or operationalized `Achieve`/`Maintain` goals over bounded
+/// response windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GoalClass {
+    /// `P ⇒ ♦Q` — eventually bring about `Q`.
+    Achieve,
+    /// `P ⇒ ♦¬Q` — eventually stop `Q`.
+    Cease,
+    /// `P ⇒ □Q` — keep `Q` holding.
+    Maintain,
+    /// `P ⇒ □¬Q` — keep the hazard `Q` from holding.
+    Avoid,
+}
+
+impl GoalClass {
+    /// The class name as it appears in goal names like `Maintain[...]`.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            GoalClass::Achieve => "Achieve",
+            GoalClass::Cease => "Cease",
+            GoalClass::Maintain => "Maintain",
+            GoalClass::Avoid => "Avoid",
+        }
+    }
+}
+
+impl fmt::Display for GoalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A safety goal in the KAOS format: a named, informally and formally
+/// defined constraint on system state.
+///
+/// The formal definition is a temporal-logic [`Expr`]; the monitored and
+/// controlled variable sets are derived positionally (past-referenced
+/// variables are monitored, present-referenced variables are controlled —
+/// thesis §4.5.3) but may be overridden when the analyst knows better.
+///
+/// # Example
+///
+/// ```
+/// use esafe_core::{Goal, GoalClass};
+/// use esafe_logic::parse;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Goal::new(
+///     "Maintain[DoorClosedOrElevatorStopped]",
+///     GoalClass::Maintain,
+///     "At all times the door shall be closed or the elevator stopped.",
+///     parse("always(door_closed || elevator_stopped)")?,
+/// );
+/// assert!(g.controlled_vars().contains("door_closed"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Goal {
+    name: String,
+    class: GoalClass,
+    informal: String,
+    formal: Expr,
+    monitored_override: Option<BTreeSet<String>>,
+    controlled_override: Option<BTreeSet<String>>,
+}
+
+impl Goal {
+    /// Creates a goal with positionally derived variable roles.
+    pub fn new(
+        name: impl Into<String>,
+        class: GoalClass,
+        informal: impl Into<String>,
+        formal: Expr,
+    ) -> Self {
+        Goal {
+            name: name.into(),
+            class,
+            informal: informal.into(),
+            formal,
+            monitored_override: None,
+            controlled_override: None,
+        }
+    }
+
+    /// Overrides the derived monitored-variable set.
+    pub fn with_monitored(mut self, vars: impl IntoIterator<Item = String>) -> Self {
+        self.monitored_override = Some(vars.into_iter().collect());
+        self
+    }
+
+    /// Overrides the derived controlled-variable set.
+    pub fn with_controlled(mut self, vars: impl IntoIterator<Item = String>) -> Self {
+        self.controlled_override = Some(vars.into_iter().collect());
+        self
+    }
+
+    /// The goal's name, e.g. `Achieve[AutoAccelBelowThreshold]`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The KAOS pattern class.
+    pub fn class(&self) -> GoalClass {
+        self.class
+    }
+
+    /// The natural-language definition.
+    pub fn informal(&self) -> &str {
+        &self.informal
+    }
+
+    /// The formal temporal-logic definition.
+    pub fn formal(&self) -> &Expr {
+        &self.formal
+    }
+
+    /// Variables the realizing agent must *monitor* (referenced in the
+    /// past: under `prev`, `held_for`, `once_within`, `once`,
+    /// `historically`, or the previous-state half of `became`).
+    pub fn monitored_vars(&self) -> BTreeSet<String> {
+        if let Some(m) = &self.monitored_override {
+            return m.clone();
+        }
+        let (monitored, _) = var_roles(&self.formal);
+        monitored
+    }
+
+    /// Variables the realizing agent must *control* (referenced in the
+    /// present state).
+    pub fn controlled_vars(&self) -> BTreeSet<String> {
+        if let Some(c) = &self.controlled_override {
+            return c.clone();
+        }
+        let (_, controlled) = var_roles(&self.formal);
+        controlled
+    }
+
+    /// All variables referenced by the formal definition.
+    pub fn vars(&self) -> BTreeSet<String> {
+        self.formal.vars()
+    }
+}
+
+impl fmt::Display for Goal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.formal)
+    }
+}
+
+/// Splits the variables of an expression into (monitored, controlled) by
+/// temporal position: variables referenced strictly in the past are
+/// monitored; variables referenced in the present state are controlled.
+/// A variable referenced in both positions appears in both sets.
+pub fn var_roles(expr: &Expr) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut monitored = BTreeSet::new();
+    let mut controlled = BTreeSet::new();
+    collect_roles(expr, false, &mut monitored, &mut controlled);
+    (monitored, controlled)
+}
+
+fn collect_roles(
+    expr: &Expr,
+    in_past: bool,
+    monitored: &mut BTreeSet<String>,
+    controlled: &mut BTreeSet<String>,
+) {
+    use esafe_logic::Operand;
+    let mut add = |name: &str| {
+        if in_past {
+            monitored.insert(name.to_owned());
+        } else {
+            controlled.insert(name.to_owned());
+        }
+    };
+    match expr {
+        Expr::Const(_) => {}
+        Expr::Var(v) => add(v),
+        Expr::Cmp { lhs, rhs, .. } => {
+            if let Operand::Var(v) = lhs {
+                add(v);
+            }
+            if let Operand::Var(v) = rhs {
+                add(v);
+            }
+        }
+        Expr::Not(e) | Expr::Always(e) | Expr::Eventually(e) | Expr::Next(e)
+        | Expr::Initially(e) => collect_roles(e, in_past, monitored, controlled),
+        Expr::And(items) | Expr::Or(items) => {
+            for e in items {
+                collect_roles(e, in_past, monitored, controlled);
+            }
+        }
+        Expr::Implies(a, b) | Expr::Entails(a, b) | Expr::Iff(a, b) => {
+            collect_roles(a, in_past, monitored, controlled);
+            collect_roles(b, in_past, monitored, controlled);
+        }
+        Expr::Prev(e)
+        | Expr::Once(e)
+        | Expr::Historically(e) => collect_roles(e, true, monitored, controlled),
+        Expr::HeldFor { expr, .. } | Expr::OnceWithin { expr, .. } => {
+            collect_roles(expr, true, monitored, controlled)
+        }
+        // `became(p) ≡ p ∧ ●¬p`: p is referenced both now and in the past.
+        Expr::Became(e) => {
+            collect_roles(e, in_past, monitored, controlled);
+            collect_roles(e, true, monitored, controlled);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::parse;
+
+    #[test]
+    fn roles_split_by_temporal_position() {
+        let e = parse("prev(a) -> b").unwrap();
+        let (m, c) = var_roles(&e);
+        assert!(m.contains("a") && !m.contains("b"));
+        assert!(c.contains("b") && !c.contains("a"));
+    }
+
+    #[test]
+    fn present_antecedent_is_controlled() {
+        // A ⇒ B requires control of both (thesis Table 4.5).
+        let e = parse("a => b").unwrap();
+        let (m, c) = var_roles(&e);
+        assert!(m.is_empty());
+        assert!(c.contains("a") && c.contains("b"));
+    }
+
+    #[test]
+    fn became_references_both_positions() {
+        let e = parse("became(p)").unwrap();
+        let (m, c) = var_roles(&e);
+        assert!(m.contains("p") && c.contains("p"));
+    }
+
+    #[test]
+    fn bounded_windows_are_monitored() {
+        let e = parse("held_for(cmd == 'STOP', 5ticks) -> stopped").unwrap();
+        let (m, c) = var_roles(&e);
+        assert!(m.contains("cmd"));
+        assert!(c.contains("stopped"));
+    }
+
+    #[test]
+    fn overrides_replace_derivation() {
+        let g = Goal::new(
+            "G",
+            GoalClass::Avoid,
+            "informal",
+            parse("a -> b").unwrap(),
+        )
+        .with_monitored(["x".to_owned()])
+        .with_controlled(["y".to_owned()]);
+        assert_eq!(g.monitored_vars().into_iter().collect::<Vec<_>>(), ["x"]);
+        assert_eq!(g.controlled_vars().into_iter().collect::<Vec<_>>(), ["y"]);
+        assert!(g.vars().contains("a")); // vars() still reports the formula
+    }
+
+    #[test]
+    fn display_shows_name_and_formula() {
+        let g = Goal::new(
+            "Avoid[X]",
+            GoalClass::Avoid,
+            "",
+            parse("!x").unwrap(),
+        );
+        assert_eq!(g.to_string(), "Avoid[X]: !x");
+        assert_eq!(g.class().keyword(), "Avoid");
+    }
+}

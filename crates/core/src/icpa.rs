@@ -1,0 +1,489 @@
+//! Indirect Control Path Analysis — the ICPA table and procedure
+//! (thesis Chapter 4, Figures 1.2 and 4.7).
+//!
+//! An ICPA run follows six steps:
+//!
+//! 1. define the system safety goal in temporal logic;
+//! 2. identify the indirect control sources of each goal variable
+//!    ([`crate::system::ControlGraph::trace`]);
+//! 3. define the relationships between sources (numbered formal
+//!    [`Relationship`]s — these become *critical assumptions*);
+//! 4. choose a goal coverage strategy ([`CoverageStrategy`]);
+//! 5. apply tactics for goal elaboration ([`crate::tactics`]);
+//! 6. record the resulting subsystem subgoals.
+//!
+//! The completed [`IcpaTable`] is both the analysis record and a checkable
+//! artifact: [`IcpaTable::verify`] machine-checks that the subgoals plus
+//! the cited relationships entail the parent goal.
+
+use crate::goal::Goal;
+use crate::system::{ControlGraph, ControlPath};
+use crate::tactics::TacticKind;
+use esafe_logic::{prop, Expr};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A numbered indirect control relationship (one row of the middle ICPA
+/// section; thesis Tables 4.1–4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relationship {
+    /// The row number cited by elaboration steps (e.g. `07`).
+    pub number: u32,
+    /// The goal variable whose path this row belongs to.
+    pub variable: String,
+    /// Subsystems involved in the relationship.
+    pub subsystems: Vec<String>,
+    /// The formal relationship.
+    pub formal: Expr,
+    /// Natural-language gloss (the `%` comment lines of the thesis tables).
+    pub comment: String,
+}
+
+/// Goal assignment: which agents carry subgoals and how the subgoals relate
+/// (thesis §4.5.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GoalAssignment {
+    /// One agent (or agent group) alone satisfies the goal.
+    SingleResponsibility {
+        /// The responsible agent.
+        agent: String,
+    },
+    /// A primary group satisfies the goal; a secondary group provides
+    /// backup against primary failures.
+    RedundantResponsibility {
+        /// Primary responsible agents.
+        primary: Vec<String>,
+        /// Secondary (backup) agents.
+        secondary: Vec<String>,
+    },
+    /// Two or more agents must each satisfy their subgoal for the parent
+    /// to hold (coordinated control).
+    SharedResponsibility {
+        /// The coordinating agents.
+        agents: Vec<String>,
+    },
+}
+
+impl fmt::Display for GoalAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoalAssignment::SingleResponsibility { agent } => {
+                write!(f, "Single Responsibility ({agent})")
+            }
+            GoalAssignment::RedundantResponsibility { primary, secondary } => write!(
+                f,
+                "Redundant Responsibility (primary: {}; secondary: {})",
+                primary.join(", "),
+                secondary.join(", ")
+            ),
+            GoalAssignment::SharedResponsibility { agents } => {
+                write!(f, "Shared Responsibility ({})", agents.join(" & "))
+            }
+        }
+    }
+}
+
+/// Goal scope: how closely the subgoals track the parent (thesis §4.5.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GoalScope {
+    /// The subgoals satisfy the parent exactly.
+    Nonrestrictive,
+    /// The subgoals strengthen the parent (safety margins, OR-reduction,
+    /// worst-case delays).
+    Restrictive {
+        /// Why restriction was needed.
+        rationale: String,
+    },
+}
+
+impl fmt::Display for GoalScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoalScope::Nonrestrictive => write!(f, "Nonrestrictive"),
+            GoalScope::Restrictive { rationale } => write!(f, "Restrictive ({rationale})"),
+        }
+    }
+}
+
+/// A goal coverage strategy: assignment plus scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageStrategy {
+    /// Which agents carry subgoals.
+    pub assignment: GoalAssignment,
+    /// How closely the subgoals track the parent.
+    pub scope: GoalScope,
+}
+
+/// One elaboration step: the tactic used and the relationship rows it
+/// relied on (the fourth ICPA section).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElaborationStep {
+    /// The derived expression or intermediate goal this step produced.
+    pub derived: Expr,
+    /// Tactic applied.
+    pub tactic: TacticKind,
+    /// Relationship numbers used as critical assumptions.
+    pub using_relationships: Vec<u32>,
+    /// Analyst note.
+    pub note: String,
+}
+
+/// A subgoal assigned to one subsystem (the final ICPA section; thesis
+/// Table 4.4 format).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubsystemGoal {
+    /// The responsible subsystem.
+    pub subsystem: String,
+    /// The subgoal in full KAOS form.
+    pub goal: Goal,
+    /// Variables the subsystem controls for this subgoal.
+    pub controls: Vec<String>,
+    /// Variables the subsystem observes for this subgoal.
+    pub observes: Vec<String>,
+}
+
+/// A completed Indirect Control Path Analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IcpaTable {
+    /// Section 1: the system safety goal.
+    pub goal: Goal,
+    /// Section 2: indirect control paths per goal variable.
+    pub paths: Vec<ControlPath>,
+    /// Section 3: numbered indirect control relationships.
+    pub relationships: Vec<Relationship>,
+    /// Section 4: the chosen coverage strategy.
+    pub strategy: CoverageStrategy,
+    /// Section 5: elaboration steps with cited assumptions.
+    pub elaboration: Vec<ElaborationStep>,
+    /// Section 6: the resulting subsystem safety subgoals.
+    pub subgoals: Vec<SubsystemGoal>,
+}
+
+impl IcpaTable {
+    /// Looks up a relationship by number.
+    pub fn relationship(&self, number: u32) -> Option<&Relationship> {
+        self.relationships.iter().find(|r| r.number == number)
+    }
+
+    /// The distinct subsystems that received subgoals.
+    pub fn subsystems(&self) -> BTreeSet<&str> {
+        self.subgoals.iter().map(|s| s.subsystem.as_str()).collect()
+    }
+
+    /// Machine-checks the decomposition: do the subgoals, together with
+    /// all recorded relationships as critical assumptions, entail the
+    /// parent goal (treating every formula as an invariant)?
+    ///
+    /// Returns `None` when any formula is not propositionally checkable
+    /// (unbounded windows) — the thesis notes such elaborations are
+    /// verified by model checking or run-time monitoring instead.
+    pub fn verify(&self) -> Option<bool> {
+        let premises: Vec<&Expr> = self
+            .subgoals
+            .iter()
+            .map(|s| s.goal.formal())
+            .chain(self.relationships.iter().map(|r| &r.formal))
+            .collect();
+        prop::entails_invariant(&premises, self.goal.formal()).ok()
+    }
+
+    /// All cited relationship numbers that do not exist in the table —
+    /// should be empty for a well-formed analysis.
+    pub fn dangling_citations(&self) -> Vec<u32> {
+        let known: BTreeSet<u32> = self.relationships.iter().map(|r| r.number).collect();
+        let mut missing: Vec<u32> = self
+            .elaboration
+            .iter()
+            .flat_map(|e| e.using_relationships.iter().copied())
+            .filter(|n| !known.contains(n))
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        missing
+    }
+}
+
+/// Step-by-step builder for an [`IcpaTable`], enforcing the procedure's
+/// order: goal → paths → relationships → strategy → elaboration → subgoals.
+///
+/// # Example
+///
+/// ```
+/// use esafe_core::{Agent, AgentKind, ControlGraph, Goal, GoalClass};
+/// use esafe_core::icpa::{CoverageStrategy, GoalAssignment, GoalScope, IcpaBuilder};
+/// use esafe_core::tactics::TacticKind;
+/// use esafe_logic::parse;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = ControlGraph::new();
+/// g.add_var("overweight", "weight sensor output");
+/// g.add_var("drive_stopped", "drive state");
+/// g.add_agent(Agent::new("DriveController", AgentKind::Software)
+///     .controls(["drive_stopped"]).monitors(["overweight"]));
+/// g.add_agent(Agent::new("Passenger", AgentKind::Environment)
+///     .controls(["overweight"]));
+///
+/// let goal = Goal::new("Maintain[DriveStoppedWhenOverweight]",
+///     GoalClass::Maintain,
+///     "If the elevator is overweight, the drive shall be stopped.",
+///     parse("prev(overweight) => drive_stopped")?);
+///
+/// let table = IcpaBuilder::new(goal)
+///     .trace_paths(&g)
+///     .relationship(1, "overweight", ["Passenger"],
+///         parse("prev(overweight) => prev(overweight)")?, "passengers load the car")
+///     .strategy(CoverageStrategy {
+///         assignment: GoalAssignment::SingleResponsibility {
+///             agent: "DriveController".into() },
+///         scope: GoalScope::Nonrestrictive,
+///     })
+///     .subgoal("DriveController",
+///         Goal::new("Achieve[StopWhenOverweight]", GoalClass::Achieve, "",
+///                   parse("prev(overweight) => drive_stopped")?),
+///         ["drive_stopped"], ["overweight"])
+///     .finish();
+/// assert_eq!(table.verify(), Some(true));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IcpaBuilder {
+    goal: Goal,
+    paths: Vec<ControlPath>,
+    relationships: Vec<Relationship>,
+    strategy: Option<CoverageStrategy>,
+    elaboration: Vec<ElaborationStep>,
+    subgoals: Vec<SubsystemGoal>,
+}
+
+impl IcpaBuilder {
+    /// Step 1: define the system safety goal.
+    pub fn new(goal: Goal) -> Self {
+        IcpaBuilder {
+            goal,
+            paths: Vec::new(),
+            relationships: Vec::new(),
+            strategy: None,
+            elaboration: Vec::new(),
+            subgoals: Vec::new(),
+        }
+    }
+
+    /// Step 2: trace indirect control paths for every goal variable.
+    pub fn trace_paths(mut self, graph: &ControlGraph) -> Self {
+        for var in self.goal.vars() {
+            self.paths.push(graph.trace(&var));
+        }
+        self
+    }
+
+    /// Step 2 (manual): record a pre-computed path.
+    pub fn path(mut self, path: ControlPath) -> Self {
+        self.paths.push(path);
+        self
+    }
+
+    /// Step 3: record a numbered indirect control relationship.
+    pub fn relationship<S: Into<String>>(
+        mut self,
+        number: u32,
+        variable: impl Into<String>,
+        subsystems: impl IntoIterator<Item = S>,
+        formal: Expr,
+        comment: impl Into<String>,
+    ) -> Self {
+        self.relationships.push(Relationship {
+            number,
+            variable: variable.into(),
+            subsystems: subsystems.into_iter().map(Into::into).collect(),
+            formal,
+            comment: comment.into(),
+        });
+        self
+    }
+
+    /// Step 4: choose the goal coverage strategy.
+    pub fn strategy(mut self, strategy: CoverageStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Step 5: record an elaboration step.
+    pub fn elaborate(
+        mut self,
+        derived: Expr,
+        tactic: TacticKind,
+        using_relationships: impl IntoIterator<Item = u32>,
+        note: impl Into<String>,
+    ) -> Self {
+        self.elaboration.push(ElaborationStep {
+            derived,
+            tactic,
+            using_relationships: using_relationships.into_iter().collect(),
+            note: note.into(),
+        });
+        self
+    }
+
+    /// Step 6: record a resulting subsystem subgoal.
+    pub fn subgoal<S: Into<String>>(
+        mut self,
+        subsystem: impl Into<String>,
+        goal: Goal,
+        controls: impl IntoIterator<Item = S>,
+        observes: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.subgoals.push(SubsystemGoal {
+            subsystem: subsystem.into(),
+            goal,
+            controls: controls.into_iter().map(Into::into).collect(),
+            observes: observes.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Completes the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no coverage strategy was chosen (step 4 is mandatory
+    /// before the table is a valid analysis record).
+    pub fn finish(self) -> IcpaTable {
+        IcpaTable {
+            goal: self.goal,
+            paths: self.paths,
+            relationships: self.relationships,
+            strategy: self.strategy.expect("coverage strategy must be chosen"),
+            elaboration: self.elaboration,
+            subgoals: self.subgoals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, AgentKind};
+    use crate::goal::GoalClass;
+    use esafe_logic::parse;
+
+    fn sample_graph() -> ControlGraph {
+        let mut g = ControlGraph::new();
+        g.add_var("a", "");
+        g.add_var("b", "");
+        g.add_agent(
+            Agent::new("X", AgentKind::Software)
+                .controls(["b"])
+                .monitors(["a"]),
+        );
+        g.add_agent(Agent::new("Env", AgentKind::Environment).controls(["a"]));
+        g
+    }
+
+    fn sample_goal() -> Goal {
+        Goal::new(
+            "Maintain[G]",
+            GoalClass::Maintain,
+            "informal",
+            parse("prev(a) => b").unwrap(),
+        )
+    }
+
+    fn build() -> IcpaTable {
+        IcpaBuilder::new(sample_goal())
+            .trace_paths(&sample_graph())
+            .relationship(1, "a", ["Env"], parse("a <-> a").unwrap(), "env sets a")
+            .strategy(CoverageStrategy {
+                assignment: GoalAssignment::SingleResponsibility { agent: "X".into() },
+                scope: GoalScope::Nonrestrictive,
+            })
+            .elaborate(
+                parse("prev(a) => b").unwrap(),
+                TacticKind::IntroduceActuationGoal,
+                [1],
+                "direct",
+            )
+            .subgoal(
+                "X",
+                Goal::new(
+                    "Achieve[SubG]",
+                    GoalClass::Achieve,
+                    "",
+                    parse("prev(a) => b").unwrap(),
+                ),
+                ["b"],
+                ["a"],
+            )
+            .finish()
+    }
+
+    #[test]
+    fn builder_produces_all_sections() {
+        let t = build();
+        assert_eq!(t.paths.len(), 2); // one per goal variable
+        assert_eq!(t.relationships.len(), 1);
+        assert_eq!(t.subgoals.len(), 1);
+        assert_eq!(t.subsystems().len(), 1);
+        assert!(t.relationship(1).is_some());
+        assert!(t.relationship(9).is_none());
+    }
+
+    #[test]
+    fn verify_checks_entailment() {
+        let t = build();
+        assert_eq!(t.verify(), Some(true));
+    }
+
+    #[test]
+    fn verify_detects_insufficient_subgoals() {
+        let mut t = build();
+        t.subgoals[0].goal = Goal::new(
+            "Achieve[Weak]",
+            GoalClass::Achieve,
+            "",
+            parse("prev(a) => b || c").unwrap(),
+        );
+        assert_eq!(t.verify(), Some(false));
+    }
+
+    #[test]
+    fn verify_reports_none_for_unboundable_goals() {
+        let mut t = build();
+        t.subgoals[0].goal = Goal::new(
+            "Achieve[W]",
+            GoalClass::Achieve,
+            "",
+            parse("held_for(a, 5ticks) => b").unwrap(),
+        );
+        assert_eq!(t.verify(), None);
+    }
+
+    #[test]
+    fn dangling_citations_are_reported() {
+        let mut t = build();
+        t.elaboration[0].using_relationships.push(42);
+        assert_eq!(t.dangling_citations(), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage strategy must be chosen")]
+    fn finish_requires_strategy() {
+        let _ = IcpaBuilder::new(sample_goal()).finish();
+    }
+
+    #[test]
+    fn strategy_display_forms() {
+        let s = GoalAssignment::SharedResponsibility {
+            agents: vec!["DoorController".into(), "DriveController".into()],
+        };
+        assert_eq!(
+            s.to_string(),
+            "Shared Responsibility (DoorController & DriveController)"
+        );
+        let sc = GoalScope::Restrictive {
+            rationale: "worst-case actuator delays".into(),
+        };
+        assert_eq!(sc.to_string(), "Restrictive (worst-case actuator delays)");
+    }
+}

@@ -1,0 +1,60 @@
+//! Goal-oriented safety decomposition: the primary contribution of Black's
+//! *System Safety as an Emergent Property in Composite Systems* (CMU, 2009).
+//!
+//! Three pieces, matching the thesis's three contributions:
+//!
+//! 1. **Emergence formalism** ([`compose`]) — Chapter 3's definitions of
+//!    *fully composable*, *fully composable with redundancy*, *emergent but
+//!    partially composable* (with the hidden "demon" residual `X`), and the
+//!    redundant variant (with the "angel" residual `Y`), decided by model
+//!    enumeration over the goals' propositional unrolling, plus Darimont's
+//!    complete/partial and-reduction conditions.
+//!
+//! 2. **Indirect Control Path Analysis** ([`icpa`], [`system`], [`tactics`],
+//!    [`catalog`]) — Chapter 4's table-driven elaboration technique: trace
+//!    each goal variable backward through the architecture to every agent
+//!    that directly or indirectly controls it, record the indirect control
+//!    relationships formally, choose a goal coverage strategy, and apply
+//!    realizability tactics to derive subsystem subgoals with documented
+//!    critical assumptions.
+//!
+//! 3. **Goal model** ([`goal`], [`agent`], [`realizability`]) — the KAOS
+//!    substrate: goals as temporal-logic expressions with monitored and
+//!    controlled variable sets, agents with monitorability/controllability,
+//!    and the unrealizability taxonomy (lack of monitorability, lack of
+//!    control, reference to the future, unsatisfiability, not finitely
+//!    violable).
+//!
+//! # Quick example — decomposing a goal and classifying the result
+//!
+//! ```
+//! use esafe_core::compose::{classify, Composability};
+//! use esafe_logic::parse;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Parent goal: an object in the path implies the vehicle stops.
+//! let parent = parse("object_in_path -> stop_vehicle")?;
+//! // Subgoals assigned to collision avoidance (thesis eq. 3.5–3.6).
+//! let g1 = parse("object_in_path <-> ca.stop_vehicle")?;
+//! let g2 = parse("ca.stop_vehicle -> stop_vehicle")?;
+//! let c = classify(&parent, &[vec![g1, g2]])?;
+//! assert!(matches!(c, Composability::ComposableWithRestriction { .. }));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod agent;
+pub mod catalog;
+pub mod compose;
+pub mod goal;
+pub mod icpa;
+pub mod realizability;
+pub mod render;
+pub mod system;
+pub mod tactics;
+
+pub use agent::{Agent, AgentKind};
+pub use goal::{Goal, GoalClass};
+pub use icpa::{CoverageStrategy, GoalAssignment, GoalScope, IcpaBuilder, IcpaTable};
+pub use realizability::Unrealizability;
+pub use system::ControlGraph;

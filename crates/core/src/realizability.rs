@@ -1,0 +1,255 @@
+//! Goal realizability checking (thesis §2.3.2, §4.5.3).
+//!
+//! A goal `G(M, C)` is *strictly realizable* by an agent iff the agent can
+//! monitor every variable in `M` and control every variable in `C`.
+//! Letier & van Lamsweerde's unrealizability taxonomy is reproduced:
+//! lack of monitorability, lack of control, reference to the future,
+//! unsatisfiability, and not-finitely-violable goals.
+
+use crate::agent::Agent;
+use crate::goal::Goal;
+use esafe_logic::prop;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a goal is not realizable by a given agent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Unrealizability {
+    /// Past-referenced variables the agent cannot observe.
+    LackOfMonitorability {
+        /// The unobservable variables.
+        vars: BTreeSet<String>,
+    },
+    /// Present-referenced variables the agent can neither control nor even
+    /// observe.
+    LackOfControl {
+        /// The uncontrollable variables.
+        vars: BTreeSet<String>,
+    },
+    /// Present-referenced variables the agent can observe but not control:
+    /// satisfying the goal would require reacting to a value in the same
+    /// state it is produced, i.e. seeing the future (thesis §2.3.2's
+    /// *reference to future* for goals of the form `A ⇒ B`).
+    ReferenceToFuture {
+        /// The variables observed but not controlled in present position.
+        vars: BTreeSet<String>,
+    },
+    /// The goal admits no model at all.
+    Unsatisfiable,
+    /// The goal contains `eventually`/`next` and so can never be declared
+    /// violated after finitely many observations.
+    NotFinitelyViolable,
+}
+
+impl fmt::Display for Unrealizability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unrealizability::LackOfMonitorability { vars } => {
+                write!(f, "lack of monitorability: {}", join(vars))
+            }
+            Unrealizability::LackOfControl { vars } => {
+                write!(f, "lack of control: {}", join(vars))
+            }
+            Unrealizability::ReferenceToFuture { vars } => {
+                write!(f, "reference to future: {}", join(vars))
+            }
+            Unrealizability::Unsatisfiable => write!(f, "goal is unsatisfiable"),
+            Unrealizability::NotFinitelyViolable => {
+                write!(f, "goal is not finitely violable")
+            }
+        }
+    }
+}
+
+fn join(vars: &BTreeSet<String>) -> String {
+    vars.iter().cloned().collect::<Vec<_>>().join(", ")
+}
+
+/// Checks whether `goal` is strictly realizable by `agent`.
+///
+/// Returns `Ok(())` when realizable, or the complete list of obstructions.
+///
+/// # Example
+///
+/// ```
+/// use esafe_core::{Agent, AgentKind, Goal, GoalClass};
+/// use esafe_core::realizability::{check_realizable, Unrealizability};
+/// use esafe_logic::parse;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let goal = Goal::new("G", GoalClass::Maintain, "",
+///                      parse("prev(overweight) -> drive_stopped")?);
+/// let capable = Agent::new("DriveController", AgentKind::Software)
+///     .monitors(["overweight"]).controls(["drive_stopped"]);
+/// assert!(check_realizable(&goal, &capable).is_ok());
+///
+/// let blind = Agent::new("Blind", AgentKind::Software)
+///     .controls(["drive_stopped"]);
+/// let errs = check_realizable(&goal, &blind).unwrap_err();
+/// assert!(matches!(&errs[0], Unrealizability::LackOfMonitorability { .. }));
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_realizable(goal: &Goal, agent: &Agent) -> Result<(), Vec<Unrealizability>> {
+    let mut problems = Vec::new();
+
+    if goal.formal().uses_future() {
+        problems.push(Unrealizability::NotFinitelyViolable);
+    }
+
+    // Unsatisfiability — only decidable for propositionally unrollable
+    // goals; unboundable goals are skipped (conservative).
+    if let Ok(false) = prop::satisfiable(goal.formal()) {
+        problems.push(Unrealizability::Unsatisfiable);
+    }
+
+    let monitored = goal.monitored_vars();
+    let controlled = goal.controlled_vars();
+
+    let unmonitorable: BTreeSet<String> = monitored
+        .iter()
+        .filter(|v| !agent.can_monitor(v))
+        .cloned()
+        .collect();
+    if !unmonitorable.is_empty() {
+        problems.push(Unrealizability::LackOfMonitorability {
+            vars: unmonitorable,
+        });
+    }
+
+    let mut future_refs = BTreeSet::new();
+    let mut uncontrollable = BTreeSet::new();
+    for v in &controlled {
+        if agent.can_control(v) {
+            continue;
+        }
+        if agent.can_monitor(v) {
+            // Observable but present-positioned: monitored values are only
+            // known one state later, so acting on them now is a reference
+            // to the future.
+            future_refs.insert(v.clone());
+        } else {
+            uncontrollable.insert(v.clone());
+        }
+    }
+    if !future_refs.is_empty() {
+        problems.push(Unrealizability::ReferenceToFuture { vars: future_refs });
+    }
+    if !uncontrollable.is_empty() {
+        problems.push(Unrealizability::LackOfControl {
+            vars: uncontrollable,
+        });
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+/// Checks realizability of `goal` by a *coalition* of agents: the union of
+/// their monitor/control sets. Used for shared-responsibility coverage
+/// (thesis §4.5.1), where coordinated agents jointly realize a goal.
+pub fn check_realizable_by_all(
+    goal: &Goal,
+    agents: &[&Agent],
+) -> Result<(), Vec<Unrealizability>> {
+    use crate::agent::AgentKind;
+    let mut merged = Agent::new("<coalition>", AgentKind::Software);
+    for a in agents {
+        merged = merged
+            .controls(a.controlled_vars().iter().cloned())
+            .monitors(a.monitored_vars().iter().cloned());
+    }
+    check_realizable(goal, &merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentKind;
+    use crate::goal::GoalClass;
+    use esafe_logic::parse;
+
+    fn goal(src: &str) -> Goal {
+        Goal::new("G", GoalClass::Maintain, "", parse(src).unwrap())
+    }
+
+    #[test]
+    fn same_state_implication_needs_both_controlled() {
+        // A ⇒ B with A merely observable: reference to future.
+        let g = goal("a => b");
+        let ag = Agent::new("X", AgentKind::Software)
+            .monitors(["a"])
+            .controls(["b"]);
+        let errs = check_realizable(&g, &ag).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, Unrealizability::ReferenceToFuture { vars } if vars.contains("a"))));
+
+        // Both controlled: realizable.
+        let ag2 = Agent::new("X", AgentKind::Software).controls(["a", "b"]);
+        assert!(check_realizable(&g, &ag2).is_ok());
+    }
+
+    #[test]
+    fn prev_antecedent_with_observation_is_realizable() {
+        // ●A ⇒ B with A observable and B controllable: realizable.
+        let g = goal("prev(a) => b");
+        let ag = Agent::new("X", AgentKind::Software)
+            .monitors(["a"])
+            .controls(["b"]);
+        assert!(check_realizable(&g, &ag).is_ok());
+    }
+
+    #[test]
+    fn missing_everything_reports_both_kinds() {
+        let g = goal("prev(a) => b");
+        let ag = Agent::new("X", AgentKind::Software);
+        let errs = check_realizable(&g, &ag).unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, Unrealizability::LackOfMonitorability { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, Unrealizability::LackOfControl { .. })));
+    }
+
+    #[test]
+    fn unsatisfiable_goal_is_flagged() {
+        let g = goal("a && !a");
+        let ag = Agent::new("X", AgentKind::Software).controls(["a"]);
+        let errs = check_realizable(&g, &ag).unwrap_err();
+        assert!(errs.contains(&Unrealizability::Unsatisfiable));
+    }
+
+    #[test]
+    fn future_operators_are_not_finitely_violable() {
+        let g = goal("p => eventually(q)");
+        let ag = Agent::new("X", AgentKind::Software).controls(["p", "q"]);
+        let errs = check_realizable(&g, &ag).unwrap_err();
+        assert!(errs.contains(&Unrealizability::NotFinitelyViolable));
+    }
+
+    #[test]
+    fn coalition_merges_capabilities() {
+        let g = goal("prev(a) => b && c");
+        let a1 = Agent::new("A1", AgentKind::Software)
+            .monitors(["a"])
+            .controls(["b"]);
+        let a2 = Agent::new("A2", AgentKind::Software).controls(["c"]);
+        assert!(check_realizable(&g, &a1).is_err());
+        assert!(check_realizable_by_all(&g, &[&a1, &a2]).is_ok());
+    }
+
+    #[test]
+    fn display_messages_render() {
+        let e = Unrealizability::LackOfControl {
+            vars: ["x".to_owned()].into_iter().collect(),
+        };
+        assert_eq!(e.to_string(), "lack of control: x");
+    }
+}

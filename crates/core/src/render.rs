@@ -1,0 +1,226 @@
+//! Plain-text and Markdown rendering of goals, ICPA tables, and catalog
+//! tables — the documentation artifacts ICPA exists to produce.
+
+use crate::catalog::CatalogEntry;
+use crate::goal::Goal;
+use crate::icpa::IcpaTable;
+use crate::system::{ControlPath, PathStep};
+use std::fmt::Write as _;
+
+/// Renders a goal as a KAOS-style card (thesis Figure 2.6 layout).
+///
+/// ```
+/// use esafe_core::{Goal, GoalClass};
+/// use esafe_core::render::goal_card;
+/// use esafe_logic::parse;
+/// let g = Goal::new("Achieve[TrainProgress]", GoalClass::Achieve,
+///                   "The train shall progress through consecutive blocks.",
+///                   parse("on_block => eventually(on_next_block)").unwrap());
+/// let card = goal_card(&g);
+/// assert!(card.contains("InformalDef"));
+/// ```
+pub fn goal_card(goal: &Goal) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Goal: {}", goal.name());
+    let _ = writeln!(out, "InformalDef: {}", goal.informal());
+    let _ = writeln!(out, "FormalDef: {}", goal.formal());
+    out
+}
+
+/// Renders an indirect control path tree as an indented outline.
+pub fn control_path(path: &ControlPath) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Variable: {}", path.root);
+    for step in &path.branches {
+        render_step(step, 1, &mut out);
+    }
+    out
+}
+
+fn render_step(step: &PathStep, indent: usize, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "{}L{} {} (via {})",
+        "  ".repeat(indent),
+        step.level,
+        step.agent,
+        step.via
+    );
+    for c in &step.children {
+        render_step(c, indent + 1, out);
+    }
+}
+
+/// Renders a full ICPA table in the six-section layout of Figure 4.7.
+pub fn icpa_table(table: &IcpaTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Indirect Control Path Analysis ===");
+    let _ = writeln!(out, "\n-- System Safety Goal --");
+    out.push_str(&goal_card(&table.goal));
+
+    let _ = writeln!(out, "\n-- Indirect Control Paths --");
+    for p in &table.paths {
+        out.push_str(&control_path(p));
+    }
+
+    let _ = writeln!(out, "\n-- Indirect Control Relationships --");
+    for r in &table.relationships {
+        let _ = writeln!(
+            out,
+            "[{:02}] ({}) {}",
+            r.number,
+            r.subsystems.join(", "),
+            r.formal
+        );
+        if !r.comment.is_empty() {
+            let _ = writeln!(out, "     % {}", r.comment);
+        }
+    }
+
+    let _ = writeln!(out, "\n-- Goal Coverage Strategy --");
+    let _ = writeln!(out, "Goal Assignment: {}", table.strategy.assignment);
+    let _ = writeln!(out, "Goal Scope:      {}", table.strategy.scope);
+
+    let _ = writeln!(out, "\n-- Goal Elaboration --");
+    for e in &table.elaboration {
+        let refs = e
+            .using_relationships
+            .iter()
+            .map(|n| format!("{n:02}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "{}  [{}] — {} ({})", e.derived, refs, e.tactic, e.note);
+    }
+
+    let _ = writeln!(out, "\n-- Subsystem Safety Goals --");
+    for s in &table.subgoals {
+        let _ = writeln!(out, "Subsystem: {}", s.subsystem);
+        let _ = writeln!(out, "Controls: {}", s.controls.join(", "));
+        let _ = writeln!(out, "Observes: {}", s.observes.join(", "));
+        out.push_str(&goal_card(&s.goal));
+        out.push('\n');
+    }
+
+    match table.verify() {
+        Some(true) => {
+            let _ = writeln!(out, "[verified: subgoals + assumptions entail the goal]");
+        }
+        Some(false) => {
+            let _ = writeln!(
+                out,
+                "[not verified: subgoals + assumptions do not propositionally \
+                 entail the goal — check soundness, or verify inductively by \
+                 model checking / run-time monitoring (§4.4.3)]"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "[not propositionally checkable: verify by model checking or monitoring]");
+        }
+    }
+    out
+}
+
+/// Renders one Appendix-B-style catalog table as Markdown.
+pub fn catalog_markdown(title: &str, rows: &[CatalogEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}");
+    let _ = writeln!(out, "| Goal | Capabilities | Realizable | Alternative | Restrictive |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for row in rows {
+        let caps = row
+            .form
+            .var_names()
+            .iter()
+            .zip(&row.capabilities)
+            .map(|(n, c)| format!("{n}:{c}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let alt = row
+            .alternative
+            .as_ref()
+            .map(|e| format!("`{e}`"))
+            .unwrap_or_else(|| "—".to_owned());
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} | {} | {} |",
+            row.original,
+            caps,
+            if row.realizable_as_is { "yes" } else { "no" },
+            alt,
+            if row.restrictive { "yes" } else { "no" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, AgentKind};
+    use crate::catalog::{self, GoalForm, LiftPos, Shape};
+    use crate::goal::GoalClass;
+    use crate::icpa::{CoverageStrategy, GoalAssignment, GoalScope, IcpaBuilder};
+    use crate::system::ControlGraph;
+    use esafe_logic::parse;
+
+    #[test]
+    fn goal_card_has_three_lines() {
+        let g = Goal::new("Avoid[H]", GoalClass::Avoid, "never h", parse("!h").unwrap());
+        let card = goal_card(&g);
+        assert_eq!(card.lines().count(), 3);
+        assert!(card.contains("Avoid[H]"));
+        assert!(card.contains("never h"));
+    }
+
+    #[test]
+    fn icpa_rendering_contains_all_sections() {
+        let mut graph = ControlGraph::new();
+        graph.add_var("b", "");
+        graph.add_var("a", "");
+        graph.add_agent(
+            Agent::new("X", AgentKind::Software)
+                .controls(["b"])
+                .monitors(["a"]),
+        );
+        let table = IcpaBuilder::new(Goal::new(
+            "Maintain[G]",
+            GoalClass::Maintain,
+            "",
+            parse("prev(a) => b").unwrap(),
+        ))
+        .trace_paths(&graph)
+        .relationship(7, "b", ["X"], parse("b <-> b").unwrap(), "identity")
+        .strategy(CoverageStrategy {
+            assignment: GoalAssignment::SingleResponsibility { agent: "X".into() },
+            scope: GoalScope::Nonrestrictive,
+        })
+        .subgoal(
+            "X",
+            Goal::new("Achieve[S]", GoalClass::Achieve, "", parse("prev(a) => b").unwrap()),
+            ["b"],
+            ["a"],
+        )
+        .finish();
+        let text = icpa_table(&table);
+        for needle in [
+            "System Safety Goal",
+            "Indirect Control Paths",
+            "Indirect Control Relationships",
+            "Goal Coverage Strategy",
+            "Goal Elaboration",
+            "Subsystem Safety Goals",
+            "[07]",
+            "verified",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn catalog_markdown_renders_rows() {
+        let rows = catalog::table(&GoalForm::new(Shape::Simple, LiftPos::None));
+        let md = catalog_markdown("B.1 (excerpt)", &rows);
+        assert!(md.contains("| Goal |"));
+        assert!(md.lines().count() > rows.len());
+    }
+}

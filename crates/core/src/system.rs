@@ -1,0 +1,393 @@
+//! The control architecture: agents, variables, and indirect control paths.
+
+use crate::agent::{Agent, AgentKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A state variable in the architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Dotted variable name (e.g. `drive_command`).
+    pub name: String,
+    /// Whether the variable is produced by sensing the plant/environment
+    /// rather than written directly by an agent.
+    pub sensed: bool,
+    /// Free-text description for documentation output.
+    pub description: String,
+}
+
+/// One stop along an indirect control path: an agent that influences the
+/// root variable, the variable through which the influence flows, and the
+/// upstream agents that influence *it* (thesis Figure 4.4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// The influencing agent.
+    pub agent: String,
+    /// The variable this agent controls on the way to the root.
+    pub via: String,
+    /// Distance from the root variable (1 = nearest indirect control
+    /// source).
+    pub level: u32,
+    /// Upstream influencers of this agent's inputs.
+    pub children: Vec<PathStep>,
+}
+
+impl PathStep {
+    /// All agents along this path (pre-order, including this step).
+    pub fn agents(&self) -> Vec<&str> {
+        let mut out = vec![self.agent.as_str()];
+        for c in &self.children {
+            out.extend(c.agents());
+        }
+        out
+    }
+
+    /// Maximum depth (in levels) below this step, inclusive.
+    pub fn depth(&self) -> u32 {
+        1 + self.children.iter().map(PathStep::depth).max().unwrap_or(0)
+    }
+}
+
+/// The indirect control path tree for one goal variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlPath {
+    /// The goal variable being traced.
+    pub root: String,
+    /// Branches: one per direct/nearest influencer.
+    pub branches: Vec<PathStep>,
+}
+
+impl ControlPath {
+    /// All distinct agents anywhere on the path, in first-visit order.
+    pub fn all_agents(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for b in &self.branches {
+            for a in b.agents() {
+                if seen.insert(a.to_owned()) {
+                    out.push(a.to_owned());
+                }
+            }
+        }
+        out
+    }
+
+    /// Agents at a given level (1 = nearest the root variable).
+    pub fn agents_at_level(&self, level: u32) -> Vec<String> {
+        fn walk(step: &PathStep, level: u32, out: &mut Vec<String>) {
+            if step.level == level && !out.contains(&step.agent) {
+                out.push(step.agent.clone());
+            }
+            for c in &step.children {
+                walk(c, level, out);
+            }
+        }
+        let mut out = Vec::new();
+        for b in &self.branches {
+            walk(b, level, &mut out);
+        }
+        out
+    }
+
+    /// Number of branches at the first level.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+}
+
+/// The system's control architecture: variables, agents, and the physical
+/// influence links between actuated and sensed variables.
+///
+/// The graph answers the central ICPA question: *which agents directly or
+/// indirectly control a given state variable?* Tracing walks backward from
+/// a goal variable through (a) agents that directly control it, (b) for
+/// sensed variables, the physical links from actuated variables, and then
+/// recursively through each agent's input variables.
+///
+/// # Example
+///
+/// ```
+/// use esafe_core::{Agent, AgentKind, ControlGraph};
+///
+/// let mut g = ControlGraph::new();
+/// g.add_sensed_var("elevator_speed", "speed from the hall sensor");
+/// g.add_var("drive_speed", "physical drive speed");
+/// g.add_var("drive_command", "actuation signal to the drive");
+/// g.add_physical_link("drive_speed", "elevator_speed",
+///                     "drive moves the car; sensor measures it");
+/// g.add_agent(Agent::new("Drive", AgentKind::Actuator)
+///     .controls(["drive_speed"]).monitors(["drive_command"]));
+/// g.add_agent(Agent::new("DriveController", AgentKind::Software)
+///     .controls(["drive_command"]));
+/// let path = g.trace("elevator_speed");
+/// assert_eq!(path.all_agents(), vec!["Drive", "DriveController"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControlGraph {
+    vars: BTreeMap<String, Variable>,
+    agents: BTreeMap<String, Agent>,
+    /// (source actuated variable, target sensed variable, note)
+    physical_links: Vec<(String, String, String)>,
+}
+
+impl ControlGraph {
+    /// Creates an empty architecture.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a directly written variable.
+    pub fn add_var(&mut self, name: impl Into<String>, description: impl Into<String>) {
+        let name = name.into();
+        self.vars.insert(
+            name.clone(),
+            Variable {
+                name,
+                sensed: false,
+                description: description.into(),
+            },
+        );
+    }
+
+    /// Registers a sensed variable (no agent writes it directly).
+    pub fn add_sensed_var(&mut self, name: impl Into<String>, description: impl Into<String>) {
+        let name = name.into();
+        self.vars.insert(
+            name.clone(),
+            Variable {
+                name,
+                sensed: true,
+                description: description.into(),
+            },
+        );
+    }
+
+    /// Registers an agent.
+    pub fn add_agent(&mut self, agent: Agent) {
+        self.agents.insert(agent.name().to_owned(), agent);
+    }
+
+    /// Declares that the plant/environment carries influence from
+    /// `source_var` (typically actuated) into `target_var` (typically
+    /// sensed).
+    pub fn add_physical_link(
+        &mut self,
+        source_var: impl Into<String>,
+        target_var: impl Into<String>,
+        note: impl Into<String>,
+    ) {
+        self.physical_links
+            .push((source_var.into(), target_var.into(), note.into()));
+    }
+
+    /// Looks up a variable.
+    pub fn variable(&self, name: &str) -> Option<&Variable> {
+        self.vars.get(name)
+    }
+
+    /// Looks up an agent.
+    pub fn agent(&self, name: &str) -> Option<&Agent> {
+        self.agents.get(name)
+    }
+
+    /// All agents, in name order.
+    pub fn agents(&self) -> impl Iterator<Item = &Agent> {
+        self.agents.values()
+    }
+
+    /// All variables, in name order.
+    pub fn variables(&self) -> impl Iterator<Item = &Variable> {
+        self.vars.values()
+    }
+
+    /// Agents that directly control `var`.
+    pub fn direct_controllers(&self, var: &str) -> Vec<&Agent> {
+        self.agents
+            .values()
+            .filter(|a| a.can_control(var))
+            .collect()
+    }
+
+    /// Physical upstream variables influencing `var`.
+    pub fn physical_sources(&self, var: &str) -> Vec<&str> {
+        self.physical_links
+            .iter()
+            .filter(|(_, dst, _)| dst == var)
+            .map(|(src, _, _)| src.as_str())
+            .collect()
+    }
+
+    /// Traces the indirect control path of `root_var` (ICPA step 2).
+    ///
+    /// The trace walks backward: direct controllers of the variable form
+    /// level 1; each controller's input variables are traced recursively at
+    /// the next level. Physical links are followed without incrementing the
+    /// level (the actuator behind a sensed value is still the "nearest"
+    /// indirect control source — thesis §4.4.1). Cycles in the architecture
+    /// are cut at the repeated agent.
+    pub fn trace(&self, root_var: &str) -> ControlPath {
+        let mut visited = BTreeSet::new();
+        let branches = self.trace_var(root_var, 1, &mut visited);
+        ControlPath {
+            root: root_var.to_owned(),
+            branches,
+        }
+    }
+
+    fn trace_var(
+        &self,
+        var: &str,
+        level: u32,
+        visited: &mut BTreeSet<String>,
+    ) -> Vec<PathStep> {
+        let mut steps = Vec::new();
+        for agent in self.direct_controllers(var) {
+            if !visited.insert(agent.name().to_owned()) {
+                continue; // cycle: already on this path
+            }
+            let mut children = Vec::new();
+            for input in agent.inputs() {
+                children.extend(self.trace_var(input, level + 1, visited));
+            }
+            steps.push(PathStep {
+                agent: agent.name().to_owned(),
+                via: var.to_owned(),
+                level,
+                children,
+            });
+            visited.remove(agent.name());
+        }
+        // Sensed variables are reached through the plant from actuated ones.
+        for src in self.physical_sources(var) {
+            steps.extend(self.trace_var(src, level, visited));
+        }
+        steps
+    }
+
+    /// Convenience: agents of a given kind.
+    pub fn agents_of_kind(&self, kind: AgentKind) -> Vec<&Agent> {
+        self.agents.values().filter(|a| a.kind() == kind).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature of the thesis's Figure 4.5 elevator architecture.
+    fn elevator_graph() -> ControlGraph {
+        let mut g = ControlGraph::new();
+        g.add_sensed_var("elevator_speed", "hall sensor");
+        g.add_sensed_var("door_closed", "door closed switch");
+        g.add_var("drive_speed", "physical drive speed");
+        g.add_var("door_position", "physical door position");
+        g.add_var("drive_command", "to the drive");
+        g.add_var("door_motor_command", "to the door motor");
+        g.add_var("dispatch_request", "from the dispatcher");
+        g.add_var("car_call", "car call message");
+        g.add_physical_link("drive_speed", "elevator_speed", "plant");
+        g.add_physical_link("door_position", "door_closed", "plant");
+        g.add_agent(
+            Agent::new("Drive", AgentKind::Actuator)
+                .controls(["drive_speed"])
+                .monitors(["drive_command"]),
+        );
+        g.add_agent(
+            Agent::new("DoorMotor", AgentKind::Actuator)
+                .controls(["door_position"])
+                .monitors(["door_motor_command"]),
+        );
+        g.add_agent(
+            Agent::new("DriveController", AgentKind::Software)
+                .controls(["drive_command"])
+                .monitors(["dispatch_request"]),
+        );
+        g.add_agent(
+            Agent::new("DoorController", AgentKind::Software)
+                .controls(["door_motor_command"])
+                .monitors(["dispatch_request"]),
+        );
+        g.add_agent(
+            Agent::new("DispatchController", AgentKind::Software)
+                .controls(["dispatch_request"])
+                .monitors(["car_call"]),
+        );
+        g.add_agent(
+            Agent::new("CarButtonController", AgentKind::Software).controls(["car_call"]),
+        );
+        g.add_agent(
+            Agent::new("Passenger", AgentKind::Environment).controls(["door_closed"]),
+        );
+        g
+    }
+
+    #[test]
+    fn traces_through_physical_links_at_same_level() {
+        let g = elevator_graph();
+        let path = g.trace("elevator_speed");
+        // Drive is the nearest source (level 1), its controller level 2.
+        assert_eq!(path.agents_at_level(1), vec!["Drive".to_owned()]);
+        assert_eq!(
+            path.agents_at_level(2),
+            vec!["DriveController".to_owned()]
+        );
+        assert_eq!(
+            path.agents_at_level(3),
+            vec!["DispatchController".to_owned()]
+        );
+        assert_eq!(
+            path.agents_at_level(4),
+            vec!["CarButtonController".to_owned()]
+        );
+    }
+
+    #[test]
+    fn branched_variable_lists_all_branches() {
+        let g = elevator_graph();
+        let path = g.trace("door_closed");
+        // Branch 1: Passenger (environment). Branch 2: DoorMotor chain.
+        let agents = path.all_agents();
+        assert!(agents.contains(&"Passenger".to_owned()));
+        assert!(agents.contains(&"DoorMotor".to_owned()));
+        assert!(agents.contains(&"DoorController".to_owned()));
+    }
+
+    #[test]
+    fn cycles_are_cut() {
+        let mut g = ControlGraph::new();
+        g.add_var("a", "");
+        g.add_var("b", "");
+        g.add_agent(
+            Agent::new("X", AgentKind::Software)
+                .controls(["a"])
+                .monitors(["b"]),
+        );
+        g.add_agent(
+            Agent::new("Y", AgentKind::Software)
+                .controls(["b"])
+                .monitors(["a"]),
+        );
+        let path = g.trace("a");
+        // X at level 1, Y at level 2, and the recursion back into X stops.
+        assert_eq!(path.all_agents(), vec!["X".to_owned(), "Y".to_owned()]);
+        assert!(path.branches[0].depth() <= 3);
+    }
+
+    #[test]
+    fn direct_controllers_may_be_multiple() {
+        let mut g = ControlGraph::new();
+        g.add_var("hall_call", "broadcast message");
+        g.add_agent(Agent::new("H1", AgentKind::Software).controls(["hall_call"]));
+        g.add_agent(Agent::new("H2", AgentKind::Software).controls(["hall_call"]));
+        assert_eq!(g.direct_controllers("hall_call").len(), 2);
+        let path = g.trace("hall_call");
+        assert_eq!(path.branch_count(), 2);
+    }
+
+    #[test]
+    fn agents_of_kind_filters() {
+        let g = elevator_graph();
+        assert_eq!(g.agents_of_kind(AgentKind::Environment).len(), 1);
+        assert_eq!(g.agents_of_kind(AgentKind::Actuator).len(), 2);
+    }
+}

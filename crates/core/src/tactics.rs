@@ -1,0 +1,362 @@
+//! Goal elaboration and realizability tactics (thesis §4.1.2, §4.5).
+//!
+//! Each tactic takes a parent goal (and supporting data) and produces a
+//! [`TacticApplication`]: derived subgoals, the critical assumptions the
+//! derivation relies on, and — when the formulas are propositionally
+//! unrollable — a machine check that `subgoals ∧ assumptions ⊨ parent`.
+
+use esafe_logic::{prop, Expr, Operand, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The tactic catalog (Letier & van Lamsweerde's realizability tactics
+/// plus the thesis's restriction/coordination patterns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TacticKind {
+    /// Fig. 4.1(a): replace a variable by an accurate sensed image of it.
+    IntroduceAccuracyGoal,
+    /// Fig. 4.1(b): replace a predicate by an actuation command that
+    /// produces it.
+    IntroduceActuationGoal,
+    /// Fig. 4.2: `P ⇒ Q` via a middle variable: `P ⇒ M`, `M ⇒ Q`.
+    SplitByChaining,
+    /// Fig. 4.3: case-split the antecedent with a coverage condition.
+    SplitByCase,
+    /// §3.3.5 / §4.5.2: strengthen a disjunction by dropping disjuncts.
+    OrReduction,
+    /// §4.5.2: tighten a numeric threshold by a safety margin.
+    SafetyMargin,
+    /// §4.5.1 eq. 4.12–4.23: interlock variables coordinating two agents.
+    Interlock,
+    /// §4.5.1 eq. 4.24–4.30: a lockout agent gates another agent's action.
+    Lockout,
+}
+
+impl fmt::Display for TacticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TacticKind::IntroduceAccuracyGoal => "introduce accuracy goal",
+            TacticKind::IntroduceActuationGoal => "introduce actuation goal",
+            TacticKind::SplitByChaining => "split by chaining",
+            TacticKind::SplitByCase => "split by case",
+            TacticKind::OrReduction => "OR-reduction",
+            TacticKind::SafetyMargin => "safety margin",
+            TacticKind::Interlock => "interlock",
+            TacticKind::Lockout => "lockout",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of applying a tactic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TacticApplication {
+    /// Which tactic produced this.
+    pub tactic: TacticKind,
+    /// The derived subgoals.
+    pub subgoals: Vec<Expr>,
+    /// Critical assumptions (indirect control relationships, coverage
+    /// conditions, initial-state facts) the derivation relies on.
+    pub assumptions: Vec<Expr>,
+    /// `Some(true)` when `subgoals ∧ assumptions ⊨ parent` was machine
+    /// checked and holds; `Some(false)` when the check ran and failed;
+    /// `None` when the formulas are not propositionally checkable.
+    pub verified: Option<bool>,
+}
+
+impl TacticApplication {
+    fn checked(
+        tactic: TacticKind,
+        parent: &Expr,
+        subgoals: Vec<Expr>,
+        assumptions: Vec<Expr>,
+    ) -> Self {
+        let premises: Vec<&Expr> = subgoals.iter().chain(assumptions.iter()).collect();
+        let verified = prop::entails_invariant(&premises, parent).ok();
+        TacticApplication {
+            tactic,
+            subgoals,
+            assumptions,
+            verified,
+        }
+    }
+}
+
+/// Fig. 4.1(a) — *introduce accuracy goal*: rewrite `goal` to reference an
+/// observable image `image_var` of the unobservable `var`, with the
+/// accuracy assumption `□(var ⇔ image_var)`.
+pub fn introduce_accuracy(goal: &Expr, var: &str, image_var: &str) -> TacticApplication {
+    let rewritten = goal.rename_vars(&|v| {
+        if v == var {
+            image_var.to_owned()
+        } else {
+            v.to_owned()
+        }
+    });
+    let accuracy = Expr::iff(Expr::var(var), Expr::var(image_var));
+    TacticApplication::checked(
+        TacticKind::IntroduceAccuracyGoal,
+        goal,
+        vec![rewritten],
+        vec![accuracy],
+    )
+}
+
+/// Fig. 4.1(b) — *introduce actuation goal*: rewrite `goal` to reference a
+/// controllable actuation `command_var` whose effect is `var`, with the
+/// actuation assumption `□(command_var ⇔ var)`.
+///
+/// Real actuators respond with delay; the exact equivalence stands in for
+/// the delay relationships (eq. 4.2–4.5), which ICPA records as additional
+/// numbered assumptions.
+pub fn introduce_actuation(goal: &Expr, var: &str, command_var: &str) -> TacticApplication {
+    let mut app = introduce_accuracy(goal, var, command_var);
+    app.tactic = TacticKind::IntroduceActuationGoal;
+    app
+}
+
+/// Fig. 4.2 — *split lack of monitorability/controllability by chaining*:
+/// `P ⇒ Q` becomes `P ⇒ M` and `M ⇒ Q` through the middle expression `m`.
+pub fn split_by_chaining(p: &Expr, m: &Expr, q: &Expr) -> TacticApplication {
+    let parent = Expr::entails(p.clone(), q.clone());
+    let subgoals = vec![
+        Expr::entails(p.clone(), m.clone()),
+        Expr::entails(m.clone(), q.clone()),
+    ];
+    TacticApplication::checked(TacticKind::SplitByChaining, &parent, subgoals, vec![])
+}
+
+/// Fig. 4.3 — *split by case*: `P ⇒ Q` becomes one subgoal per case
+/// predicate, with the coverage assumption `P ⇒ (case₁ ∨ … ∨ caseₙ)`.
+pub fn split_by_case(p: &Expr, q: &Expr, cases: &[Expr]) -> TacticApplication {
+    let parent = Expr::entails(p.clone(), q.clone());
+    let subgoals: Vec<Expr> = cases
+        .iter()
+        .map(|c| Expr::entails(Expr::and(p.clone(), c.clone()), q.clone()))
+        .collect();
+    let coverage = Expr::entails(p.clone(), Expr::or_all(cases.to_vec()));
+    TacticApplication::checked(TacticKind::SplitByCase, &parent, subgoals, vec![coverage])
+}
+
+/// §3.3.5 — *OR-reduction*: strengthen a disjunctive goal by keeping a
+/// proper subset of disjuncts (see [`crate::compose::or_reduction`] for
+/// shape details). Returns `None` when the goal shape does not reduce.
+pub fn or_reduce(goal: &Expr, keep: &dyn Fn(&Expr) -> bool) -> Option<TacticApplication> {
+    let reduced = crate::compose::or_reduction(goal, keep)?;
+    Some(TacticApplication::checked(
+        TacticKind::OrReduction,
+        goal,
+        vec![reduced],
+        vec![],
+    ))
+}
+
+/// §4.5.2 — *safety margin*: tighten the numeric threshold of a comparison
+/// goal. For `var ≤ L` the subgoal becomes `var ≤ L − margin` (eq. 3.47 /
+/// 3.48, 4.31); for `var ≥ L`, `var ≥ L + margin`.
+///
+/// Returns `None` when the goal is not a one-sided numeric comparison.
+/// The entailment is arithmetic, which the propositional checker cannot
+/// see, so `verified` is reported from the margin's sign instead.
+pub fn safety_margin(goal: &Expr, margin: f64) -> Option<TacticApplication> {
+    fn tighten(e: &Expr, margin: f64) -> Option<Expr> {
+        match e {
+            Expr::Always(inner) => Some(Expr::always(tighten(inner, margin)?)),
+            Expr::Cmp { lhs, op, rhs } => {
+                let (var, lit, op) = match (lhs, rhs) {
+                    (Operand::Var(v), Operand::Lit(l)) => (v.clone(), l, *op),
+                    (Operand::Lit(l), Operand::Var(v)) => (v.clone(), l, op.flipped()),
+                    _ => return None,
+                };
+                let bound = lit.as_real()?;
+                use esafe_logic::CmpOp::*;
+                let new_bound = match op {
+                    Le | Lt => bound - margin,
+                    Ge | Gt => bound + margin,
+                    Eq | Ne => return None,
+                };
+                Some(Expr::Cmp {
+                    lhs: Operand::Var(var),
+                    op,
+                    rhs: Operand::Lit(Value::Real(new_bound)),
+                })
+            }
+            _ => None,
+        }
+    }
+    let sub = tighten(goal, margin)?;
+    Some(TacticApplication {
+        tactic: TacticKind::SafetyMargin,
+        subgoals: vec![sub],
+        assumptions: vec![],
+        verified: Some(margin >= 0.0),
+    })
+}
+
+/// §4.5.1 eq. 4.14–4.15 — *interlock*: coordinate two agents maintaining
+/// `□(A ∨ B)` through interlock variables `LA`, `LB`. Each agent may only
+/// negate its own condition after setting its lock and seeing the peer's
+/// lock clear in the previous state:
+///
+/// ```text
+/// ●(¬LA ∨ LB) ⇒ A        ●(¬LB ∨ LA) ⇒ B
+/// ```
+pub fn interlock(a: &str, b: &str, lock_a: &str, lock_b: &str) -> TacticApplication {
+    let parent = Expr::always(Expr::or(Expr::var(a), Expr::var(b)));
+    let g_a = Expr::entails(
+        Expr::prev(Expr::or(Expr::not(Expr::var(lock_a)), Expr::var(lock_b))),
+        Expr::var(a),
+    );
+    let g_b = Expr::entails(
+        Expr::prev(Expr::or(Expr::not(Expr::var(lock_b)), Expr::var(lock_a))),
+        Expr::var(b),
+    );
+    TacticApplication::checked(TacticKind::Interlock, &parent, vec![g_a, g_b], vec![])
+}
+
+/// §4.5.1 eq. 4.24–4.30 — *lockout*: a lockout agent `B` gates agent `A`'s
+/// control of `C`. The shared control relationship becomes
+/// `●(A ∧ B) ⇒ C` and `●(¬A ∨ ¬B) ⇒ ¬C`; both agents receive the safety
+/// subgoal to drop their enable after observing the danger `D`:
+///
+/// ```text
+/// ●D ⇒ ¬A        ●D ⇒ ¬B
+/// ```
+///
+/// The parent goal `●D ⇒ ¬C` follows from either subgoal plus the control
+/// relationship — redundant coverage against one agent failing.
+pub fn lockout(danger: &str, enable_a: &str, enable_b: &str, effect: &str) -> TacticApplication {
+    let parent = Expr::entails(
+        Expr::prev(Expr::prev(Expr::var(danger))),
+        Expr::not(Expr::var(effect)),
+    );
+    let ctrl_on = Expr::entails(
+        Expr::prev(Expr::and(Expr::var(enable_a), Expr::var(enable_b))),
+        Expr::var(effect),
+    );
+    let ctrl_off = Expr::entails(
+        Expr::prev(Expr::or(
+            Expr::not(Expr::var(enable_a)),
+            Expr::not(Expr::var(enable_b)),
+        )),
+        Expr::not(Expr::var(effect)),
+    );
+    let g_a = Expr::entails(Expr::prev(Expr::var(danger)), Expr::not(Expr::var(enable_a)));
+    let g_b = Expr::entails(Expr::prev(Expr::var(danger)), Expr::not(Expr::var(enable_b)));
+    TacticApplication::checked(
+        TacticKind::Lockout,
+        &parent,
+        vec![g_a, g_b],
+        vec![ctrl_on, ctrl_off],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::parse;
+
+    fn p(s: &str) -> Expr {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn accuracy_goal_verifies() {
+        let goal = p("overweight => stopped");
+        let app = introduce_accuracy(&goal, "overweight", "overweight_sensed");
+        assert_eq!(app.subgoals, vec![p("overweight_sensed => stopped")]);
+        assert_eq!(app.verified, Some(true));
+    }
+
+    #[test]
+    fn actuation_goal_rewrites_consequent() {
+        let goal = p("near_limit => stopped");
+        let app = introduce_actuation(&goal, "stopped", "drive_cmd_stop");
+        assert_eq!(app.subgoals, vec![p("near_limit => drive_cmd_stop")]);
+        assert_eq!(app.tactic, TacticKind::IntroduceActuationGoal);
+        assert_eq!(app.verified, Some(true));
+    }
+
+    #[test]
+    fn chaining_verifies() {
+        let app = split_by_chaining(&p("p"), &p("m"), &p("q"));
+        assert_eq!(app.subgoals.len(), 2);
+        assert_eq!(app.verified, Some(true));
+    }
+
+    #[test]
+    fn case_split_verifies_with_coverage() {
+        let app = split_by_case(&p("p"), &p("q"), &[p("f"), p("g")]);
+        assert_eq!(app.subgoals.len(), 2);
+        assert_eq!(app.assumptions.len(), 1);
+        assert_eq!(app.verified, Some(true));
+    }
+
+    #[test]
+    fn case_split_without_coverage_fails_verification() {
+        // Deliberately drop the coverage assumption: entailment must fail.
+        let mut app = split_by_case(&p("p"), &p("q"), &[p("f"), p("g")]);
+        app.assumptions.clear();
+        let premises: Vec<&Expr> = app.subgoals.iter().collect();
+        assert!(!prop::entails(&premises, &p("p => q")).unwrap());
+    }
+
+    #[test]
+    fn or_reduce_produces_verified_restriction() {
+        let goal = p("always(a || x)");
+        let app = or_reduce(&goal, &|e| *e == p("a")).unwrap();
+        assert_eq!(app.subgoals, vec![p("always(a)")]);
+        assert_eq!(app.verified, Some(true));
+    }
+
+    #[test]
+    fn safety_margin_tightens_upper_bound() {
+        let goal = p("always(va.value <= 2.0)");
+        let app = safety_margin(&goal, 0.5).unwrap();
+        assert_eq!(app.subgoals, vec![p("always(va.value <= 1.5)")]);
+        assert_eq!(app.verified, Some(true));
+    }
+
+    #[test]
+    fn safety_margin_raises_lower_bound_and_flips_literal_side() {
+        let goal = p("-2.5 <= vj.value");
+        let app = safety_margin(&goal, 0.5).unwrap();
+        assert_eq!(app.subgoals, vec![p("vj.value >= -2.0")]);
+    }
+
+    #[test]
+    fn safety_margin_rejects_equality_and_symbols() {
+        assert!(safety_margin(&p("cmd == 'STOP'"), 0.1).is_none());
+        assert!(safety_margin(&p("a && b"), 0.1).is_none());
+    }
+
+    #[test]
+    fn interlock_subgoals_jointly_cover_the_disjunction() {
+        let app = interlock("a", "b", "la", "lb");
+        assert_eq!(app.subgoals.len(), 2);
+        // (¬LA ∨ LB) ∨ (¬LB ∨ LA) is a tautology, so at every state at
+        // least one subgoal's antecedent held previously, forcing A or B.
+        assert_eq!(app.verified, Some(true));
+    }
+
+    #[test]
+    fn lockout_provides_redundant_coverage() {
+        let app = lockout("danger", "enable_a", "enable_b", "effect");
+        assert_eq!(app.verified, Some(true));
+        // Either subgoal alone (plus the control relationship) suffices.
+        let premises: Vec<&Expr> = std::iter::once(&app.subgoals[0])
+            .chain(app.assumptions.iter())
+            .collect();
+        let parent = Expr::entails(
+            Expr::prev(Expr::prev(Expr::var("danger"))),
+            Expr::not(Expr::var("effect")),
+        );
+        assert!(prop::entails_invariant(&premises, &parent).unwrap());
+    }
+
+    #[test]
+    fn tactic_kind_displays() {
+        assert_eq!(TacticKind::SplitByCase.to_string(), "split by case");
+        assert_eq!(TacticKind::OrReduction.to_string(), "OR-reduction");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the composability formalism and the
+//! realizability catalog.
+
+use esafe_core::catalog::{self, Capability, GoalForm, LiftPos, Shape};
+use esafe_core::compose::{self, Composability};
+use esafe_logic::{prop, Expr};
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn bool_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..VARS.len()).prop_map(|i| Expr::var(VARS[i]));
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Expr::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::implies(a, b)),
+        ]
+    })
+}
+
+fn capability() -> impl Strategy<Value = Capability> {
+    prop_oneof![
+        Just(Capability::Controllable),
+        Just(Capability::Observable),
+        Just(Capability::Unavailable),
+    ]
+}
+
+fn goal_form() -> impl Strategy<Value = GoalForm> {
+    let shape = prop_oneof![
+        Just(Shape::Simple),
+        Just(Shape::OrAntecedent),
+        Just(Shape::AndAntecedent),
+        Just(Shape::AndConsequent),
+        Just(Shape::OrConsequent),
+    ];
+    let lift = prop_oneof![
+        Just(LiftPos::None),
+        Just(LiftPos::FirstAntecedent),
+        Just(LiftPos::FirstConsequent),
+    ];
+    (shape, lift).prop_map(|(s, l)| GoalForm::new(s, l))
+}
+
+proptest! {
+    /// Classification verdicts honor their defining entailments.
+    #[test]
+    fn classification_matches_entailments(
+        parent in bool_expr(3),
+        g1 in bool_expr(2),
+        g2 in bool_expr(2),
+    ) {
+        let groups = vec![vec![g1.clone(), g2.clone()]];
+        let c = compose::classify(&parent, &groups).unwrap();
+        let conj = Expr::and(g1, g2);
+        let fwd = prop::entails(&[&conj], &parent).unwrap(); // C ⊨ G
+        let bwd = prop::entails(&[&parent], &conj).unwrap(); // G ⊨ C
+        match c {
+            Composability::FullyComposable => prop_assert!(fwd && bwd),
+            Composability::ComposableWithRestriction { .. } => prop_assert!(fwd && !bwd),
+            Composability::EmergentPartiallyComposable { .. } => prop_assert!(!fwd && bwd),
+            Composability::Emergent { .. } => prop_assert!(!fwd && !bwd),
+            other => prop_assert!(false, "single group cannot yield {other:?}"),
+        }
+    }
+
+    /// The weakest demon X always closes eq. 3.14 when G ⊨ C.
+    #[test]
+    fn weakest_demon_closes_equivalence(
+        parent in bool_expr(3),
+        g1 in bool_expr(2),
+    ) {
+        let subgoals = vec![g1.clone()];
+        if prop::entails(&[&parent], &g1).unwrap() {
+            let x = compose::weakest_demon(&parent, &subgoals);
+            let closed = Expr::and(g1, x);
+            prop_assert!(prop::equivalent(&closed, &parent).unwrap());
+        }
+    }
+
+    /// The weakest angel Y always closes eq. 3.23 when D ⊨ G.
+    #[test]
+    fn weakest_angel_closes_equivalence(
+        parent in bool_expr(3),
+        g1 in bool_expr(2),
+        g2 in bool_expr(2),
+    ) {
+        let groups = vec![vec![g1.clone()], vec![g2.clone()]];
+        let d = Expr::or(g1, g2);
+        if prop::entails(&[&d], &parent).unwrap() {
+            let y = compose::weakest_angel(&parent, &groups);
+            let closed = Expr::or(d, y);
+            prop_assert!(prop::equivalent(&closed, &parent).unwrap());
+        }
+    }
+
+    /// Conjunctive reductions are exact decompositions.
+    #[test]
+    fn conjunctive_reduction_is_exact(items in proptest::collection::vec(bool_expr(2), 2..4)) {
+        let goal = Expr::always(Expr::And(items));
+        if let Some(subs) = compose::conjunctive_reduction(&goal) {
+            let conj = Expr::and_all(subs);
+            prop_assert!(prop::equivalent(&conj, &goal).unwrap());
+        }
+    }
+
+    /// OR-reduction always yields a goal that entails the original and
+    /// never the reverse (strictly restrictive) for independent variables.
+    #[test]
+    fn or_reduction_is_strictly_restrictive(keep_first in any::<bool>()) {
+        let goal = Expr::always(Expr::or(Expr::var("a"), Expr::var("b")));
+        let target = if keep_first { Expr::var("a") } else { Expr::var("b") };
+        let reduced = compose::or_reduction(&goal, &|e| *e == target).unwrap();
+        prop_assert!(prop::entails(&[&reduced], &goal).unwrap());
+        prop_assert!(!prop::entails(&[&goal], &reduced).unwrap());
+    }
+
+    /// Every catalog row's emitted alternative is sound (entails the
+    /// original as an invariant), and realizable rows echo the original.
+    #[test]
+    fn catalog_rows_are_sound(
+        form in goal_form(),
+        caps in proptest::collection::vec(capability(), 3),
+    ) {
+        let n = form.shape.var_count();
+        let entry = catalog::resolve(&form, &caps[..n]);
+        if let Some(alt) = &entry.alternative {
+            prop_assert!(
+                prop::entails_invariant(&[alt], &entry.original).unwrap(),
+                "{alt} must entail {}", entry.original
+            );
+            if entry.realizable_as_is {
+                prop_assert_eq!(alt, &entry.original);
+                prop_assert!(!entry.restrictive);
+            }
+            if !entry.restrictive {
+                prop_assert!(
+                    prop::entails_invariant(&[&entry.original], alt).unwrap(),
+                    "nonrestrictive {alt} must be equivalent to {}", entry.original
+                );
+            }
+        }
+    }
+
+    /// All-controllable capability assignments always realize the original.
+    #[test]
+    fn full_control_is_always_realizable(form in goal_form()) {
+        let n = form.shape.var_count();
+        let entry = catalog::resolve(&form, &vec![Capability::Controllable; n]);
+        prop_assert!(entry.realizable_as_is);
+    }
+
+    /// Darimont condition 1 (entailment) agrees with a direct prop check.
+    #[test]
+    fn and_reduction_condition_one(
+        parent in bool_expr(3),
+        subs in proptest::collection::vec(bool_expr(2), 1..4),
+    ) {
+        let report = compose::and_reduction(&subs, &parent).unwrap();
+        let refs: Vec<&Expr> = subs.iter().collect();
+        prop_assert_eq!(report.entails_parent, prop::entails(&refs, &parent).unwrap());
+    }
+}

@@ -1,0 +1,470 @@
+//! The software control agents: button latches, dispatcher, door and
+//! drive controllers, and the emergency brake.
+
+use crate::faults::ElevatorFaults;
+use crate::model::{self as m, ElevatorParams};
+use esafe_logic::{State, Value};
+use esafe_sim::{SimTime, Subsystem};
+
+fn real(state: &State, name: &str, default: f64) -> f64 {
+    state.get(name).and_then(Value::as_real).unwrap_or(default)
+}
+
+fn boolean(state: &State, name: &str) -> bool {
+    state.get(name).and_then(Value::as_bool).unwrap_or(false)
+}
+
+fn symbol<'a>(state: &'a State, name: &str, default: &'a str) -> &'a str {
+    match state.get(name) {
+        Some(Value::Sym(s)) => s.as_str(),
+        _ => default,
+    }
+}
+
+/// Latches raw button presses into pending calls (the
+/// `CarButtonController`/`HallButtonController` agents of Fig. 4.5).
+/// A call clears when the car is at the floor with the door open.
+#[derive(Debug)]
+pub struct ButtonLatches {
+    params: ElevatorParams,
+}
+
+impl ButtonLatches {
+    /// Creates the latch bank.
+    pub fn new(params: ElevatorParams) -> Self {
+        ButtonLatches { params }
+    }
+}
+
+impl Subsystem for ButtonLatches {
+    fn name(&self) -> &str {
+        "ButtonLatches"
+    }
+
+    fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+        let at_floor = real(prev, m::FLOOR, 0.0) as u32;
+        // Clear on the same fully-open sensor the dispatcher's dwell uses,
+        // so the serving window and the dwell window meet.
+        let door_open = boolean(prev, m::DOOR_OPEN);
+        let stopped = boolean(prev, m::ELEVATOR_STOPPED);
+        for f in 0..self.params.floors {
+            let serving = door_open && stopped && at_floor == f;
+            for (button, call) in [
+                (m::car_button(f), m::car_call(f)),
+                (m::hall_button(f), m::hall_call(f)),
+            ] {
+                let latched = boolean(prev, &call);
+                let pressed = boolean(prev, &button);
+                next.set(call, (latched || pressed) && !serving);
+            }
+        }
+    }
+}
+
+/// Schedules the next destination from pending calls and requests door
+/// cycles at landings (the `DispatchController` agent).
+#[derive(Debug)]
+pub struct DispatchController {
+    params: ElevatorParams,
+    faults: ElevatorFaults,
+    dwell_ticks_left: u64,
+    door_was_open: bool,
+}
+
+impl DispatchController {
+    /// Creates the dispatcher.
+    pub fn new(params: ElevatorParams, faults: ElevatorFaults) -> Self {
+        DispatchController {
+            params,
+            faults,
+            dwell_ticks_left: 0,
+            door_was_open: false,
+        }
+    }
+
+    fn nearest_call(&self, prev: &State, from_floor: u32) -> Option<u32> {
+        (0..self.params.floors)
+            .filter(|f| boolean(prev, &m::car_call(*f)) || boolean(prev, &m::hall_call(*f)))
+            .min_by_key(|f| u32::abs_diff(*f, from_floor))
+    }
+}
+
+impl Subsystem for DispatchController {
+    fn name(&self) -> &str {
+        "DispatchController"
+    }
+
+    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
+        let p = &self.params;
+        let position = real(prev, m::POSITION, 0.0);
+        let stopped = boolean(prev, m::ELEVATOR_STOPPED);
+        let here = p.floor_at(position);
+        let target = real(prev, m::DISPATCH_TARGET, 0.0) as u32;
+        let at_target =
+            stopped && (position - p.floor_height(target)).abs() < 0.05;
+
+        let dwell_ticks = (p.door_dwell_s * 1000.0 / t.dt_millis as f64) as u64;
+        let door_open = boolean(prev, m::DOOR_OPEN);
+
+        if at_target && door_open && !self.door_was_open {
+            // Door just reached fully open at the landing: start the dwell
+            // countdown (once per opening).
+            self.dwell_ticks_left = dwell_ticks;
+        }
+        self.door_was_open = door_open;
+        if self.dwell_ticks_left > 0 {
+            self.dwell_ticks_left -= 1;
+        }
+
+        let serving_here = at_target
+            && (boolean(prev, &m::car_call(here)) || boolean(prev, &m::hall_call(here)));
+        let want_door_open = at_target && (serving_here || self.dwell_ticks_left > 0);
+        next.set(
+            m::DISPATCH_DOOR_REQUEST,
+            Value::sym(if want_door_open { "OPEN" } else { "CLOSE" }),
+        );
+
+        // Retarget only while parked with the door (sensed) shut and no
+        // dwell. The `drive_ignores_door` fault models a missing
+        // door/drive interlock in this dispatch path as well.
+        let door_closed_now = boolean(prev, m::DOOR_CLOSED);
+        let interlock = door_closed_now || self.faults.drive_ignores_door;
+        if at_target && interlock && self.dwell_ticks_left == 0 {
+            if let Some(next_target) = self.nearest_call(prev, here) {
+                next.set(m::DISPATCH_TARGET, i64::from(next_target));
+            }
+        }
+    }
+}
+
+/// The `DoorController` agent, carrying its Table 4.4 safety subgoal:
+/// *if the door is not blocked and the elevator is moving or has been
+/// commanded to move, command the door to CLOSE.*
+#[derive(Debug)]
+pub struct DoorController {
+    #[allow(dead_code)]
+    params: ElevatorParams,
+    faults: ElevatorFaults,
+}
+
+impl DoorController {
+    /// Creates the door controller.
+    pub fn new(params: ElevatorParams, faults: ElevatorFaults) -> Self {
+        DoorController { params, faults }
+    }
+}
+
+impl Subsystem for DoorController {
+    fn name(&self) -> &str {
+        "DoorController"
+    }
+
+    fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+        let blocked = boolean(prev, m::DOOR_BLOCKED);
+        let stopped = boolean(prev, m::ELEVATOR_STOPPED);
+        let drive_cmd = symbol(prev, m::DRIVE_COMMAND, "STOP");
+        let request = symbol(prev, m::DISPATCH_DOOR_REQUEST, "CLOSE");
+
+        // Door-reversal safety goal (eq. 4.7): a blocked door opens, with
+        // priority over everything else.
+        // Early-open fault: opens as soon as the car is in the target
+        // floor's band, even while still decelerating.
+        let target = real(prev, m::DISPATCH_TARGET, 0.0) as u32;
+        let here = real(prev, m::FLOOR, 0.0) as u32;
+        let early_open = self.faults.door_opens_while_moving && here == target && !stopped;
+
+        let cmd = if blocked {
+            "OPEN"
+        } else if early_open {
+            "OPEN"
+        } else if !stopped || drive_cmd != "STOP" {
+            // Table 4.4 subgoal: close when moving or commanded to move.
+            "CLOSE"
+        } else {
+            request
+        };
+        next.set(m::DOOR_MOTOR_COMMAND, Value::sym(cmd));
+    }
+}
+
+/// The `DriveController` agent, carrying three safety subgoals:
+/// Table 4.4's *stop when the door is open or has been commanded open*,
+/// Fig. 4.6's overweight stop, and Fig. 4.10's primary hoistway guard.
+#[derive(Debug)]
+pub struct DriveController {
+    params: ElevatorParams,
+    faults: ElevatorFaults,
+    stuck_up: bool,
+}
+
+impl DriveController {
+    /// Creates the drive controller.
+    pub fn new(params: ElevatorParams, faults: ElevatorFaults) -> Self {
+        DriveController {
+            params,
+            faults,
+            stuck_up: false,
+        }
+    }
+
+    /// Distance needed to stop from full speed, plus the restrictive
+    /// safety margin (§4.5.2).
+    fn guard_distance(&self) -> f64 {
+        let p = &self.params;
+        p.max_speed * p.max_speed / (2.0 * p.accel) + p.stop_margin_m
+    }
+}
+
+impl Subsystem for DriveController {
+    fn name(&self) -> &str {
+        "DriveController"
+    }
+
+    fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+        let p = &self.params;
+        let position = real(prev, m::POSITION, 0.0);
+        let door_closed = boolean(prev, m::DOOR_CLOSED);
+        let door_cmd = symbol(prev, m::DOOR_MOTOR_COMMAND, "CLOSE");
+        let overweight = boolean(prev, m::OVERWEIGHT);
+        let target = real(prev, m::DISPATCH_TARGET, 0.0) as u32;
+        let target_pos = p.floor_height(target);
+
+        let door_unsafe = !door_closed || door_cmd == "OPEN";
+        if door_unsafe && !self.faults.drive_ignores_door {
+            next.set(m::DRIVE_COMMAND, Value::sym("STOP"));
+            return;
+        }
+        if overweight && !self.faults.overweight_ignored {
+            next.set(m::DRIVE_COMMAND, Value::sym("STOP"));
+            return;
+        }
+        // The `hoistway_guard_missing` fault is a runaway: once the
+        // controller commands UP it never re-evaluates, and the primary
+        // hoistway guard below is also absent.
+        if self.faults.hoistway_guard_missing {
+            if self.stuck_up || target_pos > position + 0.1 {
+                self.stuck_up = true;
+                next.set(m::DRIVE_COMMAND, Value::sym("UP"));
+                return;
+            }
+        }
+
+        // Position tracking with a stopping-distance approach window.
+        let speed = real(prev, m::ELEVATOR_SPEED, 0.0);
+        let braking = speed * speed / (2.0 * p.accel) + 0.02;
+        let error = target_pos - position;
+        let mut cmd = if error > braking {
+            "UP"
+        } else if error < -braking {
+            "DOWN"
+        } else {
+            "STOP"
+        };
+        // Primary hoistway guard (redundancy leg 1): upward motion is
+        // forbidden inside the guard band no matter what the dispatcher
+        // asked for.
+        if !self.faults.hoistway_guard_missing
+            && cmd == "UP"
+            && position >= p.hoistway_limit_m - self.guard_distance()
+        {
+            cmd = "STOP";
+        }
+        next.set(m::DRIVE_COMMAND, Value::sym(cmd));
+    }
+}
+
+/// The emergency-brake agent: the *secondary* redundancy leg of the
+/// hoistway goal (Fig. 4.11), latching when the car passes the tighter
+/// emergency margin.
+#[derive(Debug)]
+pub struct EmergencyBrake {
+    params: ElevatorParams,
+    faults: ElevatorFaults,
+}
+
+impl EmergencyBrake {
+    /// Creates the emergency brake controller.
+    pub fn new(params: ElevatorParams, faults: ElevatorFaults) -> Self {
+        EmergencyBrake { params, faults }
+    }
+}
+
+impl Subsystem for EmergencyBrake {
+    fn name(&self) -> &str {
+        "EmergencyBrake"
+    }
+
+    fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+        if self.faults.ebrake_inoperative {
+            return;
+        }
+        let p = &self.params;
+        let position = real(prev, m::POSITION, 0.0);
+        let speed = real(prev, m::ELEVATOR_SPEED, 0.0);
+        let braking = speed * speed / (2.0 * p.ebrake_decel);
+        let latched = boolean(prev, m::EMERGENCY_BRAKE);
+        if latched || (speed > 0.0 && position + braking >= p.hoistway_limit_m - p.ebrake_margin_m)
+        {
+            next.set(m::EMERGENCY_BRAKE, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> State {
+        m::initial_state(&ElevatorParams::default())
+    }
+
+    fn tick(s: &mut dyn Subsystem, prev: &State) -> State {
+        let mut next = prev.clone();
+        s.step(
+            &SimTime {
+                tick: 1,
+                dt_millis: 10,
+            },
+            prev,
+            &mut next,
+        );
+        next
+    }
+
+    #[test]
+    fn latch_holds_until_served() {
+        let p = ElevatorParams::default();
+        let mut latches = ButtonLatches::new(p);
+        let mut s = base();
+        s.set(m::car_button(3), true);
+        let s2 = tick(&mut latches, &s);
+        assert!(boolean(&s2, &m::car_call(3)));
+        // Press released: the call stays latched.
+        let mut s3 = s2.clone();
+        s3.set(m::car_button(3), false);
+        let s4 = tick(&mut latches, &s3);
+        assert!(boolean(&s4, &m::car_call(3)));
+        // Serving the floor clears it.
+        let mut s5 = s4.clone();
+        s5.set(m::FLOOR, 3.0);
+        s5.set(m::DOOR_OPEN, true);
+        s5.set(m::ELEVATOR_STOPPED, true);
+        let s6 = tick(&mut latches, &s5);
+        assert!(!boolean(&s6, &m::car_call(3)));
+    }
+
+    #[test]
+    fn dispatcher_targets_nearest_call() {
+        let p = ElevatorParams::default();
+        let mut d = DispatchController::new(p, ElevatorFaults::none());
+        let mut s = base();
+        s.set(m::car_call(4), true);
+        s.set(m::car_call(1), true);
+        let s2 = tick(&mut d, &s);
+        assert_eq!(s2.get(m::DISPATCH_TARGET), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn door_controller_closes_while_moving() {
+        let p = ElevatorParams::default();
+        let mut dc = DoorController::new(p, ElevatorFaults::none());
+        let mut s = base();
+        s.set(m::ELEVATOR_STOPPED, false);
+        s.set(m::DISPATCH_DOOR_REQUEST, Value::sym("OPEN"));
+        let s2 = tick(&mut dc, &s);
+        assert_eq!(s2.get(m::DOOR_MOTOR_COMMAND), Some(&Value::sym("CLOSE")));
+    }
+
+    #[test]
+    fn door_reversal_beats_everything() {
+        let p = ElevatorParams::default();
+        let mut dc = DoorController::new(p, ElevatorFaults::none());
+        let mut s = base();
+        s.set(m::DOOR_BLOCKED, true);
+        s.set(m::ELEVATOR_STOPPED, false);
+        let s2 = tick(&mut dc, &s);
+        assert_eq!(s2.get(m::DOOR_MOTOR_COMMAND), Some(&Value::sym("OPEN")));
+    }
+
+    #[test]
+    fn faulty_door_controller_opens_while_moving() {
+        let p = ElevatorParams::default();
+        let faults = ElevatorFaults {
+            door_opens_while_moving: true,
+            ..ElevatorFaults::none()
+        };
+        let mut dc = DoorController::new(p, faults);
+        let mut s = base();
+        s.set(m::ELEVATOR_STOPPED, false);
+        s.set(m::DISPATCH_DOOR_REQUEST, Value::sym("OPEN"));
+        let s2 = tick(&mut dc, &s);
+        assert_eq!(s2.get(m::DOOR_MOTOR_COMMAND), Some(&Value::sym("OPEN")));
+    }
+
+    #[test]
+    fn drive_stops_for_open_door_and_overweight() {
+        let p = ElevatorParams::default();
+        let mut drv = DriveController::new(p, ElevatorFaults::none());
+        let mut s = base();
+        s.set(m::DISPATCH_TARGET, 3i64);
+        s.set(m::DOOR_CLOSED, false);
+        let s2 = tick(&mut drv, &s);
+        assert_eq!(s2.get(m::DRIVE_COMMAND), Some(&Value::sym("STOP")));
+        s.set(m::DOOR_CLOSED, true);
+        s.set(m::OVERWEIGHT, true);
+        let s3 = tick(&mut drv, &s);
+        assert_eq!(s3.get(m::DRIVE_COMMAND), Some(&Value::sym("STOP")));
+        s.set(m::OVERWEIGHT, false);
+        let s4 = tick(&mut drv, &s);
+        assert_eq!(s4.get(m::DRIVE_COMMAND), Some(&Value::sym("UP")));
+    }
+
+    #[test]
+    fn hoistway_guard_blocks_upward_motion_near_limit() {
+        let p = ElevatorParams::default();
+        let mut drv = DriveController::new(p, ElevatorFaults::none());
+        let mut s = base();
+        // A corrupted dispatch target far above the hoistway would drive
+        // the car up; the guard must refuse inside the band.
+        s.set(m::DISPATCH_TARGET, 10i64);
+        s.set(m::POSITION, p.hoistway_limit_m - 0.5);
+        let s2 = tick(&mut drv, &s);
+        assert_eq!(s2.get(m::DRIVE_COMMAND), Some(&Value::sym("STOP")));
+        // Downward motion is still allowed near the top.
+        s.set(m::DISPATCH_TARGET, 0i64);
+        let s3 = tick(&mut drv, &s);
+        assert_eq!(s3.get(m::DRIVE_COMMAND), Some(&Value::sym("DOWN")));
+    }
+
+    #[test]
+    fn ebrake_latches_near_the_limit() {
+        let p = ElevatorParams::default();
+        let mut eb = EmergencyBrake::new(p, ElevatorFaults::none());
+        let mut s = base();
+        s.set(m::POSITION, p.hoistway_limit_m - 0.2);
+        s.set(m::ELEVATOR_SPEED, 2.0);
+        let s2 = tick(&mut eb, &s);
+        assert!(boolean(&s2, m::EMERGENCY_BRAKE));
+        // Latched even after the hazard clears.
+        let mut s3 = s2.clone();
+        s3.set(m::ELEVATOR_SPEED, 0.0);
+        s3.set(m::POSITION, 1.0);
+        let s4 = tick(&mut eb, &s3);
+        assert!(boolean(&s4, m::EMERGENCY_BRAKE));
+    }
+
+    #[test]
+    fn inoperative_ebrake_never_fires() {
+        let p = ElevatorParams::default();
+        let faults = ElevatorFaults {
+            ebrake_inoperative: true,
+            ..ElevatorFaults::none()
+        };
+        let mut eb = EmergencyBrake::new(p, faults);
+        let mut s = base();
+        s.set(m::POSITION, p.hoistway_limit_m);
+        s.set(m::ELEVATOR_SPEED, 2.0);
+        let s2 = tick(&mut eb, &s);
+        assert!(!boolean(&s2, m::EMERGENCY_BRAKE));
+    }
+}

@@ -1,0 +1,71 @@
+//! Fault injection for the elevator: the failure modes the hierarchical
+//! monitors are supposed to detect.
+
+use serde::{Deserialize, Serialize};
+
+/// Injectable faults. Each corresponds to a violation of one of the
+/// Chapter 4 subgoals (or of a critical assumption), so monitoring the
+/// subgoals localizes the fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ElevatorFaults {
+    /// DriveController ignores the door state: violates
+    /// `Achieve[StopElevatorWhenDoorOpenOrOpened]` and, through it,
+    /// `Maintain[DoorClosedOrElevatorStopped]`.
+    pub drive_ignores_door: bool,
+    /// DoorController opens at the target floor without checking motion:
+    /// violates `Achieve[CloseDoorWhenElevatorMovingOrMoved]`.
+    pub door_opens_while_moving: bool,
+    /// DriveController ignores the weight sensor: violates
+    /// `Maintain[DriveStoppedWhenOverweight]`'s subgoal.
+    pub overweight_ignored: bool,
+    /// DriveController misses the hoistway guard (primary redundancy
+    /// leg): the emergency brake should still catch the car — a subgoal
+    /// violation masked at the system level (false positive).
+    pub hoistway_guard_missing: bool,
+    /// Emergency brake also inoperative: with the primary guard missing
+    /// too, the system goal `Maintain[ElevatorBelowHoistwayUpperLimit]`
+    /// is violated.
+    pub ebrake_inoperative: bool,
+    /// The door-closed sensor sticks at `true`: a violated critical
+    /// assumption — subgoals stay clean while the system goal fails
+    /// (false negative / emergence).
+    pub door_sensor_stuck_closed: bool,
+}
+
+impl ElevatorFaults {
+    /// No faults: the correctly built elevator.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Number of enabled faults.
+    pub fn count(&self) -> usize {
+        [
+            self.drive_ignores_door,
+            self.door_opens_while_moving,
+            self.overweight_ignored,
+            self.hoistway_guard_missing,
+            self.ebrake_inoperative,
+            self.door_sensor_stuck_closed,
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_zero_faults() {
+        assert_eq!(ElevatorFaults::none().count(), 0);
+        let f = ElevatorFaults {
+            drive_ignores_door: true,
+            ebrake_inoperative: true,
+            ..ElevatorFaults::none()
+        };
+        assert_eq!(f.count(), 2);
+    }
+}

@@ -1,0 +1,412 @@
+//! The Chapter 4 ICPA worked examples: the Figure 4.5 control
+//! architecture and the Tables 4.1–4.4 analysis of
+//! `Maintain[DoorClosedOrElevatorStopped]`, plus the single- and
+//! redundant-responsibility analyses of Figures 4.6 and 4.9–4.11.
+
+use crate::goals;
+use crate::model::{self as m, ElevatorParams};
+use esafe_core::icpa::{CoverageStrategy, GoalAssignment, GoalScope};
+use esafe_core::tactics::TacticKind;
+use esafe_core::{Agent, AgentKind, ControlGraph, IcpaBuilder, IcpaTable};
+use esafe_logic::parse;
+
+/// Builds the Figure 4.5 architecture.
+pub fn control_graph(params: &ElevatorParams) -> ControlGraph {
+    let mut g = ControlGraph::new();
+
+    g.add_sensed_var(m::DOOR_CLOSED, "door closed switch");
+    g.add_sensed_var(m::DOOR_BLOCKED, "door light curtain");
+    g.add_sensed_var(m::ELEVATOR_SPEED, "hoistway speed sensor");
+    g.add_sensed_var(m::ELEVATOR_STOPPED, "derived stopped band");
+    g.add_sensed_var(m::ELEVATOR_WEIGHT, "load cell");
+    g.add_sensed_var(m::OVERWEIGHT, "derived weight threshold flag");
+    g.add_sensed_var(m::POSITION, "hoistway position encoder");
+    g.add_var(m::EMERGENCY_BRAKE, "emergency brake trigger");
+    g.add_var("drive_speed", "physical drive speed");
+    g.add_var("door_position_physical", "physical door position");
+    g.add_var(m::DRIVE_COMMAND, "actuation signal to the drive");
+    g.add_var(m::DOOR_MOTOR_COMMAND, "actuation signal to the door motor");
+    g.add_var(m::DISPATCH_TARGET, "dispatch request");
+    g.add_var("car_call", "car call message");
+    g.add_var("hall_call", "hall call message");
+    g.add_var("car_button_press", "physical car button");
+    g.add_var("hall_button_press", "physical hall button");
+
+    g.add_physical_link("drive_speed", m::ELEVATOR_SPEED, "car motion sensed");
+    g.add_physical_link("drive_speed", m::ELEVATOR_STOPPED, "stopped band derived");
+    g.add_physical_link("drive_speed", m::POSITION, "position integrates motion");
+    g.add_physical_link(
+        "door_position_physical",
+        m::DOOR_CLOSED,
+        "door position sensed at the closed switch",
+    );
+
+    g.add_agent(
+        Agent::new("Drive", AgentKind::Actuator)
+            .controls(["drive_speed"])
+            .monitors([m::DRIVE_COMMAND]),
+    );
+    g.add_agent(
+        Agent::new("DoorMotor", AgentKind::Actuator)
+            .controls(["door_position_physical"])
+            .monitors([m::DOOR_MOTOR_COMMAND]),
+    );
+    g.add_agent(
+        Agent::new("DriveController", AgentKind::Software)
+            .controls([m::DRIVE_COMMAND])
+            .monitors([
+                m::DISPATCH_TARGET,
+                m::DOOR_CLOSED,
+                m::DOOR_MOTOR_COMMAND,
+                m::OVERWEIGHT,
+                m::POSITION,
+                m::ELEVATOR_SPEED,
+            ]),
+    );
+    g.add_agent(
+        Agent::new("DoorController", AgentKind::Software)
+            .controls([m::DOOR_MOTOR_COMMAND])
+            .monitors([
+                m::DISPATCH_TARGET,
+                m::ELEVATOR_SPEED,
+                m::ELEVATOR_STOPPED,
+                m::DRIVE_COMMAND,
+                m::DOOR_BLOCKED,
+            ]),
+    );
+    g.add_agent(
+        Agent::new("EmergencyBrake", AgentKind::Software)
+            .controls([m::EMERGENCY_BRAKE])
+            .monitors([m::POSITION, m::ELEVATOR_SPEED]),
+    );
+    g.add_agent(
+        Agent::new("DispatchController", AgentKind::Software)
+            .controls([m::DISPATCH_TARGET])
+            .monitors(["car_call", "hall_call"]),
+    );
+    g.add_agent(
+        Agent::new("CarButtonController", AgentKind::Software)
+            .controls(["car_call"])
+            .monitors(["car_button_press"]),
+    );
+    g.add_agent(
+        Agent::new("HallButtonController", AgentKind::Software)
+            .controls(["hall_call"])
+            .monitors(["hall_button_press"]),
+    );
+    g.add_agent(
+        Agent::new("Passenger", AgentKind::Environment).controls([
+            m::DOOR_BLOCKED,
+            m::ELEVATOR_WEIGHT,
+            "car_button_press",
+            "hall_button_press",
+        ]),
+    );
+    let _ = params;
+    g
+}
+
+/// The Tables 4.1–4.3 ICPA of `Maintain[DoorClosedOrElevatorStopped]`,
+/// ending in the Table 4.4 shared-responsibility subgoals.
+pub fn door_or_stopped_icpa(params: &ElevatorParams) -> IcpaTable {
+    let graph = control_graph(params);
+    let e = |s: &str| parse(s).expect("formula");
+
+    IcpaBuilder::new(goals::door_goal())
+        .trace_paths(&graph)
+        // Table 4.1 relationships (door branch).
+        .relationship(
+            1,
+            m::DOOR_CLOSED,
+            ["DoorController", "DoorMotor"],
+            e("initially(door_closed && door_motor_command == 'OPEN')"),
+            "in the initial state the door is closed and commanded OPEN",
+        )
+        .relationship(
+            2,
+            m::DOOR_CLOSED,
+            ["DoorController", "DoorMotor"],
+            e("prev(door_closed && door_motor_command == 'CLOSE') => door_closed"),
+            "a closed door that is commanded CLOSE remains closed",
+        )
+        .relationship(
+            4,
+            m::DOOR_CLOSED,
+            ["DoorController", "DoorMotor"],
+            e("held_for(!door_blocked && door_motor_command == 'CLOSE', 2100ms) => door_closed"),
+            "an unblocked door commanded CLOSE for MaxCloseDelay will be closed",
+        )
+        .relationship(
+            7,
+            m::DOOR_CLOSED,
+            ["DoorController", "DoorMotor"],
+            e("prev(door_closed) && once_within(door_motor_command == 'CLOSE', 100ms) \
+               => door_closed || !door_closed"),
+            "MinOpenDelay: a door whose command just switched stays closed briefly",
+        )
+        .relationship(
+            10,
+            m::DOOR_BLOCKED,
+            ["Passenger"],
+            e("prev(door_blocked) => door_motor_command == 'OPEN'"),
+            "door-reversal safety goal: a blocked door is commanded OPEN",
+        )
+        .relationship(
+            11,
+            m::DOOR_BLOCKED,
+            ["Passenger"],
+            e("prev(door_blocked) => !door_closed || door_closed"),
+            "a blocked door cannot be driven closed against the passenger",
+        )
+        // Table 4.2 relationships (drive branch).
+        .relationship(
+            12,
+            m::ELEVATOR_SPEED,
+            ["Drive"],
+            e("drive_speed_stopped <-> elevator_stopped"),
+            "if the drive is stopped, the elevator is stopped, and vice versa",
+        )
+        .relationship(
+            13,
+            m::ELEVATOR_SPEED,
+            ["DriveController", "Drive"],
+            e("initially(elevator_stopped && drive_command == 'STOP')"),
+            "in the initial state the elevator is stopped and commanded STOP",
+        )
+        .relationship(
+            14,
+            m::ELEVATOR_SPEED,
+            ["DriveController", "Drive"],
+            e("prev(elevator_stopped && drive_command == 'STOP') => elevator_stopped"),
+            "a stopped drive commanded STOP remains stopped",
+        )
+        .relationship(
+            19,
+            m::ELEVATOR_SPEED,
+            ["DriveController", "Drive"],
+            e("prev(elevator_stopped) && once_within(drive_command == 'UP' || \
+               drive_command == 'DOWN', 100ms) => elevator_stopped"),
+            "MinGoDelay: a stopped drive whose command just switched to GO \
+             remains stopped for at least one state",
+        )
+        // Coverage strategy (Table 4.3).
+        .strategy(CoverageStrategy {
+            assignment: GoalAssignment::SharedResponsibility {
+                agents: vec!["DoorController".into(), "DriveController".into()],
+            },
+            scope: GoalScope::Restrictive {
+                rationale: "assumes worst-case actuator response times; real \
+                            response may be slower"
+                    .into(),
+            },
+        })
+        // Elaboration (Table 4.3): case split on the initial state, then
+        // each controller cancels its own actuation when it observes the
+        // other's.
+        .elaborate(
+            e("initially(door_closed && elevator_stopped)"),
+            TacticKind::SplitByCase,
+            [1, 13],
+            "goal satisfied in the initial state; split lack of \
+             monitorability/control by case",
+        )
+        .elaborate(
+            e("prev(!elevator_stopped || drive_command != 'STOP') => \
+               door_motor_command == 'CLOSE'"),
+            TacticKind::IntroduceActuationGoal,
+            [2, 7, 10, 19],
+            "minimum door-open delay lets the door controller cancel before \
+             actuation completes",
+        )
+        .elaborate(
+            e("prev(!door_closed || door_motor_command == 'OPEN') => \
+               drive_command == 'STOP'"),
+            TacticKind::IntroduceActuationGoal,
+            [7, 13, 14, 19],
+            "minimum drive-go delay lets the drive controller cancel before \
+             the car moves",
+        )
+        // Table 4.4 subgoals.
+        .subgoal(
+            "DoorController",
+            goals::door_controller_subgoal(),
+            [m::DOOR_MOTOR_COMMAND],
+            [m::ELEVATOR_SPEED, m::DRIVE_COMMAND, m::DOOR_BLOCKED],
+        )
+        .subgoal(
+            "DriveController",
+            goals::drive_controller_subgoal(),
+            [m::DRIVE_COMMAND],
+            [m::DOOR_CLOSED, m::DOOR_MOTOR_COMMAND],
+        )
+        .finish()
+}
+
+/// The Figure 4.6 single-responsibility ICPA of
+/// `Maintain[DriveStoppedWhenOverweight]`.
+pub fn overweight_icpa(params: &ElevatorParams) -> IcpaTable {
+    let graph = control_graph(params);
+    let e = |s: &str| parse(s).expect("formula");
+    IcpaBuilder::new(goals::overweight_goal())
+        .trace_paths(&graph)
+        .relationship(
+            1,
+            m::ELEVATOR_WEIGHT,
+            ["Passenger"],
+            e("prev(overweight) => prev(overweight)"),
+            "passengers load the car; weight changes only at landings",
+        )
+        .relationship(
+            2,
+            m::ELEVATOR_SPEED,
+            ["DriveController", "Drive"],
+            e("prev(drive_command == 'STOP') && prev(elevator_stopped) => elevator_stopped"),
+            "a stopped drive commanded STOP remains stopped",
+        )
+        .strategy(CoverageStrategy {
+            assignment: GoalAssignment::SingleResponsibility {
+                agent: "DriveController".into(),
+            },
+            scope: GoalScope::Restrictive {
+                rationale: "weight can only change while parked with open \
+                            doors, so stopping the drive suffices"
+                    .into(),
+            },
+        })
+        .elaborate(
+            goals::overweight_subgoal().formal().clone(),
+            TacticKind::IntroduceActuationGoal,
+            [1, 2],
+            "shift the stop obligation to the drive command",
+        )
+        .subgoal(
+            "DriveController",
+            goals::overweight_subgoal(),
+            [m::DRIVE_COMMAND],
+            [m::OVERWEIGHT],
+        )
+        .finish()
+}
+
+/// The Figures 4.9–4.11 redundant-responsibility ICPA of
+/// `Maintain[ElevatorBelowHoistwayUpperLimit]`.
+pub fn hoistway_icpa(params: &ElevatorParams) -> IcpaTable {
+    let graph = control_graph(params);
+    let e = |s: &str| parse(s).expect("formula");
+    IcpaBuilder::new(goals::hoistway_goal(params))
+        .trace_paths(&graph)
+        .relationship(
+            1,
+            m::POSITION,
+            ["Drive"],
+            e("prev(drive_command != 'UP') => position_not_increasing"),
+            "position rises only under upward drive",
+        )
+        .relationship(
+            2,
+            m::POSITION,
+            ["EmergencyBrake"],
+            e("prev(emergency_brake) => position_not_increasing"),
+            "the emergency brake arrests motion regardless of the drive",
+        )
+        .strategy(CoverageStrategy {
+            assignment: GoalAssignment::RedundantResponsibility {
+                primary: vec!["DriveController".into()],
+                secondary: vec!["EmergencyBrake".into()],
+            },
+            scope: GoalScope::Restrictive {
+                rationale: "both legs use safety margins: the primary stops \
+                            one stopping-distance early, the secondary \
+                            tighter — normal service avoids brake wear \
+                            (§4.5.1)"
+                    .into(),
+            },
+        })
+        .elaborate(
+            goals::hoistway_primary_subgoal(params).formal().clone(),
+            TacticKind::SafetyMargin,
+            [1],
+            "primary: stop margin below the limit",
+        )
+        .elaborate(
+            goals::hoistway_secondary_subgoal(params).formal().clone(),
+            TacticKind::SafetyMargin,
+            [2],
+            "secondary: emergency braking margin",
+        )
+        .subgoal(
+            "DriveController",
+            goals::hoistway_primary_subgoal(params),
+            [m::DRIVE_COMMAND],
+            [m::POSITION],
+        )
+        .subgoal(
+            "EmergencyBrake",
+            goals::hoistway_secondary_subgoal(params),
+            [m::EMERGENCY_BRAKE],
+            [m::POSITION, m::ELEVATOR_SPEED],
+        )
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_core::render;
+
+    #[test]
+    fn door_goal_paths_reach_both_branches() {
+        let p = ElevatorParams::default();
+        let g = control_graph(&p);
+        let path = g.trace(m::DOOR_CLOSED);
+        let agents = path.all_agents();
+        assert!(agents.contains(&"DoorMotor".to_owned()));
+        assert!(agents.contains(&"DoorController".to_owned()));
+        assert!(agents.contains(&"Passenger".to_owned()));
+        let speed_path = g.trace(m::ELEVATOR_SPEED);
+        assert_eq!(speed_path.agents_at_level(1), vec!["Drive".to_owned()]);
+        assert_eq!(
+            speed_path.agents_at_level(2),
+            vec!["DriveController".to_owned()]
+        );
+    }
+
+    #[test]
+    fn door_icpa_renders_with_all_sections() {
+        let table = door_or_stopped_icpa(&ElevatorParams::default());
+        assert!(table.dangling_citations().is_empty());
+        let text = render::icpa_table(&table);
+        for needle in [
+            "Maintain[DoorClosedOrElevatorStopped]",
+            "Shared Responsibility (DoorController & DriveController)",
+            "Restrictive",
+            "Achieve[CloseDoorWhenElevatorMovingOrMoved]",
+            "Achieve[StopElevatorWhenDoorOpenOrOpened]",
+            "[10]",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn overweight_icpa_is_single_responsibility() {
+        let table = overweight_icpa(&ElevatorParams::default());
+        assert_eq!(table.subgoals.len(), 1);
+        assert!(matches!(
+            table.strategy.assignment,
+            GoalAssignment::SingleResponsibility { .. }
+        ));
+    }
+
+    #[test]
+    fn hoistway_icpa_is_redundant_with_two_legs() {
+        let table = hoistway_icpa(&ElevatorParams::default());
+        assert_eq!(table.subgoals.len(), 2);
+        assert!(matches!(
+            table.strategy.assignment,
+            GoalAssignment::RedundantResponsibility { .. }
+        ));
+        let text = render::icpa_table(&table);
+        assert!(text.contains("EmergencyBrake"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Elevator signal names, parameters, and the initial blackboard.
+
+use esafe_logic::State;
+use serde::{Deserialize, Serialize};
+
+/// Door-closed switch (sensed).
+pub const DOOR_CLOSED: &str = "door_closed";
+/// Door-blocked light curtain (sensed; driven by passengers).
+pub const DOOR_BLOCKED: &str = "door_blocked";
+/// Car speed, m/s (sensed; positive = up).
+pub const ELEVATOR_SPEED: &str = "elevator_speed";
+/// Whether the car speed is inside the stopped band (derived sensor
+/// output, `IsStopped(es)` in the thesis's goals).
+pub const ELEVATOR_STOPPED: &str = "elevator_stopped";
+/// Car weight, kg (sensed).
+pub const ELEVATOR_WEIGHT: &str = "elevator_weight";
+/// Whether the weight exceeds the safe-operation threshold.
+pub const OVERWEIGHT: &str = "overweight";
+/// Car position in the hoistway, m above the bottom landing.
+pub const POSITION: &str = "elevator_position";
+/// Current floor index derived from position.
+pub const FLOOR: &str = "elevator_floor";
+/// Drive actuation signal: `'STOP'`, `'UP'`, or `'DOWN'`.
+pub const DRIVE_COMMAND: &str = "drive_command";
+/// Door-motor actuation signal: `'OPEN'` or `'CLOSE'`.
+pub const DOOR_MOTOR_COMMAND: &str = "door_motor_command";
+/// Physical door opening fraction, 0 (closed) to 1 (open).
+pub const DOOR_POSITION: &str = "door_position";
+/// Door fully-open switch (sensed).
+pub const DOOR_OPEN: &str = "door_open";
+/// Dispatcher's destination floor.
+pub const DISPATCH_TARGET: &str = "dispatch_target";
+/// Dispatcher's door request at the landing: `'OPEN'` or `'CLOSE'`.
+pub const DISPATCH_DOOR_REQUEST: &str = "dispatch_door_request";
+/// Emergency brake engagement (latched).
+pub const EMERGENCY_BRAKE: &str = "emergency_brake";
+
+/// Latched car-call for floor `f`.
+pub fn car_call(f: u32) -> String {
+    format!("car_call.{f}")
+}
+
+/// Latched hall-call for floor `f`.
+pub fn hall_call(f: u32) -> String {
+    format!("hall_call.{f}")
+}
+
+/// Raw button press for floor `f` (set by passengers for one tick).
+pub fn car_button(f: u32) -> String {
+    format!("car_button.{f}")
+}
+
+/// Raw hall button press for floor `f`.
+pub fn hall_button(f: u32) -> String {
+    format!("hall_button.{f}")
+}
+
+/// Physical and control constants of the elevator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElevatorParams {
+    /// Simulation tick, ms.
+    pub dt_millis: u64,
+    /// Number of floors.
+    pub floors: u32,
+    /// Floor-to-floor height, m.
+    pub floor_height_m: f64,
+    /// Hoistway upper limit above the bottom landing, m.
+    pub hoistway_limit_m: f64,
+    /// Drive maximum speed, m/s.
+    pub max_speed: f64,
+    /// Drive acceleration magnitude, m/s².
+    pub accel: f64,
+    /// Emergency-brake deceleration magnitude, m/s².
+    pub ebrake_decel: f64,
+    /// Full door travel time, s.
+    pub door_travel_s: f64,
+    /// Door dwell at a landing, s.
+    pub door_dwell_s: f64,
+    /// |speed| below which the car counts as stopped, m/s.
+    pub stopped_eps: f64,
+    /// Weight threshold for safe operation, kg.
+    pub weight_threshold_kg: f64,
+    /// Primary stop margin below the hoistway limit, m (restrictive
+    /// safety margin, §4.5.2).
+    pub stop_margin_m: f64,
+    /// Secondary (emergency-brake) margin below the limit, m.
+    pub ebrake_margin_m: f64,
+}
+
+impl Default for ElevatorParams {
+    fn default() -> Self {
+        ElevatorParams {
+            dt_millis: 10,
+            floors: 5,
+            floor_height_m: 4.0,
+            hoistway_limit_m: 19.5, // top floor at 16 m + guard headroom
+            max_speed: 2.0,
+            accel: 1.0,
+            ebrake_decel: 4.0,
+            door_travel_s: 2.0,
+            door_dwell_s: 3.0,
+            stopped_eps: 0.005,
+            weight_threshold_kg: 680.0,
+            stop_margin_m: 0.6,
+            ebrake_margin_m: 0.3,
+        }
+    }
+}
+
+impl ElevatorParams {
+    /// Height of floor `f` above the bottom landing, m.
+    pub fn floor_height(&self, f: u32) -> f64 {
+        f64::from(f) * self.floor_height_m
+    }
+
+    /// Nearest floor index for a hoistway position.
+    pub fn floor_at(&self, position_m: f64) -> u32 {
+        let f = (position_m / self.floor_height_m).round();
+        (f.max(0.0) as u32).min(self.floors - 1)
+    }
+}
+
+/// The initial blackboard: car parked at floor 0, doors closed, idle.
+pub fn initial_state(params: &ElevatorParams) -> State {
+    let mut s = State::new()
+        .with_bool(DOOR_CLOSED, true)
+        .with_bool(DOOR_BLOCKED, false)
+        .with_real(ELEVATOR_SPEED, 0.0)
+        .with_bool(ELEVATOR_STOPPED, true)
+        .with_real(ELEVATOR_WEIGHT, 0.0)
+        .with_bool(OVERWEIGHT, false)
+        .with_real(POSITION, 0.0)
+        .with_real(FLOOR, 0.0)
+        .with_sym(DRIVE_COMMAND, "STOP")
+        .with_sym(DOOR_MOTOR_COMMAND, "CLOSE")
+        .with_real(DOOR_POSITION, 0.0)
+        .with_bool(DOOR_OPEN, false)
+        .with_int(DISPATCH_TARGET, 0)
+        .with_sym(DISPATCH_DOOR_REQUEST, "CLOSE")
+        .with_bool(EMERGENCY_BRAKE, false);
+    for f in 0..params.floors {
+        s.set(car_call(f), false);
+        s.set(hall_call(f), false);
+        s.set(car_button(f), false);
+        s.set(hall_button(f), false);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_mapping_round_trips() {
+        let p = ElevatorParams::default();
+        assert_eq!(p.floor_height(3), 12.0);
+        assert_eq!(p.floor_at(12.0), 3);
+        assert_eq!(p.floor_at(12.4), 3);
+        assert_eq!(p.floor_at(-1.0), 0);
+        assert_eq!(p.floor_at(99.0), p.floors - 1);
+    }
+
+    #[test]
+    fn initial_state_is_parked_and_complete() {
+        let p = ElevatorParams::default();
+        let s = initial_state(&p);
+        assert_eq!(s.get(DOOR_CLOSED).unwrap().as_bool(), Some(true));
+        assert_eq!(s.get(POSITION).unwrap().as_real(), Some(0.0));
+        // 4 signal groups per floor + 15 scalar signals.
+        assert_eq!(s.len(), 15 + 4 * p.floors as usize);
+    }
+
+    #[test]
+    fn hoistway_limit_clears_top_floor() {
+        let p = ElevatorParams::default();
+        assert!(p.hoistway_limit_m > p.floor_height(p.floors - 1));
+    }
+}

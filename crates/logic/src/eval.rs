@@ -1,0 +1,391 @@
+//! Reference evaluation of expressions over complete recorded traces.
+//!
+//! This is the semantics of record: simple, direct recursion over the trace.
+//! The incremental monitor in [`crate::incremental`] is property-tested
+//! against it.
+
+use crate::error::EvalError;
+use crate::expr::{CmpOp, Expr, Operand};
+use crate::state::{State, Trace};
+use crate::value::Value;
+
+/// Evaluates `expr` at every sample of `trace`, returning one truth value
+/// per sample.
+///
+/// Future operators (`always`, `eventually`, `next`) are evaluated with
+/// complete-trace semantics: `always(p)` at step `i` is true iff `p` holds
+/// at every step `j ≥ i`, and so on. Past operators follow the conventions
+/// documented on [`Expr`].
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if a referenced variable is missing from a sample,
+/// has the wrong type, or an ordering comparison is applied to symbols.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::{parse, State, Trace, eval::eval_trace};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = Trace::with_tick_millis(1);
+/// for p in [false, true, true] {
+///     t.push(State::new().with_bool("p", p));
+/// }
+/// assert_eq!(eval_trace(&parse("once(p)")?, &t)?, vec![false, false, true]);
+/// assert_eq!(eval_trace(&parse("became(p)")?, &t)?, vec![false, true, false]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eval_trace(expr: &Expr, trace: &Trace) -> Result<Vec<bool>, EvalError> {
+    let n = trace.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(eval_at(expr, trace, i)?);
+    }
+    Ok(out)
+}
+
+/// Evaluates `expr` at sample index `step` of `trace`.
+///
+/// # Errors
+///
+/// See [`eval_trace`].
+pub fn eval_at(expr: &Expr, trace: &Trace, step: usize) -> Result<bool, EvalError> {
+    debug_assert!(step < trace.len(), "step out of range");
+    match expr {
+        Expr::Const(b) => Ok(*b),
+        Expr::Var(name) => bool_var(trace.state(step).expect("in range"), name, step),
+        Expr::Cmp { lhs, op, rhs } => {
+            let s = trace.state(step).expect("in range");
+            compare(lhs, *op, rhs, s, step)
+        }
+        Expr::Not(e) => Ok(!eval_at(e, trace, step)?),
+        Expr::And(items) => {
+            for e in items {
+                if !eval_at(e, trace, step)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Expr::Or(items) => {
+            for e in items {
+                if eval_at(e, trace, step)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Expr::Implies(a, b) => Ok(!eval_at(a, trace, step)? || eval_at(b, trace, step)?),
+        // `p => q` is `always(p -> q)`; per-step truth over a complete trace
+        // requires the implication from this step onward.
+        Expr::Entails(a, b) => {
+            for j in step..trace.len() {
+                if eval_at(a, trace, j)? && !eval_at(b, trace, j)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Expr::Iff(a, b) => {
+            for j in step..trace.len() {
+                if eval_at(a, trace, j)? != eval_at(b, trace, j)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Expr::Prev(e) => {
+            if step == 0 {
+                Ok(false)
+            } else {
+                eval_at(e, trace, step - 1)
+            }
+        }
+        Expr::Once(e) => {
+            for j in 0..step {
+                if eval_at(e, trace, j)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Expr::Historically(e) => {
+            for j in 0..step {
+                if !eval_at(e, trace, j)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Expr::HeldFor { expr, ticks } => {
+            let t = usize::try_from(*ticks).unwrap_or(usize::MAX);
+            if t == 0 {
+                return Ok(true);
+            }
+            if step < t {
+                return Ok(false);
+            }
+            for j in (step - t)..step {
+                if !eval_at(expr, trace, j)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Expr::OnceWithin { expr, ticks } => {
+            let t = usize::try_from(*ticks).unwrap_or(usize::MAX);
+            let lo = step.saturating_sub(t);
+            for j in lo..step {
+                if eval_at(expr, trace, j)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Expr::Became(e) => {
+            if step == 0 {
+                // @p ≡ ●¬p ∧ p, and ●x is false initially, so @p is false at
+                // the first state regardless of p.
+                Ok(false)
+            } else {
+                Ok(eval_at(e, trace, step)? && !eval_at(e, trace, step - 1)?)
+            }
+        }
+        Expr::Initially(e) => {
+            if trace.is_empty() {
+                Ok(true)
+            } else {
+                eval_at(e, trace, 0)
+            }
+        }
+        Expr::Always(e) => {
+            for j in step..trace.len() {
+                if !eval_at(e, trace, j)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Expr::Eventually(e) => {
+            for j in step..trace.len() {
+                if eval_at(e, trace, j)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Expr::Next(e) => {
+            if step + 1 < trace.len() {
+                eval_at(e, trace, step + 1)
+            } else {
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// Evaluates an expression against a single state with no history.
+///
+/// Past operators see an empty history (`prev` is false, `historically` is
+/// vacuously true); future operators are rejected.
+///
+/// # Errors
+///
+/// See [`eval_trace`]; additionally returns [`EvalError::FutureOperator`]
+/// for `always`/`eventually`/`next`.
+pub fn eval_state(expr: &Expr, state: &State) -> Result<bool, EvalError> {
+    match expr {
+        Expr::Always(_) => Err(EvalError::FutureOperator { operator: "always" }),
+        Expr::Eventually(_) => Err(EvalError::FutureOperator {
+            operator: "eventually",
+        }),
+        Expr::Next(_) => Err(EvalError::FutureOperator { operator: "next" }),
+        _ => {
+            let mut t = Trace::with_tick_millis(1);
+            t.push(state.clone());
+            eval_at(expr, &t, 0)
+        }
+    }
+}
+
+pub(crate) fn bool_var(state: &State, name: &str, step: usize) -> Result<bool, EvalError> {
+    match state.get(name) {
+        None => Err(EvalError::MissingVar {
+            name: name.to_owned(),
+            step,
+        }),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(other) => Err(EvalError::NotBoolean {
+            name: name.to_owned(),
+            found: other.type_name(),
+        }),
+    }
+}
+
+pub(crate) fn operand_value<'s>(
+    op: &'s Operand,
+    state: &'s State,
+    step: usize,
+) -> Result<&'s Value, EvalError> {
+    match op {
+        Operand::Lit(v) => Ok(v),
+        Operand::Var(name) => state.get(name).ok_or_else(|| EvalError::MissingVar {
+            name: name.clone(),
+            step,
+        }),
+    }
+}
+
+pub(crate) fn compare(
+    lhs: &Operand,
+    op: CmpOp,
+    rhs: &Operand,
+    state: &State,
+    step: usize,
+) -> Result<bool, EvalError> {
+    let a = operand_value(lhs, state, step)?;
+    let b = operand_value(rhs, state, step)?;
+    let ordering_err = || EvalError::IncomparableValues {
+        lhs: a.to_string(),
+        rhs: b.to_string(),
+    };
+    match op {
+        CmpOp::Eq => Ok(a.num_eq(b)),
+        CmpOp::Ne => Ok(!a.num_eq(b)),
+        CmpOp::Lt => a.num_lt(b).ok_or_else(ordering_err),
+        CmpOp::Le => a.num_le(b).ok_or_else(ordering_err),
+        CmpOp::Gt => b.num_lt(a).ok_or_else(ordering_err),
+        CmpOp::Ge => b.num_le(a).ok_or_else(ordering_err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn trace_of(bits: &[(&str, Vec<bool>)]) -> Trace {
+        let n = bits[0].1.len();
+        let mut t = Trace::with_tick_millis(1);
+        for i in 0..n {
+            let mut s = State::new();
+            for (name, vals) in bits {
+                s.set(*name, vals[i]);
+            }
+            t.push(s);
+        }
+        t
+    }
+
+    fn run(src: &str, t: &Trace) -> Vec<bool> {
+        eval_trace(&parse(src).unwrap(), t).unwrap()
+    }
+
+    #[test]
+    fn prev_is_false_initially() {
+        let t = trace_of(&[("p", vec![true, false, true])]);
+        assert_eq!(run("prev(p)", &t), vec![false, true, false]);
+    }
+
+    #[test]
+    fn once_and_historically_are_strict_past() {
+        let t = trace_of(&[("p", vec![true, false, false])]);
+        assert_eq!(run("once(p)", &t), vec![false, true, true]);
+        let t2 = trace_of(&[("p", vec![false, true, true])]);
+        assert_eq!(run("historically(p)", &t2), vec![true, false, false]);
+    }
+
+    #[test]
+    fn held_for_requires_full_window() {
+        let t = trace_of(&[("p", vec![true, true, false, true, true])]);
+        // window of 2 previous states
+        assert_eq!(
+            run("held_for(p, 2ticks)", &t),
+            vec![false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn once_within_looks_back_bounded() {
+        let t = trace_of(&[("p", vec![true, false, false, false])]);
+        assert_eq!(
+            run("once_within(p, 2ticks)", &t),
+            vec![false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn became_detects_rising_edge_only() {
+        let t = trace_of(&[("p", vec![false, true, true, false, true])]);
+        assert_eq!(
+            run("became(p)", &t),
+            vec![false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn entails_is_always_implication() {
+        let t = trace_of(&[("p", vec![true, true]), ("q", vec![true, false])]);
+        // violated at step 1, so => is false from step 0 and step 1
+        assert_eq!(run("p => q", &t), vec![false, false]);
+        let t2 = trace_of(&[("p", vec![true, false]), ("q", vec![true, false])]);
+        assert_eq!(run("p => q", &t2), vec![true, true]);
+    }
+
+    #[test]
+    fn future_operators_over_complete_trace() {
+        let t = trace_of(&[("p", vec![false, true, false])]);
+        assert_eq!(run("eventually(p)", &t), vec![true, true, false]);
+        assert_eq!(run("always(!p)", &t), vec![false, false, true]);
+        assert_eq!(run("next(p)", &t), vec![true, false, false]);
+    }
+
+    #[test]
+    fn initially_is_constant_over_trace() {
+        let t = trace_of(&[("p", vec![true, false, false])]);
+        assert_eq!(run("initially(p)", &t), vec![true, true, true]);
+    }
+
+    #[test]
+    fn comparisons_between_variables_and_literals() {
+        let mut t = Trace::with_tick_millis(1);
+        t.push(
+            State::new()
+                .with_real("x", 1.5)
+                .with_int("y", 2)
+                .with_sym("cmd", "STOP"),
+        );
+        assert!(eval_at(&parse("x < y").unwrap(), &t, 0).unwrap());
+        assert!(eval_at(&parse("cmd == 'STOP'").unwrap(), &t, 0).unwrap());
+        assert!(!eval_at(&parse("cmd != 'STOP'").unwrap(), &t, 0).unwrap());
+        assert!(matches!(
+            eval_at(&parse("cmd < 'GO'").unwrap(), &t, 0),
+            Err(EvalError::IncomparableValues { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_and_mistyped_variables_error() {
+        let mut t = Trace::with_tick_millis(1);
+        t.push(State::new().with_int("n", 3));
+        assert!(matches!(
+            eval_at(&parse("missing").unwrap(), &t, 0),
+            Err(EvalError::MissingVar { .. })
+        ));
+        assert!(matches!(
+            eval_at(&parse("n").unwrap(), &t, 0),
+            Err(EvalError::NotBoolean { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_state_rejects_future() {
+        let s = State::new().with_bool("p", true);
+        assert!(eval_state(&parse("p").unwrap(), &s).unwrap());
+        assert!(matches!(
+            eval_state(&parse("eventually(p)").unwrap(), &s),
+            Err(EvalError::FutureOperator { .. })
+        ));
+    }
+}

@@ -1,0 +1,649 @@
+//! The temporal-logic expression AST (thesis Figure 2.5 operator set).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One side of a comparison: a state variable or a literal value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A named state variable, e.g. `va.value`.
+    Var(String),
+    /// A literal, e.g. `2.0` or `'STOP'`.
+    Lit(crate::value::Value),
+}
+
+impl Operand {
+    /// Convenience constructor for a variable operand.
+    pub fn var(name: impl Into<String>) -> Self {
+        Operand::Var(name.into())
+    }
+
+    /// Convenience constructor for a literal operand.
+    pub fn lit(v: impl Into<crate::value::Value>) -> Self {
+        Operand::Lit(v.into())
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Var(v) => write!(f, "{v}"),
+            Operand::Lit(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Comparison operators available in atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The textual form used by the parser and `Display`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The comparison with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`a < b` ⇔ `!(a >= b)`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// A temporal-logic expression over system state variables.
+///
+/// The operator set mirrors the thesis's Figure 2.5. Past-time operators use
+/// the convention that there is no state before the first sample: `prev(p)`
+/// is `false` at the initial state, `once(p)` (strictly-past ◆) is `false`
+/// there, and `historically(p)` (strictly-past ■) is vacuously `true`.
+///
+/// `Always`/`Eventually`/`Next` refer to the future and are only meaningful
+/// over complete traces; the incremental monitor accepts `Always` with
+/// *violation semantics* (its per-tick truth is the current truth of the
+/// body, so a goal `always(p)` reports a violation at exactly the states
+/// where `p` is false) and rejects `Eventually`/`Next`, matching the
+/// thesis's observation that goals containing ♦ are not finitely violable.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::Expr;
+///
+/// // ●(ew > wt) ⇒ IsStopped(es), written over derived signals:
+/// let goal = Expr::entails(
+///     Expr::prev(Expr::var("overweight")),
+///     Expr::var("elevator_stopped"),
+/// );
+/// assert_eq!(goal.to_string(), "prev(overweight) => elevator_stopped");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A boolean constant.
+    Const(bool),
+    /// A boolean state variable.
+    Var(String),
+    /// A comparison atom, e.g. `va.value <= 2.0`.
+    Cmp {
+        /// Left-hand operand.
+        lhs: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand operand.
+        rhs: Operand,
+    },
+    /// Logical negation `!p`.
+    Not(Box<Expr>),
+    /// N-ary conjunction `p && q && …` (empty ≡ `true`).
+    And(Vec<Expr>),
+    /// N-ary disjunction `p || q || …` (empty ≡ `false`).
+    Or(Vec<Expr>),
+    /// Current-state implication `p -> q` (thesis `P → Q`).
+    Implies(Box<Expr>, Box<Expr>),
+    /// All-states implication `p => q` ≡ `always(p -> q)` (thesis `P ⇒ Q`).
+    Entails(Box<Expr>, Box<Expr>),
+    /// Bi-implication in all states `p <-> q` (thesis `P ⇔ Q`).
+    Iff(Box<Expr>, Box<Expr>),
+    /// `●p`: true iff `p` held in the previous state (`false` initially).
+    Prev(Box<Expr>),
+    /// `◆p` (strict past): `p` held in *some* previous state.
+    Once(Box<Expr>),
+    /// `■p` (strict past): `p` held in *all* previous states.
+    Historically(Box<Expr>),
+    /// `●ⁿ<T p`: `p` held in every one of the previous `ticks` states.
+    /// False until `ticks` states of history exist.
+    HeldFor {
+        /// Body.
+        expr: Box<Expr>,
+        /// Window length in ticks (strictly before the current state).
+        ticks: u64,
+    },
+    /// `◆<T p`: `p` held at least once in the previous `ticks` states.
+    OnceWithin {
+        /// Body.
+        expr: Box<Expr>,
+        /// Window length in ticks (strictly before the current state).
+        ticks: u64,
+    },
+    /// `@p ≡ ●¬p ∧ p`: `p` just became true. False at the initial state.
+    Became(Box<Expr>),
+    /// `S0 ⊨ p`: `p` held at the initial state (constant over the trace).
+    Initially(Box<Expr>),
+    /// `□p` over the rest of the trace (future). See monitor note above.
+    Always(Box<Expr>),
+    /// `♦p` over the rest of the trace (future; not finitely violable).
+    Eventually(Box<Expr>),
+    /// `○p`: `p` holds at the next state (future).
+    Next(Box<Expr>),
+}
+
+impl Expr {
+    /// Boolean state variable atom.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Comparison atom.
+    pub fn cmp(lhs: Operand, op: CmpOp, rhs: Operand) -> Expr {
+        Expr::Cmp { lhs, op, rhs }
+    }
+
+    /// `var == literal` atom.
+    pub fn var_eq(name: impl Into<String>, v: impl Into<crate::value::Value>) -> Expr {
+        Expr::Cmp {
+            lhs: Operand::var(name),
+            op: CmpOp::Eq,
+            rhs: Operand::lit(v),
+        }
+    }
+
+    /// `var <= literal` atom.
+    pub fn var_le(name: impl Into<String>, v: impl Into<crate::value::Value>) -> Expr {
+        Expr::Cmp {
+            lhs: Operand::var(name),
+            op: CmpOp::Le,
+            rhs: Operand::lit(v),
+        }
+    }
+
+    /// `var >= literal` atom.
+    pub fn var_ge(name: impl Into<String>, v: impl Into<crate::value::Value>) -> Expr {
+        Expr::Cmp {
+            lhs: Operand::var(name),
+            op: CmpOp::Ge,
+            rhs: Operand::lit(v),
+        }
+    }
+
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Binary conjunction (flattens nested `And`s).
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::and_all([a, b])
+    }
+
+    /// N-ary conjunction (flattens one level of nested `And`s).
+    pub fn and_all(items: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut out = Vec::new();
+        for e in items {
+            match e {
+                Expr::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Expr::Const(true),
+            1 => out.into_iter().next().expect("len checked"),
+            _ => Expr::And(out),
+        }
+    }
+
+    /// Binary disjunction (flattens nested `Or`s).
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::or_all([a, b])
+    }
+
+    /// N-ary disjunction (flattens one level of nested `Or`s).
+    pub fn or_all(items: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut out = Vec::new();
+        for e in items {
+            match e {
+                Expr::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Expr::Const(false),
+            1 => out.into_iter().next().expect("len checked"),
+            _ => Expr::Or(out),
+        }
+    }
+
+    /// Current-state implication `a -> b`.
+    pub fn implies(a: Expr, b: Expr) -> Expr {
+        Expr::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// All-states implication `a => b` (the thesis's goal-pattern `⇒`).
+    pub fn entails(a: Expr, b: Expr) -> Expr {
+        Expr::Entails(Box::new(a), Box::new(b))
+    }
+
+    /// All-states bi-implication `a <-> b`.
+    pub fn iff(a: Expr, b: Expr) -> Expr {
+        Expr::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// `●e`.
+    pub fn prev(e: Expr) -> Expr {
+        Expr::Prev(Box::new(e))
+    }
+
+    /// Strict-past `◆e`.
+    pub fn once(e: Expr) -> Expr {
+        Expr::Once(Box::new(e))
+    }
+
+    /// Strict-past `■e`.
+    pub fn historically(e: Expr) -> Expr {
+        Expr::Historically(Box::new(e))
+    }
+
+    /// `●ⁿ<T e` over `ticks` previous states.
+    pub fn held_for(e: Expr, ticks: u64) -> Expr {
+        Expr::HeldFor {
+            expr: Box::new(e),
+            ticks,
+        }
+    }
+
+    /// `◆<T e` within `ticks` previous states.
+    pub fn once_within(e: Expr, ticks: u64) -> Expr {
+        Expr::OnceWithin {
+            expr: Box::new(e),
+            ticks,
+        }
+    }
+
+    /// `@e`.
+    pub fn became(e: Expr) -> Expr {
+        Expr::Became(Box::new(e))
+    }
+
+    /// `S0 ⊨ e`.
+    pub fn initially(e: Expr) -> Expr {
+        Expr::Initially(Box::new(e))
+    }
+
+    /// `□e`.
+    pub fn always(e: Expr) -> Expr {
+        Expr::Always(Box::new(e))
+    }
+
+    /// `♦e`.
+    pub fn eventually(e: Expr) -> Expr {
+        Expr::Eventually(Box::new(e))
+    }
+
+    /// `○e`.
+    pub fn next(e: Expr) -> Expr {
+        Expr::Next(Box::new(e))
+    }
+
+    /// Collects the names of all state variables referenced anywhere in the
+    /// expression.
+    ///
+    /// ```
+    /// use esafe_logic::parse;
+    /// let e = parse("prev(a) && b.value <= 2.0").unwrap();
+    /// let vars: Vec<_> = e.vars().into_iter().collect();
+    /// assert_eq!(vars, vec!["a".to_owned(), "b.value".to_owned()]);
+    /// ```
+    pub fn vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            match e {
+                Expr::Var(v) => {
+                    out.insert(v.clone());
+                }
+                Expr::Cmp { lhs, rhs, .. } => {
+                    if let Operand::Var(v) = lhs {
+                        out.insert(v.clone());
+                    }
+                    if let Operand::Var(v) = rhs {
+                        out.insert(v.clone());
+                    }
+                }
+                _ => {}
+            };
+        });
+        out
+    }
+
+    /// Whether the expression refers to future states (`Eventually`, `Next`,
+    /// or `Always` used in a non-top-level position is still future-directed;
+    /// this predicate is purely syntactic and flags any occurrence).
+    pub fn uses_future(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Eventually(_) | Expr::Next(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Maximum nesting depth of `prev` (counting `became` as depth 1),
+    /// used by the propositional unroller to size the window.
+    pub fn prev_depth(&self) -> u32 {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Cmp { .. } => 0,
+            Expr::Not(e)
+            | Expr::Initially(e)
+            | Expr::Always(e)
+            | Expr::Eventually(e)
+            | Expr::Next(e) => e.prev_depth(),
+            Expr::And(items) | Expr::Or(items) => {
+                items.iter().map(Expr::prev_depth).max().unwrap_or(0)
+            }
+            Expr::Implies(a, b) | Expr::Entails(a, b) | Expr::Iff(a, b) => {
+                a.prev_depth().max(b.prev_depth())
+            }
+            Expr::Prev(e) | Expr::Became(e) => 1 + e.prev_depth(),
+            Expr::Once(e) | Expr::Historically(e) => 1 + e.prev_depth(),
+            Expr::HeldFor { expr, ticks } | Expr::OnceWithin { expr, ticks } => {
+                u32::try_from(*ticks).unwrap_or(u32::MAX).saturating_add(expr.prev_depth())
+            }
+        }
+    }
+
+    /// Number of AST nodes — a proxy for monitoring cost.
+    pub fn size(&self) -> usize {
+        let mut n = 0usize;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Calls `f` on every subexpression (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Cmp { .. } => {}
+            Expr::Not(e)
+            | Expr::Prev(e)
+            | Expr::Once(e)
+            | Expr::Historically(e)
+            | Expr::Became(e)
+            | Expr::Initially(e)
+            | Expr::Always(e)
+            | Expr::Eventually(e)
+            | Expr::Next(e) => e.visit(f),
+            Expr::HeldFor { expr, .. } | Expr::OnceWithin { expr, .. } => expr.visit(f),
+            Expr::And(items) | Expr::Or(items) => {
+                for e in items {
+                    e.visit(f);
+                }
+            }
+            Expr::Implies(a, b) | Expr::Entails(a, b) | Expr::Iff(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+        }
+    }
+
+    /// Rewrites every variable name through `f`, returning the new
+    /// expression. Used when instancing generic goal patterns onto concrete
+    /// subsystem signals.
+    pub fn rename_vars(&self, f: &impl Fn(&str) -> String) -> Expr {
+        let ren = |op: &Operand| match op {
+            Operand::Var(v) => Operand::Var(f(v)),
+            Operand::Lit(l) => Operand::Lit(l.clone()),
+        };
+        match self {
+            Expr::Const(b) => Expr::Const(*b),
+            Expr::Var(v) => Expr::Var(f(v)),
+            Expr::Cmp { lhs, op, rhs } => Expr::Cmp {
+                lhs: ren(lhs),
+                op: *op,
+                rhs: ren(rhs),
+            },
+            Expr::Not(e) => Expr::not(e.rename_vars(f)),
+            Expr::And(items) => Expr::And(items.iter().map(|e| e.rename_vars(f)).collect()),
+            Expr::Or(items) => Expr::Or(items.iter().map(|e| e.rename_vars(f)).collect()),
+            Expr::Implies(a, b) => Expr::implies(a.rename_vars(f), b.rename_vars(f)),
+            Expr::Entails(a, b) => Expr::entails(a.rename_vars(f), b.rename_vars(f)),
+            Expr::Iff(a, b) => Expr::iff(a.rename_vars(f), b.rename_vars(f)),
+            Expr::Prev(e) => Expr::prev(e.rename_vars(f)),
+            Expr::Once(e) => Expr::once(e.rename_vars(f)),
+            Expr::Historically(e) => Expr::historically(e.rename_vars(f)),
+            Expr::HeldFor { expr, ticks } => Expr::held_for(expr.rename_vars(f), *ticks),
+            Expr::OnceWithin { expr, ticks } => Expr::once_within(expr.rename_vars(f), *ticks),
+            Expr::Became(e) => Expr::became(e.rename_vars(f)),
+            Expr::Initially(e) => Expr::initially(e.rename_vars(f)),
+            Expr::Always(e) => Expr::always(e.rename_vars(f)),
+            Expr::Eventually(e) => Expr::eventually(e.rename_vars(f)),
+            Expr::Next(e) => Expr::next(e.rename_vars(f)),
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Iff(..) => 1,
+            Expr::Entails(..) => 2,
+            Expr::Implies(..) => 3,
+            Expr::Or(..) => 4,
+            Expr::And(..) => 5,
+            Expr::Not(..) => 6,
+            _ => 7,
+        }
+    }
+
+    fn fmt_child(&self, child: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if child.precedence() <= self.precedence() && child.precedence() < 7 {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(b) => write!(f, "{b}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Cmp { lhs, op, rhs } => write!(f, "{lhs} {} {rhs}", op.symbol()),
+            Expr::Not(e) => {
+                if e.precedence() < 7 {
+                    write!(f, "!({e})")
+                } else {
+                    write!(f, "!{e}")
+                }
+            }
+            Expr::And(items) => {
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    self.fmt_child(e, f)?;
+                }
+                Ok(())
+            }
+            Expr::Or(items) => {
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    self.fmt_child(e, f)?;
+                }
+                Ok(())
+            }
+            Expr::Implies(a, b) => {
+                self.fmt_child(a, f)?;
+                write!(f, " -> ")?;
+                self.fmt_child(b, f)
+            }
+            Expr::Entails(a, b) => {
+                self.fmt_child(a, f)?;
+                write!(f, " => ")?;
+                self.fmt_child(b, f)
+            }
+            Expr::Iff(a, b) => {
+                self.fmt_child(a, f)?;
+                write!(f, " <-> ")?;
+                self.fmt_child(b, f)
+            }
+            Expr::Prev(e) => write!(f, "prev({e})"),
+            Expr::Once(e) => write!(f, "once({e})"),
+            Expr::Historically(e) => write!(f, "historically({e})"),
+            Expr::HeldFor { expr, ticks } => write!(f, "held_for({expr}, {ticks}ticks)"),
+            Expr::OnceWithin { expr, ticks } => write!(f, "once_within({expr}, {ticks}ticks)"),
+            Expr::Became(e) => write!(f, "became({e})"),
+            Expr::Initially(e) => write!(f, "initially({e})"),
+            Expr::Always(e) => write!(f, "always({e})"),
+            Expr::Eventually(e) => write!(f, "eventually({e})"),
+            Expr::Next(e) => write!(f, "next({e})"),
+        }
+    }
+}
+
+impl std::ops::BitAnd for Expr {
+    type Output = Expr;
+    fn bitand(self, rhs: Expr) -> Expr {
+        Expr::and(self, rhs)
+    }
+}
+
+impl std::ops::BitOr for Expr {
+    type Output = Expr;
+    fn bitor(self, rhs: Expr) -> Expr {
+        Expr::or(self, rhs)
+    }
+}
+
+impl std::ops::Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_flattens_and_simplifies() {
+        let e = Expr::and(Expr::and(Expr::var("a"), Expr::var("b")), Expr::var("c"));
+        assert_eq!(
+            e,
+            Expr::And(vec![Expr::var("a"), Expr::var("b"), Expr::var("c")])
+        );
+        assert_eq!(Expr::and_all([]), Expr::Const(true));
+        assert_eq!(Expr::and_all([Expr::var("x")]), Expr::var("x"));
+        assert_eq!(Expr::or_all([]), Expr::Const(false));
+    }
+
+    #[test]
+    fn vars_collects_from_atoms_and_comparisons() {
+        let e = Expr::and(
+            Expr::prev(Expr::var("a")),
+            Expr::cmp(Operand::var("x"), CmpOp::Lt, Operand::var("y")),
+        );
+        let vars = e.vars();
+        assert!(vars.contains("a") && vars.contains("x") && vars.contains("y"));
+        assert_eq!(vars.len(), 3);
+    }
+
+    #[test]
+    fn prev_depth_counts_nesting_and_windows() {
+        assert_eq!(Expr::var("a").prev_depth(), 0);
+        assert_eq!(Expr::prev(Expr::prev(Expr::var("a"))).prev_depth(), 2);
+        assert_eq!(Expr::became(Expr::var("a")).prev_depth(), 1);
+        assert_eq!(Expr::held_for(Expr::var("a"), 5).prev_depth(), 5);
+    }
+
+    #[test]
+    fn uses_future_flags_eventually_and_next() {
+        assert!(Expr::eventually(Expr::var("a")).uses_future());
+        assert!(Expr::entails(Expr::var("p"), Expr::next(Expr::var("q"))).uses_future());
+        assert!(!Expr::always(Expr::var("a")).uses_future());
+    }
+
+    #[test]
+    fn display_parenthesizes_by_precedence() {
+        let e = Expr::or(Expr::and(Expr::var("a"), Expr::var("b")), Expr::var("c"));
+        assert_eq!(e.to_string(), "a && b || c");
+        let e2 = Expr::and(Expr::or(Expr::var("a"), Expr::var("b")), Expr::var("c"));
+        assert_eq!(e2.to_string(), "(a || b) && c");
+        let e3 = Expr::not(Expr::and(Expr::var("a"), Expr::var("b")));
+        assert_eq!(e3.to_string(), "!(a && b)");
+    }
+
+    #[test]
+    fn rename_vars_rewrites_everywhere() {
+        let e = Expr::entails(
+            Expr::prev(Expr::var("a")),
+            Expr::var_le("b.value", 2.0),
+        );
+        let renamed = e.rename_vars(&|v| format!("ns.{v}"));
+        let vars = renamed.vars();
+        assert!(vars.contains("ns.a") && vars.contains("ns.b.value"));
+    }
+
+    #[test]
+    fn operator_overloads_build_expected_shapes() {
+        let e = (Expr::var("a") & Expr::var("b")) | !Expr::var("c");
+        assert_eq!(e.to_string(), "a && b || !c");
+    }
+
+    #[test]
+    fn cmp_op_transforms() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+        assert_eq!(CmpOp::Ne.negated(), CmpOp::Eq);
+    }
+}

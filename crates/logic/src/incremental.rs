@@ -1,0 +1,494 @@
+//! Incremental (per-tick) evaluation for run-time goal monitoring.
+//!
+//! A [`CompiledMonitor`] consumes one [`State`] per tick and reports the
+//! goal's *current* truth in O(#subformulas) time and O(#subformulas)
+//! memory, independent of trace length. This is the engine behind the
+//! thesis's run-time safety-goal monitors.
+//!
+//! # Monitor semantics
+//!
+//! Run-time monitors cannot see the future, so the future-directed forms are
+//! reinterpreted with *violation semantics* (see [`monitor_form`]):
+//!
+//! * `always(p)` monitors `p` — a violation is reported at exactly the
+//!   states where `p` is false;
+//! * `p => q` (all-states entailment) monitors `p -> q` per state;
+//! * `p <-> q` monitors per-state agreement;
+//! * `eventually`/`next` are rejected ([`EvalError::FutureOperator`]) —
+//!   the thesis notes goals containing ♦ are not finitely violable.
+
+use crate::error::EvalError;
+use crate::eval;
+use crate::expr::{CmpOp, Expr, Operand};
+use crate::state::State;
+
+/// Rewrites an expression into its run-time-monitorable form.
+///
+/// `always(p)` becomes `p`, `p => q` becomes `p -> q`, `p <-> q` becomes
+/// `(p -> q) && (q -> p)`; all past-time operators pass through unchanged.
+///
+/// # Errors
+///
+/// Returns [`EvalError::FutureOperator`] if the expression contains
+/// `eventually` or `next`.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::{parse, incremental::monitor_form};
+/// let e = parse("always(p => q)").unwrap();
+/// assert_eq!(monitor_form(&e).unwrap().to_string(), "p -> q");
+/// ```
+pub fn monitor_form(expr: &Expr) -> Result<Expr, EvalError> {
+    Ok(match expr {
+        Expr::Const(_) | Expr::Var(_) | Expr::Cmp { .. } => expr.clone(),
+        Expr::Not(e) => Expr::not(monitor_form(e)?),
+        Expr::And(items) => Expr::And(
+            items
+                .iter()
+                .map(monitor_form)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Expr::Or(items) => Expr::Or(
+            items
+                .iter()
+                .map(monitor_form)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Expr::Implies(a, b) => Expr::implies(monitor_form(a)?, monitor_form(b)?),
+        Expr::Entails(a, b) => Expr::implies(monitor_form(a)?, monitor_form(b)?),
+        Expr::Iff(a, b) => {
+            let (a, b) = (monitor_form(a)?, monitor_form(b)?);
+            Expr::and(
+                Expr::implies(a.clone(), b.clone()),
+                Expr::implies(b, a),
+            )
+        }
+        Expr::Prev(e) => Expr::prev(monitor_form(e)?),
+        Expr::Once(e) => Expr::once(monitor_form(e)?),
+        Expr::Historically(e) => Expr::historically(monitor_form(e)?),
+        Expr::HeldFor { expr, ticks } => Expr::held_for(monitor_form(expr)?, *ticks),
+        Expr::OnceWithin { expr, ticks } => Expr::once_within(monitor_form(expr)?, *ticks),
+        Expr::Became(e) => Expr::became(monitor_form(e)?),
+        Expr::Initially(e) => Expr::initially(monitor_form(e)?),
+        Expr::Always(e) => monitor_form(e)?,
+        Expr::Eventually(_) => {
+            return Err(EvalError::FutureOperator {
+                operator: "eventually",
+            })
+        }
+        Expr::Next(_) => return Err(EvalError::FutureOperator { operator: "next" }),
+    })
+}
+
+/// A compiled incremental monitor for one goal expression.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::{parse, State, CompiledMonitor};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = CompiledMonitor::compile(&parse("always(p || prev(q))")?)?;
+/// let t1 = m.observe(&State::new().with_bool("p", false).with_bool("q", true))?;
+/// let t2 = m.observe(&State::new().with_bool("p", false).with_bool("q", false))?;
+/// assert!(!t1); // no previous state yet, p false
+/// assert!(t2);  // q held in the previous state
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledMonitor {
+    root: Node,
+    step: u64,
+}
+
+impl CompiledMonitor {
+    /// Compiles an expression for incremental monitoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::FutureOperator`] if the expression contains
+    /// `eventually` or `next`.
+    pub fn compile(expr: &Expr) -> Result<Self, EvalError> {
+        let rewritten = monitor_form(expr)?;
+        Ok(CompiledMonitor {
+            root: Node::build(&rewritten),
+            step: 0,
+        })
+    }
+
+    /// Feeds the next state sample and returns the goal's current truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if a referenced variable is missing or
+    /// mistyped in `state`. The monitor's history is still advanced
+    /// consistently on error-free subtrees, so callers should treat an
+    /// error as fatal for this monitor instance.
+    pub fn observe(&mut self, state: &State) -> Result<bool, EvalError> {
+        let step = usize::try_from(self.step).unwrap_or(usize::MAX);
+        let v = self.root.eval(state, step)?;
+        self.step += 1;
+        Ok(v)
+    }
+
+    /// Number of samples observed so far.
+    pub fn steps_observed(&self) -> u64 {
+        self.step
+    }
+
+    /// Clears all history, returning the monitor to its initial state.
+    pub fn reset(&mut self) {
+        self.root.reset();
+        self.step = 0;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Const(bool),
+    Var(String),
+    Cmp {
+        lhs: Operand,
+        op: CmpOp,
+        rhs: Operand,
+    },
+    Not(Box<Node>),
+    And(Vec<Node>),
+    Or(Vec<Node>),
+    Implies(Box<Node>, Box<Node>),
+    Prev {
+        child: Box<Node>,
+        last: Option<bool>,
+    },
+    Once {
+        child: Box<Node>,
+        seen_true_before: bool,
+    },
+    Historically {
+        child: Box<Node>,
+        all_true_before: bool,
+    },
+    HeldFor {
+        child: Box<Node>,
+        ticks: u64,
+        run_before: u64,
+    },
+    OnceWithin {
+        child: Box<Node>,
+        ticks: u64,
+        last_true_step: Option<u64>,
+    },
+    Became {
+        child: Box<Node>,
+        last: Option<bool>,
+    },
+    Initially {
+        child: Box<Node>,
+        captured: Option<bool>,
+    },
+}
+
+impl Node {
+    fn build(expr: &Expr) -> Node {
+        match expr {
+            Expr::Const(b) => Node::Const(*b),
+            Expr::Var(v) => Node::Var(v.clone()),
+            Expr::Cmp { lhs, op, rhs } => Node::Cmp {
+                lhs: lhs.clone(),
+                op: *op,
+                rhs: rhs.clone(),
+            },
+            Expr::Not(e) => Node::Not(Box::new(Node::build(e))),
+            Expr::And(items) => Node::And(items.iter().map(Node::build).collect()),
+            Expr::Or(items) => Node::Or(items.iter().map(Node::build).collect()),
+            Expr::Implies(a, b) => {
+                Node::Implies(Box::new(Node::build(a)), Box::new(Node::build(b)))
+            }
+            Expr::Prev(e) => Node::Prev {
+                child: Box::new(Node::build(e)),
+                last: None,
+            },
+            Expr::Once(e) => Node::Once {
+                child: Box::new(Node::build(e)),
+                seen_true_before: false,
+            },
+            Expr::Historically(e) => Node::Historically {
+                child: Box::new(Node::build(e)),
+                all_true_before: true,
+            },
+            Expr::HeldFor { expr, ticks } => Node::HeldFor {
+                child: Box::new(Node::build(expr)),
+                ticks: *ticks,
+                run_before: 0,
+            },
+            Expr::OnceWithin { expr, ticks } => Node::OnceWithin {
+                child: Box::new(Node::build(expr)),
+                ticks: *ticks,
+                last_true_step: None,
+            },
+            Expr::Became(e) => Node::Became {
+                child: Box::new(Node::build(e)),
+                last: None,
+            },
+            Expr::Initially(e) => Node::Initially {
+                child: Box::new(Node::build(e)),
+                captured: None,
+            },
+            // monitor_form has eliminated these before Node::build runs
+            Expr::Entails(..) | Expr::Iff(..) | Expr::Always(_) | Expr::Eventually(_)
+            | Expr::Next(_) => unreachable!("monitor_form eliminates future forms"),
+        }
+    }
+
+    fn eval(&mut self, state: &State, step: usize) -> Result<bool, EvalError> {
+        match self {
+            Node::Const(b) => Ok(*b),
+            Node::Var(name) => eval::bool_var(state, name, step),
+            Node::Cmp { lhs, op, rhs } => eval::compare(lhs, *op, rhs, state, step),
+            Node::Not(e) => Ok(!e.eval(state, step)?),
+            Node::And(items) => {
+                // Evaluate every child so temporal sub-monitors keep their
+                // history consistent even after a short-circuitable false.
+                let mut all = true;
+                for e in items {
+                    all &= e.eval(state, step)?;
+                }
+                Ok(all)
+            }
+            Node::Or(items) => {
+                let mut any = false;
+                for e in items {
+                    any |= e.eval(state, step)?;
+                }
+                Ok(any)
+            }
+            Node::Implies(a, b) => {
+                let av = a.eval(state, step)?;
+                let bv = b.eval(state, step)?;
+                Ok(!av || bv)
+            }
+            Node::Prev { child, last } => {
+                let cur = child.eval(state, step)?;
+                let out = last.unwrap_or(false);
+                *last = Some(cur);
+                Ok(out)
+            }
+            Node::Once {
+                child,
+                seen_true_before,
+            } => {
+                let cur = child.eval(state, step)?;
+                let out = *seen_true_before;
+                *seen_true_before |= cur;
+                Ok(out)
+            }
+            Node::Historically {
+                child,
+                all_true_before,
+            } => {
+                let cur = child.eval(state, step)?;
+                let out = *all_true_before;
+                *all_true_before &= cur;
+                Ok(out)
+            }
+            Node::HeldFor {
+                child,
+                ticks,
+                run_before,
+            } => {
+                let cur = child.eval(state, step)?;
+                let out = *ticks == 0 || *run_before >= *ticks;
+                *run_before = if cur { run_before.saturating_add(1) } else { 0 };
+                Ok(out)
+            }
+            Node::OnceWithin {
+                child,
+                ticks,
+                last_true_step,
+            } => {
+                let cur = child.eval(state, step)?;
+                let step_u64 = step as u64;
+                let out = last_true_step
+                    .is_some_and(|lt| step_u64.saturating_sub(lt) <= *ticks);
+                if cur {
+                    *last_true_step = Some(step_u64);
+                }
+                Ok(out)
+            }
+            Node::Became { child, last } => {
+                let cur = child.eval(state, step)?;
+                let out = cur && !last.unwrap_or(true);
+                *last = Some(cur);
+                Ok(out)
+            }
+            Node::Initially { child, captured } => {
+                let cur = child.eval(state, step)?;
+                if captured.is_none() {
+                    *captured = Some(cur);
+                }
+                Ok(captured.expect("just set"))
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Node::Const(_) | Node::Var(_) | Node::Cmp { .. } => {}
+            Node::Not(e) => e.reset(),
+            Node::And(items) | Node::Or(items) => {
+                for e in items {
+                    e.reset();
+                }
+            }
+            Node::Implies(a, b) => {
+                a.reset();
+                b.reset();
+            }
+            Node::Prev { child, last } => {
+                child.reset();
+                *last = None;
+            }
+            Node::Once {
+                child,
+                seen_true_before,
+            } => {
+                child.reset();
+                *seen_true_before = false;
+            }
+            Node::Historically {
+                child,
+                all_true_before,
+            } => {
+                child.reset();
+                *all_true_before = true;
+            }
+            Node::HeldFor {
+                child, run_before, ..
+            } => {
+                child.reset();
+                *run_before = 0;
+            }
+            Node::OnceWithin {
+                child,
+                last_true_step,
+                ..
+            } => {
+                child.reset();
+                *last_true_step = None;
+            }
+            Node::Became { child, last } => {
+                child.reset();
+                *last = None;
+            }
+            Node::Initially { child, captured } => {
+                child.reset();
+                *captured = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_trace;
+    use crate::parse;
+    use crate::state::Trace;
+
+    fn trace_of(bits: &[(&str, Vec<bool>)]) -> Trace {
+        let n = bits[0].1.len();
+        let mut t = Trace::with_tick_millis(1);
+        for i in 0..n {
+            let mut s = State::new();
+            for (name, vals) in bits {
+                s.set(*name, vals[i]);
+            }
+            t.push(s);
+        }
+        t
+    }
+
+    fn monitor_run(src: &str, t: &Trace) -> Vec<bool> {
+        let mut m = CompiledMonitor::compile(&parse(src).unwrap()).unwrap();
+        t.iter().map(|s| m.observe(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn matches_reference_on_past_only_formulas() {
+        let t = trace_of(&[
+            ("p", vec![true, false, true, true, false, true]),
+            ("q", vec![false, false, true, false, true, true]),
+        ]);
+        for src in [
+            "prev(p)",
+            "once(p && q)",
+            "historically(p || q)",
+            "held_for(p, 2ticks)",
+            "once_within(q, 3ticks)",
+            "became(p)",
+            "initially(p) -> q",
+            "prev(prev(p)) && !q",
+        ] {
+            let reference = eval_trace(&parse(src).unwrap(), &t).unwrap();
+            assert_eq!(monitor_run(src, &t), reference, "mismatch for {src}");
+        }
+    }
+
+    #[test]
+    fn always_uses_violation_semantics() {
+        let t = trace_of(&[("p", vec![true, false, true])]);
+        // reference `always` is suffix-true; the monitor flags per-state.
+        assert_eq!(monitor_run("always(p)", &t), vec![true, false, true]);
+    }
+
+    #[test]
+    fn entails_uses_per_state_semantics() {
+        let t = trace_of(&[("p", vec![true, true]), ("q", vec![true, false])]);
+        assert_eq!(monitor_run("p => q", &t), vec![true, false]);
+    }
+
+    #[test]
+    fn iff_monitors_agreement() {
+        let t = trace_of(&[("p", vec![true, false]), ("q", vec![true, true])]);
+        assert_eq!(monitor_run("p <-> q", &t), vec![true, false]);
+    }
+
+    #[test]
+    fn rejects_future_operators() {
+        assert!(matches!(
+            CompiledMonitor::compile(&parse("eventually(p)").unwrap()),
+            Err(EvalError::FutureOperator { .. })
+        ));
+        assert!(matches!(
+            CompiledMonitor::compile(&parse("next(p)").unwrap()),
+            Err(EvalError::FutureOperator { .. })
+        ));
+    }
+
+    #[test]
+    fn short_circuit_does_not_desync_history() {
+        // The `prev(q)` inside the And must track q even while p is false.
+        let t = trace_of(&[
+            ("p", vec![false, false, true]),
+            ("q", vec![true, false, false]),
+        ]);
+        assert_eq!(monitor_run("p && prev(q)", &t), vec![false, false, false]);
+        let t2 = trace_of(&[
+            ("p", vec![false, true, true]),
+            ("q", vec![true, true, false]),
+        ]);
+        assert_eq!(monitor_run("p && prev(q)", &t2), vec![false, true, true]);
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let mut m = CompiledMonitor::compile(&parse("prev(p)").unwrap()).unwrap();
+        let s_true = State::new().with_bool("p", true);
+        assert!(!m.observe(&s_true).unwrap());
+        assert!(m.observe(&s_true).unwrap());
+        m.reset();
+        assert_eq!(m.steps_observed(), 0);
+        assert!(!m.observe(&s_true).unwrap());
+    }
+}

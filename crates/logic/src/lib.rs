@@ -1,0 +1,56 @@
+//! Past-time temporal logic for safety-goal specification.
+//!
+//! This crate implements the temporal-logic substrate of Black's *System
+//! Safety as an Emergent Property in Composite Systems* (CMU, 2009). Safety
+//! goals in that work are written in the KAOS style over system state
+//! variables using the operator set of the thesis's Figure 2.5: boolean
+//! connectives, current-state and all-states implication, the past-time
+//! operators ● (previous state), ◆ (once in the past), ■ (historically),
+//! bounded variants `●ⁿ<T` (held for the previous duration `T`) and `◆<T`
+//! (true at least once within the previous duration `T`), the edge operator
+//! `@P ≡ ●¬P ∧ P`, and the initial-state assertion `S0 ⊨ P`.
+//!
+//! Four views of the same [`Expr`] AST are provided:
+//!
+//! * [`parser`] — a round-trippable text syntax
+//!   (`always(dc || es.stopped)`, `held_for(drc == 'STOP', 200ms) -> ok`);
+//! * [`eval`] — reference evaluation over complete recorded [`Trace`]s;
+//! * [`incremental`] — an O(#subformulas)-per-tick monitor used for
+//!   run-time goal monitoring;
+//! * [`prop`] — bounded two-state unrolling into propositional formulas with
+//!   model enumeration, used by the composability and realizability analyses
+//!   of `esafe-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use esafe_logic::{parse, State, CompiledMonitor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let goal = parse("always(door_closed || elevator_stopped)")?;
+//! let mut monitor = CompiledMonitor::compile(&goal)?;
+//! let ok = monitor.observe(&State::new().with_bool("door_closed", true)
+//!                                       .with_bool("elevator_stopped", true))?;
+//! let bad = monitor.observe(&State::new().with_bool("door_closed", false)
+//!                                        .with_bool("elevator_stopped", false))?;
+//! assert!(ok);
+//! assert!(!bad); // the safety goal is violated in the second state
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod incremental;
+pub mod parser;
+pub mod prop;
+pub mod state;
+pub mod value;
+
+pub use error::{EvalError, ParseError, PropError};
+pub use expr::{CmpOp, Expr, Operand};
+pub use incremental::CompiledMonitor;
+pub use parser::parse;
+pub use state::{State, Trace};
+pub use value::Value;

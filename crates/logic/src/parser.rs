@@ -1,0 +1,533 @@
+//! Text syntax for goal expressions.
+//!
+//! The grammar (lowest to highest precedence):
+//!
+//! ```text
+//! expr     := iff
+//! iff      := entail ( "<->" entail )*
+//! entail   := imply ( "=>" imply )*          (right associative)
+//! imply    := or ( "->" or )*                (right associative)
+//! or       := and ( "||" and )*
+//! and      := unary ( "&&" unary )*
+//! unary    := "!" unary | temporal | atom
+//! temporal := NAME "(" expr [ "," duration ] ")"
+//!             where NAME ∈ { prev, once, historically, held_for,
+//!                            once_within, became, initially, always,
+//!                            eventually, next }
+//! atom     := "true" | "false" | "(" expr ")"
+//!           | operand ( cmpop operand )?
+//! operand  := IDENT | NUMBER | "'" SYMBOL "'"
+//! duration := NUMBER ( "ms" | "s" | "ticks" )
+//! IDENT    := [A-Za-z_][A-Za-z0-9_.]*
+//! ```
+//!
+//! Durations in `ms`/`s` are converted to ticks using the parser's tick
+//! period (default **1 ms**, matching the thesis's 1 ms simulation states).
+
+use crate::error::ParseError;
+use crate::expr::{CmpOp, Expr, Operand};
+use crate::value::Value;
+
+/// Parses an expression using the default 1 ms tick period.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::parse;
+/// let e = parse("held_for(drc == 'STOP', 200ms) -> drive_stopped")?;
+/// assert_eq!(e.to_string(),
+///            "held_for(drc == 'STOP', 200ticks) -> drive_stopped");
+/// # Ok::<(), esafe_logic::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    parse_with_tick_millis(input, 1)
+}
+
+/// Parses an expression, converting `ms`/`s` durations to ticks of the given
+/// period.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, including durations that are
+/// not whole multiples of the tick period.
+pub fn parse_with_tick_millis(input: &str, tick_millis: u64) -> Result<Expr, ParseError> {
+    assert!(tick_millis > 0, "tick period must be positive");
+    let mut p = Parser {
+        src: input.as_bytes(),
+        pos: 0,
+        tick_millis,
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tick_millis: u64,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{tok}`")))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.entail()?;
+        while self.eat("<->") {
+            let rhs = self.entail()?;
+            lhs = Expr::iff(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn entail(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.imply()?;
+        if self.eat("=>") {
+            let rhs = self.entail()?;
+            Ok(Expr::entails(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn imply(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.or()?;
+        // Guard against consuming the `->` of `<->`: `<` can't precede here
+        // because `or()` already consumed it as a comparison.
+        if self.eat("->") {
+            let rhs = self.imply()?;
+            Ok(Expr::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr, ParseError> {
+        let mut items = vec![self.and()?];
+        while self.eat("||") {
+            items.push(self.and()?);
+        }
+        Ok(Expr::or_all(items))
+    }
+
+    fn and(&mut self) -> Result<Expr, ParseError> {
+        let mut items = vec![self.unary()?];
+        while self.eat("&&") {
+            items.push(self.unary()?);
+        }
+        Ok(Expr::and_all(items))
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.eat("!") {
+            return Ok(Expr::not(self.unary()?));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            Some(b'\'') => {
+                let lhs = Operand::Lit(self.symbol_literal()?);
+                self.comparison_tail(lhs)
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' || c == b'+' => {
+                let lhs = Operand::Lit(self.number_literal()?);
+                self.comparison_tail(lhs)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                let ident = self.ident()?;
+                match ident.as_str() {
+                    "true" => return Ok(Expr::Const(true)),
+                    "false" => return Ok(Expr::Const(false)),
+                    _ => {}
+                }
+                self.skip_ws();
+                if self.peek() == Some(b'(') {
+                    return self.temporal_call(&ident, start);
+                }
+                self.comparison_tail(Operand::Var(ident))
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    fn temporal_call(&mut self, name: &str, name_start: usize) -> Result<Expr, ParseError> {
+        self.expect("(")?;
+        let inner = self.expr()?;
+        let e = match name {
+            "prev" => Expr::prev(inner),
+            "once" => Expr::once(inner),
+            "historically" => Expr::historically(inner),
+            "became" => Expr::became(inner),
+            "initially" => Expr::initially(inner),
+            "always" => Expr::always(inner),
+            "eventually" => Expr::eventually(inner),
+            "next" => Expr::next(inner),
+            "held_for" | "once_within" => {
+                self.expect(",")?;
+                let ticks = self.duration()?;
+                if name == "held_for" {
+                    Expr::held_for(inner, ticks)
+                } else {
+                    Expr::once_within(inner, ticks)
+                }
+            }
+            other => {
+                self.pos = name_start;
+                return Err(self.err(format!("unknown operator `{other}`")));
+            }
+        };
+        self.expect(")")?;
+        Ok(e)
+    }
+
+    fn comparison_tail(&mut self, lhs: Operand) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        let op = if self.eat("==") {
+            Some(CmpOp::Eq)
+        } else if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.src[self.pos..].starts_with(b"<->") {
+            None // leave for the iff level
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let rhs = self.operand()?;
+                Ok(Expr::Cmp { lhs, op, rhs })
+            }
+            None => match lhs {
+                Operand::Var(name) => Ok(Expr::Var(name)),
+                Operand::Lit(v) => Err(self.err(format!(
+                    "literal {v} must be part of a comparison"
+                ))),
+            },
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'\'') => Ok(Operand::Lit(self.symbol_literal()?)),
+            Some(c) if c.is_ascii_digit() || c == b'-' || c == b'+' => {
+                Ok(Operand::Lit(self.number_literal()?))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let ident = self.ident()?;
+                match ident.as_str() {
+                    "true" => Ok(Operand::Lit(Value::Bool(true))),
+                    "false" => Ok(Operand::Lit(Value::Bool(false))),
+                    _ => Ok(Operand::Var(ident)),
+                }
+            }
+            _ => Err(self.err("expected operand")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn symbol_literal(&mut self) -> Result<Value, ParseError> {
+        self.expect("'")?;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'\'' {
+                let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(Value::Sym(s));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated symbol literal"))
+    }
+
+    fn number_literal(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        let mut saw_dot = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                saw_digit = true;
+                self.pos += 1;
+            } else if c == b'.' && !saw_dot {
+                // Only treat as a decimal point when followed by a digit,
+                // so identifiers like `va.value` are untouched.
+                if self
+                    .src
+                    .get(self.pos + 1)
+                    .is_some_and(|d| d.is_ascii_digit())
+                {
+                    saw_dot = true;
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if !saw_digit {
+            return Err(self.err("expected number"));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        if saw_dot {
+            text.parse::<f64>()
+                .map(Value::Real)
+                .map_err(|e| self.err(format!("bad real literal: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| self.err(format!("bad integer literal: {e}")))
+        }
+    }
+
+    fn duration(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected duration"));
+        }
+        let n: u64 = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii digits")
+            .parse()
+            .map_err(|e| self.err(format!("bad duration: {e}")))?;
+        if self.eat("ticks") {
+            Ok(n)
+        } else if self.eat("ms") {
+            self.millis_to_ticks(n)
+        } else if self.eat("s") {
+            self.millis_to_ticks(n.saturating_mul(1000))
+        } else {
+            Err(self.err("expected duration unit `ms`, `s`, or `ticks`"))
+        }
+    }
+
+    fn millis_to_ticks(&self, millis: u64) -> Result<u64, ParseError> {
+        if millis % self.tick_millis != 0 {
+            return Err(ParseError {
+                offset: self.pos,
+                message: format!(
+                    "duration {millis}ms is not a multiple of the {}ms tick",
+                    self.tick_millis
+                ),
+            });
+        }
+        Ok(millis / self.tick_millis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &str) {
+        let e = parse(src).unwrap();
+        let printed = e.to_string();
+        let e2 = parse(&printed).unwrap();
+        assert_eq!(e, e2, "round trip failed for `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let e = parse("a && b || !c").unwrap();
+        assert_eq!(
+            e,
+            Expr::or(
+                Expr::and(Expr::var("a"), Expr::var("b")),
+                Expr::not(Expr::var("c"))
+            )
+        );
+    }
+
+    #[test]
+    fn implication_chain_is_right_associative() {
+        let e = parse("a -> b -> c").unwrap();
+        assert_eq!(
+            e,
+            Expr::implies(Expr::var("a"), Expr::implies(Expr::var("b"), Expr::var("c")))
+        );
+    }
+
+    #[test]
+    fn entails_binds_looser_than_implies() {
+        let e = parse("a -> b => c").unwrap();
+        assert_eq!(
+            e,
+            Expr::entails(Expr::implies(Expr::var("a"), Expr::var("b")), Expr::var("c"))
+        );
+    }
+
+    #[test]
+    fn parses_comparisons_with_dotted_names() {
+        let e = parse("va.value <= 2.0").unwrap();
+        assert_eq!(e, Expr::var_le("va.value", 2.0));
+        let e2 = parse("va.source == 'CA'").unwrap();
+        assert_eq!(e2, Expr::var_eq("va.source", "CA"));
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        let e = parse("vj >= -2.5").unwrap();
+        assert_eq!(e, Expr::var_ge("vj", -2.5));
+    }
+
+    #[test]
+    fn parses_temporal_operators() {
+        assert_eq!(parse("prev(p)").unwrap(), Expr::prev(Expr::var("p")));
+        assert_eq!(
+            parse("held_for(p, 3ticks)").unwrap(),
+            Expr::held_for(Expr::var("p"), 3)
+        );
+        assert_eq!(
+            parse("once_within(p, 200ms)").unwrap(),
+            Expr::once_within(Expr::var("p"), 200)
+        );
+        assert_eq!(
+            parse_with_tick_millis("held_for(p, 1s)", 10).unwrap(),
+            Expr::held_for(Expr::var("p"), 100)
+        );
+    }
+
+    #[test]
+    fn rejects_non_multiple_durations() {
+        let err = parse_with_tick_millis("held_for(p, 25ms)", 10).unwrap_err();
+        assert!(err.message.contains("not a multiple"));
+    }
+
+    #[test]
+    fn rejects_unknown_operator_and_trailing_input() {
+        assert!(parse("frobnicate(p)").unwrap_err().message.contains("unknown"));
+        assert!(parse("p q").unwrap_err().message.contains("trailing"));
+        assert!(parse("(p").unwrap_err().message.contains("expected `)`"));
+    }
+
+    #[test]
+    fn rejects_bare_literal() {
+        assert!(parse("3.5").is_err());
+        assert!(parse("'STOP'").is_err());
+    }
+
+    #[test]
+    fn iff_is_not_eaten_by_comparison() {
+        let e = parse("a <-> b").unwrap();
+        assert_eq!(e, Expr::iff(Expr::var("a"), Expr::var("b")));
+    }
+
+    #[test]
+    fn literal_on_left_of_comparison() {
+        let e = parse("2.0 >= va.value").unwrap();
+        assert_eq!(
+            e,
+            Expr::cmp(Operand::lit(2.0), CmpOp::Ge, Operand::var("va.value"))
+        );
+    }
+
+    #[test]
+    fn round_trips() {
+        for src in [
+            "a && b || !c",
+            "prev(a) => b",
+            "held_for(drc == 'STOP', 200ticks) -> stopped",
+            "once_within(p && q, 5ticks) || historically(r)",
+            "initially(p) <-> became(q)",
+            "always(dc || es.stopped)",
+            "va.value <= 2.0 && va.source != 'DRIVER'",
+            "!(a || b) && c",
+            "a -> b -> c",
+            "eventually(next(p))",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(
+            parse("  a&&b  ").unwrap(),
+            parse("a && b").unwrap()
+        );
+    }
+}

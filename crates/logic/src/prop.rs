@@ -1,0 +1,493 @@
+//! Bounded propositional analysis: unrolling and model enumeration.
+//!
+//! The composability definitions of the thesis's Chapter 3 and the
+//! realizability catalog of Chapter 4 / Appendix B reason about goals as
+//! propositional formulas over state variables, possibly offset into the
+//! past by `prev` (●). This module unrolls such expressions into
+//! propositional formulas over `(variable, age)` atoms — `p@0` is `p` now,
+//! `p@1` is `p` one state ago — and checks entailment, equivalence, and
+//! satisfiability by explicit model enumeration.
+//!
+//! # Soundness scope
+//!
+//! * Comparisons are treated as *opaque atoms*: `x <= 2` and `x <= 3` are
+//!   independent. Checks are therefore sound for the boolean structure of
+//!   goals but do not exploit arithmetic.
+//! * Atoms at distinct ages are free: checks quantify over arbitrary
+//!   state windows, ignoring the trace-initial corner where `prev(_)` is
+//!   false. Validity over free windows implies validity at every
+//!   mid-trace state, which is the guarantee the ICPA catalog needs; the
+//!   initial state is covered separately by explicit `initially(_)`
+//!   assumptions in elaborations (thesis §4.4.3).
+//! * Unbounded-past (`once`, `historically`), bounded-window, and future
+//!   operators cannot be unrolled and yield [`PropError::Unboundable`].
+
+use crate::error::PropError;
+use crate::expr::{Expr, Operand};
+use std::collections::BTreeMap;
+
+/// Maximum number of distinct `(variable, age)` atoms the enumerator will
+/// accept (2^20 ≈ 1M models).
+pub const ATOM_LIMIT: usize = 20;
+
+/// A propositional atom: a variable (or opaque comparison) at a past age.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomKey {
+    /// Variable name or canonical comparison rendering.
+    pub key: String,
+    /// Number of states into the past (0 = current state).
+    pub age: u32,
+}
+
+impl std::fmt::Display for AtomKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.age == 0 {
+            write!(f, "{}", self.key)
+        } else {
+            write!(f, "{}@{}", self.key, self.age)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PropFormula {
+    Const(bool),
+    Atom(usize),
+    Not(Box<PropFormula>),
+    And(Vec<PropFormula>),
+    Or(Vec<PropFormula>),
+}
+
+impl PropFormula {
+    fn eval(&self, assignment: u64) -> bool {
+        match self {
+            PropFormula::Const(b) => *b,
+            PropFormula::Atom(i) => assignment & (1 << i) != 0,
+            PropFormula::Not(e) => !e.eval(assignment),
+            PropFormula::And(items) => items.iter().all(|e| e.eval(assignment)),
+            PropFormula::Or(items) => items.iter().any(|e| e.eval(assignment)),
+        }
+    }
+}
+
+/// A set of expressions unrolled over a shared atom table, ready for model
+/// enumeration.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::{parse, prop::PropSet};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = parse("prev(p) -> q")?;
+/// let b = parse("!q -> !prev(p)")?;
+/// let set = PropSet::build(&[&a, &b])?;
+/// assert!(set.equivalent(0, 1)); // contrapositive
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PropSet {
+    atoms: Vec<AtomKey>,
+    formulas: Vec<PropFormula>,
+}
+
+impl PropSet {
+    /// Unrolls `exprs` over a shared atom table.
+    ///
+    /// # Errors
+    ///
+    /// [`PropError::Unboundable`] for expressions containing unbounded or
+    /// future operators; [`PropError::TooManyAtoms`] past [`ATOM_LIMIT`].
+    pub fn build(exprs: &[&Expr]) -> Result<Self, PropError> {
+        let mut table: BTreeMap<AtomKey, usize> = BTreeMap::new();
+        let mut formulas = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            formulas.push(unroll(e, 0, &mut table)?);
+        }
+        if table.len() > ATOM_LIMIT {
+            return Err(PropError::TooManyAtoms {
+                found: table.len(),
+                limit: ATOM_LIMIT,
+            });
+        }
+        let mut atoms = vec![
+            AtomKey {
+                key: String::new(),
+                age: 0
+            };
+            table.len()
+        ];
+        for (k, i) in table {
+            atoms[i] = k;
+        }
+        Ok(PropSet { atoms, formulas })
+    }
+
+    /// The shared atom table.
+    pub fn atoms(&self) -> &[AtomKey] {
+        &self.atoms
+    }
+
+    /// Number of formulas in the set (indexing order follows `build`).
+    pub fn len(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// Whether the set holds no formulas.
+    pub fn is_empty(&self) -> bool {
+        self.formulas.is_empty()
+    }
+
+    fn model_count(&self) -> u64 {
+        1u64 << self.atoms.len()
+    }
+
+    /// Evaluates formula `idx` under the given atom assignment bitmask.
+    pub fn eval(&self, idx: usize, assignment: u64) -> bool {
+        self.formulas[idx].eval(assignment)
+    }
+
+    /// Counts models satisfying `pred` over the formulas' truth values.
+    ///
+    /// `pred` receives the per-formula truth vector for each assignment.
+    pub fn count_models_where(&self, mut pred: impl FnMut(&[bool]) -> bool) -> u64 {
+        let mut truths = vec![false; self.formulas.len()];
+        let mut count = 0;
+        for m in 0..self.model_count() {
+            for (i, f) in self.formulas.iter().enumerate() {
+                truths[i] = f.eval(m);
+            }
+            if pred(&truths) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Whether formula `a` entails formula `b` (every model of `a`
+    /// satisfies `b`).
+    pub fn entails(&self, a: usize, b: usize) -> bool {
+        self.count_models_where(|t| t[a] && !t[b]) == 0
+    }
+
+    /// Whether the conjunction of `premises` entails formula `b`.
+    pub fn all_entail(&self, premises: &[usize], b: usize) -> bool {
+        self.count_models_where(|t| premises.iter().all(|&i| t[i]) && !t[b]) == 0
+    }
+
+    /// Whether formulas `a` and `b` agree in every model.
+    pub fn equivalent(&self, a: usize, b: usize) -> bool {
+        self.count_models_where(|t| t[a] != t[b]) == 0
+    }
+
+    /// Whether formula `a` has at least one model.
+    pub fn satisfiable(&self, a: usize) -> bool {
+        self.count_models_where(|t| t[a]) > 0
+    }
+
+    /// Whether the conjunction of all formulas is satisfiable.
+    pub fn jointly_satisfiable(&self, idxs: &[usize]) -> bool {
+        self.count_models_where(|t| idxs.iter().all(|&i| t[i])) > 0
+    }
+}
+
+fn unroll(
+    expr: &Expr,
+    age: u32,
+    table: &mut BTreeMap<AtomKey, usize>,
+) -> Result<PropFormula, PropError> {
+    let mut atom = |key: String, age: u32| -> PropFormula {
+        let k = AtomKey { key, age };
+        let next = table.len();
+        let idx = *table.entry(k).or_insert(next);
+        PropFormula::Atom(idx)
+    };
+    Ok(match expr {
+        Expr::Const(b) => PropFormula::Const(*b),
+        Expr::Var(v) => atom(v.clone(), age),
+        Expr::Cmp { lhs, op, rhs } => {
+            // Canonicalize so `x < 2` and `2 > x` share one atom.
+            let key = match (lhs, rhs) {
+                (Operand::Lit(_), Operand::Var(_)) => {
+                    format!("{rhs} {} {lhs}", op.flipped().symbol())
+                }
+                _ => format!("{lhs} {} {rhs}", op.symbol()),
+            };
+            atom(key, age)
+        }
+        Expr::Not(e) => PropFormula::Not(Box::new(unroll(e, age, table)?)),
+        Expr::And(items) => PropFormula::And(
+            items
+                .iter()
+                .map(|e| unroll(e, age, table))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Or(items) => PropFormula::Or(
+            items
+                .iter()
+                .map(|e| unroll(e, age, table))
+                .collect::<Result<_, _>>()?,
+        ),
+        // Per-state validity view: both implication forms check the same
+        // window-local implication; `always` unrolls to its body.
+        Expr::Implies(a, b) | Expr::Entails(a, b) => PropFormula::Or(vec![
+            PropFormula::Not(Box::new(unroll(a, age, table)?)),
+            unroll(b, age, table)?,
+        ]),
+        Expr::Iff(a, b) => {
+            let (fa, fb) = (unroll(a, age, table)?, unroll(b, age, table)?);
+            PropFormula::Or(vec![
+                PropFormula::And(vec![fa.clone(), fb.clone()]),
+                PropFormula::And(vec![
+                    PropFormula::Not(Box::new(fa)),
+                    PropFormula::Not(Box::new(fb)),
+                ]),
+            ])
+        }
+        Expr::Always(e) => unroll(e, age, table)?,
+        Expr::Prev(e) => unroll(e, age + 1, table)?,
+        Expr::Became(e) => PropFormula::And(vec![
+            unroll(e, age, table)?,
+            PropFormula::Not(Box::new(unroll(e, age + 1, table)?)),
+        ]),
+        Expr::Once(_) => return Err(PropError::Unboundable { operator: "once" }),
+        Expr::Historically(_) => {
+            return Err(PropError::Unboundable {
+                operator: "historically",
+            })
+        }
+        Expr::HeldFor { .. } => {
+            return Err(PropError::Unboundable {
+                operator: "held_for",
+            })
+        }
+        Expr::OnceWithin { .. } => {
+            return Err(PropError::Unboundable {
+                operator: "once_within",
+            })
+        }
+        Expr::Initially(_) => {
+            return Err(PropError::Unboundable {
+                operator: "initially",
+            })
+        }
+        Expr::Eventually(_) => {
+            return Err(PropError::Unboundable {
+                operator: "eventually",
+            })
+        }
+        Expr::Next(_) => return Err(PropError::Unboundable { operator: "next" }),
+    })
+}
+
+/// Convenience: does the conjunction of `premises` entail `conclusion`?
+///
+/// # Errors
+///
+/// See [`PropSet::build`].
+///
+/// ```
+/// use esafe_logic::{parse, prop};
+/// let p = parse("a -> b").unwrap();
+/// let q = parse("b -> c").unwrap();
+/// let r = parse("a -> c").unwrap();
+/// assert!(prop::entails(&[&p, &q], &r).unwrap());
+/// assert!(!prop::entails(&[&p], &r).unwrap());
+/// ```
+pub fn entails(premises: &[&Expr], conclusion: &Expr) -> Result<bool, PropError> {
+    let mut exprs: Vec<&Expr> = premises.to_vec();
+    exprs.push(conclusion);
+    let set = PropSet::build(&exprs)?;
+    let premise_idx: Vec<usize> = (0..premises.len()).collect();
+    Ok(set.all_entail(&premise_idx, premises.len()))
+}
+
+/// Entailment treating each premise as an *invariant*: premises hold at
+/// every state, so each is asserted at every past offset the window
+/// reaches. This is the check ICPA elaborations need — subgoals are
+/// always-goals, and a conclusion referencing `prev(prev(x))` may require a
+/// premise instantiated one state back.
+///
+/// # Errors
+///
+/// See [`PropSet::build`].
+///
+/// ```
+/// use esafe_logic::{parse, prop};
+/// // danger two states ago ⇒ ¬effect, via an enable dropped one state ago.
+/// let g = parse("prev(danger) -> !enable").unwrap();
+/// let ctrl = parse("prev(!enable) -> !effect").unwrap();
+/// let parent = parse("prev(prev(danger)) -> !effect").unwrap();
+/// assert!(!prop::entails(&[&g, &ctrl], &parent).unwrap()); // one age only
+/// assert!(prop::entails_invariant(&[&g, &ctrl], &parent).unwrap());
+/// ```
+pub fn entails_invariant(premises: &[&Expr], conclusion: &Expr) -> Result<bool, PropError> {
+    // Formulas with wide bounded windows (`held_for`, `once_within`) are
+    // not propositionally unrollable anyway; cap the shift depth so the
+    // pre-check never builds pathologically deep `prev` chains before the
+    // unroller rejects them.
+    const MAX_SHIFT: u32 = 8;
+    let depth = premises
+        .iter()
+        .map(|p| p.prev_depth())
+        .chain(std::iter::once(conclusion.prev_depth()))
+        .max()
+        .unwrap_or(0)
+        .min(MAX_SHIFT);
+    let mut shifted: Vec<Expr> = Vec::new();
+    for p in premises {
+        for k in 0..=depth {
+            let mut e = (*p).clone();
+            for _ in 0..k {
+                e = Expr::prev(e);
+            }
+            shifted.push(e);
+        }
+    }
+    let refs: Vec<&Expr> = shifted.iter().collect();
+    entails(&refs, conclusion)
+}
+
+/// Convenience: are `a` and `b` materially equivalent in all states?
+///
+/// # Errors
+///
+/// See [`PropSet::build`].
+pub fn equivalent(a: &Expr, b: &Expr) -> Result<bool, PropError> {
+    let set = PropSet::build(&[a, b])?;
+    Ok(set.equivalent(0, 1))
+}
+
+/// Convenience: is `e` satisfiable?
+///
+/// # Errors
+///
+/// See [`PropSet::build`].
+pub fn satisfiable(e: &Expr) -> Result<bool, PropError> {
+    let set = PropSet::build(&[e])?;
+    Ok(set.satisfiable(0))
+}
+
+/// Convenience: is `e` valid (true in every model)?
+///
+/// # Errors
+///
+/// See [`PropSet::build`].
+pub fn valid(e: &Expr) -> Result<bool, PropError> {
+    let set = PropSet::build(&[e])?;
+    Ok(set.count_models_where(|t| !t[0]) == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn p(s: &str) -> Expr {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn modus_ponens_and_chaining() {
+        assert!(entails(&[&p("a"), &p("a -> b")], &p("b")).unwrap());
+        assert!(entails(&[&p("a -> b"), &p("b -> c")], &p("a -> c")).unwrap());
+        assert!(!entails(&[&p("a -> b")], &p("b -> a")).unwrap());
+    }
+
+    #[test]
+    fn de_morgan_laws() {
+        assert!(equivalent(&p("!(a && b)"), &p("!a || !b")).unwrap());
+        assert!(equivalent(&p("!(a || b)"), &p("!a && !b")).unwrap());
+    }
+
+    #[test]
+    fn entails_operator_acts_like_implication_statewise() {
+        assert!(equivalent(&p("a => b"), &p("!a || b")).unwrap());
+        assert!(equivalent(&p("always(a -> b)"), &p("a => b")).unwrap());
+    }
+
+    #[test]
+    fn prev_offsets_create_distinct_atoms() {
+        assert!(!equivalent(&p("prev(a)"), &p("a")).unwrap());
+        assert!(equivalent(&p("prev(a && b)"), &p("prev(a) && prev(b)")).unwrap());
+        assert!(equivalent(&p("prev(prev(a))"), &p("prev(prev(a))")).unwrap());
+    }
+
+    #[test]
+    fn became_unrolls_to_edge() {
+        assert!(equivalent(&p("became(a)"), &p("a && !prev(a)")).unwrap());
+    }
+
+    #[test]
+    fn comparisons_are_opaque_but_canonicalized() {
+        // Same comparison written both ways shares an atom.
+        assert!(equivalent(&p("x < 2"), &p("2 > x")).unwrap());
+        // Different bounds are independent atoms (documented limitation).
+        assert!(!entails(&[&p("x < 2")], &p("x < 3")).unwrap());
+    }
+
+    #[test]
+    fn satisfiability_and_validity() {
+        assert!(satisfiable(&p("a && !b")).unwrap());
+        assert!(!satisfiable(&p("a && !a")).unwrap());
+        assert!(valid(&p("a || !a")).unwrap());
+        assert!(!valid(&p("a")).unwrap());
+    }
+
+    #[test]
+    fn unboundable_operators_are_rejected() {
+        for src in [
+            "once(a)",
+            "historically(a)",
+            "held_for(a, 2ticks)",
+            "once_within(a, 2ticks)",
+            "eventually(a)",
+            "next(a)",
+            "initially(a)",
+        ] {
+            assert!(
+                matches!(satisfiable(&p(src)), Err(PropError::Unboundable { .. })),
+                "{src} should be unboundable"
+            );
+        }
+    }
+
+    #[test]
+    fn count_models_where_counts_correctly() {
+        let a = p("a");
+        let b = p("b");
+        let set = PropSet::build(&[&a, &b]).unwrap();
+        // 4 models over {a, b}; a && !b holds in exactly one.
+        assert_eq!(set.count_models_where(|t| t[0] && !t[1]), 1);
+        assert_eq!(set.count_models_where(|_| true), 4);
+    }
+
+    #[test]
+    fn atom_limit_is_enforced() {
+        let big = Expr::and_all((0..25).map(|i| Expr::var(format!("v{i}"))));
+        assert!(matches!(
+            satisfiable(&big),
+            Err(PropError::TooManyAtoms { .. })
+        ));
+    }
+
+    #[test]
+    fn atom_key_display() {
+        assert_eq!(
+            AtomKey {
+                key: "p".into(),
+                age: 0
+            }
+            .to_string(),
+            "p"
+        );
+        assert_eq!(
+            AtomKey {
+                key: "p".into(),
+                age: 2
+            }
+            .to_string(),
+            "p@2"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! System state snapshots and recorded traces.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A snapshot of all monitored state variables at one instant.
+///
+/// The thesis's run-time monitors sample the system's state variables at a
+/// fixed period (1 ms in the CarSim evaluation); a `State` is one such
+/// sample. Variables are identified by dotted names mirroring the KAOS
+/// object model, e.g. `va.value`, `va.source`, `door_closed`.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::{State, Value};
+///
+/// let s = State::new()
+///     .with_bool("door_closed", true)
+///     .with_real("elevator_speed", 0.0)
+///     .with_sym("drive_command", "STOP");
+/// assert_eq!(s.get("drive_command"), Some(&Value::sym("STOP")));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct State {
+    vars: BTreeMap<String, Value>,
+}
+
+impl State {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a variable, replacing any previous value.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// Builder-style boolean setter.
+    pub fn with_bool(mut self, name: impl Into<String>, v: bool) -> Self {
+        self.set(name, v);
+        self
+    }
+
+    /// Builder-style integer setter.
+    pub fn with_int(mut self, name: impl Into<String>, v: i64) -> Self {
+        self.set(name, v);
+        self
+    }
+
+    /// Builder-style real setter.
+    pub fn with_real(mut self, name: impl Into<String>, v: f64) -> Self {
+        self.set(name, v);
+        self
+    }
+
+    /// Builder-style symbolic setter.
+    pub fn with_sym(mut self, name: impl Into<String>, v: impl Into<String>) -> Self {
+        self.set(name, Value::Sym(v.into()));
+        self
+    }
+
+    /// Looks up a variable by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Number of variables in the snapshot.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the snapshot holds no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl<'a> IntoIterator for &'a State {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.vars.iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for State {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        State {
+            vars: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, Value)> for State {
+    fn extend<T: IntoIterator<Item = (String, Value)>>(&mut self, iter: T) {
+        self.vars.extend(iter);
+    }
+}
+
+/// A recorded sequence of [`State`] samples at a fixed tick period.
+///
+/// The tick period links the discrete trace to the bounded temporal
+/// operators: `held_for(p, 200ms)` spans `200 / tick_millis` samples.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::{State, Trace};
+///
+/// let mut t = Trace::with_tick_millis(10);
+/// t.push(State::new().with_bool("p", true));
+/// t.push(State::new().with_bool("p", false));
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.millis_to_ticks(25), 3); // rounds up: 25ms needs 3 samples
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    states: Vec<State>,
+    tick_millis: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given sample period in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_millis` is zero.
+    pub fn with_tick_millis(tick_millis: u64) -> Self {
+        assert!(tick_millis > 0, "tick period must be positive");
+        Trace {
+            states: Vec::new(),
+            tick_millis,
+        }
+    }
+
+    /// Appends a state sample.
+    pub fn push(&mut self, state: State) {
+        self.states.push(state);
+    }
+
+    /// The sample period in milliseconds.
+    pub fn tick_millis(&self) -> u64 {
+        self.tick_millis
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state at sample index `i`.
+    pub fn state(&self, i: usize) -> Option<&State> {
+        self.states.get(i)
+    }
+
+    /// All states, in order.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Converts a duration in milliseconds to a whole number of ticks,
+    /// rounding up so the duration is fully covered.
+    pub fn millis_to_ticks(&self, millis: u64) -> u64 {
+        millis.div_ceil(self.tick_millis)
+    }
+
+    /// Iterates over the states.
+    pub fn iter(&self) -> std::slice::Iter<'_, State> {
+        self.states.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a State;
+    type IntoIter = std::slice::Iter<'a, State>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.states.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_set_get() {
+        let mut s = State::new();
+        s.set("x", 1i64);
+        s.set("x", 2i64); // replaces
+        assert_eq!(s.get("x"), Some(&Value::Int(2)));
+        assert_eq!(s.get("missing"), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn state_collects_from_iterator() {
+        let s: State = vec![
+            ("a".to_owned(), Value::Bool(true)),
+            ("b".to_owned(), Value::Int(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn trace_tick_conversion_rounds_up() {
+        let t = Trace::with_tick_millis(10);
+        assert_eq!(t.millis_to_ticks(10), 1);
+        assert_eq!(t.millis_to_ticks(11), 2);
+        assert_eq!(t.millis_to_ticks(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick period must be positive")]
+    fn trace_rejects_zero_tick() {
+        let _ = Trace::with_tick_millis(0);
+    }
+
+    #[test]
+    fn trace_push_and_index() {
+        let mut t = Trace::with_tick_millis(1);
+        assert!(t.is_empty());
+        t.push(State::new().with_bool("p", true));
+        assert_eq!(t.len(), 1);
+        assert!(t.state(0).unwrap().get("p").unwrap().as_bool().unwrap());
+        assert!(t.state(1).is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! Typed values carried by system state variables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The value of a state variable at one instant.
+///
+/// Safety goals compare variables against literals or other variables, so
+/// values must support equality and ordering where meaningful. Numeric
+/// comparisons coerce between [`Value::Int`] and [`Value::Real`]; symbolic
+/// values ([`Value::Sym`], used for command enumerations such as `'STOP'` /
+/// `'GO'`) support equality only.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::Value;
+///
+/// assert!(Value::Int(2).num_eq(&Value::Real(2.0)));
+/// assert!(Value::Real(1.5).num_lt(&Value::Int(2)).unwrap());
+/// assert_eq!(Value::sym("STOP"), Value::sym("STOP"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A boolean state variable (e.g. `DoorClosed`).
+    Bool(bool),
+    /// An integer-valued variable (e.g. a floor index).
+    Int(i64),
+    /// A real-valued variable (e.g. `VehicleAcceleration.value` in m/s²).
+    Real(f64),
+    /// A symbolic/enumeration value (e.g. `DriveCommand = 'STOP'`).
+    Sym(String),
+}
+
+impl Value {
+    /// Convenience constructor for symbolic values.
+    ///
+    /// ```
+    /// use esafe_logic::Value;
+    /// assert_eq!(Value::sym("GO"), Value::Sym("GO".to_owned()));
+    /// ```
+    pub fn sym(s: impl Into<String>) -> Self {
+        Value::Sym(s.into())
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a real number when it is numeric.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Numeric-coercing equality; falls back to structural equality for
+    /// non-numeric values.
+    pub fn num_eq(&self, other: &Value) -> bool {
+        match (self.as_real(), other.as_real()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self == other,
+        }
+    }
+
+    /// Numeric less-than. Returns `None` when either side is not numeric.
+    pub fn num_lt(&self, other: &Value) -> Option<bool> {
+        Some(self.as_real()? < other.as_real()?)
+    }
+
+    /// Numeric less-than-or-equal. Returns `None` when either side is not
+    /// numeric.
+    pub fn num_le(&self, other: &Value) -> Option<bool> {
+        Some(self.as_real()? <= other.as_real()?)
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Real(_) => "real",
+            Value::Sym(_) => "sym",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => {
+                if r.fract() == 0.0 && r.is_finite() && r.abs() < 1e15 {
+                    write!(f, "{r:.1}")
+                } else {
+                    write!(f, "{r}")
+                }
+            }
+            Value::Sym(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::sym(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn numeric_coercion_equality() {
+        assert!(Value::Int(3).num_eq(&Value::Real(3.0)));
+        assert!(!Value::Int(3).num_eq(&Value::Real(3.5)));
+    }
+
+    #[test]
+    fn symbolic_equality_only() {
+        assert_eq!(Value::sym("STOP"), Value::sym("STOP"));
+        assert_ne!(Value::sym("STOP"), Value::sym("GO"));
+        assert_eq!(Value::sym("STOP").num_lt(&Value::sym("GO")), None);
+    }
+
+    #[test]
+    fn ordering() {
+        assert_eq!(Value::Int(1).num_lt(&Value::Int(2)), Some(true));
+        assert_eq!(Value::Real(2.0).num_le(&Value::Int(2)), Some(true));
+        assert_eq!(Value::Real(2.1).num_le(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Real(2.0).to_string(), "2.0");
+        assert_eq!(Value::sym("OPEN").to_string(), "'OPEN'");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(0.5), Value::Real(0.5));
+        assert_eq!(Value::from("X"), Value::sym("X"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the temporal-logic engine.
+
+use esafe_logic::eval::eval_trace;
+use esafe_logic::incremental::{monitor_form, CompiledMonitor};
+use esafe_logic::{parse, prop, Expr, State, Trace};
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["p", "q", "r", "s"];
+
+/// Strategy producing past-time expressions over a small variable pool.
+fn past_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Const(true)),
+        Just(Expr::Const(false)),
+        (0..VARS.len()).prop_map(|i| Expr::var(VARS[i])),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Expr::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::implies(a, b)),
+            inner.clone().prop_map(Expr::prev),
+            inner.clone().prop_map(Expr::once),
+            inner.clone().prop_map(Expr::historically),
+            inner.clone().prop_map(Expr::became),
+            inner.clone().prop_map(Expr::initially),
+            (inner.clone(), 1u64..4).prop_map(|(e, t)| Expr::held_for(e, t)),
+            (inner, 1u64..4).prop_map(|(e, t)| Expr::once_within(e, t)),
+        ]
+    })
+}
+
+/// Strategy producing prop-unrollable expressions (boolean + prev/became).
+fn unrollable_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..VARS.len()).prop_map(|i| Expr::var(VARS[i]));
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Expr::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::implies(a, b)),
+            inner.clone().prop_map(Expr::prev),
+            inner.prop_map(Expr::became),
+        ]
+    })
+}
+
+fn random_trace(rows: Vec<[bool; 4]>) -> Trace {
+    let mut t = Trace::with_tick_millis(1);
+    for row in rows {
+        let mut s = State::new();
+        for (i, name) in VARS.iter().enumerate() {
+            s.set(*name, row[i]);
+        }
+        t.push(s);
+    }
+    t
+}
+
+proptest! {
+    /// `Display` output parses back to the identical AST.
+    #[test]
+    fn parser_round_trips_generated_asts(e in past_expr(4)) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+        prop_assert_eq!(e, reparsed);
+    }
+
+    /// The incremental monitor agrees with the reference trace evaluator on
+    /// the monitorable rewrite of every formula.
+    #[test]
+    fn incremental_matches_reference(
+        e in past_expr(4),
+        rows in proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 1..30),
+    ) {
+        let trace = random_trace(rows);
+        let rewritten = monitor_form(&e).expect("past-only formula");
+        let reference = eval_trace(&rewritten, &trace).expect("vars present");
+        let mut m = CompiledMonitor::compile(&e).expect("compiles");
+        let incremental: Vec<bool> =
+            trace.iter().map(|s| m.observe(s).expect("vars present")).collect();
+        prop_assert_eq!(incremental, reference);
+    }
+
+    /// Propositional equivalence implies identical truth on concrete traces
+    /// (soundness of the model enumerator w.r.t. trace semantics, away from
+    /// the trace-initial corner).
+    #[test]
+    fn prop_equivalence_is_sound_on_traces(
+        a in unrollable_expr(3),
+        b in unrollable_expr(3),
+        rows in proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 4..20),
+    ) {
+        let trace = random_trace(rows);
+        if prop::equivalent(&a, &b).expect("unrollable") {
+            let ta = eval_trace(&a, &trace).expect("vars present");
+            let tb = eval_trace(&b, &trace).expect("vars present");
+            let depth = a.prev_depth().max(b.prev_depth()) as usize;
+            // Skip the initial window where free-atom semantics and
+            // trace semantics legitimately differ.
+            prop_assert_eq!(&ta[depth..], &tb[depth..]);
+        }
+    }
+
+    /// De Morgan duality holds pointwise on arbitrary traces.
+    #[test]
+    fn de_morgan_on_traces(
+        a in past_expr(3),
+        b in past_expr(3),
+        rows in proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 1..20),
+    ) {
+        let trace = random_trace(rows);
+        let lhs = eval_trace(&Expr::not(Expr::and(a.clone(), b.clone())), &trace).unwrap();
+        let rhs = eval_trace(&Expr::or(Expr::not(a), Expr::not(b)), &trace).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// `held_for(p, 1)` is exactly `prev(p)`.
+    #[test]
+    fn held_for_one_is_prev(
+        rows in proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 1..20),
+    ) {
+        let trace = random_trace(rows);
+        let a = eval_trace(&Expr::held_for(Expr::var("p"), 1), &trace).unwrap();
+        let b = eval_trace(&Expr::prev(Expr::var("p")), &trace).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// `once_within(p, n)` implies `once(p)` wherever it holds.
+    #[test]
+    fn once_within_implies_once(
+        n in 1u64..6,
+        rows in proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 1..20),
+    ) {
+        let trace = random_trace(rows);
+        let bounded = eval_trace(&Expr::once_within(Expr::var("p"), n), &trace).unwrap();
+        let unbounded = eval_trace(&Expr::once(Expr::var("p")), &trace).unwrap();
+        for (bw, uw) in bounded.iter().zip(&unbounded) {
+            prop_assert!(!bw || *uw);
+        }
+    }
+
+    /// Monitor `reset` makes re-observation identical to a fresh monitor.
+    #[test]
+    fn reset_equals_fresh(
+        e in past_expr(3),
+        rows in proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 1..15),
+    ) {
+        let trace = random_trace(rows);
+        let mut m = CompiledMonitor::compile(&e).expect("compiles");
+        for s in trace.iter() {
+            let _ = m.observe(s).unwrap();
+        }
+        m.reset();
+        let replay: Vec<bool> = trace.iter().map(|s| m.observe(s).unwrap()).collect();
+        let mut fresh = CompiledMonitor::compile(&e).expect("compiles");
+        let fresh_run: Vec<bool> = trace.iter().map(|s| fresh.observe(s).unwrap()).collect();
+        prop_assert_eq!(replay, fresh_run);
+    }
+}

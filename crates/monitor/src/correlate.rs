@@ -1,0 +1,166 @@
+//! Correlation reports and composability estimation (thesis §3.4, §5.1.2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-subgoal detection statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubgoalStats {
+    /// The subgoal's id (e.g. `1B`).
+    pub subgoal_id: String,
+    /// Where it was monitored (e.g. `CA`).
+    pub location: String,
+    /// Total subgoal violation intervals.
+    pub violations: usize,
+    /// Violations with no corresponding parent-goal violation.
+    pub false_positives: usize,
+}
+
+/// Classification of one parent goal's detections.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrelationRow {
+    /// The parent goal's id.
+    pub goal_id: String,
+    /// Total parent-goal violation intervals.
+    pub goal_violations: usize,
+    /// Parent violations with at least one corresponding subgoal violation.
+    pub hits: usize,
+    /// Parent violations with none — evidence of residual emergence `X`.
+    pub false_negatives: usize,
+    /// Subgoal violations with no parent violation — evidence of
+    /// restriction or redundancy (`Y`).
+    pub false_positives: usize,
+    /// Per-subgoal breakdown.
+    pub subgoals: Vec<SubgoalStats>,
+}
+
+impl CorrelationRow {
+    /// Fraction of parent violations the subgoals detected (1.0 when the
+    /// parent never fired).
+    pub fn detection_rate(&self) -> f64 {
+        if self.goal_violations == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.goal_violations as f64
+        }
+    }
+
+    /// §3.4: false negatives indicate the decomposition is at best
+    /// *partially* composable — unknown/unrealizable subgoals (`X`) caused
+    /// parent violations the subgoals could not see.
+    pub fn shows_residual_emergence(&self) -> bool {
+        self.false_negatives > 0
+    }
+
+    /// §3.4: false positives indicate restrictive subgoals or redundant
+    /// coverage — the subgoals flagged states the parent tolerated.
+    pub fn shows_restriction_or_redundancy(&self) -> bool {
+        self.false_positives > 0
+    }
+}
+
+/// The full classification across all goals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrelationReport {
+    /// One row per parent goal, in insertion order.
+    pub rows: Vec<CorrelationRow>,
+}
+
+impl CorrelationReport {
+    /// The row for a given goal id.
+    pub fn for_goal(&self, goal_id: &str) -> Option<&CorrelationRow> {
+        self.rows.iter().find(|r| r.goal_id == goal_id)
+    }
+
+    /// Sum of hits across goals.
+    pub fn total_hits(&self) -> usize {
+        self.rows.iter().map(|r| r.hits).sum()
+    }
+
+    /// Sum of false negatives across goals.
+    pub fn total_false_negatives(&self) -> usize {
+        self.rows.iter().map(|r| r.false_negatives).sum()
+    }
+
+    /// Sum of false positives across goals.
+    pub fn total_false_positives(&self) -> usize {
+        self.rows.iter().map(|r| r.false_positives).sum()
+    }
+
+    /// Whether any goal showed a violation at all.
+    pub fn any_violations(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.goal_violations > 0 || r.false_positives > 0)
+    }
+}
+
+impl fmt::Display for CorrelationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<6} {:>10} {:>6} {:>8} {:>8}",
+            "goal", "violations", "hits", "false-", "false+"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<6} {:>10} {:>6} {:>8} {:>8}",
+                r.goal_id, r.goal_violations, r.hits, r.false_negatives, r.false_positives
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(goal_violations: usize, hits: usize, fns: usize, fps: usize) -> CorrelationRow {
+        CorrelationRow {
+            goal_id: "G".into(),
+            goal_violations,
+            hits,
+            false_negatives: fns,
+            false_positives: fps,
+            subgoals: vec![],
+        }
+    }
+
+    #[test]
+    fn detection_rate_handles_zero_violations() {
+        assert_eq!(row(0, 0, 0, 0).detection_rate(), 1.0);
+        assert_eq!(row(4, 1, 3, 0).detection_rate(), 0.25);
+    }
+
+    #[test]
+    fn emergence_indicators() {
+        assert!(row(2, 1, 1, 0).shows_residual_emergence());
+        assert!(!row(2, 2, 0, 0).shows_residual_emergence());
+        assert!(row(0, 0, 0, 3).shows_restriction_or_redundancy());
+    }
+
+    #[test]
+    fn report_totals() {
+        let report = CorrelationReport {
+            rows: vec![row(2, 1, 1, 0), row(0, 0, 0, 2)],
+        };
+        assert_eq!(report.total_hits(), 1);
+        assert_eq!(report.total_false_negatives(), 1);
+        assert_eq!(report.total_false_positives(), 2);
+        assert!(report.any_violations());
+        assert!(report.for_goal("G").is_some());
+        assert!(report.for_goal("H").is_none());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let report = CorrelationReport {
+            rows: vec![row(1, 1, 0, 0)],
+        };
+        let text = report.to_string();
+        assert!(text.contains("goal"));
+        assert!(text.lines().count() >= 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Hierarchical run-time safety-goal monitoring (thesis Chapter 5, §5.1.2).
+//!
+//! The thesis's third contribution: monitor system safety goals *and* the
+//! ICPA-derived subsystem subgoals simultaneously at run time, then classify
+//! each detection:
+//!
+//! * **hit** — a goal violation with a corresponding subgoal violation;
+//! * **false positive** — a subgoal violation with no corresponding goal
+//!   violation (evidence of restrictive subgoals or redundant coverage —
+//!   the angel `Y` of eq. 3.23);
+//! * **false negative** — a goal violation with no corresponding subgoal
+//!   violation (evidence of residual emergence — the demon `X` of
+//!   eq. 3.14).
+//!
+//! # Example
+//!
+//! ```
+//! use esafe_monitor::{MonitorSuite, Location};
+//! use esafe_logic::{parse, State};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut suite = MonitorSuite::new();
+//! suite.add_goal("1", Location::new("Vehicle"), parse("accel <= 2.0")?)?;
+//! suite.add_subgoal("1A", "1", Location::new("Arbiter"), parse("cmd <= 2.0")?)?;
+//!
+//! // Subgoal violated but goal satisfied: a false positive.
+//! suite.observe(&State::new().with_real("accel", 1.0).with_real("cmd", 3.0))?;
+//! suite.finish();
+//! let report = suite.correlate(0);
+//! assert_eq!(report.for_goal("1").unwrap().false_positives, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod correlate;
+pub mod suite;
+pub mod violation;
+
+pub use correlate::{CorrelationReport, CorrelationRow, SubgoalStats};
+pub use suite::{Location, MonitorError, MonitorSuite};
+pub use violation::ViolationInterval;

@@ -1,0 +1,368 @@
+//! Monitor suites: goal and subgoal monitors bound to architecture
+//! locations (thesis Table 5.3).
+
+use crate::correlate::{CorrelationReport, CorrelationRow, SubgoalStats};
+use crate::violation::{IntervalTracker, ViolationInterval};
+use esafe_logic::{CompiledMonitor, EvalError, Expr, State};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where in the architecture a monitor runs (e.g. `Vehicle`, `Arbiter`,
+/// `CA`). Purely a label; the state samples are shared.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Location(String);
+
+impl Location {
+    /// Creates a location label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Location(name.into())
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Location {
+    fn from(s: &str) -> Self {
+        Location::new(s)
+    }
+}
+
+/// An evaluation error raised by a specific monitor in a suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorError {
+    /// The failing monitor's id.
+    pub monitor_id: String,
+    /// The underlying evaluation error.
+    pub source: EvalError,
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "monitor `{}`: {}", self.monitor_id, self.source)
+    }
+}
+
+impl std::error::Error for MonitorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    id: String,
+    parent: Option<String>,
+    location: Location,
+    expr: Expr,
+    monitor: CompiledMonitor,
+    tracker: IntervalTracker,
+}
+
+/// A set of goal and subgoal monitors fed from a shared state stream.
+///
+/// Goals are top-level entries; subgoals name their parent goal. After the
+/// run, [`MonitorSuite::correlate`] produces the hit / false-positive /
+/// false-negative classification of §5.1.2.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorSuite {
+    entries: Vec<Entry>,
+}
+
+impl MonitorSuite {
+    /// Creates an empty suite.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a system-level goal monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if the goal contains future operators.
+    pub fn add_goal(
+        &mut self,
+        id: impl Into<String>,
+        location: Location,
+        expr: Expr,
+    ) -> Result<(), EvalError> {
+        self.add_entry(id.into(), None, location, expr)
+    }
+
+    /// Adds a subgoal monitor under the parent goal `parent_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if the goal contains future operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent_id` has not been added yet — the hierarchy is
+    /// declared top-down.
+    pub fn add_subgoal(
+        &mut self,
+        id: impl Into<String>,
+        parent_id: impl Into<String>,
+        location: Location,
+        expr: Expr,
+    ) -> Result<(), EvalError> {
+        let parent_id = parent_id.into();
+        assert!(
+            self.entries
+                .iter()
+                .any(|e| e.parent.is_none() && e.id == parent_id),
+            "parent goal `{parent_id}` must be added before its subgoals"
+        );
+        self.add_entry(id.into(), Some(parent_id), location, expr)
+    }
+
+    fn add_entry(
+        &mut self,
+        id: String,
+        parent: Option<String>,
+        location: Location,
+        expr: Expr,
+    ) -> Result<(), EvalError> {
+        let monitor = CompiledMonitor::compile(&expr)?;
+        self.entries.push(Entry {
+            id,
+            parent,
+            location,
+            expr,
+            monitor,
+            tracker: IntervalTracker::new(),
+        });
+        Ok(())
+    }
+
+    /// Feeds one state sample to every monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] naming the failing monitor.
+    pub fn observe(&mut self, state: &State) -> Result<(), MonitorError> {
+        for e in &mut self.entries {
+            let ok = e.monitor.observe(state).map_err(|err| MonitorError {
+                monitor_id: e.id.clone(),
+                source: err,
+            })?;
+            e.tracker.record(ok);
+        }
+        Ok(())
+    }
+
+    /// Closes any open violation intervals (call once after the run).
+    pub fn finish(&mut self) {
+        for e in &mut self.entries {
+            e.tracker.finish();
+        }
+    }
+
+    /// Violation intervals recorded for monitor `id` (goals and subgoals).
+    pub fn violations(&self, id: &str) -> Option<&[ViolationInterval]> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.tracker.intervals())
+    }
+
+    /// Ids of all top-level goals, in insertion order.
+    pub fn goal_ids(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.parent.is_none())
+            .map(|e| e.id.as_str())
+            .collect()
+    }
+
+    /// Ids of the subgoals of `goal_id`, in insertion order.
+    pub fn subgoal_ids(&self, goal_id: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.parent.as_deref() == Some(goal_id))
+            .map(|e| e.id.as_str())
+            .collect()
+    }
+
+    /// The `(location, formula)` of a monitor.
+    pub fn describe(&self, id: &str) -> Option<(&Location, &Expr)> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| (&e.location, &e.expr))
+    }
+
+    /// The monitoring-location matrix: `(id, parent, location)` rows in
+    /// insertion order (the shape of thesis Table 5.3).
+    pub fn location_matrix(&self) -> Vec<(String, Option<String>, String)> {
+        self.entries
+            .iter()
+            .map(|e| (e.id.clone(), e.parent.clone(), e.location.to_string()))
+            .collect()
+    }
+
+    /// Classifies detections per §5.1.2 with the given correlation
+    /// `window` (ticks of slack between subgoal and goal violations).
+    pub fn correlate(&self, window: u64) -> CorrelationReport {
+        let mut rows = Vec::new();
+        for goal in self.entries.iter().filter(|e| e.parent.is_none()) {
+            let goal_violations = goal.tracker.intervals();
+            let subs: Vec<&Entry> = self
+                .entries
+                .iter()
+                .filter(|e| e.parent.as_deref() == Some(goal.id.as_str()))
+                .collect();
+
+            let mut hits = 0usize;
+            let mut false_negatives = 0usize;
+            for gv in goal_violations {
+                let covered = subs
+                    .iter()
+                    .any(|s| s.tracker.intervals().iter().any(|sv| sv.overlaps(gv, window)));
+                if covered {
+                    hits += 1;
+                } else {
+                    false_negatives += 1;
+                }
+            }
+
+            let mut false_positives = 0usize;
+            let mut per_subgoal = Vec::new();
+            for s in &subs {
+                let mut sub_fp = 0usize;
+                let sub_viol = s.tracker.intervals();
+                for sv in sub_viol {
+                    let matched = goal_violations.iter().any(|gv| gv.overlaps(sv, window));
+                    if !matched {
+                        sub_fp += 1;
+                    }
+                }
+                false_positives += sub_fp;
+                per_subgoal.push(SubgoalStats {
+                    subgoal_id: s.id.clone(),
+                    location: s.location.to_string(),
+                    violations: sub_viol.len(),
+                    false_positives: sub_fp,
+                });
+            }
+
+            rows.push(CorrelationRow {
+                goal_id: goal.id.clone(),
+                goal_violations: goal_violations.len(),
+                hits,
+                false_negatives,
+                false_positives,
+                subgoals: per_subgoal,
+            });
+        }
+        CorrelationReport { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::parse;
+
+    fn state(goal_ok: bool, sub_ok: bool) -> State {
+        State::new().with_bool("g", goal_ok).with_bool("s", sub_ok)
+    }
+
+    fn suite() -> MonitorSuite {
+        let mut m = MonitorSuite::new();
+        m.add_goal("G", Location::new("System"), parse("g").unwrap())
+            .unwrap();
+        m.add_subgoal("G.A", "G", Location::new("Sub"), parse("s").unwrap())
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn hit_when_goal_and_subgoal_overlap() {
+        let mut m = suite();
+        for (g, s) in [(true, true), (false, false), (true, true)] {
+            m.observe(&state(g, s)).unwrap();
+        }
+        m.finish();
+        let r = m.correlate(0);
+        let row = r.for_goal("G").unwrap();
+        assert_eq!((row.hits, row.false_negatives, row.false_positives), (1, 0, 0));
+    }
+
+    #[test]
+    fn false_negative_when_goal_fires_alone() {
+        let mut m = suite();
+        for (g, s) in [(true, true), (false, true), (true, true)] {
+            m.observe(&state(g, s)).unwrap();
+        }
+        m.finish();
+        let r = m.correlate(0);
+        let row = r.for_goal("G").unwrap();
+        assert_eq!((row.hits, row.false_negatives, row.false_positives), (0, 1, 0));
+    }
+
+    #[test]
+    fn false_positive_when_subgoal_fires_alone() {
+        let mut m = suite();
+        for (g, s) in [(true, true), (true, false), (true, true)] {
+            m.observe(&state(g, s)).unwrap();
+        }
+        m.finish();
+        let r = m.correlate(0);
+        let row = r.for_goal("G").unwrap();
+        assert_eq!((row.hits, row.false_negatives, row.false_positives), (0, 0, 1));
+        assert_eq!(row.subgoals[0].false_positives, 1);
+    }
+
+    #[test]
+    fn window_turns_near_miss_into_hit() {
+        let mut m = suite();
+        // Subgoal violated at tick 1, goal at tick 3: 1 tick apart.
+        for (g, s) in [(true, true), (true, false), (true, true), (false, true), (true, true)] {
+            m.observe(&state(g, s)).unwrap();
+        }
+        m.finish();
+        assert_eq!(m.correlate(0).for_goal("G").unwrap().hits, 0);
+        assert_eq!(m.correlate(2).for_goal("G").unwrap().hits, 1);
+        assert_eq!(m.correlate(2).for_goal("G").unwrap().false_positives, 0);
+    }
+
+    #[test]
+    fn violations_and_matrix_are_reported() {
+        let mut m = suite();
+        m.observe(&state(false, true)).unwrap();
+        m.finish();
+        assert_eq!(m.violations("G").unwrap().len(), 1);
+        assert_eq!(m.violations("G.A").unwrap().len(), 0);
+        assert!(m.violations("missing").is_none());
+        let matrix = m.location_matrix();
+        assert_eq!(matrix.len(), 2);
+        assert_eq!(matrix[1].1.as_deref(), Some("G"));
+        assert_eq!(m.goal_ids(), vec!["G"]);
+        assert_eq!(m.subgoal_ids("G"), vec!["G.A"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be added before")]
+    fn subgoal_requires_parent() {
+        let mut m = MonitorSuite::new();
+        m.add_subgoal("X.A", "X", Location::new("L"), parse("p").unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn observe_error_names_the_monitor() {
+        let mut m = suite();
+        let err = m.observe(&State::new()).unwrap_err();
+        assert_eq!(err.monitor_id, "G");
+        assert!(err.to_string().contains("monitor `G`"));
+    }
+}

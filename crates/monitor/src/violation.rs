@@ -1,0 +1,179 @@
+//! Violation intervals: contiguous runs of ticks where a goal was false.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open interval `[start_tick, end_tick)` during which a monitored
+/// goal evaluated false.
+///
+/// The thesis reports violations exactly this way ("vehicle jerk was
+/// exceeded six times, for 8, 2, 1, 4, 6, and 1 ms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ViolationInterval {
+    /// First tick at which the goal was false.
+    pub start_tick: u64,
+    /// First tick at which the goal was true again (or the trace length,
+    /// for violations still open at the end of monitoring).
+    pub end_tick: u64,
+}
+
+impl ViolationInterval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_tick <= start_tick`.
+    pub fn new(start_tick: u64, end_tick: u64) -> Self {
+        assert!(end_tick > start_tick, "interval must be non-empty");
+        ViolationInterval {
+            start_tick,
+            end_tick,
+        }
+    }
+
+    /// Number of ticks the violation lasted.
+    pub fn duration_ticks(&self) -> u64 {
+        self.end_tick - self.start_tick
+    }
+
+    /// Whether this interval intersects `other` when each is widened by
+    /// `window` ticks on both sides. The correlation window absorbs the
+    /// actuation/communication delays between a subsystem's subgoal
+    /// violation and the system-level consequence (thesis §5.1.2).
+    pub fn overlaps(&self, other: &ViolationInterval, window: u64) -> bool {
+        let a_start = self.start_tick.saturating_sub(window);
+        let a_end = self.end_tick.saturating_add(window);
+        other.start_tick < a_end && a_start < other.end_tick
+    }
+}
+
+impl fmt::Display for ViolationInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}) ({} ticks)",
+            self.start_tick,
+            self.end_tick,
+            self.duration_ticks()
+        )
+    }
+}
+
+/// Accumulates per-tick truth values into violation intervals.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalTracker {
+    open_since: Option<u64>,
+    closed: Vec<ViolationInterval>,
+    tick: u64,
+}
+
+impl IntervalTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the goal's truth at the next tick.
+    pub fn record(&mut self, satisfied: bool) {
+        match (satisfied, self.open_since) {
+            (false, None) => self.open_since = Some(self.tick),
+            (true, Some(start)) => {
+                self.closed.push(ViolationInterval::new(start, self.tick));
+                self.open_since = None;
+            }
+            _ => {}
+        }
+        self.tick += 1;
+    }
+
+    /// Closes any open violation at the current tick.
+    pub fn finish(&mut self) {
+        if let Some(start) = self.open_since.take() {
+            if self.tick > start {
+                self.closed.push(ViolationInterval::new(start, self.tick));
+            }
+        }
+    }
+
+    /// The closed violation intervals recorded so far.
+    pub fn intervals(&self) -> &[ViolationInterval] {
+        &self.closed
+    }
+
+    /// Whether a violation is currently open.
+    pub fn in_violation(&self) -> bool {
+        self.open_since.is_some()
+    }
+
+    /// Ticks observed so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_builds_intervals() {
+        let mut t = IntervalTracker::new();
+        for ok in [true, false, false, true, false, true] {
+            t.record(ok);
+        }
+        t.finish();
+        assert_eq!(
+            t.intervals(),
+            &[ViolationInterval::new(1, 3), ViolationInterval::new(4, 5)]
+        );
+    }
+
+    #[test]
+    fn finish_closes_open_interval() {
+        let mut t = IntervalTracker::new();
+        for ok in [true, false, false] {
+            t.record(ok);
+        }
+        assert!(t.in_violation());
+        t.finish();
+        assert_eq!(t.intervals(), &[ViolationInterval::new(1, 3)]);
+        assert!(!t.in_violation());
+    }
+
+    #[test]
+    fn all_satisfied_gives_no_intervals() {
+        let mut t = IntervalTracker::new();
+        for _ in 0..5 {
+            t.record(true);
+        }
+        t.finish();
+        assert!(t.intervals().is_empty());
+        assert_eq!(t.ticks(), 5);
+    }
+
+    #[test]
+    fn overlap_with_window() {
+        let a = ViolationInterval::new(10, 12);
+        let b = ViolationInterval::new(14, 16);
+        // Last violating tick of `a` is 11; first of `b` is 14 — 3 apart.
+        assert!(!a.overlaps(&b, 0));
+        assert!(!a.overlaps(&b, 2));
+        assert!(a.overlaps(&b, 3));
+        assert!(b.overlaps(&a, 3)); // symmetric
+        let c = ViolationInterval::new(11, 13);
+        assert!(a.overlaps(&c, 0));
+    }
+
+    #[test]
+    fn duration_and_display() {
+        let v = ViolationInterval::new(5, 13);
+        assert_eq!(v.duration_ticks(), 8);
+        assert_eq!(v.to_string(), "[5, 13) (8 ticks)");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_interval_rejected() {
+        let _ = ViolationInterval::new(3, 3);
+    }
+}

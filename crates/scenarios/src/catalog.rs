@@ -1,0 +1,375 @@
+//! The ten driving scenarios (thesis §5.4).
+//!
+//! Each scenario is "representative of real driver behaviors, both those
+//! the driver is expected to do regularly … and those the driver might do
+//! in error", scheduled for 20 s of simulation at 1 kHz.
+
+use esafe_vehicle::driver::DriverAction;
+use esafe_vehicle::dynamics::{Scene, SceneObject};
+use serde::Serialize;
+
+/// A scenario descriptor.
+#[derive(Debug, Clone, Serialize)]
+pub struct Scenario {
+    /// Scenario number, 1–10.
+    pub number: u8,
+    /// The thesis's §5.4 title.
+    pub title: String,
+    /// What the thesis observed in this scenario (used in reports).
+    pub expected: String,
+    /// Scene objects.
+    pub scene: Scene,
+    /// Scheduled driver/HMI actions.
+    pub script: Vec<(f64, DriverAction)>,
+    /// Scheduled run length, s (every scenario is 20 s in the thesis).
+    pub duration_s: f64,
+    /// Signals to record for this scenario's figures.
+    pub figure_signals: Vec<&'static str>,
+}
+
+fn enable(f: &str, b: bool) -> DriverAction {
+    DriverAction::Enable(f.into(), b)
+}
+
+fn engage(f: &str, b: bool) -> DriverAction {
+    DriverAction::Engage(f.into(), b)
+}
+
+/// Returns scenario `n` (1–10).
+///
+/// # Panics
+///
+/// Panics if `n` is outside 1–10.
+pub fn scenario(n: u8) -> Scenario {
+    let stopped_ahead_20m = Scene {
+        lead: Some(SceneObject::constant(20.0, 0.0)),
+        rear: None,
+    };
+    let slow_ahead = Scene {
+        lead: Some(SceneObject::constant(30.0, 6.0)),
+        rear: None,
+    };
+    let stopped_behind = Scene {
+        lead: None,
+        rear: Some(SceneObject::constant(10.0, 0.0)),
+    };
+    let stopped_ahead_3m = Scene {
+        lead: Some(SceneObject::constant(3.0, 0.0)),
+        rear: None,
+    };
+
+    match n {
+        1 => Scenario {
+            number: 1,
+            title: "CA enabled, ACC enabled, stopped vehicle in path".into(),
+            expected: "CA begins a braking action, cancels it briefly, resumes \
+                       (Fig. 5.2); PA requests acceleration without being \
+                       enabled (Fig. 5.3); goals 1 and 2 violated shortly \
+                       before early termination with no corresponding \
+                       1A/1B violations."
+                .into(),
+            scene: stopped_ahead_20m,
+            script: vec![
+                (0.3, enable("CA", true)),
+                (0.3, enable("ACC", true)),
+                (1.0, DriverAction::Throttle(0.10)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "ca.accel_request",
+                "pa.accel_request",
+                "host.accel",
+                "host.jerk",
+                "host.speed",
+                "arbiter.accel_cmd",
+            ],
+        },
+        2 => Scenario {
+            number: 2,
+            title: "CA engaged, ACC enabled, PA enabled, stopped vehicle in path"
+                .into(),
+            expected: "The driver engages PA just after CA begins its hard \
+                       brake; steering arbitration (reversed priority) \
+                       forwards PA's request while CA remains selected \
+                       (Fig. 5.4); goals 1–3 violated; terminates earlier \
+                       than scenario 1."
+                .into(),
+            scene: stopped_ahead_20m,
+            script: vec![
+                (0.3, enable("CA", true)),
+                (0.3, enable("ACC", true)),
+                (1.0, DriverAction::Throttle(0.10)),
+                (12.46, enable("PA", true)),
+                (12.46, engage("PA", true)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "arbiter.accel_cmd",
+                "ca.accel_request",
+                "ca.selected",
+                "pa.accel_request",
+                "host.speed",
+            ],
+        },
+        3 => Scenario {
+            number: 3,
+            title: "CA engaged, ACC enabled, throttle pedal applied, stopped \
+                    vehicle in path"
+                .into(),
+            expected: "CA engages against the throttle but brakes \
+                       intermittently and the host strikes the parked \
+                       vehicle (Fig. 5.5); ACC sends requests controlling \
+                       to 0 m/s although not engaged (Fig. 5.6)."
+                .into(),
+            scene: stopped_ahead_20m,
+            script: vec![
+                (0.3, enable("CA", true)),
+                (0.3, enable("ACC", true)),
+                (0.5, DriverAction::Throttle(0.25)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "ca.accel_request",
+                "acc.accel_request",
+                "host.speed",
+                "host.accel",
+                "world.lead_distance",
+            ],
+        },
+        4 => Scenario {
+            number: 4,
+            title: "throttle pedal applied, ACC engaged, CA enabled, slow \
+                    vehicle in path"
+                .into(),
+            expected: "ACC engaged under an applied throttle briefly takes \
+                       control, loses it until the pedal is released, then \
+                       decelerates and accelerates following the slow lead \
+                       (Figs. 5.7, 5.8); goal-5 violations."
+                .into(),
+            scene: slow_ahead,
+            script: vec![
+                (0.3, enable("CA", true)),
+                (0.3, enable("ACC", true)),
+                (0.5, DriverAction::Throttle(0.40)),
+                (2.0, engage("ACC", true)),
+                (2.0, DriverAction::SetSpeed(20.0)),
+                (8.0, DriverAction::Throttle(0.0)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "acc.accel_request",
+                "acc.accel_request_rate",
+                "acc.active",
+                "arbiter.accel_source",
+                "host.speed",
+                "arbiter.accel_cmd",
+            ],
+        },
+        5 => Scenario {
+            number: 5,
+            title: "throttle pedal applied, ACC engaged, CA enabled, brake \
+                    pedal applied, slow vehicle in path"
+                .into(),
+            expected: "After the driver releases the throttle, ACC gains \
+                       control of acceleration 0.101 s later (Fig. 5.9)."
+                .into(),
+            scene: slow_ahead,
+            script: vec![
+                (0.3, enable("CA", true)),
+                (0.3, enable("ACC", true)),
+                (0.5, DriverAction::Throttle(0.40)),
+                (2.0, engage("ACC", true)),
+                (2.0, DriverAction::SetSpeed(20.0)),
+                (6.0, DriverAction::Brake(0.30)),
+                (7.0, DriverAction::Brake(0.0)),
+                (10.0, DriverAction::Throttle(0.0)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "driver.throttle",
+                "acc.active",
+                "arbiter.accel_source",
+                "arbiter.accel_cmd",
+                "host.speed",
+            ],
+        },
+        6 => Scenario {
+            number: 6,
+            title: "throttle pedal applied, ACC engaged, CA enabled, LCA \
+                    engaged, slow vehicle in path"
+                .into(),
+            expected: "LCA gains control 1 ms after enable but its steering \
+                       requests never change the steering command \
+                       (Fig. 5.10); the vehicle's speed integrates through \
+                       zero and goes negative with LCA and ACC still active \
+                       and selected (Fig. 5.11); goal-8 violations."
+                .into(),
+            scene: Scene {
+                // The lead brakes to a halt at 6 s: the ACC follow law's
+                // target goes negative once the gap closes below the
+                // minimum headway, and with the reverse inhibit missing
+                // the host is driven backward (Fig. 5.11).
+                lead: Some(SceneObject::stopping(12.0, 1.5, 6.0)),
+                rear: None,
+            },
+            script: vec![
+                (0.3, enable("CA", true)),
+                (0.3, enable("ACC", true)),
+                (0.3, enable("LCA", true)),
+                (0.5, DriverAction::Throttle(0.30)),
+                (2.0, engage("ACC", true)),
+                (2.0, DriverAction::SetSpeed(15.0)),
+                (4.0, DriverAction::Throttle(0.0)),
+                (5.0, engage("LCA", true)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "lca.active",
+                "lca.steering_request",
+                "arbiter.steering_cmd",
+                "host.speed",
+                "acc.selected",
+                "lca.selected",
+                "arbiter.accel_cmd",
+            ],
+        },
+        7 => Scenario {
+            number: 7,
+            title: "in reverse, RCA enabled, stopped vehicle in path".into(),
+            expected: "RCA is enabled from the start but never engages; the \
+                       host backs into the stopped vehicle behind it \
+                       (Fig. 5.12) with no goal violation — the hazard is \
+                       invisible to the monitors (total emergence)."
+                .into(),
+            scene: stopped_behind,
+            script: vec![
+                (0.2, DriverAction::Gear("R".into())),
+                (0.3, enable("RCA", true)),
+                (1.0, DriverAction::Throttle(0.15)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "rca.active",
+                "rca.enabled",
+                "host.speed",
+                "world.rear_distance",
+            ],
+        },
+        8 => Scenario {
+            number: 8,
+            title: "in reverse, ACC engaged, stopped vehicle in path".into(),
+            expected: "ACC accepts engagement in reverse at 2.0 s and is \
+                       selected as the acceleration source at 2.05 s \
+                       (Fig. 5.13); goal-8 violations at vehicle, Arbiter, \
+                       and ACC levels."
+                .into(),
+            scene: stopped_behind,
+            script: vec![
+                (0.2, DriverAction::Gear("R".into())),
+                (0.3, enable("ACC", true)),
+                (0.5, DriverAction::Throttle(0.20)),
+                (1.8, DriverAction::Throttle(0.0)),
+                (1.85, DriverAction::Brake(0.30)),
+                (2.0, engage("ACC", true)),
+                (2.0, DriverAction::SetSpeed(10.0)),
+                (2.6, DriverAction::Brake(0.0)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "acc.active",
+                "acc.selected",
+                "arbiter.accel_source",
+                "arbiter.accel_cmd",
+                "host.speed",
+            ],
+        },
+        9 => Scenario {
+            number: 9,
+            title: "stopped, PA engaged, stopped vehicle in path".into(),
+            expected: "PA is selected as the acceleration source, but the \
+                       forwarded command does not equal PA's request \
+                       (Fig. 5.14); subgoal 4B fires at PA with no parent \
+                       violation (false positive — redundant coverage \
+                       masked the defect)."
+                .into(),
+            scene: stopped_ahead_3m,
+            script: vec![
+                (0.3, enable("PA", true)),
+                (2.0, engage("PA", true)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "pa.accel_request",
+                "pa.selected",
+                "arbiter.accel_cmd",
+                "arbiter.accel_source",
+                "host.speed",
+            ],
+        },
+        10 => Scenario {
+            number: 10,
+            title: "stopped, ACC engaged, stopped vehicle in path".into(),
+            expected: "The driver attempts to engage ACC at 2.0 s; ACC never \
+                       becomes active nor is it selected to control \
+                       steering, yet the vehicle begins to accelerate \
+                       (Fig. 5.15); goal 4 and subgoals 4A/4B fire."
+                .into(),
+            scene: stopped_ahead_20m,
+            script: vec![
+                (0.3, enable("ACC", true)),
+                (2.0, engage("ACC", true)),
+                (2.0, DriverAction::SetSpeed(10.0)),
+            ],
+            duration_s: 20.0,
+            figure_signals: vec![
+                "acc.active",
+                "acc.accel_request",
+                "arbiter.accel_cmd",
+                "arbiter.accel_source",
+                "host.speed",
+                "host.accel",
+            ],
+        },
+        other => panic!("scenario number {other} out of range 1–10"),
+    }
+}
+
+/// All ten scenarios.
+pub fn all() -> Vec<Scenario> {
+    (1..=10).map(scenario).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_scenarios_with_twenty_second_schedules() {
+        let scenarios = all();
+        assert_eq!(scenarios.len(), 10);
+        for s in &scenarios {
+            assert_eq!(s.duration_s, 20.0);
+            assert!(!s.figure_signals.is_empty());
+            assert!(!s.expected.is_empty());
+        }
+    }
+
+    #[test]
+    fn reverse_scenarios_select_reverse_gear() {
+        for n in [7, 8] {
+            let s = scenario(n);
+            assert!(
+                s.script
+                    .iter()
+                    .any(|(_, a)| matches!(a, DriverAction::Gear(g) if g == "R")),
+                "scenario {n} must shift to reverse"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scenario_zero_panics() {
+        let _ = scenario(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! The ten evaluation scenarios of the thesis's Chapter 5 (§5.4.1–§5.4.10)
+//! and the machinery that regenerates its tables and figures:
+//!
+//! * [`catalog`] — the ten [`Scenario`] descriptors (world, driver script,
+//!   expected phenomena);
+//! * [`runner`] — executes a scenario against a [`DefectSet`], monitoring
+//!   all 49 goal/subgoal monitors and recording the figure time series;
+//! * [`tables`] — renders the per-scenario violation tables (D.1–D.11),
+//!   the Table 5.3 monitoring matrix, and the figure series.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use esafe_scenarios::{catalog, runner};
+//! use esafe_vehicle::config::DefectSet;
+//!
+//! let report = runner::run(&catalog::scenario(1), DefectSet::thesis()).unwrap();
+//! // Scenario 1 ends in an early termination and vehicle-level goal-2
+//! // violations with no 2A coverage (false negatives).
+//! assert!(report.terminated_early);
+//! ```
+
+pub mod catalog;
+pub mod runner;
+pub mod tables;
+
+pub use catalog::{scenario, Scenario};
+pub use runner::{run, ScenarioReport};

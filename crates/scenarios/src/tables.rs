@@ -1,0 +1,162 @@
+//! Table and figure rendering: the thesis's Tables D.1–D.11 (goal and
+//! subgoal violations per scenario), Table 5.3 (monitoring locations), and
+//! ASCII renderings of the Figure 5.2–5.15 time series.
+
+use crate::runner::ScenarioReport;
+use esafe_vehicle::config::VehicleParams;
+use std::fmt::Write as _;
+
+/// Renders the Table D.<n> analogue: every goal/subgoal violation of a
+/// scenario run with onset time and duration, followed by the
+/// hit/false-positive/false-negative classification.
+pub fn violation_table(report: &ScenarioReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Goal and subgoal violations for Scenario {} \
+         (end {:.3} s{}{})",
+        report.number,
+        report.end_time_s,
+        if report.terminated_early {
+            ", terminated early"
+        } else {
+            ""
+        },
+        if report.collision { ", collision" } else { "" },
+    );
+    let _ = writeln!(out, "{:<8} {:>10} {:>12} {:>10}", "monitor", "onset (s)", "duration (ms)", "count");
+    if report.violations.is_empty() {
+        let _ = writeln!(out, "(no violations detected)");
+    }
+    for (id, intervals) in &report.violations {
+        for v in intervals {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10.3} {:>12} {:>10}",
+                id,
+                v.start_tick as f64 / 1000.0,
+                v.duration_ticks(),
+                intervals.len()
+            );
+        }
+    }
+    let _ = writeln!(out, "\nClassification (window ±{} ms):", crate::runner::CORRELATION_WINDOW_TICKS);
+    let _ = write!(out, "{}", report.correlation);
+    out
+}
+
+/// Renders the Table 5.3 analogue: the goal/subgoal monitoring-location
+/// matrix.
+pub fn monitoring_matrix() -> String {
+    let params = VehicleParams::default();
+    let suite = esafe_vehicle::goals::build_suite(&params).expect("goal tables compile");
+    let locations = ["Vehicle", "Arbiter", "CA", "RCA", "PA", "LCA", "ACC"];
+    let mut out = String::new();
+    let _ = writeln!(out, "Monitoring locations of goals and subgoals (Table 5.3)");
+    let _ = write!(out, "{:<8}", "id");
+    for l in locations {
+        let _ = write!(out, " {l:>8}");
+    }
+    let _ = writeln!(out);
+    for (id, _parent, location) in suite.location_matrix() {
+        let _ = write!(out, "{id:<8}");
+        for l in locations {
+            let mark = if location == l { "X" } else { "" };
+            let _ = write!(out, " {mark:>8}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders one recorded series as an ASCII strip chart (the terminal
+/// analogue of a thesis figure).
+pub fn ascii_figure(report: &ScenarioReport, signal: &str, width: usize) -> String {
+    let points = report.series.downsample(signal, width.max(8));
+    let mut out = String::new();
+    let _ = writeln!(out, "Scenario {}: {}", report.number, signal);
+    if points.is_empty() {
+        let _ = writeln!(out, "(no data recorded)");
+        return out;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, v) in &points {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    const ROWS: usize = 12;
+    let mut grid = vec![vec![b' '; points.len()]; ROWS];
+    for (col, (_, v)) in points.iter().enumerate() {
+        let frac = (v - lo) / (hi - lo);
+        let row = ((1.0 - frac) * (ROWS - 1) as f64).round() as usize;
+        grid[row.min(ROWS - 1)][col] = b'*';
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:>9.2}")
+        } else if i == ROWS - 1 {
+            format!("{lo:>9.2}")
+        } else {
+            " ".repeat(9)
+        };
+        let _ = writeln!(out, "{label} |{}", String::from_utf8_lossy(row));
+    }
+    let t0 = points.first().map(|(t, _)| *t).unwrap_or(0.0);
+    let t1 = points.last().map(|(t, _)| *t).unwrap_or(0.0);
+    let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(points.len()));
+    let _ = writeln!(out, "{:>10} t = {t0:.3} s … {t1:.3} s", "");
+    out
+}
+
+/// Exports a report's series as JSON (for external plotting).
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` if serialization fails (never expected
+/// for these types).
+pub fn series_json(report: &ScenarioReport) -> Result<String, serde_json::Error> {
+    let pairs: Vec<(String, Vec<(f64, f64)>)> = report
+        .series
+        .names()
+        .map(|n| (n.to_owned(), report.series.series(n).unwrap_or(&[]).to_vec()))
+        .collect();
+    serde_json::to_string_pretty(&pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, runner};
+    use esafe_vehicle::config::DefectSet;
+
+    #[test]
+    fn matrix_has_all_rows_and_columns() {
+        let m = monitoring_matrix();
+        assert!(m.contains("Vehicle"));
+        assert!(m.contains("1B:CA"));
+        assert!(m.contains("9B:ACC"));
+        assert_eq!(m.lines().count(), 2 + 49);
+    }
+
+    #[test]
+    fn violation_table_and_figures_render_for_scenario_9() {
+        let report = runner::run(&catalog::scenario(9), DefectSet::thesis()).unwrap();
+        let table = violation_table(&report);
+        assert!(table.contains("Scenario 9"));
+        assert!(table.contains("Classification"));
+        let fig = ascii_figure(&report, "pa.accel_request", 60);
+        assert!(fig.contains("*"));
+        let json = series_json(&report).unwrap();
+        assert!(json.contains("pa.accel_request"));
+    }
+
+    #[test]
+    fn missing_signal_renders_placeholder() {
+        let report = runner::run(&catalog::scenario(9), DefectSet::none()).unwrap();
+        let fig = ascii_figure(&report, "not.a.signal", 40);
+        assert!(fig.contains("no data"));
+    }
+}

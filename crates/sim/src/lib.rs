@@ -1,0 +1,454 @@
+//! Deterministic fixed-step simulation kernel.
+//!
+//! Both evaluation substrates of the thesis — the distributed elevator of
+//! Chapter 4 and the semi-autonomous vehicle of Chapter 5 — are discrete
+//! systems sampled at a fixed period (1 ms states in the CarSim runs).
+//! This crate provides the shared machinery:
+//!
+//! * a [`Simulator`] that steps registered [`Subsystem`]s against a shared
+//!   signal blackboard with **one-tick observation delay**: every
+//!   subsystem reads the *previous* tick's snapshot and writes the next
+//!   one, matching the thesis's rule that monitored values are known one
+//!   state late;
+//! * actuation plumbing: [`FirstOrderLag`], [`RateLimiter`], [`DelayLine`];
+//! * [`SeriesLog`] for recording the time series behind the thesis's
+//!   figures.
+//!
+//! The blackboard *is* [`esafe_logic::State`], so run-time goal monitors
+//! attach without adapters.
+//!
+//! # Example
+//!
+//! ```
+//! use esafe_sim::{SimTime, Simulator, Subsystem};
+//! use esafe_logic::State;
+//!
+//! struct Counter;
+//! impl Subsystem for Counter {
+//!     fn name(&self) -> &str { "counter" }
+//!     fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+//!         let n = prev.get("n").and_then(|v| v.as_real()).unwrap_or(0.0);
+//!         next.set("n", n + 1.0);
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(1);
+//! sim.add(Counter);
+//! sim.init(State::new().with_real("n", 0.0));
+//! for _ in 0..5 { sim.step(); }
+//! assert_eq!(sim.state().get("n").unwrap().as_real(), Some(5.0));
+//! ```
+
+use esafe_logic::{State, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Simulation time: the current tick and the tick period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime {
+    /// Ticks elapsed since simulation start (the state being computed).
+    pub tick: u64,
+    /// Tick period in milliseconds.
+    pub dt_millis: u64,
+}
+
+impl SimTime {
+    /// Elapsed time in seconds.
+    pub fn seconds(&self) -> f64 {
+        (self.tick * self.dt_millis) as f64 / 1000.0
+    }
+
+    /// Tick period in seconds.
+    pub fn dt_seconds(&self) -> f64 {
+        self.dt_millis as f64 / 1000.0
+    }
+}
+
+/// A simulated component: reads the previous tick's signals, writes the
+/// next tick's.
+///
+/// Subsystems are stepped in registration order, but because every
+/// subsystem reads the same previous snapshot, ordering does not leak
+/// information within a tick — all inter-subsystem communication takes at
+/// least one tick, as in the thesis's state model.
+pub trait Subsystem {
+    /// Display name (used in logs and error messages).
+    fn name(&self) -> &str;
+
+    /// Advances one tick: read `prev`, write outputs into `next`.
+    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State);
+}
+
+/// The fixed-step simulator.
+pub struct Simulator {
+    subsystems: Vec<Box<dyn Subsystem>>,
+    state: State,
+    tick: u64,
+    dt_millis: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given tick period in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_millis` is zero.
+    pub fn new(dt_millis: u64) -> Self {
+        assert!(dt_millis > 0, "tick period must be positive");
+        Simulator {
+            subsystems: Vec::new(),
+            state: State::new(),
+            tick: 0,
+            dt_millis,
+        }
+    }
+
+    /// Registers a subsystem (stepped in registration order).
+    pub fn add(&mut self, s: impl Subsystem + 'static) {
+        self.subsystems.push(Box::new(s));
+    }
+
+    /// Sets the initial state (tick 0 snapshot).
+    pub fn init(&mut self, state: State) {
+        self.state = state;
+        self.tick = 0;
+    }
+
+    /// Current tick count.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Tick period in milliseconds.
+    pub fn dt_millis(&self) -> u64 {
+        self.dt_millis
+    }
+
+    /// Current simulated time in seconds.
+    pub fn seconds(&self) -> f64 {
+        (self.tick * self.dt_millis) as f64 / 1000.0
+    }
+
+    /// The current state snapshot.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Advances one tick and returns the new state.
+    pub fn step(&mut self) -> &State {
+        let t = SimTime {
+            tick: self.tick + 1,
+            dt_millis: self.dt_millis,
+        };
+        let prev = self.state.clone();
+        let mut next = prev.clone();
+        for s in &mut self.subsystems {
+            s.step(&t, &prev, &mut next);
+        }
+        self.state = next;
+        self.tick += 1;
+        &self.state
+    }
+
+    /// Runs until `ticks` have elapsed or `observer` returns `false`.
+    /// The observer sees each new state as it is produced.
+    pub fn run(&mut self, ticks: u64, mut observer: impl FnMut(u64, &State) -> bool) {
+        for _ in 0..ticks {
+            self.step();
+            if !observer(self.tick, &self.state) {
+                break;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("tick", &self.tick)
+            .field("dt_millis", &self.dt_millis)
+            .field(
+                "subsystems",
+                &self.subsystems.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// First-order actuator lag: `value` approaches `target` with time
+/// constant `tau` (the plant response behind the thesis's Min/Max
+/// actuation-delay relationships, eq. 4.2–4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FirstOrderLag {
+    /// Time constant in seconds.
+    pub tau_s: f64,
+    /// Current output.
+    pub value: f64,
+}
+
+impl FirstOrderLag {
+    /// Creates a lag at an initial value.
+    pub fn new(tau_s: f64, initial: f64) -> Self {
+        FirstOrderLag {
+            tau_s,
+            value: initial,
+        }
+    }
+
+    /// Advances by `dt_s` toward `target`, returning the new output.
+    pub fn step(&mut self, target: f64, dt_s: f64) -> f64 {
+        if self.tau_s <= 0.0 {
+            self.value = target;
+        } else {
+            let alpha = 1.0 - (-dt_s / self.tau_s).exp();
+            self.value += (target - self.value) * alpha;
+        }
+        self.value
+    }
+}
+
+/// Slew-rate limiter: output moves toward the target at a bounded rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateLimiter {
+    /// Maximum rate of change per second (absolute).
+    pub max_rate_per_s: f64,
+    /// Current output.
+    pub value: f64,
+}
+
+impl RateLimiter {
+    /// Creates a limiter at an initial value.
+    pub fn new(max_rate_per_s: f64, initial: f64) -> Self {
+        RateLimiter {
+            max_rate_per_s,
+            value: initial,
+        }
+    }
+
+    /// Advances by `dt_s` toward `target`, returning the new output.
+    pub fn step(&mut self, target: f64, dt_s: f64) -> f64 {
+        let max_delta = self.max_rate_per_s * dt_s;
+        let delta = (target - self.value).clamp(-max_delta, max_delta);
+        self.value += delta;
+        self.value
+    }
+}
+
+/// A fixed-latency value pipe modeling network/communication delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayLine {
+    queue: VecDeque<Value>,
+    delay_ticks: usize,
+    default: Value,
+}
+
+impl DelayLine {
+    /// Creates a delay line that emits `default` until the first pushed
+    /// value has aged `delay_ticks`.
+    pub fn new(delay_ticks: usize, default: Value) -> Self {
+        DelayLine {
+            queue: VecDeque::with_capacity(delay_ticks + 1),
+            delay_ticks,
+            default,
+        }
+    }
+
+    /// Pushes this tick's input and pops the value from `delay_ticks` ago.
+    pub fn shift(&mut self, input: Value) -> Value {
+        self.queue.push_back(input);
+        if self.queue.len() > self.delay_ticks {
+            self.queue.pop_front().expect("length checked")
+        } else {
+            self.default.clone()
+        }
+    }
+}
+
+/// Records named time series for figure reproduction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeriesLog {
+    series: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+impl SeriesLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `(time, value)` point to the named series.
+    pub fn push(&mut self, name: &str, time_s: f64, value: f64) {
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push((time_s, value));
+    }
+
+    /// Samples a numeric or boolean signal from a state into the series
+    /// (booleans record as 0/1). Missing or symbolic signals are skipped.
+    pub fn sample(&mut self, name: &str, time_s: f64, state: &State) {
+        match state.get(name) {
+            Some(Value::Bool(b)) => self.push(name, time_s, if *b { 1.0 } else { 0.0 }),
+            Some(v) => {
+                if let Some(x) = v.as_real() {
+                    self.push(name, time_s, x);
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// The recorded points of a series.
+    pub fn series(&self, name: &str) -> Option<&[(f64, f64)]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Names of all recorded series.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Downsamples a series to at most `max_points` evenly spaced points
+    /// (for terminal rendering of figures).
+    pub fn downsample(&self, name: &str, max_points: usize) -> Vec<(f64, f64)> {
+        let Some(points) = self.series(name) else {
+            return Vec::new();
+        };
+        if points.len() <= max_points || max_points == 0 {
+            return points.to_vec();
+        }
+        let stride = points.len().div_ceil(max_points);
+        points.iter().step_by(stride).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        from: &'static str,
+        to: &'static str,
+    }
+
+    impl Subsystem for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+            if let Some(v) = prev.get(self.from) {
+                next.set(self.to, v.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn subsystems_see_previous_tick_only() {
+        // a -> b -> c echo chain: values propagate one hop per tick even
+        // though both echoes run every tick.
+        let mut sim = Simulator::new(1);
+        sim.add(Echo { from: "a", to: "b" });
+        sim.add(Echo { from: "b", to: "c" });
+        sim.init(
+            State::new()
+                .with_real("a", 7.0)
+                .with_real("b", 0.0)
+                .with_real("c", 0.0),
+        );
+        sim.step();
+        assert_eq!(sim.state().get("b").unwrap().as_real(), Some(7.0));
+        assert_eq!(sim.state().get("c").unwrap().as_real(), Some(0.0));
+        sim.step();
+        assert_eq!(sim.state().get("c").unwrap().as_real(), Some(7.0));
+    }
+
+    #[test]
+    fn run_stops_when_observer_returns_false() {
+        let mut sim = Simulator::new(1);
+        sim.add(Echo { from: "a", to: "b" });
+        sim.init(State::new().with_real("a", 1.0).with_real("b", 0.0));
+        let mut seen = 0;
+        sim.run(100, |tick, _| {
+            seen += 1;
+            tick < 5
+        });
+        assert_eq!(seen, 5);
+        assert_eq!(sim.tick(), 5);
+    }
+
+    #[test]
+    fn seconds_accounts_for_dt() {
+        let mut sim = Simulator::new(10);
+        sim.init(State::new());
+        for _ in 0..100 {
+            sim.step();
+        }
+        assert!((sim.seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_order_lag_converges_monotonically() {
+        let mut lag = FirstOrderLag::new(0.1, 0.0);
+        let mut last = 0.0;
+        for _ in 0..1000 {
+            let v = lag.step(1.0, 0.001);
+            assert!(v >= last && v <= 1.0);
+            last = v;
+        }
+        assert!(last > 0.99);
+    }
+
+    #[test]
+    fn zero_tau_is_passthrough() {
+        let mut lag = FirstOrderLag::new(0.0, 0.0);
+        assert_eq!(lag.step(5.0, 0.001), 5.0);
+    }
+
+    #[test]
+    fn rate_limiter_bounds_slew() {
+        let mut rl = RateLimiter::new(10.0, 0.0);
+        let v = rl.step(100.0, 0.1);
+        assert_eq!(v, 1.0); // 10/s * 0.1s
+        let v2 = rl.step(-100.0, 0.1);
+        assert_eq!(v2, 0.0);
+    }
+
+    #[test]
+    fn delay_line_shifts_by_configured_ticks() {
+        let mut dl = DelayLine::new(2, Value::Int(0));
+        assert_eq!(dl.shift(Value::Int(1)), Value::Int(0));
+        assert_eq!(dl.shift(Value::Int(2)), Value::Int(0));
+        assert_eq!(dl.shift(Value::Int(3)), Value::Int(1));
+        assert_eq!(dl.shift(Value::Int(4)), Value::Int(2));
+    }
+
+    #[test]
+    fn zero_delay_line_is_passthrough() {
+        let mut dl = DelayLine::new(0, Value::Bool(false));
+        assert_eq!(dl.shift(Value::Bool(true)), Value::Bool(true));
+    }
+
+    #[test]
+    fn series_log_records_and_downsamples() {
+        let mut log = SeriesLog::new();
+        for i in 0..100 {
+            log.push("x", i as f64, (i * 2) as f64);
+        }
+        assert_eq!(log.series("x").unwrap().len(), 100);
+        let ds = log.downsample("x", 10);
+        assert!(ds.len() <= 10);
+        assert_eq!(ds[0], (0.0, 0.0));
+        assert!(log.series("missing").is_none());
+    }
+
+    #[test]
+    fn series_log_samples_bools_as_binary() {
+        let mut log = SeriesLog::new();
+        let s = State::new().with_bool("flag", true).with_sym("cmd", "GO");
+        log.sample("flag", 0.5, &s);
+        log.sample("cmd", 0.5, &s); // symbolic: skipped
+        log.sample("none", 0.5, &s); // missing: skipped
+        assert_eq!(log.series("flag").unwrap(), &[(0.5, 1.0)]);
+        assert!(log.series("cmd").is_none());
+    }
+}

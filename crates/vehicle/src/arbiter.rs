@@ -1,0 +1,398 @@
+//! The Arbiter: selects which source's acceleration and steering requests
+//! become the vehicle commands (thesis §5.2.1, §5.3.2).
+//!
+//! The thesis's ICPA pass surfaced four design hazards in this component,
+//! all re-injected here behind [`DefectSet`] switches:
+//!
+//! * arbitration is split between a longitudinal stage and a steering
+//!   stage, complicating coordinated actions;
+//! * the steering stage's priority order is the *reverse* of the
+//!   acceleration stage's — and the steering stage actually gates which
+//!   requests are forwarded, while the acceleration stage only sets the
+//!   `selected` flags (scenario 2, Fig. 5.4);
+//! * separate `selected` flags allow control to be attributed to multiple
+//!   sources at once (scenario 6, Fig. 5.11: LCA *and* ACC selected);
+//! * the driver-override path is incomplete: active features win over the
+//!   pedals (scenario 4, Fig. 5.8).
+
+use crate::config::{DefectSet, VehicleParams};
+use crate::features::{boolean, real};
+use crate::signals as sig;
+use esafe_logic::{State, Value};
+use esafe_sim::{SimTime, Subsystem};
+
+/// Steering-capable features in correct priority order.
+const STEERING_PRIORITY: [&str; 2] = ["PA", "LCA"];
+
+/// The arbitration subsystem.
+#[derive(Debug)]
+pub struct Arbiter {
+    params: VehicleParams,
+    defects: DefectSet,
+    last_cmd: f64,
+    last_steering_cmd: f64,
+}
+
+impl Arbiter {
+    /// Creates the arbiter.
+    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+        Arbiter {
+            params,
+            defects,
+            last_cmd: 0.0,
+            last_steering_cmd: 0.0,
+        }
+    }
+
+    /// Seeds the blackboard with the arbiter's initial outputs.
+    pub fn initial_state() -> State {
+        State::new()
+            .with_real(sig::ACCEL_CMD, 0.0)
+            .with_real(sig::ACCEL_CMD_RATE, 0.0)
+            .with_sym(sig::ACCEL_SOURCE, "DRIVER")
+            .with_real(sig::STEERING_CMD, 0.0)
+            .with_sym(sig::STEERING_SOURCE, "NONE")
+            .with_bool("arbiter.driver_selected", true)
+    }
+}
+
+impl Subsystem for Arbiter {
+    fn name(&self) -> &str {
+        "Arbiter"
+    }
+
+    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
+        let speed = real(prev, sig::HOST_SPEED, 0.0);
+        let driver_request = real(prev, sig::DRIVER_ACCEL_REQUEST, 0.0);
+        let throttle = real(prev, sig::DRIVER_THROTTLE, 0.0) > 0.05;
+        let brake = real(prev, sig::DRIVER_BRAKE, 0.0) > 0.05;
+        let pedal = throttle || brake;
+        let steering_active = boolean(prev, sig::DRIVER_STEERING_ACTIVE);
+
+        // ---- Stage 1: acceleration arbitration (CA > RCA > PA > LCA > ACC).
+        let mut winner: Option<&str> = None;
+        for f in sig::FEATURES {
+            if boolean(prev, &sig::active(f)) {
+                winner = Some(f);
+                break;
+            }
+        }
+
+        // Scenario-10 defect: an engage request from a stop mis-selects ACC
+        // even though ACC never reported itself active (Fig. 5.15).
+        if winner.is_none()
+            && self.defects.acc_ghost_accel_from_stop
+            && boolean(prev, &sig::hmi_engage("ACC"))
+            && real(prev, &sig::accel_request("ACC"), 0.0) > 0.0
+            && speed.abs() < 0.05
+        {
+            winner = Some("ACC");
+        }
+
+        // Driver override: pedals displace a feature whose request is not a
+        // hard stop (goals 5/9). The thesis implementation lacked this path
+        // — features won over the pedals (Fig. 5.8) — so the defect switch
+        // removes it.
+        if let Some(f) = winner {
+            if pedal && !self.defects.acc_throttle_handoff_glitch {
+                let req = real(prev, &sig::accel_request(f), 0.0);
+                let overridable = if speed >= 0.0 { req >= -2.0 } else { req <= 2.0 };
+                if overridable {
+                    winner = None;
+                }
+            }
+        }
+
+        let (mut cmd, src) = match winner {
+            Some(f) => (real(prev, &sig::accel_request(f), 0.0), f),
+            None => (driver_request, "DRIVER"),
+        };
+
+        // ---- Stage 2: steering arbitration.
+        let steer_order: [&str; 2] = if self.defects.steering_arbitration_reversed {
+            ["LCA", "PA"]
+        } else {
+            STEERING_PRIORITY
+        };
+        let mut steer_winner: Option<&str> = None;
+        if !steering_active {
+            for f in steer_order {
+                if boolean(prev, &sig::requests_steering(f)) {
+                    steer_winner = Some(f);
+                    break;
+                }
+            }
+        }
+        let (steering_cmd, steering_src) = if steering_active {
+            (real(prev, sig::DRIVER_STEERING, 0.0), "DRIVER")
+        } else {
+            match steer_winner {
+                Some("LCA") if self.defects.lca_steering_ignored => {
+                    // Attributed to LCA, but the command never changes
+                    // (Fig. 5.10).
+                    (self.last_steering_cmd, "LCA")
+                }
+                Some(f) => (real(prev, &sig::steering_request(f), 0.0), f),
+                None => (0.0, "NONE"),
+            }
+        };
+
+        // Scenario-2 defect: the steering stage's winner captures the
+        // forwarded *acceleration* value while the stage-1 `selected`
+        // flags and source tag stand (Fig. 5.4).
+        if self.defects.steering_arbitration_reversed {
+            if let Some(f) = steer_winner {
+                if f != src {
+                    cmd = real(prev, &sig::accel_request(f), 0.0);
+                }
+            }
+        }
+
+        // Scenario-9 defect: PA is selected but its request is not what
+        // gets forwarded (Fig. 5.14).
+        if src == "PA" && self.defects.pa_request_not_forwarded {
+            cmd = 0.0;
+        }
+
+        // A correctly built arbiter shapes the command's positive rate at
+        // handoffs so autonomous takeovers stay inside the jerk bound
+        // (negative steps — braking — are always allowed). The thesis
+        // implementation forwarded raw request values, part of the same
+        // incomplete-handoff finding as the override defect (Fig. 5.7).
+        let raw_forwarding = self.defects.acc_throttle_handoff_glitch
+            || self.defects.acc_ghost_accel_from_stop;
+        if src != "DRIVER" && !raw_forwarding {
+            let max_step = 0.95 * self.params.jerk_limit * t.dt_seconds();
+            if speed >= 0.0 {
+                // Forward: positive steps are comfort-bounded, braking
+                // steps pass unshaped.
+                if cmd > self.last_cmd + max_step {
+                    cmd = self.last_cmd + max_step;
+                }
+            } else if cmd < self.last_cmd - max_step {
+                // Reverse: the mirror image.
+                cmd = self.last_cmd - max_step;
+            }
+        }
+
+        // ---- Outputs.
+        let rate = (cmd - self.last_cmd) / t.dt_seconds();
+        self.last_cmd = cmd;
+        self.last_steering_cmd = steering_cmd;
+
+        next.set(sig::ACCEL_CMD, cmd);
+        next.set(sig::ACCEL_CMD_RATE, rate);
+        next.set(sig::ACCEL_SOURCE, Value::sym(src));
+        next.set(sig::STEERING_CMD, steering_cmd);
+        next.set(sig::STEERING_SOURCE, Value::sym(steering_src));
+        next.set("arbiter.driver_selected", src == "DRIVER");
+        for f in sig::FEATURES {
+            let mut selected = src == f;
+            // Dual-flag hazard: LCA's longitudinal channel is executed by
+            // ACC, and the implementation marks both selected (Fig. 5.11).
+            if f == "ACC" && src == "LCA" {
+                selected = true;
+            }
+            next.set(sig::selected(f), selected);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_state() -> State {
+        let mut s = Arbiter::initial_state()
+            .with_real(sig::HOST_SPEED, 5.0)
+            .with_real(sig::DRIVER_ACCEL_REQUEST, 0.0)
+            .with_real(sig::DRIVER_THROTTLE, 0.0)
+            .with_real(sig::DRIVER_BRAKE, 0.0)
+            .with_bool(sig::DRIVER_STEERING_ACTIVE, false)
+            .with_real(sig::DRIVER_STEERING, 0.0);
+        for f in sig::FEATURES {
+            s.extend(crate::features::FeatureOutputs::initial_state(f).into_iter().map(|(k, v)| (k.clone(), v.clone())));
+            s.set(sig::hmi_engage(f), false);
+        }
+        s
+    }
+
+    fn tick(arb: &mut Arbiter, prev: &State) -> State {
+        let mut next = prev.clone();
+        arb.step(
+            &SimTime {
+                tick: 1,
+                dt_millis: 1,
+            },
+            prev,
+            &mut next,
+        );
+        next
+    }
+
+    fn activate(s: &mut State, feature: &str, request: f64, steering: bool) {
+        s.set(sig::active(feature), true);
+        s.set(sig::requests_accel(feature), true);
+        s.set(sig::accel_request(feature), request);
+        s.set(sig::requests_steering(feature), steering);
+    }
+
+    #[test]
+    fn priority_order_prefers_ca() {
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
+        let mut s = base_state();
+        activate(&mut s, "ACC", 1.0, false);
+        activate(&mut s, "CA", -8.0, false);
+        let out = tick(&mut arb, &s);
+        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("CA")));
+        assert_eq!(real(&out, sig::ACCEL_CMD, 0.0), -8.0);
+        assert!(boolean(&out, "ca.selected"));
+        assert!(!boolean(&out, "acc.selected"));
+    }
+
+    #[test]
+    fn driver_is_default_source() {
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
+        let mut s = base_state();
+        s.set(sig::DRIVER_ACCEL_REQUEST, 0.9);
+        let out = tick(&mut arb, &s);
+        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("DRIVER")));
+        assert_eq!(real(&out, sig::ACCEL_CMD, 0.0), 0.9);
+        assert!(boolean(&out, "arbiter.driver_selected"));
+    }
+
+    #[test]
+    fn healthy_pedal_overrides_soft_requests_but_not_hard_braking() {
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
+        let mut s = base_state();
+        s.set(sig::DRIVER_THROTTLE, 0.5);
+        s.set(sig::DRIVER_ACCEL_REQUEST, 1.5);
+        activate(&mut s, "ACC", 1.0, false);
+        let out = tick(&mut arb, &s);
+        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("DRIVER")));
+
+        // CA's −8 m/s² hard stop is not overridable.
+        activate(&mut s, "CA", -8.0, false);
+        let out = tick(&mut arb, &s);
+        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("CA")));
+    }
+
+    #[test]
+    fn defective_override_lets_features_win_over_pedals() {
+        let defects = DefectSet {
+            acc_throttle_handoff_glitch: true,
+            ..DefectSet::none()
+        };
+        let mut arb = Arbiter::new(VehicleParams::default(), defects);
+        let mut s = base_state();
+        s.set(sig::DRIVER_THROTTLE, 0.5);
+        activate(&mut s, "ACC", 1.0, false);
+        let out = tick(&mut arb, &s);
+        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("ACC")));
+    }
+
+    #[test]
+    fn steering_hijack_defect_reproduces_scenario_2() {
+        let defects = DefectSet {
+            steering_arbitration_reversed: true,
+            ..DefectSet::none()
+        };
+        let mut arb = Arbiter::new(VehicleParams::default(), defects);
+        let mut s = base_state();
+        activate(&mut s, "CA", -8.0, false);
+        activate(&mut s, "PA", 0.0, true);
+        let out = tick(&mut arb, &s);
+        // CA stays selected and tagged as the source…
+        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("CA")));
+        assert!(boolean(&out, "ca.selected"));
+        // …but the forwarded command is PA's request.
+        assert_eq!(real(&out, sig::ACCEL_CMD, -8.0), 0.0);
+        // And the steering stage attributes steering to PA.
+        assert_eq!(out.get(sig::STEERING_SOURCE), Some(&Value::sym("PA")));
+    }
+
+    #[test]
+    fn lca_steering_ignored_holds_the_command() {
+        let defects = DefectSet {
+            lca_steering_ignored: true,
+            ..DefectSet::none()
+        };
+        let mut arb = Arbiter::new(VehicleParams::default(), defects);
+        let mut s = base_state();
+        activate(&mut s, "LCA", 0.3, true);
+        s.set(sig::steering_request("LCA"), 0.04);
+        let out = tick(&mut arb, &s);
+        assert_eq!(out.get(sig::STEERING_SOURCE), Some(&Value::sym("LCA")));
+        assert_eq!(real(&out, sig::STEERING_CMD, 1.0), 0.0, "command unchanged");
+        // Dual-flag hazard: ACC is marked selected alongside LCA.
+        assert!(boolean(&out, "lca.selected"));
+        assert!(boolean(&out, "acc.selected"));
+    }
+
+    #[test]
+    fn healthy_lca_steering_flows_through() {
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
+        let mut s = base_state();
+        activate(&mut s, "LCA", 0.3, true);
+        s.set(sig::steering_request("LCA"), 0.04);
+        let out = tick(&mut arb, &s);
+        assert_eq!(real(&out, sig::STEERING_CMD, 0.0), 0.04);
+    }
+
+    #[test]
+    fn driver_steering_overrides_features() {
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
+        let mut s = base_state();
+        activate(&mut s, "PA", 0.5, true);
+        s.set(sig::DRIVER_STEERING_ACTIVE, true);
+        s.set(sig::DRIVER_STEERING, 0.2);
+        let out = tick(&mut arb, &s);
+        assert_eq!(out.get(sig::STEERING_SOURCE), Some(&Value::sym("DRIVER")));
+        assert_eq!(real(&out, sig::STEERING_CMD, 0.0), 0.2);
+    }
+
+    #[test]
+    fn pa_forwarding_defect_decouples_command_from_request() {
+        let defects = DefectSet {
+            pa_request_not_forwarded: true,
+            ..DefectSet::none()
+        };
+        let mut arb = Arbiter::new(VehicleParams::default(), defects);
+        let mut s = base_state();
+        s.set(sig::HOST_SPEED, 0.0);
+        activate(&mut s, "PA", 0.5, true);
+        let out = tick(&mut arb, &s);
+        assert!(boolean(&out, "pa.selected"));
+        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("PA")));
+        assert_eq!(real(&out, sig::ACCEL_CMD, 1.0), 0.0, "request 0.5 not forwarded");
+    }
+
+    #[test]
+    fn ghost_defect_mis_selects_acc_from_stop() {
+        let defects = DefectSet {
+            acc_ghost_accel_from_stop: true,
+            ..DefectSet::none()
+        };
+        let mut arb = Arbiter::new(VehicleParams::default(), defects);
+        let mut s = base_state();
+        s.set(sig::HOST_SPEED, 0.0);
+        s.set(sig::hmi_engage("ACC"), true);
+        s.set(sig::accel_request("ACC"), 0.8);
+        // ACC is NOT active, yet gets selected and its request forwarded.
+        let out = tick(&mut arb, &s);
+        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("ACC")));
+        assert_eq!(real(&out, sig::ACCEL_CMD, 0.0), 0.8);
+        assert_eq!(out.get(sig::STEERING_SOURCE), Some(&Value::sym("NONE")));
+    }
+
+    #[test]
+    fn command_rate_tracks_steps() {
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
+        let mut s = base_state();
+        activate(&mut s, "CA", -8.0, false);
+        let out = tick(&mut arb, &s);
+        assert_eq!(real(&out, sig::ACCEL_CMD_RATE, 0.0), -8000.0);
+        let out2 = tick(&mut arb, &out);
+        assert_eq!(real(&out2, sig::ACCEL_CMD_RATE, 1.0), 0.0);
+    }
+}

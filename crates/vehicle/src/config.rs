@@ -1,0 +1,174 @@
+//! Vehicle parameters and the defect-injection switchboard.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical and control constants of the simulated vehicle.
+///
+/// The thesis's CarSim vehicle data is proprietary; these constants are
+/// tuned so the published anchors hold (scenario 1 terminating ≈12.6–12.7 s,
+/// a 0.101 s control handoff in scenario 5, 1 ms control-grant latency in
+/// scenario 6). See EXPERIMENTS.md for the calibration notes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleParams {
+    /// Acceleration actuation time constant, s.
+    pub accel_tau_s: f64,
+    /// Steering actuation time constant, s.
+    pub steering_tau_s: f64,
+    /// Maximum driver-demand acceleration at full throttle, m/s².
+    pub max_throttle_accel: f64,
+    /// Maximum braking deceleration at full brake, m/s² (positive number).
+    pub max_brake_decel: f64,
+    /// Hard-brake request used by collision avoidance, m/s² (negative).
+    pub ca_brake_accel: f64,
+    /// Collision-avoidance engagement margin added to the kinematic
+    /// stopping distance, m.
+    pub ca_margin_m: f64,
+    /// ACC proportional speed-tracking gain, 1/s.
+    pub acc_gain: f64,
+    /// ACC acceleration request ceiling, m/s².
+    pub acc_max_accel: f64,
+    /// ACC deceleration request floor, m/s² (negative).
+    pub acc_min_accel: f64,
+    /// Bumper-to-bumper length subtracted from object gaps, m.
+    pub car_length_m: f64,
+    /// |speed| below which the vehicle counts as stopped, m/s.
+    pub stopped_eps: f64,
+    /// The autonomous-acceleration safety threshold of goal 1, m/s².
+    pub accel_limit: f64,
+    /// The autonomous-jerk safety threshold of goal 2, m/s³.
+    pub jerk_limit: f64,
+}
+
+impl Default for VehicleParams {
+    fn default() -> Self {
+        VehicleParams {
+            accel_tau_s: 0.12,
+            steering_tau_s: 0.2,
+            max_throttle_accel: 3.0,
+            max_brake_decel: 8.0,
+            ca_brake_accel: -8.0,
+            ca_margin_m: 1.2,
+            acc_gain: 0.8,
+            acc_max_accel: 1.5,
+            acc_min_accel: -3.0,
+            car_length_m: 4.5,
+            stopped_eps: 0.01,
+            accel_limit: 2.0,
+            jerk_limit: 2.5,
+        }
+    }
+}
+
+/// The defect switchboard: each flag re-injects one defect the thesis's
+/// run-time monitors uncovered in the partially implemented research
+/// vehicle (traceability table in DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[allow(clippy::struct_excessive_bools)]
+pub struct DefectSet {
+    /// Scenario 1/2/3, Fig. 5.3: PA emits acceleration requests while
+    /// disabled.
+    pub pa_requests_while_disabled: bool,
+    /// Scenario 2, Fig. 5.4: steering arbitration priority is reversed and
+    /// its outcome gates which acceleration request is actually forwarded,
+    /// while the acceleration-side `selected` flag is left standing.
+    pub steering_arbitration_reversed: bool,
+    /// Scenarios 1–3, Figs. 5.2/5.5: CA cancels its braking action
+    /// intermittently instead of holding it to a stop.
+    pub ca_intermittent_braking: bool,
+    /// Scenario 3, Fig. 5.6: ACC controls toward a 0 m/s set speed while
+    /// enabled but not engaged.
+    pub acc_requests_while_disengaged: bool,
+    /// Scenario 4, Fig. 5.8: ACC briefly takes acceleration control while
+    /// the throttle pedal is applied, then loses it until release.
+    pub acc_throttle_handoff_glitch: bool,
+    /// Scenario 5, Fig. 5.9: ACC gains control only 101 ms after the
+    /// driver releases the throttle pedal.
+    pub acc_engage_handoff_delay: bool,
+    /// Scenario 6, Fig. 5.10: LCA steering requests never reach the
+    /// steering command.
+    pub lca_steering_ignored: bool,
+    /// Scenario 6, Fig. 5.11: no zero-speed clamp — autonomous
+    /// deceleration integrates straight through zero and the forward
+    /// features stay active and selected in reverse motion.
+    pub no_reverse_inhibit: bool,
+    /// Scenario 7, Fig. 5.12: RCA never engages.
+    pub rca_never_engages: bool,
+    /// Scenario 8, Fig. 5.13: ACC accepts engagement in reverse gear and
+    /// gets selected.
+    pub acc_engages_in_reverse: bool,
+    /// Scenario 9, Fig. 5.14: the arbiter selects PA but forwards an
+    /// acceleration command unequal to PA's request.
+    pub pa_request_not_forwarded: bool,
+    /// Scenario 10, Fig. 5.15: an engage attempt from a stop leaves ACC
+    /// inactive yet leaks its request into the default arbitration path —
+    /// the vehicle accelerates with no subsystem attributed.
+    pub acc_ghost_accel_from_stop: bool,
+}
+
+impl DefectSet {
+    /// The defect population of the thesis's partially implemented
+    /// research vehicle: everything on.
+    pub fn thesis() -> Self {
+        DefectSet {
+            pa_requests_while_disabled: true,
+            steering_arbitration_reversed: true,
+            ca_intermittent_braking: true,
+            acc_requests_while_disengaged: true,
+            acc_throttle_handoff_glitch: true,
+            acc_engage_handoff_delay: true,
+            lca_steering_ignored: true,
+            no_reverse_inhibit: true,
+            rca_never_engages: true,
+            acc_engages_in_reverse: true,
+            pa_request_not_forwarded: true,
+            acc_ghost_accel_from_stop: true,
+        }
+    }
+
+    /// The fixed system: everything off (the ablation baseline).
+    pub fn none() -> Self {
+        DefectSet::default()
+    }
+
+    /// Number of enabled defects.
+    pub fn count(&self) -> usize {
+        [
+            self.pa_requests_while_disabled,
+            self.steering_arbitration_reversed,
+            self.ca_intermittent_braking,
+            self.acc_requests_while_disengaged,
+            self.acc_throttle_handoff_glitch,
+            self.acc_engage_handoff_delay,
+            self.lca_steering_ignored,
+            self.no_reverse_inhibit,
+            self.rca_never_engages,
+            self.acc_engages_in_reverse,
+            self.pa_request_not_forwarded,
+            self.acc_ghost_accel_from_stop,
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thesis_set_enables_all_twelve() {
+        assert_eq!(DefectSet::thesis().count(), 12);
+        assert_eq!(DefectSet::none().count(), 0);
+    }
+
+    #[test]
+    fn default_params_are_physically_sane() {
+        let p = VehicleParams::default();
+        assert!(p.ca_brake_accel < 0.0);
+        assert!(p.max_brake_decel > 0.0);
+        assert!(p.acc_min_accel < 0.0 && p.acc_max_accel > 0.0);
+        assert!(p.accel_limit > 0.0 && p.jerk_limit > 0.0);
+        assert!(p.stopped_eps > 0.0 && p.stopped_eps < 0.1);
+    }
+}

@@ -1,0 +1,227 @@
+//! The scripted driver and HMI (thesis §5.2.1: the driver enables,
+//! engages, and overrides features through pedals, wheel, and HMI).
+
+use crate::config::VehicleParams;
+use crate::signals as sig;
+use esafe_logic::{State, Value};
+use esafe_sim::{SimTime, Subsystem};
+use serde::{Deserialize, Serialize};
+
+/// One scripted driver/HMI action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DriverAction {
+    /// Set throttle pedal position (0..1).
+    Throttle(f64),
+    /// Set brake pedal position (0..1).
+    Brake(f64),
+    /// Start/stop actively steering.
+    SteeringActive(bool),
+    /// Set the steering-wheel input, rad.
+    Steering(f64),
+    /// Select a gear (`"D"` or `"R"`).
+    Gear(String),
+    /// Press the HMI "go" button (momentary, one tick).
+    Go,
+    /// Toggle a feature's HMI enable switch.
+    Enable(String, bool),
+    /// Toggle a feature's HMI engage request.
+    Engage(String, bool),
+    /// Set the ACC set speed, m/s.
+    SetSpeed(f64),
+}
+
+/// The scripted driver: replays a schedule of [`DriverAction`]s and
+/// publishes the pedal-demand acceleration.
+#[derive(Debug, Clone)]
+pub struct ScriptedDriver {
+    params: VehicleParams,
+    schedule: Vec<(f64, DriverAction)>,
+    next_idx: usize,
+    throttle: f64,
+    brake: f64,
+    steering_active: bool,
+    steering: f64,
+    gear: String,
+    go_pending: bool,
+}
+
+impl ScriptedDriver {
+    /// Creates a driver from a `(time_s, action)` schedule. Actions are
+    /// applied in schedule order once simulation time passes their
+    /// timestamp.
+    pub fn new(params: VehicleParams, mut schedule: Vec<(f64, DriverAction)>) -> Self {
+        schedule.sort_by(|a, b| a.0.total_cmp(&b.0));
+        ScriptedDriver {
+            params,
+            schedule,
+            next_idx: 0,
+            throttle: 0.0,
+            brake: 0.0,
+            steering_active: false,
+            steering: 0.0,
+            gear: "D".to_owned(),
+            go_pending: false,
+        }
+    }
+
+    /// Seeds the blackboard with the driver's initial outputs.
+    pub fn initial_state() -> State {
+        let mut s = State::new()
+            .with_real(sig::DRIVER_THROTTLE, 0.0)
+            .with_real(sig::DRIVER_BRAKE, 0.0)
+            .with_bool(sig::DRIVER_STEERING_ACTIVE, false)
+            .with_real(sig::DRIVER_STEERING, 0.0)
+            .with_real(sig::DRIVER_ACCEL_REQUEST, 0.0)
+            .with_sym(sig::GEAR, "D")
+            .with_bool(sig::HMI_GO, false)
+            .with_real(sig::ACC_SET_SPEED, 0.0);
+        for f in sig::FEATURES {
+            s.set(sig::hmi_enable(f), Value::Bool(false));
+            s.set(sig::hmi_engage(f), Value::Bool(false));
+        }
+        s
+    }
+
+    fn pedal_accel(&self) -> f64 {
+        let raw = self.throttle * self.params.max_throttle_accel
+            - self.brake * self.params.max_brake_decel;
+        if self.gear == "R" {
+            -raw
+        } else {
+            raw
+        }
+    }
+}
+
+impl Subsystem for ScriptedDriver {
+    fn name(&self) -> &str {
+        "Driver"
+    }
+
+    fn step(&mut self, t: &SimTime, _prev: &State, next: &mut State) {
+        let now = t.seconds();
+        // Momentary signals reset each tick unless re-pressed.
+        next.set(sig::HMI_GO, false);
+        while self.next_idx < self.schedule.len() && self.schedule[self.next_idx].0 <= now {
+            let (_, action) = &self.schedule[self.next_idx];
+            match action {
+                DriverAction::Throttle(v) => self.throttle = v.clamp(0.0, 1.0),
+                DriverAction::Brake(v) => self.brake = v.clamp(0.0, 1.0),
+                DriverAction::SteeringActive(b) => self.steering_active = *b,
+                DriverAction::Steering(v) => self.steering = *v,
+                DriverAction::Gear(g) => self.gear = g.clone(),
+                DriverAction::Go => self.go_pending = true,
+                DriverAction::Enable(f, b) => next.set(sig::hmi_enable(f), Value::Bool(*b)),
+                DriverAction::Engage(f, b) => next.set(sig::hmi_engage(f), Value::Bool(*b)),
+                DriverAction::SetSpeed(v) => next.set(sig::ACC_SET_SPEED, *v),
+            }
+            self.next_idx += 1;
+        }
+        if self.go_pending {
+            next.set(sig::HMI_GO, true);
+            self.go_pending = false;
+        }
+        next.set(sig::DRIVER_THROTTLE, self.throttle);
+        next.set(sig::DRIVER_BRAKE, self.brake);
+        next.set(sig::DRIVER_STEERING_ACTIVE, self.steering_active);
+        next.set(sig::DRIVER_STEERING, self.steering);
+        next.set(sig::GEAR, Value::sym(self.gear.clone()));
+        next.set(sig::DRIVER_ACCEL_REQUEST, self.pedal_accel());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_sim::Simulator;
+
+    fn run_driver(schedule: Vec<(f64, DriverAction)>, ticks: u64) -> State {
+        let mut sim = Simulator::new(1);
+        sim.add(ScriptedDriver::new(VehicleParams::default(), schedule));
+        sim.init(ScriptedDriver::initial_state());
+        for _ in 0..ticks {
+            sim.step();
+        }
+        sim.state().clone()
+    }
+
+    #[test]
+    fn actions_apply_at_their_time() {
+        let s = run_driver(vec![(0.05, DriverAction::Throttle(0.5))], 40);
+        assert_eq!(s.get(sig::DRIVER_THROTTLE).unwrap().as_real(), Some(0.0));
+        let s = run_driver(vec![(0.05, DriverAction::Throttle(0.5))], 60);
+        assert_eq!(s.get(sig::DRIVER_THROTTLE).unwrap().as_real(), Some(0.5));
+    }
+
+    #[test]
+    fn pedal_accel_combines_and_respects_gear() {
+        let s = run_driver(
+            vec![
+                (0.0, DriverAction::Throttle(1.0)),
+                (0.0, DriverAction::Brake(0.5)),
+            ],
+            5,
+        );
+        // 1.0·3.0 − 0.5·8.0 = −1.0
+        assert_eq!(
+            s.get(sig::DRIVER_ACCEL_REQUEST).unwrap().as_real(),
+            Some(-1.0)
+        );
+        let s = run_driver(
+            vec![
+                (0.0, DriverAction::Gear("R".into())),
+                (0.0, DriverAction::Throttle(1.0)),
+            ],
+            5,
+        );
+        assert_eq!(
+            s.get(sig::DRIVER_ACCEL_REQUEST).unwrap().as_real(),
+            Some(-3.0)
+        );
+        assert_eq!(s.get(sig::GEAR), Some(&Value::sym("R")));
+    }
+
+    #[test]
+    fn go_is_momentary() {
+        let mut sim = Simulator::new(1);
+        sim.add(ScriptedDriver::new(
+            VehicleParams::default(),
+            vec![(0.002, DriverAction::Go)],
+        ));
+        sim.init(ScriptedDriver::initial_state());
+        sim.step(); // t = 1 ms: not yet
+        assert_eq!(sim.state().get(sig::HMI_GO), Some(&Value::Bool(false)));
+        sim.step(); // t = 2 ms: pressed
+        assert_eq!(sim.state().get(sig::HMI_GO), Some(&Value::Bool(true)));
+        sim.step(); // released
+        assert_eq!(sim.state().get(sig::HMI_GO), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn enable_and_engage_write_hmi_signals() {
+        let s = run_driver(
+            vec![
+                (0.0, DriverAction::Enable("ACC".into(), true)),
+                (0.001, DriverAction::Engage("ACC".into(), true)),
+                (0.001, DriverAction::SetSpeed(20.0)),
+            ],
+            5,
+        );
+        assert_eq!(s.get("hmi.acc.enable"), Some(&Value::Bool(true)));
+        assert_eq!(s.get("hmi.acc.engage"), Some(&Value::Bool(true)));
+        assert_eq!(s.get(sig::ACC_SET_SPEED).unwrap().as_real(), Some(20.0));
+    }
+
+    #[test]
+    fn schedule_is_sorted_on_construction() {
+        let s = run_driver(
+            vec![
+                (0.010, DriverAction::Throttle(0.9)),
+                (0.005, DriverAction::Throttle(0.2)),
+            ],
+            20,
+        );
+        // Later action wins.
+        assert_eq!(s.get(sig::DRIVER_THROTTLE).unwrap().as_real(), Some(0.9));
+    }
+}

@@ -1,0 +1,175 @@
+//! Lane Change Assist (LCA): performs a driver-requested lane change,
+//! working in conjunction with ACC for longitudinal control (thesis
+//! §5.2.1, §5.3.2: "ACC performs the longitudinal control for LCA; thus
+//! ACC and LCA share acceleration requests").
+
+use super::{boolean, real, FeatureOutputs};
+use crate::config::{DefectSet, VehicleParams};
+use crate::signals as sig;
+use esafe_logic::State;
+use esafe_sim::{SimTime, Subsystem};
+
+/// Ticks after engage before LCA requests control (thesis Fig. 5.10:
+/// control gained at 5.001 s after a 5.0 s enable — one 1 ms state).
+const ACTIVATION_DELAY_TICKS: u64 = 1;
+/// Ticks after activation before the steering profile begins (Fig. 5.10:
+/// first steering request at 5.051 s).
+const STEER_START_TICKS: u64 = 50;
+/// Length of each half of the lane-change steering profile, ticks.
+const STEER_HALF_TICKS: u64 = 1500;
+
+/// The LCA feature subsystem.
+#[derive(Debug)]
+pub struct LaneChangeAssist {
+    #[allow(dead_code)]
+    params: VehicleParams,
+    defects: DefectSet,
+    out: FeatureOutputs,
+    engaged: bool,
+    ticks_since_engage: u64,
+}
+
+impl LaneChangeAssist {
+    /// Creates the LCA subsystem.
+    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+        LaneChangeAssist {
+            params,
+            defects,
+            out: FeatureOutputs::new("LCA"),
+            engaged: false,
+            ticks_since_engage: 0,
+        }
+    }
+
+    fn steering_profile(&self, ticks: u64) -> f64 {
+        if ticks < STEER_START_TICKS {
+            return 0.0;
+        }
+        let t = ticks - STEER_START_TICKS;
+        if t < STEER_HALF_TICKS {
+            0.04
+        } else if t < 2 * STEER_HALF_TICKS {
+            -0.04
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Subsystem for LaneChangeAssist {
+    fn name(&self) -> &str {
+        "LCA"
+    }
+
+    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
+        let enabled = boolean(prev, &sig::hmi_enable("LCA"));
+        let engage_req = boolean(prev, &sig::hmi_engage("LCA"));
+        let acc_engaged_signal = boolean(prev, &sig::hmi_engage("ACC"));
+
+        // LCA requires ACC to be engaged (it borrows ACC's longitudinal
+        // control). The reverse-motion inhibit is the healthy behaviour
+        // scenario 6 shows missing.
+        let speed = real(prev, sig::HOST_SPEED, 0.0);
+        let reverse_ok = self.defects.no_reverse_inhibit || speed >= 0.0;
+
+        if enabled && engage_req && acc_engaged_signal && reverse_ok {
+            if !self.engaged {
+                self.engaged = true;
+                self.ticks_since_engage = 0;
+            }
+        } else {
+            self.engaged = false;
+        }
+
+        let mut active = false;
+        let mut accel = 0.0;
+        let mut steer = 0.0;
+        if self.engaged {
+            self.ticks_since_engage += 1;
+            active = self.ticks_since_engage >= ACTIVATION_DELAY_TICKS;
+            // Shared longitudinal channel: mirror ACC's request.
+            accel = real(prev, &sig::accel_request("ACC"), 0.0);
+            steer = self.steering_profile(self.ticks_since_engage);
+        }
+
+        self.out
+            .publish(next, enabled, active, accel, steer, true, t.dt_seconds());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(acc_request: f64) -> State {
+        State::new()
+            .with_bool("hmi.lca.enable", true)
+            .with_bool("hmi.lca.engage", true)
+            .with_bool("hmi.acc.engage", true)
+            .with_real(sig::HOST_SPEED, 10.0)
+            .with_real(sig::accel_request("ACC"), acc_request)
+    }
+
+    fn run(lca: &mut LaneChangeAssist, prev: &State, n: u64) -> State {
+        let mut s = prev.clone();
+        let t = SimTime {
+            tick: 1,
+            dt_millis: 1,
+        };
+        for _ in 0..n {
+            let snapshot = s.clone();
+            lca.step(&t, &snapshot, &mut s);
+        }
+        s
+    }
+
+    #[test]
+    fn activates_one_tick_after_engage() {
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
+        let s = run(&mut lca, &world(0.5), 2);
+        assert!(boolean(&s, "lca.active"));
+        assert!(boolean(&s, "lca.requests_steering"));
+    }
+
+    #[test]
+    fn mirrors_acc_longitudinal_request() {
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
+        let s = run(&mut lca, &world(0.7), 5);
+        assert_eq!(real(&s, "lca.accel_request", 0.0), 0.7);
+    }
+
+    #[test]
+    fn steering_profile_starts_at_50_ms() {
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
+        let s = run(&mut lca, &world(0.0), 45);
+        assert_eq!(real(&s, "lca.steering_request", 1.0), 0.0);
+        let s = run(&mut lca, &world(0.0), 10);
+        assert!(real(&s, "lca.steering_request", 0.0) > 0.0);
+    }
+
+    #[test]
+    fn requires_acc_engaged() {
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
+        let mut w = world(0.0);
+        w.set("hmi.acc.engage", false);
+        let s = run(&mut lca, &w, 10);
+        assert!(!boolean(&s, "lca.active"));
+    }
+
+    #[test]
+    fn healthy_lca_disengages_in_reverse_motion() {
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
+        let mut w = world(0.0);
+        w.set(sig::HOST_SPEED, -0.5);
+        let s = run(&mut lca, &w, 10);
+        assert!(!boolean(&s, "lca.active"));
+
+        let defects = DefectSet {
+            no_reverse_inhibit: true,
+            ..DefectSet::none()
+        };
+        let mut lca2 = LaneChangeAssist::new(VehicleParams::default(), defects);
+        let s = run(&mut lca2, &w, 10);
+        assert!(boolean(&s, "lca.active"), "defect keeps LCA active in reverse");
+    }
+}

@@ -1,0 +1,131 @@
+//! The five semi-autonomous feature subsystems (thesis Figure 5.1):
+//! Collision Avoidance, Rear Collision Avoidance, Adaptive Cruise Control,
+//! Lane Change Assist, and Park Assist.
+
+pub mod acc;
+pub mod ca;
+pub mod lca;
+pub mod pa;
+pub mod rca;
+
+pub use acc::AdaptiveCruiseControl;
+pub use ca::CollisionAvoidance;
+pub use lca::LaneChangeAssist;
+pub use pa::ParkAssist;
+pub use rca::RearCollisionAvoidance;
+
+use crate::signals as sig;
+use esafe_logic::{State, Value};
+
+/// Shared output plumbing for a feature: publishes the standard signal set
+/// and tracks the request rate (the "jerk" of the request stream that
+/// subgoal 2B monitors).
+#[derive(Debug, Clone)]
+pub struct FeatureOutputs {
+    name: &'static str,
+    last_request: f64,
+}
+
+impl FeatureOutputs {
+    /// Creates the plumbing for the named feature (`"CA"`, `"ACC"`, …).
+    pub fn new(name: &'static str) -> Self {
+        FeatureOutputs {
+            name,
+            last_request: 0.0,
+        }
+    }
+
+    /// The feature's name.
+    pub fn feature(&self) -> &'static str {
+        self.name
+    }
+
+    /// The request value published at the previous tick.
+    pub fn last_request(&self) -> f64 {
+        self.last_request
+    }
+
+    /// Publishes the per-tick output set and updates the request rate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish(
+        &mut self,
+        next: &mut State,
+        enabled: bool,
+        active: bool,
+        accel_request: f64,
+        steering_request: f64,
+        wants_steering: bool,
+        dt_s: f64,
+    ) {
+        let rate = (accel_request - self.last_request) / dt_s;
+        self.last_request = accel_request;
+        next.set(sig::enabled(self.name), enabled);
+        next.set(sig::active(self.name), active);
+        next.set(sig::accel_request(self.name), accel_request);
+        next.set(sig::accel_request_rate(self.name), rate);
+        next.set(sig::requests_accel(self.name), active);
+        next.set(sig::steering_request(self.name), steering_request);
+        next.set(sig::requests_steering(self.name), active && wants_steering);
+    }
+
+    /// Seeds the blackboard with a feature's quiescent outputs.
+    pub fn initial_state(name: &str) -> State {
+        let mut s = State::new();
+        s.set(sig::enabled(name), Value::Bool(false));
+        s.set(sig::active(name), Value::Bool(false));
+        s.set(sig::accel_request(name), Value::Real(0.0));
+        s.set(sig::accel_request_rate(name), Value::Real(0.0));
+        s.set(sig::requests_accel(name), Value::Bool(false));
+        s.set(sig::steering_request(name), Value::Real(0.0));
+        s.set(sig::requests_steering(name), Value::Bool(false));
+        s.set(sig::selected(name), Value::Bool(false));
+        s
+    }
+}
+
+pub(crate) fn real(state: &State, name: &str, default: f64) -> f64 {
+    state.get(name).and_then(Value::as_real).unwrap_or(default)
+}
+
+pub(crate) fn boolean(state: &State, name: &str) -> bool {
+    state.get(name).and_then(Value::as_bool).unwrap_or(false)
+}
+
+pub(crate) fn symbol<'a>(state: &'a State, name: &str, default: &'a str) -> &'a str {
+    match state.get(name) {
+        Some(Value::Sym(s)) => s.as_str(),
+        _ => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_computes_request_rate() {
+        let mut out = FeatureOutputs::new("CA");
+        let mut s = State::new();
+        out.publish(&mut s, true, true, -8.0, 0.0, false, 0.001);
+        assert_eq!(real(&s, "ca.accel_request_rate", 0.0), -8000.0);
+        out.publish(&mut s, true, true, -8.0, 0.0, false, 0.001);
+        assert_eq!(real(&s, "ca.accel_request_rate", 1.0), 0.0);
+    }
+
+    #[test]
+    fn requests_steering_needs_active_and_capability() {
+        let mut out = FeatureOutputs::new("PA");
+        let mut s = State::new();
+        out.publish(&mut s, true, false, 0.0, 0.1, true, 0.001);
+        assert!(!boolean(&s, "pa.requests_steering"));
+        out.publish(&mut s, true, true, 0.0, 0.1, true, 0.001);
+        assert!(boolean(&s, "pa.requests_steering"));
+    }
+
+    #[test]
+    fn initial_state_covers_signal_set() {
+        let s = FeatureOutputs::initial_state("ACC");
+        assert_eq!(s.len(), 8);
+        assert!(s.get("acc.selected").is_some());
+    }
+}

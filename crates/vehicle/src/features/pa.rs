@@ -1,0 +1,192 @@
+//! Park Assist (PA): finds a space and parks the vehicle on driver request
+//! (thesis §5.2.1). Carries the scenario-1 defect of emitting acceleration
+//! requests while disabled (Fig. 5.3).
+
+use super::{boolean, real, FeatureOutputs};
+use crate::config::{DefectSet, VehicleParams};
+use crate::signals as sig;
+use esafe_logic::State;
+use esafe_sim::{SimTime, Subsystem};
+
+/// The creep acceleration PA uses while maneuvering, m/s².
+const PA_CREEP_ACCEL: f64 = 0.5;
+
+/// The PA feature subsystem.
+#[derive(Debug)]
+pub struct ParkAssist {
+    params: VehicleParams,
+    defects: DefectSet,
+    out: FeatureOutputs,
+    engaged: bool,
+    authorized: bool,
+    limiter: esafe_sim::RateLimiter,
+}
+
+impl ParkAssist {
+    /// Creates the PA subsystem.
+    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+        ParkAssist {
+            params,
+            defects,
+            out: FeatureOutputs::new("PA"),
+            engaged: false,
+            authorized: false,
+            // A healthy request stream stays inside the jerk bound.
+            limiter: esafe_sim::RateLimiter::new(params.jerk_limit * 0.9, 0.0),
+        }
+    }
+
+    /// The thesis's Fig. 5.3 rogue request profile, reconstructed from the
+    /// text: +2 m/s² from the start until 2.186 s, 0 until 9.33 s,
+    /// −2 m/s² until 9.624 s, then 0.
+    fn rogue_request(time_s: f64) -> f64 {
+        if time_s < 2.186 {
+            2.0
+        } else if (9.33..9.624).contains(&time_s) {
+            -2.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Subsystem for ParkAssist {
+    fn name(&self) -> &str {
+        "PA"
+    }
+
+    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
+        let enabled = boolean(prev, &sig::hmi_enable("PA"));
+        let engage_req = boolean(prev, &sig::hmi_engage("PA"));
+        let speed = real(prev, sig::HOST_SPEED, 0.0);
+        let pedal = real(prev, sig::DRIVER_THROTTLE, 0.0) > 0.05
+            || real(prev, sig::DRIVER_BRAKE, 0.0) > 0.05;
+
+        self.engaged = enabled && engage_req;
+        if !self.engaged {
+            self.authorized = false;
+        } else if boolean(prev, sig::HMI_GO) {
+            // A healthy PA moves from a stop only after an explicit HMI
+            // go (goal 4). The thesis implementation skipped the
+            // authorization — the same missing logic that let PA request
+            // while disabled.
+            self.authorized = true;
+        }
+
+        let mut active = false;
+        #[allow(unused_assignments)]
+        let mut accel = 0.0;
+        let mut steer = 0.0;
+        if self.engaged {
+            // A healthy PA yields control while the driver works the
+            // pedals (goal 5's feature subgoal); the thesis vehicle's
+            // incomplete driver-override path kept features active
+            // (Fig. 5.8), shared with the ACC/arbiter defect switch.
+            active = !pedal || self.defects.acc_throttle_handoff_glitch;
+            let may_creep = self.authorized || self.defects.pa_requests_while_disabled;
+            // Parking maneuver: creep when (near) stopped, hold otherwise.
+            if speed.abs() <= self.params.stopped_eps * 50.0 {
+                accel = if may_creep { PA_CREEP_ACCEL } else { 0.0 };
+                steer = if may_creep { 0.1 } else { 0.0 };
+            } else if speed.abs() > 2.0 {
+                // Too fast to park: request nothing (the scenario-2 state
+                // where an engaged PA's request of 0 m/s² displaces CA's
+                // braking through the arbitration defect).
+                accel = 0.0;
+            } else {
+                accel = -0.5; // slow to creep speed
+            }
+            // Healthy request streams ramp inside the jerk bound; the
+            // defective implementation steps its requests.
+            if !self.defects.pa_requests_while_disabled {
+                accel = self.limiter.step(accel, t.dt_seconds());
+            } else {
+                self.limiter.value = accel;
+            }
+        } else if self.defects.pa_requests_while_disabled {
+            accel = Self::rogue_request(t.seconds());
+            self.limiter.value = accel;
+        } else {
+            accel = self.limiter.step(0.0, t.dt_seconds());
+        }
+
+        self.out
+            .publish(next, enabled, active, accel, steer, true, t.dt_seconds());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick_at(pa: &mut ParkAssist, prev: &State, tick: u64) -> State {
+        let mut next = prev.clone();
+        pa.step(
+            &SimTime {
+                tick,
+                dt_millis: 1,
+            },
+            prev,
+            &mut next,
+        );
+        next
+    }
+
+    #[test]
+    fn healthy_disabled_pa_is_silent() {
+        let mut pa = ParkAssist::new(VehicleParams::default(), DefectSet::none());
+        let s = tick_at(&mut pa, &State::new(), 100);
+        assert!(!boolean(&s, "pa.active"));
+        assert_eq!(real(&s, "pa.accel_request", 1.0), 0.0);
+    }
+
+    #[test]
+    fn rogue_profile_matches_figure_5_3() {
+        let defects = DefectSet {
+            pa_requests_while_disabled: true,
+            ..DefectSet::none()
+        };
+        let mut pa = ParkAssist::new(VehicleParams::default(), defects);
+        let w = State::new();
+        // t = 1.0 s → +2; t = 5 s → 0; t = 9.5 s → −2; t = 10 s → 0.
+        assert_eq!(real(&tick_at(&mut pa, &w, 1000), "pa.accel_request", 0.0), 2.0);
+        assert_eq!(real(&tick_at(&mut pa, &w, 5000), "pa.accel_request", 1.0), 0.0);
+        assert_eq!(real(&tick_at(&mut pa, &w, 9500), "pa.accel_request", 0.0), -2.0);
+        assert_eq!(real(&tick_at(&mut pa, &w, 10000), "pa.accel_request", 1.0), 0.0);
+        // Never active while disabled.
+        assert!(!boolean(&tick_at(&mut pa, &w, 1000), "pa.active"));
+    }
+
+    #[test]
+    fn engaged_pa_creeps_from_stop_after_authorization() {
+        let mut pa = ParkAssist::new(VehicleParams::default(), DefectSet::none());
+        let w = State::new()
+            .with_bool("hmi.pa.enable", true)
+            .with_bool("hmi.pa.engage", true)
+            .with_real(sig::HOST_SPEED, 0.0);
+        // Without an HMI go, a healthy PA holds at rest (goal 4).
+        let s = tick_at(&mut pa, &w, 10);
+        assert!(boolean(&s, "pa.active"));
+        assert_eq!(real(&s, "pa.accel_request", 1.0), 0.0);
+        // After the go, it creeps — ramped inside the jerk bound.
+        let authorized = w.clone().with_bool(sig::HMI_GO, true);
+        let mut s = tick_at(&mut pa, &authorized, 11);
+        for tick in 12..500 {
+            s = tick_at(&mut pa, &authorized, tick);
+        }
+        assert_eq!(real(&s, "pa.accel_request", 0.0), PA_CREEP_ACCEL);
+        assert!(boolean(&s, "pa.requests_steering"));
+    }
+
+    #[test]
+    fn engaged_pa_at_speed_requests_zero() {
+        let mut pa = ParkAssist::new(VehicleParams::default(), DefectSet::none());
+        let w = State::new()
+            .with_bool("hmi.pa.enable", true)
+            .with_bool("hmi.pa.engage", true)
+            .with_real(sig::HOST_SPEED, 3.0);
+        let s = tick_at(&mut pa, &w, 10);
+        assert!(boolean(&s, "pa.active"));
+        assert_eq!(real(&s, "pa.accel_request", 1.0), 0.0);
+    }
+}

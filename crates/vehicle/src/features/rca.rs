@@ -1,0 +1,139 @@
+//! Rear Collision Avoidance (RCA): stops the vehicle before striking an
+//! object while reversing (thesis §5.2.1). In the thesis's partial
+//! implementation RCA never engaged at all (scenario 7, Fig. 5.12).
+
+use super::{boolean, real, symbol, FeatureOutputs};
+use crate::config::{DefectSet, VehicleParams};
+use crate::signals as sig;
+use esafe_logic::State;
+use esafe_sim::{SimTime, Subsystem};
+
+/// The RCA feature subsystem.
+#[derive(Debug)]
+pub struct RearCollisionAvoidance {
+    params: VehicleParams,
+    defects: DefectSet,
+    out: FeatureOutputs,
+    engaged: bool,
+}
+
+impl RearCollisionAvoidance {
+    /// Creates the RCA subsystem.
+    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+        RearCollisionAvoidance {
+            params,
+            defects,
+            out: FeatureOutputs::new("RCA"),
+            engaged: false,
+        }
+    }
+}
+
+impl Subsystem for RearCollisionAvoidance {
+    fn name(&self) -> &str {
+        "RCA"
+    }
+
+    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
+        let enabled = boolean(prev, &sig::hmi_enable("RCA"));
+        let speed = real(prev, sig::HOST_SPEED, 0.0);
+        let rear_gap = real(prev, sig::REAR_DISTANCE, 1e9);
+        let gear = symbol(prev, sig::GEAR, "D");
+
+        if !enabled || self.defects.rca_never_engages {
+            // The thesis implementation never engages: publish the enable
+            // state but take no action, ever (Fig. 5.12).
+            self.engaged = false;
+            self.out
+                .publish(next, enabled, false, 0.0, 0.0, false, t.dt_seconds());
+            return;
+        }
+
+        // Healthy behaviour: hard-stop when reversing into the envelope.
+        let reversing = gear == "R" && speed < -0.1;
+        if reversing {
+            let closing = -speed;
+            let stopping = closing * closing / (2.0 * self.params.ca_brake_accel.abs());
+            if rear_gap <= stopping + self.params.ca_margin_m {
+                self.engaged = true;
+            }
+        }
+        if self.engaged && speed.abs() <= self.params.stopped_eps {
+            // At rest: release; the plant's gear clamp holds the car, and
+            // a fresh reverse attempt re-engages the envelope check.
+            self.engaged = false;
+        }
+        let active = self.engaged;
+        let request = if self.engaged {
+            // Stop reverse motion (positive, world frame), tapering with
+            // speed but never below the driver-override threshold: the
+            // entire stop counts as a hard stop (goal 9's exemption).
+            (-speed * 8.0).clamp(2.6, self.params.ca_brake_accel.abs())
+        } else {
+            0.0
+        };
+        self.out
+            .publish(next, enabled, active, request, 0.0, false, t.dt_seconds());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::Value;
+
+    fn reversing_world(gap: f64) -> State {
+        State::new()
+            .with_bool("hmi.rca.enable", true)
+            .with_real(sig::HOST_SPEED, -2.0)
+            .with_real(sig::REAR_DISTANCE, gap)
+            .with_sym(sig::GEAR, "R")
+    }
+
+    fn tick(rca: &mut RearCollisionAvoidance, prev: &State) -> State {
+        let mut next = prev.clone();
+        rca.step(
+            &SimTime {
+                tick: 1,
+                dt_millis: 1,
+            },
+            prev,
+            &mut next,
+        );
+        next
+    }
+
+    #[test]
+    fn thesis_defect_never_engages() {
+        let defects = DefectSet {
+            rca_never_engages: true,
+            ..DefectSet::none()
+        };
+        let mut rca = RearCollisionAvoidance::new(VehicleParams::default(), defects);
+        let s = tick(&mut rca, &reversing_world(0.2));
+        assert!(!boolean(&s, "rca.active"));
+        assert_eq!(real(&s, "rca.accel_request", 1.0), 0.0);
+        assert!(boolean(&s, "rca.enabled"), "enable state is still published");
+    }
+
+    #[test]
+    fn healthy_rca_stops_reverse_motion() {
+        let mut rca = RearCollisionAvoidance::new(VehicleParams::default(), DefectSet::none());
+        // v = −2: stopping = 4/16 = 0.25 m; margin 1.2 → engage below ~1.45.
+        let s = tick(&mut rca, &reversing_world(3.0));
+        assert!(!boolean(&s, "rca.active"));
+        let s = tick(&mut rca, &reversing_world(1.0));
+        assert!(boolean(&s, "rca.active"));
+        assert!(real(&s, "rca.accel_request", 0.0) > 0.0, "positive accel stops reverse");
+    }
+
+    #[test]
+    fn ignores_forward_motion() {
+        let mut rca = RearCollisionAvoidance::new(VehicleParams::default(), DefectSet::none());
+        let mut w = reversing_world(0.5);
+        w.set(sig::HOST_SPEED, Value::Real(2.0));
+        w.set(sig::GEAR, Value::sym("D"));
+        let s = tick(&mut rca, &w);
+        assert!(!boolean(&s, "rca.active"));
+    }
+}

@@ -1,0 +1,52 @@
+//! The semi-autonomous automotive substrate of the thesis's Chapter 5
+//! evaluation: a deterministic 1 kHz vehicle simulation with five
+//! driver-assistance features (CA, RCA, ACC, LCA, PA), a two-stage
+//! arbiter, a scripted driver/HMI, and a point-mass plant — plus the nine
+//! vehicle-level safety goals (Tables 5.1–5.2), the Table 5.3 monitoring
+//! hierarchy, and a [`config::DefectSet`] that re-injects every defect the
+//! thesis's monitors uncovered in the research lab's partial
+//! implementation.
+//!
+//! # Example — catching the scenario-2 arbitration defect
+//!
+//! ```
+//! use esafe_vehicle::builder::build_vehicle;
+//! use esafe_vehicle::config::{DefectSet, VehicleParams};
+//! use esafe_vehicle::driver::DriverAction;
+//! use esafe_vehicle::dynamics::{Scene, SceneObject};
+//! use esafe_vehicle::{goals, probe};
+//!
+//! let params = VehicleParams::default();
+//! let mut suite = goals::build_suite(&params).unwrap();
+//! let mut sim = build_vehicle(
+//!     params,
+//!     DefectSet::thesis(),
+//!     Scene { lead: Some(SceneObject::constant(20.0, 0.0)),
+//!             rear: None },
+//!     vec![(0.5, DriverAction::Enable("CA".into(), true)),
+//!          (1.0, DriverAction::Throttle(0.10))],
+//! );
+//! for _ in 0..500 {
+//!     sim.step();
+//!     let derived = probe::derive(sim.state(), &params);
+//!     suite.observe(&derived).unwrap();
+//! }
+//! suite.finish();
+//! // The rogue PA requests violate subgoal 4B at PA within the first
+//! // half-second (the thesis's scenario-1 false positive).
+//! assert!(!suite.violations("4B:PA").unwrap().is_empty());
+//! ```
+
+pub mod arbiter;
+pub mod builder;
+pub mod config;
+pub mod driver;
+pub mod dynamics;
+pub mod features;
+pub mod goals;
+pub mod icpa_model;
+pub mod probe;
+pub mod signals;
+
+pub use builder::build_vehicle;
+pub use config::{DefectSet, VehicleParams};

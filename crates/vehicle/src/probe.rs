@@ -1,0 +1,84 @@
+//! Monitor probe: derives the boolean signals the safety goals reference.
+//!
+//! The goal monitors sample the same tick as the plant signals they
+//! constrain, so the derivation runs *after* each simulation step on the
+//! produced state (no extra tick of delay), mirroring the thesis's
+//! monitors that share inputs with the software being observed
+//! (§2.5, Peters & Parnas discussion).
+
+use crate::config::VehicleParams;
+use crate::features::{real, symbol};
+#[cfg(test)]
+use crate::features::boolean;
+use crate::signals as sig;
+use esafe_logic::State;
+
+/// Returns `state` augmented with the `probe.*` signals.
+pub fn derive(state: &State, params: &VehicleParams) -> State {
+    let mut out = state.clone();
+    let speed = real(state, sig::HOST_SPEED, 0.0);
+    let accel = real(state, sig::HOST_ACCEL, 0.0);
+    let accel_source = symbol(state, sig::ACCEL_SOURCE, "NONE");
+    let steering_source = symbol(state, sig::STEERING_SOURCE, "NONE");
+    let throttle = real(state, sig::DRIVER_THROTTLE, 0.0) > 0.05;
+    let brake = real(state, sig::DRIVER_BRAKE, 0.0) > 0.05;
+
+    let auto_accel = sig::FEATURES.contains(&accel_source);
+    let auto_steer = sig::FEATURES.contains(&steering_source);
+
+    out.set(sig::P_AUTO_ACCEL, auto_accel);
+    out.set(sig::P_AUTO_STEER, auto_steer);
+    out.set(sig::P_STOPPED, speed.abs() <= params.stopped_eps);
+    out.set(sig::P_FORWARD, speed > params.stopped_eps);
+    out.set(sig::P_BACKWARD, speed < -params.stopped_eps);
+    out.set(sig::P_THROTTLE, throttle);
+    out.set(sig::P_BRAKE, brake);
+    out.set(sig::P_PEDAL, throttle || brake);
+    out.set(sig::P_ACCELERATING, accel.abs() > 0.1);
+    // `hmi.go` may be absent before the driver model has run once.
+    if state.get(sig::HMI_GO).is_none() {
+        out.set(sig::HMI_GO, false);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_sources_and_motion() {
+        let params = VehicleParams::default();
+        let s = State::new()
+            .with_real(sig::HOST_SPEED, 3.0)
+            .with_real(sig::HOST_ACCEL, 0.0)
+            .with_sym(sig::ACCEL_SOURCE, "CA")
+            .with_sym(sig::STEERING_SOURCE, "DRIVER")
+            .with_real(sig::DRIVER_THROTTLE, 0.3)
+            .with_real(sig::DRIVER_BRAKE, 0.0);
+        let d = derive(&s, &params);
+        assert!(boolean(&d, sig::P_AUTO_ACCEL));
+        assert!(!boolean(&d, sig::P_AUTO_STEER));
+        assert!(boolean(&d, sig::P_FORWARD));
+        assert!(!boolean(&d, sig::P_BACKWARD) && !boolean(&d, sig::P_STOPPED));
+        assert!(boolean(&d, sig::P_THROTTLE) && boolean(&d, sig::P_PEDAL));
+        assert!(!boolean(&d, sig::P_BRAKE));
+    }
+
+    #[test]
+    fn stopped_band_is_symmetric() {
+        let params = VehicleParams::default();
+        for v in [0.0, 0.005, -0.005] {
+            let d = derive(&State::new().with_real(sig::HOST_SPEED, v), &params);
+            assert!(boolean(&d, sig::P_STOPPED), "{v} should be stopped");
+        }
+        let d = derive(&State::new().with_real(sig::HOST_SPEED, -0.5), &params);
+        assert!(boolean(&d, sig::P_BACKWARD));
+    }
+
+    #[test]
+    fn missing_go_signal_defaults_false() {
+        let d = derive(&State::new(), &VehicleParams::default());
+        assert_eq!(d.get(sig::HMI_GO).unwrap().as_bool(), Some(false));
+    }
+}

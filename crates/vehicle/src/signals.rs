@@ -1,0 +1,154 @@
+//! Canonical signal names on the vehicle blackboard.
+//!
+//! Every subsystem reads and writes these names; the goal definitions in
+//! [`crate::goals`] reference them. Centralizing the strings keeps the
+//! specification and the implementation in lockstep.
+
+/// Host vehicle longitudinal speed, m/s (positive = forward).
+pub const HOST_SPEED: &str = "host.speed";
+/// Host vehicle longitudinal acceleration, m/s².
+pub const HOST_ACCEL: &str = "host.accel";
+/// Host vehicle jerk, m/s³.
+pub const HOST_JERK: &str = "host.jerk";
+/// Host vehicle position along the lane, m.
+pub const HOST_POSITION: &str = "host.position";
+/// Host steering angle, rad.
+pub const HOST_STEERING: &str = "host.steering";
+/// Host lateral lane offset, m.
+pub const HOST_LANE_OFFSET: &str = "host.lane_offset";
+
+/// Distance to the object/vehicle ahead, m (large when none).
+pub const LEAD_DISTANCE: &str = "world.lead_distance";
+/// Speed of the object ahead, m/s.
+pub const LEAD_SPEED: &str = "world.lead_speed";
+/// Distance to the object behind, m (large when none).
+pub const REAR_DISTANCE: &str = "world.rear_distance";
+/// Whether a forward collision has occurred.
+pub const COLLISION: &str = "world.collision";
+/// Whether a rear collision has occurred.
+pub const REAR_COLLISION: &str = "world.rear_collision";
+
+/// Driver throttle pedal position, 0..1.
+pub const DRIVER_THROTTLE: &str = "driver.throttle";
+/// Driver brake pedal position, 0..1.
+pub const DRIVER_BRAKE: &str = "driver.brake";
+/// Whether the driver is actively turning the steering wheel.
+pub const DRIVER_STEERING_ACTIVE: &str = "driver.steering_active";
+/// Driver steering input, rad.
+pub const DRIVER_STEERING: &str = "driver.steering";
+/// Acceleration the driver's pedals demand, m/s².
+pub const DRIVER_ACCEL_REQUEST: &str = "driver.accel_request";
+
+/// Transmission gear: `'D'` or `'R'`.
+pub const GEAR: &str = "hmi.gear";
+/// HMI "go" signal re-authorizing motion from a stop.
+pub const HMI_GO: &str = "hmi.go";
+/// ACC set speed chosen by the driver, m/s.
+pub const ACC_SET_SPEED: &str = "hmi.acc.set_speed";
+
+/// HMI enable switch for a feature (builder for `"hmi.<x>.enable"`).
+pub fn hmi_enable(feature: &str) -> String {
+    format!("hmi.{}.enable", feature.to_lowercase())
+}
+
+/// HMI engage request for a feature.
+pub fn hmi_engage(feature: &str) -> String {
+    format!("hmi.{}.engage", feature.to_lowercase())
+}
+
+/// Final arbitrated acceleration command, m/s².
+pub const ACCEL_CMD: &str = "arbiter.accel_cmd";
+/// Rate of change of the acceleration command, m/s³.
+pub const ACCEL_CMD_RATE: &str = "arbiter.accel_cmd_rate";
+/// Source tag of the acceleration command (`'CA'`, `'ACC'`, …,
+/// `'DRIVER'`, `'NONE'`).
+pub const ACCEL_SOURCE: &str = "arbiter.accel_source";
+/// Final arbitrated steering command, rad.
+pub const STEERING_CMD: &str = "arbiter.steering_cmd";
+/// Source tag of the steering command.
+pub const STEERING_SOURCE: &str = "arbiter.steering_source";
+
+/// The five feature subsystems, in acceleration-arbitration priority
+/// order (highest first).
+pub const FEATURES: [&str; 5] = ["CA", "RCA", "PA", "LCA", "ACC"];
+
+/// Whether the named feature is enabled (builder for `"<x>.enabled"`).
+pub fn enabled(feature: &str) -> String {
+    format!("{}.enabled", feature.to_lowercase())
+}
+
+/// Whether the named feature is actively requesting vehicle control.
+pub fn active(feature: &str) -> String {
+    format!("{}.active", feature.to_lowercase())
+}
+
+/// The feature's acceleration request, m/s².
+pub fn accel_request(feature: &str) -> String {
+    format!("{}.accel_request", feature.to_lowercase())
+}
+
+/// Rate of change of the feature's acceleration request, m/s³.
+pub fn accel_request_rate(feature: &str) -> String {
+    format!("{}.accel_request_rate", feature.to_lowercase())
+}
+
+/// Whether the feature requests acceleration control.
+pub fn requests_accel(feature: &str) -> String {
+    format!("{}.requests_accel", feature.to_lowercase())
+}
+
+/// The feature's steering request, rad.
+pub fn steering_request(feature: &str) -> String {
+    format!("{}.steering_request", feature.to_lowercase())
+}
+
+/// Whether the feature requests steering control.
+pub fn requests_steering(feature: &str) -> String {
+    format!("{}.requests_steering", feature.to_lowercase())
+}
+
+/// Whether the arbiter's `selected` flag is set for the feature (the
+/// thesis's dual-flag attribution hazard).
+pub fn selected(feature: &str) -> String {
+    format!("{}.selected", feature.to_lowercase())
+}
+
+// Derived monitor-probe signals (computed by `crate::probe::derive`).
+
+/// The acceleration command source is a feature subsystem.
+pub const P_AUTO_ACCEL: &str = "probe.auto_accel_source";
+/// The steering command source is a feature subsystem.
+pub const P_AUTO_STEER: &str = "probe.auto_steering_source";
+/// |speed| below the stopped threshold.
+pub const P_STOPPED: &str = "probe.stopped";
+/// Speed above the forward threshold.
+pub const P_FORWARD: &str = "probe.forward";
+/// Speed below the backward threshold.
+pub const P_BACKWARD: &str = "probe.backward";
+/// Throttle pedal meaningfully applied.
+pub const P_THROTTLE: &str = "probe.throttle_applied";
+/// Brake pedal meaningfully applied.
+pub const P_BRAKE: &str = "probe.brake_applied";
+/// Either pedal applied.
+pub const P_PEDAL: &str = "probe.pedal_applied";
+/// Host acceleration above the "vehicle is accelerating" threshold.
+pub const P_ACCELERATING: &str = "probe.accelerating";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_signal_names_are_lowercased() {
+        assert_eq!(active("CA"), "ca.active");
+        assert_eq!(accel_request("ACC"), "acc.accel_request");
+        assert_eq!(selected("LCA"), "lca.selected");
+        assert_eq!(requests_steering("PA"), "pa.requests_steering");
+    }
+
+    #[test]
+    fn features_are_priority_ordered() {
+        assert_eq!(FEATURES[0], "CA");
+        assert_eq!(FEATURES[4], "ACC");
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: specify a safety goal, decompose it, classify the
+//! decomposition, and monitor it at run time — the thesis's workflow in
+//! sixty lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use emergent_safety::core::compose::{classify, weakest_demon, Composability};
+use emergent_safety::logic::{parse, State};
+use emergent_safety::monitor::{Location, MonitorSuite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A system safety goal (thesis eq. 3.4): when an object is in the
+    //    vehicle's path, the vehicle must be stopping.
+    let parent = parse("object_in_path -> stop_vehicle")?;
+
+    // 2. A candidate decomposition onto the collision-avoidance feature —
+    //    but with imperfect object detection acknowledged (eq. 3.17–3.20):
+    //    only the *detected* case is realizable.
+    let g1 = parse("detected -> ca.stop_vehicle")?;
+    let g2 = parse("ca.stop_vehicle -> stop_vehicle")?;
+    let assumption = parse("object_in_path -> detected || missed")?;
+
+    // 3. Classify: the subgoals alone cannot entail the parent — the
+    //    missed-detection behavior is the hidden demon X of eq. 3.14.
+    let verdict = classify(&parent, &[vec![g1.clone(), g2.clone(), assumption]])?;
+    println!("classification: {verdict:?}");
+    assert!(matches!(verdict, Composability::Emergent { .. }));
+    println!("weakest admissible X: {}", weakest_demon(&parent, &[g1, g2]));
+
+    // 4. Monitor the goal and subgoals hierarchically at run time.
+    let mut suite = MonitorSuite::new();
+    suite.add_goal("G", Location::new("Vehicle"), parse("object_in_path -> stop_vehicle")?)?;
+    suite.add_subgoal("G.CA", "G", Location::new("CA"), parse("detected -> ca.stop_vehicle")?)?;
+
+    // Tick 1: object present, detected, CA stopping — all satisfied.
+    // Tick 2: object present but MISSED — the parent goal fires with no
+    //         subgoal violation: a false negative exposing the emergence.
+    let ticks = [
+        (true, true, true, true),
+        (true, false, false, false),
+        (false, false, false, false),
+    ];
+    for (object, detected, ca_stop, stopping) in ticks {
+        suite.observe(
+            &State::new()
+                .with_bool("object_in_path", object)
+                .with_bool("detected", detected)
+                .with_bool("ca.stop_vehicle", ca_stop)
+                .with_bool("stop_vehicle", stopping),
+        )?;
+    }
+    suite.finish();
+
+    let report = suite.correlate(0);
+    println!("\nrun-time classification:\n{report}");
+    let row = report.for_goal("G").expect("goal registered");
+    assert_eq!(row.false_negatives, 1, "the miss shows up as a false negative");
+    println!("false negatives = residual emergence detected at run time ✓");
+    Ok(())
+}

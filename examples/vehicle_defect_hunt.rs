@@ -1,0 +1,42 @@
+//! Scenario 2 walk-through: the reversed steering-arbitration priority
+//! (thesis Fig. 5.4). CA commands a hard stop; the driver engages Park
+//! Assist; the steering stage silently captures the forwarded
+//! acceleration while CA's `selected` flag stands — and the hierarchical
+//! monitors localize the lie.
+//!
+//! ```text
+//! cargo run --example vehicle_defect_hunt
+//! ```
+
+use emergent_safety::scenarios::{catalog, runner, tables};
+use emergent_safety::vehicle::config::DefectSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = catalog::scenario(2);
+    println!("Scenario 2: {}\n", scenario.title);
+    println!("Thesis expectation: {}\n", scenario.expected);
+
+    // The thesis's partially implemented vehicle.
+    let report = runner::run(&scenario, DefectSet::thesis())?;
+    println!("{}", tables::violation_table(&report));
+    println!(
+        "{}",
+        tables::ascii_figure(&report, "arbiter.accel_cmd", 72)
+    );
+    println!("{}", tables::ascii_figure(&report, "ca.selected", 72));
+
+    assert!(report.terminated_early, "the run ends in a collision");
+    assert!(
+        !report.violations_for("3").is_empty(),
+        "goal 3 (accel/steering agreement) catches the split-brain arbiter"
+    );
+
+    // The fixed system: same scenario, zero violations, no collision.
+    let fixed = runner::run(&scenario, DefectSet::none())?;
+    assert!(!fixed.collision && fixed.violations.is_empty());
+    println!(
+        "fixed system re-run: no collision, no violations — every finding \
+         above is attributable to the injected defects ✓"
+    );
+    Ok(())
+}

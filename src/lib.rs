@@ -1,0 +1,53 @@
+//! **emergent-safety** — a Rust reproduction of Jennifer Black's *System
+//! Safety as an Emergent Property in Composite Systems* (CMU, 2009; the
+//! DSN'09 paper of the same title summarizes it).
+//!
+//! The workspace delivers the thesis's three contributions as a usable
+//! library stack:
+//!
+//! | Crate | Contribution |
+//! |---|---|
+//! | [`logic`] | Past-time temporal logic: parser, trace/incremental evaluation, propositional entailment |
+//! | [`core`] | Emergence & composability formalism (Ch. 3), Indirect Control Path Analysis (Ch. 4), realizability catalog (Table 4.5 / Appendix B) |
+//! | [`monitor`] | Hierarchical run-time goal monitoring with hit / false-positive / false-negative correlation (Ch. 5) |
+//! | [`sim`] | Deterministic fixed-step simulation kernel |
+//! | [`elevator`] | The Ch. 4 distributed elevator substrate |
+//! | [`vehicle`] | The Ch. 5 semi-autonomous vehicle substrate with the thesis's defect population |
+//! | [`scenarios`] | The ten evaluation scenarios, violation tables (D.1–D.11), figure series (5.2–5.15) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use emergent_safety::core::compose::{classify, Composability};
+//! use emergent_safety::logic::parse;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Is "the vehicle stops for obstacles" fully composed by the
+//! // collision-avoidance subgoals? (thesis eq. 3.4–3.6)
+//! let parent = parse("object_in_path -> stop_vehicle")?;
+//! let subgoals = vec![
+//!     parse("object_in_path <-> ca.stop_vehicle")?,
+//!     parse("ca.stop_vehicle -> stop_vehicle")?,
+//! ];
+//! match classify(&parent, &[subgoals])? {
+//!     Composability::FullyComposable => println!("exact decomposition"),
+//!     Composability::ComposableWithRestriction { excluded_models } => {
+//!         println!("sound but prohibits {excluded_models} safe states");
+//!     }
+//!     other => println!("emergence remains: {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end demonstrations and
+//! `crates/bench/src/bin/repro.rs` for the table/figure reproduction
+//! harness (`cargo run -p esafe-bench --bin repro -- --all`).
+
+pub use esafe_core as core;
+pub use esafe_elevator as elevator;
+pub use esafe_logic as logic;
+pub use esafe_monitor as monitor;
+pub use esafe_scenarios as scenarios;
+pub use esafe_sim as sim;
+pub use esafe_vehicle as vehicle;

@@ -1,0 +1,178 @@
+//! Cross-crate integration: the ten-scenario evaluation matrix.
+//!
+//! These tests pin the *shape* of the thesis's findings (which goals and
+//! subgoals fire per scenario, the hit/false-positive/false-negative
+//! structure, and the quantitative anchors the thesis publishes) — the
+//! reproduction's pass criteria from DESIGN.md §4.
+
+use emergent_safety::scenarios::{catalog, runner};
+use emergent_safety::vehicle::config::DefectSet;
+
+fn thesis(n: u8) -> emergent_safety::scenarios::ScenarioReport {
+    runner::run(&catalog::scenario(n), DefectSet::thesis()).expect("runs")
+}
+
+#[test]
+fn every_scenario_is_clean_on_the_fixed_system() {
+    for n in 1..=10 {
+        let report = runner::run(&catalog::scenario(n), DefectSet::none()).expect("runs");
+        assert!(
+            report.violations.is_empty(),
+            "scenario {n} fixed-system violations: {:?}",
+            report
+                .violations
+                .iter()
+                .map(|(id, v)| (id.clone(), v.len()))
+                .collect::<Vec<_>>()
+        );
+        assert!(!report.collision, "scenario {n} fixed system must not crash");
+    }
+}
+
+#[test]
+fn scenario_1_false_negatives_show_partial_composability() {
+    let r = thesis(1);
+    // Anchor: early termination in the 12–13 s band (thesis: 12.681 s).
+    assert!(r.terminated_early && r.collision);
+    assert!(
+        (11.5..13.5).contains(&r.end_time_s),
+        "termination at {}",
+        r.end_time_s
+    );
+    // Goals 1 and 2 fire at the vehicle level.
+    assert!(!r.violations_for("1").is_empty());
+    assert!(!r.violations_for("2").is_empty());
+    // Goal 1 has zero subgoal coverage: pure false negatives (the demon X).
+    let row1 = r.correlation.for_goal("1").unwrap();
+    assert_eq!(row1.hits, 0);
+    assert!(row1.false_negatives > 0);
+    // PA's rogue requests: 2B:PA fires twice (thesis: at 0.001 s and
+    // 9.624 s) and 4B:PA once at the start — all false positives.
+    assert_eq!(r.violations_for("2B:PA").len(), 2);
+    assert!(r.violations_for("2B:PA")[0].start_tick < 5);
+    assert!((9_400..9_800).contains(&r.violations_for("2B:PA")[1].start_tick));
+    assert_eq!(r.violations_for("4B:PA").len(), 1);
+    // CA's cancel edge trips its jerk-request subgoal for exactly 1 ms.
+    assert!(r.violations_for("2B:CA").iter().all(|v| v.duration_ticks() == 1));
+}
+
+#[test]
+fn scenario_2_goal_3_fires_and_terminates_earlier() {
+    let (r1, r2) = (thesis(1), thesis(2));
+    assert!(!r2.violations_for("3").is_empty(), "goal 3 must fire");
+    assert!(!r2.violations_for("3A").is_empty());
+    assert!(r2.end_time_s < r1.end_time_s, "thesis: 12.588 s vs 12.681 s");
+    // The violation begins when PA's engagement captures the command
+    // (thesis: a 27 ms violation running into the termination).
+    let v3 = r2.violations_for("3")[0];
+    assert!((12_440..12_700).contains(&v3.start_tick), "at {}", v3.start_tick);
+    assert!(v3.duration_ticks() >= 10, "lasts {} ticks", v3.duration_ticks());
+}
+
+#[test]
+fn scenario_3_collides_under_throttle() {
+    let r = thesis(3);
+    assert!(r.collision, "intermittent CA + throttle ends in contact");
+    assert!(!r.violations_for("2B:CA").is_empty());
+}
+
+#[test]
+fn scenario_4_driver_override_violations_are_hits() {
+    let r = thesis(4);
+    let row5 = r.correlation.for_goal("5").unwrap();
+    assert!(row5.goal_violations > 0, "goal 5 fires while ACC clings");
+    assert_eq!(row5.false_negatives, 0, "5A/5B cover every violation");
+    assert!(!r.violations_for("5B:ACC").is_empty());
+}
+
+#[test]
+fn scenario_5_handoff_delay_anchor() {
+    let r = thesis(5);
+    // The throttle is released at 10.0 s; ACC becomes active 101 ms later
+    // (thesis Fig. 5.9: control gained 0.101 s after release).
+    let active = r
+        .series
+        .series("acc.active")
+        .expect("recorded signal");
+    let gained = active
+        .iter()
+        .find(|(t, v)| *t > 10.0 && *v > 0.5)
+        .map(|(t, _)| *t)
+        .expect("ACC gains control after the release");
+    assert!(
+        (10.095..10.115).contains(&gained),
+        "control gained at {gained} s (thesis: 10.101 s)"
+    );
+}
+
+#[test]
+fn scenario_6_reverse_motion_with_features_selected() {
+    let r = thesis(6);
+    // Fig. 5.11: the speed goes negative while LCA/ACC stay selected.
+    let speeds = r.series.series("host.speed").expect("recorded");
+    assert!(speeds.iter().any(|(_, v)| *v < -0.05), "speed must go negative");
+    let row8 = r.correlation.for_goal("8").unwrap();
+    assert!(row8.goal_violations > 0 && row8.false_negatives == 0);
+    // Fig. 5.10: LCA is granted control 1 ms after engagement (5.0 s) but
+    // the steering command never moves.
+    let lca_active = r.series.series("lca.active").expect("recorded");
+    let granted = lca_active
+        .iter()
+        .find(|(_, v)| *v > 0.5)
+        .map(|(t, _)| *t)
+        .expect("LCA activates");
+    assert!((5.0..5.01).contains(&granted), "granted at {granted}");
+    let steering = r.series.series("arbiter.steering_cmd").expect("recorded");
+    assert!(steering.iter().all(|(_, v)| v.abs() < 1e-9), "command frozen");
+}
+
+#[test]
+fn scenario_7_hazard_with_no_goal_violation_is_total_emergence() {
+    let r = thesis(7);
+    assert!(r.collision, "the host backs into the obstacle");
+    // No vehicle-level goal fires: RCA never engages, so nothing in the
+    // goal set constrains the hazard — emergence the monitors cannot see.
+    for goal in ["1", "2", "3", "4", "5", "6", "7", "8", "9"] {
+        assert!(
+            r.violations_for(goal).is_empty(),
+            "goal {goal} unexpectedly fired"
+        );
+    }
+}
+
+#[test]
+fn scenario_8_reverse_acc_selection_anchor() {
+    let r = thesis(8);
+    // Fig. 5.13: engaged at 2.0 s, selected as the source at 2.05 s.
+    let v8 = r.violations_for("8");
+    assert!(!v8.is_empty());
+    assert!((2_040..2_060).contains(&v8[0].start_tick), "at {}", v8[0].start_tick);
+    assert!(!r.violations_for("8B:ACC").is_empty());
+}
+
+#[test]
+fn scenario_9_false_positive_masked_by_forwarding_defect() {
+    let r = thesis(9);
+    // 4B:PA fires (PA requests creep from an unauthorized stop)…
+    assert!(!r.violations_for("4B:PA").is_empty());
+    // …but the parent goal stays quiet: the arbiter never forwarded the
+    // request (Fig. 5.14), so the vehicle never moved.
+    assert!(r.violations_for("4").is_empty());
+    let row4 = r.correlation.for_goal("4").unwrap();
+    assert!(row4.false_positives > 0);
+    // The command ≠ request decoupling is visible in the series.
+    let req = r.series.series("pa.accel_request").expect("recorded");
+    let cmd = r.series.series("arbiter.accel_cmd").expect("recorded");
+    assert!(req.iter().any(|(_, v)| *v > 0.4));
+    assert!(cmd.iter().all(|(_, v)| v.abs() < 1e-9));
+}
+
+#[test]
+fn scenario_10_ghost_acceleration_is_fully_covered() {
+    let r = thesis(10);
+    for id in ["4", "4A", "4B:ACC"] {
+        assert!(!r.violations_for(id).is_empty(), "{id} must fire");
+    }
+    let row4 = r.correlation.for_goal("4").unwrap();
+    assert!(row4.hits > 0 && row4.false_negatives == 0);
+}

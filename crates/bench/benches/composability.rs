@@ -20,7 +20,7 @@ fn classify_families(c: &mut Criterion) {
             &(parent, subgoals),
             |bench, (parent, subgoals)| {
                 bench.iter(|| {
-                    black_box(compose::classify(parent, &[subgoals.clone()]).unwrap())
+                    black_box(compose::classify(parent, std::slice::from_ref(subgoals)).unwrap())
                 })
             },
         );

@@ -1,35 +1,44 @@
-//! Ablation cost: scenario 3 under individual defect configurations (the
-//! design-choice ablation DESIGN.md calls out).
+//! Ablation cost: the scenario-3 defect grid through the sweep runner,
+//! parallel vs serial (the design-choice ablation DESIGN.md calls out).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use esafe_scenarios::{catalog, runner};
+use esafe_scenarios::grid;
 use esafe_vehicle::config::DefectSet;
 use std::hint::black_box;
 
 fn ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario3_ablation");
     group.sample_size(10);
-    let configs: Vec<(&str, DefectSet)> = vec![
-        ("none", DefectSet::none()),
-        ("thesis", DefectSet::thesis()),
+    let configs = vec![
+        ("none".to_owned(), DefectSet::none()),
+        ("thesis".to_owned(), DefectSet::thesis()),
         (
-            "ca_only",
+            "ca_only".to_owned(),
             DefectSet {
                 ca_intermittent_braking: true,
                 ..DefectSet::none()
             },
         ),
         (
-            "acc_only",
+            "acc_only".to_owned(),
             DefectSet {
                 acc_requests_while_disengaged: true,
                 ..DefectSet::none()
             },
         ),
     ];
-    for (name, defects) in configs {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &defects, |b, d| {
-            b.iter(|| black_box(runner::run(&catalog::scenario(3), *d).unwrap()))
+    let cells = grid::cells(&[3], &configs);
+    for parallel in [true, false] {
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cells, |b, cells| {
+            b.iter(|| {
+                let sweep = if parallel {
+                    grid::run_parallel(cells.clone())
+                } else {
+                    grid::run_serial(cells.clone())
+                };
+                black_box(sweep.unwrap().aggregate())
+            })
         });
     }
     group.finish();

@@ -1,8 +1,9 @@
-//! End-to-end cost of one monitored 20 s scenario (20k ticks × 49
-//! monitors + simulation).
+//! End-to-end cost of monitored scenario runs through the generic
+//! experiment harness, single runs and multi-cell sweeps (20k ticks ×
+//! 49 monitors + simulation per run).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use esafe_scenarios::{catalog, runner};
+use esafe_scenarios::{catalog, grid, runner};
 use esafe_vehicle::config::DefectSet;
 use std::hint::black_box;
 
@@ -21,5 +22,23 @@ fn scenario_runs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, scenario_runs);
+fn scenario_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sweep");
+    group.sample_size(10);
+    let configs = vec![
+        ("none".to_owned(), DefectSet::none()),
+        ("thesis (all)".to_owned(), DefectSet::thesis()),
+    ];
+    let scenarios: Vec<u8> = (1..=10).collect();
+    let cells = grid::cells(&scenarios, &configs);
+    group.bench_function("catalog_x2_parallel", |b| {
+        b.iter(|| black_box(grid::run_parallel(cells.clone()).unwrap().aggregate()))
+    });
+    group.bench_function("catalog_x2_serial", |b| {
+        b.iter(|| black_box(grid::run_serial(cells.clone()).unwrap().aggregate()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scenario_runs, scenario_sweeps);
 criterion_main!(benches);

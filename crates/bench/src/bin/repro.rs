@@ -5,16 +5,16 @@
 //! repro --table 5.1|5.2|5.3|4.1|4.5|b1..b13|d1..d10
 //! repro --figure 5.1..5.15
 //! repro --ablation [scenario]
+//! repro --grid           # full scenario × defect sweep, in parallel
 //! repro --all            # everything, in thesis order
 //! repro --json <scenario># dump a scenario's figure series as JSON
 //! ```
 
-use esafe_bench::{ablation, figure_map, thesis_run};
+use esafe_bench::{ablation, figure_map, full_grid_aggregate, thesis_run};
 use esafe_core::render;
 use esafe_elevator::ElevatorParams;
 use esafe_scenarios::tables;
 use esafe_vehicle::config::VehicleParams;
-use std::collections::HashMap;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,14 +30,33 @@ fn main() {
             let report = thesis_run(n);
             println!("{}", tables::series_json(&report).expect("serializable"));
         }
+        [flag] if flag == "--grid" => print_grid(),
         [flag] if flag == "--all" => print_all(),
         _ => {
             eprintln!(
                 "usage: repro --table <id> | --figure <id> | --ablation [n] \
-                 | --json <n> | --all"
+                 | --grid | --json <n> | --all"
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// Runs the full 10-scenario × 14-configuration grid in parallel and
+/// prints the order-independent aggregate.
+fn print_grid() {
+    let aggregate = full_grid_aggregate();
+    println!(
+        "Full evaluation grid: {} runs ({} early terminations, {} collisions)",
+        aggregate.runs, aggregate.terminated_early, aggregate.terminal_events
+    );
+    println!(
+        "Classification totals: {} hits, {} false negatives, {} false positives",
+        aggregate.hits, aggregate.false_negatives, aggregate.false_positives
+    );
+    println!("{:<10} total violation intervals", "monitor");
+    for (id, count) in &aggregate.violations_by_monitor {
+        println!("{id:<10} {count}");
     }
 }
 
@@ -65,7 +84,11 @@ fn print_table(id: &str) {
         // Tables 5.1/5.2: the nine vehicle safety goals as KAOS cards.
         "5.1" | "5.2" => {
             let specs = esafe_vehicle::goals::specs(&vparams);
-            let range: &[usize] = if id == "5.1" { &[0, 1, 2, 3] } else { &[4, 5, 6, 7, 8] };
+            let range: &[usize] = if id == "5.1" {
+                &[0, 1, 2, 3]
+            } else {
+                &[4, 5, 6, 7, 8]
+            };
             println!("Safety goals for a semi-autonomous vehicle (Table {id})");
             for &i in range {
                 println!("{}. {}", i + 1, render::goal_card(&specs[i].goal));
@@ -91,7 +114,10 @@ fn print_table(id: &str) {
         // Table 4.5 and Appendix B: realizability patterns.
         "4.5" => {
             let tables_b = esafe_core::catalog::appendix_b();
-            println!("{}", render::catalog_markdown("Table 4.5 / B.1", &tables_b[0].1));
+            println!(
+                "{}",
+                render::catalog_markdown("Table 4.5 / B.1", &tables_b[0].1)
+            );
         }
         b if b.starts_with('b') => {
             let idx: usize = b[1..].parse().unwrap_or(0);
@@ -123,10 +149,8 @@ fn print_figure(id: &str) {
         println!("Figure 5.1: semi-autonomous automotive system (wiring)");
         let graph = esafe_vehicle::icpa_model::control_graph();
         for agent in graph.agents() {
-            let controls: Vec<&str> =
-                agent.controlled_vars().iter().map(String::as_str).collect();
-            let monitors: Vec<&str> =
-                agent.monitored_vars().iter().map(String::as_str).collect();
+            let controls: Vec<&str> = agent.controlled_vars().iter().map(String::as_str).collect();
+            let monitors: Vec<&str> = agent.monitored_vars().iter().map(String::as_str).collect();
             println!(
                 "  {:<20} writes [{}] reads [{}]",
                 agent.name(),
@@ -148,11 +172,9 @@ fn print_figure(id: &str) {
 }
 
 fn print_ablation(scenario: u8) {
-    println!("Defect ablation for scenario {scenario}:");
+    println!("Defect ablation for scenario {scenario} (parallel sweep):");
     println!("{:<32} violated monitors", "configuration");
-    let mut cache: HashMap<String, Vec<String>> = HashMap::new();
     for (label, ids) in ablation(scenario) {
-        cache.insert(label.clone(), ids.clone());
         let list = if ids.is_empty() {
             "(none)".to_owned()
         } else {

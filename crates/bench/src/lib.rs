@@ -1,6 +1,7 @@
 //! Shared helpers for the reproduction harness and benchmarks.
 
-use esafe_scenarios::{catalog, runner, ScenarioReport};
+use esafe_harness::SweepAggregate;
+use esafe_scenarios::{catalog, grid, runner, ScenarioReport};
 use esafe_vehicle::config::DefectSet;
 
 /// Figure-number → (scenario, signals) mapping for the thesis's
@@ -9,17 +10,29 @@ pub fn figure_map(figure: &str) -> Option<(u8, Vec<&'static str>)> {
     Some(match figure {
         "5.2" => (1, vec!["ca.accel_request"]),
         "5.3" => (1, vec!["pa.accel_request"]),
-        "5.4" => (2, vec!["arbiter.accel_cmd", "ca.accel_request", "ca.selected"]),
-        "5.5" => (3, vec!["ca.accel_request", "host.speed", "world.lead_distance"]),
+        "5.4" => (
+            2,
+            vec!["arbiter.accel_cmd", "ca.accel_request", "ca.selected"],
+        ),
+        "5.5" => (
+            3,
+            vec!["ca.accel_request", "host.speed", "world.lead_distance"],
+        ),
         "5.6" => (3, vec!["acc.accel_request"]),
         "5.7" => (4, vec!["acc.accel_request", "acc.accel_request_rate"]),
         "5.8" => (4, vec!["acc.active", "host.speed", "arbiter.accel_cmd"]),
         "5.9" => (5, vec!["driver.throttle", "acc.active"]),
-        "5.10" => (6, vec!["lca.active", "lca.steering_request", "arbiter.steering_cmd"]),
+        "5.10" => (
+            6,
+            vec!["lca.active", "lca.steering_request", "arbiter.steering_cmd"],
+        ),
         "5.11" => (6, vec!["host.speed", "acc.selected", "lca.selected"]),
         "5.12" => (7, vec!["rca.active", "world.rear_distance", "host.speed"]),
         "5.13" => (8, vec!["acc.active", "acc.selected"]),
-        "5.14" => (9, vec!["pa.accel_request", "arbiter.accel_cmd", "pa.selected"]),
+        "5.14" => (
+            9,
+            vec!["pa.accel_request", "arbiter.accel_cmd", "pa.selected"],
+        ),
         "5.15" => (10, vec!["acc.active", "arbiter.accel_cmd", "host.speed"]),
         _ => return None,
     })
@@ -32,53 +45,30 @@ pub fn thesis_run(scenario: u8) -> ScenarioReport {
         .expect("scenario formulas compile against the simulator signals")
 }
 
-/// The per-defect ablation: which single defect produces which goal
-/// violations in a scenario. Returns `(label, violated monitor ids)`.
+/// The per-defect ablation, fanned across cores: which defect
+/// configuration produces which goal violations in a scenario. Covers
+/// the fixed system, the full thesis population, and every
+/// single-defect cell. Returns `(label, violated monitor ids)` in
+/// configuration order.
 pub fn ablation(scenario: u8) -> Vec<(String, Vec<String>)> {
-    let mut rows = Vec::new();
-    let configs: Vec<(String, DefectSet)> = vec![
-        ("none".into(), DefectSet::none()),
-        ("thesis (all)".into(), DefectSet::thesis()),
-        (
-            "pa_requests_while_disabled".into(),
-            DefectSet {
-                pa_requests_while_disabled: true,
-                ..DefectSet::none()
-            },
-        ),
-        (
-            "steering_arbitration_reversed".into(),
-            DefectSet {
-                steering_arbitration_reversed: true,
-                ..DefectSet::none()
-            },
-        ),
-        (
-            "ca_intermittent_braking".into(),
-            DefectSet {
-                ca_intermittent_braking: true,
-                ..DefectSet::none()
-            },
-        ),
-        (
-            "acc_ghost_accel_from_stop".into(),
-            DefectSet {
-                acc_ghost_accel_from_stop: true,
-                ..DefectSet::none()
-            },
-        ),
-    ];
-    for (label, defects) in configs {
-        let report = runner::run(&catalog::scenario(scenario), defects)
-            .expect("scenario runs");
-        let ids = report
-            .violations
-            .iter()
-            .map(|(id, _)| id.clone())
-            .collect();
-        rows.push((label, ids));
-    }
-    rows
+    let cells = grid::cells(&[scenario], &grid::ablation_configs());
+    let sweep = grid::run_parallel(cells.clone()).expect("scenario runs");
+    cells
+        .iter()
+        .zip(&sweep.runs)
+        .map(|(cell, run)| {
+            let ids = run.violations.iter().map(|(id, _)| id.clone()).collect();
+            (cell.config.clone(), ids)
+        })
+        .collect()
+}
+
+/// Runs the full ten-scenario × fourteen-configuration evaluation grid
+/// in parallel and returns its order-independent aggregate.
+pub fn full_grid_aggregate() -> SweepAggregate {
+    grid::run_parallel(grid::full_grid())
+        .expect("grid runs")
+        .aggregate()
 }
 
 #[cfg(test)]

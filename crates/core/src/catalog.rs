@@ -412,7 +412,11 @@ pub fn appendix_b() -> Vec<(String, Vec<CatalogEntry>)> {
     let mut out = Vec::new();
     // B.1: A ⇒ B, ●A ⇒ B, A ⇒ ●B.
     let mut b1 = Vec::new();
-    for lift in [LiftPos::None, LiftPos::FirstAntecedent, LiftPos::FirstConsequent] {
+    for lift in [
+        LiftPos::None,
+        LiftPos::FirstAntecedent,
+        LiftPos::FirstConsequent,
+    ] {
         b1.extend(table(&GoalForm::new(Shape::Simple, lift)));
     }
     out.push(("B.1".to_owned(), b1));
@@ -423,7 +427,11 @@ pub fn appendix_b() -> Vec<(String, Vec<CatalogEntry>)> {
         Shape::AndConsequent,
         Shape::OrConsequent,
     ] {
-        for lift in [LiftPos::None, LiftPos::FirstAntecedent, LiftPos::FirstConsequent] {
+        for lift in [
+            LiftPos::None,
+            LiftPos::FirstAntecedent,
+            LiftPos::FirstConsequent,
+        ] {
             out.push((format!("B.{idx}"), table(&GoalForm::new(shape, lift))));
             idx += 1;
         }

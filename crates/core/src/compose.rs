@@ -116,8 +116,7 @@ pub fn is_partial_and_reduction(subgoals: &[Expr], parent: &Expr) -> Result<bool
     let set = PropSet::build(&exprs)?;
     let n = subgoals.len();
     let all: Vec<usize> = (0..n).collect();
-    let jointly_sat_with_parent =
-        set.count_models_where(|t| t[..n].iter().all(|&b| b) && t[n]) > 0;
+    let jointly_sat_with_parent = set.count_models_where(|t| t[..n].iter().all(|&b| b) && t[n]) > 0;
     let entails = set.all_entail(&all, n);
     Ok(jointly_sat_with_parent && !entails)
 }
@@ -194,11 +193,9 @@ pub fn classify(parent: &Expr, groups: &[Vec<Expr>]) -> Result<Composability, Pr
     Ok(match (demon_models, angel_models) {
         (0, 0) if redundant => Composability::FullyComposableWithRedundancy,
         (0, 0) => Composability::FullyComposable,
-        (0, excluded) if redundant => {
-            Composability::EmergentPartiallyComposableWithRedundancy {
-                angel_models: excluded,
-            }
-        }
+        (0, excluded) if redundant => Composability::EmergentPartiallyComposableWithRedundancy {
+            angel_models: excluded,
+        },
         (0, excluded) => Composability::ComposableWithRestriction {
             excluded_models: excluded,
         },
@@ -343,11 +340,7 @@ mod tests {
 
     #[test]
     fn redundant_padding_is_not_minimal() {
-        let r = and_reduction(
-            &[p("a -> c"), p("c -> b"), p("a -> b")],
-            &p("a -> b"),
-        )
-        .unwrap();
+        let r = and_reduction(&[p("a -> c"), p("c -> b"), p("a -> b")], &p("a -> b")).unwrap();
         assert!(r.entails_parent && !r.minimal);
     }
 
@@ -411,7 +404,13 @@ mod tests {
     #[test]
     fn incomparable_goals_are_emergent() {
         let c = classify(&p("a"), &[vec![p("b")]]).unwrap();
-        assert!(matches!(c, Composability::Emergent { demon_models: 1, angel_models: 1 }));
+        assert!(matches!(
+            c,
+            Composability::Emergent {
+                demon_models: 1,
+                angel_models: 1
+            }
+        ));
     }
 
     #[test]
@@ -428,7 +427,12 @@ mod tests {
         let parent = p("a || b || c");
         let groups = vec![vec![p("a")], vec![p("b")]];
         let y = weakest_angel(&parent, &groups);
-        let d = Expr::or_all(groups.iter().map(|g| Expr::and_all(g.clone())).collect::<Vec<_>>());
+        let d = Expr::or_all(
+            groups
+                .iter()
+                .map(|g| Expr::and_all(g.clone()))
+                .collect::<Vec<_>>(),
+        );
         let closed = Expr::or(d, y);
         assert!(prop::equivalent(&closed, &parent).unwrap());
     }

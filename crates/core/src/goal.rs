@@ -201,7 +201,10 @@ fn collect_roles(
                 add(v);
             }
         }
-        Expr::Not(e) | Expr::Always(e) | Expr::Eventually(e) | Expr::Next(e)
+        Expr::Not(e)
+        | Expr::Always(e)
+        | Expr::Eventually(e)
+        | Expr::Next(e)
         | Expr::Initially(e) => collect_roles(e, in_past, monitored, controlled),
         Expr::And(items) | Expr::Or(items) => {
             for e in items {
@@ -212,9 +215,9 @@ fn collect_roles(
             collect_roles(a, in_past, monitored, controlled);
             collect_roles(b, in_past, monitored, controlled);
         }
-        Expr::Prev(e)
-        | Expr::Once(e)
-        | Expr::Historically(e) => collect_roles(e, true, monitored, controlled),
+        Expr::Prev(e) | Expr::Once(e) | Expr::Historically(e) => {
+            collect_roles(e, true, monitored, controlled)
+        }
         Expr::HeldFor { expr, .. } | Expr::OnceWithin { expr, .. } => {
             collect_roles(expr, true, monitored, controlled)
         }
@@ -265,14 +268,9 @@ mod tests {
 
     #[test]
     fn overrides_replace_derivation() {
-        let g = Goal::new(
-            "G",
-            GoalClass::Avoid,
-            "informal",
-            parse("a -> b").unwrap(),
-        )
-        .with_monitored(["x".to_owned()])
-        .with_controlled(["y".to_owned()]);
+        let g = Goal::new("G", GoalClass::Avoid, "informal", parse("a -> b").unwrap())
+            .with_monitored(["x".to_owned()])
+            .with_controlled(["y".to_owned()]);
         assert_eq!(g.monitored_vars().into_iter().collect::<Vec<_>>(), ["x"]);
         assert_eq!(g.controlled_vars().into_iter().collect::<Vec<_>>(), ["y"]);
         assert!(g.vars().contains("a")); // vars() still reports the formula
@@ -280,12 +278,7 @@ mod tests {
 
     #[test]
     fn display_shows_name_and_formula() {
-        let g = Goal::new(
-            "Avoid[X]",
-            GoalClass::Avoid,
-            "",
-            parse("!x").unwrap(),
-        );
+        let g = Goal::new("Avoid[X]", GoalClass::Avoid, "", parse("!x").unwrap());
         assert_eq!(g.to_string(), "Avoid[X]: !x");
         assert_eq!(g.class().keyword(), "Avoid");
     }

@@ -152,10 +152,7 @@ pub fn check_realizable(goal: &Goal, agent: &Agent) -> Result<(), Vec<Unrealizab
 /// Checks realizability of `goal` by a *coalition* of agents: the union of
 /// their monitor/control sets. Used for shared-responsibility coverage
 /// (thesis §4.5.1), where coordinated agents jointly realize a goal.
-pub fn check_realizable_by_all(
-    goal: &Goal,
-    agents: &[&Agent],
-) -> Result<(), Vec<Unrealizability>> {
+pub fn check_realizable_by_all(goal: &Goal, agents: &[&Agent]) -> Result<(), Vec<Unrealizability>> {
     use crate::agent::AgentKind;
     let mut merged = Agent::new("<coalition>", AgentKind::Software);
     for a in agents {
@@ -185,9 +182,9 @@ mod tests {
             .monitors(["a"])
             .controls(["b"]);
         let errs = check_realizable(&g, &ag).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, Unrealizability::ReferenceToFuture { vars } if vars.contains("a"))));
+        assert!(errs.iter().any(
+            |e| matches!(e, Unrealizability::ReferenceToFuture { vars } if vars.contains("a"))
+        ));
 
         // Both controlled: realizable.
         let ag2 = Agent::new("X", AgentKind::Software).controls(["a", "b"]);

@@ -114,7 +114,10 @@ pub fn icpa_table(table: &IcpaTable) -> String {
             );
         }
         None => {
-            let _ = writeln!(out, "[not propositionally checkable: verify by model checking or monitoring]");
+            let _ = writeln!(
+                out,
+                "[not propositionally checkable: verify by model checking or monitoring]"
+            );
         }
     }
     out
@@ -124,7 +127,10 @@ pub fn icpa_table(table: &IcpaTable) -> String {
 pub fn catalog_markdown(title: &str, rows: &[CatalogEntry]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "### {title}");
-    let _ = writeln!(out, "| Goal | Capabilities | Realizable | Alternative | Restrictive |");
+    let _ = writeln!(
+        out,
+        "| Goal | Capabilities | Realizable | Alternative | Restrictive |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|");
     for row in rows {
         let caps = row
@@ -165,7 +171,12 @@ mod tests {
 
     #[test]
     fn goal_card_has_three_lines() {
-        let g = Goal::new("Avoid[H]", GoalClass::Avoid, "never h", parse("!h").unwrap());
+        let g = Goal::new(
+            "Avoid[H]",
+            GoalClass::Avoid,
+            "never h",
+            parse("!h").unwrap(),
+        );
         let card = goal_card(&g);
         assert_eq!(card.lines().count(), 3);
         assert!(card.contains("Avoid[H]"));
@@ -196,7 +207,12 @@ mod tests {
         })
         .subgoal(
             "X",
-            Goal::new("Achieve[S]", GoalClass::Achieve, "", parse("prev(a) => b").unwrap()),
+            Goal::new(
+                "Achieve[S]",
+                GoalClass::Achieve,
+                "",
+                parse("prev(a) => b").unwrap(),
+            ),
             ["b"],
             ["a"],
         )

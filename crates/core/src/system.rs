@@ -234,12 +234,7 @@ impl ControlGraph {
         }
     }
 
-    fn trace_var(
-        &self,
-        var: &str,
-        level: u32,
-        visited: &mut BTreeSet<String>,
-    ) -> Vec<PathStep> {
+    fn trace_var(&self, var: &str, level: u32, visited: &mut BTreeSet<String>) -> Vec<PathStep> {
         let mut steps = Vec::new();
         for agent in self.direct_controllers(var) {
             if !visited.insert(agent.name().to_owned()) {
@@ -312,12 +307,8 @@ mod tests {
                 .controls(["dispatch_request"])
                 .monitors(["car_call"]),
         );
-        g.add_agent(
-            Agent::new("CarButtonController", AgentKind::Software).controls(["car_call"]),
-        );
-        g.add_agent(
-            Agent::new("Passenger", AgentKind::Environment).controls(["door_closed"]),
-        );
+        g.add_agent(Agent::new("CarButtonController", AgentKind::Software).controls(["car_call"]));
+        g.add_agent(Agent::new("Passenger", AgentKind::Environment).controls(["door_closed"]));
         g
     }
 
@@ -327,10 +318,7 @@ mod tests {
         let path = g.trace("elevator_speed");
         // Drive is the nearest source (level 1), its controller level 2.
         assert_eq!(path.agents_at_level(1), vec!["Drive".to_owned()]);
-        assert_eq!(
-            path.agents_at_level(2),
-            vec!["DriveController".to_owned()]
-        );
+        assert_eq!(path.agents_at_level(2), vec!["DriveController".to_owned()]);
         assert_eq!(
             path.agents_at_level(3),
             vec!["DispatchController".to_owned()]

@@ -241,8 +241,14 @@ pub fn lockout(danger: &str, enable_a: &str, enable_b: &str, effect: &str) -> Ta
         )),
         Expr::not(Expr::var(effect)),
     );
-    let g_a = Expr::entails(Expr::prev(Expr::var(danger)), Expr::not(Expr::var(enable_a)));
-    let g_b = Expr::entails(Expr::prev(Expr::var(danger)), Expr::not(Expr::var(enable_b)));
+    let g_a = Expr::entails(
+        Expr::prev(Expr::var(danger)),
+        Expr::not(Expr::var(enable_a)),
+    );
+    let g_b = Expr::entails(
+        Expr::prev(Expr::var(danger)),
+        Expr::not(Expr::var(enable_b)),
+    );
     TacticApplication::checked(
         TacticKind::Lockout,
         &parent,

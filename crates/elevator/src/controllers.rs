@@ -100,8 +100,7 @@ impl Subsystem for DispatchController {
         let stopped = boolean(prev, m::ELEVATOR_STOPPED);
         let here = p.floor_at(position);
         let target = real(prev, m::DISPATCH_TARGET, 0.0) as u32;
-        let at_target =
-            stopped && (position - p.floor_height(target)).abs() < 0.05;
+        let at_target = stopped && (position - p.floor_height(target)).abs() < 0.05;
 
         let dwell_ticks = (p.door_dwell_s * 1000.0 / t.dt_millis as f64) as u64;
         let door_open = boolean(prev, m::DOOR_OPEN);
@@ -116,8 +115,8 @@ impl Subsystem for DispatchController {
             self.dwell_ticks_left -= 1;
         }
 
-        let serving_here = at_target
-            && (boolean(prev, &m::car_call(here)) || boolean(prev, &m::hall_call(here)));
+        let serving_here =
+            at_target && (boolean(prev, &m::car_call(here)) || boolean(prev, &m::hall_call(here)));
         let want_door_open = at_target && (serving_here || self.dwell_ticks_left > 0);
         next.set(
             m::DISPATCH_DOOR_REQUEST,
@@ -173,9 +172,7 @@ impl Subsystem for DoorController {
         let here = real(prev, m::FLOOR, 0.0) as u32;
         let early_open = self.faults.door_opens_while_moving && here == target && !stopped;
 
-        let cmd = if blocked {
-            "OPEN"
-        } else if early_open {
+        let cmd = if blocked || early_open {
             "OPEN"
         } else if !stopped || drive_cmd != "STOP" {
             // Table 4.4 subgoal: close when moving or commanded to move.
@@ -241,12 +238,10 @@ impl Subsystem for DriveController {
         // The `hoistway_guard_missing` fault is a runaway: once the
         // controller commands UP it never re-evaluates, and the primary
         // hoistway guard below is also absent.
-        if self.faults.hoistway_guard_missing {
-            if self.stuck_up || target_pos > position + 0.1 {
-                self.stuck_up = true;
-                next.set(m::DRIVE_COMMAND, Value::sym("UP"));
-                return;
-            }
+        if self.faults.hoistway_guard_missing && (self.stuck_up || target_pos > position + 0.1) {
+            self.stuck_up = true;
+            next.set(m::DRIVE_COMMAND, Value::sym("UP"));
+            return;
         }
 
         // Position tracking with a stopping-distance approach window.

@@ -28,8 +28,10 @@ pub fn door_controller_subgoal() -> Goal {
         GoalClass::Achieve,
         "If the door is not blocked and the elevator is moving or has been \
          commanded to move, the door shall be commanded to CLOSE.",
-        p("(prev(!elevator_stopped || drive_command != 'STOP') && prev(!door_blocked)) \
-           => door_motor_command == 'CLOSE'"),
+        p(
+            "(prev(!elevator_stopped || drive_command != 'STOP') && prev(!door_blocked)) \
+           => door_motor_command == 'CLOSE'",
+        ),
     )
 }
 
@@ -199,20 +201,23 @@ pub fn build_suite(params: &ElevatorParams) -> Result<MonitorSuite, EvalError> {
 mod tests {
     use super::*;
     use crate::faults::ElevatorFaults;
-    use crate::{build_elevator, model};
+    use crate::model;
+    use crate::substrate::ElevatorSubstrate;
+    use esafe_harness::{Experiment, ExperimentConfig, RunReport};
     use esafe_logic::Value;
-    use esafe_monitor::MonitorSuite;
 
-    fn run_with(faults: ElevatorFaults, ticks: u64) -> (MonitorSuite, esafe_sim::Simulator) {
-        let params = ElevatorParams::default();
-        let mut suite = build_suite(&params).unwrap();
-        let mut sim = build_elevator(params, faults, 7);
-        for _ in 0..ticks {
-            sim.step();
-            suite.observe(sim.state()).unwrap();
-        }
-        suite.finish();
-        (suite, sim)
+    /// The window the elevator analyses use: 5 ticks of 10 ms.
+    const WINDOW: ExperimentConfig = ExperimentConfig {
+        post_terminal_ms: 100,
+        correlation_window_ms: 50,
+    };
+
+    fn run_with(faults: ElevatorFaults, ticks: u64) -> RunReport {
+        let substrate = ElevatorSubstrate::new(faults, 7).with_ticks(ticks);
+        Experiment::new(&substrate)
+            .with_config(WINDOW)
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -228,13 +233,20 @@ mod tests {
             drive_ignores_door: true,
             ..ElevatorFaults::none()
         };
-        let (suite, _) = run_with(faults, 12_000);
-        let report = suite.correlate(5);
-        let row = report.for_goal("door").unwrap();
-        assert!(row.goal_violations > 0, "system goal must fire:\n{report}");
-        assert!(row.hits > 0, "the DriveCtl subgoal must cover it:\n{report}");
+        let report = run_with(faults, 12_000);
+        let row = report.correlation.for_goal("door").unwrap();
         assert!(
-            !suite.violations("door:DriveCtl").unwrap().is_empty(),
+            row.goal_violations > 0,
+            "system goal must fire:\n{}",
+            report.correlation
+        );
+        assert!(
+            row.hits > 0,
+            "the DriveCtl subgoal must cover it:\n{}",
+            report.correlation
+        );
+        assert!(
+            !report.violations_for("door:DriveCtl").is_empty(),
             "the faulty controller's subgoal localizes the defect"
         );
     }
@@ -245,32 +257,41 @@ mod tests {
             door_opens_while_moving: true,
             ..ElevatorFaults::none()
         };
-        let (suite, _) = run_with(faults, 12_000);
+        let report = run_with(faults, 12_000);
         assert!(
-            !suite.violations("door:DoorCtl").unwrap().is_empty(),
+            !report.violations_for("door:DoorCtl").is_empty(),
             "door controller subgoal must fire"
         );
     }
 
     #[test]
     fn overweight_ignored_is_a_hit_with_low_threshold() {
-        let mut params = ElevatorParams::default();
-        params.weight_threshold_kg = 100.0; // two passengers trip it
+        let params = ElevatorParams {
+            weight_threshold_kg: 100.0, // two passengers trip it
+            ..ElevatorParams::default()
+        };
         let faults = ElevatorFaults {
             overweight_ignored: true,
             ..ElevatorFaults::none()
         };
-        let mut suite = build_suite(&params).unwrap();
-        let mut sim = build_elevator(params, faults, 7);
-        for _ in 0..20_000 {
-            sim.step();
-            suite.observe(sim.state()).unwrap();
-        }
-        suite.finish();
-        let report = suite.correlate(5);
-        let row = report.for_goal("overweight").unwrap();
-        assert!(row.goal_violations > 0, "goal must fire:\n{report}");
-        assert!(row.hits > 0, "subgoal must cover it:\n{report}");
+        let substrate = ElevatorSubstrate::new(faults, 7)
+            .with_params(params)
+            .with_ticks(20_000);
+        let report = Experiment::new(&substrate)
+            .with_config(WINDOW)
+            .run()
+            .unwrap();
+        let row = report.correlation.for_goal("overweight").unwrap();
+        assert!(
+            row.goal_violations > 0,
+            "goal must fire:\n{}",
+            report.correlation
+        );
+        assert!(
+            row.hits > 0,
+            "subgoal must cover it:\n{}",
+            report.correlation
+        );
     }
 
     #[test]
@@ -279,23 +300,28 @@ mod tests {
             hoistway_guard_missing: true,
             ..ElevatorFaults::none()
         };
-        let (suite, sim) = run_with(faults, 6_000);
-        let report = suite.correlate(5);
-        let row = report.for_goal("hoistway").unwrap();
+        let substrate = ElevatorSubstrate::new(faults, 7).with_ticks(6_000);
+        let mut brake_engaged_at_end = false;
+        let report = Experiment::new(&substrate)
+            .with_config(WINDOW)
+            .run_with(|_tick, raw, _observed| {
+                brake_engaged_at_end = raw.get(model::EMERGENCY_BRAKE) == Some(&Value::Bool(true));
+            })
+            .unwrap();
+        let row = report.correlation.for_goal("hoistway").unwrap();
         assert_eq!(
             row.goal_violations, 0,
-            "the secondary leg must keep the system safe:\n{report}"
+            "the secondary leg must keep the system safe:\n{}",
+            report.correlation
         );
         assert!(
             row.false_positives > 0,
             "the primary subgoal violation is a false positive — redundant \
-             coverage masked the defect (thesis §3.4):\n{report}"
+             coverage masked the defect (thesis §3.4):\n{}",
+            report.correlation
         );
         // The emergency brake actually engaged.
-        assert_eq!(
-            sim.state().get(model::EMERGENCY_BRAKE),
-            Some(&Value::Bool(true))
-        );
+        assert!(brake_engaged_at_end);
     }
 
     #[test]
@@ -305,11 +331,18 @@ mod tests {
             ebrake_inoperative: true,
             ..ElevatorFaults::none()
         };
-        let (suite, _) = run_with(faults, 6_000);
-        let report = suite.correlate(5);
-        let row = report.for_goal("hoistway").unwrap();
-        assert!(row.goal_violations > 0, "both legs lost:\n{report}");
-        assert!(row.hits > 0, "subgoal violations cover it:\n{report}");
+        let report = run_with(faults, 6_000);
+        let row = report.correlation.for_goal("hoistway").unwrap();
+        assert!(
+            row.goal_violations > 0,
+            "both legs lost:\n{}",
+            report.correlation
+        );
+        assert!(
+            row.hits > 0,
+            "subgoal violations cover it:\n{}",
+            report.correlation
+        );
     }
 
     #[test]
@@ -318,35 +351,30 @@ mod tests {
             door_sensor_stuck_closed: true,
             ..ElevatorFaults::none()
         };
-        let params = ElevatorParams::default();
-        let mut suite = build_suite(&params).unwrap();
-        let mut sim = build_elevator(params, faults, 7);
+        let substrate = ElevatorSubstrate::new(faults, 7).with_ticks(12_000);
         let mut physically_unsafe = false;
-        for _ in 0..12_000 {
-            sim.step();
-            suite.observe(sim.state()).unwrap();
-            let open = sim
-                .state()
-                .get(model::DOOR_POSITION)
-                .and_then(Value::as_real)
-                .unwrap_or(0.0)
-                > 0.05;
-            let moving = !sim
-                .state()
-                .get(model::ELEVATOR_STOPPED)
-                .and_then(Value::as_bool)
-                .unwrap_or(true);
-            if open && moving {
-                physically_unsafe = true;
-            }
-        }
-        suite.finish();
+        let report = Experiment::new(&substrate)
+            .run_with(|_tick, raw, _observed| {
+                let open = raw
+                    .get(model::DOOR_POSITION)
+                    .and_then(Value::as_real)
+                    .unwrap_or(0.0)
+                    > 0.05;
+                let moving = !raw
+                    .get(model::ELEVATOR_STOPPED)
+                    .and_then(Value::as_bool)
+                    .unwrap_or(true);
+                if open && moving {
+                    physically_unsafe = true;
+                }
+            })
+            .unwrap();
         assert!(
             physically_unsafe,
             "the lying sensor lets the car move with open doors"
         );
         // Yet every monitor is quiet: the hazard is invisible — the
         // violated critical assumption is the emergence `X` of eq. 3.14.
-        assert!(!suite.correlate(0).any_violations());
+        assert!(!report.correlation.any_violations());
     }
 }

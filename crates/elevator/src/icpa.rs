@@ -94,14 +94,12 @@ pub fn control_graph(params: &ElevatorParams) -> ControlGraph {
             .controls(["hall_call"])
             .monitors(["hall_button_press"]),
     );
-    g.add_agent(
-        Agent::new("Passenger", AgentKind::Environment).controls([
-            m::DOOR_BLOCKED,
-            m::ELEVATOR_WEIGHT,
-            "car_button_press",
-            "hall_button_press",
-        ]),
-    );
+    g.add_agent(Agent::new("Passenger", AgentKind::Environment).controls([
+        m::DOOR_BLOCKED,
+        m::ELEVATOR_WEIGHT,
+        "car_button_press",
+        "hall_button_press",
+    ]));
     let _ = params;
     g
 }
@@ -140,8 +138,10 @@ pub fn door_or_stopped_icpa(params: &ElevatorParams) -> IcpaTable {
             7,
             m::DOOR_CLOSED,
             ["DoorController", "DoorMotor"],
-            e("prev(door_closed) && once_within(door_motor_command == 'CLOSE', 100ms) \
-               => door_closed || !door_closed"),
+            e(
+                "prev(door_closed) && once_within(door_motor_command == 'CLOSE', 100ms) \
+               => door_closed || !door_closed",
+            ),
             "MinOpenDelay: a door whose command just switched stays closed briefly",
         )
         .relationship(
@@ -184,8 +184,10 @@ pub fn door_or_stopped_icpa(params: &ElevatorParams) -> IcpaTable {
             19,
             m::ELEVATOR_SPEED,
             ["DriveController", "Drive"],
-            e("prev(elevator_stopped) && once_within(drive_command == 'UP' || \
-               drive_command == 'DOWN', 100ms) => elevator_stopped"),
+            e(
+                "prev(elevator_stopped) && once_within(drive_command == 'UP' || \
+               drive_command == 'DOWN', 100ms) => elevator_stopped",
+            ),
             "MinGoDelay: a stopped drive whose command just switched to GO \
              remains stopped for at least one state",
         )

@@ -30,18 +30,14 @@
 //! # Example
 //!
 //! ```
-//! use esafe_elevator::{build_elevator, faults::ElevatorFaults, goals};
-//! use esafe_elevator::model::ElevatorParams;
+//! use esafe_elevator::faults::ElevatorFaults;
+//! use esafe_elevator::substrate::ElevatorSubstrate;
+//! use esafe_harness::Experiment;
 //!
-//! let params = ElevatorParams::default();
-//! let mut suite = goals::build_suite(&params).unwrap();
-//! let mut sim = build_elevator(params, ElevatorFaults::none(), 42);
-//! for _ in 0..3000 {
-//!     sim.step();
-//!     suite.observe(sim.state()).unwrap();
-//! }
-//! suite.finish();
-//! assert!(!suite.correlate(0).any_violations());
+//! let substrate = ElevatorSubstrate::new(ElevatorFaults::none(), 42)
+//!     .with_ticks(3000);
+//! let report = Experiment::new(&substrate).run().unwrap();
+//! assert!(!report.correlation.any_violations());
 //! ```
 
 pub mod controllers;
@@ -51,9 +47,11 @@ pub mod icpa;
 pub mod model;
 pub mod passengers;
 pub mod plant;
+pub mod substrate;
 
 use esafe_sim::Simulator;
 pub use model::ElevatorParams;
+pub use substrate::ElevatorSubstrate;
 
 /// Assembles the full elevator simulation: passengers, button latches,
 /// dispatcher, door/drive controllers, emergency brake, and the plant.
@@ -78,28 +76,27 @@ pub fn build_elevator(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use esafe_harness::Experiment;
     use esafe_logic::Value;
 
     #[test]
     fn healthy_elevator_serves_calls_without_violations() {
-        let params = ElevatorParams::default();
-        let mut suite = goals::build_suite(&params).unwrap();
-        let mut sim = build_elevator(params, faults::ElevatorFaults::none(), 7);
+        let substrate =
+            ElevatorSubstrate::new(faults::ElevatorFaults::none(), 7).with_ticks(12_000);
         let mut served_floors = std::collections::BTreeSet::new();
-        for _ in 0..12_000 {
-            sim.step();
-            suite.observe(sim.state()).unwrap();
-            if sim.state().get(model::DOOR_CLOSED) == Some(&Value::Bool(false)) {
-                if let Some(f) = sim.state().get(model::FLOOR).and_then(|v| v.as_real()) {
-                    served_floors.insert(f as i64);
+        let report = Experiment::new(&substrate)
+            .run_with(|_tick, raw, _observed| {
+                if raw.get(model::DOOR_CLOSED) == Some(&Value::Bool(false)) {
+                    if let Some(f) = raw.get(model::FLOOR).and_then(|v| v.as_real()) {
+                        served_floors.insert(f as i64);
+                    }
                 }
-            }
-        }
-        suite.finish();
-        let report = suite.correlate(0);
+            })
+            .unwrap();
         assert!(
-            !report.any_violations(),
-            "healthy run must be clean:\n{report}"
+            !report.correlation.any_violations(),
+            "healthy run must be clean:\n{}",
+            report.correlation
         );
         assert!(
             served_floors.len() >= 2,
@@ -109,24 +106,23 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_trace() {
-        let params = ElevatorParams::default();
-        let mut a = build_elevator(params, faults::ElevatorFaults::none(), 11);
-        let mut b = build_elevator(params, faults::ElevatorFaults::none(), 11);
-        for _ in 0..2000 {
-            a.step();
-            b.step();
-            assert_eq!(a.state(), b.state());
-        }
-        let mut c = build_elevator(params, faults::ElevatorFaults::none(), 12);
-        let mut diverged = false;
-        for _ in 0..2000 {
-            c.step();
-            a.step();
-            if a.state() != c.state() {
-                diverged = true;
-                break;
-            }
-        }
-        assert!(diverged, "different seeds must diverge");
+        // Record the *complete* blackboard every tick, not just the
+        // report: determinism must hold for every signal, including ones
+        // no monitor or tracked series reads.
+        let run = |seed: u64| {
+            let substrate =
+                ElevatorSubstrate::new(faults::ElevatorFaults::none(), seed).with_ticks(2000);
+            let mut states = Vec::with_capacity(2000);
+            let report = Experiment::new(&substrate)
+                .run_with(|_tick, raw, _observed| states.push(raw.clone()))
+                .unwrap();
+            (report, states)
+        };
+        let (report_a, states_a) = run(11);
+        let (report_b, states_b) = run(11);
+        assert_eq!(states_a, states_b, "same seed must replay every state");
+        assert_eq!(report_a, report_b, "and the identical report");
+        let (_, states_c) = run(12);
+        assert_ne!(states_a, states_c, "different seeds must diverge");
     }
 }

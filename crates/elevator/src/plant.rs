@@ -135,7 +135,10 @@ mod tests {
             sim.step();
         }
         let speed = real(sim.state(), m::ELEVATOR_SPEED, 0.0);
-        assert!((speed - 2.0).abs() < 1e-6, "cruise at max speed, got {speed}");
+        assert!(
+            (speed - 2.0).abs() < 1e-6,
+            "cruise at max speed, got {speed}"
+        );
         force(&mut sim, m::DRIVE_COMMAND, Value::sym("STOP"));
         for _ in 0..300 {
             sim.step();

@@ -1,0 +1,384 @@
+//! The generic simulate → observe → correlate experiment loop.
+
+use crate::substrate::Substrate;
+use esafe_logic::{EvalError, State};
+use esafe_monitor::{CorrelationReport, MonitorError, ViolationInterval};
+use esafe_sim::SeriesLog;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Timing policy of an experiment, expressed in **milliseconds** so the
+/// same configuration applies to substrates with different tick periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// How long after a terminal event the environment keeps producing
+    /// states before aborting ("early termination", thesis §5.4.1:
+    /// violations were observed up to ~100 ms before the termination
+    /// point).
+    pub post_terminal_ms: u64,
+    /// Correlation window for hit/false-positive/false-negative
+    /// classification. Covers the actuation lag between a command-level
+    /// subgoal violation and its plant-level consequence.
+    pub correlation_window_ms: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            post_terminal_ms: 100,
+            correlation_window_ms: 250,
+        }
+    }
+}
+
+/// An error raised while preparing or running an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// A goal formula failed to compile into a monitor.
+    Compile(EvalError),
+    /// A monitor referenced a signal missing from the observed state.
+    Monitor(MonitorError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Compile(e) => write!(f, "goal compilation failed: {e}"),
+            ExperimentError::Monitor(e) => write!(f, "monitoring failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Compile(e) => Some(e),
+            ExperimentError::Monitor(e) => Some(e),
+        }
+    }
+}
+
+impl From<EvalError> for ExperimentError {
+    fn from(e: EvalError) -> Self {
+        ExperimentError::Compile(e)
+    }
+}
+
+impl From<MonitorError> for ExperimentError {
+    fn from(e: MonitorError) -> Self {
+        ExperimentError::Monitor(e)
+    }
+}
+
+/// The substrate-independent outcome of one monitored run.
+///
+/// The recorded [`SeriesLog`] is skipped during serialization (figure
+/// series run to hundreds of kilobytes); a deserialized report carries an
+/// empty log, and everything else round-trips.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The substrate family (e.g. `"vehicle"`).
+    pub substrate: String,
+    /// The configuration label (e.g. `"scenario-1"`).
+    pub label: String,
+    /// The timing policy the run was classified under.
+    pub config: ExperimentConfig,
+    /// Simulator tick period, ms.
+    pub dt_millis: u64,
+    /// Ticks the run was scheduled for.
+    pub scheduled_ticks: u64,
+    /// Ticks actually executed.
+    pub ticks: u64,
+    /// Wall-clock end of the run, s.
+    pub end_time_s: f64,
+    /// Whether the run aborted before its schedule.
+    pub terminated_early: bool,
+    /// The terminal event that aborted the run, if any.
+    pub terminal_event: Option<String>,
+    /// Violations per monitor id (monitors with none omitted).
+    pub violations: Vec<(String, Vec<ViolationInterval>)>,
+    /// Hit / false-positive / false-negative classification.
+    pub correlation: CorrelationReport,
+    /// Recorded figure series (not serialized).
+    #[serde(skip)]
+    pub series: SeriesLog,
+}
+
+impl RunReport {
+    /// Violation intervals for a monitor id.
+    pub fn violations_for(&self, id: &str) -> &[ViolationInterval] {
+        self.violations
+            .iter()
+            .find(|(mid, _)| mid == id)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether any monitor recorded a violation.
+    pub fn any_violations(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// One configured experiment over a substrate.
+///
+/// Owns the tick loop the substrates used to hand-roll: advance the
+/// simulator (whose subsystems already observe the *previous* tick's
+/// snapshot — the thesis's one-tick observation delay), derive the
+/// observed state, feed every monitor, sample tracked series, and apply
+/// early termination after a terminal event.
+#[derive(Debug)]
+pub struct Experiment<'a, S: Substrate> {
+    substrate: &'a S,
+    config: ExperimentConfig,
+}
+
+impl<'a, S: Substrate> Experiment<'a, S> {
+    /// Creates an experiment with the default timing policy.
+    pub fn new(substrate: &'a S) -> Self {
+        Experiment {
+            substrate,
+            config: ExperimentConfig::default(),
+        }
+    }
+
+    /// Replaces the timing policy.
+    pub fn with_config(mut self, config: ExperimentConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] if a goal formula fails to compile or
+    /// references a missing signal.
+    pub fn run(&self) -> Result<RunReport, ExperimentError> {
+        self.run_with(|_, _, _| {})
+    }
+
+    /// Runs the experiment, handing every `(tick, raw, observed)` state
+    /// pair to `inspect` as it is produced — for callers that need
+    /// per-tick measurements beyond the monitors (physical-safety oracles
+    /// in tests, live dashboards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] if a goal formula fails to compile or
+    /// references a missing signal.
+    pub fn run_with(
+        &self,
+        mut inspect: impl FnMut(u64, &State, &State),
+    ) -> Result<RunReport, ExperimentError> {
+        let substrate = self.substrate;
+        let mut suite = substrate.build_monitors()?;
+        let mut sim = substrate.build_simulator();
+        let mut series = SeriesLog::new();
+
+        let dt = sim.dt_millis();
+        let scheduled_ticks = substrate.duration_ms().div_ceil(dt);
+        let post_terminal_ticks = self.config.post_terminal_ms.div_ceil(dt);
+
+        let mut terminal_tick: Option<u64> = None;
+        let mut terminal_event: Option<String> = None;
+        let mut terminated_early = false;
+
+        for tick in 1..=scheduled_ticks {
+            sim.step();
+            let observed = substrate.observe(sim.state());
+            suite.observe(&observed)?;
+            let t = sim.seconds();
+            for name in substrate.tracked_signals() {
+                series.sample(name, t, &observed);
+            }
+            inspect(tick, sim.state(), &observed);
+
+            if terminal_tick.is_none() {
+                if let Some(event) = substrate.terminal_event(&observed) {
+                    terminal_tick = Some(tick);
+                    terminal_event = Some(event.to_owned());
+                }
+            }
+            if let Some(at) = terminal_tick {
+                if tick >= at + post_terminal_ticks {
+                    terminated_early = tick < scheduled_ticks;
+                    break;
+                }
+            }
+        }
+        suite.finish();
+
+        let mut violations = Vec::new();
+        for (id, _, _) in suite.location_matrix() {
+            let v = suite.violations(&id).unwrap_or(&[]);
+            if !v.is_empty() {
+                violations.push((id, v.to_vec()));
+            }
+        }
+
+        let window_ticks = self.config.correlation_window_ms.div_ceil(dt);
+        Ok(RunReport {
+            substrate: substrate.name().to_owned(),
+            label: substrate.label(),
+            config: self.config,
+            dt_millis: dt,
+            scheduled_ticks,
+            ticks: sim.tick(),
+            end_time_s: sim.seconds(),
+            terminated_early,
+            terminal_event,
+            violations,
+            correlation: suite.correlate(window_ticks),
+            series,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::parse;
+    use esafe_monitor::{Location, MonitorSuite};
+    use esafe_sim::{SimTime, Simulator, Subsystem};
+    use std::borrow::Cow;
+
+    /// A ramp that climbs by `slope` per tick.
+    struct Ramp;
+
+    impl Subsystem for Ramp {
+        fn name(&self) -> &str {
+            "ramp"
+        }
+        fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+            let x = prev.get("x").and_then(|v| v.as_real()).unwrap_or(0.0);
+            next.set("x", x + 1.0);
+        }
+    }
+
+    /// A ramp substrate with a coarse 10 ms tick: hits `x == limit` and
+    /// terminates after the grace window.
+    struct RampSubstrate {
+        limit: f64,
+        duration_ms: u64,
+        tracked: Vec<String>,
+    }
+
+    impl RampSubstrate {
+        fn new(limit: f64, duration_ms: u64) -> Self {
+            RampSubstrate {
+                limit,
+                duration_ms,
+                tracked: vec!["x".to_owned()],
+            }
+        }
+    }
+
+    impl Substrate for RampSubstrate {
+        fn name(&self) -> &str {
+            "ramp"
+        }
+        fn label(&self) -> String {
+            format!("limit-{}", self.limit)
+        }
+        fn duration_ms(&self) -> u64 {
+            self.duration_ms
+        }
+        fn build_simulator(&self) -> Simulator {
+            let mut sim = Simulator::new(10);
+            sim.add(Ramp);
+            sim.init(State::new().with_real("x", 0.0));
+            sim
+        }
+        fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
+            let mut suite = MonitorSuite::new();
+            suite.add_goal(
+                "bound",
+                Location::new("Ramp"),
+                parse(&format!("x < {}", self.limit)).expect("valid formula"),
+            )?;
+            Ok(suite)
+        }
+        fn observe<'a>(&self, raw: &'a State) -> Cow<'a, State> {
+            Cow::Borrowed(raw)
+        }
+        fn terminal_event(&self, observed: &State) -> Option<&'static str> {
+            let x = observed.get("x").and_then(|v| v.as_real()).unwrap_or(0.0);
+            (x >= self.limit).then_some("limit")
+        }
+        fn tracked_signals(&self) -> &[String] {
+            &self.tracked
+        }
+    }
+
+    #[test]
+    fn total_ticks_follow_the_substrate_tick_period() {
+        // 1 s at a 10 ms tick is 100 ticks, not the 1000 a hardwired
+        // 1 kHz loop would schedule.
+        let substrate = RampSubstrate::new(1e9, 1000);
+        let report = Experiment::new(&substrate).run().unwrap();
+        assert_eq!(report.dt_millis, 10);
+        assert_eq!(report.scheduled_ticks, 100);
+        assert_eq!(report.ticks, 100);
+        assert!(!report.terminated_early);
+        assert!((report.end_time_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminal_event_aborts_after_the_grace_window() {
+        let substrate = RampSubstrate::new(5.0, 10_000);
+        let config = ExperimentConfig {
+            post_terminal_ms: 100,
+            ..ExperimentConfig::default()
+        };
+        let report = Experiment::new(&substrate)
+            .with_config(config)
+            .run()
+            .unwrap();
+        // Limit reached at tick 5; 100 ms grace is 10 ticks at dt=10 ms.
+        assert_eq!(report.terminal_event.as_deref(), Some("limit"));
+        assert_eq!(report.ticks, 15);
+        assert!(report.terminated_early);
+        assert_eq!(report.violations_for("bound").len(), 1);
+    }
+
+    #[test]
+    fn series_are_sampled_from_observed_states() {
+        let substrate = RampSubstrate::new(1e9, 50);
+        let report = Experiment::new(&substrate).run().unwrap();
+        let xs = report.series.series("x").unwrap();
+        assert_eq!(xs.len(), 5);
+        assert_eq!(xs[0], (0.01, 1.0));
+        assert_eq!(xs[4], (0.05, 5.0));
+    }
+
+    #[test]
+    fn inspect_sees_every_tick() {
+        let substrate = RampSubstrate::new(1e9, 100);
+        let mut seen = 0;
+        Experiment::new(&substrate)
+            .run_with(|tick, raw, observed| {
+                seen += 1;
+                assert_eq!(tick, seen);
+                assert_eq!(raw.get("x"), observed.get("x"));
+            })
+            .unwrap();
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn reports_round_trip_through_serde_json_without_the_series() {
+        let substrate = RampSubstrate::new(5.0, 10_000);
+        let report = Experiment::new(&substrate).run().unwrap();
+        assert!(report.series.series("x").is_some());
+        // Through actual JSON text — the same path repro.rs uses.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.series, SeriesLog::default(), "series is skipped");
+        let stripped = RunReport {
+            series: SeriesLog::default(),
+            ..report
+        };
+        assert_eq!(back, stripped);
+    }
+}

@@ -1,0 +1,76 @@
+//! Substrate-generic experiment harness.
+//!
+//! The thesis evaluates its run-time monitoring contribution on **two**
+//! composite systems — the Chapter 4 distributed elevator and the
+//! Chapter 5 semi-autonomous vehicle. Both evaluations are the same
+//! experiment shape: assemble a deterministic fixed-step [`Simulator`],
+//! attach a hierarchical [`MonitorSuite`], step the loop with one-tick
+//! observation delay, derive probe signals, watch for terminal events
+//! (collisions), record figure series, and classify detections into
+//! hits / false positives / false negatives. This crate owns that shape
+//! once:
+//!
+//! * [`Substrate`] — what a composite system must provide to be run:
+//!   simulator assembly, monitor-suite construction, signal derivation,
+//!   and terminal-event detection;
+//! * [`Experiment`] — the generic simulate → observe → correlate loop,
+//!   configured in **milliseconds** ([`ExperimentConfig`]) so substrates
+//!   with different tick periods (1 ms vehicle, 10 ms elevator) share one
+//!   run loop;
+//! * [`RunReport`] — the substrate-independent outcome of one run;
+//! * [`Sweep`] — a rayon-parallel fan-out of experiment cells (scenario ×
+//!   defect grids, seed batches) with deterministic per-cell seeds and
+//!   order-independent aggregation, so the parallel path is
+//!   bit-identical to the serial one.
+//!
+//! [`Simulator`]: esafe_sim::Simulator
+//! [`MonitorSuite`]: esafe_monitor::MonitorSuite
+//!
+//! # Example
+//!
+//! ```
+//! use esafe_harness::{Experiment, ExperimentConfig, RunReport, Substrate};
+//! use esafe_logic::{parse, State};
+//! use esafe_monitor::{Location, MonitorSuite};
+//! use esafe_sim::{SimTime, Simulator, Subsystem};
+//!
+//! /// A counter that must stay below 8 — and won't.
+//! struct Counter;
+//! impl Subsystem for Counter {
+//!     fn name(&self) -> &str { "counter" }
+//!     fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+//!         let n = prev.get("n").and_then(|v| v.as_real()).unwrap_or(0.0);
+//!         next.set("n", n + 1.0);
+//!     }
+//! }
+//!
+//! struct CounterSubstrate;
+//! impl Substrate for CounterSubstrate {
+//!     fn name(&self) -> &str { "counter" }
+//!     fn label(&self) -> String { "count-to-twenty".into() }
+//!     fn duration_ms(&self) -> u64 { 20 }
+//!     fn build_simulator(&self) -> Simulator {
+//!         let mut sim = Simulator::new(1);
+//!         sim.add(Counter);
+//!         sim.init(State::new().with_real("n", 0.0));
+//!         sim
+//!     }
+//!     fn build_monitors(&self) -> Result<MonitorSuite, esafe_logic::EvalError> {
+//!         let mut suite = MonitorSuite::new();
+//!         let goal = parse("n < 8.0").expect("valid formula");
+//!         suite.add_goal("bound", Location::new("Counter"), goal)?;
+//!         Ok(suite)
+//!     }
+//! }
+//!
+//! let report: RunReport = Experiment::new(&CounterSubstrate).run().unwrap();
+//! assert_eq!(report.violations_for("bound").len(), 1);
+//! ```
+
+pub mod experiment;
+pub mod substrate;
+pub mod sweep;
+
+pub use experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
+pub use substrate::Substrate;
+pub use sweep::{cell_seed, Sweep, SweepAggregate, SweepReport};

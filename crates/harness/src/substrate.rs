@@ -1,0 +1,62 @@
+//! The [`Substrate`] trait: what a composite system provides to be run
+//! under the generic experiment loop.
+
+use esafe_logic::{EvalError, State};
+use esafe_monitor::MonitorSuite;
+use esafe_sim::Simulator;
+use std::borrow::Cow;
+
+/// A monitored composite system: one concrete configuration of one of
+/// the thesis's evaluation substrates (or any other system built on
+/// [`esafe_sim`]).
+///
+/// A `Substrate` value fully describes a *single deterministic run* —
+/// substrate family, parameters, injected defects, scenario/seed — so
+/// that [`Experiment`](crate::Experiment) can execute it and
+/// [`Sweep`](crate::Sweep) can fan grids of them across cores.
+pub trait Substrate {
+    /// The substrate family name (e.g. `"vehicle"`, `"elevator"`).
+    fn name(&self) -> &str;
+
+    /// A label identifying this configuration (e.g. `"scenario-1"`,
+    /// `"seed-42"`), used in reports and sweep aggregation.
+    fn label(&self) -> String;
+
+    /// Scheduled run length in milliseconds. The experiment loop converts
+    /// this to ticks using the simulator's own tick period.
+    fn duration_ms(&self) -> u64;
+
+    /// Assembles a fresh simulator for this configuration.
+    fn build_simulator(&self) -> Simulator;
+
+    /// Builds the goal/subgoal monitor suite for this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if a goal formula fails to compile — a
+    /// programming error surfaced by tests.
+    fn build_monitors(&self) -> Result<MonitorSuite, EvalError>;
+
+    /// Derives the observed state the monitors and series sampling see
+    /// from the raw simulator state. The default is the identity (the
+    /// elevator's monitors read plant signals directly); the vehicle
+    /// substrate overrides this with its probe derivation.
+    fn observe<'a>(&self, raw: &'a State) -> Cow<'a, State> {
+        Cow::Borrowed(raw)
+    }
+
+    /// Checks the observed state for a terminal event (e.g. a collision).
+    /// Returning `Some` starts the post-terminal grace window after which
+    /// the run aborts early, mirroring the thesis's CarSim environment.
+    fn terminal_event(&self, observed: &State) -> Option<&'static str> {
+        let _ = observed;
+        None
+    }
+
+    /// Signals to record into the report's [`SeriesLog`] each tick.
+    ///
+    /// [`SeriesLog`]: esafe_sim::SeriesLog
+    fn tracked_signals(&self) -> &[String] {
+        &[]
+    }
+}

@@ -1,0 +1,285 @@
+//! Batch-parallel experiment sweeps over a grid of configurations.
+
+use crate::experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
+use crate::substrate::Substrate;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Deterministic per-cell seed: a splitmix64 mix of the sweep's base
+/// seed and the cell index, so cell N gets the same seed no matter how
+/// many threads run the sweep or in what order cells complete.
+pub fn cell_seed(base: u64, index: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((index as u64).wrapping_mul(0xd1b5_4a32_d192_ed03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A grid of experiment cells to fan across cores.
+///
+/// A cell is any description of one run — a `(Scenario, DefectSet)`
+/// pair, a fault configuration, a seed index. The sweep builds a
+/// [`Substrate`] per cell via the caller's factory, runs each under the
+/// shared [`ExperimentConfig`], and returns reports in cell order, so
+/// [`Sweep::run`] (rayon-parallel) and [`Sweep::run_serial`] produce
+/// identical results.
+#[derive(Debug, Clone)]
+pub struct Sweep<C> {
+    cells: Vec<C>,
+    config: ExperimentConfig,
+    base_seed: u64,
+}
+
+impl<C: Sync> Sweep<C> {
+    /// Creates a sweep over the given cells.
+    pub fn new(cells: Vec<C>) -> Self {
+        Sweep {
+            cells,
+            config: ExperimentConfig::default(),
+            base_seed: 0,
+        }
+    }
+
+    /// Replaces the per-run timing policy.
+    pub fn with_config(mut self, config: ExperimentConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the base seed mixed into every cell's deterministic seed.
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// The sweep's cells, in run order.
+    pub fn cells(&self) -> &[C] {
+        &self.cells
+    }
+
+    /// Runs every cell in parallel across the available cores.
+    ///
+    /// `build` receives each cell and its deterministic seed
+    /// ([`cell_seed`]) and returns the substrate to run. Reports come
+    /// back in cell order; on error, the failure of the earliest cell is
+    /// returned regardless of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell's [`ExperimentError`], by cell order.
+    pub fn run<S, F>(&self, build: F) -> Result<SweepReport, ExperimentError>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S + Sync,
+    {
+        let indices: Vec<usize> = (0..self.cells.len()).collect();
+        let results: Vec<Result<RunReport, ExperimentError>> = indices
+            .into_par_iter()
+            .map(|i| self.run_cell(i, &build))
+            .collect();
+        Self::collect_reports(results)
+    }
+
+    /// Runs every cell sequentially on the calling thread — the reference
+    /// path the parallel runner must match bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell's [`ExperimentError`], by cell order.
+    pub fn run_serial<S, F>(&self, build: F) -> Result<SweepReport, ExperimentError>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S,
+    {
+        let results: Vec<Result<RunReport, ExperimentError>> = (0..self.cells.len())
+            .map(|i| self.run_cell(i, &build))
+            .collect();
+        Self::collect_reports(results)
+    }
+
+    fn run_cell<S, F>(&self, index: usize, build: &F) -> Result<RunReport, ExperimentError>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S,
+    {
+        let substrate = build(&self.cells[index], cell_seed(self.base_seed, index));
+        Experiment::new(&substrate).with_config(self.config).run()
+    }
+
+    fn collect_reports(
+        results: Vec<Result<RunReport, ExperimentError>>,
+    ) -> Result<SweepReport, ExperimentError> {
+        let mut runs = Vec::with_capacity(results.len());
+        for result in results {
+            runs.push(result?);
+        }
+        Ok(SweepReport { runs })
+    }
+}
+
+/// All reports of a sweep, in cell order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// One report per cell.
+    pub runs: Vec<RunReport>,
+}
+
+impl SweepReport {
+    /// The report for a cell label, if present.
+    pub fn for_label(&self, label: &str) -> Option<&RunReport> {
+        self.runs.iter().find(|r| r.label == label)
+    }
+
+    /// Aggregates the sweep into order-independent totals: every count is
+    /// a commutative sum and per-monitor totals are keyed (sorted) by
+    /// monitor id, so any execution order yields the same aggregate.
+    pub fn aggregate(&self) -> SweepAggregate {
+        let mut violations_by_monitor: BTreeMap<String, usize> = BTreeMap::new();
+        let mut aggregate = SweepAggregate {
+            runs: self.runs.len(),
+            ..SweepAggregate::default()
+        };
+        for run in &self.runs {
+            aggregate.terminated_early += usize::from(run.terminated_early);
+            aggregate.terminal_events += usize::from(run.terminal_event.is_some());
+            for (id, intervals) in &run.violations {
+                *violations_by_monitor.entry(id.clone()).or_default() += intervals.len();
+            }
+            for row in &run.correlation.rows {
+                aggregate.hits += row.hits;
+                aggregate.false_negatives += row.false_negatives;
+                aggregate.false_positives += row.false_positives;
+            }
+        }
+        aggregate.violations_by_monitor = violations_by_monitor.into_iter().collect();
+        aggregate
+    }
+}
+
+/// Order-independent totals of a sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepAggregate {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Runs that aborted before their schedule.
+    pub terminated_early: usize,
+    /// Runs that hit a terminal event.
+    pub terminal_events: usize,
+    /// Total hits across all runs and goals.
+    pub hits: usize,
+    /// Total false negatives (residual emergence).
+    pub false_negatives: usize,
+    /// Total false positives (restriction or redundancy).
+    pub false_positives: usize,
+    /// Violation-interval counts per monitor id, sorted by id.
+    pub violations_by_monitor: Vec<(String, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::{parse, EvalError, State};
+    use esafe_monitor::{Location, MonitorSuite};
+    use esafe_sim::{SimTime, Simulator, Subsystem};
+
+    /// Emits `seed % cap` every tick; the monitor requires `y < 3`.
+    struct Emit {
+        value: f64,
+    }
+
+    impl Subsystem for Emit {
+        fn name(&self) -> &str {
+            "emit"
+        }
+        fn step(&mut self, _t: &SimTime, _prev: &State, next: &mut State) {
+            next.set("y", self.value);
+        }
+    }
+
+    struct EmitSubstrate {
+        value: f64,
+        label: String,
+    }
+
+    impl Substrate for EmitSubstrate {
+        fn name(&self) -> &str {
+            "emit"
+        }
+        fn label(&self) -> String {
+            self.label.clone()
+        }
+        fn duration_ms(&self) -> u64 {
+            20
+        }
+        fn build_simulator(&self) -> Simulator {
+            let mut sim = Simulator::new(1);
+            sim.add(Emit { value: self.value });
+            sim.init(State::new().with_real("y", 0.0));
+            sim
+        }
+        fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
+            let mut suite = MonitorSuite::new();
+            suite.add_goal(
+                "y-bound",
+                Location::new("Emit"),
+                parse("y < 3.0").expect("valid formula"),
+            )?;
+            Ok(suite)
+        }
+    }
+
+    fn build(cell: &u64, seed: u64) -> EmitSubstrate {
+        EmitSubstrate {
+            value: (cell % 5) as f64,
+            label: format!("cell-{cell}-seed-{seed:016x}"),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let sweep = Sweep::new((0..16).collect::<Vec<u64>>()).with_base_seed(99);
+        let parallel = sweep.run(build).unwrap();
+        let serial = sweep.run_serial(build).unwrap();
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.aggregate(), serial.aggregate());
+    }
+
+    #[test]
+    fn cell_seeds_are_deterministic_and_distinct() {
+        let a: Vec<u64> = (0..32).map(|i| cell_seed(7, i)).collect();
+        let b: Vec<u64> = (0..32).map(|i| cell_seed(7, i)).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "per-cell seeds must not collide");
+        assert_ne!(cell_seed(7, 0), cell_seed(8, 0), "base seed must matter");
+    }
+
+    #[test]
+    fn aggregate_counts_are_order_independent() {
+        let sweep = Sweep::new(vec![1u64, 4, 2, 3]);
+        let report = sweep.run_serial(build).unwrap();
+        let mut reversed = report.clone();
+        reversed.runs.reverse();
+        assert_eq!(report.aggregate(), reversed.aggregate());
+        // Cells 3 and 4 emit y ≥ 3: two runs violate, twenty ticks each
+        // merge into one interval per run.
+        let agg = report.aggregate();
+        assert_eq!(agg.runs, 4);
+        assert_eq!(agg.violations_by_monitor, vec![("y-bound".to_string(), 2)]);
+        assert_eq!(agg.false_negatives, 2, "no subgoals: violations are FNs");
+    }
+
+    #[test]
+    fn labels_are_addressable() {
+        let sweep = Sweep::new(vec![2u64]);
+        let report = sweep.run_serial(build).unwrap();
+        let label = &report.runs[0].label;
+        assert!(report.for_label(label).is_some());
+        assert!(report.for_label("nope").is_none());
+    }
+}

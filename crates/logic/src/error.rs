@@ -101,7 +101,10 @@ impl fmt::Display for PropError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PropError::Unboundable { operator } => {
-                write!(f, "operator `{operator}` cannot be propositionally unrolled")
+                write!(
+                    f,
+                    "operator `{operator}` cannot be propositionally unrolled"
+                )
             }
             PropError::TooManyAtoms { found, limit } => {
                 write!(f, "{found} atoms exceed the enumeration limit of {limit}")

@@ -318,10 +318,7 @@ mod tests {
     #[test]
     fn became_detects_rising_edge_only() {
         let t = trace_of(&[("p", vec![false, true, true, false, true])]);
-        assert_eq!(
-            run("became(p)", &t),
-            vec![false, true, false, false, true]
-        );
+        assert_eq!(run("became(p)", &t), vec![false, true, false, false, true]);
     }
 
     #[test]

@@ -394,7 +394,9 @@ impl Expr {
             Expr::Prev(e) | Expr::Became(e) => 1 + e.prev_depth(),
             Expr::Once(e) | Expr::Historically(e) => 1 + e.prev_depth(),
             Expr::HeldFor { expr, ticks } | Expr::OnceWithin { expr, ticks } => {
-                u32::try_from(*ticks).unwrap_or(u32::MAX).saturating_add(expr.prev_depth())
+                u32::try_from(*ticks)
+                    .unwrap_or(u32::MAX)
+                    .saturating_add(expr.prev_depth())
             }
         }
     }
@@ -624,10 +626,7 @@ mod tests {
 
     #[test]
     fn rename_vars_rewrites_everywhere() {
-        let e = Expr::entails(
-            Expr::prev(Expr::var("a")),
-            Expr::var_le("b.value", 2.0),
-        );
+        let e = Expr::entails(Expr::prev(Expr::var("a")), Expr::var_le("b.value", 2.0));
         let renamed = e.rename_vars(&|v| format!("ns.{v}"));
         let vars = renamed.vars();
         assert!(vars.contains("ns.a") && vars.contains("ns.b.value"));

@@ -59,10 +59,7 @@ pub fn monitor_form(expr: &Expr) -> Result<Expr, EvalError> {
         Expr::Entails(a, b) => Expr::implies(monitor_form(a)?, monitor_form(b)?),
         Expr::Iff(a, b) => {
             let (a, b) = (monitor_form(a)?, monitor_form(b)?);
-            Expr::and(
-                Expr::implies(a.clone(), b.clone()),
-                Expr::implies(b, a),
-            )
+            Expr::and(Expr::implies(a.clone(), b.clone()), Expr::implies(b, a))
         }
         Expr::Prev(e) => Expr::prev(monitor_form(e)?),
         Expr::Once(e) => Expr::once(monitor_form(e)?),
@@ -236,7 +233,10 @@ impl Node {
                 captured: None,
             },
             // monitor_form has eliminated these before Node::build runs
-            Expr::Entails(..) | Expr::Iff(..) | Expr::Always(_) | Expr::Eventually(_)
+            Expr::Entails(..)
+            | Expr::Iff(..)
+            | Expr::Always(_)
+            | Expr::Eventually(_)
             | Expr::Next(_) => unreachable!("monitor_form eliminates future forms"),
         }
     }
@@ -309,8 +309,7 @@ impl Node {
             } => {
                 let cur = child.eval(state, step)?;
                 let step_u64 = step as u64;
-                let out = last_true_step
-                    .is_some_and(|lt| step_u64.saturating_sub(lt) <= *ticks);
+                let out = last_true_step.is_some_and(|lt| step_u64.saturating_sub(lt) <= *ticks);
                 if cur {
                     *last_true_step = Some(step_u64);
                 }

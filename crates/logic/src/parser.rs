@@ -261,9 +261,9 @@ impl<'a> Parser<'a> {
             }
             None => match lhs {
                 Operand::Var(name) => Ok(Expr::Var(name)),
-                Operand::Lit(v) => Err(self.err(format!(
-                    "literal {v} must be part of a comparison"
-                ))),
+                Operand::Lit(v) => {
+                    Err(self.err(format!("literal {v} must be part of a comparison")))
+                }
             },
         }
     }
@@ -386,7 +386,7 @@ impl<'a> Parser<'a> {
     }
 
     fn millis_to_ticks(&self, millis: u64) -> Result<u64, ParseError> {
-        if millis % self.tick_millis != 0 {
+        if !millis.is_multiple_of(self.tick_millis) {
             return Err(ParseError {
                 offset: self.pos,
                 message: format!(
@@ -427,7 +427,10 @@ mod tests {
         let e = parse("a -> b -> c").unwrap();
         assert_eq!(
             e,
-            Expr::implies(Expr::var("a"), Expr::implies(Expr::var("b"), Expr::var("c")))
+            Expr::implies(
+                Expr::var("a"),
+                Expr::implies(Expr::var("b"), Expr::var("c"))
+            )
         );
     }
 
@@ -436,7 +439,10 @@ mod tests {
         let e = parse("a -> b => c").unwrap();
         assert_eq!(
             e,
-            Expr::entails(Expr::implies(Expr::var("a"), Expr::var("b")), Expr::var("c"))
+            Expr::entails(
+                Expr::implies(Expr::var("a"), Expr::var("b")),
+                Expr::var("c")
+            )
         );
     }
 
@@ -479,7 +485,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_operator_and_trailing_input() {
-        assert!(parse("frobnicate(p)").unwrap_err().message.contains("unknown"));
+        assert!(parse("frobnicate(p)")
+            .unwrap_err()
+            .message
+            .contains("unknown"));
         assert!(parse("p q").unwrap_err().message.contains("trailing"));
         assert!(parse("(p").unwrap_err().message.contains("expected `)`"));
     }
@@ -525,9 +534,6 @@ mod tests {
 
     #[test]
     fn whitespace_is_insignificant() {
-        assert_eq!(
-            parse("  a&&b  ").unwrap(),
-            parse("a && b").unwrap()
-        );
+        assert_eq!(parse("  a&&b  ").unwrap(), parse("a && b").unwrap());
     }
 }

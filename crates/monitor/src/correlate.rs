@@ -60,7 +60,7 @@ impl CorrelationRow {
 }
 
 /// The full classification across all goals.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CorrelationReport {
     /// One row per parent goal, in insertion order.
     pub rows: Vec<CorrelationRow>,

@@ -224,9 +224,12 @@ impl MonitorSuite {
             let mut hits = 0usize;
             let mut false_negatives = 0usize;
             for gv in goal_violations {
-                let covered = subs
-                    .iter()
-                    .any(|s| s.tracker.intervals().iter().any(|sv| sv.overlaps(gv, window)));
+                let covered = subs.iter().any(|s| {
+                    s.tracker
+                        .intervals()
+                        .iter()
+                        .any(|sv| sv.overlaps(gv, window))
+                });
                 if covered {
                     hits += 1;
                 } else {
@@ -294,7 +297,10 @@ mod tests {
         m.finish();
         let r = m.correlate(0);
         let row = r.for_goal("G").unwrap();
-        assert_eq!((row.hits, row.false_negatives, row.false_positives), (1, 0, 0));
+        assert_eq!(
+            (row.hits, row.false_negatives, row.false_positives),
+            (1, 0, 0)
+        );
     }
 
     #[test]
@@ -306,7 +312,10 @@ mod tests {
         m.finish();
         let r = m.correlate(0);
         let row = r.for_goal("G").unwrap();
-        assert_eq!((row.hits, row.false_negatives, row.false_positives), (0, 1, 0));
+        assert_eq!(
+            (row.hits, row.false_negatives, row.false_positives),
+            (0, 1, 0)
+        );
     }
 
     #[test]
@@ -318,7 +327,10 @@ mod tests {
         m.finish();
         let r = m.correlate(0);
         let row = r.for_goal("G").unwrap();
-        assert_eq!((row.hits, row.false_negatives, row.false_positives), (0, 0, 1));
+        assert_eq!(
+            (row.hits, row.false_negatives, row.false_positives),
+            (0, 0, 1)
+        );
         assert_eq!(row.subgoals[0].false_positives, 1);
     }
 
@@ -326,7 +338,13 @@ mod tests {
     fn window_turns_near_miss_into_hit() {
         let mut m = suite();
         // Subgoal violated at tick 1, goal at tick 3: 1 tick apart.
-        for (g, s) in [(true, true), (true, false), (true, true), (false, true), (true, true)] {
+        for (g, s) in [
+            (true, true),
+            (true, false),
+            (true, true),
+            (false, true),
+            (true, true),
+        ] {
             m.observe(&state(g, s)).unwrap();
         }
         m.finish();

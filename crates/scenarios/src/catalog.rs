@@ -86,8 +86,7 @@ pub fn scenario(n: u8) -> Scenario {
         },
         2 => Scenario {
             number: 2,
-            title: "CA engaged, ACC enabled, PA enabled, stopped vehicle in path"
-                .into(),
+            title: "CA engaged, ACC enabled, PA enabled, stopped vehicle in path".into(),
             expected: "The driver engages PA just after CA begins its hard \
                        brake; steering arbitration (reversed priority) \
                        forwards PA's request while CA remains selected \
@@ -293,10 +292,7 @@ pub fn scenario(n: u8) -> Scenario {
                        masked the defect)."
                 .into(),
             scene: stopped_ahead_3m,
-            script: vec![
-                (0.3, enable("PA", true)),
-                (2.0, engage("PA", true)),
-            ],
+            script: vec![(0.3, enable("PA", true)), (2.0, engage("PA", true))],
             duration_s: 20.0,
             figure_signals: vec![
                 "pa.accel_request",

@@ -1,0 +1,128 @@
+//! Scenario × defect sweep grids: the batch-parallel evaluation axis.
+//!
+//! A [`GridCell`] names one (scenario, defect configuration) pair; the
+//! grid builders produce cell vectors for [`esafe_harness::Sweep`] to
+//! fan across cores. Because every vehicle run is fully deterministic,
+//! the parallel sweep is bit-identical to the serial one — which the
+//! workspace's determinism tests pin.
+
+use crate::catalog;
+use crate::runner;
+use esafe_harness::{ExperimentError, Sweep, SweepReport};
+use esafe_vehicle::config::DefectSet;
+use esafe_vehicle::substrate::VehicleSubstrate;
+
+/// One cell of a scenario × defect grid.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Scenario number, 1–10.
+    pub scenario: u8,
+    /// The defect configuration's label (e.g. `"thesis (all)"`).
+    pub config: String,
+    /// The defect configuration.
+    pub defects: DefectSet,
+}
+
+/// The defect-ablation axis: the fixed system, the thesis's full defect
+/// population, and every single-defect configuration.
+pub fn ablation_configs() -> Vec<(String, DefectSet)> {
+    let mut configs = vec![
+        ("none".to_owned(), DefectSet::none()),
+        ("thesis (all)".to_owned(), DefectSet::thesis()),
+    ];
+    configs.extend(
+        DefectSet::singles()
+            .into_iter()
+            .map(|(name, set)| (name.to_owned(), set)),
+    );
+    configs
+}
+
+/// The cells of `scenarios` × `configs`, scenario-major.
+pub fn cells(scenarios: &[u8], configs: &[(String, DefectSet)]) -> Vec<GridCell> {
+    scenarios
+        .iter()
+        .flat_map(|&scenario| {
+            configs.iter().map(move |(config, defects)| GridCell {
+                scenario,
+                config: config.clone(),
+                defects: *defects,
+            })
+        })
+        .collect()
+}
+
+/// The full evaluation grid: all ten scenarios × the full ablation axis
+/// (140 monitored runs).
+pub fn full_grid() -> Vec<GridCell> {
+    let scenarios: Vec<u8> = (1..=10).collect();
+    cells(&scenarios, &ablation_configs())
+}
+
+/// The substrate for one grid cell (the sweep's build callback; vehicle
+/// runs are deterministic, so the per-cell seed is unused).
+pub fn build_cell(cell: &GridCell, _seed: u64) -> VehicleSubstrate {
+    let scenario = catalog::scenario(cell.scenario);
+    runner::substrate(&scenario, cell.defects)
+        .with_label(format!("scenario-{}/{}", cell.scenario, cell.config))
+}
+
+/// A sweep over the given cells under the thesis timing policy.
+pub fn sweep(grid: Vec<GridCell>) -> Sweep<GridCell> {
+    Sweep::new(grid).with_config(runner::thesis_config())
+}
+
+/// Runs a grid in parallel across cores.
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`ExperimentError`].
+pub fn run_parallel(grid: Vec<GridCell>) -> Result<SweepReport, ExperimentError> {
+    sweep(grid).run(build_cell)
+}
+
+/// Runs a grid serially (the reference the parallel path must match).
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`ExperimentError`].
+pub fn run_serial(grid: Vec<GridCell>) -> Result<SweepReport, ExperimentError> {
+    sweep(grid).run_serial(build_cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_is_scenarios_times_configs() {
+        let grid = full_grid();
+        assert_eq!(grid.len(), 10 * 14);
+        assert_eq!(grid[0].scenario, 1);
+        assert_eq!(grid[0].config, "none");
+        assert_eq!(grid[14].scenario, 2);
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_grid() {
+        // A small but representative slice: two early-terminating
+        // scenarios × three configs, parallel vs serial.
+        let configs = vec![
+            ("none".to_owned(), DefectSet::none()),
+            ("thesis (all)".to_owned(), DefectSet::thesis()),
+            (
+                "ca_intermittent_braking".to_owned(),
+                DefectSet {
+                    ca_intermittent_braking: true,
+                    ..DefectSet::none()
+                },
+            ),
+        ];
+        let grid = cells(&[1, 2], &configs);
+        let parallel = run_parallel(grid.clone()).unwrap();
+        let serial = run_serial(grid).unwrap();
+        assert_eq!(parallel, serial, "rayon path must be bit-identical");
+        assert_eq!(parallel.aggregate(), serial.aggregate());
+        assert_eq!(parallel.runs.len(), 6);
+    }
+}

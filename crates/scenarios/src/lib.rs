@@ -3,8 +3,11 @@
 //!
 //! * [`catalog`] — the ten [`Scenario`] descriptors (world, driver script,
 //!   expected phenomena);
-//! * [`runner`] — executes a scenario against a [`DefectSet`], monitoring
-//!   all 49 goal/subgoal monitors and recording the figure time series;
+//! * [`runner`] — lifts a scenario × [`DefectSet`] cell into a
+//!   [`esafe_vehicle::substrate::VehicleSubstrate`] and executes it
+//!   through the generic [`esafe_harness::Experiment`] loop, monitoring
+//!   all 49 goal/subgoal monitors and recording the figure time series
+//!   (grids of cells run in parallel via [`esafe_harness::Sweep`]);
 //! * [`tables`] — renders the per-scenario violation tables (D.1–D.11),
 //!   the Table 5.3 monitoring matrix, and the figure series.
 //!
@@ -21,8 +24,10 @@
 //! ```
 
 pub mod catalog;
+pub mod grid;
 pub mod runner;
 pub mod tables;
 
 pub use catalog::{scenario, Scenario};
+pub use grid::GridCell;
 pub use runner::{run, ScenarioReport};

@@ -1,30 +1,40 @@
 //! Scenario execution: simulate, monitor, record, classify.
+//!
+//! Since the harness refactor this module is a thin adapter: it lifts a
+//! [`Scenario`] into a [`VehicleSubstrate`] and runs it through the
+//! substrate-generic [`esafe_harness::Experiment`] loop, which owns the
+//! tick schedule (derived from the simulator's own tick period), the
+//! early-termination grace window, series sampling, and the
+//! hit/false-positive/false-negative correlation.
 
 use crate::catalog::Scenario;
-use esafe_monitor::{CorrelationReport, MonitorError, ViolationInterval};
+use esafe_harness::{Experiment, ExperimentConfig, ExperimentError, RunReport};
+use esafe_monitor::{CorrelationReport, ViolationInterval};
 use esafe_sim::SeriesLog;
-use esafe_vehicle::builder::build_vehicle;
-use esafe_vehicle::config::{DefectSet, VehicleParams};
-use esafe_vehicle::{probe, signals as sig};
+use esafe_vehicle::config::DefectSet;
+use esafe_vehicle::substrate::VehicleSubstrate;
 use serde::{Deserialize, Serialize};
 
-/// How long after a collision the simulation environment keeps producing
-/// states before aborting ("early termination", thesis §5.4.1: violations
-/// were observed up to ~100 ms before the termination point).
-const POST_IMPACT_TICKS: u64 = 100;
-
-/// Correlation window for hit/false-positive/false-negative
-/// classification, ticks. Covers the actuation lag between a command-level
-/// subgoal violation and its plant-level consequence.
-pub const CORRELATION_WINDOW_TICKS: u64 = 250;
+/// The timing policy of the thesis's vehicle evaluation: the CarSim
+/// environment aborts ~100 ms after a collision (§5.4.1), and detections
+/// are correlated within a ±250 ms window covering command-to-plant
+/// actuation lag.
+pub fn thesis_config() -> ExperimentConfig {
+    ExperimentConfig {
+        post_terminal_ms: 100,
+        correlation_window_ms: 250,
+    }
+}
 
 /// The outcome of one monitored scenario run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioReport {
     /// Scenario number.
     pub number: u8,
     /// The defect configuration used.
     pub defects: DefectSet,
+    /// The timing policy the run was classified under.
+    pub config: ExperimentConfig,
     /// Wall-clock end of the run, s.
     pub end_time_s: f64,
     /// Whether the run aborted before its 20 s schedule.
@@ -54,79 +64,44 @@ impl ScenarioReport {
     pub fn any_violations(&self) -> bool {
         !self.violations.is_empty()
     }
+
+    /// Wraps a generic harness report into the scenario-numbered form.
+    pub fn from_run(number: u8, defects: DefectSet, run: RunReport) -> Self {
+        ScenarioReport {
+            number,
+            defects,
+            config: run.config,
+            end_time_s: run.end_time_s,
+            terminated_early: run.terminated_early,
+            collision: run.terminal_event.is_some(),
+            violations: run.violations,
+            correlation: run.correlation,
+            series: run.series,
+        }
+    }
 }
 
-/// Runs a scenario under the given defect configuration.
-///
-/// The loop advances the 1 kHz simulation, derives the probe signals,
-/// feeds all 49 monitors, records figure series, and applies the thesis's
-/// early-termination behaviour (the CarSim run aborts shortly after a
-/// collision).
+/// Builds the substrate configuration for a scenario × defect cell.
+pub fn substrate(scenario: &Scenario, defects: DefectSet) -> VehicleSubstrate {
+    VehicleSubstrate::new(defects, scenario.scene, scenario.script.clone())
+        .with_duration_s(scenario.duration_s)
+        .with_tracked(scenario.figure_signals.iter().copied())
+        .with_label(format!("scenario-{}", scenario.number))
+}
+
+/// Runs a scenario under the given defect configuration through the
+/// generic experiment harness.
 ///
 /// # Errors
 ///
-/// Returns [`MonitorError`] if a goal formula references a missing signal
-/// (a programming error caught by tests).
-pub fn run(scenario: &Scenario, defects: DefectSet) -> Result<ScenarioReport, MonitorError> {
-    let params = VehicleParams::default();
-    let mut suite = esafe_vehicle::goals::build_suite(&params)
-        .expect("goal tables compile");
-    let mut sim = build_vehicle(params, defects, scenario.scene, scenario.script.clone());
-    let mut series = SeriesLog::new();
-
-    let total_ticks = (scenario.duration_s * 1000.0) as u64;
-    let mut impact_tick: Option<u64> = None;
-    let mut terminated_early = false;
-    let mut collision = false;
-
-    for tick in 1..=total_ticks {
-        sim.step();
-        let derived = probe::derive(sim.state(), &params);
-        suite.observe(&derived)?;
-        let t = sim.seconds();
-        for name in &scenario.figure_signals {
-            series.sample(name, t, &derived);
-        }
-
-        let hit_front = derived
-            .get(sig::COLLISION)
-            .and_then(|v| v.as_bool())
-            .unwrap_or(false);
-        let hit_rear = derived
-            .get(sig::REAR_COLLISION)
-            .and_then(|v| v.as_bool())
-            .unwrap_or(false);
-        if (hit_front || hit_rear) && impact_tick.is_none() {
-            impact_tick = Some(tick);
-            collision = true;
-        }
-        if let Some(it) = impact_tick {
-            if tick >= it + POST_IMPACT_TICKS {
-                terminated_early = tick < total_ticks;
-                break;
-            }
-        }
-    }
-    suite.finish();
-
-    let mut violations = Vec::new();
-    for (id, _, _) in suite.location_matrix() {
-        let v = suite.violations(&id).unwrap_or(&[]);
-        if !v.is_empty() {
-            violations.push((id, v.to_vec()));
-        }
-    }
-
-    Ok(ScenarioReport {
-        number: scenario.number,
-        defects,
-        end_time_s: sim.seconds(),
-        terminated_early,
-        collision,
-        violations,
-        correlation: suite.correlate(CORRELATION_WINDOW_TICKS),
-        series,
-    })
+/// Returns [`ExperimentError`] if a goal formula fails to compile or
+/// references a missing signal (a programming error caught by tests).
+pub fn run(scenario: &Scenario, defects: DefectSet) -> Result<ScenarioReport, ExperimentError> {
+    let substrate = substrate(scenario, defects);
+    let report = Experiment::new(&substrate)
+        .with_config(thesis_config())
+        .run()?;
+    Ok(ScenarioReport::from_run(scenario.number, defects, report))
 }
 
 #[cfg(test)]
@@ -197,5 +172,20 @@ mod tests {
         assert!(!report.violations_for("4B:ACC").is_empty());
         let row = report.correlation.for_goal("4").unwrap();
         assert!(row.hits > 0);
+    }
+
+    #[test]
+    fn scenario_reports_round_trip_through_serde() {
+        let report = run(&catalog::scenario(9), DefectSet::thesis()).unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        // The series log is `#[serde(skip)]`: it deserializes to its
+        // `Default` and everything else round-trips exactly.
+        assert_eq!(back.series, SeriesLog::default());
+        let stripped = ScenarioReport {
+            series: SeriesLog::default(),
+            ..report
+        };
+        assert_eq!(back, stripped);
     }
 }

@@ -24,7 +24,11 @@ pub fn violation_table(report: &ScenarioReport) -> String {
         },
         if report.collision { ", collision" } else { "" },
     );
-    let _ = writeln!(out, "{:<8} {:>10} {:>12} {:>10}", "monitor", "onset (s)", "duration (ms)", "count");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>12} {:>10}",
+        "monitor", "onset (s)", "duration (ms)", "count"
+    );
     if report.violations.is_empty() {
         let _ = writeln!(out, "(no violations detected)");
     }
@@ -40,7 +44,11 @@ pub fn violation_table(report: &ScenarioReport) -> String {
             );
         }
     }
-    let _ = writeln!(out, "\nClassification (window ±{} ms):", crate::runner::CORRELATION_WINDOW_TICKS);
+    let _ = writeln!(
+        out,
+        "\nClassification (window ±{} ms):",
+        report.config.correlation_window_ms
+    );
     let _ = write!(out, "{}", report.correlation);
     out
 }
@@ -52,7 +60,10 @@ pub fn monitoring_matrix() -> String {
     let suite = esafe_vehicle::goals::build_suite(&params).expect("goal tables compile");
     let locations = ["Vehicle", "Arbiter", "CA", "RCA", "PA", "LCA", "ACC"];
     let mut out = String::new();
-    let _ = writeln!(out, "Monitoring locations of goals and subgoals (Table 5.3)");
+    let _ = writeln!(
+        out,
+        "Monitoring locations of goals and subgoals (Table 5.3)"
+    );
     let _ = write!(out, "{:<8}", "id");
     for l in locations {
         let _ = write!(out, " {l:>8}");
@@ -121,7 +132,12 @@ pub fn series_json(report: &ScenarioReport) -> Result<String, serde_json::Error>
     let pairs: Vec<(String, Vec<(f64, f64)>)> = report
         .series
         .names()
-        .map(|n| (n.to_owned(), report.series.series(n).unwrap_or(&[]).to_vec()))
+        .map(|n| {
+            (
+                n.to_owned(),
+                report.series.series(n).unwrap_or(&[]).to_vec(),
+            )
+        })
         .collect();
     serde_json::to_string_pretty(&pairs)
 }

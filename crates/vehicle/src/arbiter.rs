@@ -96,7 +96,11 @@ impl Subsystem for Arbiter {
         if let Some(f) = winner {
             if pedal && !self.defects.acc_throttle_handoff_glitch {
                 let req = real(prev, &sig::accel_request(f), 0.0);
-                let overridable = if speed >= 0.0 { req >= -2.0 } else { req <= 2.0 };
+                let overridable = if speed >= 0.0 {
+                    req >= -2.0
+                } else {
+                    req <= 2.0
+                };
                 if overridable {
                     winner = None;
                 }
@@ -159,8 +163,8 @@ impl Subsystem for Arbiter {
         // (negative steps — braking — are always allowed). The thesis
         // implementation forwarded raw request values, part of the same
         // incomplete-handoff finding as the override defect (Fig. 5.7).
-        let raw_forwarding = self.defects.acc_throttle_handoff_glitch
-            || self.defects.acc_ghost_accel_from_stop;
+        let raw_forwarding =
+            self.defects.acc_throttle_handoff_glitch || self.defects.acc_ghost_accel_from_stop;
         if src != "DRIVER" && !raw_forwarding {
             let max_step = 0.95 * self.params.jerk_limit * t.dt_seconds();
             if speed >= 0.0 {
@@ -211,7 +215,11 @@ mod tests {
             .with_bool(sig::DRIVER_STEERING_ACTIVE, false)
             .with_real(sig::DRIVER_STEERING, 0.0);
         for f in sig::FEATURES {
-            s.extend(crate::features::FeatureOutputs::initial_state(f).into_iter().map(|(k, v)| (k.clone(), v.clone())));
+            s.extend(
+                crate::features::FeatureOutputs::initial_state(f)
+                    .into_iter()
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            );
             s.set(sig::hmi_engage(f), false);
         }
         s
@@ -364,7 +372,11 @@ mod tests {
         let out = tick(&mut arb, &s);
         assert!(boolean(&out, "pa.selected"));
         assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("PA")));
-        assert_eq!(real(&out, sig::ACCEL_CMD, 1.0), 0.0, "request 0.5 not forwarded");
+        assert_eq!(
+            real(&out, sig::ACCEL_CMD, 1.0),
+            0.0,
+            "request 0.5 not forwarded"
+        );
     }
 
     #[test]

@@ -130,6 +130,98 @@ impl DefectSet {
         DefectSet::default()
     }
 
+    /// Every single-defect configuration, named by its field: the cells
+    /// of the defect-ablation axis.
+    pub fn singles() -> Vec<(&'static str, DefectSet)> {
+        let none = DefectSet::none();
+        vec![
+            (
+                "pa_requests_while_disabled",
+                DefectSet {
+                    pa_requests_while_disabled: true,
+                    ..none
+                },
+            ),
+            (
+                "steering_arbitration_reversed",
+                DefectSet {
+                    steering_arbitration_reversed: true,
+                    ..none
+                },
+            ),
+            (
+                "ca_intermittent_braking",
+                DefectSet {
+                    ca_intermittent_braking: true,
+                    ..none
+                },
+            ),
+            (
+                "acc_requests_while_disengaged",
+                DefectSet {
+                    acc_requests_while_disengaged: true,
+                    ..none
+                },
+            ),
+            (
+                "acc_throttle_handoff_glitch",
+                DefectSet {
+                    acc_throttle_handoff_glitch: true,
+                    ..none
+                },
+            ),
+            (
+                "acc_engage_handoff_delay",
+                DefectSet {
+                    acc_engage_handoff_delay: true,
+                    ..none
+                },
+            ),
+            (
+                "lca_steering_ignored",
+                DefectSet {
+                    lca_steering_ignored: true,
+                    ..none
+                },
+            ),
+            (
+                "no_reverse_inhibit",
+                DefectSet {
+                    no_reverse_inhibit: true,
+                    ..none
+                },
+            ),
+            (
+                "rca_never_engages",
+                DefectSet {
+                    rca_never_engages: true,
+                    ..none
+                },
+            ),
+            (
+                "acc_engages_in_reverse",
+                DefectSet {
+                    acc_engages_in_reverse: true,
+                    ..none
+                },
+            ),
+            (
+                "pa_request_not_forwarded",
+                DefectSet {
+                    pa_request_not_forwarded: true,
+                    ..none
+                },
+            ),
+            (
+                "acc_ghost_accel_from_stop",
+                DefectSet {
+                    acc_ghost_accel_from_stop: true,
+                    ..none
+                },
+            ),
+        ]
+    }
+
     /// Number of enabled defects.
     pub fn count(&self) -> usize {
         [
@@ -160,6 +252,22 @@ mod tests {
     fn thesis_set_enables_all_twelve() {
         assert_eq!(DefectSet::thesis().count(), 12);
         assert_eq!(DefectSet::none().count(), 0);
+    }
+
+    #[test]
+    fn singles_cover_every_defect_exactly_once() {
+        let singles = DefectSet::singles();
+        assert_eq!(singles.len(), 12, "one cell per defect field");
+        for (name, set) in &singles {
+            assert_eq!(set.count(), 1, "{name} must enable exactly one defect");
+        }
+        // Twelve pairwise-distinct one-defect sets over twelve fields can
+        // only be the twelve distinct fields: together they span thesis().
+        for (i, (name_a, a)) in singles.iter().enumerate() {
+            for (name_b, b) in &singles[i + 1..] {
+                assert_ne!(a, b, "{name_a} and {name_b} repeat a defect");
+            }
+        }
     }
 
     #[test]

@@ -92,10 +92,7 @@ impl HostDynamics {
             scene,
             accel_lag: FirstOrderLag::new(params.accel_tau_s, 0.0),
             steering_lag: FirstOrderLag::new(params.steering_tau_s, 0.0),
-            lead_position: scene
-                .lead
-                .map(|o| o.initial_gap_m)
-                .unwrap_or(f64::INFINITY),
+            lead_position: scene.lead.map(|o| o.initial_gap_m).unwrap_or(f64::INFINITY),
             lead_speed: scene.lead.map(|o| o.speed).unwrap_or(0.0),
             rear_position: scene
                 .rear
@@ -246,7 +243,11 @@ mod tests {
         let params = VehicleParams::default();
         let mut sim = Simulator::new(1);
         sim.add(ConstCmd(1.0));
-        sim.add(HostDynamics::new(params, DefectSet::none(), Scene::default()));
+        sim.add(HostDynamics::new(
+            params,
+            DefectSet::none(),
+            Scene::default(),
+        ));
         sim.init(HostDynamics::initial_state(&Scene::default()));
         for _ in 0..2000 {
             sim.step();
@@ -263,7 +264,11 @@ mod tests {
         let params = VehicleParams::default();
         let mut sim = Simulator::new(1);
         sim.add(ConstCmd(-2.0));
-        sim.add(HostDynamics::new(params, DefectSet::none(), Scene::default()));
+        sim.add(HostDynamics::new(
+            params,
+            DefectSet::none(),
+            Scene::default(),
+        ));
         let mut init = HostDynamics::initial_state(&Scene::default());
         init.set(sig::HOST_SPEED, 1.0);
         sim.init(init);
@@ -324,7 +329,11 @@ mod tests {
         let params = VehicleParams::default();
         let mut sim = Simulator::new(1);
         sim.add(ConstCmd(-8.0));
-        sim.add(HostDynamics::new(params, DefectSet::none(), Scene::default()));
+        sim.add(HostDynamics::new(
+            params,
+            DefectSet::none(),
+            Scene::default(),
+        ));
         let mut init = HostDynamics::initial_state(&Scene::default());
         init.set(sig::HOST_SPEED, 10.0);
         sim.init(init);

@@ -212,7 +212,9 @@ mod tests {
             s = tick(acc, &s);
             // keep the world inputs pinned
             for (k, v) in prev.iter() {
-                if k.starts_with("hmi") || k.starts_with("host") || k.starts_with("world")
+                if k.starts_with("hmi")
+                    || k.starts_with("host")
+                    || k.starts_with("world")
                     || k.starts_with("driver")
                 {
                     s.set(k, v.clone());
@@ -307,10 +309,13 @@ mod tests {
         };
         let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects);
         let mut w = world(10.0, 15.0);
-        w.set(&sig::hmi_engage("ACC"), esafe_logic::Value::Bool(false));
+        w.set(sig::hmi_engage("ACC"), esafe_logic::Value::Bool(false));
         let s = run(&mut acc, &w, 10);
         assert!(!boolean(&s, "acc.active"));
-        assert!(real(&s, "acc.accel_request", 0.0) < -1.0, "brakes toward 0 m/s");
+        assert!(
+            real(&s, "acc.accel_request", 0.0) < -1.0,
+            "brakes toward 0 m/s"
+        );
     }
 
     #[test]
@@ -322,6 +327,10 @@ mod tests {
         let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects);
         let s = run(&mut acc, &world(0.0, 15.0), 100);
         assert!(!boolean(&s, "acc.active"), "never becomes active");
-        assert_eq!(real(&s, "acc.accel_request", 0.0), 0.8, "yet leaks a request");
+        assert_eq!(
+            real(&s, "acc.accel_request", 0.0),
+            0.8,
+            "yet leaks a request"
+        );
     }
 }

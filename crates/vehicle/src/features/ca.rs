@@ -78,7 +78,8 @@ impl Subsystem for CollisionAvoidance {
         if !enabled {
             self.engaged = false;
             self.engaged_ticks = 0;
-            self.out.publish(next, false, false, 0.0, 0.0, false, t.dt_seconds());
+            self.out
+                .publish(next, false, false, 0.0, 0.0, false, t.dt_seconds());
             return;
         }
 

@@ -170,6 +170,9 @@ mod tests {
         };
         let mut lca2 = LaneChangeAssist::new(VehicleParams::default(), defects);
         let s = run(&mut lca2, &w, 10);
-        assert!(boolean(&s, "lca.active"), "defect keeps LCA active in reverse");
+        assert!(
+            boolean(&s, "lca.active"),
+            "defect keeps LCA active in reverse"
+        );
     }
 }

@@ -121,14 +121,7 @@ mod tests {
 
     fn tick_at(pa: &mut ParkAssist, prev: &State, tick: u64) -> State {
         let mut next = prev.clone();
-        pa.step(
-            &SimTime {
-                tick,
-                dt_millis: 1,
-            },
-            prev,
-            &mut next,
-        );
+        pa.step(&SimTime { tick, dt_millis: 1 }, prev, &mut next);
         next
     }
 
@@ -149,10 +142,22 @@ mod tests {
         let mut pa = ParkAssist::new(VehicleParams::default(), defects);
         let w = State::new();
         // t = 1.0 s → +2; t = 5 s → 0; t = 9.5 s → −2; t = 10 s → 0.
-        assert_eq!(real(&tick_at(&mut pa, &w, 1000), "pa.accel_request", 0.0), 2.0);
-        assert_eq!(real(&tick_at(&mut pa, &w, 5000), "pa.accel_request", 1.0), 0.0);
-        assert_eq!(real(&tick_at(&mut pa, &w, 9500), "pa.accel_request", 0.0), -2.0);
-        assert_eq!(real(&tick_at(&mut pa, &w, 10000), "pa.accel_request", 1.0), 0.0);
+        assert_eq!(
+            real(&tick_at(&mut pa, &w, 1000), "pa.accel_request", 0.0),
+            2.0
+        );
+        assert_eq!(
+            real(&tick_at(&mut pa, &w, 5000), "pa.accel_request", 1.0),
+            0.0
+        );
+        assert_eq!(
+            real(&tick_at(&mut pa, &w, 9500), "pa.accel_request", 0.0),
+            -2.0
+        );
+        assert_eq!(
+            real(&tick_at(&mut pa, &w, 10000), "pa.accel_request", 1.0),
+            0.0
+        );
         // Never active while disabled.
         assert!(!boolean(&tick_at(&mut pa, &w, 1000), "pa.active"));
     }

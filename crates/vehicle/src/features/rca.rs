@@ -113,7 +113,10 @@ mod tests {
         let s = tick(&mut rca, &reversing_world(0.2));
         assert!(!boolean(&s, "rca.active"));
         assert_eq!(real(&s, "rca.accel_request", 1.0), 0.0);
-        assert!(boolean(&s, "rca.enabled"), "enable state is still published");
+        assert!(
+            boolean(&s, "rca.enabled"),
+            "enable state is still published"
+        );
     }
 
     #[test]
@@ -124,7 +127,10 @@ mod tests {
         assert!(!boolean(&s, "rca.active"));
         let s = tick(&mut rca, &reversing_world(1.0));
         assert!(boolean(&s, "rca.active"));
-        assert!(real(&s, "rca.accel_request", 0.0) > 0.0, "positive accel stops reverse");
+        assert!(
+            real(&s, "rca.accel_request", 0.0) > 0.0,
+            "positive accel stops reverse"
+        );
     }
 
     #[test]

@@ -53,11 +53,11 @@ fn goal(name: &str, class: GoalClass, informal: &str, formal: Expr) -> Goal {
 /// Conjunction over features of a per-feature formula template, with `{X}`
 /// replaced by the feature tag and `{x}` by its lowercase form.
 fn for_each_feature(features: &[&str], template: &str) -> Expr {
-    Expr::and_all(features.iter().map(|f| {
-        p(&template
-            .replace("{X}", f)
-            .replace("{x}", &f.to_lowercase()))
-    }))
+    Expr::and_all(
+        features
+            .iter()
+            .map(|f| p(&template.replace("{X}", f).replace("{x}", &f.to_lowercase()))),
+    )
 }
 
 /// Builds the nine goal specifications.
@@ -451,7 +451,11 @@ pub fn specs(params: &VehicleParams) -> Vec<GoalSpec> {
 pub fn build_suite(params: &VehicleParams) -> Result<MonitorSuite, EvalError> {
     let mut suite = MonitorSuite::new();
     for spec in specs(params) {
-        suite.add_goal(spec.id, Location::new("Vehicle"), spec.goal.formal().clone())?;
+        suite.add_goal(
+            spec.id,
+            Location::new("Vehicle"),
+            spec.goal.formal().clone(),
+        )?;
         if let Some(a) = &spec.arbiter_subgoal {
             suite.add_subgoal(
                 format!("{}A", spec.id),

@@ -26,10 +26,26 @@ pub fn control_graph() -> ControlGraph {
     g.add_var("powertrain.accel", "physical acceleration produced");
     g.add_var("chassis.steering", "physical steering produced");
     g.add_physical_link("powertrain.accel", sig::HOST_ACCEL, "plant response");
-    g.add_physical_link("powertrain.accel", sig::HOST_JERK, "derivative of plant response");
-    g.add_physical_link("powertrain.accel", sig::HOST_SPEED, "integrated plant response");
-    g.add_physical_link("powertrain.accel", sig::P_FORWARD, "motion direction derived");
-    g.add_physical_link("powertrain.accel", sig::P_BACKWARD, "motion direction derived");
+    g.add_physical_link(
+        "powertrain.accel",
+        sig::HOST_JERK,
+        "derivative of plant response",
+    );
+    g.add_physical_link(
+        "powertrain.accel",
+        sig::HOST_SPEED,
+        "integrated plant response",
+    );
+    g.add_physical_link(
+        "powertrain.accel",
+        sig::P_FORWARD,
+        "motion direction derived",
+    );
+    g.add_physical_link(
+        "powertrain.accel",
+        sig::P_BACKWARD,
+        "motion direction derived",
+    );
     g.add_physical_link("powertrain.accel", sig::P_STOPPED, "stopped band derived");
     g.add_physical_link("chassis.steering", sig::HOST_STEERING, "plant response");
 

@@ -7,34 +7,27 @@
 //! thesis's monitors uncovered in the research lab's partial
 //! implementation.
 //!
-//! # Example — catching the scenario-2 arbitration defect
+//! # Example — catching the rogue-PA defect through the harness
 //!
 //! ```
-//! use esafe_vehicle::builder::build_vehicle;
-//! use esafe_vehicle::config::{DefectSet, VehicleParams};
+//! use esafe_harness::Experiment;
+//! use esafe_vehicle::config::DefectSet;
 //! use esafe_vehicle::driver::DriverAction;
 //! use esafe_vehicle::dynamics::{Scene, SceneObject};
-//! use esafe_vehicle::{goals, probe};
+//! use esafe_vehicle::substrate::VehicleSubstrate;
 //!
-//! let params = VehicleParams::default();
-//! let mut suite = goals::build_suite(&params).unwrap();
-//! let mut sim = build_vehicle(
-//!     params,
+//! let substrate = VehicleSubstrate::new(
 //!     DefectSet::thesis(),
 //!     Scene { lead: Some(SceneObject::constant(20.0, 0.0)),
 //!             rear: None },
 //!     vec![(0.5, DriverAction::Enable("CA".into(), true)),
 //!          (1.0, DriverAction::Throttle(0.10))],
-//! );
-//! for _ in 0..500 {
-//!     sim.step();
-//!     let derived = probe::derive(sim.state(), &params);
-//!     suite.observe(&derived).unwrap();
-//! }
-//! suite.finish();
+//! )
+//! .with_duration_s(0.5);
+//! let report = Experiment::new(&substrate).run().unwrap();
 //! // The rogue PA requests violate subgoal 4B at PA within the first
 //! // half-second (the thesis's scenario-1 false positive).
-//! assert!(!suite.violations("4B:PA").unwrap().is_empty());
+//! assert!(!report.violations_for("4B:PA").is_empty());
 //! ```
 
 pub mod arbiter;
@@ -47,6 +40,8 @@ pub mod goals;
 pub mod icpa_model;
 pub mod probe;
 pub mod signals;
+pub mod substrate;
 
 pub use builder::build_vehicle;
 pub use config::{DefectSet, VehicleParams};
+pub use substrate::VehicleSubstrate;

@@ -7,9 +7,9 @@
 //! (§2.5, Peters & Parnas discussion).
 
 use crate::config::VehicleParams;
-use crate::features::{real, symbol};
 #[cfg(test)]
 use crate::features::boolean;
+use crate::features::{real, symbol};
 use crate::signals as sig;
 use esafe_logic::State;
 

@@ -1,0 +1,192 @@
+//! The vehicle's [`Substrate`] implementation: one scenario × defect
+//! configuration, runnable under the generic experiment harness.
+
+use crate::builder::build_vehicle;
+use crate::config::{DefectSet, VehicleParams};
+use crate::driver::DriverAction;
+use crate::dynamics::Scene;
+use crate::signals as sig;
+use crate::{goals, probe};
+use esafe_harness::Substrate;
+use esafe_logic::{EvalError, State};
+use esafe_monitor::MonitorSuite;
+use esafe_sim::Simulator;
+use std::borrow::Cow;
+
+/// One monitored vehicle run: the Chapter 5 substrate under a scene, a
+/// scripted driver, and a [`DefectSet`].
+///
+/// # Example
+///
+/// ```
+/// use esafe_harness::Experiment;
+/// use esafe_vehicle::config::DefectSet;
+/// use esafe_vehicle::driver::DriverAction;
+/// use esafe_vehicle::dynamics::{Scene, SceneObject};
+/// use esafe_vehicle::substrate::VehicleSubstrate;
+///
+/// let scene = Scene {
+///     lead: Some(SceneObject::constant(20.0, 0.0)),
+///     rear: None,
+/// };
+/// let script = vec![
+///     (0.5, DriverAction::Enable("CA".into(), true)),
+///     (1.0, DriverAction::Throttle(0.10)),
+/// ];
+/// let substrate = VehicleSubstrate::new(DefectSet::thesis(), scene, script)
+///     .with_label("defective-ca")
+///     .with_duration_s(20.0);
+/// let report = Experiment::new(&substrate).run().unwrap();
+/// // The thesis vehicle strikes the parked object and terminates early.
+/// assert_eq!(report.terminal_event.as_deref(), Some("collision"));
+/// assert!(report.terminated_early);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VehicleSubstrate {
+    /// Physical and control constants.
+    pub params: VehicleParams,
+    /// The injected defect configuration.
+    pub defects: DefectSet,
+    /// Scene objects around the host.
+    pub scene: Scene,
+    /// Scheduled driver/HMI actions.
+    pub script: Vec<(f64, DriverAction)>,
+    /// Scheduled run length, s.
+    pub duration_s: f64,
+    /// Signals recorded into the report's series log.
+    pub tracked: Vec<String>,
+    /// Configuration label used in reports.
+    pub label: String,
+}
+
+impl VehicleSubstrate {
+    /// Creates a substrate with default parameters, a 20 s schedule (every
+    /// thesis scenario's length), and no tracked signals.
+    pub fn new(defects: DefectSet, scene: Scene, script: Vec<(f64, DriverAction)>) -> Self {
+        VehicleSubstrate {
+            params: VehicleParams::default(),
+            defects,
+            scene,
+            script,
+            duration_s: 20.0,
+            tracked: Vec::new(),
+            label: "vehicle".to_owned(),
+        }
+    }
+
+    /// Replaces the vehicle parameters.
+    pub fn with_params(mut self, params: VehicleParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the scheduled run length in seconds.
+    pub fn with_duration_s(mut self, duration_s: f64) -> Self {
+        self.duration_s = duration_s;
+        self
+    }
+
+    /// Sets the signals to record each tick.
+    pub fn with_tracked(mut self, tracked: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.tracked = tracked.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the configuration label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl Substrate for VehicleSubstrate {
+    fn name(&self) -> &str {
+        "vehicle"
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn duration_ms(&self) -> u64 {
+        (self.duration_s * 1000.0).round() as u64
+    }
+
+    fn build_simulator(&self) -> Simulator {
+        build_vehicle(self.params, self.defects, self.scene, self.script.clone())
+    }
+
+    fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
+        goals::build_suite(&self.params)
+    }
+
+    /// The monitors and figures read the probe-derived signals, not the
+    /// raw blackboard.
+    fn observe<'a>(&self, raw: &'a State) -> Cow<'a, State> {
+        Cow::Owned(probe::derive(raw, &self.params))
+    }
+
+    /// A forward or rear collision aborts the run after the grace window
+    /// (the thesis's CarSim early termination).
+    fn terminal_event(&self, observed: &State) -> Option<&'static str> {
+        let hit = |name| {
+            observed
+                .get(name)
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false)
+        };
+        if hit(sig::COLLISION) {
+            Some("collision")
+        } else if hit(sig::REAR_COLLISION) {
+            Some("rear_collision")
+        } else {
+            None
+        }
+    }
+
+    fn tracked_signals(&self) -> &[String] {
+        &self.tracked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::SceneObject;
+    use esafe_harness::Experiment;
+
+    fn parked_ahead() -> Scene {
+        Scene {
+            lead: Some(SceneObject::constant(20.0, 0.0)),
+            rear: None,
+        }
+    }
+
+    fn creep_script() -> Vec<(f64, DriverAction)> {
+        vec![
+            (0.5, DriverAction::Enable("CA".into(), true)),
+            (1.0, DriverAction::Throttle(0.10)),
+        ]
+    }
+
+    #[test]
+    fn healthy_vehicle_never_terminates_early() {
+        let substrate = VehicleSubstrate::new(DefectSet::none(), parked_ahead(), creep_script());
+        let report = Experiment::new(&substrate).run().unwrap();
+        assert!(report.terminal_event.is_none());
+        assert!(!report.terminated_early);
+        assert_eq!(report.ticks, 20_000, "1 kHz × 20 s");
+        assert!(!report.any_violations());
+    }
+
+    #[test]
+    fn thesis_defects_collide_and_are_localized() {
+        let substrate = VehicleSubstrate::new(DefectSet::thesis(), parked_ahead(), creep_script())
+            .with_tracked(["host.speed"]);
+        let report = Experiment::new(&substrate).run().unwrap();
+        assert_eq!(report.terminal_event.as_deref(), Some("collision"));
+        assert!(report.terminated_early);
+        assert!(!report.violations_for("4B:PA").is_empty());
+        assert!(!report.series.downsample("host.speed", 16).is_empty());
+    }
+}

@@ -1,7 +1,8 @@
 //! The Chapter 4 elevator, end to end: print the ICPA that derives the
 //! Table 4.4 subgoals, run the healthy system, then inject the
 //! hoistway-runaway fault and watch the redundant coverage mask it (a
-//! false positive — thesis §3.4).
+//! false positive — thesis §3.4). Both runs go through the generic
+//! experiment harness.
 //!
 //! ```text
 //! cargo run --example elevator_safety
@@ -9,23 +10,28 @@
 
 use emergent_safety::core::render;
 use emergent_safety::elevator::faults::ElevatorFaults;
-use emergent_safety::elevator::{build_elevator, goals, icpa, ElevatorParams};
+use emergent_safety::elevator::{icpa, ElevatorParams, ElevatorSubstrate};
+use emergent_safety::harness::{Experiment, ExperimentConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = ElevatorParams::default();
 
     // The documented analysis: Tables 4.1–4.4 in one artifact.
-    println!("{}", render::icpa_table(&icpa::door_or_stopped_icpa(&params)));
+    println!(
+        "{}",
+        render::icpa_table(&icpa::door_or_stopped_icpa(&params))
+    );
+
+    // A ±50 ms correlation window: 5 ticks at the elevator's 10 ms period.
+    let config = ExperimentConfig {
+        correlation_window_ms: 50,
+        ..ExperimentConfig::default()
+    };
 
     // Healthy run: 2 simulated minutes of random passenger traffic.
-    let mut suite = goals::build_suite(&params)?;
-    let mut sim = build_elevator(params, ElevatorFaults::none(), 7);
-    for _ in 0..12_000 {
-        sim.step();
-        suite.observe(sim.state())?;
-    }
-    suite.finish();
-    println!("healthy run:\n{}", suite.correlate(5));
+    let healthy = ElevatorSubstrate::new(ElevatorFaults::none(), 7).with_ticks(12_000);
+    let report = Experiment::new(&healthy).with_config(config).run()?;
+    println!("healthy run:\n{}", report.correlation);
 
     // Inject the runaway: the drive controller loses its hoistway guard
     // and sticks UP. The emergency brake (the secondary redundancy leg)
@@ -35,18 +41,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hoistway_guard_missing: true,
         ..ElevatorFaults::none()
     };
-    let mut suite = goals::build_suite(&params)?;
-    let mut sim = build_elevator(params, faults, 7);
-    for _ in 0..6_000 {
-        sim.step();
-        suite.observe(sim.state())?;
-    }
-    suite.finish();
-    let report = suite.correlate(5);
-    println!("runaway drive, emergency brake alive:\n{report}");
-    let row = report.for_goal("hoistway").expect("goal registered");
+    let runaway = ElevatorSubstrate::new(faults, 7).with_ticks(6_000);
+    let report = Experiment::new(&runaway).with_config(config).run()?;
+    println!(
+        "runaway drive, emergency brake alive:\n{}",
+        report.correlation
+    );
+    let row = report
+        .correlation
+        .for_goal("hoistway")
+        .expect("goal registered");
     assert_eq!(row.goal_violations, 0, "the secondary leg saved the car");
-    assert!(row.false_positives > 0, "but the monitors exposed the defect");
+    assert!(
+        row.false_positives > 0,
+        "but the monitors exposed the defect"
+    );
     println!(
         "primary-subgoal false positives exposed the hidden defect while \
          the system stayed safe ✓"

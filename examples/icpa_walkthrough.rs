@@ -63,11 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 5 tactic: introduce the actuation goal — shift control from the
     // sensed variable to the drive command.
-    let app = tactics::introduce_actuation(
-        goal.formal(),
-        "elevator_stopped",
-        "drive_command_stop",
-    );
+    let app = tactics::introduce_actuation(goal.formal(), "elevator_stopped", "drive_command_stop");
     println!(
         "tactic `{}` derived: {}  (machine-verified: {:?})",
         TacticKind::IntroduceActuationGoal,

@@ -27,12 +27,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verdict = classify(&parent, &[vec![g1.clone(), g2.clone(), assumption]])?;
     println!("classification: {verdict:?}");
     assert!(matches!(verdict, Composability::Emergent { .. }));
-    println!("weakest admissible X: {}", weakest_demon(&parent, &[g1, g2]));
+    println!(
+        "weakest admissible X: {}",
+        weakest_demon(&parent, &[g1, g2])
+    );
 
     // 4. Monitor the goal and subgoals hierarchically at run time.
     let mut suite = MonitorSuite::new();
-    suite.add_goal("G", Location::new("Vehicle"), parse("object_in_path -> stop_vehicle")?)?;
-    suite.add_subgoal("G.CA", "G", Location::new("CA"), parse("detected -> ca.stop_vehicle")?)?;
+    suite.add_goal(
+        "G",
+        Location::new("Vehicle"),
+        parse("object_in_path -> stop_vehicle")?,
+    )?;
+    suite.add_subgoal(
+        "G.CA",
+        "G",
+        Location::new("CA"),
+        parse("detected -> ca.stop_vehicle")?,
+    )?;
 
     // Tick 1: object present, detected, CA stopping — all satisfied.
     // Tick 2: object present but MISSED — the parent goal fires with no
@@ -56,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = suite.correlate(0);
     println!("\nrun-time classification:\n{report}");
     let row = report.for_goal("G").expect("goal registered");
-    assert_eq!(row.false_negatives, 1, "the miss shows up as a false negative");
+    assert_eq!(
+        row.false_negatives, 1,
+        "the miss shows up as a false negative"
+    );
     println!("false negatives = residual emergence detected at run time ✓");
     Ok(())
 }

@@ -19,10 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The thesis's partially implemented vehicle.
     let report = runner::run(&scenario, DefectSet::thesis())?;
     println!("{}", tables::violation_table(&report));
-    println!(
-        "{}",
-        tables::ascii_figure(&report, "arbiter.accel_cmd", 72)
-    );
+    println!("{}", tables::ascii_figure(&report, "arbiter.accel_cmd", 72));
     println!("{}", tables::ascii_figure(&report, "ca.selected", 72));
 
     assert!(report.terminated_early, "the run ends in a collision");

@@ -11,6 +11,7 @@
 //! | [`core`] | Emergence & composability formalism (Ch. 3), Indirect Control Path Analysis (Ch. 4), realizability catalog (Table 4.5 / Appendix B) |
 //! | [`monitor`] | Hierarchical run-time goal monitoring with hit / false-positive / false-negative correlation (Ch. 5) |
 //! | [`sim`] | Deterministic fixed-step simulation kernel |
+//! | [`harness`] | Substrate-generic experiment loop and rayon-parallel sweeps |
 //! | [`elevator`] | The Ch. 4 distributed elevator substrate |
 //! | [`vehicle`] | The Ch. 5 semi-autonomous vehicle substrate with the thesis's defect population |
 //! | [`scenarios`] | The ten evaluation scenarios, violation tables (D.1–D.11), figure series (5.2–5.15) |
@@ -46,6 +47,7 @@
 
 pub use esafe_core as core;
 pub use esafe_elevator as elevator;
+pub use esafe_harness as harness;
 pub use esafe_logic as logic;
 pub use esafe_monitor as monitor;
 pub use esafe_scenarios as scenarios;

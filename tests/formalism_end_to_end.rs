@@ -37,23 +37,16 @@ fn table_4_4_subgoals_are_realizable_by_the_controller_pair() {
     let door_ctl = graph.agent("DoorController").unwrap();
     let drive_ctl = graph.agent("DriveController").unwrap();
     // Shared responsibility: the pair jointly realizes both subgoals.
-    assert!(check_realizable_by_all(
-        &egoals::door_controller_subgoal(),
-        &[door_ctl, drive_ctl]
-    )
-    .is_ok());
-    assert!(check_realizable_by_all(
-        &egoals::drive_controller_subgoal(),
-        &[door_ctl, drive_ctl]
-    )
-    .is_ok());
+    assert!(
+        check_realizable_by_all(&egoals::door_controller_subgoal(), &[door_ctl, drive_ctl]).is_ok()
+    );
+    assert!(
+        check_realizable_by_all(&egoals::drive_controller_subgoal(), &[door_ctl, drive_ctl])
+            .is_ok()
+    );
     // Neither alone realizes the other's subgoal: DoorController cannot
     // control the drive command.
-    assert!(check_realizable_by_all(
-        &egoals::drive_controller_subgoal(),
-        &[door_ctl]
-    )
-    .is_err());
+    assert!(check_realizable_by_all(&egoals::drive_controller_subgoal(), &[door_ctl]).is_err());
 }
 
 #[test]
@@ -75,7 +68,10 @@ fn or_reduced_feature_subgoals_are_restrictive_not_equivalent() {
     let conditional = parse("selected -> request_below").unwrap();
     let unconditional = parse("always(request_below)").unwrap();
     let c = compose::classify(&conditional, &[vec![unconditional]]).unwrap();
-    assert!(matches!(c, Composability::ComposableWithRestriction { excluded_models: 1 }));
+    assert!(matches!(
+        c,
+        Composability::ComposableWithRestriction { excluded_models: 1 }
+    ));
 }
 
 #[test]
@@ -83,8 +79,14 @@ fn hoistway_redundancy_classifies_as_redundant_composition() {
     // Two redundancy legs, each sufficient: primary stop or emergency
     // brake. Modeled propositionally: G = car_arrested, legs imply it.
     let parent = parse("arrested").unwrap();
-    let primary = vec![parse("drive_stop").unwrap(), parse("drive_stop -> arrested").unwrap()];
-    let secondary = vec![parse("ebrake").unwrap(), parse("ebrake -> arrested").unwrap()];
+    let primary = vec![
+        parse("drive_stop").unwrap(),
+        parse("drive_stop -> arrested").unwrap(),
+    ];
+    let secondary = vec![
+        parse("ebrake").unwrap(),
+        parse("ebrake -> arrested").unwrap(),
+    ];
     let c = compose::classify(&parent, &[primary, secondary]).unwrap();
     // Each leg entails the parent but the parent can hold without either
     // (e.g. friction): partially composable with redundancy — the angel Y.
@@ -121,14 +123,22 @@ fn monitoring_estimates_match_static_classification() {
     let parent = parse("a && b").unwrap();
     let sub = parse("a").unwrap();
     let c = compose::classify(&parent, &[vec![sub.clone()]]).unwrap();
-    assert!(matches!(c, Composability::EmergentPartiallyComposable { demon_models: 1 }));
+    assert!(matches!(
+        c,
+        Composability::EmergentPartiallyComposable { demon_models: 1 }
+    ));
 
     let mut suite = emergent_safety::monitor::MonitorSuite::new();
     suite
         .add_goal("G", emergent_safety::monitor::Location::new("sys"), parent)
         .unwrap();
     suite
-        .add_subgoal("G1", "G", emergent_safety::monitor::Location::new("sub"), sub)
+        .add_subgoal(
+            "G1",
+            "G",
+            emergent_safety::monitor::Location::new("sub"),
+            sub,
+        )
         .unwrap();
     use emergent_safety::logic::State;
     for (a, b) in [(true, true), (true, false), (true, true)] {
@@ -139,5 +149,8 @@ fn monitoring_estimates_match_static_classification() {
     suite.finish();
     let row = suite.correlate(0);
     let g = row.for_goal("G").unwrap();
-    assert_eq!(g.false_negatives, 1, "the demon region showed up at run time");
+    assert_eq!(
+        g.false_negatives, 1,
+        "the demon region showed up at run time"
+    );
 }

@@ -1,0 +1,96 @@
+//! Cross-crate determinism: the harness must produce byte-identical
+//! reports for identical configurations on both substrates, and the
+//! rayon-parallel sweep path must match the serial reference exactly.
+
+use emergent_safety::elevator::faults::ElevatorFaults;
+use emergent_safety::elevator::ElevatorSubstrate;
+use emergent_safety::harness::{Experiment, RunReport, Sweep};
+use emergent_safety::scenarios::{catalog, grid, runner};
+use emergent_safety::vehicle::config::DefectSet;
+
+/// Serializes a report with the series stripped (the `#[serde(skip)]`
+/// field), then byte-compares — the strongest equality serde can see.
+fn json(report: &RunReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+#[test]
+fn vehicle_runs_are_byte_identical_per_scenario() {
+    let scenario = catalog::scenario(1);
+    let substrate = runner::substrate(&scenario, DefectSet::thesis());
+    let run = || {
+        Experiment::new(&substrate)
+            .with_config(runner::thesis_config())
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same scenario must reproduce exactly");
+    assert_eq!(json(&a), json(&b));
+}
+
+#[test]
+fn elevator_runs_are_byte_identical_per_seed() {
+    let substrate = ElevatorSubstrate::new(ElevatorFaults::none(), 42).with_ticks(2000);
+    let a = Experiment::new(&substrate).run().unwrap();
+    let b = Experiment::new(&substrate).run().unwrap();
+    assert_eq!(a, b, "same seed must reproduce exactly");
+    assert_eq!(json(&a), json(&b));
+}
+
+#[test]
+fn vehicle_grid_parallel_matches_serial_over_eight_cells() {
+    let configs = vec![
+        ("none".to_owned(), DefectSet::none()),
+        ("thesis (all)".to_owned(), DefectSet::thesis()),
+        (
+            "ca_intermittent_braking".to_owned(),
+            DefectSet {
+                ca_intermittent_braking: true,
+                ..DefectSet::none()
+            },
+        ),
+        (
+            "pa_requests_while_disabled".to_owned(),
+            DefectSet {
+                pa_requests_while_disabled: true,
+                ..DefectSet::none()
+            },
+        ),
+    ];
+    let cells = grid::cells(&[1, 2], &configs);
+    assert_eq!(cells.len(), 8);
+    let parallel = grid::run_parallel(cells.clone()).unwrap();
+    let serial = grid::run_serial(cells).unwrap();
+    assert_eq!(parallel.aggregate(), serial.aggregate());
+    assert_eq!(parallel, serial, "every report must match, in cell order");
+    // The sweep must actually exercise the defect structure: the thesis
+    // cells collide, the fixed cells stay clean.
+    assert!(
+        parallel
+            .for_label("scenario-1/thesis (all)")
+            .unwrap()
+            .terminated_early
+    );
+    assert!(!parallel
+        .for_label("scenario-1/none")
+        .unwrap()
+        .any_violations());
+}
+
+#[test]
+fn elevator_seed_sweep_parallel_matches_serial_over_eight_cells() {
+    let sweep = Sweep::new((0..8u64).collect::<Vec<_>>()).with_base_seed(2009);
+    let build = |_cell: &u64, seed: u64| {
+        ElevatorSubstrate::new(ElevatorFaults::none(), seed).with_ticks(1500)
+    };
+    let parallel = sweep.run(build).unwrap();
+    let serial = sweep.run_serial(build).unwrap();
+    assert_eq!(parallel.aggregate(), serial.aggregate());
+    assert_eq!(parallel, serial);
+    // Deterministic per-cell seeds give every cell distinct traffic.
+    let labels: std::collections::BTreeSet<&String> =
+        parallel.runs.iter().map(|r| &r.label).collect();
+    assert_eq!(labels.len(), 8, "cell seeds must be distinct");
+}

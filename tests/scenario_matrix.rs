@@ -25,7 +25,10 @@ fn every_scenario_is_clean_on_the_fixed_system() {
                 .map(|(id, v)| (id.clone(), v.len()))
                 .collect::<Vec<_>>()
         );
-        assert!(!report.collision, "scenario {n} fixed system must not crash");
+        assert!(
+            !report.collision,
+            "scenario {n} fixed system must not crash"
+        );
     }
 }
 
@@ -53,7 +56,10 @@ fn scenario_1_false_negatives_show_partial_composability() {
     assert!((9_400..9_800).contains(&r.violations_for("2B:PA")[1].start_tick));
     assert_eq!(r.violations_for("4B:PA").len(), 1);
     // CA's cancel edge trips its jerk-request subgoal for exactly 1 ms.
-    assert!(r.violations_for("2B:CA").iter().all(|v| v.duration_ticks() == 1));
+    assert!(r
+        .violations_for("2B:CA")
+        .iter()
+        .all(|v| v.duration_ticks() == 1));
 }
 
 #[test]
@@ -61,12 +67,23 @@ fn scenario_2_goal_3_fires_and_terminates_earlier() {
     let (r1, r2) = (thesis(1), thesis(2));
     assert!(!r2.violations_for("3").is_empty(), "goal 3 must fire");
     assert!(!r2.violations_for("3A").is_empty());
-    assert!(r2.end_time_s < r1.end_time_s, "thesis: 12.588 s vs 12.681 s");
+    assert!(
+        r2.end_time_s < r1.end_time_s,
+        "thesis: 12.588 s vs 12.681 s"
+    );
     // The violation begins when PA's engagement captures the command
     // (thesis: a 27 ms violation running into the termination).
     let v3 = r2.violations_for("3")[0];
-    assert!((12_440..12_700).contains(&v3.start_tick), "at {}", v3.start_tick);
-    assert!(v3.duration_ticks() >= 10, "lasts {} ticks", v3.duration_ticks());
+    assert!(
+        (12_440..12_700).contains(&v3.start_tick),
+        "at {}",
+        v3.start_tick
+    );
+    assert!(
+        v3.duration_ticks() >= 10,
+        "lasts {} ticks",
+        v3.duration_ticks()
+    );
 }
 
 #[test]
@@ -90,10 +107,7 @@ fn scenario_5_handoff_delay_anchor() {
     let r = thesis(5);
     // The throttle is released at 10.0 s; ACC becomes active 101 ms later
     // (thesis Fig. 5.9: control gained 0.101 s after release).
-    let active = r
-        .series
-        .series("acc.active")
-        .expect("recorded signal");
+    let active = r.series.series("acc.active").expect("recorded signal");
     let gained = active
         .iter()
         .find(|(t, v)| *t > 10.0 && *v > 0.5)
@@ -110,7 +124,10 @@ fn scenario_6_reverse_motion_with_features_selected() {
     let r = thesis(6);
     // Fig. 5.11: the speed goes negative while LCA/ACC stay selected.
     let speeds = r.series.series("host.speed").expect("recorded");
-    assert!(speeds.iter().any(|(_, v)| *v < -0.05), "speed must go negative");
+    assert!(
+        speeds.iter().any(|(_, v)| *v < -0.05),
+        "speed must go negative"
+    );
     let row8 = r.correlation.for_goal("8").unwrap();
     assert!(row8.goal_violations > 0 && row8.false_negatives == 0);
     // Fig. 5.10: LCA is granted control 1 ms after engagement (5.0 s) but
@@ -123,7 +140,10 @@ fn scenario_6_reverse_motion_with_features_selected() {
         .expect("LCA activates");
     assert!((5.0..5.01).contains(&granted), "granted at {granted}");
     let steering = r.series.series("arbiter.steering_cmd").expect("recorded");
-    assert!(steering.iter().all(|(_, v)| v.abs() < 1e-9), "command frozen");
+    assert!(
+        steering.iter().all(|(_, v)| v.abs() < 1e-9),
+        "command frozen"
+    );
 }
 
 #[test]
@@ -146,7 +166,11 @@ fn scenario_8_reverse_acc_selection_anchor() {
     // Fig. 5.13: engaged at 2.0 s, selected as the source at 2.05 s.
     let v8 = r.violations_for("8");
     assert!(!v8.is_empty());
-    assert!((2_040..2_060).contains(&v8[0].start_tick), "at {}", v8[0].start_tick);
+    assert!(
+        (2_040..2_060).contains(&v8[0].start_tick),
+        "at {}",
+        v8[0].start_tick
+    );
     assert!(!r.violations_for("8B:ACC").is_empty());
 }
 

@@ -1,0 +1,161 @@
+//! Offline stand-in for `criterion`, covering the bench API this
+//! workspace uses: `criterion_group!`/`criterion_main!`, `Criterion`
+//! with `bench_function`/`benchmark_group`, groups with `sample_size`,
+//! `bench_function`, `bench_with_input`, and `finish`, and
+//! `BenchmarkId`. Each benchmark runs a short warm-up plus a fixed
+//! sample count and prints mean wall-clock time per iteration — enough
+//! to compare runs locally without the statistical machinery.
+
+use std::fmt;
+use std::time::Instant;
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    samples: usize,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, recording mean nanoseconds per iteration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / self.samples as f64);
+    }
+}
+
+fn run_benchmark(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        mean_ns: None,
+    };
+    f(&mut b);
+    match b.mean_ns {
+        Some(ns) if ns >= 1_000_000.0 => {
+            println!("bench {label:<48} {:>12.3} ms/iter", ns / 1_000_000.0);
+        }
+        Some(ns) if ns >= 1_000.0 => {
+            println!("bench {label:<48} {:>12.3} us/iter", ns / 1_000.0);
+        }
+        Some(ns) => println!("bench {label:<48} {ns:>12.1} ns/iter"),
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.samples, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,419 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace
+//! uses: the [`Strategy`] trait with `prop_map`, `prop_recursive`, and
+//! `boxed`; tuple/range/`Just` strategies; `prop_oneof!`;
+//! `collection::vec`; `array::uniform4`; `any::<bool>()`; and the
+//! `proptest!` test macro with `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from the
+//! test name), and assertion failures panic immediately — there is no
+//! shrinking, so a failing case reports exactly the generated inputs.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Cases generated per `proptest!` test.
+pub const CASES: u32 = 64;
+
+/// The deterministic case generator.
+pub mod test_runner {
+    /// A splitmix64 generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Seeds from a test name (FNV-1a hash).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Rng { state: h }
+        }
+
+        /// The next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform index below `n`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "cannot pick from an empty set");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+use test_runner::Rng;
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<R, F: Fn(Self::Value) -> R>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `expand`
+    /// wraps an inner strategy into composite cases. Recursion is bounded
+    /// by `depth`; the node-count and branching hints of real proptest are
+    /// accepted but unused.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let expanded = expand(current).boxed();
+            let leaf = leaf.clone();
+            current = BoxedStrategy(Rc::new(move |rng: &mut Rng| {
+                // Favor composite nodes; the chain bottoms out at `leaf`.
+                if rng.below(4) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    expanded.generate(rng)
+                }
+            }));
+        }
+        current
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut Rng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, R, F: Fn(S::Value) -> R> Strategy for Map<S, F> {
+    type Value = R;
+    fn generate(&self, rng: &mut Rng) -> R {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between boxed alternatives (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let span = self.end.checked_sub(self.start).expect("non-empty range");
+                assert!(span > 0, "cannot sample an empty range");
+                self.start + (rng.next_u64() % (span as u64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut Rng) -> i64 {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "cannot sample an empty range");
+        self.start + (rng.next_u64() % span) as i64
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn generate(&self, rng: &mut Rng) -> i32 {
+        let span = (i64::from(self.end) - i64::from(self.start)) as u64;
+        assert!(span > 0, "cannot sample an empty range");
+        self.start + (rng.next_u64() % span) as i32
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Types with a canonical `any()` strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for `any::<bool>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// The canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Rng, Strategy};
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`]: a range or an exact
+    /// size.
+    pub trait IntoSizeRange {
+        /// The `(min, max_exclusive)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    /// A `Vec` strategy with a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = len.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = self.min + rng.below(self.max - self.min);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::{Rng, Strategy};
+
+    /// A `[T; 4]` strategy.
+    pub struct Uniform4<S> {
+        element: S,
+    }
+
+    /// Generates arrays of four `element` values.
+    pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+        Uniform4 { element }
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn generate(&self, rng: &mut Rng) -> [S::Value; 4] {
+            [
+                self.element.generate(rng),
+                self.element.generate(rng),
+                self.element.generate(rng),
+                self.element.generate(rng),
+            ]
+        }
+    }
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+/// Property assertion (stub: panics like `assert!`, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion (stub: panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::Rng::from_name(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let ( $($arg,)+ ) =
+                        ( $( $crate::Strategy::generate(&($strat), &mut __rng), )+ );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The proptest-style glob import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn small_expr() -> impl Strategy<Value = u64> {
+        let leaf = prop_oneof![Just(1u64), (2u64..5).prop_map(|x| x)];
+        leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn generated_values_in_domain(x in 3u64..9, flag in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            let _ = flag;
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(v in small_expr()) {
+            prop_assert!(v >= 1);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            v in crate::collection::vec(any::<bool>(), 2..6),
+            a in crate::array::uniform4(any::<bool>()),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(a.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::Rng::from_name("t");
+        let mut b = crate::test_runner::Rng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

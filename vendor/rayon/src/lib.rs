@@ -1,0 +1,163 @@
+//! Offline stand-in for `rayon`, covering the data-parallel subset this
+//! workspace uses: `par_iter`/`into_par_iter` → `map` → `collect`.
+//!
+//! Work is distributed over `std::thread::scope` with an atomic work
+//! index; results land in their input slot, so `collect` preserves input
+//! order and is deterministic regardless of thread interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The rayon-style glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelIterator};
+}
+
+/// Number of worker threads for a job of `len` items.
+fn thread_count(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len)
+        .max(1)
+}
+
+/// Runs `f` over `items` on multiple threads, returning the results in
+/// input order.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item taken once");
+                *results[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("slot filled"))
+        .collect()
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator, executed on `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Conversion into a by-value parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Conversion into a by-reference parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send;
+    /// Borrows into a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The subset of rayon's `ParallelIterator` this workspace needs.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Maps each element through `f` (executed at `collect`).
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> ParMap<Self::Item, F>;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..257).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let input = vec!["a".to_string(), "bb".into(), "ccc".into()];
+        let lens: Vec<usize> = input.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+        drop(input);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

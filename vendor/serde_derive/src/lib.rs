@@ -1,0 +1,446 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde`'s [`Serialize`]/[`Deserialize`] traits,
+//! which are defined over a self-describing content tree rather than the
+//! upstream visitor machinery. The derive supports the shapes this
+//! workspace actually uses: named structs (with `#[serde(skip)]` fields),
+//! tuple structs, unit structs, and enums with unit, tuple, and named
+//! variants. Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attributes, returning whether any of them was
+/// a `#[serde(skip*)]` marker.
+fn eat_attrs(it: &mut TokenIter) -> bool {
+    let mut skip = false;
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        if let Some(TokenTree::Group(g)) = it.next() {
+            skip |= attr_is_serde_skip(&g.stream());
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: &TokenStream) -> bool {
+    let mut it = attr.clone().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string().starts_with("skip"))),
+        _ => false,
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility prefix.
+fn eat_visibility(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive stub: expected {what}, found {other:?}"),
+    }
+}
+
+/// Consumes tokens of one type, stopping after the top-level `,` (angle
+/// brackets tracked by depth; delimited groups are atomic tokens).
+fn eat_type_until_comma(it: &mut TokenIter) {
+    let mut depth = 0i32;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                it.next();
+                return;
+            }
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        let skip = eat_attrs(&mut it);
+        eat_visibility(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            break;
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive stub: expected `:` after field, found {other:?}"),
+        }
+        eat_type_until_comma(&mut it);
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated entries of a tuple-struct or
+/// tuple-variant body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut it = ts.into_iter().peekable();
+    if it.peek().is_none() {
+        return 0;
+    }
+    let mut count = 0;
+    loop {
+        eat_attrs(&mut it);
+        eat_visibility(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        eat_type_until_comma(&mut it);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        eat_attrs(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            break;
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    eat_attrs(&mut it);
+    eat_visibility(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "item name");
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stub: generic type `{name}` is not supported");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde derive stub: unexpected struct body {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive stub: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive stub: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_content(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(0) | Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(\"{vn}\"\
+                             .to_string(), ::serde::Serialize::to_content(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Content::Map(vec![(\"{vn}\"\
+                                 .to_string(), ::serde::Content::Seq(vec![{elems}]))]),",
+                                binds = binds.join(", "),
+                                elems = elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), \
+                                         ::serde::Serialize::to_content({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Content::Map(vec![{entries}]\
+                                 ))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_construction(path: &str, fields: &[Field], map_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::core::default::Default::default()", f.name)
+            } else {
+                format!(
+                    "{n}: ::serde::Deserialize::from_content(::serde::map_field({m}, \"{n}\")?)?",
+                    n = f.name,
+                    m = map_var
+                )
+            }
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let construct = gen_named_construction(name, fields, "__m");
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected map for struct {name}\"))?;\n\
+                 ::core::result::Result::Ok({construct})"
+            )
+        }
+        Kind::TupleStruct(0) | Kind::UnitStruct => {
+            let construct = if matches!(item.kind, Kind::UnitStruct) {
+                name.clone()
+            } else {
+                format!("{name}()")
+            };
+            format!("let _ = __c; ::core::result::Result::Ok({construct})")
+        }
+        Kind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected seq for tuple struct {name}\"))?;\n\
+                 if __s.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 ::core::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(__val)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __s = __val.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected seq for {name}::{vn}\"))?;\n\
+                                 if __s.len() != {n} {{ return ::core::result::Result::Err(\
+                                 ::serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({elems}))\n\
+                                 }},",
+                                elems = elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let construct =
+                                gen_named_construction(&format!("{name}::{vn}"), fields, "__m");
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __m = __val.as_map().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected map for {name}::{vn}\"))?;\n\
+                                 ::core::result::Result::Ok({construct})\n\
+                                 }},",
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 \"unknown unit variant for {name}\")),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let __val = &__entries[0].1;\n\
+                 match __entries[0].0.as_str() {{\n\
+                 {datas}\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 \"unknown variant for {name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::core::result::Result::Err(::serde::DeError::custom(\
+                 \"expected variant encoding for {name}\")),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` (content-tree encoder).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (content-tree decoder).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}

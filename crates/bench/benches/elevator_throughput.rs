@@ -1,16 +1,17 @@
 //! Simulation throughput: elevator ticks per second with and without the
-//! goal monitors attached.
+//! goal monitors attached (both on the shared-table frame pipeline).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use esafe_elevator::{build_elevator, faults::ElevatorFaults, goals, ElevatorParams};
+use esafe_elevator::{build_elevator, faults::ElevatorFaults, goals, model, ElevatorParams};
 use std::hint::black_box;
 
 fn throughput(c: &mut Criterion) {
     let params = ElevatorParams::default();
+    let (table, sigs) = model::elevator_table(&params);
     let mut group = c.benchmark_group("elevator");
     group.bench_function("1000_ticks_unmonitored", |b| {
         b.iter(|| {
-            let mut sim = build_elevator(params, ElevatorFaults::none(), 5);
+            let mut sim = build_elevator(params, ElevatorFaults::none(), 5, &table, &sigs);
             for _ in 0..1000 {
                 sim.step();
             }
@@ -19,8 +20,8 @@ fn throughput(c: &mut Criterion) {
     });
     group.bench_function("1000_ticks_monitored", |b| {
         b.iter(|| {
-            let mut sim = build_elevator(params, ElevatorFaults::none(), 5);
-            let mut suite = goals::build_suite(&params).unwrap();
+            let mut sim = build_elevator(params, ElevatorFaults::none(), 5, &table, &sigs);
+            let mut suite = goals::build_suite(&table, &params).unwrap();
             for _ in 0..1000 {
                 sim.step();
                 suite.observe(sim.state()).unwrap();

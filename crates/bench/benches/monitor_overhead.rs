@@ -1,9 +1,11 @@
 //! Per-tick cost of run-time goal monitoring: one monitor across formula
-//! sizes, and the full 49-monitor vehicle suite.
+//! sizes, and the full 49-monitor vehicle suite — all on the id-compiled
+//! [`Frame`] path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use esafe_logic::{parse, CompiledMonitor, State};
+use esafe_logic::{parse, CompiledMonitor, SignalTable};
 use esafe_vehicle::config::VehicleParams;
+use esafe_vehicle::signals::vehicle_table;
 use std::hint::black_box;
 
 fn single_monitor(c: &mut Criterion) {
@@ -17,16 +19,19 @@ fn single_monitor(c: &mut Criterion) {
             "(held_for(p, 300ticks) && !once_within(q, 300ticks) && r) -> !s",
         ),
     ];
-    let state = State::new()
-        .with_bool("p", true)
-        .with_bool("q", false)
-        .with_bool("r", true)
-        .with_bool("s", false);
+    let mut b = SignalTable::builder();
+    let (p, q, r, s) = (b.bool("p"), b.bool("q"), b.bool("r"), b.bool("s"));
+    let table = b.finish();
+    let mut frame = table.frame();
+    frame.set(p, true);
+    frame.set(q, false);
+    frame.set(r, true);
+    frame.set(s, false);
     for (name, src) in cases {
         let expr = parse(src).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &expr, |b, e| {
-            let mut m = CompiledMonitor::compile(e).unwrap();
-            b.iter(|| black_box(m.observe(&state).unwrap()));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &expr, |bench, e| {
+            let mut m = CompiledMonitor::compile_in(e, &table).unwrap();
+            bench.iter(|| black_box(m.observe(&frame).unwrap()));
         });
     }
     group.finish();
@@ -35,17 +40,20 @@ fn single_monitor(c: &mut Criterion) {
 fn full_suite(c: &mut Criterion) {
     let params = VehicleParams::default();
     c.bench_function("vehicle_suite_49_monitors_tick", |b| {
-        let mut suite = esafe_vehicle::goals::build_suite(&params).unwrap();
-        // A representative derived state.
+        let (table, sigs) = vehicle_table();
+        let mut suite = esafe_vehicle::goals::build_suite(&table, &params).unwrap();
+        // A representative derived frame.
         let mut sim = esafe_vehicle::builder::build_vehicle(
             params,
             esafe_vehicle::config::DefectSet::none(),
             esafe_vehicle::dynamics::Scene::default(),
             vec![],
+            &table,
+            &sigs,
         );
         sim.step();
-        let state = esafe_vehicle::probe::derive(sim.state(), &params);
-        b.iter(|| suite.observe(black_box(&state)).unwrap());
+        let frame = esafe_vehicle::probe::derive(sim.state(), &sigs, &params);
+        b.iter(|| suite.observe(black_box(&frame)).unwrap());
     });
 }
 

@@ -5,12 +5,13 @@
 //! repro --table 5.1|5.2|5.3|4.1|4.5|b1..b13|d1..d10
 //! repro --figure 5.1..5.15
 //! repro --ablation [scenario]
-//! repro --grid           # full scenario × defect sweep, in parallel
-//! repro --all            # everything, in thesis order
-//! repro --json <scenario># dump a scenario's figure series as JSON
+//! repro --grid                 # full scenario × defect sweep, in parallel
+//! repro --grid --json <path>   # …plus a machine-readable timing summary
+//! repro --all                  # everything, in thesis order
+//! repro --json <scenario>      # dump a scenario's figure series as JSON
 //! ```
 
-use esafe_bench::{ablation, figure_map, full_grid_aggregate, thesis_run};
+use esafe_bench::{ablation, figure_map, full_grid_aggregate, grid_summary_json, thesis_run};
 use esafe_core::render;
 use esafe_elevator::ElevatorParams;
 use esafe_scenarios::tables;
@@ -30,12 +31,15 @@ fn main() {
             let report = thesis_run(n);
             println!("{}", tables::series_json(&report).expect("serializable"));
         }
-        [flag] if flag == "--grid" => print_grid(),
+        [flag] if flag == "--grid" => print_grid(None),
+        [grid, json, path] if grid == "--grid" && json == "--json" => {
+            print_grid(Some(path));
+        }
         [flag] if flag == "--all" => print_all(),
         _ => {
             eprintln!(
                 "usage: repro --table <id> | --figure <id> | --ablation [n] \
-                 | --grid | --json <n> | --all"
+                 | --grid [--json <path>] | --json <n> | --all"
             );
             std::process::exit(2);
         }
@@ -43,9 +47,13 @@ fn main() {
 }
 
 /// Runs the full 10-scenario × 14-configuration grid in parallel and
-/// prints the order-independent aggregate.
-fn print_grid() {
+/// prints the order-independent aggregate. With `json_path`, also writes
+/// the machine-readable timing/result summary so future changes have a
+/// benchmark trajectory to compare against.
+fn print_grid(json_path: Option<&str>) {
+    let started = std::time::Instant::now();
     let aggregate = full_grid_aggregate();
+    let wall = started.elapsed();
     println!(
         "Full evaluation grid: {} runs ({} early terminations, {} collisions)",
         aggregate.runs, aggregate.terminated_early, aggregate.terminal_events
@@ -57,6 +65,12 @@ fn print_grid() {
     println!("{:<10} total violation intervals", "monitor");
     for (id, count) in &aggregate.violations_by_monitor {
         println!("{id:<10} {count}");
+    }
+    println!("wall clock: {:.3} s", wall.as_secs_f64());
+    if let Some(path) = json_path {
+        let json = grid_summary_json(&aggregate, wall).expect("summary serializes");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+        println!("summary written to {path}");
     }
 }
 

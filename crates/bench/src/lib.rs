@@ -71,6 +71,45 @@ pub fn full_grid_aggregate() -> SweepAggregate {
         .aggregate()
 }
 
+/// The machine-readable `repro --grid --json` summary: wall-clock timing
+/// plus the order-independent grid aggregate, one JSON object per
+/// benchmark run so successive PRs have a trajectory to compare.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GridSummary {
+    /// Summary schema version (bump when fields change meaning).
+    pub schema: u32,
+    /// Total grid wall-clock, milliseconds.
+    pub wall_clock_ms: f64,
+    /// Wall-clock per monitored run, milliseconds.
+    pub ms_per_run: f64,
+    /// The order-independent classification totals.
+    pub aggregate: SweepAggregate,
+}
+
+/// Serializes the grid aggregate + timing as pretty JSON.
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` if serialization fails (never expected
+/// for these types).
+pub fn grid_summary_json(
+    aggregate: &SweepAggregate,
+    wall: std::time::Duration,
+) -> Result<String, serde_json::Error> {
+    let wall_clock_ms = wall.as_secs_f64() * 1000.0;
+    let summary = GridSummary {
+        schema: 1,
+        wall_clock_ms,
+        ms_per_run: if aggregate.runs == 0 {
+            0.0
+        } else {
+            wall_clock_ms / aggregate.runs as f64
+        },
+        aggregate: aggregate.clone(),
+    };
+    serde_json::to_string_pretty(&summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

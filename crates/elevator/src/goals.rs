@@ -2,8 +2,9 @@
 
 use crate::model::ElevatorParams;
 use esafe_core::{Goal, GoalClass};
-use esafe_logic::{parse, EvalError, Expr};
+use esafe_logic::{parse, EvalError, Expr, SignalTable};
 use esafe_monitor::{Location, MonitorSuite};
+use std::sync::Arc;
 
 fn p(src: &str) -> Expr {
     parse(src).unwrap_or_else(|e| panic!("bad goal formula `{src}`: {e}"))
@@ -125,7 +126,9 @@ pub fn reversal_goal() -> Goal {
     )
 }
 
-/// Assembles the hierarchical monitor suite for all Chapter 4 goals.
+/// Assembles the hierarchical monitor suite for all Chapter 4 goals,
+/// compiled against the substrate's shared signal table (all variable
+/// references resolve to signal ids here, once).
 ///
 /// Monitor ids: `door` (+`door:DoorCtl`, `door:DriveCtl`), `overweight`
 /// (+`overweight:DriveCtl`), `hoistway` (+`hoistway:DriveCtl`,
@@ -133,10 +136,13 @@ pub fn reversal_goal() -> Goal {
 ///
 /// # Errors
 ///
-/// Propagates [`EvalError`] if a formula fails to compile (programming
-/// error, exercised by tests).
-pub fn build_suite(params: &ElevatorParams) -> Result<MonitorSuite, EvalError> {
-    let mut suite = MonitorSuite::new();
+/// Propagates [`EvalError`] if a formula fails to compile or references a
+/// signal outside the table (programming error, exercised by tests).
+pub fn build_suite(
+    table: &Arc<SignalTable>,
+    params: &ElevatorParams,
+) -> Result<MonitorSuite, EvalError> {
+    let mut suite = MonitorSuite::new(table.clone());
     let system = Location::new("Elevator");
     let door_ctl = Location::new("DoorController");
     let drive_ctl = Location::new("DriveController");
@@ -222,7 +228,9 @@ mod tests {
 
     #[test]
     fn suite_has_four_goals_and_six_subgoals() {
-        let suite = build_suite(&ElevatorParams::default()).unwrap();
+        let params = ElevatorParams::default();
+        let (table, _sigs) = crate::model::elevator_table(&params);
+        let suite = build_suite(&table, &params).unwrap();
         assert_eq!(suite.goal_ids().len(), 4);
         assert_eq!(suite.location_matrix().len(), 10);
     }
@@ -305,7 +313,8 @@ mod tests {
         let report = Experiment::new(&substrate)
             .with_config(WINDOW)
             .run_with(|_tick, raw, _observed| {
-                brake_engaged_at_end = raw.get(model::EMERGENCY_BRAKE) == Some(&Value::Bool(true));
+                brake_engaged_at_end =
+                    raw.get_named(model::EMERGENCY_BRAKE) == Some(Value::Bool(true));
             })
             .unwrap();
         let row = report.correlation.for_goal("hoistway").unwrap();
@@ -356,13 +365,13 @@ mod tests {
         let report = Experiment::new(&substrate)
             .run_with(|_tick, raw, _observed| {
                 let open = raw
-                    .get(model::DOOR_POSITION)
-                    .and_then(Value::as_real)
+                    .get_named(model::DOOR_POSITION)
+                    .and_then(|v| v.as_real())
                     .unwrap_or(0.0)
                     > 0.05;
                 let moving = !raw
-                    .get(model::ELEVATOR_STOPPED)
-                    .and_then(Value::as_bool)
+                    .get_named(model::ELEVATOR_STOPPED)
+                    .and_then(|v| v.as_bool())
                     .unwrap_or(true);
                 if open && moving {
                     physically_unsafe = true;

@@ -49,27 +49,55 @@ pub mod passengers;
 pub mod plant;
 pub mod substrate;
 
+use esafe_logic::SignalTable;
 use esafe_sim::Simulator;
-pub use model::ElevatorParams;
+use std::sync::Arc;
+
+pub use model::{ElevatorParams, ElevatorSigs};
 pub use substrate::ElevatorSubstrate;
 
-/// Assembles the full elevator simulation: passengers, button latches,
-/// dispatcher, door/drive controllers, emergency brake, and the plant.
-/// `seed` drives the deterministic passenger traffic.
+/// Assembles the full elevator simulation over the shared signal table:
+/// passengers, button latches, dispatcher, door/drive controllers,
+/// emergency brake, and the plant. `seed` drives the deterministic
+/// passenger traffic. Every subsystem holds a clone of the resolved
+/// [`ElevatorSigs`], so per-tick reads and writes are dense slot
+/// accesses.
 pub fn build_elevator(
     params: ElevatorParams,
     faults: faults::ElevatorFaults,
     seed: u64,
+    table: &Arc<SignalTable>,
+    sigs: &ElevatorSigs,
 ) -> Simulator {
-    let mut sim = Simulator::new(params.dt_millis);
-    sim.add(passengers::PassengerTraffic::new(params, seed));
-    sim.add(controllers::ButtonLatches::new(params));
-    sim.add(controllers::DispatchController::new(params, faults));
-    sim.add(controllers::DoorController::new(params, faults));
-    sim.add(controllers::DriveController::new(params, faults));
-    sim.add(controllers::EmergencyBrake::new(params, faults));
-    sim.add(plant::ElevatorPlant::new(params, faults));
-    sim.init(model::initial_state(&params));
+    let mut sim = Simulator::new(params.dt_millis, table);
+    sim.add(passengers::PassengerTraffic::new(
+        params,
+        seed,
+        sigs.clone(),
+    ));
+    sim.add(controllers::ButtonLatches::new(params, sigs.clone()));
+    sim.add(controllers::DispatchController::new(
+        params,
+        faults,
+        sigs.clone(),
+    ));
+    sim.add(controllers::DoorController::new(
+        params,
+        faults,
+        sigs.clone(),
+    ));
+    sim.add(controllers::DriveController::new(
+        params,
+        faults,
+        sigs.clone(),
+    ));
+    sim.add(controllers::EmergencyBrake::new(
+        params,
+        faults,
+        sigs.clone(),
+    ));
+    sim.add(plant::ElevatorPlant::new(params, faults, sigs.clone()));
+    sim.init(model::initial_frame(table, sigs));
     sim
 }
 
@@ -86,8 +114,8 @@ mod tests {
         let mut served_floors = std::collections::BTreeSet::new();
         let report = Experiment::new(&substrate)
             .run_with(|_tick, raw, _observed| {
-                if raw.get(model::DOOR_CLOSED) == Some(&Value::Bool(false)) {
-                    if let Some(f) = raw.get(model::FLOOR).and_then(|v| v.as_real()) {
+                if raw.get_named(model::DOOR_CLOSED) == Some(Value::Bool(false)) {
+                    if let Some(f) = raw.get_named(model::FLOOR).and_then(|v| v.as_real()) {
                         served_floors.insert(f as i64);
                     }
                 }

@@ -1,7 +1,9 @@
-//! Elevator signal names, parameters, and the initial blackboard.
+//! Elevator signal names, parameters, the interned [`ElevatorSigs`] id
+//! set, and the initial blackboard.
 
-use esafe_logic::State;
+use esafe_logic::{Frame, SignalId, SignalTable, SignalTableBuilder, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Door-closed switch (sensed).
 pub const DOOR_CLOSED: &str = "door_closed";
@@ -120,31 +122,122 @@ impl ElevatorParams {
     }
 }
 
-/// The initial blackboard: car parked at floor 0, doors closed, idle.
-pub fn initial_state(params: &ElevatorParams) -> State {
-    let mut s = State::new()
-        .with_bool(DOOR_CLOSED, true)
-        .with_bool(DOOR_BLOCKED, false)
-        .with_real(ELEVATOR_SPEED, 0.0)
-        .with_bool(ELEVATOR_STOPPED, true)
-        .with_real(ELEVATOR_WEIGHT, 0.0)
-        .with_bool(OVERWEIGHT, false)
-        .with_real(POSITION, 0.0)
-        .with_real(FLOOR, 0.0)
-        .with_sym(DRIVE_COMMAND, "STOP")
-        .with_sym(DOOR_MOTOR_COMMAND, "CLOSE")
-        .with_real(DOOR_POSITION, 0.0)
-        .with_bool(DOOR_OPEN, false)
-        .with_int(DISPATCH_TARGET, 0)
-        .with_sym(DISPATCH_DOOR_REQUEST, "CLOSE")
-        .with_bool(EMERGENCY_BRAKE, false);
-    for f in 0..params.floors {
-        s.set(car_call(f), false);
-        s.set(hall_call(f), false);
-        s.set(car_button(f), false);
-        s.set(hall_button(f), false);
+/// The resolved elevator signal ids plus the pre-interned command
+/// symbols. Built once per substrate alongside its
+/// [`SignalTable`]; the per-floor call/button vectors are sized by
+/// [`ElevatorParams::floors`].
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub struct ElevatorSigs {
+    pub door_closed: SignalId,
+    pub door_blocked: SignalId,
+    pub elevator_speed: SignalId,
+    pub elevator_stopped: SignalId,
+    pub elevator_weight: SignalId,
+    pub overweight: SignalId,
+    pub position: SignalId,
+    pub floor: SignalId,
+    pub drive_command: SignalId,
+    pub door_motor_command: SignalId,
+    pub door_position: SignalId,
+    pub door_open: SignalId,
+    pub dispatch_target: SignalId,
+    pub dispatch_door_request: SignalId,
+    pub emergency_brake: SignalId,
+    /// Latched car-call ids, indexed by floor.
+    pub car_calls: Vec<SignalId>,
+    /// Latched hall-call ids, indexed by floor.
+    pub hall_calls: Vec<SignalId>,
+    /// Momentary car-button ids, indexed by floor.
+    pub car_buttons: Vec<SignalId>,
+    /// Momentary hall-button ids, indexed by floor.
+    pub hall_buttons: Vec<SignalId>,
+    /// `'STOP'`
+    pub sym_stop: Value,
+    /// `'UP'`
+    pub sym_up: Value,
+    /// `'DOWN'`
+    pub sym_down: Value,
+    /// `'OPEN'`
+    pub sym_open: Value,
+    /// `'CLOSE'`
+    pub sym_close: Value,
+}
+
+impl ElevatorSigs {
+    /// Declares the complete elevator namespace into `b` and resolves the
+    /// id set. Idempotent on an already-populated builder.
+    pub fn declare(params: &ElevatorParams, b: &mut SignalTableBuilder) -> Self {
+        ElevatorSigs {
+            door_closed: b.bool(DOOR_CLOSED),
+            door_blocked: b.bool(DOOR_BLOCKED),
+            elevator_speed: b.real(ELEVATOR_SPEED),
+            elevator_stopped: b.bool(ELEVATOR_STOPPED),
+            elevator_weight: b.real(ELEVATOR_WEIGHT),
+            overweight: b.bool(OVERWEIGHT),
+            position: b.real(POSITION),
+            floor: b.real(FLOOR),
+            drive_command: b.sym(DRIVE_COMMAND),
+            door_motor_command: b.sym(DOOR_MOTOR_COMMAND),
+            door_position: b.real(DOOR_POSITION),
+            door_open: b.bool(DOOR_OPEN),
+            dispatch_target: b.int(DISPATCH_TARGET),
+            dispatch_door_request: b.sym(DISPATCH_DOOR_REQUEST),
+            emergency_brake: b.bool(EMERGENCY_BRAKE),
+            car_calls: (0..params.floors).map(|f| b.bool(&car_call(f))).collect(),
+            hall_calls: (0..params.floors).map(|f| b.bool(&hall_call(f))).collect(),
+            car_buttons: (0..params.floors).map(|f| b.bool(&car_button(f))).collect(),
+            hall_buttons: (0..params.floors)
+                .map(|f| b.bool(&hall_button(f)))
+                .collect(),
+            sym_stop: Value::sym("STOP"),
+            sym_up: Value::sym("UP"),
+            sym_down: Value::sym("DOWN"),
+            sym_open: Value::sym("OPEN"),
+            sym_close: Value::sym("CLOSE"),
+        }
     }
-    s
+}
+
+/// Builds the elevator's shared signal table and id set for the given
+/// parameters (the floor count sizes the call/button groups).
+pub fn elevator_table(params: &ElevatorParams) -> (Arc<SignalTable>, ElevatorSigs) {
+    let mut b = SignalTable::builder();
+    let sigs = ElevatorSigs::declare(params, &mut b);
+    (b.finish(), sigs)
+}
+
+/// Seeds the initial blackboard: car parked at floor 0, doors closed,
+/// idle.
+pub fn seed_initial(frame: &mut Frame, sigs: &ElevatorSigs) {
+    frame.set(sigs.door_closed, true);
+    frame.set(sigs.door_blocked, false);
+    frame.set(sigs.elevator_speed, 0.0);
+    frame.set(sigs.elevator_stopped, true);
+    frame.set(sigs.elevator_weight, 0.0);
+    frame.set(sigs.overweight, false);
+    frame.set(sigs.position, 0.0);
+    frame.set(sigs.floor, 0.0);
+    frame.set(sigs.drive_command, sigs.sym_stop);
+    frame.set(sigs.door_motor_command, sigs.sym_close);
+    frame.set(sigs.door_position, 0.0);
+    frame.set(sigs.door_open, false);
+    frame.set(sigs.dispatch_target, 0i64);
+    frame.set(sigs.dispatch_door_request, sigs.sym_close);
+    frame.set(sigs.emergency_brake, false);
+    for f in 0..sigs.car_calls.len() {
+        frame.set(sigs.car_calls[f], false);
+        frame.set(sigs.hall_calls[f], false);
+        frame.set(sigs.car_buttons[f], false);
+        frame.set(sigs.hall_buttons[f], false);
+    }
+}
+
+/// The initial blackboard as a fresh frame.
+pub fn initial_frame(table: &Arc<SignalTable>, sigs: &ElevatorSigs) -> Frame {
+    let mut frame = table.frame();
+    seed_initial(&mut frame, sigs);
+    frame
 }
 
 #[cfg(test)]
@@ -162,13 +255,18 @@ mod tests {
     }
 
     #[test]
-    fn initial_state_is_parked_and_complete() {
+    fn initial_frame_is_parked_and_complete() {
         let p = ElevatorParams::default();
-        let s = initial_state(&p);
-        assert_eq!(s.get(DOOR_CLOSED).unwrap().as_bool(), Some(true));
-        assert_eq!(s.get(POSITION).unwrap().as_real(), Some(0.0));
-        // 4 signal groups per floor + 15 scalar signals.
-        assert_eq!(s.len(), 15 + 4 * p.floors as usize);
+        let (table, sigs) = elevator_table(&p);
+        let s = initial_frame(&table, &sigs);
+        assert_eq!(
+            s.get(sigs.door_closed).and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert_eq!(s.real_or(sigs.position, -1.0), 0.0);
+        // 4 signal groups per floor + 15 scalar signals, every slot set.
+        assert_eq!(s.iter().count(), 15 + 4 * p.floors as usize);
+        assert_eq!(table.len(), 15 + 4 * p.floors as usize);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Deterministic randomized passenger traffic (the `Passenger`
 //! environmental agent of Fig. 4.5).
 
-use crate::model::{self as m, ElevatorParams};
-use esafe_logic::{State, Value};
+use crate::model::{ElevatorParams, ElevatorSigs};
+use esafe_logic::Frame;
 use esafe_sim::{SimTime, Subsystem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug)]
 pub struct PassengerTraffic {
     params: ElevatorParams,
+    sigs: ElevatorSigs,
     rng: StdRng,
     onboard_kg: f64,
     block_ticks_left: u64,
@@ -20,9 +21,10 @@ pub struct PassengerTraffic {
 
 impl PassengerTraffic {
     /// Creates a traffic source with a deterministic seed.
-    pub fn new(params: ElevatorParams, seed: u64) -> Self {
+    pub fn new(params: ElevatorParams, seed: u64, sigs: ElevatorSigs) -> Self {
         PassengerTraffic {
             params,
+            sigs,
             rng: StdRng::seed_from_u64(seed),
             onboard_kg: 0.0,
             block_ticks_left: 0,
@@ -35,31 +37,28 @@ impl Subsystem for PassengerTraffic {
         "PassengerTraffic"
     }
 
-    fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+    fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
         let p = self.params;
+        let m = &self.sigs;
         // Clear the previous tick's momentary button presses.
-        for f in 0..p.floors {
-            next.set(m::car_button(f), false);
-            next.set(m::hall_button(f), false);
+        for f in 0..p.floors as usize {
+            next.set(m.car_buttons[f], false);
+            next.set(m.hall_buttons[f], false);
         }
 
         // ~1 press per 2 simulated seconds across the building.
         let press_prob = p.dt_millis as f64 / 2000.0;
         if self.rng.gen_bool(press_prob) {
-            let f = self.rng.gen_range(0..p.floors);
+            let f = self.rng.gen_range(0..p.floors) as usize;
             if self.rng.gen_bool(0.5) {
-                next.set(m::hall_button(f), true);
+                next.set(m.hall_buttons[f], true);
             } else {
-                next.set(m::car_button(f), true);
+                next.set(m.car_buttons[f], true);
             }
         }
 
         // Boarding and alighting while the door is open at a landing.
-        let door_open = prev
-            .get(m::DOOR_POSITION)
-            .and_then(Value::as_real)
-            .unwrap_or(0.0)
-            > 0.9;
+        let door_open = prev.real_or(m.door_position, 0.0) > 0.9;
         if door_open {
             let exchange_prob = p.dt_millis as f64 / 1500.0;
             if self.rng.gen_bool(exchange_prob) {
@@ -80,20 +79,23 @@ impl Subsystem for PassengerTraffic {
             self.block_ticks_left -= 1;
         }
 
-        next.set(m::DOOR_BLOCKED, self.block_ticks_left > 0);
-        next.set(m::ELEVATOR_WEIGHT, self.onboard_kg);
+        next.set(m.door_blocked, self.block_ticks_left > 0);
+        next.set(m.elevator_weight, self.onboard_kg);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::{elevator_table, initial_frame};
+    use esafe_logic::Value;
 
     #[test]
     fn traffic_eventually_presses_buttons() {
         let p = ElevatorParams::default();
-        let mut traffic = PassengerTraffic::new(p, 3);
-        let mut s = m::initial_state(&p);
+        let (table, m) = elevator_table(&p);
+        let mut traffic = PassengerTraffic::new(p, 3, m.clone());
+        let mut s = initial_frame(&table, &m);
         let mut presses = 0;
         for tick in 0..2000u64 {
             let mut next = s.clone();
@@ -105,10 +107,8 @@ mod tests {
                 &s,
                 &mut next,
             );
-            for f in 0..p.floors {
-                if next.get(&m::hall_button(f)) == Some(&Value::Bool(true))
-                    || next.get(&m::car_button(f)) == Some(&Value::Bool(true))
-                {
+            for f in 0..p.floors as usize {
+                if next.bool_or(m.hall_buttons[f], false) || next.bool_or(m.car_buttons[f], false) {
                     presses += 1;
                 }
             }
@@ -120,8 +120,9 @@ mod tests {
     #[test]
     fn weight_changes_only_with_open_door() {
         let p = ElevatorParams::default();
-        let mut traffic = PassengerTraffic::new(p, 3);
-        let mut s = m::initial_state(&p);
+        let (table, m) = elevator_table(&p);
+        let mut traffic = PassengerTraffic::new(p, 3, m.clone());
+        let mut s = initial_frame(&table, &m);
         // Door closed: weight must stay zero.
         for tick in 0..2000u64 {
             let mut next = s.clone();
@@ -133,7 +134,7 @@ mod tests {
                 &s,
                 &mut next,
             );
-            assert_eq!(next.get(m::ELEVATOR_WEIGHT), Some(&Value::Real(0.0)));
+            assert_eq!(next.get(m.elevator_weight), Some(Value::Real(0.0)));
             s = next;
         }
     }

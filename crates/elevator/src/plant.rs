@@ -1,24 +1,9 @@
 //! The physical plant: drive, door motor, and sensors.
 
 use crate::faults::ElevatorFaults;
-use crate::model::{self as m, ElevatorParams};
-use esafe_logic::{State, Value};
+use crate::model::{ElevatorParams, ElevatorSigs};
+use esafe_logic::Frame;
 use esafe_sim::{SimTime, Subsystem};
-
-fn real(state: &State, name: &str, default: f64) -> f64 {
-    state.get(name).and_then(Value::as_real).unwrap_or(default)
-}
-
-fn boolean(state: &State, name: &str) -> bool {
-    state.get(name).and_then(Value::as_bool).unwrap_or(false)
-}
-
-fn symbol<'a>(state: &'a State, name: &str, default: &'a str) -> &'a str {
-    match state.get(name) {
-        Some(Value::Sym(s)) => s.as_str(),
-        _ => default,
-    }
-}
 
 /// Drive + door-motor dynamics and the sensor package.
 ///
@@ -31,12 +16,17 @@ fn symbol<'a>(state: &'a State, name: &str, default: &'a str) -> &'a str {
 pub struct ElevatorPlant {
     params: ElevatorParams,
     faults: ElevatorFaults,
+    sigs: ElevatorSigs,
 }
 
 impl ElevatorPlant {
     /// Creates the plant.
-    pub fn new(params: ElevatorParams, faults: ElevatorFaults) -> Self {
-        ElevatorPlant { params, faults }
+    pub fn new(params: ElevatorParams, faults: ElevatorFaults, sigs: ElevatorSigs) -> Self {
+        ElevatorPlant {
+            params,
+            faults,
+            sigs,
+        }
     }
 }
 
@@ -45,24 +35,25 @@ impl Subsystem for ElevatorPlant {
         "ElevatorPlant"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
+    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
         let p = &self.params;
+        let m = &self.sigs;
         let dt = t.dt_seconds();
 
         // ---- Drive dynamics.
-        let mut speed = real(prev, m::ELEVATOR_SPEED, 0.0);
-        let mut position = real(prev, m::POSITION, 0.0);
-        let drive_cmd = symbol(prev, m::DRIVE_COMMAND, "STOP");
-        let ebrake = boolean(prev, m::EMERGENCY_BRAKE);
+        let mut speed = prev.real_or(m.elevator_speed, 0.0);
+        let mut position = prev.real_or(m.position, 0.0);
+        let drive_cmd = prev.get(m.drive_command);
+        let ebrake = prev.bool_or(m.emergency_brake, false);
 
         let target_speed = if ebrake {
             0.0
+        } else if drive_cmd == Some(m.sym_up) {
+            p.max_speed
+        } else if drive_cmd == Some(m.sym_down) {
+            -p.max_speed
         } else {
-            match drive_cmd {
-                "UP" => p.max_speed,
-                "DOWN" => -p.max_speed,
-                _ => 0.0,
-            }
+            0.0
         };
         let rate = if ebrake { p.ebrake_decel } else { p.accel };
         let max_delta = rate * dt;
@@ -72,98 +63,104 @@ impl Subsystem for ElevatorPlant {
         }
         position = (position + speed * dt).max(0.0);
 
-        next.set(m::ELEVATOR_SPEED, speed);
-        next.set(m::ELEVATOR_STOPPED, speed.abs() <= p.stopped_eps);
-        next.set(m::POSITION, position);
-        next.set(m::FLOOR, f64::from(p.floor_at(position)));
+        next.set(m.elevator_speed, speed);
+        next.set(m.elevator_stopped, speed.abs() <= p.stopped_eps);
+        next.set(m.position, position);
+        next.set(m.floor, f64::from(p.floor_at(position)));
 
         // ---- Door dynamics. A blocked door cannot close (eq. 4.6).
-        let mut door_pos = real(prev, m::DOOR_POSITION, 0.0);
-        let door_cmd = symbol(prev, m::DOOR_MOTOR_COMMAND, "CLOSE");
-        let blocked = boolean(prev, m::DOOR_BLOCKED);
+        let mut door_pos = prev.real_or(m.door_position, 0.0);
+        let door_cmd = prev.get(m.door_motor_command);
+        let blocked = prev.bool_or(m.door_blocked, false);
         let door_rate = dt / p.door_travel_s;
-        match door_cmd {
-            "OPEN" => door_pos = (door_pos + door_rate).min(1.0),
-            _ if blocked => {} // closing force defeated by the passenger
-            _ => door_pos = (door_pos - door_rate).max(0.0),
-        }
-        next.set(m::DOOR_POSITION, door_pos);
+        if door_cmd == Some(m.sym_open) {
+            door_pos = (door_pos + door_rate).min(1.0);
+        } else if !blocked {
+            door_pos = (door_pos - door_rate).max(0.0);
+        } // else: closing force defeated by the passenger
+        next.set(m.door_position, door_pos);
         let truly_closed = door_pos <= 0.01;
         let sensed_closed = if self.faults.door_sensor_stuck_closed {
             true // violated critical assumption: the sensor lies
         } else {
             truly_closed
         };
-        next.set(m::DOOR_CLOSED, sensed_closed);
-        next.set(m::DOOR_OPEN, door_pos >= 0.99);
+        next.set(m.door_closed, sensed_closed);
+        next.set(m.door_open, door_pos >= 0.99);
 
         // ---- Weight sensor threshold.
-        let weight = real(prev, m::ELEVATOR_WEIGHT, 0.0);
-        next.set(m::OVERWEIGHT, weight > p.weight_threshold_kg);
+        let weight = prev.real_or(m.elevator_weight, 0.0);
+        next.set(m.overweight, weight > p.weight_threshold_kg);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::{self as model, elevator_table};
+    use esafe_logic::{SignalTable, Value};
     use esafe_sim::Simulator;
+    use std::sync::Arc;
 
-    fn plant_sim(faults: ElevatorFaults) -> Simulator {
+    fn plant_sim(faults: ElevatorFaults) -> (Simulator, Arc<SignalTable>, ElevatorSigs) {
         let p = ElevatorParams::default();
-        let mut sim = Simulator::new(p.dt_millis);
-        sim.add(ElevatorPlant::new(p, faults));
-        sim.init(m::initial_state(&p));
-        sim
+        let (table, sigs) = elevator_table(&p);
+        let mut sim = Simulator::new(p.dt_millis, &table);
+        sim.add(ElevatorPlant::new(p, faults, sigs.clone()));
+        sim.init(model::initial_frame(&table, &sigs));
+        (sim, table, sigs)
     }
 
-    fn force(sim: &mut Simulator, name: &str, v: impl Into<Value>) {
+    fn force(sim: &mut Simulator, id: esafe_logic::SignalId, v: impl Into<Value>) {
         let mut s = sim.state().clone();
-        s.set(name, v);
+        s.set(id, v);
         // Re-seed the state while keeping history semantics: the plant
         // only reads `prev`, so restarting from the forced state is fine
         // for plant-only tests.
-        let tick = sim.tick();
-        let _ = tick;
         sim.init(s);
     }
 
     #[test]
     fn drive_accelerates_and_stops_with_bounded_rate() {
-        let mut sim = plant_sim(ElevatorFaults::none());
-        force(&mut sim, m::DRIVE_COMMAND, Value::sym("UP"));
+        let (mut sim, _t, m) = plant_sim(ElevatorFaults::none());
+        force(&mut sim, m.drive_command, m.sym_up);
         for _ in 0..300 {
             sim.step();
         }
-        let speed = real(sim.state(), m::ELEVATOR_SPEED, 0.0);
+        let speed = sim.state().real_or(m.elevator_speed, 0.0);
         assert!(
             (speed - 2.0).abs() < 1e-6,
             "cruise at max speed, got {speed}"
         );
-        force(&mut sim, m::DRIVE_COMMAND, Value::sym("STOP"));
+        force(&mut sim, m.drive_command, m.sym_stop);
         for _ in 0..300 {
             sim.step();
         }
-        assert_eq!(real(sim.state(), m::ELEVATOR_SPEED, 9.0), 0.0);
-        assert!(real(sim.state(), m::POSITION, 0.0) > 0.0);
+        assert_eq!(sim.state().real_or(m.elevator_speed, 9.0), 0.0);
+        assert!(sim.state().real_or(m.position, 0.0) > 0.0);
     }
 
     #[test]
     fn door_cannot_close_against_block() {
-        let mut sim = plant_sim(ElevatorFaults::none());
-        force(&mut sim, m::DOOR_MOTOR_COMMAND, Value::sym("OPEN"));
+        let (mut sim, _t, m) = plant_sim(ElevatorFaults::none());
+        force(&mut sim, m.door_motor_command, m.sym_open);
         for _ in 0..250 {
             sim.step();
         }
-        assert_eq!(real(sim.state(), m::DOOR_POSITION, 0.0), 1.0);
-        assert!(!boolean(sim.state(), m::DOOR_CLOSED));
+        assert_eq!(sim.state().real_or(m.door_position, 0.0), 1.0);
+        assert!(!sim.state().bool_or(m.door_closed, true));
         let mut s = sim.state().clone();
-        s.set(m::DOOR_MOTOR_COMMAND, Value::sym("CLOSE"));
-        s.set(m::DOOR_BLOCKED, true);
+        s.set(m.door_motor_command, m.sym_close);
+        s.set(m.door_blocked, true);
         sim.init(s);
         for _ in 0..250 {
             sim.step();
         }
-        assert_eq!(real(sim.state(), m::DOOR_POSITION, 0.0), 1.0, "block holds");
+        assert_eq!(
+            sim.state().real_or(m.door_position, 0.0),
+            1.0,
+            "block holds"
+        );
     }
 
     #[test]
@@ -172,44 +169,42 @@ mod tests {
             door_sensor_stuck_closed: true,
             ..ElevatorFaults::none()
         };
-        let mut sim = plant_sim(faults);
-        force(&mut sim, m::DOOR_MOTOR_COMMAND, Value::sym("OPEN"));
+        let (mut sim, _t, m) = plant_sim(faults);
+        force(&mut sim, m.door_motor_command, m.sym_open);
         for _ in 0..250 {
             sim.step();
         }
-        assert!(real(sim.state(), m::DOOR_POSITION, 0.0) > 0.9);
-        assert!(boolean(sim.state(), m::DOOR_CLOSED), "the sensor lies");
+        assert!(sim.state().real_or(m.door_position, 0.0) > 0.9);
+        assert!(sim.state().bool_or(m.door_closed, false), "the sensor lies");
     }
 
     #[test]
     fn overweight_flag_follows_threshold() {
-        let mut sim = plant_sim(ElevatorFaults::none());
-        force(&mut sim, m::ELEVATOR_WEIGHT, 700.0);
+        let (mut sim, _t, m) = plant_sim(ElevatorFaults::none());
+        force(&mut sim, m.elevator_weight, 700.0);
         sim.step();
-        assert!(boolean(sim.state(), m::OVERWEIGHT));
-        force(&mut sim, m::ELEVATOR_WEIGHT, 100.0);
+        assert!(sim.state().bool_or(m.overweight, false));
+        force(&mut sim, m.elevator_weight, 100.0);
         sim.step();
-        assert!(!boolean(sim.state(), m::OVERWEIGHT));
+        assert!(!sim.state().bool_or(m.overweight, true));
     }
 
     #[test]
     fn emergency_brake_stops_faster_than_drive() {
-        let p = ElevatorParams::default();
-        let mut sim = plant_sim(ElevatorFaults::none());
-        force(&mut sim, m::DRIVE_COMMAND, Value::sym("UP"));
+        let (mut sim, _t, m) = plant_sim(ElevatorFaults::none());
+        force(&mut sim, m.drive_command, m.sym_up);
         for _ in 0..300 {
             sim.step();
         }
         let mut s = sim.state().clone();
-        s.set(m::EMERGENCY_BRAKE, true);
+        s.set(m.emergency_brake, true);
         sim.init(s);
         let mut ticks = 0;
-        while real(sim.state(), m::ELEVATOR_SPEED, 0.0) > 0.0 && ticks < 1000 {
+        while sim.state().real_or(m.elevator_speed, 0.0) > 0.0 && ticks < 1000 {
             sim.step();
             ticks += 1;
         }
         // 2 m/s at 4 m/s² → 0.5 s = 50 ticks (10 ms each).
         assert!(ticks <= 55, "stopped in {ticks} ticks");
-        let _ = p;
     }
 }

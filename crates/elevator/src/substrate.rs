@@ -2,20 +2,25 @@
 //! configuration, runnable under the generic experiment harness.
 
 use crate::faults::ElevatorFaults;
-use crate::model::{self, ElevatorParams};
+use crate::model::{self, ElevatorParams, ElevatorSigs};
 use crate::{build_elevator, goals};
 use esafe_harness::Substrate;
-use esafe_logic::EvalError;
+use esafe_logic::{EvalError, SignalId, SignalTable};
 use esafe_monitor::MonitorSuite;
 use esafe_sim::Simulator;
+use std::sync::Arc;
 
 /// One monitored elevator run: the Chapter 4 substrate under randomized
 /// passenger traffic (driven by `seed`) and an [`ElevatorFaults`]
 /// configuration.
 ///
+/// The substrate builds its [`SignalTable`] once at construction (the
+/// floor count sizes the call/button signal groups); every simulator,
+/// monitor suite, and sweep cell derived from it shares that table.
+///
 /// The elevator's monitors read the plant blackboard directly (its
 /// derived signals are produced by the sensor models inside the
-/// simulation), so the default identity [`Substrate::observe`] applies,
+/// simulation), so the default copying [`Substrate::observe`] applies,
 /// and there is no terminal event — runs always complete their schedule.
 ///
 /// # Example
@@ -42,30 +47,36 @@ pub struct ElevatorSubstrate {
     /// the schedule stays `ticks` long no matter when `with_params`
     /// changes `dt_millis`).
     pub ticks: u64,
-    /// Signals recorded into the report's series log.
-    pub tracked: Vec<String>,
     /// Label override; defaults to `seed-<seed>` when `None`.
     pub label: Option<String>,
+    table: Arc<SignalTable>,
+    sigs: ElevatorSigs,
+    tracked: Vec<SignalId>,
 }
 
 impl ElevatorSubstrate {
     /// Creates a substrate with default parameters, two simulated minutes
     /// of traffic (12 000 ticks of 10 ms), and the car position/door
-    /// series tracked.
+    /// series tracked. The signal table is constructed here, once.
     pub fn new(faults: ElevatorFaults, seed: u64) -> Self {
         let params = ElevatorParams::default();
+        let (table, sigs) = model::elevator_table(&params);
+        let tracked = vec![sigs.position, sigs.door_position, sigs.elevator_weight];
         ElevatorSubstrate {
             params,
             faults,
             seed,
             ticks: 12_000,
-            tracked: vec![
-                model::POSITION.to_owned(),
-                model::DOOR_POSITION.to_owned(),
-                model::ELEVATOR_WEIGHT.to_owned(),
-            ],
             label: None,
+            table,
+            sigs,
+            tracked,
         }
+    }
+
+    /// The substrate's resolved signal ids.
+    pub fn sigs(&self) -> &ElevatorSigs {
+        &self.sigs
     }
 
     /// Overrides the report label (sweep cells over fault configurations
@@ -75,9 +86,20 @@ impl ElevatorSubstrate {
         self
     }
 
-    /// Replaces the elevator parameters.
+    /// Replaces the elevator parameters, rebuilding the signal table (the
+    /// floor count shapes the namespace). The configured tracked series
+    /// carry over by name; a tracked per-floor signal that no longer
+    /// exists (fewer floors) is dropped.
     pub fn with_params(mut self, params: ElevatorParams) -> Self {
         self.params = params;
+        let (table, sigs) = model::elevator_table(&params);
+        self.tracked = self
+            .tracked
+            .iter()
+            .filter_map(|&id| table.id(self.table.name(id)))
+            .collect();
+        self.table = table;
+        self.sigs = sigs;
         self
     }
 
@@ -87,9 +109,13 @@ impl ElevatorSubstrate {
         self
     }
 
-    /// Sets the signals to record each tick.
-    pub fn with_tracked(mut self, tracked: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        self.tracked = tracked.into_iter().map(Into::into).collect();
+    /// Sets the signals to record each tick, by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name outside the elevator signal table.
+    pub fn with_tracked(mut self, tracked: impl IntoIterator<Item = impl AsRef<str>>) -> Self {
+        self.tracked = self.table.resolve_all(tracked);
         self
     }
 }
@@ -109,15 +135,19 @@ impl Substrate for ElevatorSubstrate {
         self.ticks * self.params.dt_millis
     }
 
+    fn signal_table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
     fn build_simulator(&self) -> Simulator {
-        build_elevator(self.params, self.faults, self.seed)
+        build_elevator(self.params, self.faults, self.seed, &self.table, &self.sigs)
     }
 
     fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
-        goals::build_suite(&self.params)
+        goals::build_suite(&self.table, &self.params)
     }
 
-    fn tracked_signals(&self) -> &[String] {
+    fn tracked_signals(&self) -> &[SignalId] {
         &self.tracked
     }
 }
@@ -161,6 +191,22 @@ mod tests {
         assert_eq!(
             Substrate::duration_ms(&ticks_first),
             Substrate::duration_ms(&params_first)
+        );
+    }
+
+    #[test]
+    fn with_params_preserves_configured_tracked_signals() {
+        let params = ElevatorParams {
+            dt_millis: 20,
+            ..ElevatorParams::default()
+        };
+        let substrate = ElevatorSubstrate::new(ElevatorFaults::none(), 1)
+            .with_tracked([crate::model::DOOR_CLOSED])
+            .with_params(params);
+        assert_eq!(substrate.tracked.len(), 1);
+        assert_eq!(
+            substrate.signal_table().name(substrate.tracked[0]),
+            crate::model::DOOR_CLOSED
         );
     }
 

@@ -1,7 +1,7 @@
 //! The generic simulate → observe → correlate experiment loop.
 
 use crate::substrate::Substrate;
-use esafe_logic::{EvalError, State};
+use esafe_logic::{EvalError, Frame};
 use esafe_monitor::{CorrelationReport, MonitorError, ViolationInterval};
 use esafe_sim::SeriesLog;
 use serde::{Deserialize, Serialize};
@@ -158,10 +158,15 @@ impl<'a, S: Substrate> Experiment<'a, S> {
         self.run_with(|_, _, _| {})
     }
 
-    /// Runs the experiment, handing every `(tick, raw, observed)` state
+    /// Runs the experiment, handing every `(tick, raw, observed)` frame
     /// pair to `inspect` as it is produced — for callers that need
     /// per-tick measurements beyond the monitors (physical-safety oracles
     /// in tests, live dashboards).
+    ///
+    /// The loop owns one scratch `observed` frame, allocated before the
+    /// first tick; each tick the substrate's
+    /// [`observe`](Substrate::observe) derivation writes into it in
+    /// place, so the steady-state loop performs zero allocations.
     ///
     /// # Errors
     ///
@@ -169,12 +174,13 @@ impl<'a, S: Substrate> Experiment<'a, S> {
     /// references a missing signal.
     pub fn run_with(
         &self,
-        mut inspect: impl FnMut(u64, &State, &State),
+        mut inspect: impl FnMut(u64, &Frame, &Frame),
     ) -> Result<RunReport, ExperimentError> {
         let substrate = self.substrate;
         let mut suite = substrate.build_monitors()?;
         let mut sim = substrate.build_simulator();
         let mut series = SeriesLog::new();
+        let mut observed = substrate.signal_table().frame();
 
         let dt = sim.dt_millis();
         let scheduled_ticks = substrate.duration_ms().div_ceil(dt);
@@ -186,11 +192,11 @@ impl<'a, S: Substrate> Experiment<'a, S> {
 
         for tick in 1..=scheduled_ticks {
             sim.step();
-            let observed = substrate.observe(sim.state());
+            substrate.observe(sim.state(), &mut observed);
             suite.observe(&observed)?;
             let t = sim.seconds();
-            for name in substrate.tracked_signals() {
-                series.sample(name, t, &observed);
+            for &id in substrate.tracked_signals() {
+                series.sample(&observed, id, t);
             }
             inspect(tick, sim.state(), &observed);
 
@@ -238,21 +244,22 @@ impl<'a, S: Substrate> Experiment<'a, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use esafe_logic::parse;
+    use esafe_logic::{parse, SignalId, SignalTable};
     use esafe_monitor::{Location, MonitorSuite};
     use esafe_sim::{SimTime, Simulator, Subsystem};
-    use std::borrow::Cow;
+    use std::sync::Arc;
 
-    /// A ramp that climbs by `slope` per tick.
-    struct Ramp;
+    /// A ramp that climbs by one per tick.
+    struct Ramp {
+        x: SignalId,
+    }
 
     impl Subsystem for Ramp {
         fn name(&self) -> &str {
             "ramp"
         }
-        fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
-            let x = prev.get("x").and_then(|v| v.as_real()).unwrap_or(0.0);
-            next.set("x", x + 1.0);
+        fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
+            next.set(self.x, prev.real_or(self.x, 0.0) + 1.0);
         }
     }
 
@@ -261,15 +268,21 @@ mod tests {
     struct RampSubstrate {
         limit: f64,
         duration_ms: u64,
-        tracked: Vec<String>,
+        table: Arc<SignalTable>,
+        x: SignalId,
+        tracked: Vec<SignalId>,
     }
 
     impl RampSubstrate {
         fn new(limit: f64, duration_ms: u64) -> Self {
+            let mut b = SignalTable::builder();
+            let x = b.real("x");
             RampSubstrate {
                 limit,
                 duration_ms,
-                tracked: vec!["x".to_owned()],
+                table: b.finish(),
+                x,
+                tracked: vec![x],
             }
         }
     }
@@ -284,14 +297,17 @@ mod tests {
         fn duration_ms(&self) -> u64 {
             self.duration_ms
         }
+        fn signal_table(&self) -> &Arc<SignalTable> {
+            &self.table
+        }
         fn build_simulator(&self) -> Simulator {
-            let mut sim = Simulator::new(10);
-            sim.add(Ramp);
-            sim.init(State::new().with_real("x", 0.0));
+            let mut sim = Simulator::new(10, &self.table);
+            sim.add(Ramp { x: self.x });
+            sim.init_with(|f| f.set(self.x, 0.0));
             sim
         }
         fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
-            let mut suite = MonitorSuite::new();
+            let mut suite = MonitorSuite::new(self.table.clone());
             suite.add_goal(
                 "bound",
                 Location::new("Ramp"),
@@ -299,14 +315,10 @@ mod tests {
             )?;
             Ok(suite)
         }
-        fn observe<'a>(&self, raw: &'a State) -> Cow<'a, State> {
-            Cow::Borrowed(raw)
+        fn terminal_event(&self, observed: &Frame) -> Option<&'static str> {
+            (observed.real_or(self.x, 0.0) >= self.limit).then_some("limit")
         }
-        fn terminal_event(&self, observed: &State) -> Option<&'static str> {
-            let x = observed.get("x").and_then(|v| v.as_real()).unwrap_or(0.0);
-            (x >= self.limit).then_some("limit")
-        }
-        fn tracked_signals(&self) -> &[String] {
+        fn tracked_signals(&self) -> &[SignalId] {
             &self.tracked
         }
     }
@@ -360,7 +372,7 @@ mod tests {
             .run_with(|tick, raw, observed| {
                 seen += 1;
                 assert_eq!(tick, seen);
-                assert_eq!(raw.get("x"), observed.get("x"));
+                assert_eq!(raw.get(substrate.x), observed.get(substrate.x));
             })
             .unwrap();
         assert_eq!(seen, 10);

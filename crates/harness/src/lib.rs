@@ -11,8 +11,8 @@
 //! once:
 //!
 //! * [`Substrate`] — what a composite system must provide to be run:
-//!   simulator assembly, monitor-suite construction, signal derivation,
-//!   and terminal-event detection;
+//!   the shared signal table, simulator assembly, monitor-suite
+//!   construction, signal derivation, and terminal-event detection;
 //! * [`Experiment`] — the generic simulate → observe → correlate loop,
 //!   configured in **milliseconds** ([`ExperimentConfig`]) so substrates
 //!   with different tick periods (1 ms vehicle, 10 ms elevator) share one
@@ -23,6 +23,12 @@
 //!   order-independent aggregation, so the parallel path is
 //!   bit-identical to the serial one.
 //!
+//! A substrate constructs its [`SignalTable`](esafe_logic::SignalTable)
+//! **once**; the experiment loop, every sweep cell, every compiled
+//! monitor, and every series sample share it. Per-tick data flows as
+//! [`Frame`](esafe_logic::Frame)s — dense, id-indexed, `Copy`-slot
+//! samples — so the loop holds zero per-tick `String` allocations.
+//!
 //! [`Simulator`]: esafe_sim::Simulator
 //! [`MonitorSuite`]: esafe_monitor::MonitorSuite
 //!
@@ -30,40 +36,48 @@
 //!
 //! ```
 //! use esafe_harness::{Experiment, ExperimentConfig, RunReport, Substrate};
-//! use esafe_logic::{parse, State};
+//! use esafe_logic::{parse, Frame, SignalId, SignalTable};
 //! use esafe_monitor::{Location, MonitorSuite};
 //! use esafe_sim::{SimTime, Simulator, Subsystem};
+//! use std::sync::Arc;
 //!
 //! /// A counter that must stay below 8 — and won't.
-//! struct Counter;
+//! struct Counter { n: SignalId }
 //! impl Subsystem for Counter {
 //!     fn name(&self) -> &str { "counter" }
-//!     fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
-//!         let n = prev.get("n").and_then(|v| v.as_real()).unwrap_or(0.0);
-//!         next.set("n", n + 1.0);
+//!     fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
+//!         next.set(self.n, prev.real_or(self.n, 0.0) + 1.0);
 //!     }
 //! }
 //!
-//! struct CounterSubstrate;
+//! struct CounterSubstrate { table: Arc<SignalTable>, n: SignalId }
+//! impl CounterSubstrate {
+//!     fn new() -> Self {
+//!         let mut b = SignalTable::builder();
+//!         let n = b.real("n");
+//!         CounterSubstrate { table: b.finish(), n }
+//!     }
+//! }
 //! impl Substrate for CounterSubstrate {
 //!     fn name(&self) -> &str { "counter" }
 //!     fn label(&self) -> String { "count-to-twenty".into() }
 //!     fn duration_ms(&self) -> u64 { 20 }
+//!     fn signal_table(&self) -> &Arc<SignalTable> { &self.table }
 //!     fn build_simulator(&self) -> Simulator {
-//!         let mut sim = Simulator::new(1);
-//!         sim.add(Counter);
-//!         sim.init(State::new().with_real("n", 0.0));
+//!         let mut sim = Simulator::new(1, &self.table);
+//!         sim.add(Counter { n: self.n });
+//!         sim.init_with(|f| f.set(self.n, 0.0));
 //!         sim
 //!     }
 //!     fn build_monitors(&self) -> Result<MonitorSuite, esafe_logic::EvalError> {
-//!         let mut suite = MonitorSuite::new();
+//!         let mut suite = MonitorSuite::new(self.table.clone());
 //!         let goal = parse("n < 8.0").expect("valid formula");
 //!         suite.add_goal("bound", Location::new("Counter"), goal)?;
 //!         Ok(suite)
 //!     }
 //! }
 //!
-//! let report: RunReport = Experiment::new(&CounterSubstrate).run().unwrap();
+//! let report: RunReport = Experiment::new(&CounterSubstrate::new()).run().unwrap();
 //! assert_eq!(report.violations_for("bound").len(), 1);
 //! ```
 

@@ -1,10 +1,10 @@
 //! The [`Substrate`] trait: what a composite system provides to be run
 //! under the generic experiment loop.
 
-use esafe_logic::{EvalError, State};
+use esafe_logic::{EvalError, Frame, SignalId, SignalTable};
 use esafe_monitor::MonitorSuite;
 use esafe_sim::Simulator;
-use std::borrow::Cow;
+use std::sync::Arc;
 
 /// A monitored composite system: one concrete configuration of one of
 /// the thesis's evaluation substrates (or any other system built on
@@ -14,6 +14,14 @@ use std::borrow::Cow;
 /// substrate family, parameters, injected defects, scenario/seed — so
 /// that [`Experiment`](crate::Experiment) can execute it and
 /// [`Sweep`](crate::Sweep) can fan grids of them across cores.
+///
+/// The substrate owns its [`SignalTable`]: the namespace is built **once**
+/// (at substrate construction) and shared by every simulator, monitor
+/// suite, sweep cell, and series sample derived from it. All per-tick
+/// interfaces below — [`Substrate::observe`],
+/// [`Substrate::terminal_event`], [`Substrate::tracked_signals`] — speak
+/// [`SignalId`]-indexed [`Frame`]s, keeping the experiment loop free of
+/// string lookups and allocation.
 pub trait Substrate {
     /// The substrate family name (e.g. `"vehicle"`, `"elevator"`).
     fn name(&self) -> &str;
@@ -26,10 +34,16 @@ pub trait Substrate {
     /// this to ticks using the simulator's own tick period.
     fn duration_ms(&self) -> u64;
 
-    /// Assembles a fresh simulator for this configuration.
+    /// The shared signal namespace this substrate's simulator, monitors,
+    /// and observed frames are indexed by.
+    fn signal_table(&self) -> &Arc<SignalTable>;
+
+    /// Assembles a fresh simulator for this configuration, over
+    /// [`Substrate::signal_table`].
     fn build_simulator(&self) -> Simulator;
 
-    /// Builds the goal/subgoal monitor suite for this configuration.
+    /// Builds the goal/subgoal monitor suite for this configuration,
+    /// compiled against [`Substrate::signal_table`].
     ///
     /// # Errors
     ///
@@ -37,26 +51,28 @@ pub trait Substrate {
     /// programming error surfaced by tests.
     fn build_monitors(&self) -> Result<MonitorSuite, EvalError>;
 
-    /// Derives the observed state the monitors and series sampling see
-    /// from the raw simulator state. The default is the identity (the
+    /// Derives the observed frame the monitors and series sampling see
+    /// from the raw simulator frame, writing into the loop-owned
+    /// `observed` scratch frame. The default copies the raw frame (the
     /// elevator's monitors read plant signals directly); the vehicle
-    /// substrate overrides this with its probe derivation.
-    fn observe<'a>(&self, raw: &'a State) -> Cow<'a, State> {
-        Cow::Borrowed(raw)
+    /// substrate overrides this to add its probe derivation on top.
+    fn observe(&self, raw: &Frame, observed: &mut Frame) {
+        observed.copy_from(raw);
     }
 
-    /// Checks the observed state for a terminal event (e.g. a collision).
+    /// Checks the observed frame for a terminal event (e.g. a collision).
     /// Returning `Some` starts the post-terminal grace window after which
     /// the run aborts early, mirroring the thesis's CarSim environment.
-    fn terminal_event(&self, observed: &State) -> Option<&'static str> {
+    fn terminal_event(&self, observed: &Frame) -> Option<&'static str> {
         let _ = observed;
         None
     }
 
-    /// Signals to record into the report's [`SeriesLog`] each tick.
+    /// Signals to record into the report's [`SeriesLog`] each tick,
+    /// resolved to ids at substrate construction.
     ///
     /// [`SeriesLog`]: esafe_sim::SeriesLog
-    fn tracked_signals(&self) -> &[String] {
+    fn tracked_signals(&self) -> &[SignalId] {
         &[]
     }
 }

@@ -181,12 +181,14 @@ pub struct SweepAggregate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use esafe_logic::{parse, EvalError, State};
+    use esafe_logic::{parse, EvalError, Frame, SignalId, SignalTable};
     use esafe_monitor::{Location, MonitorSuite};
     use esafe_sim::{SimTime, Simulator, Subsystem};
+    use std::sync::Arc;
 
     /// Emits `seed % cap` every tick; the monitor requires `y < 3`.
     struct Emit {
+        y: SignalId,
         value: f64,
     }
 
@@ -194,14 +196,16 @@ mod tests {
         fn name(&self) -> &str {
             "emit"
         }
-        fn step(&mut self, _t: &SimTime, _prev: &State, next: &mut State) {
-            next.set("y", self.value);
+        fn step(&mut self, _t: &SimTime, _prev: &Frame, next: &mut Frame) {
+            next.set(self.y, self.value);
         }
     }
 
     struct EmitSubstrate {
         value: f64,
         label: String,
+        table: Arc<SignalTable>,
+        y: SignalId,
     }
 
     impl Substrate for EmitSubstrate {
@@ -214,14 +218,20 @@ mod tests {
         fn duration_ms(&self) -> u64 {
             20
         }
+        fn signal_table(&self) -> &Arc<SignalTable> {
+            &self.table
+        }
         fn build_simulator(&self) -> Simulator {
-            let mut sim = Simulator::new(1);
-            sim.add(Emit { value: self.value });
-            sim.init(State::new().with_real("y", 0.0));
+            let mut sim = Simulator::new(1, &self.table);
+            sim.add(Emit {
+                y: self.y,
+                value: self.value,
+            });
+            sim.init_with(|f| f.set(self.y, 0.0));
             sim
         }
         fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
-            let mut suite = MonitorSuite::new();
+            let mut suite = MonitorSuite::new(self.table.clone());
             suite.add_goal(
                 "y-bound",
                 Location::new("Emit"),
@@ -232,9 +242,13 @@ mod tests {
     }
 
     fn build(cell: &u64, seed: u64) -> EmitSubstrate {
+        let mut b = SignalTable::builder();
+        let y = b.real("y");
         EmitSubstrate {
             value: (cell % 5) as f64,
             label: format!("cell-{cell}-seed-{seed:016x}"),
+            table: b.finish(),
+            y,
         }
     }
 

@@ -52,6 +52,14 @@ pub enum EvalError {
         /// The offending operator's name.
         operator: &'static str,
     },
+    /// A goal formula referenced a variable that is not in the
+    /// [`SignalTable`](crate::SignalTable) it was compiled against — the
+    /// namespace is closed at compile time, so unknown signals fail fast
+    /// instead of erroring on the first observed tick.
+    UnknownSignal {
+        /// The unresolvable variable name.
+        name: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -71,6 +79,9 @@ impl fmt::Display for EvalError {
                     f,
                     "operator `{operator}` refers to future states and is not finitely violable"
                 )
+            }
+            EvalError::UnknownSignal { name } => {
+                write!(f, "variable `{name}` is not declared in the signal table")
             }
         }
     }

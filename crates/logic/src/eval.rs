@@ -246,6 +246,13 @@ pub(crate) fn compare(
 ) -> Result<bool, EvalError> {
     let a = operand_value(lhs, state, step)?;
     let b = operand_value(rhs, state, step)?;
+    compare_values(a, op, b)
+}
+
+/// The one comparison semantics shared by the reference evaluator and the
+/// id-based incremental monitor: numeric coercion between ints and reals,
+/// equality-only symbols.
+pub(crate) fn compare_values(a: &Value, op: CmpOp, b: &Value) -> Result<bool, EvalError> {
     let ordering_err = || EvalError::IncomparableValues {
         lhs: a.to_string(),
         rhs: b.to_string(),

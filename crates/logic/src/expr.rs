@@ -441,7 +441,7 @@ impl Expr {
     pub fn rename_vars(&self, f: &impl Fn(&str) -> String) -> Expr {
         let ren = |op: &Operand| match op {
             Operand::Var(v) => Operand::Var(f(v)),
-            Operand::Lit(l) => Operand::Lit(l.clone()),
+            Operand::Lit(l) => Operand::Lit(*l),
         };
         match self {
             Expr::Const(b) => Expr::Const(*b),

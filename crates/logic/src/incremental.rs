@@ -1,9 +1,17 @@
 //! Incremental (per-tick) evaluation for run-time goal monitoring.
 //!
-//! A [`CompiledMonitor`] consumes one [`State`] per tick and reports the
+//! A [`CompiledMonitor`] consumes one [`Frame`] per tick and reports the
 //! goal's *current* truth in O(#subformulas) time and O(#subformulas)
 //! memory, independent of trace length. This is the engine behind the
 //! thesis's run-time safety-goal monitors.
+//!
+//! Compilation is two-phase: [`CompiledMonitor::compile_in`] resolves
+//! every variable reference against a shared [`SignalTable`] **once**, so
+//! the per-tick loop is pure [`SignalId`]-indexed slot access — no string
+//! lookups, no allocation. [`CompiledMonitor::compile`] is the
+//! table-less convenience for tests and goal authoring: it infers a
+//! private table from the formula's own variables and accepts name-keyed
+//! [`State`] samples through [`CompiledMonitor::observe_state`].
 //!
 //! # Monitor semantics
 //!
@@ -20,7 +28,11 @@
 use crate::error::EvalError;
 use crate::eval;
 use crate::expr::{CmpOp, Expr, Operand};
+use crate::signal::{Frame, SignalId, SignalKind, SignalTable};
 use crate::state::State;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Rewrites an expression into its run-time-monitorable form.
 ///
@@ -78,16 +90,59 @@ pub fn monitor_form(expr: &Expr) -> Result<Expr, EvalError> {
     })
 }
 
+/// Infers a private [`SignalTable`] from a formula's own variable
+/// references: boolean atoms become [`SignalKind::Bool`], comparison
+/// operands become [`SignalKind::Sym`] when compared against a symbol
+/// literal and [`SignalKind::Real`] otherwise. Backs the table-less
+/// [`CompiledMonitor::compile`] path.
+pub fn infer_table(expr: &Expr) -> Arc<SignalTable> {
+    let mut kinds: BTreeMap<String, SignalKind> = BTreeMap::new();
+    expr.visit(&mut |e| match e {
+        Expr::Var(v) => {
+            kinds.entry(v.clone()).or_insert(SignalKind::Bool);
+        }
+        Expr::Cmp { lhs, op: _, rhs } => {
+            let sym_literal = matches!(lhs, Operand::Lit(Value::Sym(_)))
+                || matches!(rhs, Operand::Lit(Value::Sym(_)));
+            for operand in [lhs, rhs] {
+                if let Operand::Var(v) = operand {
+                    let kind = if sym_literal {
+                        SignalKind::Sym
+                    } else {
+                        SignalKind::Real
+                    };
+                    kinds.entry(v.clone()).or_insert(kind);
+                }
+            }
+        }
+        _ => {}
+    });
+    let mut builder = SignalTable::builder();
+    for (name, kind) in kinds {
+        builder.signal(&name, kind);
+    }
+    builder.finish()
+}
+
 /// A compiled incremental monitor for one goal expression.
 ///
 /// # Example
 ///
 /// ```
-/// use esafe_logic::{parse, State, CompiledMonitor};
+/// use esafe_logic::{parse, CompiledMonitor, SignalTable};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut m = CompiledMonitor::compile(&parse("always(p || prev(q))")?)?;
-/// let t1 = m.observe(&State::new().with_bool("p", false).with_bool("q", true))?;
-/// let t2 = m.observe(&State::new().with_bool("p", false).with_bool("q", false))?;
+/// let mut b = SignalTable::builder();
+/// let p = b.bool("p");
+/// let q = b.bool("q");
+/// let table = b.finish();
+///
+/// let mut m = CompiledMonitor::compile_in(&parse("always(p || prev(q))")?, &table)?;
+/// let mut frame = table.frame();
+/// frame.set(p, false);
+/// frame.set(q, true);
+/// let t1 = m.observe(&frame)?;
+/// frame.set(q, false);
+/// let t2 = m.observe(&frame)?;
 /// assert!(!t1); // no previous state yet, p false
 /// assert!(t2);  // q held in the previous state
 /// # Ok(())
@@ -95,38 +150,82 @@ pub fn monitor_form(expr: &Expr) -> Result<Expr, EvalError> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompiledMonitor {
+    table: Arc<SignalTable>,
     root: Node,
     step: u64,
 }
 
 impl CompiledMonitor {
-    /// Compiles an expression for incremental monitoring.
+    /// Compiles an expression against a shared signal table, resolving
+    /// every variable reference to a [`SignalId`] once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::FutureOperator`] if the expression contains
+    /// `eventually` or `next`, and [`EvalError::UnknownSignal`] if it
+    /// references a name outside the table.
+    pub fn compile_in(expr: &Expr, table: &Arc<SignalTable>) -> Result<Self, EvalError> {
+        let rewritten = monitor_form(expr)?;
+        Ok(CompiledMonitor {
+            root: Node::build(&rewritten, table)?,
+            table: Arc::clone(table),
+            step: 0,
+        })
+    }
+
+    /// Compiles an expression over a private table inferred from its own
+    /// variables (see [`infer_table`]) — the goal-authoring convenience
+    /// used with [`CompiledMonitor::observe_state`].
     ///
     /// # Errors
     ///
     /// Returns [`EvalError::FutureOperator`] if the expression contains
     /// `eventually` or `next`.
     pub fn compile(expr: &Expr) -> Result<Self, EvalError> {
-        let rewritten = monitor_form(expr)?;
-        Ok(CompiledMonitor {
-            root: Node::build(&rewritten),
-            step: 0,
-        })
+        Self::compile_in(expr, &infer_table(expr))
     }
 
-    /// Feeds the next state sample and returns the goal's current truth.
+    /// The signal table the monitor's variable references resolve into.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
+    /// Feeds the next frame and returns the goal's current truth.
     ///
     /// # Errors
     ///
-    /// Returns [`EvalError`] if a referenced variable is missing or
-    /// mistyped in `state`. The monitor's history is still advanced
-    /// consistently on error-free subtrees, so callers should treat an
-    /// error as fatal for this monitor instance.
-    pub fn observe(&mut self, state: &State) -> Result<bool, EvalError> {
+    /// Returns [`EvalError`] if a referenced signal is unset or mistyped
+    /// in `frame`. The monitor's history is still advanced consistently on
+    /// error-free subtrees, so callers should treat an error as fatal for
+    /// this monitor instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` indexes a different table than the monitor was
+    /// compiled against.
+    pub fn observe(&mut self, frame: &Frame) -> Result<bool, EvalError> {
+        assert!(
+            Arc::ptr_eq(frame.table(), &self.table),
+            "frame and monitor must share one signal table"
+        );
         let step = usize::try_from(self.step).unwrap_or(usize::MAX);
-        let v = self.root.eval(state, step)?;
+        let v = self.root.eval(frame, step, &self.table)?;
         self.step += 1;
         Ok(v)
+    }
+
+    /// Feeds a name-keyed [`State`] sample by converting it to a frame
+    /// over the monitor's table first (names the table does not know are
+    /// ignored; referenced-but-absent names surface as
+    /// [`EvalError::MissingVar`]). This is the seed-compatible slow path
+    /// for tests and doctests — production loops hold [`Frame`]s.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledMonitor::observe`].
+    pub fn observe_state(&mut self, state: &State) -> Result<bool, EvalError> {
+        let frame = self.table.frame_from_state_lossy(state);
+        self.observe(&frame)
     }
 
     /// Number of samples observed so far.
@@ -141,14 +240,67 @@ impl CompiledMonitor {
     }
 }
 
+/// A comparison operand with its variable reference resolved.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Sig(SignalId),
+    Lit(Value),
+}
+
+impl Slot {
+    fn resolve(op: &Operand, table: &SignalTable) -> Result<Slot, EvalError> {
+        Ok(match op {
+            Operand::Var(name) => Slot::Sig(resolve(name, table)?),
+            Operand::Lit(v) => Slot::Lit(*v),
+        })
+    }
+
+    #[inline]
+    fn value(&self, frame: &Frame, step: usize, table: &SignalTable) -> Result<Value, EvalError> {
+        match self {
+            Slot::Lit(v) => Ok(*v),
+            Slot::Sig(id) => frame.get(*id).ok_or_else(|| EvalError::MissingVar {
+                name: table.name(*id).to_owned(),
+                step,
+            }),
+        }
+    }
+}
+
+fn resolve(name: &str, table: &SignalTable) -> Result<SignalId, EvalError> {
+    table.id(name).ok_or_else(|| EvalError::UnknownSignal {
+        name: name.to_owned(),
+    })
+}
+
+#[inline]
+fn frame_bool(
+    frame: &Frame,
+    id: SignalId,
+    step: usize,
+    table: &SignalTable,
+) -> Result<bool, EvalError> {
+    match frame.get(id) {
+        None => Err(EvalError::MissingVar {
+            name: table.name(id).to_owned(),
+            step,
+        }),
+        Some(Value::Bool(b)) => Ok(b),
+        Some(other) => Err(EvalError::NotBoolean {
+            name: table.name(id).to_owned(),
+            found: other.type_name(),
+        }),
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Node {
     Const(bool),
-    Var(String),
+    Var(SignalId),
     Cmp {
-        lhs: Operand,
+        lhs: Slot,
         op: CmpOp,
-        rhs: Operand,
+        rhs: Slot,
     },
     Not(Box<Node>),
     And(Vec<Node>),
@@ -187,49 +339,60 @@ enum Node {
 }
 
 impl Node {
-    fn build(expr: &Expr) -> Node {
-        match expr {
+    fn build(expr: &Expr, table: &SignalTable) -> Result<Node, EvalError> {
+        Ok(match expr {
             Expr::Const(b) => Node::Const(*b),
-            Expr::Var(v) => Node::Var(v.clone()),
+            Expr::Var(v) => Node::Var(resolve(v, table)?),
             Expr::Cmp { lhs, op, rhs } => Node::Cmp {
-                lhs: lhs.clone(),
+                lhs: Slot::resolve(lhs, table)?,
                 op: *op,
-                rhs: rhs.clone(),
+                rhs: Slot::resolve(rhs, table)?,
             },
-            Expr::Not(e) => Node::Not(Box::new(Node::build(e))),
-            Expr::And(items) => Node::And(items.iter().map(Node::build).collect()),
-            Expr::Or(items) => Node::Or(items.iter().map(Node::build).collect()),
-            Expr::Implies(a, b) => {
-                Node::Implies(Box::new(Node::build(a)), Box::new(Node::build(b)))
-            }
+            Expr::Not(e) => Node::Not(Box::new(Node::build(e, table)?)),
+            Expr::And(items) => Node::And(
+                items
+                    .iter()
+                    .map(|e| Node::build(e, table))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Or(items) => Node::Or(
+                items
+                    .iter()
+                    .map(|e| Node::build(e, table))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Implies(a, b) => Node::Implies(
+                Box::new(Node::build(a, table)?),
+                Box::new(Node::build(b, table)?),
+            ),
             Expr::Prev(e) => Node::Prev {
-                child: Box::new(Node::build(e)),
+                child: Box::new(Node::build(e, table)?),
                 last: None,
             },
             Expr::Once(e) => Node::Once {
-                child: Box::new(Node::build(e)),
+                child: Box::new(Node::build(e, table)?),
                 seen_true_before: false,
             },
             Expr::Historically(e) => Node::Historically {
-                child: Box::new(Node::build(e)),
+                child: Box::new(Node::build(e, table)?),
                 all_true_before: true,
             },
             Expr::HeldFor { expr, ticks } => Node::HeldFor {
-                child: Box::new(Node::build(expr)),
+                child: Box::new(Node::build(expr, table)?),
                 ticks: *ticks,
                 run_before: 0,
             },
             Expr::OnceWithin { expr, ticks } => Node::OnceWithin {
-                child: Box::new(Node::build(expr)),
+                child: Box::new(Node::build(expr, table)?),
                 ticks: *ticks,
                 last_true_step: None,
             },
             Expr::Became(e) => Node::Became {
-                child: Box::new(Node::build(e)),
+                child: Box::new(Node::build(e, table)?),
                 last: None,
             },
             Expr::Initially(e) => Node::Initially {
-                child: Box::new(Node::build(e)),
+                child: Box::new(Node::build(e, table)?),
                 captured: None,
             },
             // monitor_form has eliminated these before Node::build runs
@@ -238,38 +401,42 @@ impl Node {
             | Expr::Always(_)
             | Expr::Eventually(_)
             | Expr::Next(_) => unreachable!("monitor_form eliminates future forms"),
-        }
+        })
     }
 
-    fn eval(&mut self, state: &State, step: usize) -> Result<bool, EvalError> {
+    fn eval(&mut self, frame: &Frame, step: usize, table: &SignalTable) -> Result<bool, EvalError> {
         match self {
             Node::Const(b) => Ok(*b),
-            Node::Var(name) => eval::bool_var(state, name, step),
-            Node::Cmp { lhs, op, rhs } => eval::compare(lhs, *op, rhs, state, step),
-            Node::Not(e) => Ok(!e.eval(state, step)?),
+            Node::Var(id) => frame_bool(frame, *id, step, table),
+            Node::Cmp { lhs, op, rhs } => {
+                let a = lhs.value(frame, step, table)?;
+                let b = rhs.value(frame, step, table)?;
+                eval::compare_values(&a, *op, &b)
+            }
+            Node::Not(e) => Ok(!e.eval(frame, step, table)?),
             Node::And(items) => {
                 // Evaluate every child so temporal sub-monitors keep their
                 // history consistent even after a short-circuitable false.
                 let mut all = true;
                 for e in items {
-                    all &= e.eval(state, step)?;
+                    all &= e.eval(frame, step, table)?;
                 }
                 Ok(all)
             }
             Node::Or(items) => {
                 let mut any = false;
                 for e in items {
-                    any |= e.eval(state, step)?;
+                    any |= e.eval(frame, step, table)?;
                 }
                 Ok(any)
             }
             Node::Implies(a, b) => {
-                let av = a.eval(state, step)?;
-                let bv = b.eval(state, step)?;
+                let av = a.eval(frame, step, table)?;
+                let bv = b.eval(frame, step, table)?;
                 Ok(!av || bv)
             }
             Node::Prev { child, last } => {
-                let cur = child.eval(state, step)?;
+                let cur = child.eval(frame, step, table)?;
                 let out = last.unwrap_or(false);
                 *last = Some(cur);
                 Ok(out)
@@ -278,7 +445,7 @@ impl Node {
                 child,
                 seen_true_before,
             } => {
-                let cur = child.eval(state, step)?;
+                let cur = child.eval(frame, step, table)?;
                 let out = *seen_true_before;
                 *seen_true_before |= cur;
                 Ok(out)
@@ -287,7 +454,7 @@ impl Node {
                 child,
                 all_true_before,
             } => {
-                let cur = child.eval(state, step)?;
+                let cur = child.eval(frame, step, table)?;
                 let out = *all_true_before;
                 *all_true_before &= cur;
                 Ok(out)
@@ -297,7 +464,7 @@ impl Node {
                 ticks,
                 run_before,
             } => {
-                let cur = child.eval(state, step)?;
+                let cur = child.eval(frame, step, table)?;
                 let out = *ticks == 0 || *run_before >= *ticks;
                 *run_before = if cur { run_before.saturating_add(1) } else { 0 };
                 Ok(out)
@@ -307,7 +474,7 @@ impl Node {
                 ticks,
                 last_true_step,
             } => {
-                let cur = child.eval(state, step)?;
+                let cur = child.eval(frame, step, table)?;
                 let step_u64 = step as u64;
                 let out = last_true_step.is_some_and(|lt| step_u64.saturating_sub(lt) <= *ticks);
                 if cur {
@@ -316,13 +483,13 @@ impl Node {
                 Ok(out)
             }
             Node::Became { child, last } => {
-                let cur = child.eval(state, step)?;
+                let cur = child.eval(frame, step, table)?;
                 let out = cur && !last.unwrap_or(true);
                 *last = Some(cur);
                 Ok(out)
             }
             Node::Initially { child, captured } => {
-                let cur = child.eval(state, step)?;
+                let cur = child.eval(frame, step, table)?;
                 if captured.is_none() {
                     *captured = Some(cur);
                 }
@@ -410,7 +577,7 @@ mod tests {
 
     fn monitor_run(src: &str, t: &Trace) -> Vec<bool> {
         let mut m = CompiledMonitor::compile(&parse(src).unwrap()).unwrap();
-        t.iter().map(|s| m.observe(s).unwrap()).collect()
+        t.iter().map(|s| m.observe_state(s).unwrap()).collect()
     }
 
     #[test]
@@ -466,6 +633,43 @@ mod tests {
     }
 
     #[test]
+    fn compile_in_rejects_unknown_signals() {
+        let table = SignalTable::builder().finish();
+        assert_eq!(
+            CompiledMonitor::compile_in(&parse("p").unwrap(), &table).unwrap_err(),
+            EvalError::UnknownSignal { name: "p".into() }
+        );
+        let mut b = SignalTable::builder();
+        b.real("x");
+        assert!(matches!(
+            CompiledMonitor::compile_in(&parse("x < missing").unwrap(), &b.finish()),
+            Err(EvalError::UnknownSignal { name }) if name == "missing"
+        ));
+    }
+
+    #[test]
+    fn infer_table_assigns_kinds_by_position() {
+        let e = parse("p && x < 2.0 && cmd == 'STOP'").unwrap();
+        let t = infer_table(&e);
+        assert_eq!(t.kind(t.id("p").unwrap()), SignalKind::Bool);
+        assert_eq!(t.kind(t.id("x").unwrap()), SignalKind::Real);
+        assert_eq!(t.kind(t.id("cmd").unwrap()), SignalKind::Sym);
+    }
+
+    #[test]
+    fn comparisons_resolve_against_interned_symbols() {
+        let mut b = SignalTable::builder();
+        let cmd = b.sym("cmd");
+        let table = b.finish();
+        let mut m = CompiledMonitor::compile_in(&parse("cmd == 'STOP'").unwrap(), &table).unwrap();
+        let mut f = table.frame();
+        f.set(cmd, Value::sym("STOP"));
+        assert!(m.observe(&f).unwrap());
+        f.set(cmd, Value::sym("GO"));
+        assert!(!m.observe(&f).unwrap());
+    }
+
+    #[test]
     fn short_circuit_does_not_desync_history() {
         // The `prev(q)` inside the And must track q even while p is false.
         let t = trace_of(&[
@@ -484,10 +688,28 @@ mod tests {
     fn reset_restores_initial_behaviour() {
         let mut m = CompiledMonitor::compile(&parse("prev(p)").unwrap()).unwrap();
         let s_true = State::new().with_bool("p", true);
-        assert!(!m.observe(&s_true).unwrap());
-        assert!(m.observe(&s_true).unwrap());
+        assert!(!m.observe_state(&s_true).unwrap());
+        assert!(m.observe_state(&s_true).unwrap());
         m.reset();
         assert_eq!(m.steps_observed(), 0);
-        assert!(!m.observe(&s_true).unwrap());
+        assert!(!m.observe_state(&s_true).unwrap());
+    }
+
+    #[test]
+    fn missing_and_mistyped_signals_error_by_name() {
+        let mut m = CompiledMonitor::compile(&parse("p").unwrap()).unwrap();
+        assert_eq!(
+            m.observe(&m.table().clone().frame()).unwrap_err(),
+            EvalError::MissingVar {
+                name: "p".into(),
+                step: 0
+            }
+        );
+        let mut m2 = CompiledMonitor::compile(&parse("p || q").unwrap()).unwrap();
+        let s = State::new().with_int("p", 3).with_bool("q", true);
+        assert!(matches!(
+            m2.observe_state(&s),
+            Err(EvalError::NotBoolean { name, found: "int" }) if name == "p"
+        ));
     }
 }

@@ -10,29 +10,56 @@
 //! (true at least once within the previous duration `T`), the edge operator
 //! `@P ≡ ●¬P ∧ P`, and the initial-state assertion `S0 ⊨ P`.
 //!
-//! Four views of the same [`Expr`] AST are provided:
+//! # State representations
+//!
+//! Two views of system state coexist, by design:
+//!
+//! * [`signal`] — the **production** representation: a shared, immutable
+//!   [`SignalTable`] interns every variable name to a dense [`SignalId`]
+//!   once, and a [`Frame`] is one sample of all signals as a flat,
+//!   id-indexed slot array. [`Value`] is `Copy` (symbols are interned
+//!   [`Sym`]s), so the per-tick hot loop — simulator step, monitor
+//!   observe — allocates no strings and performs no map lookups.
+//! * [`state`] — the **authoring** representation: the name-keyed
+//!   [`State`] map and recorded [`Trace`]s, used by serde, tests, goal
+//!   fixtures, and the reference evaluator. Conversions:
+//!   [`SignalTable::frame_from_state`] and [`Frame::to_state`].
+//!
+//! # Views of the [`Expr`] AST
 //!
 //! * [`parser`] — a round-trippable text syntax
 //!   (`always(dc || es.stopped)`, `held_for(drc == 'STOP', 200ms) -> ok`);
-//! * [`eval`] — reference evaluation over complete recorded [`Trace`]s;
-//! * [`incremental`] — an O(#subformulas)-per-tick monitor used for
-//!   run-time goal monitoring;
-//! * [`prop`] — bounded two-state unrolling into propositional formulas with
-//!   model enumeration, used by the composability and realizability analyses
-//!   of `esafe-core`.
+//! * [`eval`] — reference evaluation over complete recorded [`Trace`]s
+//!   (the semantics of record the incremental monitor is property-tested
+//!   against);
+//! * [`incremental`] — an O(#subformulas)-per-tick monitor; variable
+//!   references are resolved to [`SignalId`]s at compile time via
+//!   [`CompiledMonitor::compile_in`];
+//! * [`prop`] — bounded two-state unrolling into propositional formulas
+//!   over a dense `(variable, age)` atom table with model enumeration,
+//!   used by the composability and realizability analyses of `esafe-core`.
 //!
 //! # Example
 //!
 //! ```
-//! use esafe_logic::{parse, State, CompiledMonitor};
+//! use esafe_logic::{parse, CompiledMonitor, SignalTable};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = SignalTable::builder();
+//! let door = b.bool("door_closed");
+//! let stopped = b.bool("elevator_stopped");
+//! let table = b.finish();
+//!
 //! let goal = parse("always(door_closed || elevator_stopped)")?;
-//! let mut monitor = CompiledMonitor::compile(&goal)?;
-//! let ok = monitor.observe(&State::new().with_bool("door_closed", true)
-//!                                       .with_bool("elevator_stopped", true))?;
-//! let bad = monitor.observe(&State::new().with_bool("door_closed", false)
-//!                                        .with_bool("elevator_stopped", false))?;
+//! let mut monitor = CompiledMonitor::compile_in(&goal, &table)?;
+//!
+//! let mut frame = table.frame();
+//! frame.set(door, true);
+//! frame.set(stopped, true);
+//! let ok = monitor.observe(&frame)?;
+//! frame.set(door, false);
+//! frame.set(stopped, false);
+//! let bad = monitor.observe(&frame)?;
 //! assert!(ok);
 //! assert!(!bad); // the safety goal is violated in the second state
 //! # Ok(())
@@ -45,6 +72,7 @@ pub mod expr;
 pub mod incremental;
 pub mod parser;
 pub mod prop;
+pub mod signal;
 pub mod state;
 pub mod value;
 
@@ -52,5 +80,6 @@ pub use error::{EvalError, ParseError, PropError};
 pub use expr::{CmpOp, Expr, Operand};
 pub use incremental::CompiledMonitor;
 pub use parser::parse;
+pub use signal::{Frame, SignalId, SignalKind, SignalTable, SignalTableBuilder};
 pub use state::{State, Trace};
-pub use value::Value;
+pub use value::{Sym, Value};

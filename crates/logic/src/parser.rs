@@ -310,7 +310,7 @@ impl<'a> Parser<'a> {
             if c == b'\'' {
                 let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
                 self.pos += 1;
-                return Ok(Value::Sym(s));
+                return Ok(Value::sym(s));
             }
             self.pos += 1;
         }

@@ -57,8 +57,8 @@ impl State {
     }
 
     /// Builder-style symbolic setter.
-    pub fn with_sym(mut self, name: impl Into<String>, v: impl Into<String>) -> Self {
-        self.set(name, Value::Sym(v.into()));
+    pub fn with_sym(mut self, name: impl Into<String>, v: impl AsRef<str>) -> Self {
+        self.set(name, Value::sym(v));
         self
     }
 

@@ -1,7 +1,106 @@
 //! Typed values carried by system state variables.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// A process-wide interned symbol: the payload of [`Value::Sym`].
+///
+/// Symbolic values are drawn from tiny command alphabets (`'STOP'`,
+/// `'GO'`, `'UP'`, …) yet the seed implementation stored each occurrence
+/// as a fresh `String`, so every simulator tick re-allocated the same
+/// handful of texts. `Sym` interns each distinct text once, process-wide:
+/// the value itself is a `Copy` 4-byte id, equality is an integer compare,
+/// and writing a symbol into a [`Frame`](crate::Frame) allocates nothing.
+///
+/// Interning is idempotent and thread-safe (parallel sweeps intern
+/// concurrently); texts are leaked once and live for the process, which is
+/// bounded by the fixed alphabets the substrates use.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::Sym;
+///
+/// let a = Sym::new("STOP");
+/// let b = Sym::new("STOP");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "STOP");
+/// assert_ne!(a, Sym::new("GO"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    by_text: HashMap<&'static str, u32>,
+    texts: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            by_text: HashMap::new(),
+            texts: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns `text`, returning the same id for the same text forever.
+    pub fn new(text: &str) -> Sym {
+        if let Some(&id) = interner()
+            .read()
+            .expect("interner poisoned")
+            .by_text
+            .get(text)
+        {
+            return Sym(id);
+        }
+        let mut w = interner().write().expect("interner poisoned");
+        if let Some(&id) = w.by_text.get(text) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let id = u32::try_from(w.texts.len()).expect("symbol alphabet overflow");
+        w.texts.push(leaked);
+        w.by_text.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner poisoned").texts[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Self {
+        Sym::new(s)
+    }
+}
+
+impl Serialize for Sym {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for Sym {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(Sym::new(s)),
+            _ => Err(DeError::custom("expected symbol string")),
+        }
+    }
+}
 
 /// The value of a state variable at one instant.
 ///
@@ -10,6 +109,10 @@ use std::fmt;
 /// comparisons coerce between [`Value::Int`] and [`Value::Real`]; symbolic
 /// values ([`Value::Sym`], used for command enumerations such as `'STOP'` /
 /// `'GO'`) support equality only.
+///
+/// `Value` is `Copy`: symbols are interned ([`Sym`]), so moving values
+/// through the per-tick [`Frame`](crate::Frame) double buffer costs a
+/// memcpy and no heap traffic.
 ///
 /// # Example
 ///
@@ -20,7 +123,7 @@ use std::fmt;
 /// assert!(Value::Real(1.5).num_lt(&Value::Int(2)).unwrap());
 /// assert_eq!(Value::sym("STOP"), Value::sym("STOP"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Value {
     /// A boolean state variable (e.g. `DoorClosed`).
     Bool(bool),
@@ -29,18 +132,18 @@ pub enum Value {
     /// A real-valued variable (e.g. `VehicleAcceleration.value` in m/s²).
     Real(f64),
     /// A symbolic/enumeration value (e.g. `DriveCommand = 'STOP'`).
-    Sym(String),
+    Sym(Sym),
 }
 
 impl Value {
     /// Convenience constructor for symbolic values.
     ///
     /// ```
-    /// use esafe_logic::Value;
-    /// assert_eq!(Value::sym("GO"), Value::Sym("GO".to_owned()));
+    /// use esafe_logic::{Sym, Value};
+    /// assert_eq!(Value::sym("GO"), Value::Sym(Sym::new("GO")));
     /// ```
-    pub fn sym(s: impl Into<String>) -> Self {
-        Value::Sym(s.into())
+    pub fn sym(s: impl AsRef<str>) -> Self {
+        Value::Sym(Sym::new(s.as_ref()))
     }
 
     /// Returns the boolean payload, if this is a [`Value::Bool`].
@@ -56,6 +159,14 @@ impl Value {
         match self {
             Value::Int(i) => Some(*i as f64),
             Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbol payload, if this is a [`Value::Sym`].
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self {
+            Value::Sym(s) => Some(*s),
             _ => None,
         }
     }
@@ -132,6 +243,12 @@ impl From<&str> for Value {
     }
 }
 
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Self {
+        Value::Sym(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +270,23 @@ mod tests {
         assert_eq!(Value::sym("STOP"), Value::sym("STOP"));
         assert_ne!(Value::sym("STOP"), Value::sym("GO"));
         assert_eq!(Value::sym("STOP").num_lt(&Value::sym("GO")), None);
+    }
+
+    #[test]
+    fn interning_is_stable_and_copy() {
+        let a = Sym::new("interning_test_token");
+        let b = Sym::new("interning_test_token");
+        assert_eq!(a, b);
+        let copied = a;
+        assert_eq!(copied.as_str(), "interning_test_token");
+        assert_eq!(Value::from(a), Value::sym("interning_test_token"));
+    }
+
+    #[test]
+    fn sym_serde_round_trips_as_text() {
+        let v = Value::sym("OPEN");
+        let c = v.to_content();
+        assert_eq!(Value::from_content(&c).unwrap(), v);
     }
 
     #[test]

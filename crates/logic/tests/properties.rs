@@ -2,8 +2,9 @@
 
 use esafe_logic::eval::eval_trace;
 use esafe_logic::incremental::{monitor_form, CompiledMonitor};
-use esafe_logic::{parse, prop, Expr, State, Trace};
+use esafe_logic::{parse, prop, Expr, SignalTable, State, Trace, Value};
 use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
 
 const VARS: [&str; 4] = ["p", "q", "r", "s"];
 
@@ -58,6 +59,20 @@ fn random_trace(rows: Vec<[bool; 4]>) -> Trace {
     t
 }
 
+/// A strategy over well-typed `(name, Value)` slot assignments for the
+/// frame round-trip property.
+fn slot_values() -> impl Strategy<Value = Vec<(&'static str, Value)>> {
+    let b = any::<bool>().prop_map(Value::Bool);
+    let i = (-1000i64..1000).prop_map(Value::Int);
+    let rs = ((-1000i64..1000), (0usize..3)).prop_map(|(n, k)| {
+        (
+            Value::Real(n as f64 / 8.0),
+            Value::sym(["STOP", "GO", "OPEN"][k]),
+        )
+    });
+    (b, i, rs).prop_map(|(b, i, (r, s))| vec![("flag", b), ("floor", i), ("speed", r), ("cmd", s)])
+}
+
 proptest! {
     /// `Display` output parses back to the identical AST.
     #[test]
@@ -66,6 +81,44 @@ proptest! {
         let reparsed = parse(&printed)
             .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
         prop_assert_eq!(e, reparsed);
+    }
+
+    /// `render(parse(s)) == s` as a *string* fixpoint: one render/parse
+    /// cycle reaches the canonical spelling, after which rendering is
+    /// stable character for character (whitespace included).
+    #[test]
+    fn render_parse_is_a_string_fixpoint(e in past_expr(4)) {
+        let canonical = e.to_string();
+        let reparsed = parse(&canonical)
+            .unwrap_or_else(|err| panic!("failed to reparse `{canonical}`: {err}"));
+        prop_assert_eq!(reparsed.to_string(), canonical);
+    }
+
+    /// A frame serializes as the name-keyed map and survives the
+    /// `Frame -> serde -> State -> Frame` round trip bit for bit.
+    #[test]
+    fn frame_round_trips_through_name_keyed_serde(slots in slot_values()) {
+        let mut b = SignalTable::builder();
+        for (name, value) in &slots {
+            b.signal(name, match value {
+                Value::Bool(_) => esafe_logic::SignalKind::Bool,
+                Value::Int(_) => esafe_logic::SignalKind::Int,
+                Value::Real(_) => esafe_logic::SignalKind::Real,
+                Value::Sym(_) => esafe_logic::SignalKind::Sym,
+            });
+        }
+        let table = b.finish();
+        let mut frame = table.frame();
+        for (name, value) in &slots {
+            frame.set_named(name, *value);
+        }
+        // Frame -> Content (name-keyed map) -> State -> Frame.
+        let content = frame.to_content();
+        let named = std::collections::BTreeMap::<String, Value>::from_content(&content)
+            .expect("name-keyed map decodes");
+        let state: State = named.into_iter().collect();
+        let back = table.frame_from_state(&state).expect("names resolve");
+        prop_assert_eq!(back, frame);
     }
 
     /// The incremental monitor agrees with the reference trace evaluator on
@@ -80,7 +133,7 @@ proptest! {
         let reference = eval_trace(&rewritten, &trace).expect("vars present");
         let mut m = CompiledMonitor::compile(&e).expect("compiles");
         let incremental: Vec<bool> =
-            trace.iter().map(|s| m.observe(s).expect("vars present")).collect();
+            trace.iter().map(|s| m.observe_state(s).expect("vars present")).collect();
         prop_assert_eq!(incremental, reference);
     }
 
@@ -151,12 +204,12 @@ proptest! {
         let trace = random_trace(rows);
         let mut m = CompiledMonitor::compile(&e).expect("compiles");
         for s in trace.iter() {
-            let _ = m.observe(s).unwrap();
+            let _ = m.observe_state(s).unwrap();
         }
         m.reset();
-        let replay: Vec<bool> = trace.iter().map(|s| m.observe(s).unwrap()).collect();
+        let replay: Vec<bool> = trace.iter().map(|s| m.observe_state(s).unwrap()).collect();
         let mut fresh = CompiledMonitor::compile(&e).expect("compiles");
-        let fresh_run: Vec<bool> = trace.iter().map(|s| fresh.observe(s).unwrap()).collect();
+        let fresh_run: Vec<bool> = trace.iter().map(|s| fresh.observe_state(s).unwrap()).collect();
         prop_assert_eq!(replay, fresh_run);
     }
 }

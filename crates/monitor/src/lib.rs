@@ -12,19 +12,32 @@
 //!   violation (evidence of residual emergence — the demon `X` of
 //!   eq. 3.14).
 //!
+//! Suites are bound to a shared [`SignalTable`](esafe_logic::SignalTable):
+//! every goal formula compiles its variable references to dense signal ids
+//! once, and each tick's sample is a [`Frame`](esafe_logic::Frame) — the
+//! per-tick observe path performs no string lookups and no allocation.
+//!
 //! # Example
 //!
 //! ```
 //! use esafe_monitor::{MonitorSuite, Location};
-//! use esafe_logic::{parse, State};
+//! use esafe_logic::{parse, SignalTable};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut suite = MonitorSuite::new();
+//! let mut b = SignalTable::builder();
+//! let accel = b.real("accel");
+//! let cmd = b.real("cmd");
+//! let table = b.finish();
+//!
+//! let mut suite = MonitorSuite::new(table.clone());
 //! suite.add_goal("1", Location::new("Vehicle"), parse("accel <= 2.0")?)?;
 //! suite.add_subgoal("1A", "1", Location::new("Arbiter"), parse("cmd <= 2.0")?)?;
 //!
 //! // Subgoal violated but goal satisfied: a false positive.
-//! suite.observe(&State::new().with_real("accel", 1.0).with_real("cmd", 3.0))?;
+//! let mut frame = table.frame();
+//! frame.set(accel, 1.0);
+//! frame.set(cmd, 3.0);
+//! suite.observe(&frame)?;
 //! suite.finish();
 //! let report = suite.correlate(0);
 //! assert_eq!(report.for_goal("1").unwrap().false_positives, 1);

@@ -3,9 +3,10 @@
 
 use crate::correlate::{CorrelationReport, CorrelationRow, SubgoalStats};
 use crate::violation::{IntervalTracker, ViolationInterval};
-use esafe_logic::{CompiledMonitor, EvalError, Expr, State};
+use esafe_logic::{CompiledMonitor, EvalError, Expr, Frame, SignalTable};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Where in the architecture a monitor runs (e.g. `Vehicle`, `Arbiter`,
 /// `CA`). Purely a label; the state samples are shared.
@@ -67,27 +68,43 @@ struct Entry {
     tracker: IntervalTracker,
 }
 
-/// A set of goal and subgoal monitors fed from a shared state stream.
+/// A set of goal and subgoal monitors fed from a shared [`Frame`] stream.
+///
+/// The suite is bound to one [`SignalTable`] at construction; every goal
+/// formula is compiled against it
+/// ([`CompiledMonitor::compile_in`]), so all variable references resolve
+/// to [`SignalId`](esafe_logic::SignalId)s once and
+/// [`MonitorSuite::observe`] is pure id-indexed slot access.
 ///
 /// Goals are top-level entries; subgoals name their parent goal. After the
 /// run, [`MonitorSuite::correlate`] produces the hit / false-positive /
 /// false-negative classification of §5.1.2.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MonitorSuite {
+    table: Arc<SignalTable>,
     entries: Vec<Entry>,
 }
 
 impl MonitorSuite {
-    /// Creates an empty suite.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates an empty suite over the given signal namespace.
+    pub fn new(table: Arc<SignalTable>) -> Self {
+        MonitorSuite {
+            table,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The signal namespace the suite's monitors are compiled against.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
     }
 
     /// Adds a system-level goal monitor.
     ///
     /// # Errors
     ///
-    /// Returns [`EvalError`] if the goal contains future operators.
+    /// Returns [`EvalError`] if the goal contains future operators or
+    /// references a signal outside the suite's table.
     pub fn add_goal(
         &mut self,
         id: impl Into<String>,
@@ -101,7 +118,8 @@ impl MonitorSuite {
     ///
     /// # Errors
     ///
-    /// Returns [`EvalError`] if the goal contains future operators.
+    /// Returns [`EvalError`] if the goal contains future operators or
+    /// references a signal outside the suite's table.
     ///
     /// # Panics
     ///
@@ -131,7 +149,7 @@ impl MonitorSuite {
         location: Location,
         expr: Expr,
     ) -> Result<(), EvalError> {
-        let monitor = CompiledMonitor::compile(&expr)?;
+        let monitor = CompiledMonitor::compile_in(&expr, &self.table)?;
         self.entries.push(Entry {
             id,
             parent,
@@ -143,14 +161,15 @@ impl MonitorSuite {
         Ok(())
     }
 
-    /// Feeds one state sample to every monitor.
+    /// Feeds one frame to every monitor — the per-tick hot path: no
+    /// string lookups, no allocation.
     ///
     /// # Errors
     ///
     /// Returns a [`MonitorError`] naming the failing monitor.
-    pub fn observe(&mut self, state: &State) -> Result<(), MonitorError> {
+    pub fn observe(&mut self, frame: &Frame) -> Result<(), MonitorError> {
         for e in &mut self.entries {
-            let ok = e.monitor.observe(state).map_err(|err| MonitorError {
+            let ok = e.monitor.observe(frame).map_err(|err| MonitorError {
                 monitor_id: e.id.clone(),
                 source: err,
             })?;
@@ -275,12 +294,15 @@ mod tests {
     use super::*;
     use esafe_logic::parse;
 
-    fn state(goal_ok: bool, sub_ok: bool) -> State {
-        State::new().with_bool("g", goal_ok).with_bool("s", sub_ok)
+    fn table() -> Arc<SignalTable> {
+        let mut b = SignalTable::builder();
+        b.bool("g");
+        b.bool("s");
+        b.finish()
     }
 
     fn suite() -> MonitorSuite {
-        let mut m = MonitorSuite::new();
+        let mut m = MonitorSuite::new(table());
         m.add_goal("G", Location::new("System"), parse("g").unwrap())
             .unwrap();
         m.add_subgoal("G.A", "G", Location::new("Sub"), parse("s").unwrap())
@@ -288,11 +310,18 @@ mod tests {
         m
     }
 
+    fn observe(m: &mut MonitorSuite, goal_ok: bool, sub_ok: bool) {
+        let mut f = m.table().clone().frame();
+        f.set_named("g", goal_ok);
+        f.set_named("s", sub_ok);
+        m.observe(&f).unwrap();
+    }
+
     #[test]
     fn hit_when_goal_and_subgoal_overlap() {
         let mut m = suite();
         for (g, s) in [(true, true), (false, false), (true, true)] {
-            m.observe(&state(g, s)).unwrap();
+            observe(&mut m, g, s);
         }
         m.finish();
         let r = m.correlate(0);
@@ -307,7 +336,7 @@ mod tests {
     fn false_negative_when_goal_fires_alone() {
         let mut m = suite();
         for (g, s) in [(true, true), (false, true), (true, true)] {
-            m.observe(&state(g, s)).unwrap();
+            observe(&mut m, g, s);
         }
         m.finish();
         let r = m.correlate(0);
@@ -322,7 +351,7 @@ mod tests {
     fn false_positive_when_subgoal_fires_alone() {
         let mut m = suite();
         for (g, s) in [(true, true), (true, false), (true, true)] {
-            m.observe(&state(g, s)).unwrap();
+            observe(&mut m, g, s);
         }
         m.finish();
         let r = m.correlate(0);
@@ -345,7 +374,7 @@ mod tests {
             (false, true),
             (true, true),
         ] {
-            m.observe(&state(g, s)).unwrap();
+            observe(&mut m, g, s);
         }
         m.finish();
         assert_eq!(m.correlate(0).for_goal("G").unwrap().hits, 0);
@@ -356,7 +385,7 @@ mod tests {
     #[test]
     fn violations_and_matrix_are_reported() {
         let mut m = suite();
-        m.observe(&state(false, true)).unwrap();
+        observe(&mut m, false, true);
         m.finish();
         assert_eq!(m.violations("G").unwrap().len(), 1);
         assert_eq!(m.violations("G.A").unwrap().len(), 0);
@@ -371,7 +400,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be added before")]
     fn subgoal_requires_parent() {
-        let mut m = MonitorSuite::new();
+        let mut m = MonitorSuite::new(table());
         m.add_subgoal("X.A", "X", Location::new("L"), parse("p").unwrap())
             .unwrap();
     }
@@ -379,8 +408,18 @@ mod tests {
     #[test]
     fn observe_error_names_the_monitor() {
         let mut m = suite();
-        let err = m.observe(&State::new()).unwrap_err();
+        let empty = m.table().clone().frame();
+        let err = m.observe(&empty).unwrap_err();
         assert_eq!(err.monitor_id, "G");
         assert!(err.to_string().contains("monitor `G`"));
+    }
+
+    #[test]
+    fn unknown_signal_fails_at_add_time() {
+        let mut m = MonitorSuite::new(table());
+        assert!(matches!(
+            m.add_goal("X", Location::new("L"), parse("not_declared").unwrap()),
+            Err(EvalError::UnknownSignal { .. })
+        ));
     }
 }

@@ -57,7 +57,8 @@ pub fn violation_table(report: &ScenarioReport) -> String {
 /// matrix.
 pub fn monitoring_matrix() -> String {
     let params = VehicleParams::default();
-    let suite = esafe_vehicle::goals::build_suite(&params).expect("goal tables compile");
+    let (table, _sigs) = esafe_vehicle::signals::vehicle_table();
+    let suite = esafe_vehicle::goals::build_suite(&table, &params).expect("goal tables compile");
     let locations = ["Vehicle", "Arbiter", "CA", "RCA", "PA", "LCA", "ACC"];
     let mut out = String::new();
     let _ = writeln!(

@@ -14,34 +14,47 @@
 //! * [`SeriesLog`] for recording the time series behind the thesis's
 //!   figures.
 //!
-//! The blackboard *is* [`esafe_logic::State`], so run-time goal monitors
-//! attach without adapters.
+//! The blackboard *is* an [`esafe_logic::Frame`] over the simulator's
+//! [`SignalTable`] — the signal set is declared once at build time, and
+//! stepping **double-buffers two frames** instead of cloning maps: the
+//! previous tick's frame is memcpy'd into the scratch frame, subsystems
+//! write through [`SignalId`]-typed accessors, and the buffers swap.
+//! Run-time goal monitors compiled with
+//! [`CompiledMonitor::compile_in`](esafe_logic::CompiledMonitor::compile_in)
+//! against the same table attach without adapters, so the whole per-tick
+//! loop holds zero `String` allocations.
 //!
 //! # Example
 //!
 //! ```
 //! use esafe_sim::{SimTime, Simulator, Subsystem};
-//! use esafe_logic::State;
+//! use esafe_logic::{Frame, SignalId, SignalTable};
 //!
-//! struct Counter;
+//! struct Counter {
+//!     n: SignalId,
+//! }
 //! impl Subsystem for Counter {
 //!     fn name(&self) -> &str { "counter" }
-//!     fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
-//!         let n = prev.get("n").and_then(|v| v.as_real()).unwrap_or(0.0);
-//!         next.set("n", n + 1.0);
+//!     fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
+//!         next.set(self.n, prev.real_or(self.n, 0.0) + 1.0);
 //!     }
 //! }
 //!
-//! let mut sim = Simulator::new(1);
-//! sim.add(Counter);
-//! sim.init(State::new().with_real("n", 0.0));
+//! let mut b = SignalTable::builder();
+//! let n = b.real("n");
+//! let table = b.finish();
+//!
+//! let mut sim = Simulator::new(1, &table);
+//! sim.add(Counter { n });
+//! sim.init_with(|frame| frame.set(n, 0.0));
 //! for _ in 0..5 { sim.step(); }
-//! assert_eq!(sim.state().get("n").unwrap().as_real(), Some(5.0));
+//! assert_eq!(sim.state().real_or(n, -1.0), 5.0);
 //! ```
 
-use esafe_logic::{State, Value};
+use esafe_logic::{Frame, SignalId, SignalTable, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Simulation time: the current tick and the tick period.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,37 +83,49 @@ impl SimTime {
 /// Subsystems are stepped in registration order, but because every
 /// subsystem reads the same previous snapshot, ordering does not leak
 /// information within a tick — all inter-subsystem communication takes at
-/// least one tick, as in the thesis's state model.
+/// least one tick, as in the thesis's state model. Subsystems hold the
+/// [`SignalId`]s they read and write, resolved once at construction.
 pub trait Subsystem {
     /// Display name (used in logs and error messages).
     fn name(&self) -> &str;
 
     /// Advances one tick: read `prev`, write outputs into `next`.
-    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State);
+    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame);
 }
 
-/// The fixed-step simulator.
+/// The fixed-step simulator: a registered subsystem list over a
+/// double-buffered pair of [`Frame`]s sharing one [`SignalTable`].
 pub struct Simulator {
     subsystems: Vec<Box<dyn Subsystem>>,
-    state: State,
+    /// The current (front) snapshot.
+    state: Frame,
+    /// The scratch (back) frame the next tick is composed into.
+    scratch: Frame,
     tick: u64,
     dt_millis: u64,
 }
 
 impl Simulator {
-    /// Creates a simulator with the given tick period in milliseconds.
+    /// Creates a simulator with the given tick period in milliseconds
+    /// over the given signal namespace.
     ///
     /// # Panics
     ///
     /// Panics if `dt_millis` is zero.
-    pub fn new(dt_millis: u64) -> Self {
+    pub fn new(dt_millis: u64, table: &Arc<SignalTable>) -> Self {
         assert!(dt_millis > 0, "tick period must be positive");
         Simulator {
             subsystems: Vec::new(),
-            state: State::new(),
+            state: table.frame(),
+            scratch: table.frame(),
             tick: 0,
             dt_millis,
         }
+    }
+
+    /// The shared signal namespace.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        self.state.table()
     }
 
     /// Registers a subsystem (stepped in registration order).
@@ -109,9 +134,21 @@ impl Simulator {
     }
 
     /// Sets the initial state (tick 0 snapshot).
-    pub fn init(&mut self, state: State) {
-        self.state = state;
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` indexes a different table.
+    pub fn init(&mut self, frame: Frame) {
+        self.state.copy_from(&frame);
         self.tick = 0;
+    }
+
+    /// Seeds the initial state in place: `seed` receives a fresh all-unset
+    /// frame over the simulator's table.
+    pub fn init_with(&mut self, seed: impl FnOnce(&mut Frame)) {
+        let mut frame = self.table().frame();
+        seed(&mut frame);
+        self.init(frame);
     }
 
     /// Current tick count.
@@ -130,29 +167,29 @@ impl Simulator {
     }
 
     /// The current state snapshot.
-    pub fn state(&self) -> &State {
+    pub fn state(&self) -> &Frame {
         &self.state
     }
 
-    /// Advances one tick and returns the new state.
-    pub fn step(&mut self) -> &State {
+    /// Advances one tick and returns the new state. The double-buffer
+    /// refresh is a memcpy; nothing on this path allocates.
+    pub fn step(&mut self) -> &Frame {
         let t = SimTime {
             tick: self.tick + 1,
             dt_millis: self.dt_millis,
         };
-        let prev = self.state.clone();
-        let mut next = prev.clone();
+        self.scratch.copy_from(&self.state);
         for s in &mut self.subsystems {
-            s.step(&t, &prev, &mut next);
+            s.step(&t, &self.state, &mut self.scratch);
         }
-        self.state = next;
+        std::mem::swap(&mut self.state, &mut self.scratch);
         self.tick += 1;
         &self.state
     }
 
     /// Runs until `ticks` have elapsed or `observer` returns `false`.
     /// The observer sees each new state as it is produced.
-    pub fn run(&mut self, ticks: u64, mut observer: impl FnMut(u64, &State) -> bool) {
+    pub fn run(&mut self, ticks: u64, mut observer: impl FnMut(u64, &Frame) -> bool) {
         for _ in 0..ticks {
             self.step();
             if !observer(self.tick, &self.state) {
@@ -167,6 +204,7 @@ impl std::fmt::Debug for Simulator {
         f.debug_struct("Simulator")
             .field("tick", &self.tick)
             .field("dt_millis", &self.dt_millis)
+            .field("signals", &self.table().len())
             .field(
                 "subsystems",
                 &self.subsystems.iter().map(|s| s.name()).collect::<Vec<_>>(),
@@ -235,6 +273,7 @@ impl RateLimiter {
 }
 
 /// A fixed-latency value pipe modeling network/communication delay.
+/// [`Value`] is `Copy`, so shifting the line never allocates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DelayLine {
     queue: VecDeque<Value>,
@@ -259,12 +298,17 @@ impl DelayLine {
         if self.queue.len() > self.delay_ticks {
             self.queue.pop_front().expect("length checked")
         } else {
-            self.default.clone()
+            self.default
         }
     }
 }
 
 /// Records named time series for figure reproduction.
+///
+/// Series are keyed by signal *name* (reports and figure tooling stay
+/// name-addressable), but per-tick sampling goes through
+/// [`SeriesLog::sample`] with a resolved [`SignalId`] — a map lookup of an
+/// existing key plus a `Vec` push, no per-tick `String` allocation.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SeriesLog {
     series: BTreeMap<String, Vec<(f64, f64)>>,
@@ -276,25 +320,28 @@ impl SeriesLog {
         Self::default()
     }
 
-    /// Appends a `(time, value)` point to the named series.
+    /// Appends a `(time, value)` point to the named series. The name is
+    /// only copied when its series is first created, so steady-state
+    /// sampling allocates nothing but the point itself.
     pub fn push(&mut self, name: &str, time_s: f64, value: f64) {
-        self.series
-            .entry(name.to_owned())
-            .or_default()
-            .push((time_s, value));
+        if let Some(points) = self.series.get_mut(name) {
+            points.push((time_s, value));
+        } else {
+            self.series.insert(name.to_owned(), vec![(time_s, value)]);
+        }
     }
 
-    /// Samples a numeric or boolean signal from a state into the series
-    /// (booleans record as 0/1). Missing or symbolic signals are skipped.
-    pub fn sample(&mut self, name: &str, time_s: f64, state: &State) {
-        match state.get(name) {
-            Some(Value::Bool(b)) => self.push(name, time_s, if *b { 1.0 } else { 0.0 }),
-            Some(v) => {
-                if let Some(x) = v.as_real() {
-                    self.push(name, time_s, x);
-                }
-            }
-            None => {}
+    /// Samples a numeric or boolean signal from a frame into the series
+    /// named after the signal (booleans record as 0/1). Unset or symbolic
+    /// signals are skipped.
+    pub fn sample(&mut self, frame: &Frame, id: SignalId, time_s: f64) {
+        let point = match frame.get(id) {
+            Some(Value::Bool(b)) => Some(if b { 1.0 } else { 0.0 }),
+            Some(v) => v.as_real(),
+            None => None,
+        };
+        if let Some(x) = point {
+            self.push(frame.table().name(id), time_s, x);
         }
     }
 
@@ -325,48 +372,59 @@ impl SeriesLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use esafe_logic::SignalTableBuilder;
 
     struct Echo {
-        from: &'static str,
-        to: &'static str,
+        from: SignalId,
+        to: SignalId,
     }
 
     impl Subsystem for Echo {
         fn name(&self) -> &str {
             "echo"
         }
-        fn step(&mut self, _t: &SimTime, prev: &State, next: &mut State) {
+        fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
             if let Some(v) = prev.get(self.from) {
-                next.set(self.to, v.clone());
+                next.set(self.to, v);
             }
         }
+    }
+
+    fn abc() -> (Arc<SignalTable>, [SignalId; 3]) {
+        let mut b = SignalTableBuilder::new();
+        let ids = [b.real("a"), b.real("b"), b.real("c")];
+        (b.finish(), ids)
     }
 
     #[test]
     fn subsystems_see_previous_tick_only() {
         // a -> b -> c echo chain: values propagate one hop per tick even
         // though both echoes run every tick.
-        let mut sim = Simulator::new(1);
-        sim.add(Echo { from: "a", to: "b" });
-        sim.add(Echo { from: "b", to: "c" });
-        sim.init(
-            State::new()
-                .with_real("a", 7.0)
-                .with_real("b", 0.0)
-                .with_real("c", 0.0),
-        );
+        let (table, [a, b, c]) = abc();
+        let mut sim = Simulator::new(1, &table);
+        sim.add(Echo { from: a, to: b });
+        sim.add(Echo { from: b, to: c });
+        sim.init_with(|f| {
+            f.set(a, 7.0);
+            f.set(b, 0.0);
+            f.set(c, 0.0);
+        });
         sim.step();
-        assert_eq!(sim.state().get("b").unwrap().as_real(), Some(7.0));
-        assert_eq!(sim.state().get("c").unwrap().as_real(), Some(0.0));
+        assert_eq!(sim.state().real_or(b, -1.0), 7.0);
+        assert_eq!(sim.state().real_or(c, -1.0), 0.0);
         sim.step();
-        assert_eq!(sim.state().get("c").unwrap().as_real(), Some(7.0));
+        assert_eq!(sim.state().real_or(c, -1.0), 7.0);
     }
 
     #[test]
     fn run_stops_when_observer_returns_false() {
-        let mut sim = Simulator::new(1);
-        sim.add(Echo { from: "a", to: "b" });
-        sim.init(State::new().with_real("a", 1.0).with_real("b", 0.0));
+        let (table, [a, b, _]) = abc();
+        let mut sim = Simulator::new(1, &table);
+        sim.add(Echo { from: a, to: b });
+        sim.init_with(|f| {
+            f.set(a, 1.0);
+            f.set(b, 0.0);
+        });
         let mut seen = 0;
         sim.run(100, |tick, _| {
             seen += 1;
@@ -378,8 +436,8 @@ mod tests {
 
     #[test]
     fn seconds_accounts_for_dt() {
-        let mut sim = Simulator::new(10);
-        sim.init(State::new());
+        let (table, _) = abc();
+        let mut sim = Simulator::new(10, &table);
         for _ in 0..100 {
             sim.step();
         }
@@ -443,11 +501,18 @@ mod tests {
 
     #[test]
     fn series_log_samples_bools_as_binary() {
+        let mut b = SignalTableBuilder::new();
+        let flag = b.bool("flag");
+        let cmd = b.sym("cmd");
+        let none = b.real("none");
+        let table = b.finish();
+        let mut frame = table.frame();
+        frame.set(flag, true);
+        frame.set(cmd, Value::sym("GO"));
         let mut log = SeriesLog::new();
-        let s = State::new().with_bool("flag", true).with_sym("cmd", "GO");
-        log.sample("flag", 0.5, &s);
-        log.sample("cmd", 0.5, &s); // symbolic: skipped
-        log.sample("none", 0.5, &s); // missing: skipped
+        log.sample(&frame, flag, 0.5);
+        log.sample(&frame, cmd, 0.5); // symbolic: skipped
+        log.sample(&frame, none, 0.5); // unset: skipped
         assert_eq!(log.series("flag").unwrap(), &[(0.5, 1.0)]);
         assert!(log.series("cmd").is_none());
     }

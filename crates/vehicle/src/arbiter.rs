@@ -16,43 +16,44 @@
 //!   pedals (scenario 4, Fig. 5.8).
 
 use crate::config::{DefectSet, VehicleParams};
-use crate::features::{boolean, real};
-use crate::signals as sig;
-use esafe_logic::{State, Value};
+use crate::signals::{self as sig, VehicleSigs};
+use esafe_logic::Frame;
 use esafe_sim::{SimTime, Subsystem};
 
-/// Steering-capable features in correct priority order.
-const STEERING_PRIORITY: [&str; 2] = ["PA", "LCA"];
+/// Steering-capable features in correct priority order (indices into
+/// [`sig::FEATURES`]).
+const STEERING_PRIORITY: [usize; 2] = [sig::PA, sig::LCA];
 
 /// The arbitration subsystem.
 #[derive(Debug)]
 pub struct Arbiter {
     params: VehicleParams,
     defects: DefectSet,
+    sigs: VehicleSigs,
     last_cmd: f64,
     last_steering_cmd: f64,
 }
 
 impl Arbiter {
     /// Creates the arbiter.
-    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+    pub fn new(params: VehicleParams, defects: DefectSet, sigs: VehicleSigs) -> Self {
         Arbiter {
             params,
             defects,
+            sigs,
             last_cmd: 0.0,
             last_steering_cmd: 0.0,
         }
     }
 
     /// Seeds the blackboard with the arbiter's initial outputs.
-    pub fn initial_state() -> State {
-        State::new()
-            .with_real(sig::ACCEL_CMD, 0.0)
-            .with_real(sig::ACCEL_CMD_RATE, 0.0)
-            .with_sym(sig::ACCEL_SOURCE, "DRIVER")
-            .with_real(sig::STEERING_CMD, 0.0)
-            .with_sym(sig::STEERING_SOURCE, "NONE")
-            .with_bool("arbiter.driver_selected", true)
+    pub fn seed(frame: &mut Frame, sigs: &VehicleSigs) {
+        frame.set(sigs.accel_cmd, 0.0);
+        frame.set(sigs.accel_cmd_rate, 0.0);
+        frame.set(sigs.accel_source, sigs.sym_driver);
+        frame.set(sigs.steering_cmd, 0.0);
+        frame.set(sigs.steering_source, sigs.sym_none);
+        frame.set(sigs.driver_selected, true);
     }
 }
 
@@ -61,19 +62,20 @@ impl Subsystem for Arbiter {
         "Arbiter"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
-        let speed = real(prev, sig::HOST_SPEED, 0.0);
-        let driver_request = real(prev, sig::DRIVER_ACCEL_REQUEST, 0.0);
-        let throttle = real(prev, sig::DRIVER_THROTTLE, 0.0) > 0.05;
-        let brake = real(prev, sig::DRIVER_BRAKE, 0.0) > 0.05;
+    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+        let s = &self.sigs;
+        let speed = prev.real_or(s.host_speed, 0.0);
+        let driver_request = prev.real_or(s.driver_accel_request, 0.0);
+        let throttle = prev.real_or(s.driver_throttle, 0.0) > 0.05;
+        let brake = prev.real_or(s.driver_brake, 0.0) > 0.05;
         let pedal = throttle || brake;
-        let steering_active = boolean(prev, sig::DRIVER_STEERING_ACTIVE);
+        let steering_active = prev.bool_or(s.driver_steering_active, false);
 
         // ---- Stage 1: acceleration arbitration (CA > RCA > PA > LCA > ACC).
-        let mut winner: Option<&str> = None;
-        for f in sig::FEATURES {
-            if boolean(prev, &sig::active(f)) {
-                winner = Some(f);
+        let mut winner: Option<usize> = None;
+        for (i, f) in s.features.iter().enumerate() {
+            if prev.bool_or(f.active, false) {
+                winner = Some(i);
                 break;
             }
         }
@@ -82,11 +84,11 @@ impl Subsystem for Arbiter {
         // even though ACC never reported itself active (Fig. 5.15).
         if winner.is_none()
             && self.defects.acc_ghost_accel_from_stop
-            && boolean(prev, &sig::hmi_engage("ACC"))
-            && real(prev, &sig::accel_request("ACC"), 0.0) > 0.0
+            && prev.bool_or(s.features[sig::ACC].hmi_engage, false)
+            && prev.real_or(s.features[sig::ACC].accel_request, 0.0) > 0.0
             && speed.abs() < 0.05
         {
-            winner = Some("ACC");
+            winner = Some(sig::ACC);
         }
 
         // Driver override: pedals displace a feature whose request is not a
@@ -95,7 +97,7 @@ impl Subsystem for Arbiter {
         // removes it.
         if let Some(f) = winner {
             if pedal && !self.defects.acc_throttle_handoff_glitch {
-                let req = real(prev, &sig::accel_request(f), 0.0);
+                let req = prev.real_or(s.features[f].accel_request, 0.0);
                 let overridable = if speed >= 0.0 {
                     req >= -2.0
                 } else {
@@ -107,37 +109,40 @@ impl Subsystem for Arbiter {
             }
         }
 
-        let (mut cmd, src) = match winner {
-            Some(f) => (real(prev, &sig::accel_request(f), 0.0), f),
-            None => (driver_request, "DRIVER"),
+        let mut cmd = match winner {
+            Some(f) => prev.real_or(s.features[f].accel_request, 0.0),
+            None => driver_request,
         };
 
         // ---- Stage 2: steering arbitration.
-        let steer_order: [&str; 2] = if self.defects.steering_arbitration_reversed {
-            ["LCA", "PA"]
+        let steer_order: [usize; 2] = if self.defects.steering_arbitration_reversed {
+            [sig::LCA, sig::PA]
         } else {
             STEERING_PRIORITY
         };
-        let mut steer_winner: Option<&str> = None;
+        let mut steer_winner: Option<usize> = None;
         if !steering_active {
             for f in steer_order {
-                if boolean(prev, &sig::requests_steering(f)) {
+                if prev.bool_or(s.features[f].requests_steering, false) {
                     steer_winner = Some(f);
                     break;
                 }
             }
         }
         let (steering_cmd, steering_src) = if steering_active {
-            (real(prev, sig::DRIVER_STEERING, 0.0), "DRIVER")
+            (prev.real_or(s.driver_steering, 0.0), s.sym_driver)
         } else {
             match steer_winner {
-                Some("LCA") if self.defects.lca_steering_ignored => {
+                Some(sig::LCA) if self.defects.lca_steering_ignored => {
                     // Attributed to LCA, but the command never changes
                     // (Fig. 5.10).
-                    (self.last_steering_cmd, "LCA")
+                    (self.last_steering_cmd, s.features[sig::LCA].tag)
                 }
-                Some(f) => (real(prev, &sig::steering_request(f), 0.0), f),
-                None => (0.0, "NONE"),
+                Some(f) => (
+                    prev.real_or(s.features[f].steering_request, 0.0),
+                    s.features[f].tag,
+                ),
+                None => (0.0, s.sym_none),
             }
         };
 
@@ -146,15 +151,15 @@ impl Subsystem for Arbiter {
         // flags and source tag stand (Fig. 5.4).
         if self.defects.steering_arbitration_reversed {
             if let Some(f) = steer_winner {
-                if f != src {
-                    cmd = real(prev, &sig::accel_request(f), 0.0);
+                if Some(f) != winner {
+                    cmd = prev.real_or(s.features[f].accel_request, 0.0);
                 }
             }
         }
 
         // Scenario-9 defect: PA is selected but its request is not what
         // gets forwarded (Fig. 5.14).
-        if src == "PA" && self.defects.pa_request_not_forwarded {
+        if winner == Some(sig::PA) && self.defects.pa_request_not_forwarded {
             cmd = 0.0;
         }
 
@@ -165,7 +170,7 @@ impl Subsystem for Arbiter {
         // incomplete-handoff finding as the override defect (Fig. 5.7).
         let raw_forwarding =
             self.defects.acc_throttle_handoff_glitch || self.defects.acc_ghost_accel_from_stop;
-        if src != "DRIVER" && !raw_forwarding {
+        if winner.is_some() && !raw_forwarding {
             let max_step = 0.95 * self.params.jerk_limit * t.dt_seconds();
             if speed >= 0.0 {
                 // Forward: positive steps are comfort-bounded, braking
@@ -184,20 +189,26 @@ impl Subsystem for Arbiter {
         self.last_cmd = cmd;
         self.last_steering_cmd = steering_cmd;
 
-        next.set(sig::ACCEL_CMD, cmd);
-        next.set(sig::ACCEL_CMD_RATE, rate);
-        next.set(sig::ACCEL_SOURCE, Value::sym(src));
-        next.set(sig::STEERING_CMD, steering_cmd);
-        next.set(sig::STEERING_SOURCE, Value::sym(steering_src));
-        next.set("arbiter.driver_selected", src == "DRIVER");
-        for f in sig::FEATURES {
-            let mut selected = src == f;
+        next.set(s.accel_cmd, cmd);
+        next.set(s.accel_cmd_rate, rate);
+        next.set(
+            s.accel_source,
+            match winner {
+                Some(f) => s.features[f].tag,
+                None => s.sym_driver,
+            },
+        );
+        next.set(s.steering_cmd, steering_cmd);
+        next.set(s.steering_source, steering_src);
+        next.set(s.driver_selected, winner.is_none());
+        for (i, f) in s.features.iter().enumerate() {
+            let mut selected = winner == Some(i);
             // Dual-flag hazard: LCA's longitudinal channel is executed by
             // ACC, and the implementation marks both selected (Fig. 5.11).
-            if f == "ACC" && src == "LCA" {
+            if i == sig::ACC && winner == Some(sig::LCA) {
                 selected = true;
             }
-            next.set(sig::selected(f), selected);
+            next.set(f.selected, selected);
         }
     }
 }
@@ -205,27 +216,28 @@ impl Subsystem for Arbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::FeatureOutputs;
+    use crate::signals::vehicle_table;
+    use esafe_logic::{SignalTable, Value};
+    use std::sync::Arc;
 
-    fn base_state() -> State {
-        let mut s = Arbiter::initial_state()
-            .with_real(sig::HOST_SPEED, 5.0)
-            .with_real(sig::DRIVER_ACCEL_REQUEST, 0.0)
-            .with_real(sig::DRIVER_THROTTLE, 0.0)
-            .with_real(sig::DRIVER_BRAKE, 0.0)
-            .with_bool(sig::DRIVER_STEERING_ACTIVE, false)
-            .with_real(sig::DRIVER_STEERING, 0.0);
-        for f in sig::FEATURES {
-            s.extend(
-                crate::features::FeatureOutputs::initial_state(f)
-                    .into_iter()
-                    .map(|(k, v)| (k.clone(), v.clone())),
-            );
-            s.set(sig::hmi_engage(f), false);
+    fn base_state(table: &Arc<SignalTable>, sigs: &VehicleSigs) -> Frame {
+        let mut f = table.frame();
+        Arbiter::seed(&mut f, sigs);
+        f.set(sigs.host_speed, 5.0);
+        f.set(sigs.driver_accel_request, 0.0);
+        f.set(sigs.driver_throttle, 0.0);
+        f.set(sigs.driver_brake, 0.0);
+        f.set(sigs.driver_steering_active, false);
+        f.set(sigs.driver_steering, 0.0);
+        for fs in &sigs.features {
+            FeatureOutputs::seed(&mut f, fs);
+            f.set(fs.hmi_engage, false);
         }
-        s
+        f
     }
 
-    fn tick(arb: &mut Arbiter, prev: &State) -> State {
+    fn tick(arb: &mut Arbiter, prev: &Frame) -> Frame {
         let mut next = prev.clone();
         arb.step(
             &SimTime {
@@ -238,142 +250,156 @@ mod tests {
         next
     }
 
-    fn activate(s: &mut State, feature: &str, request: f64, steering: bool) {
-        s.set(sig::active(feature), true);
-        s.set(sig::requests_accel(feature), true);
-        s.set(sig::accel_request(feature), request);
-        s.set(sig::requests_steering(feature), steering);
+    fn activate(f: &mut Frame, sigs: &VehicleSigs, feature: usize, request: f64, steering: bool) {
+        let fs = &sigs.features[feature];
+        f.set(fs.active, true);
+        f.set(fs.requests_accel, true);
+        f.set(fs.accel_request, request);
+        f.set(fs.requests_steering, steering);
     }
 
     #[test]
     fn priority_order_prefers_ca() {
-        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
-        let mut s = base_state();
-        activate(&mut s, "ACC", 1.0, false);
-        activate(&mut s, "CA", -8.0, false);
+        let (table, sigs) = vehicle_table();
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut s = base_state(&table, &sigs);
+        activate(&mut s, &sigs, sig::ACC, 1.0, false);
+        activate(&mut s, &sigs, sig::CA, -8.0, false);
         let out = tick(&mut arb, &s);
-        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("CA")));
-        assert_eq!(real(&out, sig::ACCEL_CMD, 0.0), -8.0);
-        assert!(boolean(&out, "ca.selected"));
-        assert!(!boolean(&out, "acc.selected"));
+        assert_eq!(out.get(sigs.accel_source), Some(Value::sym("CA")));
+        assert_eq!(out.real_or(sigs.accel_cmd, 0.0), -8.0);
+        assert!(out.bool_or(sigs.features[sig::CA].selected, false));
+        assert!(!out.bool_or(sigs.features[sig::ACC].selected, true));
     }
 
     #[test]
     fn driver_is_default_source() {
-        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
-        let mut s = base_state();
-        s.set(sig::DRIVER_ACCEL_REQUEST, 0.9);
+        let (table, sigs) = vehicle_table();
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut s = base_state(&table, &sigs);
+        s.set(sigs.driver_accel_request, Value::Real(0.9));
         let out = tick(&mut arb, &s);
-        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("DRIVER")));
-        assert_eq!(real(&out, sig::ACCEL_CMD, 0.0), 0.9);
-        assert!(boolean(&out, "arbiter.driver_selected"));
+        assert_eq!(out.get(sigs.accel_source), Some(sigs.sym_driver));
+        assert_eq!(out.real_or(sigs.accel_cmd, 0.0), 0.9);
+        assert!(out.bool_or(sigs.driver_selected, false));
     }
 
     #[test]
     fn healthy_pedal_overrides_soft_requests_but_not_hard_braking() {
-        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
-        let mut s = base_state();
-        s.set(sig::DRIVER_THROTTLE, 0.5);
-        s.set(sig::DRIVER_ACCEL_REQUEST, 1.5);
-        activate(&mut s, "ACC", 1.0, false);
+        let (table, sigs) = vehicle_table();
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut s = base_state(&table, &sigs);
+        s.set(sigs.driver_throttle, Value::Real(0.5));
+        s.set(sigs.driver_accel_request, Value::Real(1.5));
+        activate(&mut s, &sigs, sig::ACC, 1.0, false);
         let out = tick(&mut arb, &s);
-        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("DRIVER")));
+        assert_eq!(out.get(sigs.accel_source), Some(sigs.sym_driver));
 
         // CA's −8 m/s² hard stop is not overridable.
-        activate(&mut s, "CA", -8.0, false);
+        activate(&mut s, &sigs, sig::CA, -8.0, false);
         let out = tick(&mut arb, &s);
-        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("CA")));
+        assert_eq!(out.get(sigs.accel_source), Some(Value::sym("CA")));
     }
 
     #[test]
     fn defective_override_lets_features_win_over_pedals() {
+        let (table, sigs) = vehicle_table();
         let defects = DefectSet {
             acc_throttle_handoff_glitch: true,
             ..DefectSet::none()
         };
-        let mut arb = Arbiter::new(VehicleParams::default(), defects);
-        let mut s = base_state();
-        s.set(sig::DRIVER_THROTTLE, 0.5);
-        activate(&mut s, "ACC", 1.0, false);
+        let mut arb = Arbiter::new(VehicleParams::default(), defects, sigs);
+        let mut s = base_state(&table, &sigs);
+        s.set(sigs.driver_throttle, Value::Real(0.5));
+        activate(&mut s, &sigs, sig::ACC, 1.0, false);
         let out = tick(&mut arb, &s);
-        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("ACC")));
+        assert_eq!(out.get(sigs.accel_source), Some(Value::sym("ACC")));
     }
 
     #[test]
     fn steering_hijack_defect_reproduces_scenario_2() {
+        let (table, sigs) = vehicle_table();
         let defects = DefectSet {
             steering_arbitration_reversed: true,
             ..DefectSet::none()
         };
-        let mut arb = Arbiter::new(VehicleParams::default(), defects);
-        let mut s = base_state();
-        activate(&mut s, "CA", -8.0, false);
-        activate(&mut s, "PA", 0.0, true);
+        let mut arb = Arbiter::new(VehicleParams::default(), defects, sigs);
+        let mut s = base_state(&table, &sigs);
+        activate(&mut s, &sigs, sig::CA, -8.0, false);
+        activate(&mut s, &sigs, sig::PA, 0.0, true);
         let out = tick(&mut arb, &s);
         // CA stays selected and tagged as the source…
-        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("CA")));
-        assert!(boolean(&out, "ca.selected"));
+        assert_eq!(out.get(sigs.accel_source), Some(Value::sym("CA")));
+        assert!(out.bool_or(sigs.features[sig::CA].selected, false));
         // …but the forwarded command is PA's request.
-        assert_eq!(real(&out, sig::ACCEL_CMD, -8.0), 0.0);
+        assert_eq!(out.real_or(sigs.accel_cmd, -8.0), 0.0);
         // And the steering stage attributes steering to PA.
-        assert_eq!(out.get(sig::STEERING_SOURCE), Some(&Value::sym("PA")));
+        assert_eq!(out.get(sigs.steering_source), Some(Value::sym("PA")));
     }
 
     #[test]
     fn lca_steering_ignored_holds_the_command() {
+        let (table, sigs) = vehicle_table();
         let defects = DefectSet {
             lca_steering_ignored: true,
             ..DefectSet::none()
         };
-        let mut arb = Arbiter::new(VehicleParams::default(), defects);
-        let mut s = base_state();
-        activate(&mut s, "LCA", 0.3, true);
-        s.set(sig::steering_request("LCA"), 0.04);
+        let mut arb = Arbiter::new(VehicleParams::default(), defects, sigs);
+        let mut s = base_state(&table, &sigs);
+        activate(&mut s, &sigs, sig::LCA, 0.3, true);
+        s.set(sigs.features[sig::LCA].steering_request, Value::Real(0.04));
         let out = tick(&mut arb, &s);
-        assert_eq!(out.get(sig::STEERING_SOURCE), Some(&Value::sym("LCA")));
-        assert_eq!(real(&out, sig::STEERING_CMD, 1.0), 0.0, "command unchanged");
+        assert_eq!(out.get(sigs.steering_source), Some(Value::sym("LCA")));
+        assert_eq!(
+            out.real_or(sigs.steering_cmd, 1.0),
+            0.0,
+            "command unchanged"
+        );
         // Dual-flag hazard: ACC is marked selected alongside LCA.
-        assert!(boolean(&out, "lca.selected"));
-        assert!(boolean(&out, "acc.selected"));
+        assert!(out.bool_or(sigs.features[sig::LCA].selected, false));
+        assert!(out.bool_or(sigs.features[sig::ACC].selected, false));
     }
 
     #[test]
     fn healthy_lca_steering_flows_through() {
-        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
-        let mut s = base_state();
-        activate(&mut s, "LCA", 0.3, true);
-        s.set(sig::steering_request("LCA"), 0.04);
+        let (table, sigs) = vehicle_table();
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut s = base_state(&table, &sigs);
+        activate(&mut s, &sigs, sig::LCA, 0.3, true);
+        s.set(sigs.features[sig::LCA].steering_request, Value::Real(0.04));
         let out = tick(&mut arb, &s);
-        assert_eq!(real(&out, sig::STEERING_CMD, 0.0), 0.04);
+        assert_eq!(out.real_or(sigs.steering_cmd, 0.0), 0.04);
     }
 
     #[test]
     fn driver_steering_overrides_features() {
-        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
-        let mut s = base_state();
-        activate(&mut s, "PA", 0.5, true);
-        s.set(sig::DRIVER_STEERING_ACTIVE, true);
-        s.set(sig::DRIVER_STEERING, 0.2);
+        let (table, sigs) = vehicle_table();
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut s = base_state(&table, &sigs);
+        activate(&mut s, &sigs, sig::PA, 0.5, true);
+        s.set(sigs.driver_steering_active, true);
+        s.set(sigs.driver_steering, Value::Real(0.2));
         let out = tick(&mut arb, &s);
-        assert_eq!(out.get(sig::STEERING_SOURCE), Some(&Value::sym("DRIVER")));
-        assert_eq!(real(&out, sig::STEERING_CMD, 0.0), 0.2);
+        assert_eq!(out.get(sigs.steering_source), Some(sigs.sym_driver));
+        assert_eq!(out.real_or(sigs.steering_cmd, 0.0), 0.2);
     }
 
     #[test]
     fn pa_forwarding_defect_decouples_command_from_request() {
+        let (table, sigs) = vehicle_table();
         let defects = DefectSet {
             pa_request_not_forwarded: true,
             ..DefectSet::none()
         };
-        let mut arb = Arbiter::new(VehicleParams::default(), defects);
-        let mut s = base_state();
-        s.set(sig::HOST_SPEED, 0.0);
-        activate(&mut s, "PA", 0.5, true);
+        let mut arb = Arbiter::new(VehicleParams::default(), defects, sigs);
+        let mut s = base_state(&table, &sigs);
+        s.set(sigs.host_speed, Value::Real(0.0));
+        activate(&mut s, &sigs, sig::PA, 0.5, true);
         let out = tick(&mut arb, &s);
-        assert!(boolean(&out, "pa.selected"));
-        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("PA")));
+        assert!(out.bool_or(sigs.features[sig::PA].selected, false));
+        assert_eq!(out.get(sigs.accel_source), Some(Value::sym("PA")));
         assert_eq!(
-            real(&out, sig::ACCEL_CMD, 1.0),
+            out.real_or(sigs.accel_cmd, 1.0),
             0.0,
             "request 0.5 not forwarded"
         );
@@ -381,30 +407,32 @@ mod tests {
 
     #[test]
     fn ghost_defect_mis_selects_acc_from_stop() {
+        let (table, sigs) = vehicle_table();
         let defects = DefectSet {
             acc_ghost_accel_from_stop: true,
             ..DefectSet::none()
         };
-        let mut arb = Arbiter::new(VehicleParams::default(), defects);
-        let mut s = base_state();
-        s.set(sig::HOST_SPEED, 0.0);
-        s.set(sig::hmi_engage("ACC"), true);
-        s.set(sig::accel_request("ACC"), 0.8);
+        let mut arb = Arbiter::new(VehicleParams::default(), defects, sigs);
+        let mut s = base_state(&table, &sigs);
+        s.set(sigs.host_speed, Value::Real(0.0));
+        s.set(sigs.features[sig::ACC].hmi_engage, true);
+        s.set(sigs.features[sig::ACC].accel_request, Value::Real(0.8));
         // ACC is NOT active, yet gets selected and its request forwarded.
         let out = tick(&mut arb, &s);
-        assert_eq!(out.get(sig::ACCEL_SOURCE), Some(&Value::sym("ACC")));
-        assert_eq!(real(&out, sig::ACCEL_CMD, 0.0), 0.8);
-        assert_eq!(out.get(sig::STEERING_SOURCE), Some(&Value::sym("NONE")));
+        assert_eq!(out.get(sigs.accel_source), Some(Value::sym("ACC")));
+        assert_eq!(out.real_or(sigs.accel_cmd, 0.0), 0.8);
+        assert_eq!(out.get(sigs.steering_source), Some(sigs.sym_none));
     }
 
     #[test]
     fn command_rate_tracks_steps() {
-        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none());
-        let mut s = base_state();
-        activate(&mut s, "CA", -8.0, false);
+        let (table, sigs) = vehicle_table();
+        let mut arb = Arbiter::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut s = base_state(&table, &sigs);
+        activate(&mut s, &sigs, sig::CA, -8.0, false);
         let out = tick(&mut arb, &s);
-        assert_eq!(real(&out, sig::ACCEL_CMD_RATE, 0.0), -8000.0);
+        assert_eq!(out.real_or(sigs.accel_cmd_rate, 0.0), -8000.0);
         let out2 = tick(&mut arb, &out);
-        assert_eq!(real(&out2, sig::ACCEL_CMD_RATE, 1.0), 0.0);
+        assert_eq!(out2.real_or(sigs.accel_cmd_rate, 1.0), 0.0);
     }
 }

@@ -8,12 +8,16 @@ use crate::features::{
     AdaptiveCruiseControl, CollisionAvoidance, FeatureOutputs, LaneChangeAssist, ParkAssist,
     RearCollisionAvoidance,
 };
-use crate::signals as sig;
+use crate::signals::VehicleSigs;
+use esafe_logic::SignalTable;
 use esafe_sim::Simulator;
+use std::sync::Arc;
 
-/// Builds a ready-to-run vehicle [`Simulator`] at 1 kHz: driver, the five
-/// feature subsystems, the arbiter, and the plant, with a fully seeded
-/// initial state.
+/// Builds a ready-to-run vehicle [`Simulator`] at 1 kHz over the shared
+/// signal table: driver, the five feature subsystems, the arbiter, and
+/// the plant, with a fully seeded initial frame. Every subsystem carries
+/// a copy of the resolved [`VehicleSigs`], so its per-tick reads and
+/// writes are dense slot accesses.
 ///
 /// # Example
 ///
@@ -21,78 +25,85 @@ use esafe_sim::Simulator;
 /// use esafe_vehicle::builder::build_vehicle;
 /// use esafe_vehicle::config::{DefectSet, VehicleParams};
 /// use esafe_vehicle::dynamics::Scene;
+/// use esafe_vehicle::signals::vehicle_table;
 ///
+/// let (table, sigs) = vehicle_table();
 /// let mut sim = build_vehicle(
 ///     VehicleParams::default(),
 ///     DefectSet::none(),
 ///     Scene::default(),
 ///     vec![],
+///     &table,
+///     &sigs,
 /// );
 /// sim.step();
-/// assert!(sim.state().get("arbiter.accel_cmd").is_some());
+/// assert!(sim.state().get(sigs.accel_cmd).is_some());
 /// ```
 pub fn build_vehicle(
     params: VehicleParams,
     defects: DefectSet,
     scene: Scene,
     driver_schedule: Vec<(f64, DriverAction)>,
+    table: &Arc<SignalTable>,
+    sigs: &VehicleSigs,
 ) -> Simulator {
-    let mut sim = Simulator::new(1);
-    sim.add(ScriptedDriver::new(params, driver_schedule));
-    sim.add(CollisionAvoidance::new(params, defects));
-    sim.add(RearCollisionAvoidance::new(params, defects));
-    sim.add(ParkAssist::new(params, defects));
-    sim.add(LaneChangeAssist::new(params, defects));
-    sim.add(AdaptiveCruiseControl::new(params, defects));
-    sim.add(Arbiter::new(params, defects));
-    sim.add(HostDynamics::new(params, defects, scene));
+    let mut sim = Simulator::new(1, table);
+    sim.add(ScriptedDriver::new(params, *sigs, driver_schedule));
+    sim.add(CollisionAvoidance::new(params, defects, *sigs));
+    sim.add(RearCollisionAvoidance::new(params, defects, *sigs));
+    sim.add(ParkAssist::new(params, defects, *sigs));
+    sim.add(LaneChangeAssist::new(params, defects, *sigs));
+    sim.add(AdaptiveCruiseControl::new(params, defects, *sigs));
+    sim.add(Arbiter::new(params, defects, *sigs));
+    sim.add(HostDynamics::new(params, defects, scene, *sigs));
 
-    let mut init = HostDynamics::initial_state(&scene);
-    init.extend(
-        ScriptedDriver::initial_state()
-            .into_iter()
-            .map(|(k, v)| (k.clone(), v.clone())),
-    );
-    init.extend(
-        Arbiter::initial_state()
-            .into_iter()
-            .map(|(k, v)| (k.clone(), v.clone())),
-    );
-    for f in sig::FEATURES {
-        init.extend(
-            FeatureOutputs::initial_state(f)
-                .into_iter()
-                .map(|(k, v)| (k.clone(), v.clone())),
-        );
-    }
-    sim.init(init);
+    sim.init_with(|frame| {
+        HostDynamics::seed(frame, sigs, &scene);
+        ScriptedDriver::seed(frame, sigs);
+        Arbiter::seed(frame, sigs);
+        for f in &sigs.features {
+            FeatureOutputs::seed(frame, f);
+        }
+    });
     sim
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::features::{boolean, real, symbol};
+    use crate::signals::vehicle_table;
+    fn build(
+        defects: DefectSet,
+        scene: Scene,
+        script: Vec<(f64, DriverAction)>,
+    ) -> (Simulator, VehicleSigs) {
+        let (table, sigs) = vehicle_table();
+        (
+            build_vehicle(
+                VehicleParams::default(),
+                defects,
+                scene,
+                script,
+                &table,
+                &sigs,
+            ),
+            sigs,
+        )
+    }
 
     #[test]
     fn healthy_vehicle_idles_at_rest() {
-        let mut sim = build_vehicle(
-            VehicleParams::default(),
-            DefectSet::none(),
-            Scene::default(),
-            vec![],
-        );
+        let (mut sim, sigs) = build(DefectSet::none(), Scene::default(), vec![]);
         for _ in 0..1000 {
             sim.step();
         }
-        assert_eq!(real(sim.state(), sig::HOST_SPEED, 1.0), 0.0);
-        assert_eq!(symbol(sim.state(), sig::ACCEL_SOURCE, "?"), "DRIVER");
+        assert_eq!(sim.state().real_or(sigs.host_speed, 1.0), 0.0);
+        assert_eq!(sim.state().get(sigs.accel_source), Some(sigs.sym_driver));
     }
 
     #[test]
     fn driver_throttle_moves_the_vehicle() {
-        let mut sim = build_vehicle(
-            VehicleParams::default(),
+        let (mut sim, sigs) = build(
             DefectSet::none(),
             Scene::default(),
             vec![(0.5, DriverAction::Throttle(0.3))],
@@ -100,7 +111,7 @@ mod tests {
         for _ in 0..3000 {
             sim.step();
         }
-        assert!(real(sim.state(), sig::HOST_SPEED, 0.0) > 1.0);
+        assert!(sim.state().real_or(sigs.host_speed, 0.0) > 1.0);
     }
 
     #[test]
@@ -109,8 +120,7 @@ mod tests {
             lead: Some(crate::dynamics::SceneObject::constant(20.0, 0.0)),
             rear: None,
         };
-        let mut sim = build_vehicle(
-            VehicleParams::default(),
+        let (mut sim, sigs) = build(
             DefectSet::none(),
             scene,
             vec![
@@ -121,7 +131,7 @@ mod tests {
         let mut collided = false;
         for _ in 0..20_000 {
             sim.step();
-            if boolean(sim.state(), sig::COLLISION) {
+            if sim.state().bool_or(sigs.collision, false) {
                 collided = true;
                 break;
             }
@@ -129,7 +139,7 @@ mod tests {
         assert!(!collided, "a healthy CA must prevent the collision");
         // The driver keeps the throttle applied, so the vehicle cycles
         // between CA stops and driver creep — but never makes contact.
-        let gap = real(sim.state(), sig::LEAD_DISTANCE, 0.0);
+        let gap = sim.state().real_or(sigs.lead_distance, 0.0);
         assert!(gap > 0.0 && gap < 21.0, "held short of the obstacle: {gap}");
     }
 
@@ -139,8 +149,7 @@ mod tests {
             lead: Some(crate::dynamics::SceneObject::constant(20.0, 0.0)),
             rear: None,
         };
-        let mut sim = build_vehicle(
-            VehicleParams::default(),
+        let (mut sim, sigs) = build(
             DefectSet::thesis(),
             scene,
             vec![
@@ -151,7 +160,7 @@ mod tests {
         let mut collided_at = None;
         for _ in 0..20_000 {
             sim.step();
-            if boolean(sim.state(), sig::COLLISION) {
+            if sim.state().bool_or(sigs.collision, false) {
                 collided_at = Some(sim.seconds());
                 break;
             }

@@ -2,8 +2,8 @@
 //! engages, and overrides features through pedals, wheel, and HMI).
 
 use crate::config::VehicleParams;
-use crate::signals as sig;
-use esafe_logic::{State, Value};
+use crate::signals::{feature_index, VehicleSigs};
+use esafe_logic::{Frame, Value};
 use esafe_sim::{SimTime, Subsystem};
 use serde::{Deserialize, Serialize};
 
@@ -31,17 +31,21 @@ pub enum DriverAction {
 }
 
 /// The scripted driver: replays a schedule of [`DriverAction`]s and
-/// publishes the pedal-demand acceleration.
+/// publishes the pedal-demand acceleration. Feature names and gear texts
+/// in the schedule are resolved to ids / interned symbols up front, so
+/// replay is allocation-free.
 #[derive(Debug, Clone)]
 pub struct ScriptedDriver {
     params: VehicleParams,
+    sigs: VehicleSigs,
     schedule: Vec<(f64, DriverAction)>,
     next_idx: usize,
     throttle: f64,
     brake: f64,
     steering_active: bool,
     steering: f64,
-    gear: String,
+    /// Interned gear symbol (`'D'` / `'R'`).
+    gear: Value,
     go_pending: bool,
 }
 
@@ -49,43 +53,46 @@ impl ScriptedDriver {
     /// Creates a driver from a `(time_s, action)` schedule. Actions are
     /// applied in schedule order once simulation time passes their
     /// timestamp.
-    pub fn new(params: VehicleParams, mut schedule: Vec<(f64, DriverAction)>) -> Self {
+    pub fn new(
+        params: VehicleParams,
+        sigs: VehicleSigs,
+        mut schedule: Vec<(f64, DriverAction)>,
+    ) -> Self {
         schedule.sort_by(|a, b| a.0.total_cmp(&b.0));
         ScriptedDriver {
             params,
+            sigs,
             schedule,
             next_idx: 0,
             throttle: 0.0,
             brake: 0.0,
             steering_active: false,
             steering: 0.0,
-            gear: "D".to_owned(),
+            gear: sigs.sym_d,
             go_pending: false,
         }
     }
 
     /// Seeds the blackboard with the driver's initial outputs.
-    pub fn initial_state() -> State {
-        let mut s = State::new()
-            .with_real(sig::DRIVER_THROTTLE, 0.0)
-            .with_real(sig::DRIVER_BRAKE, 0.0)
-            .with_bool(sig::DRIVER_STEERING_ACTIVE, false)
-            .with_real(sig::DRIVER_STEERING, 0.0)
-            .with_real(sig::DRIVER_ACCEL_REQUEST, 0.0)
-            .with_sym(sig::GEAR, "D")
-            .with_bool(sig::HMI_GO, false)
-            .with_real(sig::ACC_SET_SPEED, 0.0);
-        for f in sig::FEATURES {
-            s.set(sig::hmi_enable(f), Value::Bool(false));
-            s.set(sig::hmi_engage(f), Value::Bool(false));
+    pub fn seed(frame: &mut Frame, sigs: &VehicleSigs) {
+        frame.set(sigs.driver_throttle, 0.0);
+        frame.set(sigs.driver_brake, 0.0);
+        frame.set(sigs.driver_steering_active, false);
+        frame.set(sigs.driver_steering, 0.0);
+        frame.set(sigs.driver_accel_request, 0.0);
+        frame.set(sigs.gear, sigs.sym_d);
+        frame.set(sigs.hmi_go, false);
+        frame.set(sigs.acc_set_speed, 0.0);
+        for f in &sigs.features {
+            frame.set(f.hmi_enable, false);
+            frame.set(f.hmi_engage, false);
         }
-        s
     }
 
     fn pedal_accel(&self) -> f64 {
         let raw = self.throttle * self.params.max_throttle_accel
             - self.brake * self.params.max_brake_decel;
-        if self.gear == "R" {
+        if self.gear == self.sigs.sym_r {
             -raw
         } else {
             raw
@@ -98,10 +105,11 @@ impl Subsystem for ScriptedDriver {
         "Driver"
     }
 
-    fn step(&mut self, t: &SimTime, _prev: &State, next: &mut State) {
+    fn step(&mut self, t: &SimTime, _prev: &Frame, next: &mut Frame) {
+        let s = self.sigs;
         let now = t.seconds();
         // Momentary signals reset each tick unless re-pressed.
-        next.set(sig::HMI_GO, false);
+        next.set(s.hmi_go, false);
         while self.next_idx < self.schedule.len() && self.schedule[self.next_idx].0 <= now {
             let (_, action) = &self.schedule[self.next_idx];
             match action {
@@ -109,53 +117,63 @@ impl Subsystem for ScriptedDriver {
                 DriverAction::Brake(v) => self.brake = v.clamp(0.0, 1.0),
                 DriverAction::SteeringActive(b) => self.steering_active = *b,
                 DriverAction::Steering(v) => self.steering = *v,
-                DriverAction::Gear(g) => self.gear = g.clone(),
+                DriverAction::Gear(g) => self.gear = Value::sym(g),
                 DriverAction::Go => self.go_pending = true,
-                DriverAction::Enable(f, b) => next.set(sig::hmi_enable(f), Value::Bool(*b)),
-                DriverAction::Engage(f, b) => next.set(sig::hmi_engage(f), Value::Bool(*b)),
-                DriverAction::SetSpeed(v) => next.set(sig::ACC_SET_SPEED, *v),
+                DriverAction::Enable(f, b) => {
+                    next.set(s.features[feature_index(f)].hmi_enable, *b);
+                }
+                DriverAction::Engage(f, b) => {
+                    next.set(s.features[feature_index(f)].hmi_engage, *b);
+                }
+                DriverAction::SetSpeed(v) => next.set(s.acc_set_speed, *v),
             }
             self.next_idx += 1;
         }
         if self.go_pending {
-            next.set(sig::HMI_GO, true);
+            next.set(s.hmi_go, true);
             self.go_pending = false;
         }
-        next.set(sig::DRIVER_THROTTLE, self.throttle);
-        next.set(sig::DRIVER_BRAKE, self.brake);
-        next.set(sig::DRIVER_STEERING_ACTIVE, self.steering_active);
-        next.set(sig::DRIVER_STEERING, self.steering);
-        next.set(sig::GEAR, Value::sym(self.gear.clone()));
-        next.set(sig::DRIVER_ACCEL_REQUEST, self.pedal_accel());
+        next.set(s.driver_throttle, self.throttle);
+        next.set(s.driver_brake, self.brake);
+        next.set(s.driver_steering_active, self.steering_active);
+        next.set(s.driver_steering, self.steering);
+        next.set(s.gear, self.gear);
+        next.set(s.driver_accel_request, self.pedal_accel());
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::signals::{self as sig, vehicle_table};
     use esafe_sim::Simulator;
 
-    fn run_driver(schedule: Vec<(f64, DriverAction)>, ticks: u64) -> State {
-        let mut sim = Simulator::new(1);
-        sim.add(ScriptedDriver::new(VehicleParams::default(), schedule));
-        sim.init(ScriptedDriver::initial_state());
+    fn run_driver(schedule: Vec<(f64, DriverAction)>, ticks: u64) -> (Frame, VehicleSigs) {
+        let (table, sigs) = vehicle_table();
+        let mut sim = Simulator::new(1, &table);
+        sim.add(ScriptedDriver::new(
+            VehicleParams::default(),
+            sigs,
+            schedule,
+        ));
+        sim.init_with(|f| ScriptedDriver::seed(f, &sigs));
         for _ in 0..ticks {
             sim.step();
         }
-        sim.state().clone()
+        (sim.state().clone(), sigs)
     }
 
     #[test]
     fn actions_apply_at_their_time() {
-        let s = run_driver(vec![(0.05, DriverAction::Throttle(0.5))], 40);
-        assert_eq!(s.get(sig::DRIVER_THROTTLE).unwrap().as_real(), Some(0.0));
-        let s = run_driver(vec![(0.05, DriverAction::Throttle(0.5))], 60);
-        assert_eq!(s.get(sig::DRIVER_THROTTLE).unwrap().as_real(), Some(0.5));
+        let (s, sigs) = run_driver(vec![(0.05, DriverAction::Throttle(0.5))], 40);
+        assert_eq!(s.real_or(sigs.driver_throttle, -1.0), 0.0);
+        let (s, sigs) = run_driver(vec![(0.05, DriverAction::Throttle(0.5))], 60);
+        assert_eq!(s.real_or(sigs.driver_throttle, -1.0), 0.5);
     }
 
     #[test]
     fn pedal_accel_combines_and_respects_gear() {
-        let s = run_driver(
+        let (s, sigs) = run_driver(
             vec![
                 (0.0, DriverAction::Throttle(1.0)),
                 (0.0, DriverAction::Brake(0.5)),
@@ -163,43 +181,39 @@ mod tests {
             5,
         );
         // 1.0·3.0 − 0.5·8.0 = −1.0
-        assert_eq!(
-            s.get(sig::DRIVER_ACCEL_REQUEST).unwrap().as_real(),
-            Some(-1.0)
-        );
-        let s = run_driver(
+        assert_eq!(s.real_or(sigs.driver_accel_request, 0.0), -1.0);
+        let (s, sigs) = run_driver(
             vec![
                 (0.0, DriverAction::Gear("R".into())),
                 (0.0, DriverAction::Throttle(1.0)),
             ],
             5,
         );
-        assert_eq!(
-            s.get(sig::DRIVER_ACCEL_REQUEST).unwrap().as_real(),
-            Some(-3.0)
-        );
-        assert_eq!(s.get(sig::GEAR), Some(&Value::sym("R")));
+        assert_eq!(s.real_or(sigs.driver_accel_request, 0.0), -3.0);
+        assert_eq!(s.get(sigs.gear), Some(sigs.sym_r));
     }
 
     #[test]
     fn go_is_momentary() {
-        let mut sim = Simulator::new(1);
+        let (table, sigs) = vehicle_table();
+        let mut sim = Simulator::new(1, &table);
         sim.add(ScriptedDriver::new(
             VehicleParams::default(),
+            sigs,
             vec![(0.002, DriverAction::Go)],
         ));
-        sim.init(ScriptedDriver::initial_state());
+        sim.init_with(|f| ScriptedDriver::seed(f, &sigs));
         sim.step(); // t = 1 ms: not yet
-        assert_eq!(sim.state().get(sig::HMI_GO), Some(&Value::Bool(false)));
+        assert_eq!(sim.state().get(sigs.hmi_go), Some(Value::Bool(false)));
         sim.step(); // t = 2 ms: pressed
-        assert_eq!(sim.state().get(sig::HMI_GO), Some(&Value::Bool(true)));
+        assert_eq!(sim.state().get(sigs.hmi_go), Some(Value::Bool(true)));
         sim.step(); // released
-        assert_eq!(sim.state().get(sig::HMI_GO), Some(&Value::Bool(false)));
+        assert_eq!(sim.state().get(sigs.hmi_go), Some(Value::Bool(false)));
     }
 
     #[test]
     fn enable_and_engage_write_hmi_signals() {
-        let s = run_driver(
+        let (s, sigs) = run_driver(
             vec![
                 (0.0, DriverAction::Enable("ACC".into(), true)),
                 (0.001, DriverAction::Engage("ACC".into(), true)),
@@ -207,14 +221,20 @@ mod tests {
             ],
             5,
         );
-        assert_eq!(s.get("hmi.acc.enable"), Some(&Value::Bool(true)));
-        assert_eq!(s.get("hmi.acc.engage"), Some(&Value::Bool(true)));
-        assert_eq!(s.get(sig::ACC_SET_SPEED).unwrap().as_real(), Some(20.0));
+        assert_eq!(
+            s.get(sigs.features[sig::ACC].hmi_enable),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(
+            s.get(sigs.features[sig::ACC].hmi_engage),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(s.real_or(sigs.acc_set_speed, 0.0), 20.0);
     }
 
     #[test]
     fn schedule_is_sorted_on_construction() {
-        let s = run_driver(
+        let (s, sigs) = run_driver(
             vec![
                 (0.010, DriverAction::Throttle(0.9)),
                 (0.005, DriverAction::Throttle(0.2)),
@@ -222,6 +242,6 @@ mod tests {
             20,
         );
         // Later action wins.
-        assert_eq!(s.get(sig::DRIVER_THROTTLE).unwrap().as_real(), Some(0.9));
+        assert_eq!(s.real_or(sigs.driver_throttle, 0.0), 0.9);
     }
 }

@@ -9,8 +9,8 @@
 //! position, differentiated jerk).
 
 use crate::config::{DefectSet, VehicleParams};
-use crate::signals as sig;
-use esafe_logic::{State, Value};
+use crate::signals::VehicleSigs;
+use esafe_logic::Frame;
 use esafe_sim::{FirstOrderLag, SimTime, Subsystem};
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +62,7 @@ pub struct HostDynamics {
     #[allow(dead_code)]
     params: VehicleParams,
     defects: DefectSet,
+    sigs: VehicleSigs,
     scene: Scene,
     accel_lag: FirstOrderLag,
     steering_lag: FirstOrderLag,
@@ -85,10 +86,11 @@ fn impact_accel(ms_since_impact: f64) -> f64 {
 
 impl HostDynamics {
     /// Creates the plant for a scene.
-    pub fn new(params: VehicleParams, defects: DefectSet, scene: Scene) -> Self {
+    pub fn new(params: VehicleParams, defects: DefectSet, scene: Scene, sigs: VehicleSigs) -> Self {
         HostDynamics {
             params,
             defects,
+            sigs,
             scene,
             accel_lag: FirstOrderLag::new(params.accel_tau_s, 0.0),
             steering_lag: FirstOrderLag::new(params.steering_tau_s, 0.0),
@@ -103,34 +105,25 @@ impl HostDynamics {
     }
 
     /// Seeds the blackboard with the plant's initial outputs.
-    pub fn initial_state(scene: &Scene) -> State {
-        State::new()
-            .with_real(sig::HOST_SPEED, 0.0)
-            .with_real(sig::HOST_ACCEL, 0.0)
-            .with_real(sig::HOST_JERK, 0.0)
-            .with_real(sig::HOST_POSITION, 0.0)
-            .with_real(sig::HOST_STEERING, 0.0)
-            .with_real(sig::HOST_LANE_OFFSET, 0.0)
-            .with_real(
-                sig::LEAD_DISTANCE,
-                scene.lead.map(|o| o.initial_gap_m).unwrap_or(1e9),
-            )
-            .with_real(sig::LEAD_SPEED, scene.lead.map(|o| o.speed).unwrap_or(0.0))
-            .with_real(
-                sig::REAR_DISTANCE,
-                scene.rear.map(|o| o.initial_gap_m).unwrap_or(1e9),
-            )
-            .with_bool(sig::COLLISION, false)
-            .with_bool(sig::REAR_COLLISION, false)
+    pub fn seed(frame: &mut Frame, sigs: &VehicleSigs, scene: &Scene) {
+        frame.set(sigs.host_speed, 0.0);
+        frame.set(sigs.host_accel, 0.0);
+        frame.set(sigs.host_jerk, 0.0);
+        frame.set(sigs.host_position, 0.0);
+        frame.set(sigs.host_steering, 0.0);
+        frame.set(sigs.host_lane_offset, 0.0);
+        frame.set(
+            sigs.lead_distance,
+            scene.lead.map(|o| o.initial_gap_m).unwrap_or(1e9),
+        );
+        frame.set(sigs.lead_speed, scene.lead.map(|o| o.speed).unwrap_or(0.0));
+        frame.set(
+            sigs.rear_distance,
+            scene.rear.map(|o| o.initial_gap_m).unwrap_or(1e9),
+        );
+        frame.set(sigs.collision, false);
+        frame.set(sigs.rear_collision, false);
     }
-}
-
-fn real(state: &State, name: &str, default: f64) -> f64 {
-    state.get(name).and_then(Value::as_real).unwrap_or(default)
-}
-
-fn boolean(state: &State, name: &str) -> bool {
-    state.get(name).and_then(Value::as_bool).unwrap_or(false)
 }
 
 impl Subsystem for HostDynamics {
@@ -138,14 +131,15 @@ impl Subsystem for HostDynamics {
         "HostDynamics"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
+    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+        let s = &self.sigs;
         let dt = t.dt_seconds();
-        let cmd = real(prev, sig::ACCEL_CMD, 0.0);
-        let steering_cmd = real(prev, sig::STEERING_CMD, 0.0);
-        let speed_prev = real(prev, sig::HOST_SPEED, 0.0);
-        let accel_prev = real(prev, sig::HOST_ACCEL, 0.0);
-        let pos_prev = real(prev, sig::HOST_POSITION, 0.0);
-        let offset_prev = real(prev, sig::HOST_LANE_OFFSET, 0.0);
+        let cmd = prev.real_or(s.accel_cmd, 0.0);
+        let steering_cmd = prev.real_or(s.steering_cmd, 0.0);
+        let speed_prev = prev.real_or(s.host_speed, 0.0);
+        let accel_prev = prev.real_or(s.host_accel, 0.0);
+        let pos_prev = prev.real_or(s.host_position, 0.0);
+        let offset_prev = prev.real_or(s.host_lane_offset, 0.0);
 
         let mut accel = self.accel_lag.step(cmd, dt);
 
@@ -166,11 +160,10 @@ impl Subsystem for HostDynamics {
         // 6 shows speed going negative under autonomous control — so the
         // defect switch removes it.
         if !self.defects.no_reverse_inhibit && self.impact_tick.is_none() {
-            let gear = match prev.get(sig::GEAR) {
-                Some(Value::Sym(g)) => g.as_str(),
-                _ => "D",
-            };
-            let crossing = (gear == "D" && speed < 0.0) || (gear == "R" && speed > 0.0);
+            // An unset gear counts as 'D'; any other symbol pins nothing
+            // (exact seed semantics — only 'D' and 'R' clamp).
+            let gear = prev.get(s.gear).unwrap_or(s.sym_d);
+            let crossing = (gear == s.sym_d && speed < 0.0) || (gear == s.sym_r && speed > 0.0);
             if crossing {
                 // Pin the speed only: the measured acceleration keeps
                 // following the actuator lag so the jerk signal stays
@@ -185,12 +178,12 @@ impl Subsystem for HostDynamics {
         let steering = self.steering_lag.step(steering_cmd, dt);
         let lane_offset = offset_prev + speed * steering * dt;
 
-        next.set(sig::HOST_ACCEL, accel);
-        next.set(sig::HOST_JERK, jerk);
-        next.set(sig::HOST_SPEED, speed);
-        next.set(sig::HOST_POSITION, position);
-        next.set(sig::HOST_STEERING, steering);
-        next.set(sig::HOST_LANE_OFFSET, lane_offset);
+        next.set(s.host_accel, accel);
+        next.set(s.host_jerk, jerk);
+        next.set(s.host_speed, speed);
+        next.set(s.host_position, position);
+        next.set(s.host_steering, steering);
+        next.set(s.host_lane_offset, lane_offset);
 
         if let Some(lead) = self.scene.lead {
             if lead.stops_at_s.is_some_and(|ts| t.seconds() >= ts) {
@@ -202,10 +195,10 @@ impl Subsystem for HostDynamics {
             }
             self.lead_position += self.lead_speed * dt;
             let gap = self.lead_position - position;
-            next.set(sig::LEAD_DISTANCE, gap.max(0.0));
-            next.set(sig::LEAD_SPEED, self.lead_speed);
-            if gap <= 0.0 || boolean(prev, sig::COLLISION) {
-                next.set(sig::COLLISION, true);
+            next.set(s.lead_distance, gap.max(0.0));
+            next.set(s.lead_speed, self.lead_speed);
+            if gap <= 0.0 || prev.bool_or(s.collision, false) {
+                next.set(s.collision, true);
                 if self.impact_tick.is_none() {
                     self.impact_tick = Some(t.tick);
                 }
@@ -214,9 +207,9 @@ impl Subsystem for HostDynamics {
         if let Some(rear) = self.scene.rear {
             self.rear_position += rear.speed * dt;
             let gap = position - self.rear_position;
-            next.set(sig::REAR_DISTANCE, gap.max(0.0));
-            if gap <= 0.0 || boolean(prev, sig::REAR_COLLISION) {
-                next.set(sig::REAR_COLLISION, true);
+            next.set(s.rear_distance, gap.max(0.0));
+            if gap <= 0.0 || prev.bool_or(s.rear_collision, false) {
+                next.set(s.rear_collision, true);
             }
         }
     }
@@ -225,76 +218,79 @@ impl Subsystem for HostDynamics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::signals::vehicle_table;
+    use esafe_logic::{SignalId, SignalTable, Value};
     use esafe_sim::Simulator;
+    use std::sync::Arc;
 
     /// Injects a constant acceleration command each tick.
-    struct ConstCmd(f64);
+    struct ConstCmd(SignalId, f64);
     impl Subsystem for ConstCmd {
         fn name(&self) -> &str {
             "ConstCmd"
         }
-        fn step(&mut self, _t: &SimTime, _prev: &State, next: &mut State) {
-            next.set(sig::ACCEL_CMD, self.0);
+        fn step(&mut self, _t: &SimTime, _prev: &Frame, next: &mut Frame) {
+            next.set(self.0, self.1);
         }
+    }
+
+    fn plant_sim(
+        defects: DefectSet,
+        scene: Scene,
+        cmd: f64,
+    ) -> (Simulator, Arc<SignalTable>, VehicleSigs) {
+        let (table, sigs) = vehicle_table();
+        let mut sim = Simulator::new(1, &table);
+        sim.add(ConstCmd(sigs.accel_cmd, cmd));
+        sim.add(HostDynamics::new(
+            VehicleParams::default(),
+            defects,
+            scene,
+            sigs,
+        ));
+        sim.init_with(|f| HostDynamics::seed(f, &sigs, &scene));
+        (sim, table, sigs)
     }
 
     #[test]
     fn acceleration_command_integrates_into_speed() {
-        let params = VehicleParams::default();
-        let mut sim = Simulator::new(1);
-        sim.add(ConstCmd(1.0));
-        sim.add(HostDynamics::new(
-            params,
-            DefectSet::none(),
-            Scene::default(),
-        ));
-        sim.init(HostDynamics::initial_state(&Scene::default()));
+        let (mut sim, _table, sigs) = plant_sim(DefectSet::none(), Scene::default(), 1.0);
         for _ in 0..2000 {
             sim.step();
         }
-        let speed = real(sim.state(), sig::HOST_SPEED, 0.0);
+        let speed = sim.state().real_or(sigs.host_speed, 0.0);
         // ~2 s at ~1 m/s² (minus lag spin-up) ≈ 1.9 m/s.
         assert!(speed > 1.7 && speed < 2.0, "speed {speed}");
-        let accel = real(sim.state(), sig::HOST_ACCEL, 0.0);
+        let accel = sim.state().real_or(sigs.host_accel, 0.0);
         assert!((accel - 1.0).abs() < 0.01);
     }
 
     #[test]
     fn braking_clamps_at_zero_without_defect() {
-        let params = VehicleParams::default();
-        let mut sim = Simulator::new(1);
-        sim.add(ConstCmd(-2.0));
-        sim.add(HostDynamics::new(
-            params,
-            DefectSet::none(),
-            Scene::default(),
-        ));
-        let mut init = HostDynamics::initial_state(&Scene::default());
-        init.set(sig::HOST_SPEED, 1.0);
+        let (mut sim, _table, sigs) = plant_sim(DefectSet::none(), Scene::default(), -2.0);
+        let mut init = sim.state().clone();
+        init.set(sigs.host_speed, Value::Real(1.0));
         sim.init(init);
         for _ in 0..3000 {
             sim.step();
         }
-        assert_eq!(real(sim.state(), sig::HOST_SPEED, -1.0), 0.0);
+        assert_eq!(sim.state().real_or(sigs.host_speed, -1.0), 0.0);
     }
 
     #[test]
     fn braking_goes_negative_with_defect() {
-        let params = VehicleParams::default();
-        let mut sim = Simulator::new(1);
-        sim.add(ConstCmd(-2.0));
         let defects = DefectSet {
             no_reverse_inhibit: true,
             ..DefectSet::none()
         };
-        sim.add(HostDynamics::new(params, defects, Scene::default()));
-        let mut init = HostDynamics::initial_state(&Scene::default());
-        init.set(sig::HOST_SPEED, 1.0);
+        let (mut sim, _table, sigs) = plant_sim(defects, Scene::default(), -2.0);
+        let mut init = sim.state().clone();
+        init.set(sigs.host_speed, Value::Real(1.0));
         sim.init(init);
         for _ in 0..3000 {
             sim.step();
         }
-        assert!(real(sim.state(), sig::HOST_SPEED, 0.0) < -0.5);
+        assert!(sim.state().real_or(sigs.host_speed, 0.0) < -0.5);
     }
 
     #[test]
@@ -303,15 +299,11 @@ mod tests {
             lead: Some(SceneObject::constant(2.0, 0.0)),
             rear: None,
         };
-        let params = VehicleParams::default();
-        let mut sim = Simulator::new(1);
-        sim.add(ConstCmd(2.0));
-        sim.add(HostDynamics::new(params, DefectSet::none(), scene));
-        sim.init(HostDynamics::initial_state(&scene));
+        let (mut sim, _table, sigs) = plant_sim(DefectSet::none(), scene, 2.0);
         let mut collided_at = None;
         for _ in 0..5000 {
             sim.step();
-            if boolean(sim.state(), sig::COLLISION) {
+            if sim.state().bool_or(sigs.collision, false) {
                 collided_at = Some(sim.seconds());
                 break;
             }
@@ -321,25 +313,18 @@ mod tests {
         assert!(t > 1.0 && t < 2.5, "collision at {t}");
         // Latched thereafter.
         sim.step();
-        assert!(boolean(sim.state(), sig::COLLISION));
+        assert!(sim.state().bool_or(sigs.collision, false));
     }
 
     #[test]
     fn jerk_spikes_on_command_step() {
-        let params = VehicleParams::default();
-        let mut sim = Simulator::new(1);
-        sim.add(ConstCmd(-8.0));
-        sim.add(HostDynamics::new(
-            params,
-            DefectSet::none(),
-            Scene::default(),
-        ));
-        let mut init = HostDynamics::initial_state(&Scene::default());
-        init.set(sig::HOST_SPEED, 10.0);
+        let (mut sim, _table, sigs) = plant_sim(DefectSet::none(), Scene::default(), -8.0);
+        let mut init = sim.state().clone();
+        init.set(sigs.host_speed, Value::Real(10.0));
         sim.init(init);
         sim.step();
         sim.step();
-        let jerk = real(sim.state(), sig::HOST_JERK, 0.0);
+        let jerk = sim.state().real_or(sigs.host_jerk, 0.0);
         assert!(jerk < -20.0, "hard-brake step must spike jerk, got {jerk}");
     }
 }

@@ -1,10 +1,10 @@
 //! Adaptive Cruise Control (ACC): tracks a driver-set speed, or a safe
 //! following speed behind a slower lead vehicle (thesis §5.2.1).
 
-use super::{boolean, real, symbol, FeatureOutputs};
+use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
-use crate::signals as sig;
-use esafe_logic::State;
+use crate::signals::VehicleSigs;
+use esafe_logic::Frame;
 use esafe_sim::{SimTime, Subsystem};
 
 /// Ticks after an engage before a healthy ACC starts requesting control.
@@ -22,6 +22,7 @@ const DEFECT_GLITCH_TICKS: u64 = 50;
 pub struct AdaptiveCruiseControl {
     params: VehicleParams,
     defects: DefectSet,
+    sigs: VehicleSigs,
     out: FeatureOutputs,
     engaged: bool,
     engage_refused: bool,
@@ -34,11 +35,12 @@ pub struct AdaptiveCruiseControl {
 
 impl AdaptiveCruiseControl {
     /// Creates the ACC subsystem.
-    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+    pub fn new(params: VehicleParams, defects: DefectSet, sigs: VehicleSigs) -> Self {
         AdaptiveCruiseControl {
             params,
             defects,
-            out: FeatureOutputs::new("ACC"),
+            sigs,
+            out: FeatureOutputs::new(sigs.features[crate::signals::ACC]),
             engaged: false,
             engage_refused: false,
             go_authorized: false,
@@ -80,15 +82,16 @@ impl Subsystem for AdaptiveCruiseControl {
         "ACC"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
-        let enabled = boolean(prev, &sig::hmi_enable("ACC"));
-        let engage_req = boolean(prev, &sig::hmi_engage("ACC"));
-        let set_speed = real(prev, sig::ACC_SET_SPEED, 0.0);
-        let speed = real(prev, sig::HOST_SPEED, 0.0);
-        let gap = real(prev, sig::LEAD_DISTANCE, 1e9);
-        let lead_speed = real(prev, sig::LEAD_SPEED, 0.0);
-        let gear = symbol(prev, sig::GEAR, "D");
-        let throttle = real(prev, sig::DRIVER_THROTTLE, 0.0) > 0.05;
+    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+        let s = &self.sigs;
+        let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
+        let engage_req = prev.bool_or(self.out.sigs().hmi_engage, false);
+        let set_speed = prev.real_or(s.acc_set_speed, 0.0);
+        let speed = prev.real_or(s.host_speed, 0.0);
+        let gap = prev.real_or(s.lead_distance, 1e9);
+        let lead_speed = prev.real_or(s.lead_speed, 0.0);
+        let in_reverse_gear = prev.get(s.gear) == Some(s.sym_r);
+        let throttle = prev.real_or(s.driver_throttle, 0.0) > 0.05;
         let stopped = speed.abs() <= self.params.stopped_eps;
 
         // Engagement state machine. A refused engage latches until the
@@ -100,7 +103,7 @@ impl Subsystem for AdaptiveCruiseControl {
             self.go_authorized = false;
             self.ticks_since_engage = u64::MAX;
         } else if !self.engaged && !self.engage_refused {
-            let reverse_block = gear == "R" && !self.defects.acc_engages_in_reverse;
+            let reverse_block = in_reverse_gear && !self.defects.acc_engages_in_reverse;
             let ghost_block = stopped && self.defects.acc_ghost_accel_from_stop;
             if ghost_block {
                 self.engage_refused = true;
@@ -112,7 +115,7 @@ impl Subsystem for AdaptiveCruiseControl {
                 self.ticks_since_engage = 0;
             }
         }
-        if self.engaged && (boolean(prev, sig::HMI_GO) || throttle || !stopped) {
+        if self.engaged && (prev.bool_or(s.hmi_go, false) || throttle || !stopped) {
             self.go_authorized = true;
         }
         if self.engaged && self.ticks_since_engage < u64::MAX {
@@ -166,7 +169,7 @@ impl Subsystem for AdaptiveCruiseControl {
             if active && !self.was_active {
                 // Smooth takeover: start the ramp from the vehicle's
                 // current acceleration.
-                self.limiter.value = real(prev, sig::HOST_ACCEL, 0.0);
+                self.limiter.value = prev.real_or(s.host_accel, 0.0);
             }
             request = self.limiter.step(request, t.dt_seconds());
         }
@@ -180,20 +183,24 @@ impl Subsystem for AdaptiveCruiseControl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::signals::{self as sig, vehicle_table};
+    use esafe_logic::{SignalTable, Value};
+    use std::sync::Arc;
 
-    fn world(speed: f64, set: f64) -> State {
-        State::new()
-            .with_bool("hmi.acc.enable", true)
-            .with_bool("hmi.acc.engage", true)
-            .with_real(sig::ACC_SET_SPEED, set)
-            .with_real(sig::HOST_SPEED, speed)
-            .with_real(sig::LEAD_DISTANCE, 1e9)
-            .with_real(sig::LEAD_SPEED, 0.0)
-            .with_real(sig::DRIVER_THROTTLE, 0.0)
-            .with_sym(sig::GEAR, "D")
+    fn world(table: &Arc<SignalTable>, sigs: &VehicleSigs, speed: f64, set: f64) -> Frame {
+        let mut f = table.frame();
+        f.set(sigs.features[sig::ACC].hmi_enable, true);
+        f.set(sigs.features[sig::ACC].hmi_engage, true);
+        f.set(sigs.acc_set_speed, set);
+        f.set(sigs.host_speed, speed);
+        f.set(sigs.lead_distance, 1e9);
+        f.set(sigs.lead_speed, 0.0);
+        f.set(sigs.driver_throttle, 0.0);
+        f.set(sigs.gear, sigs.sym_d);
+        f
     }
 
-    fn tick(acc: &mut AdaptiveCruiseControl, prev: &State) -> State {
+    fn tick(acc: &mut AdaptiveCruiseControl, prev: &Frame) -> Frame {
         let mut next = prev.clone();
         acc.step(
             &SimTime {
@@ -206,129 +213,166 @@ mod tests {
         next
     }
 
-    fn run(acc: &mut AdaptiveCruiseControl, prev: &State, n: u64) -> State {
+    /// Runs n ticks keeping the world inputs of `prev` pinned.
+    fn run(acc: &mut AdaptiveCruiseControl, prev: &Frame, n: u64) -> Frame {
         let mut s = prev.clone();
         for _ in 0..n {
-            s = tick(acc, &s);
-            // keep the world inputs pinned
-            for (k, v) in prev.iter() {
-                if k.starts_with("hmi")
-                    || k.starts_with("host")
-                    || k.starts_with("world")
-                    || k.starts_with("driver")
-                {
-                    s.set(k, v.clone());
+            let mut out = tick(acc, &s);
+            // keep the world inputs pinned: copy everything the ACC does
+            // not publish back from the template.
+            let acc_sigs = acc.out.sigs();
+            let published = [
+                acc_sigs.enabled,
+                acc_sigs.active,
+                acc_sigs.accel_request,
+                acc_sigs.accel_request_rate,
+                acc_sigs.requests_accel,
+                acc_sigs.steering_request,
+                acc_sigs.requests_steering,
+            ];
+            for (id, v) in prev.iter() {
+                if !published.contains(&id) {
+                    out.set(id, v);
                 }
             }
+            s = out;
         }
         s
     }
 
     #[test]
     fn engages_and_tracks_set_speed() {
-        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), DefectSet::none());
-        let s = run(&mut acc, &world(10.0, 15.0), 60);
-        assert!(boolean(&s, "acc.active"));
-        let req = real(&s, "acc.accel_request", 0.0);
+        let (table, sigs) = vehicle_table();
+        let acc_sigs = sigs.features[sig::ACC];
+        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let s = run(&mut acc, &world(&table, &sigs, 10.0, 15.0), 60);
+        assert!(s.bool_or(acc_sigs.active, false));
+        let req = s.real_or(acc_sigs.accel_request, 0.0);
         assert!(req > 0.0 && req <= 1.5, "req {req}");
     }
 
     #[test]
     fn follows_slower_lead_with_deceleration() {
-        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), DefectSet::none());
-        let mut w = world(15.0, 20.0);
-        w.set(sig::LEAD_DISTANCE, 10.0);
-        w.set(sig::LEAD_SPEED, 5.0);
+        let (table, sigs) = vehicle_table();
+        let acc_sigs = sigs.features[sig::ACC];
+        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut w = world(&table, &sigs, 15.0, 20.0);
+        w.set(sigs.lead_distance, Value::Real(10.0));
+        w.set(sigs.lead_speed, Value::Real(5.0));
         let s = run(&mut acc, &w, 60);
-        assert!(real(&s, "acc.accel_request", 0.0) < 0.0);
+        assert!(s.real_or(acc_sigs.accel_request, 0.0) < 0.0);
     }
 
     #[test]
     fn healthy_acc_defers_to_throttle() {
-        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), DefectSet::none());
-        let mut w = world(10.0, 15.0);
-        w.set(sig::DRIVER_THROTTLE, 0.5);
+        let (table, sigs) = vehicle_table();
+        let acc_sigs = sigs.features[sig::ACC];
+        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut w = world(&table, &sigs, 10.0, 15.0);
+        w.set(sigs.driver_throttle, Value::Real(0.5));
         let s = run(&mut acc, &w, 120);
-        assert!(!boolean(&s, "acc.active"));
+        assert!(!s.bool_or(acc_sigs.active, false));
     }
 
     #[test]
     fn glitch_defect_clings_then_drops_under_throttle() {
+        let (table, sigs) = vehicle_table();
+        let acc_sigs = sigs.features[sig::ACC];
         let defects = DefectSet {
             acc_throttle_handoff_glitch: true,
             ..DefectSet::none()
         };
-        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects);
-        let mut w = world(10.0, 15.0);
-        w.set(sig::DRIVER_THROTTLE, 0.5);
+        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects, sigs);
+        let mut w = world(&table, &sigs, 10.0, 15.0);
+        w.set(sigs.driver_throttle, Value::Real(0.5));
         let s = run(&mut acc, &w, 30);
-        assert!(boolean(&s, "acc.active"), "clings for the first 50 ms");
+        assert!(
+            s.bool_or(acc_sigs.active, false),
+            "clings for the first 50 ms"
+        );
         let s = run(&mut acc, &w, 60);
-        assert!(!boolean(&s, "acc.active"), "then loses control");
+        assert!(!s.bool_or(acc_sigs.active, false), "then loses control");
     }
 
     #[test]
     fn handoff_delay_defect_waits_101_ms() {
+        let (table, sigs) = vehicle_table();
+        let acc_sigs = sigs.features[sig::ACC];
         let defects = DefectSet {
             acc_engage_handoff_delay: true,
             ..DefectSet::none()
         };
-        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects);
+        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects, sigs);
         // Engage under throttle, then release.
-        let mut w = world(10.0, 15.0);
-        w.set(sig::DRIVER_THROTTLE, 0.5);
+        let mut w = world(&table, &sigs, 10.0, 15.0);
+        w.set(sigs.driver_throttle, Value::Real(0.5));
         let _ = run(&mut acc, &w, 200);
-        w.set(sig::DRIVER_THROTTLE, 0.0);
+        w.set(sigs.driver_throttle, Value::Real(0.0));
         let s = run(&mut acc, &w, 100);
-        assert!(!boolean(&s, "acc.active"), "still waiting at 100 ms");
+        assert!(
+            !s.bool_or(acc_sigs.active, false),
+            "still waiting at 100 ms"
+        );
         let s = run(&mut acc, &w, 2);
-        assert!(boolean(&s, "acc.active"), "control gained at ~101 ms");
+        assert!(
+            s.bool_or(acc_sigs.active, false),
+            "control gained at ~101 ms"
+        );
     }
 
     #[test]
     fn reverse_engage_blocked_without_defect() {
-        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), DefectSet::none());
-        let mut w = world(-2.0, 15.0);
-        w.set(sig::GEAR, esafe_logic::Value::sym("R"));
+        let (table, sigs) = vehicle_table();
+        let acc_sigs = sigs.features[sig::ACC];
+        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut w = world(&table, &sigs, -2.0, 15.0);
+        w.set(sigs.gear, sigs.sym_r);
         let s = run(&mut acc, &w, 100);
-        assert!(!boolean(&s, "acc.active"));
+        assert!(!s.bool_or(acc_sigs.active, false));
         let defects = DefectSet {
             acc_engages_in_reverse: true,
             ..DefectSet::none()
         };
-        let mut acc2 = AdaptiveCruiseControl::new(VehicleParams::default(), defects);
+        let mut acc2 = AdaptiveCruiseControl::new(VehicleParams::default(), defects, sigs);
         let s = run(&mut acc2, &w, 100);
-        assert!(boolean(&s, "acc.active"), "defect engages in reverse");
+        assert!(
+            s.bool_or(acc_sigs.active, false),
+            "defect engages in reverse"
+        );
     }
 
     #[test]
     fn disengaged_request_defect_controls_to_zero() {
+        let (table, sigs) = vehicle_table();
+        let acc_sigs = sigs.features[sig::ACC];
         let defects = DefectSet {
             acc_requests_while_disengaged: true,
             ..DefectSet::none()
         };
-        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects);
-        let mut w = world(10.0, 15.0);
-        w.set(sig::hmi_engage("ACC"), esafe_logic::Value::Bool(false));
+        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects, sigs);
+        let mut w = world(&table, &sigs, 10.0, 15.0);
+        w.set(acc_sigs.hmi_engage, false);
         let s = run(&mut acc, &w, 10);
-        assert!(!boolean(&s, "acc.active"));
+        assert!(!s.bool_or(acc_sigs.active, false));
         assert!(
-            real(&s, "acc.accel_request", 0.0) < -1.0,
+            s.real_or(acc_sigs.accel_request, 0.0) < -1.0,
             "brakes toward 0 m/s"
         );
     }
 
     #[test]
     fn ghost_defect_leaks_request_from_stop() {
+        let (table, sigs) = vehicle_table();
+        let acc_sigs = sigs.features[sig::ACC];
         let defects = DefectSet {
             acc_ghost_accel_from_stop: true,
             ..DefectSet::none()
         };
-        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects);
-        let s = run(&mut acc, &world(0.0, 15.0), 100);
-        assert!(!boolean(&s, "acc.active"), "never becomes active");
+        let mut acc = AdaptiveCruiseControl::new(VehicleParams::default(), defects, sigs);
+        let s = run(&mut acc, &world(&table, &sigs, 0.0, 15.0), 100);
+        assert!(!s.bool_or(acc_sigs.active, false), "never becomes active");
         assert_eq!(
-            real(&s, "acc.accel_request", 0.0),
+            s.real_or(acc_sigs.accel_request, 0.0),
             0.8,
             "yet leaks a request"
         );

@@ -1,10 +1,10 @@
 //! Collision Avoidance (CA): detects objects in the forward path and stops
 //! the vehicle before a collision occurs (thesis §5.2.1).
 
-use super::{boolean, real, FeatureOutputs};
+use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
-use crate::signals as sig;
-use esafe_logic::State;
+use crate::signals::VehicleSigs;
+use esafe_logic::Frame;
 use esafe_sim::{SimTime, Subsystem};
 
 /// The CA feature subsystem.
@@ -21,6 +21,7 @@ use esafe_sim::{SimTime, Subsystem};
 pub struct CollisionAvoidance {
     params: VehicleParams,
     defects: DefectSet,
+    sigs: VehicleSigs,
     out: FeatureOutputs,
     engaged: bool,
     engaged_ticks: u64,
@@ -28,11 +29,12 @@ pub struct CollisionAvoidance {
 
 impl CollisionAvoidance {
     /// Creates the CA subsystem.
-    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+    pub fn new(params: VehicleParams, defects: DefectSet, sigs: VehicleSigs) -> Self {
         CollisionAvoidance {
             params,
             defects,
-            out: FeatureOutputs::new("CA"),
+            sigs,
+            out: FeatureOutputs::new(sigs.features[crate::signals::CA]),
             engaged: false,
             engaged_ticks: 0,
         }
@@ -69,11 +71,12 @@ impl Subsystem for CollisionAvoidance {
         "CA"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
-        let enabled = boolean(prev, &sig::hmi_enable("CA"));
-        let speed = real(prev, sig::HOST_SPEED, 0.0);
-        let gap = real(prev, sig::LEAD_DISTANCE, 1e9);
-        let lead_speed = real(prev, sig::LEAD_SPEED, 0.0);
+    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+        let s = &self.sigs;
+        let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
+        let speed = prev.real_or(s.host_speed, 0.0);
+        let gap = prev.real_or(s.lead_distance, 1e9);
+        let lead_speed = prev.real_or(s.lead_speed, 0.0);
 
         if !enabled {
             self.engaged = false;
@@ -83,7 +86,7 @@ impl Subsystem for CollisionAvoidance {
             return;
         }
 
-        let throttle = real(prev, sig::DRIVER_THROTTLE, 0.0) > 0.05;
+        let throttle = prev.real_or(s.driver_throttle, 0.0) > 0.05;
 
         if !self.engaged && self.should_engage(speed, gap, lead_speed) {
             self.engaged = true;
@@ -140,17 +143,30 @@ impl Subsystem for CollisionAvoidance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use esafe_logic::State;
+    use crate::signals::{self as sig, vehicle_table};
+    use esafe_logic::{SignalTable, Value};
+    use std::sync::Arc;
 
-    fn world(speed: f64, gap: f64, enabled: bool) -> State {
-        State::new()
-            .with_bool("hmi.ca.enable", enabled)
-            .with_real(sig::HOST_SPEED, speed)
-            .with_real(sig::LEAD_DISTANCE, gap)
-            .with_real(sig::LEAD_SPEED, 0.0)
+    fn ctx() -> (Arc<SignalTable>, VehicleSigs) {
+        vehicle_table()
     }
 
-    fn tick(ca: &mut CollisionAvoidance, prev: &State) -> State {
+    fn world(
+        table: &Arc<SignalTable>,
+        sigs: &VehicleSigs,
+        speed: f64,
+        gap: f64,
+        enabled: bool,
+    ) -> Frame {
+        let mut f = table.frame();
+        f.set(sigs.features[sig::CA].hmi_enable, enabled);
+        f.set(sigs.host_speed, speed);
+        f.set(sigs.lead_distance, gap);
+        f.set(sigs.lead_speed, 0.0);
+        f
+    }
+
+    fn tick(ca: &mut CollisionAvoidance, prev: &Frame) -> Frame {
         let mut next = prev.clone();
         let t = SimTime {
             tick: 1,
@@ -162,58 +178,71 @@ mod tests {
 
     #[test]
     fn engages_inside_stopping_envelope() {
-        let mut ca = CollisionAvoidance::new(VehicleParams::default(), DefectSet::none());
+        let (table, sigs) = ctx();
+        let ca_sigs = sigs.features[sig::CA];
+        let mut ca = CollisionAvoidance::new(VehicleParams::default(), DefectSet::none(), sigs);
         // v=4: stopping = 16/16 = 1 m; margin 1.2 → engages below 2.2 m.
-        let s = tick(&mut ca, &world(4.0, 5.0, true));
-        assert!(!boolean(&s, "ca.active"));
-        let s = tick(&mut ca, &world(4.0, 2.0, true));
-        assert!(boolean(&s, "ca.active"));
-        assert_eq!(real(&s, "ca.accel_request", 0.0), -8.0);
+        let s = tick(&mut ca, &world(&table, &sigs, 4.0, 5.0, true));
+        assert!(!s.bool_or(ca_sigs.active, false));
+        let s = tick(&mut ca, &world(&table, &sigs, 4.0, 2.0, true));
+        assert!(s.bool_or(ca_sigs.active, false));
+        assert_eq!(s.real_or(ca_sigs.accel_request, 0.0), -8.0);
     }
 
     #[test]
     fn disabled_ca_stays_quiet() {
-        let mut ca = CollisionAvoidance::new(VehicleParams::default(), DefectSet::none());
-        let s = tick(&mut ca, &world(4.0, 0.5, false));
-        assert!(!boolean(&s, "ca.active"));
-        assert_eq!(real(&s, "ca.accel_request", 1.0), 0.0);
+        let (table, sigs) = ctx();
+        let ca_sigs = sigs.features[sig::CA];
+        let mut ca = CollisionAvoidance::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let s = tick(&mut ca, &world(&table, &sigs, 4.0, 0.5, false));
+        assert!(!s.bool_or(ca_sigs.active, false));
+        assert_eq!(s.real_or(ca_sigs.accel_request, 1.0), 0.0);
     }
 
     #[test]
     fn correct_ca_holds_at_stop() {
-        let mut ca = CollisionAvoidance::new(VehicleParams::default(), DefectSet::none());
-        let _ = tick(&mut ca, &world(4.0, 1.5, true));
-        let s = tick(&mut ca, &world(0.0, 1.5, true));
-        assert!(boolean(&s, "ca.active"), "must hold the vehicle at rest");
-        assert_eq!(real(&s, "ca.accel_request", 0.0), -1.0);
+        let (table, sigs) = ctx();
+        let ca_sigs = sigs.features[sig::CA];
+        let mut ca = CollisionAvoidance::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let _ = tick(&mut ca, &world(&table, &sigs, 4.0, 1.5, true));
+        let s = tick(&mut ca, &world(&table, &sigs, 0.0, 1.5, true));
+        assert!(
+            s.bool_or(ca_sigs.active, false),
+            "must hold the vehicle at rest"
+        );
+        assert_eq!(s.real_or(ca_sigs.accel_request, 0.0), -1.0);
     }
 
     #[test]
     fn defective_ca_releases_at_stop() {
+        let (table, sigs) = ctx();
+        let ca_sigs = sigs.features[sig::CA];
         let defects = DefectSet {
             ca_intermittent_braking: true,
             ..DefectSet::none()
         };
-        let mut ca = CollisionAvoidance::new(VehicleParams::default(), defects);
-        let _ = tick(&mut ca, &world(4.0, 1.5, true));
-        let s = tick(&mut ca, &world(0.0, 1.5, true));
-        assert!(!boolean(&s, "ca.active"));
+        let mut ca = CollisionAvoidance::new(VehicleParams::default(), defects, sigs);
+        let _ = tick(&mut ca, &world(&table, &sigs, 4.0, 1.5, true));
+        let s = tick(&mut ca, &world(&table, &sigs, 0.0, 1.5, true));
+        assert!(!s.bool_or(ca_sigs.active, false));
     }
 
     #[test]
     fn defective_ca_cancels_braking_on_cycle() {
+        let (table, sigs) = ctx();
+        let ca_sigs = sigs.features[sig::CA];
         let defects = DefectSet {
             ca_intermittent_braking: true,
             ..DefectSet::none()
         };
-        let mut ca = CollisionAvoidance::new(VehicleParams::default(), defects);
+        let mut ca = CollisionAvoidance::new(VehicleParams::default(), defects, sigs);
         let mut dropped = 0;
         let mut braking = 0;
         // Defective engagement has no margin: engage inside v²/2a = 1 m.
-        let w = world(4.0, 0.9, true);
+        let w = world(&table, &sigs, 4.0, 0.9, true);
         for _ in 0..120 {
             let s = tick(&mut ca, &w);
-            if boolean(&s, "ca.active") {
+            if s.bool_or(ca_sigs.active, false) {
                 braking += 1;
             } else {
                 dropped += 1;
@@ -225,10 +254,12 @@ mod tests {
 
     #[test]
     fn no_engagement_when_opening_gap() {
-        let mut ca = CollisionAvoidance::new(VehicleParams::default(), DefectSet::none());
-        let mut w = world(4.0, 1.0, true);
-        w.set(sig::LEAD_SPEED, 6.0); // lead pulling away
+        let (table, sigs) = ctx();
+        let ca_sigs = sigs.features[sig::CA];
+        let mut ca = CollisionAvoidance::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut w = world(&table, &sigs, 4.0, 1.0, true);
+        w.set(sigs.lead_speed, Value::Real(6.0)); // lead pulling away
         let s = tick(&mut ca, &w);
-        assert!(!boolean(&s, "ca.active"));
+        assert!(!s.bool_or(ca_sigs.active, false));
     }
 }

@@ -3,10 +3,10 @@
 //! §5.2.1, §5.3.2: "ACC performs the longitudinal control for LCA; thus
 //! ACC and LCA share acceleration requests").
 
-use super::{boolean, real, FeatureOutputs};
+use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
-use crate::signals as sig;
-use esafe_logic::State;
+use crate::signals::VehicleSigs;
+use esafe_logic::Frame;
 use esafe_sim::{SimTime, Subsystem};
 
 /// Ticks after engage before LCA requests control (thesis Fig. 5.10:
@@ -24,6 +24,7 @@ pub struct LaneChangeAssist {
     #[allow(dead_code)]
     params: VehicleParams,
     defects: DefectSet,
+    sigs: VehicleSigs,
     out: FeatureOutputs,
     engaged: bool,
     ticks_since_engage: u64,
@@ -31,11 +32,12 @@ pub struct LaneChangeAssist {
 
 impl LaneChangeAssist {
     /// Creates the LCA subsystem.
-    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+    pub fn new(params: VehicleParams, defects: DefectSet, sigs: VehicleSigs) -> Self {
         LaneChangeAssist {
             params,
             defects,
-            out: FeatureOutputs::new("LCA"),
+            sigs,
+            out: FeatureOutputs::new(sigs.features[crate::signals::LCA]),
             engaged: false,
             ticks_since_engage: 0,
         }
@@ -61,15 +63,16 @@ impl Subsystem for LaneChangeAssist {
         "LCA"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
-        let enabled = boolean(prev, &sig::hmi_enable("LCA"));
-        let engage_req = boolean(prev, &sig::hmi_engage("LCA"));
-        let acc_engaged_signal = boolean(prev, &sig::hmi_engage("ACC"));
+    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+        let s = &self.sigs;
+        let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
+        let engage_req = prev.bool_or(self.out.sigs().hmi_engage, false);
+        let acc_engaged_signal = prev.bool_or(s.features[crate::signals::ACC].hmi_engage, false);
 
         // LCA requires ACC to be engaged (it borrows ACC's longitudinal
         // control). The reverse-motion inhibit is the healthy behaviour
         // scenario 6 shows missing.
-        let speed = real(prev, sig::HOST_SPEED, 0.0);
+        let speed = prev.real_or(s.host_speed, 0.0);
         let reverse_ok = self.defects.no_reverse_inhibit || speed >= 0.0;
 
         if enabled && engage_req && acc_engaged_signal && reverse_ok {
@@ -88,7 +91,7 @@ impl Subsystem for LaneChangeAssist {
             self.ticks_since_engage += 1;
             active = self.ticks_since_engage >= ACTIVATION_DELAY_TICKS;
             // Shared longitudinal channel: mirror ACC's request.
-            accel = real(prev, &sig::accel_request("ACC"), 0.0);
+            accel = prev.real_or(s.features[crate::signals::ACC].accel_request, 0.0);
             steer = self.steering_profile(self.ticks_since_engage);
         }
 
@@ -100,17 +103,21 @@ impl Subsystem for LaneChangeAssist {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::signals::{self as sig, vehicle_table};
+    use esafe_logic::{SignalTable, Value};
+    use std::sync::Arc;
 
-    fn world(acc_request: f64) -> State {
-        State::new()
-            .with_bool("hmi.lca.enable", true)
-            .with_bool("hmi.lca.engage", true)
-            .with_bool("hmi.acc.engage", true)
-            .with_real(sig::HOST_SPEED, 10.0)
-            .with_real(sig::accel_request("ACC"), acc_request)
+    fn world(table: &Arc<SignalTable>, sigs: &VehicleSigs, acc_request: f64) -> Frame {
+        let mut f = table.frame();
+        f.set(sigs.features[sig::LCA].hmi_enable, true);
+        f.set(sigs.features[sig::LCA].hmi_engage, true);
+        f.set(sigs.features[sig::ACC].hmi_engage, true);
+        f.set(sigs.host_speed, 10.0);
+        f.set(sigs.features[sig::ACC].accel_request, acc_request);
+        f
     }
 
-    fn run(lca: &mut LaneChangeAssist, prev: &State, n: u64) -> State {
+    fn run(lca: &mut LaneChangeAssist, prev: &Frame, n: u64) -> Frame {
         let mut s = prev.clone();
         let t = SimTime {
             tick: 1,
@@ -125,53 +132,63 @@ mod tests {
 
     #[test]
     fn activates_one_tick_after_engage() {
-        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
-        let s = run(&mut lca, &world(0.5), 2);
-        assert!(boolean(&s, "lca.active"));
-        assert!(boolean(&s, "lca.requests_steering"));
+        let (table, sigs) = vehicle_table();
+        let lca_sigs = sigs.features[sig::LCA];
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let s = run(&mut lca, &world(&table, &sigs, 0.5), 2);
+        assert!(s.bool_or(lca_sigs.active, false));
+        assert!(s.bool_or(lca_sigs.requests_steering, false));
     }
 
     #[test]
     fn mirrors_acc_longitudinal_request() {
-        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
-        let s = run(&mut lca, &world(0.7), 5);
-        assert_eq!(real(&s, "lca.accel_request", 0.0), 0.7);
+        let (table, sigs) = vehicle_table();
+        let lca_sigs = sigs.features[sig::LCA];
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let s = run(&mut lca, &world(&table, &sigs, 0.7), 5);
+        assert_eq!(s.real_or(lca_sigs.accel_request, 0.0), 0.7);
     }
 
     #[test]
     fn steering_profile_starts_at_50_ms() {
-        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
-        let s = run(&mut lca, &world(0.0), 45);
-        assert_eq!(real(&s, "lca.steering_request", 1.0), 0.0);
-        let s = run(&mut lca, &world(0.0), 10);
-        assert!(real(&s, "lca.steering_request", 0.0) > 0.0);
+        let (table, sigs) = vehicle_table();
+        let lca_sigs = sigs.features[sig::LCA];
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let s = run(&mut lca, &world(&table, &sigs, 0.0), 45);
+        assert_eq!(s.real_or(lca_sigs.steering_request, 1.0), 0.0);
+        let s = run(&mut lca, &world(&table, &sigs, 0.0), 10);
+        assert!(s.real_or(lca_sigs.steering_request, 0.0) > 0.0);
     }
 
     #[test]
     fn requires_acc_engaged() {
-        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
-        let mut w = world(0.0);
-        w.set("hmi.acc.engage", false);
+        let (table, sigs) = vehicle_table();
+        let lca_sigs = sigs.features[sig::LCA];
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut w = world(&table, &sigs, 0.0);
+        w.set(sigs.features[sig::ACC].hmi_engage, false);
         let s = run(&mut lca, &w, 10);
-        assert!(!boolean(&s, "lca.active"));
+        assert!(!s.bool_or(lca_sigs.active, false));
     }
 
     #[test]
     fn healthy_lca_disengages_in_reverse_motion() {
-        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none());
-        let mut w = world(0.0);
-        w.set(sig::HOST_SPEED, -0.5);
+        let (table, sigs) = vehicle_table();
+        let lca_sigs = sigs.features[sig::LCA];
+        let mut lca = LaneChangeAssist::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut w = world(&table, &sigs, 0.0);
+        w.set(sigs.host_speed, Value::Real(-0.5));
         let s = run(&mut lca, &w, 10);
-        assert!(!boolean(&s, "lca.active"));
+        assert!(!s.bool_or(lca_sigs.active, false));
 
         let defects = DefectSet {
             no_reverse_inhibit: true,
             ..DefectSet::none()
         };
-        let mut lca2 = LaneChangeAssist::new(VehicleParams::default(), defects);
+        let mut lca2 = LaneChangeAssist::new(VehicleParams::default(), defects, sigs);
         let s = run(&mut lca2, &w, 10);
         assert!(
-            boolean(&s, "lca.active"),
+            s.bool_or(lca_sigs.active, false),
             "defect keeps LCA active in reverse"
         );
     }

@@ -14,30 +14,31 @@ pub use lca::LaneChangeAssist;
 pub use pa::ParkAssist;
 pub use rca::RearCollisionAvoidance;
 
-use crate::signals as sig;
-use esafe_logic::{State, Value};
+use crate::signals::FeatureSigs;
+use esafe_logic::Frame;
 
 /// Shared output plumbing for a feature: publishes the standard signal set
 /// and tracks the request rate (the "jerk" of the request stream that
-/// subgoal 2B monitors).
+/// subgoal 2B monitors). Holds the feature's resolved [`FeatureSigs`], so
+/// every per-tick write is a dense slot store.
 #[derive(Debug, Clone)]
 pub struct FeatureOutputs {
-    name: &'static str,
+    sigs: FeatureSigs,
     last_request: f64,
 }
 
 impl FeatureOutputs {
-    /// Creates the plumbing for the named feature (`"CA"`, `"ACC"`, …).
-    pub fn new(name: &'static str) -> Self {
+    /// Creates the plumbing for a feature's resolved signal ids.
+    pub fn new(sigs: FeatureSigs) -> Self {
         FeatureOutputs {
-            name,
+            sigs,
             last_request: 0.0,
         }
     }
 
-    /// The feature's name.
-    pub fn feature(&self) -> &'static str {
-        self.name
+    /// The feature's resolved ids.
+    pub fn sigs(&self) -> &FeatureSigs {
+        &self.sigs
     }
 
     /// The request value published at the previous tick.
@@ -49,7 +50,7 @@ impl FeatureOutputs {
     #[allow(clippy::too_many_arguments)]
     pub fn publish(
         &mut self,
-        next: &mut State,
+        next: &mut Frame,
         enabled: bool,
         active: bool,
         accel_request: f64,
@@ -59,73 +60,69 @@ impl FeatureOutputs {
     ) {
         let rate = (accel_request - self.last_request) / dt_s;
         self.last_request = accel_request;
-        next.set(sig::enabled(self.name), enabled);
-        next.set(sig::active(self.name), active);
-        next.set(sig::accel_request(self.name), accel_request);
-        next.set(sig::accel_request_rate(self.name), rate);
-        next.set(sig::requests_accel(self.name), active);
-        next.set(sig::steering_request(self.name), steering_request);
-        next.set(sig::requests_steering(self.name), active && wants_steering);
+        let s = &self.sigs;
+        next.set(s.enabled, enabled);
+        next.set(s.active, active);
+        next.set(s.accel_request, accel_request);
+        next.set(s.accel_request_rate, rate);
+        next.set(s.requests_accel, active);
+        next.set(s.steering_request, steering_request);
+        next.set(s.requests_steering, active && wants_steering);
     }
 
     /// Seeds the blackboard with a feature's quiescent outputs.
-    pub fn initial_state(name: &str) -> State {
-        let mut s = State::new();
-        s.set(sig::enabled(name), Value::Bool(false));
-        s.set(sig::active(name), Value::Bool(false));
-        s.set(sig::accel_request(name), Value::Real(0.0));
-        s.set(sig::accel_request_rate(name), Value::Real(0.0));
-        s.set(sig::requests_accel(name), Value::Bool(false));
-        s.set(sig::steering_request(name), Value::Real(0.0));
-        s.set(sig::requests_steering(name), Value::Bool(false));
-        s.set(sig::selected(name), Value::Bool(false));
-        s
-    }
-}
-
-pub(crate) fn real(state: &State, name: &str, default: f64) -> f64 {
-    state.get(name).and_then(Value::as_real).unwrap_or(default)
-}
-
-pub(crate) fn boolean(state: &State, name: &str) -> bool {
-    state.get(name).and_then(Value::as_bool).unwrap_or(false)
-}
-
-pub(crate) fn symbol<'a>(state: &'a State, name: &str, default: &'a str) -> &'a str {
-    match state.get(name) {
-        Some(Value::Sym(s)) => s.as_str(),
-        _ => default,
+    pub fn seed(frame: &mut Frame, sigs: &FeatureSigs) {
+        frame.set(sigs.enabled, false);
+        frame.set(sigs.active, false);
+        frame.set(sigs.accel_request, 0.0);
+        frame.set(sigs.accel_request_rate, 0.0);
+        frame.set(sigs.requests_accel, false);
+        frame.set(sigs.steering_request, 0.0);
+        frame.set(sigs.requests_steering, false);
+        frame.set(sigs.selected, false);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::signals::{self as sig, vehicle_table};
 
     #[test]
     fn publish_computes_request_rate() {
-        let mut out = FeatureOutputs::new("CA");
-        let mut s = State::new();
-        out.publish(&mut s, true, true, -8.0, 0.0, false, 0.001);
-        assert_eq!(real(&s, "ca.accel_request_rate", 0.0), -8000.0);
-        out.publish(&mut s, true, true, -8.0, 0.0, false, 0.001);
-        assert_eq!(real(&s, "ca.accel_request_rate", 1.0), 0.0);
+        let (table, sigs) = vehicle_table();
+        let mut out = FeatureOutputs::new(sigs.features[sig::CA]);
+        let mut f = table.frame();
+        out.publish(&mut f, true, true, -8.0, 0.0, false, 0.001);
+        assert_eq!(
+            f.real_or(sigs.features[sig::CA].accel_request_rate, 0.0),
+            -8000.0
+        );
+        out.publish(&mut f, true, true, -8.0, 0.0, false, 0.001);
+        assert_eq!(
+            f.real_or(sigs.features[sig::CA].accel_request_rate, 1.0),
+            0.0
+        );
     }
 
     #[test]
     fn requests_steering_needs_active_and_capability() {
-        let mut out = FeatureOutputs::new("PA");
-        let mut s = State::new();
-        out.publish(&mut s, true, false, 0.0, 0.1, true, 0.001);
-        assert!(!boolean(&s, "pa.requests_steering"));
-        out.publish(&mut s, true, true, 0.0, 0.1, true, 0.001);
-        assert!(boolean(&s, "pa.requests_steering"));
+        let (table, sigs) = vehicle_table();
+        let pa = sigs.features[sig::PA];
+        let mut out = FeatureOutputs::new(pa);
+        let mut f = table.frame();
+        out.publish(&mut f, true, false, 0.0, 0.1, true, 0.001);
+        assert!(!f.bool_or(pa.requests_steering, true));
+        out.publish(&mut f, true, true, 0.0, 0.1, true, 0.001);
+        assert!(f.bool_or(pa.requests_steering, false));
     }
 
     #[test]
-    fn initial_state_covers_signal_set() {
-        let s = FeatureOutputs::initial_state("ACC");
-        assert_eq!(s.len(), 8);
-        assert!(s.get("acc.selected").is_some());
+    fn seed_covers_signal_set() {
+        let (table, sigs) = vehicle_table();
+        let mut f = table.frame();
+        FeatureOutputs::seed(&mut f, &sigs.features[sig::ACC]);
+        assert_eq!(f.iter().count(), 8);
+        assert_eq!(f.get_named("acc.selected"), Some(false.into()));
     }
 }

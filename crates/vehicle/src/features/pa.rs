@@ -2,10 +2,10 @@
 //! (thesis §5.2.1). Carries the scenario-1 defect of emitting acceleration
 //! requests while disabled (Fig. 5.3).
 
-use super::{boolean, real, FeatureOutputs};
+use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
-use crate::signals as sig;
-use esafe_logic::State;
+use crate::signals::VehicleSigs;
+use esafe_logic::Frame;
 use esafe_sim::{SimTime, Subsystem};
 
 /// The creep acceleration PA uses while maneuvering, m/s².
@@ -16,6 +16,7 @@ const PA_CREEP_ACCEL: f64 = 0.5;
 pub struct ParkAssist {
     params: VehicleParams,
     defects: DefectSet,
+    sigs: VehicleSigs,
     out: FeatureOutputs,
     engaged: bool,
     authorized: bool,
@@ -24,11 +25,12 @@ pub struct ParkAssist {
 
 impl ParkAssist {
     /// Creates the PA subsystem.
-    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+    pub fn new(params: VehicleParams, defects: DefectSet, sigs: VehicleSigs) -> Self {
         ParkAssist {
             params,
             defects,
-            out: FeatureOutputs::new("PA"),
+            sigs,
+            out: FeatureOutputs::new(sigs.features[crate::signals::PA]),
             engaged: false,
             authorized: false,
             // A healthy request stream stays inside the jerk bound.
@@ -55,17 +57,18 @@ impl Subsystem for ParkAssist {
         "PA"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
-        let enabled = boolean(prev, &sig::hmi_enable("PA"));
-        let engage_req = boolean(prev, &sig::hmi_engage("PA"));
-        let speed = real(prev, sig::HOST_SPEED, 0.0);
-        let pedal = real(prev, sig::DRIVER_THROTTLE, 0.0) > 0.05
-            || real(prev, sig::DRIVER_BRAKE, 0.0) > 0.05;
+    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+        let s = &self.sigs;
+        let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
+        let engage_req = prev.bool_or(self.out.sigs().hmi_engage, false);
+        let speed = prev.real_or(s.host_speed, 0.0);
+        let pedal =
+            prev.real_or(s.driver_throttle, 0.0) > 0.05 || prev.real_or(s.driver_brake, 0.0) > 0.05;
 
         self.engaged = enabled && engage_req;
         if !self.engaged {
             self.authorized = false;
-        } else if boolean(prev, sig::HMI_GO) {
+        } else if prev.bool_or(s.hmi_go, false) {
             // A healthy PA moves from a stop only after an explicit HMI
             // go (goal 4). The thesis implementation skipped the
             // authorization — the same missing logic that let PA request
@@ -118,8 +121,9 @@ impl Subsystem for ParkAssist {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::signals::{self as sig, vehicle_table};
 
-    fn tick_at(pa: &mut ParkAssist, prev: &State, tick: u64) -> State {
+    fn tick_at(pa: &mut ParkAssist, prev: &Frame, tick: u64) -> Frame {
         let mut next = prev.clone();
         pa.step(&SimTime { tick, dt_millis: 1 }, prev, &mut next);
         next
@@ -127,71 +131,80 @@ mod tests {
 
     #[test]
     fn healthy_disabled_pa_is_silent() {
-        let mut pa = ParkAssist::new(VehicleParams::default(), DefectSet::none());
-        let s = tick_at(&mut pa, &State::new(), 100);
-        assert!(!boolean(&s, "pa.active"));
-        assert_eq!(real(&s, "pa.accel_request", 1.0), 0.0);
+        let (table, sigs) = vehicle_table();
+        let pa_sigs = sigs.features[sig::PA];
+        let mut pa = ParkAssist::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let s = tick_at(&mut pa, &table.frame(), 100);
+        assert!(!s.bool_or(pa_sigs.active, false));
+        assert_eq!(s.real_or(pa_sigs.accel_request, 1.0), 0.0);
     }
 
     #[test]
     fn rogue_profile_matches_figure_5_3() {
+        let (table, sigs) = vehicle_table();
+        let pa_sigs = sigs.features[sig::PA];
         let defects = DefectSet {
             pa_requests_while_disabled: true,
             ..DefectSet::none()
         };
-        let mut pa = ParkAssist::new(VehicleParams::default(), defects);
-        let w = State::new();
+        let mut pa = ParkAssist::new(VehicleParams::default(), defects, sigs);
+        let w = table.frame();
         // t = 1.0 s → +2; t = 5 s → 0; t = 9.5 s → −2; t = 10 s → 0.
         assert_eq!(
-            real(&tick_at(&mut pa, &w, 1000), "pa.accel_request", 0.0),
+            tick_at(&mut pa, &w, 1000).real_or(pa_sigs.accel_request, 0.0),
             2.0
         );
         assert_eq!(
-            real(&tick_at(&mut pa, &w, 5000), "pa.accel_request", 1.0),
+            tick_at(&mut pa, &w, 5000).real_or(pa_sigs.accel_request, 1.0),
             0.0
         );
         assert_eq!(
-            real(&tick_at(&mut pa, &w, 9500), "pa.accel_request", 0.0),
+            tick_at(&mut pa, &w, 9500).real_or(pa_sigs.accel_request, 0.0),
             -2.0
         );
         assert_eq!(
-            real(&tick_at(&mut pa, &w, 10000), "pa.accel_request", 1.0),
+            tick_at(&mut pa, &w, 10000).real_or(pa_sigs.accel_request, 1.0),
             0.0
         );
         // Never active while disabled.
-        assert!(!boolean(&tick_at(&mut pa, &w, 1000), "pa.active"));
+        assert!(!tick_at(&mut pa, &w, 1000).bool_or(pa_sigs.active, false));
     }
 
     #[test]
     fn engaged_pa_creeps_from_stop_after_authorization() {
-        let mut pa = ParkAssist::new(VehicleParams::default(), DefectSet::none());
-        let w = State::new()
-            .with_bool("hmi.pa.enable", true)
-            .with_bool("hmi.pa.engage", true)
-            .with_real(sig::HOST_SPEED, 0.0);
+        let (table, sigs) = vehicle_table();
+        let pa_sigs = sigs.features[sig::PA];
+        let mut pa = ParkAssist::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut w = table.frame();
+        w.set(pa_sigs.hmi_enable, true);
+        w.set(pa_sigs.hmi_engage, true);
+        w.set(sigs.host_speed, 0.0);
         // Without an HMI go, a healthy PA holds at rest (goal 4).
         let s = tick_at(&mut pa, &w, 10);
-        assert!(boolean(&s, "pa.active"));
-        assert_eq!(real(&s, "pa.accel_request", 1.0), 0.0);
+        assert!(s.bool_or(pa_sigs.active, false));
+        assert_eq!(s.real_or(pa_sigs.accel_request, 1.0), 0.0);
         // After the go, it creeps — ramped inside the jerk bound.
-        let authorized = w.clone().with_bool(sig::HMI_GO, true);
+        let mut authorized = w.clone();
+        authorized.set(sigs.hmi_go, true);
         let mut s = tick_at(&mut pa, &authorized, 11);
         for tick in 12..500 {
             s = tick_at(&mut pa, &authorized, tick);
         }
-        assert_eq!(real(&s, "pa.accel_request", 0.0), PA_CREEP_ACCEL);
-        assert!(boolean(&s, "pa.requests_steering"));
+        assert_eq!(s.real_or(pa_sigs.accel_request, 0.0), PA_CREEP_ACCEL);
+        assert!(s.bool_or(pa_sigs.requests_steering, false));
     }
 
     #[test]
     fn engaged_pa_at_speed_requests_zero() {
-        let mut pa = ParkAssist::new(VehicleParams::default(), DefectSet::none());
-        let w = State::new()
-            .with_bool("hmi.pa.enable", true)
-            .with_bool("hmi.pa.engage", true)
-            .with_real(sig::HOST_SPEED, 3.0);
+        let (table, sigs) = vehicle_table();
+        let pa_sigs = sigs.features[sig::PA];
+        let mut pa = ParkAssist::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut w = table.frame();
+        w.set(pa_sigs.hmi_enable, true);
+        w.set(pa_sigs.hmi_engage, true);
+        w.set(sigs.host_speed, 3.0);
         let s = tick_at(&mut pa, &w, 10);
-        assert!(boolean(&s, "pa.active"));
-        assert_eq!(real(&s, "pa.accel_request", 1.0), 0.0);
+        assert!(s.bool_or(pa_sigs.active, false));
+        assert_eq!(s.real_or(pa_sigs.accel_request, 1.0), 0.0);
     }
 }

@@ -2,10 +2,10 @@
 //! object while reversing (thesis §5.2.1). In the thesis's partial
 //! implementation RCA never engaged at all (scenario 7, Fig. 5.12).
 
-use super::{boolean, real, symbol, FeatureOutputs};
+use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
-use crate::signals as sig;
-use esafe_logic::State;
+use crate::signals::VehicleSigs;
+use esafe_logic::Frame;
 use esafe_sim::{SimTime, Subsystem};
 
 /// The RCA feature subsystem.
@@ -13,17 +13,19 @@ use esafe_sim::{SimTime, Subsystem};
 pub struct RearCollisionAvoidance {
     params: VehicleParams,
     defects: DefectSet,
+    sigs: VehicleSigs,
     out: FeatureOutputs,
     engaged: bool,
 }
 
 impl RearCollisionAvoidance {
     /// Creates the RCA subsystem.
-    pub fn new(params: VehicleParams, defects: DefectSet) -> Self {
+    pub fn new(params: VehicleParams, defects: DefectSet, sigs: VehicleSigs) -> Self {
         RearCollisionAvoidance {
             params,
             defects,
-            out: FeatureOutputs::new("RCA"),
+            sigs,
+            out: FeatureOutputs::new(sigs.features[crate::signals::RCA]),
             engaged: false,
         }
     }
@@ -34,11 +36,12 @@ impl Subsystem for RearCollisionAvoidance {
         "RCA"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &State, next: &mut State) {
-        let enabled = boolean(prev, &sig::hmi_enable("RCA"));
-        let speed = real(prev, sig::HOST_SPEED, 0.0);
-        let rear_gap = real(prev, sig::REAR_DISTANCE, 1e9);
-        let gear = symbol(prev, sig::GEAR, "D");
+    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+        let s = &self.sigs;
+        let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
+        let speed = prev.real_or(s.host_speed, 0.0);
+        let rear_gap = prev.real_or(s.rear_distance, 1e9);
+        let in_reverse_gear = prev.get(s.gear) == Some(s.sym_r);
 
         if !enabled || self.defects.rca_never_engages {
             // The thesis implementation never engages: publish the enable
@@ -50,7 +53,7 @@ impl Subsystem for RearCollisionAvoidance {
         }
 
         // Healthy behaviour: hard-stop when reversing into the envelope.
-        let reversing = gear == "R" && speed < -0.1;
+        let reversing = in_reverse_gear && speed < -0.1;
         if reversing {
             let closing = -speed;
             let stopping = closing * closing / (2.0 * self.params.ca_brake_accel.abs());
@@ -80,17 +83,20 @@ impl Subsystem for RearCollisionAvoidance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use esafe_logic::Value;
+    use crate::signals::{self as sig, vehicle_table};
+    use esafe_logic::{SignalTable, Value};
+    use std::sync::Arc;
 
-    fn reversing_world(gap: f64) -> State {
-        State::new()
-            .with_bool("hmi.rca.enable", true)
-            .with_real(sig::HOST_SPEED, -2.0)
-            .with_real(sig::REAR_DISTANCE, gap)
-            .with_sym(sig::GEAR, "R")
+    fn reversing_world(table: &Arc<SignalTable>, sigs: &VehicleSigs, gap: f64) -> Frame {
+        let mut f = table.frame();
+        f.set(sigs.features[sig::RCA].hmi_enable, true);
+        f.set(sigs.host_speed, -2.0);
+        f.set(sigs.rear_distance, gap);
+        f.set(sigs.gear, sigs.sym_r);
+        f
     }
 
-    fn tick(rca: &mut RearCollisionAvoidance, prev: &State) -> State {
+    fn tick(rca: &mut RearCollisionAvoidance, prev: &Frame) -> Frame {
         let mut next = prev.clone();
         rca.step(
             &SimTime {
@@ -105,41 +111,49 @@ mod tests {
 
     #[test]
     fn thesis_defect_never_engages() {
+        let (table, sigs) = vehicle_table();
+        let rca_sigs = sigs.features[sig::RCA];
         let defects = DefectSet {
             rca_never_engages: true,
             ..DefectSet::none()
         };
-        let mut rca = RearCollisionAvoidance::new(VehicleParams::default(), defects);
-        let s = tick(&mut rca, &reversing_world(0.2));
-        assert!(!boolean(&s, "rca.active"));
-        assert_eq!(real(&s, "rca.accel_request", 1.0), 0.0);
+        let mut rca = RearCollisionAvoidance::new(VehicleParams::default(), defects, sigs);
+        let s = tick(&mut rca, &reversing_world(&table, &sigs, 0.2));
+        assert!(!s.bool_or(rca_sigs.active, false));
+        assert_eq!(s.real_or(rca_sigs.accel_request, 1.0), 0.0);
         assert!(
-            boolean(&s, "rca.enabled"),
+            s.bool_or(rca_sigs.enabled, false),
             "enable state is still published"
         );
     }
 
     #[test]
     fn healthy_rca_stops_reverse_motion() {
-        let mut rca = RearCollisionAvoidance::new(VehicleParams::default(), DefectSet::none());
+        let (table, sigs) = vehicle_table();
+        let rca_sigs = sigs.features[sig::RCA];
+        let mut rca =
+            RearCollisionAvoidance::new(VehicleParams::default(), DefectSet::none(), sigs);
         // v = −2: stopping = 4/16 = 0.25 m; margin 1.2 → engage below ~1.45.
-        let s = tick(&mut rca, &reversing_world(3.0));
-        assert!(!boolean(&s, "rca.active"));
-        let s = tick(&mut rca, &reversing_world(1.0));
-        assert!(boolean(&s, "rca.active"));
+        let s = tick(&mut rca, &reversing_world(&table, &sigs, 3.0));
+        assert!(!s.bool_or(rca_sigs.active, false));
+        let s = tick(&mut rca, &reversing_world(&table, &sigs, 1.0));
+        assert!(s.bool_or(rca_sigs.active, false));
         assert!(
-            real(&s, "rca.accel_request", 0.0) > 0.0,
+            s.real_or(rca_sigs.accel_request, 0.0) > 0.0,
             "positive accel stops reverse"
         );
     }
 
     #[test]
     fn ignores_forward_motion() {
-        let mut rca = RearCollisionAvoidance::new(VehicleParams::default(), DefectSet::none());
-        let mut w = reversing_world(0.5);
-        w.set(sig::HOST_SPEED, Value::Real(2.0));
-        w.set(sig::GEAR, Value::sym("D"));
+        let (table, sigs) = vehicle_table();
+        let rca_sigs = sigs.features[sig::RCA];
+        let mut rca =
+            RearCollisionAvoidance::new(VehicleParams::default(), DefectSet::none(), sigs);
+        let mut w = reversing_world(&table, &sigs, 0.5);
+        w.set(sigs.host_speed, Value::Real(2.0));
+        w.set(sigs.gear, sigs.sym_d);
         let s = tick(&mut rca, &w);
-        assert!(!boolean(&s, "rca.active"));
+        assert!(!s.bool_or(rca_sigs.active, false));
     }
 }

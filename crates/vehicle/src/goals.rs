@@ -22,8 +22,9 @@
 use crate::config::VehicleParams;
 use crate::signals as sig;
 use esafe_core::{Goal, GoalClass};
-use esafe_logic::{parse, EvalError, Expr};
+use esafe_logic::{parse, EvalError, Expr, SignalTable};
 use esafe_monitor::{Location, MonitorSuite};
+use std::sync::Arc;
 
 /// The window used for goal 4's `StoppedTime` / `GoTime` (ms). The thesis
 /// does not publish the constant; 300 ms is within the plausible band.
@@ -438,18 +439,23 @@ pub fn specs(params: &VehicleParams) -> Vec<GoalSpec> {
     ]
 }
 
-/// Assembles the hierarchical monitor suite of Table 5.3: every goal at
-/// the `Vehicle` location, every `A` subgoal at `Arbiter`, every `B`
-/// subgoal at its feature.
+/// Assembles the hierarchical monitor suite of Table 5.3 against the
+/// substrate's shared signal table: every goal at the `Vehicle` location,
+/// every `A` subgoal at `Arbiter`, every `B` subgoal at its feature. All
+/// formula variable references resolve to signal ids at compile time.
 ///
 /// Subgoal ids follow `"<n>A"` and `"<n>B:<FEATURE>"`.
 ///
 /// # Errors
 ///
-/// Propagates [`EvalError`] if any formula fails to compile (a programming
-/// error in the goal tables; exercised in tests).
-pub fn build_suite(params: &VehicleParams) -> Result<MonitorSuite, EvalError> {
-    let mut suite = MonitorSuite::new();
+/// Propagates [`EvalError`] if any formula fails to compile or references
+/// a signal outside the table (a programming error in the goal tables;
+/// exercised in tests).
+pub fn build_suite(
+    table: &Arc<SignalTable>,
+    params: &VehicleParams,
+) -> Result<MonitorSuite, EvalError> {
+    let mut suite = MonitorSuite::new(table.clone());
     for spec in specs(params) {
         suite.add_goal(
             spec.id,
@@ -513,7 +519,8 @@ mod tests {
 
     #[test]
     fn suite_builds_and_matches_matrix_shape() {
-        let suite = build_suite(&VehicleParams::default()).unwrap();
+        let (table, _sigs) = sig::vehicle_table();
+        let suite = build_suite(&table, &VehicleParams::default()).unwrap();
         assert_eq!(suite.goal_ids().len(), 9);
         // 9 goals + 9 A-subgoals + (5+5+0+5+5+2+1+3+5)=31 B-subgoals = 49.
         assert_eq!(suite.location_matrix().len(), 49);

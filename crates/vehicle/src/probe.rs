@@ -2,83 +2,97 @@
 //!
 //! The goal monitors sample the same tick as the plant signals they
 //! constrain, so the derivation runs *after* each simulation step on the
-//! produced state (no extra tick of delay), mirroring the thesis's
+//! produced frame (no extra tick of delay), mirroring the thesis's
 //! monitors that share inputs with the software being observed
 //! (§2.5, Peters & Parnas discussion).
 
 use crate::config::VehicleParams;
-#[cfg(test)]
-use crate::features::boolean;
-use crate::features::{real, symbol};
-use crate::signals as sig;
-use esafe_logic::State;
+use crate::signals::VehicleSigs;
+use esafe_logic::Frame;
 
-/// Returns `state` augmented with the `probe.*` signals.
-pub fn derive(state: &State, params: &VehicleParams) -> State {
-    let mut out = state.clone();
-    let speed = real(state, sig::HOST_SPEED, 0.0);
-    let accel = real(state, sig::HOST_ACCEL, 0.0);
-    let accel_source = symbol(state, sig::ACCEL_SOURCE, "NONE");
-    let steering_source = symbol(state, sig::STEERING_SOURCE, "NONE");
-    let throttle = real(state, sig::DRIVER_THROTTLE, 0.0) > 0.05;
-    let brake = real(state, sig::DRIVER_BRAKE, 0.0) > 0.05;
+/// Writes the `probe.*` signals into `out`, which must already carry the
+/// raw frame's values (the experiment loop memcpys `raw` into `out`
+/// first). Pure id-indexed slot access — no allocation.
+pub fn derive_into(out: &mut Frame, sigs: &VehicleSigs, params: &VehicleParams) {
+    let speed = out.real_or(sigs.host_speed, 0.0);
+    let accel = out.real_or(sigs.host_accel, 0.0);
+    let accel_source = out.get(sigs.accel_source);
+    let steering_source = out.get(sigs.steering_source);
+    let throttle = out.real_or(sigs.driver_throttle, 0.0) > 0.05;
+    let brake = out.real_or(sigs.driver_brake, 0.0) > 0.05;
 
-    let auto_accel = sig::FEATURES.contains(&accel_source);
-    let auto_steer = sig::FEATURES.contains(&steering_source);
+    let auto_accel = sigs.features.iter().any(|f| accel_source == Some(f.tag));
+    let auto_steer = sigs.features.iter().any(|f| steering_source == Some(f.tag));
 
-    out.set(sig::P_AUTO_ACCEL, auto_accel);
-    out.set(sig::P_AUTO_STEER, auto_steer);
-    out.set(sig::P_STOPPED, speed.abs() <= params.stopped_eps);
-    out.set(sig::P_FORWARD, speed > params.stopped_eps);
-    out.set(sig::P_BACKWARD, speed < -params.stopped_eps);
-    out.set(sig::P_THROTTLE, throttle);
-    out.set(sig::P_BRAKE, brake);
-    out.set(sig::P_PEDAL, throttle || brake);
-    out.set(sig::P_ACCELERATING, accel.abs() > 0.1);
+    out.set(sigs.p_auto_accel, auto_accel);
+    out.set(sigs.p_auto_steer, auto_steer);
+    out.set(sigs.p_stopped, speed.abs() <= params.stopped_eps);
+    out.set(sigs.p_forward, speed > params.stopped_eps);
+    out.set(sigs.p_backward, speed < -params.stopped_eps);
+    out.set(sigs.p_throttle, throttle);
+    out.set(sigs.p_brake, brake);
+    out.set(sigs.p_pedal, throttle || brake);
+    out.set(sigs.p_accelerating, accel.abs() > 0.1);
     // `hmi.go` may be absent before the driver model has run once.
-    if state.get(sig::HMI_GO).is_none() {
-        out.set(sig::HMI_GO, false);
+    if out.get(sigs.hmi_go).is_none() {
+        out.set(sigs.hmi_go, false);
     }
+}
+
+/// Returns a copy of `frame` augmented with the `probe.*` signals (the
+/// allocation-tolerant convenience used by tests and benches; the
+/// experiment loop uses [`derive_into`] with a reused scratch frame).
+pub fn derive(frame: &Frame, sigs: &VehicleSigs, params: &VehicleParams) -> Frame {
+    let mut out = frame.clone();
+    derive_into(&mut out, sigs, params);
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::signals::vehicle_table;
 
     #[test]
     fn classifies_sources_and_motion() {
+        let (table, sigs) = vehicle_table();
         let params = VehicleParams::default();
-        let s = State::new()
-            .with_real(sig::HOST_SPEED, 3.0)
-            .with_real(sig::HOST_ACCEL, 0.0)
-            .with_sym(sig::ACCEL_SOURCE, "CA")
-            .with_sym(sig::STEERING_SOURCE, "DRIVER")
-            .with_real(sig::DRIVER_THROTTLE, 0.3)
-            .with_real(sig::DRIVER_BRAKE, 0.0);
-        let d = derive(&s, &params);
-        assert!(boolean(&d, sig::P_AUTO_ACCEL));
-        assert!(!boolean(&d, sig::P_AUTO_STEER));
-        assert!(boolean(&d, sig::P_FORWARD));
-        assert!(!boolean(&d, sig::P_BACKWARD) && !boolean(&d, sig::P_STOPPED));
-        assert!(boolean(&d, sig::P_THROTTLE) && boolean(&d, sig::P_PEDAL));
-        assert!(!boolean(&d, sig::P_BRAKE));
+        let mut s = table.frame();
+        s.set(sigs.host_speed, 3.0);
+        s.set(sigs.host_accel, 0.0);
+        s.set(sigs.accel_source, sigs.features[crate::signals::CA].tag);
+        s.set(sigs.steering_source, sigs.sym_driver);
+        s.set(sigs.driver_throttle, 0.3);
+        s.set(sigs.driver_brake, 0.0);
+        let d = derive(&s, &sigs, &params);
+        assert!(d.bool_or(sigs.p_auto_accel, false));
+        assert!(!d.bool_or(sigs.p_auto_steer, true));
+        assert!(d.bool_or(sigs.p_forward, false));
+        assert!(!d.bool_or(sigs.p_backward, true) && !d.bool_or(sigs.p_stopped, true));
+        assert!(d.bool_or(sigs.p_throttle, false) && d.bool_or(sigs.p_pedal, false));
+        assert!(!d.bool_or(sigs.p_brake, true));
     }
 
     #[test]
     fn stopped_band_is_symmetric() {
+        let (table, sigs) = vehicle_table();
         let params = VehicleParams::default();
         for v in [0.0, 0.005, -0.005] {
-            let d = derive(&State::new().with_real(sig::HOST_SPEED, v), &params);
-            assert!(boolean(&d, sig::P_STOPPED), "{v} should be stopped");
+            let mut s = table.frame();
+            s.set(sigs.host_speed, v);
+            let d = derive(&s, &sigs, &params);
+            assert!(d.bool_or(sigs.p_stopped, false), "{v} should be stopped");
         }
-        let d = derive(&State::new().with_real(sig::HOST_SPEED, -0.5), &params);
-        assert!(boolean(&d, sig::P_BACKWARD));
+        let mut s = table.frame();
+        s.set(sigs.host_speed, -0.5);
+        let d = derive(&s, &sigs, &params);
+        assert!(d.bool_or(sigs.p_backward, false));
     }
 
     #[test]
     fn missing_go_signal_defaults_false() {
-        let d = derive(&State::new(), &VehicleParams::default());
-        assert_eq!(d.get(sig::HMI_GO).unwrap().as_bool(), Some(false));
+        let (table, sigs) = vehicle_table();
+        let d = derive(&table.frame(), &sigs, &VehicleParams::default());
+        assert_eq!(d.get(sigs.hmi_go).and_then(|v| v.as_bool()), Some(false));
     }
 }

@@ -1,8 +1,18 @@
-//! Canonical signal names on the vehicle blackboard.
+//! Canonical signal names on the vehicle blackboard, and the interned
+//! [`VehicleSigs`] id set.
 //!
-//! Every subsystem reads and writes these names; the goal definitions in
-//! [`crate::goals`] reference them. Centralizing the strings keeps the
-//! specification and the implementation in lockstep.
+//! The *names* remain the specification surface: the goal definitions in
+//! [`crate::goals`] reference them textually and the monitor compiler
+//! resolves them against the shared [`SignalTable`] once. The *ids*
+//! ([`VehicleSigs`], built by [`vehicle_table`]) are what every subsystem
+//! holds at run time — each `step` reads and writes dense
+//! [`SignalId`]-indexed [`Frame`](esafe_logic::Frame) slots, with the
+//! source-tag symbols (`'CA'`, `'DRIVER'`, …) pre-interned as `Copy`
+//! [`Value`]s. Centralizing both keeps the specification and the
+//! implementation in lockstep.
+
+use esafe_logic::{SignalId, SignalTable, SignalTableBuilder, Value};
+use std::sync::Arc;
 
 /// Host vehicle longitudinal speed, m/s (positive = forward).
 pub const HOST_SPEED: &str = "host.speed";
@@ -113,6 +123,9 @@ pub fn selected(feature: &str) -> String {
     format!("{}.selected", feature.to_lowercase())
 }
 
+/// Whether the arbiter attributed the acceleration command to the driver.
+pub const DRIVER_SELECTED: &str = "arbiter.driver_selected";
+
 // Derived monitor-probe signals (computed by `crate::probe::derive`).
 
 /// The acceleration command source is a feature subsystem.
@@ -134,6 +147,188 @@ pub const P_PEDAL: &str = "probe.pedal_applied";
 /// Host acceleration above the "vehicle is accelerating" threshold.
 pub const P_ACCELERATING: &str = "probe.accelerating";
 
+/// Feature indices into [`FEATURES`] and [`VehicleSigs::features`], in
+/// acceleration-arbitration priority order.
+pub const CA: usize = 0;
+/// See [`CA`].
+pub const RCA: usize = 1;
+/// See [`CA`].
+pub const PA: usize = 2;
+/// See [`CA`].
+pub const LCA: usize = 3;
+/// See [`CA`].
+pub const ACC: usize = 4;
+
+/// The index of a feature tag (`"CA"`, `"acc"`, …) in [`FEATURES`].
+///
+/// # Panics
+///
+/// Panics on an unknown feature name — scripts and goal tables may only
+/// reference the five features of Figure 5.1.
+pub fn feature_index(name: &str) -> usize {
+    FEATURES
+        .iter()
+        .position(|f| f.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("unknown feature `{name}`"))
+}
+
+/// The resolved per-feature signal ids (one instance per entry of
+/// [`FEATURES`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureSigs {
+    /// `hmi.<x>.enable`
+    pub hmi_enable: SignalId,
+    /// `hmi.<x>.engage`
+    pub hmi_engage: SignalId,
+    /// `<x>.enabled`
+    pub enabled: SignalId,
+    /// `<x>.active`
+    pub active: SignalId,
+    /// `<x>.accel_request`
+    pub accel_request: SignalId,
+    /// `<x>.accel_request_rate`
+    pub accel_request_rate: SignalId,
+    /// `<x>.requests_accel`
+    pub requests_accel: SignalId,
+    /// `<x>.steering_request`
+    pub steering_request: SignalId,
+    /// `<x>.requests_steering`
+    pub requests_steering: SignalId,
+    /// `<x>.selected`
+    pub selected: SignalId,
+    /// The interned source tag, e.g. `'CA'`.
+    pub tag: Value,
+}
+
+/// Every vehicle signal id plus the pre-interned source-tag symbols —
+/// resolved once against the substrate's [`SignalTable`] and copied into
+/// each subsystem (`Copy`: a few hundred bytes of plain ids).
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct VehicleSigs {
+    pub host_speed: SignalId,
+    pub host_accel: SignalId,
+    pub host_jerk: SignalId,
+    pub host_position: SignalId,
+    pub host_steering: SignalId,
+    pub host_lane_offset: SignalId,
+    pub lead_distance: SignalId,
+    pub lead_speed: SignalId,
+    pub rear_distance: SignalId,
+    pub collision: SignalId,
+    pub rear_collision: SignalId,
+    pub driver_throttle: SignalId,
+    pub driver_brake: SignalId,
+    pub driver_steering_active: SignalId,
+    pub driver_steering: SignalId,
+    pub driver_accel_request: SignalId,
+    pub gear: SignalId,
+    pub hmi_go: SignalId,
+    pub acc_set_speed: SignalId,
+    pub accel_cmd: SignalId,
+    pub accel_cmd_rate: SignalId,
+    pub accel_source: SignalId,
+    pub steering_cmd: SignalId,
+    pub steering_source: SignalId,
+    pub driver_selected: SignalId,
+    pub p_auto_accel: SignalId,
+    pub p_auto_steer: SignalId,
+    pub p_stopped: SignalId,
+    pub p_forward: SignalId,
+    pub p_backward: SignalId,
+    pub p_throttle: SignalId,
+    pub p_brake: SignalId,
+    pub p_pedal: SignalId,
+    pub p_accelerating: SignalId,
+    /// Per-feature ids, indexed by [`CA`]..[`ACC`].
+    pub features: [FeatureSigs; 5],
+    /// `'DRIVER'`
+    pub sym_driver: Value,
+    /// `'NONE'`
+    pub sym_none: Value,
+    /// `'D'`
+    pub sym_d: Value,
+    /// `'R'`
+    pub sym_r: Value,
+}
+
+impl VehicleSigs {
+    /// Declares the complete vehicle namespace into `b` and resolves the
+    /// id set. Idempotent on an already-populated builder.
+    pub fn declare(b: &mut SignalTableBuilder) -> Self {
+        let feature = |b: &mut SignalTableBuilder, f: &str| FeatureSigs {
+            hmi_enable: b.bool(&hmi_enable(f)),
+            hmi_engage: b.bool(&hmi_engage(f)),
+            enabled: b.bool(&enabled(f)),
+            active: b.bool(&active(f)),
+            accel_request: b.real(&accel_request(f)),
+            accel_request_rate: b.real(&accel_request_rate(f)),
+            requests_accel: b.bool(&requests_accel(f)),
+            steering_request: b.real(&steering_request(f)),
+            requests_steering: b.bool(&requests_steering(f)),
+            selected: b.bool(&selected(f)),
+            tag: Value::sym(f),
+        };
+        VehicleSigs {
+            host_speed: b.real(HOST_SPEED),
+            host_accel: b.real(HOST_ACCEL),
+            host_jerk: b.real(HOST_JERK),
+            host_position: b.real(HOST_POSITION),
+            host_steering: b.real(HOST_STEERING),
+            host_lane_offset: b.real(HOST_LANE_OFFSET),
+            lead_distance: b.real(LEAD_DISTANCE),
+            lead_speed: b.real(LEAD_SPEED),
+            rear_distance: b.real(REAR_DISTANCE),
+            collision: b.bool(COLLISION),
+            rear_collision: b.bool(REAR_COLLISION),
+            driver_throttle: b.real(DRIVER_THROTTLE),
+            driver_brake: b.real(DRIVER_BRAKE),
+            driver_steering_active: b.bool(DRIVER_STEERING_ACTIVE),
+            driver_steering: b.real(DRIVER_STEERING),
+            driver_accel_request: b.real(DRIVER_ACCEL_REQUEST),
+            gear: b.sym(GEAR),
+            hmi_go: b.bool(HMI_GO),
+            acc_set_speed: b.real(ACC_SET_SPEED),
+            accel_cmd: b.real(ACCEL_CMD),
+            accel_cmd_rate: b.real(ACCEL_CMD_RATE),
+            accel_source: b.sym(ACCEL_SOURCE),
+            steering_cmd: b.real(STEERING_CMD),
+            steering_source: b.sym(STEERING_SOURCE),
+            driver_selected: b.bool(DRIVER_SELECTED),
+            p_auto_accel: b.bool(P_AUTO_ACCEL),
+            p_auto_steer: b.bool(P_AUTO_STEER),
+            p_stopped: b.bool(P_STOPPED),
+            p_forward: b.bool(P_FORWARD),
+            p_backward: b.bool(P_BACKWARD),
+            p_throttle: b.bool(P_THROTTLE),
+            p_brake: b.bool(P_BRAKE),
+            p_pedal: b.bool(P_PEDAL),
+            p_accelerating: b.bool(P_ACCELERATING),
+            features: [
+                feature(b, FEATURES[CA]),
+                feature(b, FEATURES[RCA]),
+                feature(b, FEATURES[PA]),
+                feature(b, FEATURES[LCA]),
+                feature(b, FEATURES[ACC]),
+            ],
+            sym_driver: Value::sym("DRIVER"),
+            sym_none: Value::sym("NONE"),
+            sym_d: Value::sym("D"),
+            sym_r: Value::sym("R"),
+        }
+    }
+}
+
+/// Builds the vehicle's shared signal table and id set — the one
+/// namespace every simulator, monitor suite, sweep cell, and series
+/// sample of a [`VehicleSubstrate`](crate::substrate::VehicleSubstrate)
+/// indexes into.
+pub fn vehicle_table() -> (Arc<SignalTable>, VehicleSigs) {
+    let mut b = SignalTable::builder();
+    let sigs = VehicleSigs::declare(&mut b);
+    (b.finish(), sigs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +345,27 @@ mod tests {
     fn features_are_priority_ordered() {
         assert_eq!(FEATURES[0], "CA");
         assert_eq!(FEATURES[4], "ACC");
+        assert_eq!(feature_index("CA"), CA);
+        assert_eq!(feature_index("acc"), ACC);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature")]
+    fn unknown_feature_panics() {
+        feature_index("XYZ");
+    }
+
+    #[test]
+    fn table_covers_names_and_ids_agree() {
+        let (table, sigs) = vehicle_table();
+        assert_eq!(table.id(HOST_SPEED), Some(sigs.host_speed));
+        assert_eq!(table.id(ACCEL_SOURCE), Some(sigs.accel_source));
+        for (i, f) in FEATURES.iter().enumerate() {
+            assert_eq!(table.id(&active(f)), Some(sigs.features[i].active));
+            assert_eq!(table.id(&hmi_engage(f)), Some(sigs.features[i].hmi_engage));
+            assert_eq!(sigs.features[i].tag, Value::sym(*f));
+        }
+        // 25 scalar + 9 probe + 5×10 feature signals.
+        assert_eq!(table.len(), 25 + 9 + 50);
     }
 }

@@ -5,16 +5,21 @@ use crate::builder::build_vehicle;
 use crate::config::{DefectSet, VehicleParams};
 use crate::driver::DriverAction;
 use crate::dynamics::Scene;
-use crate::signals as sig;
+use crate::signals::{vehicle_table, VehicleSigs};
 use crate::{goals, probe};
 use esafe_harness::Substrate;
-use esafe_logic::{EvalError, State};
+use esafe_logic::{EvalError, Frame, SignalId, SignalTable};
 use esafe_monitor::MonitorSuite;
 use esafe_sim::Simulator;
-use std::borrow::Cow;
+use std::sync::Arc;
 
 /// One monitored vehicle run: the Chapter 5 substrate under a scene, a
 /// scripted driver, and a [`DefectSet`].
+///
+/// The substrate builds the vehicle [`SignalTable`] once at construction;
+/// every simulator it assembles, every monitor suite it compiles, and
+/// every sweep cell cloned from it shares that table (cloning a substrate
+/// clones an `Arc`, not the namespace).
 ///
 /// # Example
 ///
@@ -53,25 +58,35 @@ pub struct VehicleSubstrate {
     pub script: Vec<(f64, DriverAction)>,
     /// Scheduled run length, s.
     pub duration_s: f64,
-    /// Signals recorded into the report's series log.
-    pub tracked: Vec<String>,
     /// Configuration label used in reports.
     pub label: String,
+    table: Arc<SignalTable>,
+    sigs: VehicleSigs,
+    tracked: Vec<SignalId>,
 }
 
 impl VehicleSubstrate {
     /// Creates a substrate with default parameters, a 20 s schedule (every
-    /// thesis scenario's length), and no tracked signals.
+    /// thesis scenario's length), and no tracked signals. The signal table
+    /// is constructed here, once.
     pub fn new(defects: DefectSet, scene: Scene, script: Vec<(f64, DriverAction)>) -> Self {
+        let (table, sigs) = vehicle_table();
         VehicleSubstrate {
             params: VehicleParams::default(),
             defects,
             scene,
             script,
             duration_s: 20.0,
-            tracked: Vec::new(),
             label: "vehicle".to_owned(),
+            table,
+            sigs,
+            tracked: Vec::new(),
         }
+    }
+
+    /// The substrate's resolved signal ids.
+    pub fn sigs(&self) -> &VehicleSigs {
+        &self.sigs
     }
 
     /// Replaces the vehicle parameters.
@@ -86,9 +101,15 @@ impl VehicleSubstrate {
         self
     }
 
-    /// Sets the signals to record each tick.
-    pub fn with_tracked(mut self, tracked: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        self.tracked = tracked.into_iter().map(Into::into).collect();
+    /// Sets the signals to record each tick, by name (resolved to ids
+    /// immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name outside the vehicle signal table — tracked-signal
+    /// typos should fail at configuration time, not mid-run.
+    pub fn with_tracked(mut self, tracked: impl IntoIterator<Item = impl AsRef<str>>) -> Self {
+        self.tracked = self.table.resolve_all(tracked);
         self
     }
 
@@ -112,39 +133,45 @@ impl Substrate for VehicleSubstrate {
         (self.duration_s * 1000.0).round() as u64
     }
 
+    fn signal_table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
     fn build_simulator(&self) -> Simulator {
-        build_vehicle(self.params, self.defects, self.scene, self.script.clone())
+        build_vehicle(
+            self.params,
+            self.defects,
+            self.scene,
+            self.script.clone(),
+            &self.table,
+            &self.sigs,
+        )
     }
 
     fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
-        goals::build_suite(&self.params)
+        goals::build_suite(&self.table, &self.params)
     }
 
     /// The monitors and figures read the probe-derived signals, not the
-    /// raw blackboard.
-    fn observe<'a>(&self, raw: &'a State) -> Cow<'a, State> {
-        Cow::Owned(probe::derive(raw, &self.params))
+    /// raw blackboard: copy the raw frame and write the `probe.*` slots.
+    fn observe(&self, raw: &Frame, observed: &mut Frame) {
+        observed.copy_from(raw);
+        probe::derive_into(observed, &self.sigs, &self.params);
     }
 
     /// A forward or rear collision aborts the run after the grace window
     /// (the thesis's CarSim early termination).
-    fn terminal_event(&self, observed: &State) -> Option<&'static str> {
-        let hit = |name| {
-            observed
-                .get(name)
-                .and_then(|v| v.as_bool())
-                .unwrap_or(false)
-        };
-        if hit(sig::COLLISION) {
+    fn terminal_event(&self, observed: &Frame) -> Option<&'static str> {
+        if observed.bool_or(self.sigs.collision, false) {
             Some("collision")
-        } else if hit(sig::REAR_COLLISION) {
+        } else if observed.bool_or(self.sigs.rear_collision, false) {
             Some("rear_collision")
         } else {
             None
         }
     }
 
-    fn tracked_signals(&self) -> &[String] {
+    fn tracked_signals(&self) -> &[SignalId] {
         &self.tracked
     }
 }
@@ -188,5 +215,12 @@ mod tests {
         assert!(report.terminated_early);
         assert!(!report.violations_for("4B:PA").is_empty());
         assert!(!report.series.downsample("host.speed", 16).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tracked signal")]
+    fn tracked_signal_typos_fail_fast() {
+        let _ = VehicleSubstrate::new(DefectSet::none(), parked_ahead(), vec![])
+            .with_tracked(["host.sped"]);
     }
 }

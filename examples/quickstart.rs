@@ -7,7 +7,7 @@
 //! ```
 
 use emergent_safety::core::compose::{classify, weakest_demon, Composability};
-use emergent_safety::logic::{parse, State};
+use emergent_safety::logic::{parse, SignalTable};
 use emergent_safety::monitor::{Location, MonitorSuite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,8 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         weakest_demon(&parent, &[g1, g2])
     );
 
-    // 4. Monitor the goal and subgoals hierarchically at run time.
-    let mut suite = MonitorSuite::new();
+    // 4. Monitor the goal and subgoals hierarchically at run time. The
+    //    suite compiles every formula against one shared signal table, so
+    //    each per-tick observation is dense id-indexed slot access.
+    let mut b = SignalTable::builder();
+    let s_object = b.bool("object_in_path");
+    let s_detected = b.bool("detected");
+    let s_ca_stop = b.bool("ca.stop_vehicle");
+    let s_stopping = b.bool("stop_vehicle");
+    let table = b.finish();
+
+    let mut suite = MonitorSuite::new(table.clone());
     suite.add_goal(
         "G",
         Location::new("Vehicle"),
@@ -54,14 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (true, false, false, false),
         (false, false, false, false),
     ];
+    let mut frame = table.frame();
     for (object, detected, ca_stop, stopping) in ticks {
-        suite.observe(
-            &State::new()
-                .with_bool("object_in_path", object)
-                .with_bool("detected", detected)
-                .with_bool("ca.stop_vehicle", ca_stop)
-                .with_bool("stop_vehicle", stopping),
-        )?;
+        frame.set(s_object, object);
+        frame.set(s_detected, detected);
+        frame.set(s_ca_stop, ca_stop);
+        frame.set(s_stopping, stopping);
+        suite.observe(&frame)?;
     }
     suite.finish();
 

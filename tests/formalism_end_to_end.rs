@@ -128,7 +128,11 @@ fn monitoring_estimates_match_static_classification() {
         Composability::EmergentPartiallyComposable { demon_models: 1 }
     ));
 
-    let mut suite = emergent_safety::monitor::MonitorSuite::new();
+    let mut builder = emergent_safety::logic::SignalTable::builder();
+    let sig_a = builder.bool("a");
+    let sig_b = builder.bool("b");
+    let table = builder.finish();
+    let mut suite = emergent_safety::monitor::MonitorSuite::new(table.clone());
     suite
         .add_goal("G", emergent_safety::monitor::Location::new("sys"), parent)
         .unwrap();
@@ -140,11 +144,11 @@ fn monitoring_estimates_match_static_classification() {
             sub,
         )
         .unwrap();
-    use emergent_safety::logic::State;
+    let mut frame = table.frame();
     for (a, b) in [(true, true), (true, false), (true, true)] {
-        suite
-            .observe(&State::new().with_bool("a", a).with_bool("b", b))
-            .unwrap();
+        frame.set(sig_a, a);
+        frame.set(sig_b, b);
+        suite.observe(&frame).unwrap();
     }
     suite.finish();
     let row = suite.correlate(0);

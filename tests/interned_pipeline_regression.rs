@@ -1,0 +1,55 @@
+//! Determinism regression for the interned-signal redesign.
+//!
+//! The golden files under `tests/golden/` were produced by the *seed*
+//! implementation (string-keyed `BTreeMap` states, per-tick map clones)
+//! immediately before the `SignalTable`/`Frame` refactor. The interned
+//! pipeline must replay both substrates onto bit-identical `RunReport`s:
+//! same violation intervals, same correlation classification, same
+//! timing, byte-identical JSON. Any divergence means the refactor changed
+//! simulation or monitoring *semantics*, not just representation.
+
+use emergent_safety::elevator::faults::ElevatorFaults;
+use emergent_safety::elevator::ElevatorSubstrate;
+use emergent_safety::harness::{Experiment, ExperimentConfig};
+use emergent_safety::scenarios::{catalog, runner};
+use emergent_safety::vehicle::config::DefectSet;
+
+#[test]
+fn vehicle_scenario1_thesis_matches_seed_pipeline() {
+    let scenario = catalog::scenario(1);
+    let substrate = runner::substrate(&scenario, DefectSet::thesis());
+    let report = Experiment::new(&substrate)
+        .with_config(runner::thesis_config())
+        .run()
+        .unwrap();
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    let golden = include_str!("golden/vehicle_scenario1_thesis.json");
+    assert_eq!(
+        json.trim(),
+        golden.trim(),
+        "vehicle scenario 1 diverged from the seed pipeline"
+    );
+}
+
+#[test]
+fn elevator_fault_run_matches_seed_pipeline() {
+    let faults = ElevatorFaults {
+        drive_ignores_door: true,
+        ..ElevatorFaults::none()
+    };
+    let substrate = ElevatorSubstrate::new(faults, 7).with_ticks(6000);
+    let report = Experiment::new(&substrate)
+        .with_config(ExperimentConfig {
+            post_terminal_ms: 100,
+            correlation_window_ms: 50,
+        })
+        .run()
+        .unwrap();
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    let golden = include_str!("golden/elevator_seed7_drive_ignores_door.json");
+    assert_eq!(
+        json.trim(),
+        golden.trim(),
+        "elevator seed-7 fault run diverged from the seed pipeline"
+    );
+}

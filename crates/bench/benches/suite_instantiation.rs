@@ -1,0 +1,54 @@
+//! Suite acquisition cost: full recompilation (the pre-template path,
+//! once per sweep cell) vs template instantiation vs pooled reset — the
+//! amortization ladder behind `repro --grid`'s `setup_ms`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esafe_elevator::{ElevatorFamily, ElevatorParams};
+use esafe_vehicle::config::VehicleParams;
+use esafe_vehicle::VehicleFamily;
+
+fn suite_instantiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_instantiation");
+    group.sample_size(20);
+
+    // The per-run-compile reference: table-resolved parse-tree walk over
+    // all 49 vehicle goal/subgoal formulas.
+    let (table, _sigs) = esafe_vehicle::signals::vehicle_table();
+    let params = VehicleParams::default();
+    group.bench_function("vehicle_full_recompile", |b| {
+        b.iter(|| esafe_vehicle::goals::build_suite(&table, &params).expect("goal tables compile"))
+    });
+
+    // The amortized path: compile once into a template (outside the
+    // loop), stamp out a suite per iteration.
+    let family = VehicleFamily::default();
+    group.bench_function("vehicle_template_instantiate", |b| {
+        b.iter(|| family.template().instantiate())
+    });
+
+    // The pooled path: one suite reset in place per iteration.
+    let mut pooled = family.template().instantiate();
+    group.bench_function("vehicle_pooled_reset", |b| {
+        b.iter(|| {
+            pooled.reset();
+            pooled.goal_ids().len()
+        })
+    });
+
+    let eparams = ElevatorParams::default();
+    let (etable, _esigs) = esafe_elevator::model::elevator_table(&eparams);
+    group.bench_function("elevator_full_recompile", |b| {
+        b.iter(|| {
+            esafe_elevator::goals::build_suite(&etable, &eparams).expect("goal tables compile")
+        })
+    });
+    let efamily = ElevatorFamily::default();
+    group.bench_function("elevator_template_instantiate", |b| {
+        b.iter(|| efamily.template().instantiate())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, suite_instantiation);
+criterion_main!(benches);

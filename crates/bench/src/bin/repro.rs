@@ -11,7 +11,7 @@
 //! repro --json <scenario>      # dump a scenario's figure series as JSON
 //! ```
 
-use esafe_bench::{ablation, figure_map, full_grid_aggregate, grid_summary_json, thesis_run};
+use esafe_bench::{ablation, figure_map, full_grid_timed, grid_summary_json, thesis_run};
 use esafe_core::render;
 use esafe_elevator::ElevatorParams;
 use esafe_scenarios::tables;
@@ -52,7 +52,7 @@ fn main() {
 /// benchmark trajectory to compare against.
 fn print_grid(json_path: Option<&str>) {
     let started = std::time::Instant::now();
-    let aggregate = full_grid_aggregate();
+    let (aggregate, stats) = full_grid_timed();
     let wall = started.elapsed();
     println!(
         "Full evaluation grid: {} runs ({} early terminations, {} collisions)",
@@ -67,8 +67,17 @@ fn print_grid(json_path: Option<&str>) {
         println!("{id:<10} {count}");
     }
     println!("wall clock: {:.3} s", wall.as_secs_f64());
+    println!(
+        "worker time: {:.3} s setup + {:.3} s ticking; suites: {} compiled, \
+         {} instantiated, {} reused",
+        stats.setup.as_secs_f64(),
+        stats.ticking.as_secs_f64(),
+        stats.suites_compiled,
+        stats.suites_instantiated,
+        stats.suites_reused
+    );
     if let Some(path) = json_path {
-        let json = grid_summary_json(&aggregate, wall).expect("summary serializes");
+        let json = grid_summary_json(&aggregate, wall, &stats).expect("summary serializes");
         std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
         println!("summary written to {path}");
     }

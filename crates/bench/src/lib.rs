@@ -1,6 +1,6 @@
 //! Shared helpers for the reproduction harness and benchmarks.
 
-use esafe_harness::SweepAggregate;
+use esafe_harness::{SweepAggregate, SweepStats};
 use esafe_scenarios::{catalog, grid, runner, ScenarioReport};
 use esafe_vehicle::config::DefectSet;
 
@@ -71,9 +71,21 @@ pub fn full_grid_aggregate() -> SweepAggregate {
         .aggregate()
 }
 
+/// [`full_grid_aggregate`] plus the sweep's timing/amortization stats —
+/// the source of the `repro --grid --json` breakdown.
+pub fn full_grid_timed() -> (SweepAggregate, SweepStats) {
+    let (report, stats) = grid::run_parallel_timed(grid::full_grid()).expect("grid runs");
+    (report.aggregate(), stats)
+}
+
 /// The machine-readable `repro --grid --json` summary: wall-clock timing
 /// plus the order-independent grid aggregate, one JSON object per
 /// benchmark run so successive PRs have a trajectory to compare.
+///
+/// Schema history: **v1** had `wall_clock_ms` / `ms_per_run` /
+/// `aggregate` only; **v2** adds the setup/tick attribution and the
+/// suite amortization counters, so future wins (and regressions) name
+/// the phase they came from.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct GridSummary {
     /// Summary schema version (bump when fields change meaning).
@@ -82,11 +94,23 @@ pub struct GridSummary {
     pub wall_clock_ms: f64,
     /// Wall-clock per monitored run, milliseconds.
     pub ms_per_run: f64,
+    /// Per-run setup time summed over all workers, milliseconds
+    /// (suite acquisition, simulator build, scratch frames).
+    pub setup_ms: f64,
+    /// Tick-loop time summed over all workers, milliseconds.
+    pub tick_ms: f64,
+    /// Runs that compiled their monitor suite from scratch.
+    pub suite_compiles: usize,
+    /// Runs that instantiated a suite from the sweep's compile-once
+    /// template.
+    pub suite_instantiations: usize,
+    /// Runs that reset and reused a worker's pooled suite.
+    pub suite_reuses: usize,
     /// The order-independent classification totals.
     pub aggregate: SweepAggregate,
 }
 
-/// Serializes the grid aggregate + timing as pretty JSON.
+/// Serializes the grid aggregate + timing as pretty JSON (schema v2).
 ///
 /// # Errors
 ///
@@ -95,16 +119,22 @@ pub struct GridSummary {
 pub fn grid_summary_json(
     aggregate: &SweepAggregate,
     wall: std::time::Duration,
+    stats: &SweepStats,
 ) -> Result<String, serde_json::Error> {
     let wall_clock_ms = wall.as_secs_f64() * 1000.0;
     let summary = GridSummary {
-        schema: 1,
+        schema: 2,
         wall_clock_ms,
         ms_per_run: if aggregate.runs == 0 {
             0.0
         } else {
             wall_clock_ms / aggregate.runs as f64
         },
+        setup_ms: stats.setup.as_secs_f64() * 1000.0,
+        tick_ms: stats.ticking.as_secs_f64() * 1000.0,
+        suite_compiles: stats.suites_compiled,
+        suite_instantiations: stats.suites_instantiated,
+        suite_reuses: stats.suites_reused,
         aggregate: aggregate.clone(),
     };
     serde_json::to_string_pretty(&summary)

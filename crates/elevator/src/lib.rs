@@ -54,7 +54,7 @@ use esafe_sim::Simulator;
 use std::sync::Arc;
 
 pub use model::{ElevatorParams, ElevatorSigs};
-pub use substrate::ElevatorSubstrate;
+pub use substrate::{ElevatorFamily, ElevatorSubstrate};
 
 /// Assembles the full elevator simulation over the shared signal table:
 /// passengers, button latches, dispatcher, door/drive controllers,

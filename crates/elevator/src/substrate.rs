@@ -6,9 +6,98 @@ use crate::model::{self, ElevatorParams, ElevatorSigs};
 use crate::{build_elevator, goals};
 use esafe_harness::Substrate;
 use esafe_logic::{EvalError, SignalId, SignalTable};
-use esafe_monitor::MonitorSuite;
+use esafe_monitor::{MonitorSuite, SuiteTemplate};
 use esafe_sim::Simulator;
 use std::sync::Arc;
+
+/// The compile-once artifacts of the elevator substrate *family*: the
+/// shared [`SignalTable`] (sized by the floor count), its resolved
+/// [`ElevatorSigs`], and the [`SuiteTemplate`] holding every Chapter 4
+/// goal/subgoal formula compiled against that table.
+///
+/// A seed or fault sweep builds one family and derives each cell via
+/// [`ElevatorFamily::substrate`], sharing one namespace and one compiled
+/// suite across all cells. Standalone [`ElevatorSubstrate::new`] still
+/// self-compiles — the reference path the template-backed sweep is
+/// tested against.
+#[derive(Debug, Clone)]
+pub struct ElevatorFamily {
+    params: ElevatorParams,
+    table: Arc<SignalTable>,
+    sigs: ElevatorSigs,
+    template: Arc<SuiteTemplate>,
+}
+
+impl ElevatorFamily {
+    /// Builds the family for the given parameters: constructs the signal
+    /// table and compiles the monitor suite once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a goal formula fails to compile — the goal tables are
+    /// static, so this is a programming error caught by any test.
+    pub fn new(params: ElevatorParams) -> Self {
+        let (table, sigs) = model::elevator_table(&params);
+        let template = Arc::new(
+            goals::build_suite(&table, &params)
+                .expect("elevator goal tables compile against the elevator signal table")
+                .template(),
+        );
+        ElevatorFamily {
+            params,
+            table,
+            sigs,
+            template,
+        }
+    }
+
+    /// The family's parameters.
+    pub fn params(&self) -> &ElevatorParams {
+        &self.params
+    }
+
+    /// The family's shared signal namespace.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
+    /// The compile-once goal/subgoal suite template.
+    pub fn template(&self) -> &Arc<SuiteTemplate> {
+        &self.template
+    }
+
+    /// Derives one cell's substrate: shares the family's table, signal
+    /// ids, parameters, and suite template, with the same defaults as
+    /// [`ElevatorSubstrate::new`] (two simulated minutes, car
+    /// position/door/weight series tracked).
+    pub fn substrate(&self, faults: ElevatorFaults, seed: u64) -> ElevatorSubstrate {
+        ElevatorSubstrate {
+            params: self.params,
+            faults,
+            seed,
+            ticks: DEFAULT_TICKS,
+            label: None,
+            table: self.table.clone(),
+            sigs: self.sigs.clone(),
+            tracked: default_tracked(&self.sigs),
+            template: Some(Arc::clone(&self.template)),
+        }
+    }
+}
+
+/// The default schedule: two simulated minutes at the 10 ms tick.
+const DEFAULT_TICKS: u64 = 12_000;
+
+/// The default figure series: car position, door position, load.
+fn default_tracked(sigs: &ElevatorSigs) -> Vec<SignalId> {
+    vec![sigs.position, sigs.door_position, sigs.elevator_weight]
+}
+
+impl Default for ElevatorFamily {
+    fn default() -> Self {
+        Self::new(ElevatorParams::default())
+    }
+}
 
 /// One monitored elevator run: the Chapter 4 substrate under randomized
 /// passenger traffic (driven by `seed`) and an [`ElevatorFaults`]
@@ -52,6 +141,9 @@ pub struct ElevatorSubstrate {
     table: Arc<SignalTable>,
     sigs: ElevatorSigs,
     tracked: Vec<SignalId>,
+    /// The family's compile-once suite template, when this substrate was
+    /// derived from an [`ElevatorFamily`]; `None` self-compiles per run.
+    template: Option<Arc<SuiteTemplate>>,
 }
 
 impl ElevatorSubstrate {
@@ -61,16 +153,17 @@ impl ElevatorSubstrate {
     pub fn new(faults: ElevatorFaults, seed: u64) -> Self {
         let params = ElevatorParams::default();
         let (table, sigs) = model::elevator_table(&params);
-        let tracked = vec![sigs.position, sigs.door_position, sigs.elevator_weight];
+        let tracked = default_tracked(&sigs);
         ElevatorSubstrate {
             params,
             faults,
             seed,
-            ticks: 12_000,
+            ticks: DEFAULT_TICKS,
             label: None,
             table,
             sigs,
             tracked,
+            template: None,
         }
     }
 
@@ -89,7 +182,8 @@ impl ElevatorSubstrate {
     /// Replaces the elevator parameters, rebuilding the signal table (the
     /// floor count shapes the namespace). The configured tracked series
     /// carry over by name; a tracked per-floor signal that no longer
-    /// exists (fewer floors) is dropped.
+    /// exists (fewer floors) is dropped, and any family suite template
+    /// (compiled against the old table) is dropped with it.
     pub fn with_params(mut self, params: ElevatorParams) -> Self {
         self.params = params;
         let (table, sigs) = model::elevator_table(&params);
@@ -100,6 +194,7 @@ impl ElevatorSubstrate {
             .collect();
         self.table = table;
         self.sigs = sigs;
+        self.template = None;
         self
     }
 
@@ -145,6 +240,10 @@ impl Substrate for ElevatorSubstrate {
 
     fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
         goals::build_suite(&self.table, &self.params)
+    }
+
+    fn suite_template(&self) -> Option<&Arc<SuiteTemplate>> {
+        self.template.as_ref()
     }
 
     fn tracked_signals(&self) -> &[SignalId] {
@@ -207,6 +306,37 @@ mod tests {
         assert_eq!(
             substrate.signal_table().name(substrate.tracked[0]),
             crate::model::DOOR_CLOSED
+        );
+    }
+
+    #[test]
+    fn family_substrates_match_standalone_substrates() {
+        let family = ElevatorFamily::default();
+        let faults = crate::faults::ElevatorFaults {
+            drive_ignores_door: true,
+            ..crate::faults::ElevatorFaults::none()
+        };
+        let standalone = ElevatorSubstrate::new(faults, 7).with_ticks(3000);
+        let derived = family.substrate(faults, 7).with_ticks(3000);
+        assert!(derived.suite_template().is_some());
+        let a = Experiment::new(&standalone).run().unwrap();
+        let b = Experiment::new(&derived).run().unwrap();
+        assert_eq!(a, b, "template-backed run must match self-compiled run");
+    }
+
+    #[test]
+    fn with_params_drops_the_family_template() {
+        let family = ElevatorFamily::default();
+        let params = crate::model::ElevatorParams {
+            dt_millis: 20,
+            ..crate::model::ElevatorParams::default()
+        };
+        let tweaked = family
+            .substrate(crate::faults::ElevatorFaults::none(), 1)
+            .with_params(params);
+        assert!(
+            tweaked.suite_template().is_none(),
+            "the old table's compiled goals cannot monitor the new table"
         );
     }
 

@@ -1,0 +1,126 @@
+//! Pooled per-worker run state and run timing.
+//!
+//! A sweep used to rebuild everything per cell: recompile the ~dozens of
+//! goal formulas into a fresh [`MonitorSuite`], allocate a fresh
+//! observed-scratch [`Frame`], fresh interval trackers. All of that is
+//! invariant across the cells of one substrate family, so each sweep
+//! worker now owns one [`RunContext`] reused from cell to cell:
+//!
+//! * the **observed scratch frame** is kept and [`Frame::clear`]ed
+//!   between runs (a `memset` instead of an allocation);
+//! * a suite instantiated from a [`SuiteTemplate`] is kept and
+//!   [`MonitorSuite::reset`] between runs with the same template
+//!   (a `memcpy` of temporal cells instead of re-instantiation).
+//!
+//! Reuse never changes results: a cleared frame and a reset suite are
+//! observationally identical to fresh ones, so `Sweep::run` (per-worker
+//! contexts, arbitrary cell interleaving) stays bit-identical to
+//! `Sweep::run_serial` (one context, cell order) — pinned by the
+//! workspace's determinism and golden tests.
+//!
+//! [`RunTiming`] is the per-run instrumentation the pooled path exposes:
+//! where the run's wall-clock went (setup vs ticking) and how its suite
+//! was obtained, aggregated by `Sweep` into `SweepStats` for the
+//! benchmark trajectory (`repro --grid --json`).
+
+use crate::substrate::Substrate;
+use esafe_logic::{EvalError, Frame};
+use esafe_monitor::{MonitorSuite, SuiteTemplate};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a run obtained its monitor suite — the amortization ladder, from
+/// most expensive to cheapest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuiteProvenance {
+    /// Compiled from scratch via [`Substrate::build_monitors`] (no
+    /// template available).
+    #[default]
+    Compiled,
+    /// Instantiated from the substrate's [`SuiteTemplate`] (first run of
+    /// a template on this worker).
+    Instantiated,
+    /// A pooled suite from a previous run of the same template, reset in
+    /// place.
+    Reused,
+}
+
+/// Wall-clock breakdown of one monitored run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTiming {
+    /// Building the run: suite (compile/instantiate/reset), simulator,
+    /// scratch frames.
+    pub setup: Duration,
+    /// The tick loop: simulate, observe, monitor, sample.
+    pub ticking: Duration,
+    /// How the monitor suite was obtained.
+    pub suite: SuiteProvenance,
+}
+
+/// Per-worker state reused across the runs executed on one thread. See
+/// the [module docs](self).
+#[derive(Debug, Default)]
+pub struct RunContext {
+    observed: Option<Frame>,
+    pooled: Option<(Arc<SuiteTemplate>, MonitorSuite)>,
+}
+
+impl RunContext {
+    /// Creates an empty context (nothing pooled yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An all-unset observed-scratch frame over the substrate's table:
+    /// the pooled frame cleared in place when the table matches, a fresh
+    /// frame otherwise.
+    pub(crate) fn take_observed<S: Substrate>(&mut self, substrate: &S) -> Frame {
+        let table = substrate.signal_table();
+        match self.observed.take() {
+            Some(mut frame) if Arc::ptr_eq(frame.table(), table) => {
+                frame.clear();
+                frame
+            }
+            _ => table.frame(),
+        }
+    }
+
+    /// A pre-run monitor suite for the substrate: the pooled suite reset
+    /// in place when the substrate's template matches, a fresh
+    /// instantiation when a template exists, a full compile otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if (template-less) suite compilation fails.
+    pub(crate) fn take_suite<S: Substrate>(
+        &mut self,
+        substrate: &S,
+    ) -> Result<(MonitorSuite, SuiteProvenance), EvalError> {
+        let Some(template) = substrate.suite_template() else {
+            return Ok((substrate.build_monitors()?, SuiteProvenance::Compiled));
+        };
+        if let Some((pooled_template, mut suite)) = self.pooled.take() {
+            if Arc::ptr_eq(&pooled_template, template) {
+                suite.reset();
+                return Ok((suite, SuiteProvenance::Reused));
+            }
+        }
+        Ok((template.instantiate(), SuiteProvenance::Instantiated))
+    }
+
+    /// Returns a run's scratch state to the pool. The suite is kept only
+    /// for template-instantiated runs (`template` is the substrate's
+    /// template, if any) — a per-run-compiled suite has no identity to
+    /// match the next cell against.
+    pub(crate) fn put_back(
+        &mut self,
+        observed: Frame,
+        suite: MonitorSuite,
+        template: Option<&Arc<SuiteTemplate>>,
+    ) {
+        self.observed = Some(observed);
+        if let Some(template) = template {
+            self.pooled = Some((Arc::clone(template), suite));
+        }
+    }
+}

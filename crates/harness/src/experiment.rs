@@ -1,11 +1,13 @@
 //! The generic simulate → observe → correlate experiment loop.
 
+use crate::context::{RunContext, RunTiming};
 use crate::substrate::Substrate;
 use esafe_logic::{EvalError, Frame};
 use esafe_monitor::{CorrelationReport, MonitorError, ViolationInterval};
 use esafe_sim::SeriesLog;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::time::Instant;
 
 /// Timing policy of an experiment, expressed in **milliseconds** so the
 /// same configuration applies to substrates with different tick periods.
@@ -163,40 +165,100 @@ impl<'a, S: Substrate> Experiment<'a, S> {
     /// per-tick measurements beyond the monitors (physical-safety oracles
     /// in tests, live dashboards).
     ///
-    /// The loop owns one scratch `observed` frame, allocated before the
-    /// first tick; each tick the substrate's
-    /// [`observe`](Substrate::observe) derivation writes into it in
-    /// place, so the steady-state loop performs zero allocations.
-    ///
     /// # Errors
     ///
     /// Returns [`ExperimentError`] if a goal formula fails to compile or
     /// references a missing signal.
     pub fn run_with(
         &self,
-        mut inspect: impl FnMut(u64, &Frame, &Frame),
+        inspect: impl FnMut(u64, &Frame, &Frame),
     ) -> Result<RunReport, ExperimentError> {
+        self.run_in_with(&mut RunContext::new(), inspect)
+            .map(|(report, _)| report)
+    }
+
+    /// Runs the experiment against a pooled [`RunContext`], reusing the
+    /// context's scratch frame and (for template-backed substrates) its
+    /// monitor suite, and reporting where the run's wall-clock went.
+    /// Reuse is observationally invisible: the report is bit-identical
+    /// to [`Experiment::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] if a goal formula fails to compile or
+    /// references a missing signal.
+    pub fn run_in(&self, ctx: &mut RunContext) -> Result<(RunReport, RunTiming), ExperimentError> {
+        self.run_in_with(ctx, |_, _, _| {})
+    }
+
+    /// [`Experiment::run_in`] with a per-tick `inspect` hook — the one
+    /// loop every run entry point funnels into.
+    ///
+    /// The loop owns one scratch `observed` frame (taken from the
+    /// context, or allocated once before the first tick); each tick the
+    /// substrate's [`observe`](Substrate::observe) derivation writes
+    /// into it in place, and tracked signals buffer into plain `Vec`s,
+    /// so the steady-state loop performs zero allocations beyond series
+    /// growth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] if a goal formula fails to compile or
+    /// references a missing signal.
+    pub fn run_in_with(
+        &self,
+        ctx: &mut RunContext,
+        mut inspect: impl FnMut(u64, &Frame, &Frame),
+    ) -> Result<(RunReport, RunTiming), ExperimentError> {
         let substrate = self.substrate;
-        let mut suite = substrate.build_monitors()?;
+        let setup_started = Instant::now();
+        let (mut suite, provenance) = ctx.take_suite(substrate)?;
         let mut sim = substrate.build_simulator();
-        let mut series = SeriesLog::new();
-        let mut observed = substrate.signal_table().frame();
+        let mut observed = ctx.take_observed(substrate);
 
         let dt = sim.dt_millis();
         let scheduled_ticks = substrate.duration_ms().div_ceil(dt);
         let post_terminal_ticks = self.config.post_terminal_ms.div_ceil(dt);
 
+        // Tracked signals buffer into one Vec per slot (indexed push, no
+        // per-tick map lookup) unless a signal is tracked twice, where
+        // only tick-interleaved sampling reproduces the historical
+        // series layout.
+        let tracked = substrate.tracked_signals();
+        let buffered = {
+            let mut ids: Vec<_> = tracked.to_vec();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len() == tracked.len()
+        };
+        let mut series = SeriesLog::new();
+        let mut buffers: Vec<Vec<(f64, f64)>> = if buffered {
+            tracked.iter().map(|_| Vec::new()).collect()
+        } else {
+            Vec::new()
+        };
+
         let mut terminal_tick: Option<u64> = None;
         let mut terminal_event: Option<String> = None;
         let mut terminated_early = false;
+        let setup = setup_started.elapsed();
 
+        let tick_started = Instant::now();
         for tick in 1..=scheduled_ticks {
             sim.step();
             substrate.observe(sim.state(), &mut observed);
             suite.observe(&observed)?;
             let t = sim.seconds();
-            for &id in substrate.tracked_signals() {
-                series.sample(&observed, id, t);
+            if buffered {
+                for (buffer, &id) in buffers.iter_mut().zip(tracked) {
+                    if let Some(x) = esafe_sim::sample_point(observed.get(id)) {
+                        buffer.push((t, x));
+                    }
+                }
+            } else {
+                for &id in tracked {
+                    series.sample(&observed, id, t);
+                }
             }
             inspect(tick, sim.state(), &observed);
 
@@ -214,17 +276,16 @@ impl<'a, S: Substrate> Experiment<'a, S> {
             }
         }
         suite.finish();
+        let ticking = tick_started.elapsed();
 
-        let mut violations = Vec::new();
-        for (id, _, _) in suite.location_matrix() {
-            let v = suite.violations(&id).unwrap_or(&[]);
-            if !v.is_empty() {
-                violations.push((id, v.to_vec()));
-            }
+        for (buffer, &id) in buffers.into_iter().zip(tracked) {
+            series.append_points(substrate.signal_table().name(id), buffer);
         }
 
         let window_ticks = self.config.correlation_window_ms.div_ceil(dt);
-        Ok(RunReport {
+        let correlation = suite.correlate(window_ticks);
+        let violations = suite.take_violations();
+        let report = RunReport {
             substrate: substrate.name().to_owned(),
             label: substrate.label(),
             config: self.config,
@@ -235,9 +296,16 @@ impl<'a, S: Substrate> Experiment<'a, S> {
             terminated_early,
             terminal_event,
             violations,
-            correlation: suite.correlate(window_ticks),
+            correlation,
             series,
-        })
+        };
+        ctx.put_back(observed, suite, substrate.suite_template());
+        let timing = RunTiming {
+            setup,
+            ticking,
+            suite: provenance,
+        };
+        Ok((report, timing))
     }
 }
 
@@ -248,6 +316,7 @@ mod tests {
     use esafe_monitor::{Location, MonitorSuite};
     use esafe_sim::{SimTime, Simulator, Subsystem};
     use std::sync::Arc;
+    use std::time::Duration;
 
     /// A ramp that climbs by one per tick.
     struct Ramp {
@@ -376,6 +445,84 @@ mod tests {
             })
             .unwrap();
         assert_eq!(seen, 10);
+    }
+
+    /// A ramp substrate carrying a prebuilt suite template, as a family
+    /// type would.
+    struct TemplatedRamp {
+        inner: RampSubstrate,
+        template: Arc<esafe_monitor::SuiteTemplate>,
+    }
+
+    impl TemplatedRamp {
+        fn new(limit: f64, duration_ms: u64) -> Self {
+            let inner = RampSubstrate::new(limit, duration_ms);
+            let template = Arc::new(inner.build_monitors().unwrap().template());
+            TemplatedRamp { inner, template }
+        }
+    }
+
+    impl Substrate for TemplatedRamp {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn label(&self) -> String {
+            self.inner.label()
+        }
+        fn duration_ms(&self) -> u64 {
+            self.inner.duration_ms()
+        }
+        fn signal_table(&self) -> &Arc<SignalTable> {
+            self.inner.signal_table()
+        }
+        fn build_simulator(&self) -> Simulator {
+            self.inner.build_simulator()
+        }
+        fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
+            self.inner.build_monitors()
+        }
+        fn suite_template(&self) -> Option<&Arc<esafe_monitor::SuiteTemplate>> {
+            Some(&self.template)
+        }
+        fn terminal_event(&self, observed: &Frame) -> Option<&'static str> {
+            self.inner.terminal_event(observed)
+        }
+        fn tracked_signals(&self) -> &[SignalId] {
+            self.inner.tracked_signals()
+        }
+    }
+
+    #[test]
+    fn pooled_template_runs_match_fresh_compiled_runs() {
+        use crate::context::SuiteProvenance;
+        let compiled = RampSubstrate::new(5.0, 10_000);
+        let reference = Experiment::new(&compiled).run().unwrap();
+
+        let templated = TemplatedRamp::new(5.0, 10_000);
+        let mut ctx = RunContext::new();
+        let (first, t1) = Experiment::new(&templated).run_in(&mut ctx).unwrap();
+        let (second, t2) = Experiment::new(&templated).run_in(&mut ctx).unwrap();
+        assert_eq!(t1.suite, SuiteProvenance::Instantiated);
+        assert_eq!(
+            t2.suite,
+            SuiteProvenance::Reused,
+            "worker pool must kick in"
+        );
+        assert_eq!(first, reference, "template path must match compile path");
+        assert_eq!(second, reference, "pooled reuse must be invisible");
+    }
+
+    #[test]
+    fn run_in_reports_compiled_provenance_without_a_template() {
+        use crate::context::SuiteProvenance;
+        let substrate = RampSubstrate::new(5.0, 10_000);
+        let mut ctx = RunContext::new();
+        let (a, ta) = Experiment::new(&substrate).run_in(&mut ctx).unwrap();
+        let (b, tb) = Experiment::new(&substrate).run_in(&mut ctx).unwrap();
+        assert_eq!(ta.suite, SuiteProvenance::Compiled);
+        assert_eq!(tb.suite, SuiteProvenance::Compiled);
+        assert_eq!(a, b, "frame pooling alone must be invisible too");
+        assert!(ta.setup + ta.ticking > Duration::ZERO);
     }
 
     #[test]

@@ -21,7 +21,15 @@
 //! * [`Sweep`] — a rayon-parallel fan-out of experiment cells (scenario ×
 //!   defect grids, seed batches) with deterministic per-cell seeds and
 //!   order-independent aggregation, so the parallel path is
-//!   bit-identical to the serial one.
+//!   bit-identical to the serial one;
+//! * [`RunContext`] — per-worker pooled run state (observed scratch
+//!   frame, template-instantiated monitor suite) reused across the cells
+//!   a sweep worker executes. Substrate families expose a compile-once
+//!   [`SuiteTemplate`](esafe_monitor::SuiteTemplate) through
+//!   [`Substrate::suite_template`], so a sweep compiles each goal
+//!   formula once, not once per cell; [`Sweep::run_timed`] reports the
+//!   resulting setup/ticking split and amortization counters
+//!   ([`SweepStats`]).
 //!
 //! A substrate constructs its [`SignalTable`](esafe_logic::SignalTable)
 //! **once**; the experiment loop, every sweep cell, every compiled
@@ -81,10 +89,12 @@
 //! assert_eq!(report.violations_for("bound").len(), 1);
 //! ```
 
+pub mod context;
 pub mod experiment;
 pub mod substrate;
 pub mod sweep;
 
+pub use context::{RunContext, RunTiming, SuiteProvenance};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
 pub use substrate::Substrate;
-pub use sweep::{cell_seed, Sweep, SweepAggregate, SweepReport};
+pub use sweep::{cell_seed, Sweep, SweepAggregate, SweepReport, SweepStats};

@@ -2,7 +2,7 @@
 //! under the generic experiment loop.
 
 use esafe_logic::{EvalError, Frame, SignalId, SignalTable};
-use esafe_monitor::MonitorSuite;
+use esafe_monitor::{MonitorSuite, SuiteTemplate};
 use esafe_sim::Simulator;
 use std::sync::Arc;
 
@@ -50,6 +50,18 @@ pub trait Substrate {
     /// Returns [`EvalError`] if a goal formula fails to compile — a
     /// programming error surfaced by tests.
     fn build_monitors(&self) -> Result<MonitorSuite, EvalError>;
+
+    /// A prebuilt, compile-once [`SuiteTemplate`] for this substrate's
+    /// goal formulas, if the caller compiled one for the whole sweep
+    /// (see the family types, e.g. `VehicleFamily`). When `Some`, the
+    /// experiment loop instantiates (or reuses a pooled copy of) the
+    /// template instead of calling [`Substrate::build_monitors`] per
+    /// run. The template **must** describe the same suite
+    /// `build_monitors` would compile — same formulas against the same
+    /// table — which the workspace's golden sweep tests pin.
+    fn suite_template(&self) -> Option<&Arc<SuiteTemplate>> {
+        None
+    }
 
     /// Derives the observed frame the monitors and series sampling see
     /// from the raw simulator frame, writing into the loop-owned

@@ -1,10 +1,12 @@
 //! Batch-parallel experiment sweeps over a grid of configurations.
 
+use crate::context::{RunContext, RunTiming, SuiteProvenance};
 use crate::experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
 use crate::substrate::Substrate;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// Deterministic per-cell seed: a splitmix64 mix of the sweep's base
 /// seed and the cell index, so cell N gets the same seed no matter how
@@ -63,9 +65,12 @@ impl<C: Sync> Sweep<C> {
     /// Runs every cell in parallel across the available cores.
     ///
     /// `build` receives each cell and its deterministic seed
-    /// ([`cell_seed`]) and returns the substrate to run. Reports come
-    /// back in cell order; on error, the failure of the earliest cell is
-    /// returned regardless of scheduling.
+    /// ([`cell_seed`]) and returns the substrate to run. Each worker
+    /// thread owns one pooled [`RunContext`] reused across the cells it
+    /// executes (scratch frame, template-instantiated suite); pooling is
+    /// observationally invisible, so reports come back in cell order,
+    /// bit-identical to [`Sweep::run_serial`]. On error, the failure of
+    /// the earliest cell is returned regardless of scheduling.
     ///
     /// # Errors
     ///
@@ -75,16 +80,33 @@ impl<C: Sync> Sweep<C> {
         S: Substrate,
         F: Fn(&C, u64) -> S + Sync,
     {
+        self.run_timed(build).map(|(report, _)| report)
+    }
+
+    /// [`Sweep::run`] plus the sweep's aggregated [`SweepStats`] —
+    /// where the wall-clock went (setup vs ticking, summed over all
+    /// workers) and how many suites were compiled, template-instantiated,
+    /// or reused from a worker's pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell's [`ExperimentError`], by cell order.
+    pub fn run_timed<S, F>(&self, build: F) -> Result<(SweepReport, SweepStats), ExperimentError>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S + Sync,
+    {
         let indices: Vec<usize> = (0..self.cells.len()).collect();
-        let results: Vec<Result<RunReport, ExperimentError>> = indices
+        let results: Vec<(Result<RunReport, ExperimentError>, RunTiming)> = indices
             .into_par_iter()
-            .map(|i| self.run_cell(i, &build))
+            .map_init(RunContext::new, |ctx, i| self.run_cell(ctx, i, &build))
             .collect();
         Self::collect_reports(results)
     }
 
     /// Runs every cell sequentially on the calling thread — the reference
-    /// path the parallel runner must match bit for bit.
+    /// path the parallel runner must match bit for bit. One pooled
+    /// [`RunContext`] serves every cell, in cell order.
     ///
     /// # Errors
     ///
@@ -94,29 +116,98 @@ impl<C: Sync> Sweep<C> {
         S: Substrate,
         F: Fn(&C, u64) -> S,
     {
-        let results: Vec<Result<RunReport, ExperimentError>> = (0..self.cells.len())
-            .map(|i| self.run_cell(i, &build))
+        self.run_serial_timed(build).map(|(report, _)| report)
+    }
+
+    /// [`Sweep::run_serial`] plus the aggregated [`SweepStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell's [`ExperimentError`], by cell order.
+    pub fn run_serial_timed<S, F>(
+        &self,
+        build: F,
+    ) -> Result<(SweepReport, SweepStats), ExperimentError>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S,
+    {
+        let mut ctx = RunContext::new();
+        let results: Vec<(Result<RunReport, ExperimentError>, RunTiming)> = (0..self.cells.len())
+            .map(|i| self.run_cell(&mut ctx, i, &build))
             .collect();
         Self::collect_reports(results)
     }
 
-    fn run_cell<S, F>(&self, index: usize, build: &F) -> Result<RunReport, ExperimentError>
+    fn run_cell<S, F>(
+        &self,
+        ctx: &mut RunContext,
+        index: usize,
+        build: &F,
+    ) -> (Result<RunReport, ExperimentError>, RunTiming)
     where
         S: Substrate,
         F: Fn(&C, u64) -> S,
     {
         let substrate = build(&self.cells[index], cell_seed(self.base_seed, index));
-        Experiment::new(&substrate).with_config(self.config).run()
+        match Experiment::new(&substrate)
+            .with_config(self.config)
+            .run_in(ctx)
+        {
+            Ok((report, timing)) => (Ok(report), timing),
+            Err(e) => (Err(e), RunTiming::default()),
+        }
     }
 
     fn collect_reports(
-        results: Vec<Result<RunReport, ExperimentError>>,
-    ) -> Result<SweepReport, ExperimentError> {
+        results: Vec<(Result<RunReport, ExperimentError>, RunTiming)>,
+    ) -> Result<(SweepReport, SweepStats), ExperimentError> {
         let mut runs = Vec::with_capacity(results.len());
-        for result in results {
+        let mut stats = SweepStats::default();
+        for (result, timing) in results {
             runs.push(result?);
+            stats.absorb(timing);
         }
-        Ok(SweepReport { runs })
+        Ok((SweepReport { runs }, stats))
+    }
+}
+
+/// Aggregated timing/amortization counters of one sweep. Durations are
+/// summed across workers (CPU-time-like, not wall-clock: on N busy
+/// cores the sum exceeds elapsed time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Total per-run setup (suite acquisition, simulator build, scratch
+    /// frames).
+    pub setup: Duration,
+    /// Total tick-loop time (simulate, observe, monitor, sample).
+    pub ticking: Duration,
+    /// Runs whose suite was compiled from scratch (no template).
+    pub suites_compiled: usize,
+    /// Runs whose suite was instantiated from a [`SuiteTemplate`]
+    /// (first use of a template on a worker).
+    ///
+    /// [`SuiteTemplate`]: esafe_monitor::SuiteTemplate
+    pub suites_instantiated: usize,
+    /// Runs that reset and reused a worker's pooled suite.
+    pub suites_reused: usize,
+}
+
+impl SweepStats {
+    /// Folds one run's timing into the totals.
+    fn absorb(&mut self, timing: RunTiming) {
+        self.setup += timing.setup;
+        self.ticking += timing.ticking;
+        match timing.suite {
+            SuiteProvenance::Compiled => self.suites_compiled += 1,
+            SuiteProvenance::Instantiated => self.suites_instantiated += 1,
+            SuiteProvenance::Reused => self.suites_reused += 1,
+        }
+    }
+
+    /// Number of runs folded in.
+    pub fn runs(&self) -> usize {
+        self.suites_compiled + self.suites_instantiated + self.suites_reused
     }
 }
 
@@ -286,6 +377,20 @@ mod tests {
         assert_eq!(agg.runs, 4);
         assert_eq!(agg.violations_by_monitor, vec![("y-bound".to_string(), 2)]);
         assert_eq!(agg.false_negatives, 2, "no subgoals: violations are FNs");
+    }
+
+    #[test]
+    fn timed_runs_report_stats_and_match_untimed_reports() {
+        let sweep = Sweep::new((0..8).collect::<Vec<u64>>()).with_base_seed(5);
+        let (timed, stats) = sweep.run_timed(build).unwrap();
+        assert_eq!(timed, sweep.run(build).unwrap());
+        assert_eq!(timed, sweep.run_serial(build).unwrap());
+        // EmitSubstrate has no template: every suite is compiled.
+        assert_eq!(stats.runs(), 8);
+        assert_eq!(stats.suites_compiled, 8);
+        assert_eq!(stats.suites_instantiated + stats.suites_reused, 0);
+        let (_, serial_stats) = sweep.run_serial_timed(build).unwrap();
+        assert_eq!(serial_stats.runs(), 8);
     }
 
     #[test]

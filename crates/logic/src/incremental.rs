@@ -13,6 +13,29 @@
 //! private table from the formula's own variables and accepts name-keyed
 //! [`State`] samples through [`CompiledMonitor::observe_state`].
 //!
+//! # Program / state split
+//!
+//! A compiled monitor is two parts:
+//!
+//! * a [`CompiledProgram`] — the immutable compiled form (expression
+//!   nodes with resolved [`SignalId`] slots), shared across monitor
+//!   instances via [`Arc`]. Compiling is the expensive step (parse-tree
+//!   walk, name resolution); a program compiled once per sweep serves
+//!   every cell.
+//! * a small per-run state: one [`Cell`](CompiledProgram) per temporal
+//!   subformula plus a step counter. [`CompiledProgram::instantiate`]
+//!   materializes a fresh monitor in O(#temporal subformulas) — a single
+//!   `memcpy` of the initial cell values — and
+//!   [`CompiledMonitor::reset`] restores it in place without
+//!   reallocating.
+//!
+//! Because the program knows, per subformula, whether any temporal state
+//! lives below it, evaluation short-circuits `&&` / `||` / `->` over
+//! *stateless* subtrees exactly like the reference evaluator
+//! ([`crate::eval::eval_at`]) does, while still feeding every frame to
+//! every stateful subformula so monitor history never desyncs. Verdicts
+//! are identical to exhaustive evaluation on every error-free frame.
+//!
 //! # Monitor semantics
 //!
 //! Run-time monitors cannot see the future, so the future-directed forms are
@@ -150,8 +173,8 @@ pub fn infer_table(expr: &Expr) -> Arc<SignalTable> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompiledMonitor {
-    table: Arc<SignalTable>,
-    root: Node,
+    program: Arc<CompiledProgram>,
+    cells: Vec<Cell>,
     step: u64,
 }
 
@@ -165,12 +188,7 @@ impl CompiledMonitor {
     /// `eventually` or `next`, and [`EvalError::UnknownSignal`] if it
     /// references a name outside the table.
     pub fn compile_in(expr: &Expr, table: &Arc<SignalTable>) -> Result<Self, EvalError> {
-        let rewritten = monitor_form(expr)?;
-        Ok(CompiledMonitor {
-            root: Node::build(&rewritten, table)?,
-            table: Arc::clone(table),
-            step: 0,
-        })
+        Ok(Arc::new(CompiledProgram::compile(expr, table)?).instantiate())
     }
 
     /// Compiles an expression over a private table inferred from its own
@@ -187,7 +205,14 @@ impl CompiledMonitor {
 
     /// The signal table the monitor's variable references resolve into.
     pub fn table(&self) -> &Arc<SignalTable> {
-        &self.table
+        &self.program.table
+    }
+
+    /// The immutable compiled program this monitor executes. Sharing it
+    /// via [`CompiledProgram::instantiate`] yields further monitors
+    /// without recompiling.
+    pub fn program(&self) -> &Arc<CompiledProgram> {
+        &self.program
     }
 
     /// Feeds the next frame and returns the goal's current truth.
@@ -205,11 +230,33 @@ impl CompiledMonitor {
     /// compiled against.
     pub fn observe(&mut self, frame: &Frame) -> Result<bool, EvalError> {
         assert!(
-            Arc::ptr_eq(frame.table(), &self.table),
+            Arc::ptr_eq(frame.table(), &self.program.table),
+            "frame and monitor must share one signal table"
+        );
+        self.observe_trusted(frame)
+    }
+
+    /// [`CompiledMonitor::observe`] minus the release-mode table
+    /// identity check — for batch callers (a [`MonitorSuite`]) that
+    /// already verified the frame indexes this monitor's table once for
+    /// many monitors. Identity is still `debug_assert`ed.
+    ///
+    /// [`MonitorSuite`]: ../../esafe_monitor/struct.MonitorSuite.html
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledMonitor::observe`].
+    pub fn observe_trusted(&mut self, frame: &Frame) -> Result<bool, EvalError> {
+        debug_assert!(
+            Arc::ptr_eq(frame.table(), &self.program.table),
             "frame and monitor must share one signal table"
         );
         let step = usize::try_from(self.step).unwrap_or(usize::MAX);
-        let v = self.root.eval(frame, step, &self.table)?;
+        let v = self
+            .program
+            .root
+            .node
+            .eval(frame, step, &self.program.table, &mut self.cells)?;
         self.step += 1;
         Ok(v)
     }
@@ -224,7 +271,7 @@ impl CompiledMonitor {
     ///
     /// See [`CompiledMonitor::observe`].
     pub fn observe_state(&mut self, state: &State) -> Result<bool, EvalError> {
-        let frame = self.table.frame_from_state_lossy(state);
+        let frame = self.program.table.frame_from_state_lossy(state);
         self.observe(&frame)
     }
 
@@ -233,10 +280,68 @@ impl CompiledMonitor {
         self.step
     }
 
-    /// Clears all history, returning the monitor to its initial state.
+    /// Clears all history, returning the monitor to its initial state —
+    /// a `memcpy` of the program's initial cell values, no allocation.
     pub fn reset(&mut self) {
-        self.root.reset();
+        self.cells.copy_from_slice(&self.program.init_cells);
         self.step = 0;
+    }
+}
+
+/// The immutable compiled form of one goal expression: the
+/// [`monitor_form`]-rewritten node tree with every variable reference
+/// resolved to a [`SignalId`] slot, plus the initial value of each
+/// temporal state cell.
+///
+/// A program carries no run state, so one `Arc<CompiledProgram>` is
+/// shared by every monitor instance evaluating the same goal — across
+/// sweep cells, threads, and suite instantiations. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct CompiledProgram {
+    table: Arc<SignalTable>,
+    root: PChild,
+    init_cells: Vec<Cell>,
+}
+
+impl CompiledProgram {
+    /// Compiles an expression against a shared signal table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::FutureOperator`] if the expression contains
+    /// `eventually` or `next`, and [`EvalError::UnknownSignal`] if it
+    /// references a name outside the table.
+    pub fn compile(expr: &Expr, table: &Arc<SignalTable>) -> Result<Self, EvalError> {
+        let rewritten = monitor_form(expr)?;
+        let mut init_cells = Vec::new();
+        let root = PChild::build(&rewritten, table, &mut init_cells)?;
+        Ok(CompiledProgram {
+            table: Arc::clone(table),
+            root,
+            init_cells,
+        })
+    }
+
+    /// The signal table the program's variable references resolve into.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
+    /// Number of temporal state cells a monitor instance carries.
+    pub fn state_cells(&self) -> usize {
+        self.init_cells.len()
+    }
+
+    /// Materializes a fresh monitor over this program: one `Arc` clone
+    /// plus a `memcpy` of the initial cell values — no parsing, no name
+    /// resolution, no tree allocation.
+    pub fn instantiate(self: &Arc<Self>) -> CompiledMonitor {
+        CompiledMonitor {
+            cells: self.init_cells.clone(),
+            program: Arc::clone(self),
+            step: 0,
+        }
     }
 }
 
@@ -293,8 +398,50 @@ fn frame_bool(
     }
 }
 
-#[derive(Debug, Clone)]
-enum Node {
+/// One temporal subformula's run state. Each variant's "empty history"
+/// value is recorded in [`CompiledProgram::init_cells`] at compile time;
+/// reset and instantiation are slice copies.
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    /// `prev` / `became`: the child's value at the previous step.
+    Last(Option<bool>),
+    /// `once`: whether the child held at any strictly-earlier step.
+    Seen(bool),
+    /// `historically`: whether the child held at every earlier step.
+    All(bool),
+    /// `held_for`: length of the child's current true-run before now.
+    Run(u64),
+    /// `once_within`: the last step at which the child held.
+    LastTrue(Option<u64>),
+    /// `initially`: the child's value at the first step, once seen.
+    Captured(Option<bool>),
+}
+
+/// A compiled subformula plus whether any temporal state lives below it.
+/// Stateless subtrees may be skipped once a connective's result is
+/// decided; stateful ones must see every frame.
+#[derive(Debug)]
+struct PChild {
+    node: PNode,
+    has_state: bool,
+}
+
+impl PChild {
+    fn build(expr: &Expr, table: &SignalTable, cells: &mut Vec<Cell>) -> Result<Self, EvalError> {
+        let before = cells.len();
+        let node = PNode::build(expr, table, cells)?;
+        Ok(PChild {
+            node,
+            has_state: cells.len() > before,
+        })
+    }
+}
+
+/// The immutable node tree of a [`CompiledProgram`]: expression shape
+/// with resolved [`Slot`]s; temporal operators reference their run state
+/// by cell index instead of holding it inline.
+#[derive(Debug)]
+enum PNode {
     Const(bool),
     Var(SignalId),
     Cmp {
@@ -302,100 +449,109 @@ enum Node {
         op: CmpOp,
         rhs: Slot,
     },
-    Not(Box<Node>),
-    And(Vec<Node>),
-    Or(Vec<Node>),
-    Implies(Box<Node>, Box<Node>),
+    Not(Box<PChild>),
+    And(Vec<PChild>),
+    Or(Vec<PChild>),
+    Implies(Box<PChild>, Box<PChild>),
     Prev {
-        child: Box<Node>,
-        last: Option<bool>,
+        child: Box<PChild>,
+        cell: usize,
     },
     Once {
-        child: Box<Node>,
-        seen_true_before: bool,
+        child: Box<PChild>,
+        cell: usize,
     },
     Historically {
-        child: Box<Node>,
-        all_true_before: bool,
+        child: Box<PChild>,
+        cell: usize,
     },
     HeldFor {
-        child: Box<Node>,
+        child: Box<PChild>,
         ticks: u64,
-        run_before: u64,
+        cell: usize,
     },
     OnceWithin {
-        child: Box<Node>,
+        child: Box<PChild>,
         ticks: u64,
-        last_true_step: Option<u64>,
+        cell: usize,
     },
     Became {
-        child: Box<Node>,
-        last: Option<bool>,
+        child: Box<PChild>,
+        cell: usize,
     },
     Initially {
-        child: Box<Node>,
-        captured: Option<bool>,
+        child: Box<PChild>,
+        cell: usize,
     },
 }
 
-impl Node {
-    fn build(expr: &Expr, table: &SignalTable) -> Result<Node, EvalError> {
+/// Allocates a state cell with its empty-history value, returning its
+/// index. The temporal node's child is built *first* (recursion in
+/// `PNode::build`), so child cells precede parent cells — irrelevant to
+/// semantics, but deterministic.
+fn alloc_cell(cells: &mut Vec<Cell>, init: Cell) -> usize {
+    cells.push(init);
+    cells.len() - 1
+}
+
+impl PNode {
+    fn build(expr: &Expr, table: &SignalTable, cells: &mut Vec<Cell>) -> Result<PNode, EvalError> {
+        let child = |e: &Expr, cells: &mut Vec<Cell>| -> Result<Box<PChild>, EvalError> {
+            Ok(Box::new(PChild::build(e, table, cells)?))
+        };
         Ok(match expr {
-            Expr::Const(b) => Node::Const(*b),
-            Expr::Var(v) => Node::Var(resolve(v, table)?),
-            Expr::Cmp { lhs, op, rhs } => Node::Cmp {
+            Expr::Const(b) => PNode::Const(*b),
+            Expr::Var(v) => PNode::Var(resolve(v, table)?),
+            Expr::Cmp { lhs, op, rhs } => PNode::Cmp {
                 lhs: Slot::resolve(lhs, table)?,
                 op: *op,
                 rhs: Slot::resolve(rhs, table)?,
             },
-            Expr::Not(e) => Node::Not(Box::new(Node::build(e, table)?)),
-            Expr::And(items) => Node::And(
+            Expr::Not(e) => PNode::Not(child(e, cells)?),
+            Expr::And(items) => PNode::And(
                 items
                     .iter()
-                    .map(|e| Node::build(e, table))
+                    .map(|e| PChild::build(e, table, cells))
                     .collect::<Result<_, _>>()?,
             ),
-            Expr::Or(items) => Node::Or(
+            Expr::Or(items) => PNode::Or(
                 items
                     .iter()
-                    .map(|e| Node::build(e, table))
+                    .map(|e| PChild::build(e, table, cells))
                     .collect::<Result<_, _>>()?,
             ),
-            Expr::Implies(a, b) => Node::Implies(
-                Box::new(Node::build(a, table)?),
-                Box::new(Node::build(b, table)?),
-            ),
-            Expr::Prev(e) => Node::Prev {
-                child: Box::new(Node::build(e, table)?),
-                last: None,
+            Expr::Implies(a, b) => PNode::Implies(child(a, cells)?, child(b, cells)?),
+            Expr::Prev(e) => PNode::Prev {
+                child: child(e, cells)?,
+                cell: alloc_cell(cells, Cell::Last(None)),
             },
-            Expr::Once(e) => Node::Once {
-                child: Box::new(Node::build(e, table)?),
-                seen_true_before: false,
+            Expr::Once(e) => PNode::Once {
+                child: child(e, cells)?,
+                cell: alloc_cell(cells, Cell::Seen(false)),
             },
-            Expr::Historically(e) => Node::Historically {
-                child: Box::new(Node::build(e, table)?),
-                all_true_before: true,
+            Expr::Historically(e) => PNode::Historically {
+                child: child(e, cells)?,
+                cell: alloc_cell(cells, Cell::All(true)),
             },
-            Expr::HeldFor { expr, ticks } => Node::HeldFor {
-                child: Box::new(Node::build(expr, table)?),
+            Expr::HeldFor { expr, ticks } => PNode::HeldFor {
+                child: child(expr, cells)?,
                 ticks: *ticks,
-                run_before: 0,
+                cell: alloc_cell(cells, Cell::Run(0)),
             },
-            Expr::OnceWithin { expr, ticks } => Node::OnceWithin {
-                child: Box::new(Node::build(expr, table)?),
+            Expr::OnceWithin { expr, ticks } => PNode::OnceWithin {
+                child: child(expr, cells)?,
                 ticks: *ticks,
-                last_true_step: None,
+                cell: alloc_cell(cells, Cell::LastTrue(None)),
             },
-            Expr::Became(e) => Node::Became {
-                child: Box::new(Node::build(e, table)?),
-                last: None,
+            Expr::Became(e) => PNode::Became {
+                child: child(e, cells)?,
+                cell: alloc_cell(cells, Cell::Last(None)),
             },
-            Expr::Initially(e) => Node::Initially {
-                child: Box::new(Node::build(e, table)?),
-                captured: None,
+            Expr::Initially(e) => PNode::Initially {
+                child: child(e, cells)?,
+                cell: alloc_cell(cells, Cell::Captured(None)),
             },
-            // monitor_form has eliminated these before Node::build runs
+            // monitor_form has eliminated these before PNode::build runs
             Expr::Entails(..)
             | Expr::Iff(..)
             | Expr::Always(_)
@@ -404,77 +560,95 @@ impl Node {
         })
     }
 
-    fn eval(&mut self, frame: &Frame, step: usize, table: &SignalTable) -> Result<bool, EvalError> {
+    fn eval(
+        &self,
+        frame: &Frame,
+        step: usize,
+        table: &SignalTable,
+        cells: &mut [Cell],
+    ) -> Result<bool, EvalError> {
         match self {
-            Node::Const(b) => Ok(*b),
-            Node::Var(id) => frame_bool(frame, *id, step, table),
-            Node::Cmp { lhs, op, rhs } => {
+            PNode::Const(b) => Ok(*b),
+            PNode::Var(id) => frame_bool(frame, *id, step, table),
+            PNode::Cmp { lhs, op, rhs } => {
                 let a = lhs.value(frame, step, table)?;
                 let b = rhs.value(frame, step, table)?;
                 eval::compare_values(&a, *op, &b)
             }
-            Node::Not(e) => Ok(!e.eval(frame, step, table)?),
-            Node::And(items) => {
-                // Evaluate every child so temporal sub-monitors keep their
-                // history consistent even after a short-circuitable false.
+            PNode::Not(e) => Ok(!e.node.eval(frame, step, table, cells)?),
+            PNode::And(items) => {
+                // Skip stateless children once the result is decided;
+                // temporal sub-monitors still see every frame so their
+                // history stays consistent.
                 let mut all = true;
                 for e in items {
-                    all &= e.eval(frame, step, table)?;
+                    if all || e.has_state {
+                        all &= e.node.eval(frame, step, table, cells)?;
+                    }
                 }
                 Ok(all)
             }
-            Node::Or(items) => {
+            PNode::Or(items) => {
                 let mut any = false;
                 for e in items {
-                    any |= e.eval(frame, step, table)?;
+                    if !any || e.has_state {
+                        any |= e.node.eval(frame, step, table, cells)?;
+                    }
                 }
                 Ok(any)
             }
-            Node::Implies(a, b) => {
-                let av = a.eval(frame, step, table)?;
-                let bv = b.eval(frame, step, table)?;
-                Ok(!av || bv)
+            PNode::Implies(a, b) => {
+                let av = a.node.eval(frame, step, table, cells)?;
+                if av {
+                    b.node.eval(frame, step, table, cells)
+                } else {
+                    if b.has_state {
+                        b.node.eval(frame, step, table, cells)?;
+                    }
+                    Ok(true)
+                }
             }
-            Node::Prev { child, last } => {
-                let cur = child.eval(frame, step, table)?;
+            PNode::Prev { child, cell } => {
+                let cur = child.node.eval(frame, step, table, cells)?;
+                let Cell::Last(last) = &mut cells[*cell] else {
+                    unreachable!("cell kind fixed at compile time");
+                };
                 let out = last.unwrap_or(false);
                 *last = Some(cur);
                 Ok(out)
             }
-            Node::Once {
-                child,
-                seen_true_before,
-            } => {
-                let cur = child.eval(frame, step, table)?;
+            PNode::Once { child, cell } => {
+                let cur = child.node.eval(frame, step, table, cells)?;
+                let Cell::Seen(seen_true_before) = &mut cells[*cell] else {
+                    unreachable!("cell kind fixed at compile time");
+                };
                 let out = *seen_true_before;
                 *seen_true_before |= cur;
                 Ok(out)
             }
-            Node::Historically {
-                child,
-                all_true_before,
-            } => {
-                let cur = child.eval(frame, step, table)?;
+            PNode::Historically { child, cell } => {
+                let cur = child.node.eval(frame, step, table, cells)?;
+                let Cell::All(all_true_before) = &mut cells[*cell] else {
+                    unreachable!("cell kind fixed at compile time");
+                };
                 let out = *all_true_before;
                 *all_true_before &= cur;
                 Ok(out)
             }
-            Node::HeldFor {
-                child,
-                ticks,
-                run_before,
-            } => {
-                let cur = child.eval(frame, step, table)?;
+            PNode::HeldFor { child, ticks, cell } => {
+                let cur = child.node.eval(frame, step, table, cells)?;
+                let Cell::Run(run_before) = &mut cells[*cell] else {
+                    unreachable!("cell kind fixed at compile time");
+                };
                 let out = *ticks == 0 || *run_before >= *ticks;
                 *run_before = if cur { run_before.saturating_add(1) } else { 0 };
                 Ok(out)
             }
-            Node::OnceWithin {
-                child,
-                ticks,
-                last_true_step,
-            } => {
-                let cur = child.eval(frame, step, table)?;
+            PNode::OnceWithin { child, ticks, cell } => {
+                let cur = child.node.eval(frame, step, table, cells)?;
+                let Cell::LastTrue(last_true_step) = &mut cells[*cell] else {
+                    unreachable!("cell kind fixed at compile time");
+                };
                 let step_u64 = step as u64;
                 let out = last_true_step.is_some_and(|lt| step_u64.saturating_sub(lt) <= *ticks);
                 if cur {
@@ -482,74 +656,24 @@ impl Node {
                 }
                 Ok(out)
             }
-            Node::Became { child, last } => {
-                let cur = child.eval(frame, step, table)?;
+            PNode::Became { child, cell } => {
+                let cur = child.node.eval(frame, step, table, cells)?;
+                let Cell::Last(last) = &mut cells[*cell] else {
+                    unreachable!("cell kind fixed at compile time");
+                };
                 let out = cur && !last.unwrap_or(true);
                 *last = Some(cur);
                 Ok(out)
             }
-            Node::Initially { child, captured } => {
-                let cur = child.eval(frame, step, table)?;
+            PNode::Initially { child, cell } => {
+                let cur = child.node.eval(frame, step, table, cells)?;
+                let Cell::Captured(captured) = &mut cells[*cell] else {
+                    unreachable!("cell kind fixed at compile time");
+                };
                 if captured.is_none() {
                     *captured = Some(cur);
                 }
                 Ok(captured.expect("just set"))
-            }
-        }
-    }
-
-    fn reset(&mut self) {
-        match self {
-            Node::Const(_) | Node::Var(_) | Node::Cmp { .. } => {}
-            Node::Not(e) => e.reset(),
-            Node::And(items) | Node::Or(items) => {
-                for e in items {
-                    e.reset();
-                }
-            }
-            Node::Implies(a, b) => {
-                a.reset();
-                b.reset();
-            }
-            Node::Prev { child, last } => {
-                child.reset();
-                *last = None;
-            }
-            Node::Once {
-                child,
-                seen_true_before,
-            } => {
-                child.reset();
-                *seen_true_before = false;
-            }
-            Node::Historically {
-                child,
-                all_true_before,
-            } => {
-                child.reset();
-                *all_true_before = true;
-            }
-            Node::HeldFor {
-                child, run_before, ..
-            } => {
-                child.reset();
-                *run_before = 0;
-            }
-            Node::OnceWithin {
-                child,
-                last_true_step,
-                ..
-            } => {
-                child.reset();
-                *last_true_step = None;
-            }
-            Node::Became { child, last } => {
-                child.reset();
-                *last = None;
-            }
-            Node::Initially { child, captured } => {
-                child.reset();
-                *captured = None;
             }
         }
     }

@@ -24,6 +24,10 @@
 //!   [`State`] map and recorded [`Trace`]s, used by serde, tests, goal
 //!   fixtures, and the reference evaluator. Conversions:
 //!   [`SignalTable::frame_from_state`] and [`Frame::to_state`].
+//! * [`frame_trace`] — recorded traces in the production representation:
+//!   a [`FrameTrace`] stores one column per signal so recordings replay
+//!   through compiled monitors at frame speed. Conversions:
+//!   [`FrameTrace::from_trace`] and [`FrameTrace::to_trace`].
 //!
 //! # Views of the [`Expr`] AST
 //!
@@ -69,6 +73,7 @@
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod frame_trace;
 pub mod incremental;
 pub mod parser;
 pub mod prop;
@@ -78,7 +83,8 @@ pub mod value;
 
 pub use error::{EvalError, ParseError, PropError};
 pub use expr::{CmpOp, Expr, Operand};
-pub use incremental::CompiledMonitor;
+pub use frame_trace::FrameTrace;
+pub use incremental::{CompiledMonitor, CompiledProgram};
 pub use parser::parse;
 pub use signal::{Frame, SignalId, SignalKind, SignalTable, SignalTableBuilder};
 pub use state::{State, Trace};

@@ -266,7 +266,7 @@ impl SignalTable {
 /// indexed by [`SignalId`]. See the [module docs](self).
 #[derive(Clone)]
 pub struct Frame {
-    slots: Vec<Option<Value>>,
+    pub(crate) slots: Vec<Option<Value>>,
     table: Arc<SignalTable>,
 }
 
@@ -330,6 +330,14 @@ impl Frame {
             "frames must share one signal table"
         );
         self.slots.copy_from_slice(&other.slots);
+    }
+
+    /// Unsets every slot, returning the frame to the all-unset state a
+    /// fresh [`SignalTable::frame`] starts in — a `memset`, no
+    /// allocation. Run-context pooling uses this so a reused scratch
+    /// frame is indistinguishable from a newly built one.
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
     }
 
     /// Number of slots (== the table's signal count).

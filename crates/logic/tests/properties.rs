@@ -2,11 +2,21 @@
 
 use esafe_logic::eval::eval_trace;
 use esafe_logic::incremental::{monitor_form, CompiledMonitor};
-use esafe_logic::{parse, prop, Expr, SignalTable, State, Trace, Value};
+use esafe_logic::{parse, prop, Expr, FrameTrace, SignalTable, State, Trace, Value};
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 const VARS: [&str; 4] = ["p", "q", "r", "s"];
+
+/// The table every random four-variable trace resolves against.
+fn four_bool_table() -> Arc<SignalTable> {
+    let mut b = SignalTable::builder();
+    for name in VARS {
+        b.bool(name);
+    }
+    b.finish()
+}
 
 /// Strategy producing past-time expressions over a small variable pool.
 fn past_expr(depth: u32) -> impl Strategy<Value = Expr> {
@@ -135,6 +145,38 @@ proptest! {
         let incremental: Vec<bool> =
             trace.iter().map(|s| m.observe_state(s).expect("vars present")).collect();
         prop_assert_eq!(incremental, reference);
+    }
+
+    /// A name-keyed trace survives the round trip through the
+    /// column-per-signal production representation.
+    #[test]
+    fn frame_trace_round_trips_name_keyed_traces(
+        rows in proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 1..30),
+    ) {
+        let trace = random_trace(rows);
+        let table = four_bool_table();
+        let ft = FrameTrace::from_trace(&table, &trace).expect("names resolve");
+        prop_assert_eq!(ft.len(), trace.len());
+        prop_assert_eq!(ft.tick_millis(), trace.tick_millis());
+        prop_assert_eq!(ft.to_trace(), trace);
+    }
+
+    /// Frame-speed replay over the column trace produces exactly the
+    /// monitor verdicts of feeding the name-keyed states one by one —
+    /// and therefore (by `incremental_matches_reference`) the reference
+    /// trace semantics of the monitorable rewrite.
+    #[test]
+    fn frame_trace_replay_matches_state_replay(
+        e in past_expr(4),
+        rows in proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 1..30),
+    ) {
+        let trace = random_trace(rows);
+        let table = four_bool_table();
+        let ft = FrameTrace::from_trace(&table, &trace).expect("names resolve");
+        let mut by_state = CompiledMonitor::compile_in(&e, &table).expect("compiles");
+        let expected: Vec<bool> =
+            trace.iter().map(|s| by_state.observe_state(s).expect("vars present")).collect();
+        prop_assert_eq!(ft.replay_expr(&e).expect("replays"), expected);
     }
 
     /// Propositional equivalence implies identical truth on concrete traces

@@ -50,5 +50,5 @@ pub mod suite;
 pub mod violation;
 
 pub use correlate::{CorrelationReport, CorrelationRow, SubgoalStats};
-pub use suite::{Location, MonitorError, MonitorSuite};
-pub use violation::ViolationInterval;
+pub use suite::{Location, MonitorError, MonitorSuite, SuiteTemplate};
+pub use violation::{IntervalTracker, ViolationInterval};

@@ -3,7 +3,7 @@
 
 use crate::correlate::{CorrelationReport, CorrelationRow, SubgoalStats};
 use crate::violation::{IntervalTracker, ViolationInterval};
-use esafe_logic::{CompiledMonitor, EvalError, Expr, Frame, SignalTable};
+use esafe_logic::{CompiledMonitor, CompiledProgram, EvalError, Expr, Frame, SignalTable};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -58,12 +58,21 @@ impl std::error::Error for MonitorError {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
+/// A monitor's immutable identity — id, place in the goal hierarchy,
+/// architecture location, source formula. Shared by `Arc` between a
+/// suite's entries and the [`SuiteTemplate`] they were instantiated
+/// from, so stamping out a suite clones no strings.
+#[derive(Debug)]
+struct EntryMeta {
     id: String,
     parent: Option<String>,
     location: Location,
     expr: Expr,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    meta: Arc<EntryMeta>,
     monitor: CompiledMonitor,
     tracker: IntervalTracker,
 }
@@ -136,7 +145,7 @@ impl MonitorSuite {
         assert!(
             self.entries
                 .iter()
-                .any(|e| e.parent.is_none() && e.id == parent_id),
+                .any(|e| e.meta.parent.is_none() && e.meta.id == parent_id),
             "parent goal `{parent_id}` must be added before its subgoals"
         );
         self.add_entry(id.into(), Some(parent_id), location, expr)
@@ -151,28 +160,73 @@ impl MonitorSuite {
     ) -> Result<(), EvalError> {
         let monitor = CompiledMonitor::compile_in(&expr, &self.table)?;
         self.entries.push(Entry {
-            id,
-            parent,
-            location,
-            expr,
+            meta: Arc::new(EntryMeta {
+                id,
+                parent,
+                location,
+                expr,
+            }),
             monitor,
             tracker: IntervalTracker::new(),
         });
         Ok(())
     }
 
+    /// Extracts the suite's compile-once artifacts — one shared
+    /// `(meta, program)` pair per monitor — as a [`SuiteTemplate`] that
+    /// stamps out fresh suites without parsing or name resolution. Cheap:
+    /// every element is an `Arc` clone.
+    pub fn template(&self) -> SuiteTemplate {
+        SuiteTemplate {
+            table: self.table.clone(),
+            entries: self
+                .entries
+                .iter()
+                .map(|e| TemplateEntry {
+                    meta: Arc::clone(&e.meta),
+                    program: Arc::clone(e.monitor.program()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns every monitor to its pre-run state: compiled programs are
+    /// kept, monitor history and recorded intervals are cleared in place
+    /// (retaining buffer capacity). A reset suite is observationally
+    /// identical to a freshly instantiated one — the property run-context
+    /// pooling relies on.
+    pub fn reset(&mut self) {
+        for e in &mut self.entries {
+            e.monitor.reset();
+            e.tracker.reset();
+        }
+    }
+
     /// Feeds one frame to every monitor — the per-tick hot path: no
-    /// string lookups, no allocation.
+    /// string lookups, no allocation, one table identity check for the
+    /// whole suite.
     ///
     /// # Errors
     ///
     /// Returns a [`MonitorError`] naming the failing monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` indexes a different table than the suite is
+    /// bound to.
     pub fn observe(&mut self, frame: &Frame) -> Result<(), MonitorError> {
+        assert!(
+            Arc::ptr_eq(frame.table(), &self.table),
+            "frame and suite must share one signal table"
+        );
         for e in &mut self.entries {
-            let ok = e.monitor.observe(frame).map_err(|err| MonitorError {
-                monitor_id: e.id.clone(),
-                source: err,
-            })?;
+            let ok = e
+                .monitor
+                .observe_trusted(frame)
+                .map_err(|err| MonitorError {
+                    monitor_id: e.meta.id.clone(),
+                    source: err,
+                })?;
             e.tracker.record(ok);
         }
         Ok(())
@@ -189,16 +243,34 @@ impl MonitorSuite {
     pub fn violations(&self, id: &str) -> Option<&[ViolationInterval]> {
         self.entries
             .iter()
-            .find(|e| e.id == id)
+            .find(|e| e.meta.id == id)
             .map(|e| e.tracker.intervals())
+    }
+
+    /// Drains the recorded violations into owned storage: one
+    /// `(id, intervals)` pair per monitor with at least one interval, in
+    /// insertion order. The intervals are *moved* out of the trackers
+    /// (which keep running but report empty afterwards), so report
+    /// assembly copies nothing per monitor beyond the violating ids —
+    /// call [`MonitorSuite::correlate`] first, since correlation reads
+    /// the same intervals.
+    pub fn take_violations(&mut self) -> Vec<(String, Vec<ViolationInterval>)> {
+        let mut out = Vec::new();
+        for e in &mut self.entries {
+            let intervals = e.tracker.take_intervals();
+            if !intervals.is_empty() {
+                out.push((e.meta.id.clone(), intervals));
+            }
+        }
+        out
     }
 
     /// Ids of all top-level goals, in insertion order.
     pub fn goal_ids(&self) -> Vec<&str> {
         self.entries
             .iter()
-            .filter(|e| e.parent.is_none())
-            .map(|e| e.id.as_str())
+            .filter(|e| e.meta.parent.is_none())
+            .map(|e| e.meta.id.as_str())
             .collect()
     }
 
@@ -206,8 +278,8 @@ impl MonitorSuite {
     pub fn subgoal_ids(&self, goal_id: &str) -> Vec<&str> {
         self.entries
             .iter()
-            .filter(|e| e.parent.as_deref() == Some(goal_id))
-            .map(|e| e.id.as_str())
+            .filter(|e| e.meta.parent.as_deref() == Some(goal_id))
+            .map(|e| e.meta.id.as_str())
             .collect()
     }
 
@@ -215,16 +287,23 @@ impl MonitorSuite {
     pub fn describe(&self, id: &str) -> Option<(&Location, &Expr)> {
         self.entries
             .iter()
-            .find(|e| e.id == id)
-            .map(|e| (&e.location, &e.expr))
+            .find(|e| e.meta.id == id)
+            .map(|e| (&e.meta.location, &e.meta.expr))
     }
 
     /// The monitoring-location matrix: `(id, parent, location)` rows in
-    /// insertion order (the shape of thesis Table 5.3).
-    pub fn location_matrix(&self) -> Vec<(String, Option<String>, String)> {
+    /// insertion order (the shape of thesis Table 5.3). Borrowed views —
+    /// rendering or report assembly decides what to copy.
+    pub fn location_matrix(&self) -> Vec<(&str, Option<&str>, &Location)> {
         self.entries
             .iter()
-            .map(|e| (e.id.clone(), e.parent.clone(), e.location.to_string()))
+            .map(|e| {
+                (
+                    e.meta.id.as_str(),
+                    e.meta.parent.as_deref(),
+                    &e.meta.location,
+                )
+            })
             .collect()
     }
 
@@ -232,12 +311,12 @@ impl MonitorSuite {
     /// `window` (ticks of slack between subgoal and goal violations).
     pub fn correlate(&self, window: u64) -> CorrelationReport {
         let mut rows = Vec::new();
-        for goal in self.entries.iter().filter(|e| e.parent.is_none()) {
+        for goal in self.entries.iter().filter(|e| e.meta.parent.is_none()) {
             let goal_violations = goal.tracker.intervals();
             let subs: Vec<&Entry> = self
                 .entries
                 .iter()
-                .filter(|e| e.parent.as_deref() == Some(goal.id.as_str()))
+                .filter(|e| e.meta.parent.as_deref() == Some(goal.meta.id.as_str()))
                 .collect();
 
             let mut hits = 0usize;
@@ -269,15 +348,15 @@ impl MonitorSuite {
                 }
                 false_positives += sub_fp;
                 per_subgoal.push(SubgoalStats {
-                    subgoal_id: s.id.clone(),
-                    location: s.location.to_string(),
+                    subgoal_id: s.meta.id.clone(),
+                    location: s.meta.location.to_string(),
                     violations: sub_viol.len(),
                     false_positives: sub_fp,
                 });
             }
 
             rows.push(CorrelationRow {
-                goal_id: goal.id.clone(),
+                goal_id: goal.meta.id.clone(),
                 goal_violations: goal_violations.len(),
                 hits,
                 false_negatives,
@@ -286,6 +365,67 @@ impl MonitorSuite {
             });
         }
         CorrelationReport { rows }
+    }
+}
+
+/// The compile-once form of a [`MonitorSuite`]: every goal/subgoal
+/// formula of a substrate *family* compiled against the family's shared
+/// [`SignalTable`], held as `Arc`-shared immutable programs.
+///
+/// Building a suite parses and resolves ~`O(formula size)` work per
+/// monitor; a sweep that rebuilt its suite per cell paid that ×cells.
+/// A template is built **once per sweep** (typically via
+/// [`MonitorSuite::template`] on the first suite compiled) and
+/// [`SuiteTemplate::instantiate`] stamps out a per-cell suite in
+/// O(monitors): per monitor, two `Arc` clones, a `memcpy` of the
+/// temporal state cells, and an empty interval tracker.
+///
+/// An instantiated suite is observationally identical to one compiled
+/// from scratch — same monitors, same ids, same verdicts — which the
+/// workspace's golden sweep tests pin bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct SuiteTemplate {
+    table: Arc<SignalTable>,
+    entries: Vec<TemplateEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct TemplateEntry {
+    meta: Arc<EntryMeta>,
+    program: Arc<CompiledProgram>,
+}
+
+impl SuiteTemplate {
+    /// The signal namespace the template's monitors are compiled against.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
+    /// Number of monitors (goals + subgoals) in the template.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the template holds no monitors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stamps out a fresh suite: no parsing, no compilation, no string
+    /// copies — O(monitors) Arc clones plus fresh run state.
+    pub fn instantiate(&self) -> MonitorSuite {
+        MonitorSuite {
+            table: self.table.clone(),
+            entries: self
+                .entries
+                .iter()
+                .map(|t| Entry {
+                    meta: Arc::clone(&t.meta),
+                    monitor: t.program.instantiate(),
+                    tracker: IntervalTracker::new(),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -392,9 +532,71 @@ mod tests {
         assert!(m.violations("missing").is_none());
         let matrix = m.location_matrix();
         assert_eq!(matrix.len(), 2);
-        assert_eq!(matrix[1].1.as_deref(), Some("G"));
+        assert_eq!(matrix[1].1, Some("G"));
         assert_eq!(m.goal_ids(), vec!["G"]);
         assert_eq!(m.subgoal_ids("G"), vec!["G.A"]);
+    }
+
+    #[test]
+    fn take_violations_drains_once_in_insertion_order() {
+        let mut m = suite();
+        observe(&mut m, false, false);
+        observe(&mut m, true, true);
+        m.finish();
+        let report = m.correlate(0);
+        assert_eq!(report.for_goal("G").unwrap().hits, 1);
+        let taken = m.take_violations();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].0, "G");
+        assert_eq!(taken[0].1, vec![ViolationInterval::new(0, 1)]);
+        assert_eq!(taken[1].0, "G.A");
+        // Drained: the trackers now report empty.
+        assert!(m.take_violations().is_empty());
+        assert!(m.violations("G").unwrap().is_empty());
+    }
+
+    /// Runs the frames through a suite and returns its drained
+    /// violations + classification — the observable outcome of a run.
+    fn outcome(mut m: MonitorSuite, frames: &[(bool, bool)]) -> (Vec<(String, usize)>, usize) {
+        for &(g, s) in frames {
+            observe(&mut m, g, s);
+        }
+        m.finish();
+        let hits = m.correlate(0).for_goal("G").unwrap().hits;
+        let violations = m
+            .take_violations()
+            .into_iter()
+            .map(|(id, v)| (id, v.len()))
+            .collect();
+        (violations, hits)
+    }
+
+    #[test]
+    fn template_instantiation_matches_full_compilation() {
+        let template = suite().template();
+        assert_eq!(template.len(), 2);
+        assert!(!template.is_empty());
+        let frames = [(true, true), (false, false), (true, false)];
+        let compiled = outcome(suite(), &frames);
+        let instantiated = outcome(template.instantiate(), &frames);
+        assert_eq!(instantiated, compiled);
+        // Instantiation is repeatable: each instance starts clean.
+        assert_eq!(outcome(template.instantiate(), &frames), compiled);
+    }
+
+    #[test]
+    fn reset_suite_behaves_like_a_fresh_instance() {
+        let template = suite().template();
+        let frames = [(false, true), (true, true), (true, false)];
+        let mut pooled = template.instantiate();
+        // Dirty the pooled suite with an unrelated run, then reset.
+        for &(g, s) in &[(false, false), (false, false)] {
+            observe(&mut pooled, g, s);
+        }
+        pooled.finish();
+        pooled.reset();
+        let reused = outcome(pooled, &frames);
+        assert_eq!(reused, outcome(template.instantiate(), &frames));
     }
 
     #[test]

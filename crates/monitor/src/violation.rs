@@ -100,6 +100,22 @@ impl IntervalTracker {
         &self.closed
     }
 
+    /// Moves the closed intervals out, leaving the tracker recording
+    /// (tick position and any open violation are untouched) but with an
+    /// empty interval list — the drain report assembly uses so no
+    /// interval is ever copied.
+    pub fn take_intervals(&mut self) -> Vec<ViolationInterval> {
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Returns the tracker to its initial state in place, keeping the
+    /// interval buffer's capacity for reuse across pooled runs.
+    pub fn reset(&mut self) {
+        self.open_since = None;
+        self.closed.clear();
+        self.tick = 0;
+    }
+
     /// Whether a violation is currently open.
     pub fn in_violation(&self) -> bool {
         self.open_since.is_some()

@@ -8,9 +8,9 @@
 
 use crate::catalog;
 use crate::runner;
-use esafe_harness::{ExperimentError, Sweep, SweepReport};
+use esafe_harness::{ExperimentError, Sweep, SweepReport, SweepStats};
 use esafe_vehicle::config::DefectSet;
-use esafe_vehicle::substrate::VehicleSubstrate;
+use esafe_vehicle::substrate::{VehicleFamily, VehicleSubstrate};
 
 /// One cell of a scenario × defect grid.
 #[derive(Debug, Clone)]
@@ -59,11 +59,22 @@ pub fn full_grid() -> Vec<GridCell> {
     cells(&scenarios, &ablation_configs())
 }
 
-/// The substrate for one grid cell (the sweep's build callback; vehicle
-/// runs are deterministic, so the per-cell seed is unused).
+/// The substrate for one grid cell, self-compiling its monitors per run
+/// (the per-run-compile reference path the template-backed sweep is
+/// golden-tested against; vehicle runs are deterministic, so the
+/// per-cell seed is unused).
 pub fn build_cell(cell: &GridCell, _seed: u64) -> VehicleSubstrate {
     let scenario = catalog::scenario(cell.scenario);
     runner::substrate(&scenario, cell.defects)
+        .with_label(format!("scenario-{}/{}", cell.scenario, cell.config))
+}
+
+/// The substrate for one grid cell within a shared [`VehicleFamily`]:
+/// the cell reuses the family's signal table and compile-once suite
+/// template.
+pub fn build_cell_in(family: &VehicleFamily, cell: &GridCell, _seed: u64) -> VehicleSubstrate {
+    let scenario = catalog::scenario(cell.scenario);
+    runner::substrate_in(family, &scenario, cell.defects)
         .with_label(format!("scenario-{}/{}", cell.scenario, cell.config))
 }
 
@@ -72,22 +83,38 @@ pub fn sweep(grid: Vec<GridCell>) -> Sweep<GridCell> {
     Sweep::new(grid).with_config(runner::thesis_config())
 }
 
-/// Runs a grid in parallel across cores.
+/// Runs a grid in parallel across cores, amortizing suite compilation
+/// through one [`VehicleFamily`] built for the whole sweep.
 ///
 /// # Errors
 ///
 /// Returns the first failing cell's [`ExperimentError`].
 pub fn run_parallel(grid: Vec<GridCell>) -> Result<SweepReport, ExperimentError> {
-    sweep(grid).run(build_cell)
+    run_parallel_timed(grid).map(|(report, _)| report)
 }
 
-/// Runs a grid serially (the reference the parallel path must match).
+/// [`run_parallel`] plus the sweep's [`SweepStats`] (setup/tick split,
+/// suite amortization counters) for the benchmark trajectory.
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`ExperimentError`].
+pub fn run_parallel_timed(
+    grid: Vec<GridCell>,
+) -> Result<(SweepReport, SweepStats), ExperimentError> {
+    let family = VehicleFamily::default();
+    sweep(grid).run_timed(|cell, seed| build_cell_in(&family, cell, seed))
+}
+
+/// Runs a grid serially (the reference the parallel path must match),
+/// on the same family-amortized path as [`run_parallel`].
 ///
 /// # Errors
 ///
 /// Returns the first failing cell's [`ExperimentError`].
 pub fn run_serial(grid: Vec<GridCell>) -> Result<SweepReport, ExperimentError> {
-    sweep(grid).run_serial(build_cell)
+    let family = VehicleFamily::default();
+    sweep(grid).run_serial(|cell, seed| build_cell_in(&family, cell, seed))
 }
 
 #[cfg(test)]
@@ -101,6 +128,24 @@ mod tests {
         assert_eq!(grid[0].scenario, 1);
         assert_eq!(grid[0].config, "none");
         assert_eq!(grid[14].scenario, 2);
+    }
+
+    #[test]
+    fn family_grid_matches_per_run_compile_grid() {
+        // The template-amortized sweep (the production path) against the
+        // reference sweep that recompiles every cell's suite.
+        let grid = cells(
+            &[1, 2],
+            &[
+                ("none".to_owned(), DefectSet::none()),
+                ("thesis (all)".to_owned(), DefectSet::thesis()),
+            ],
+        );
+        let (amortized, stats) = run_parallel_timed(grid.clone()).unwrap();
+        let reference = sweep(grid).run(build_cell).unwrap();
+        assert_eq!(amortized, reference, "template path must be bit-identical");
+        assert_eq!(stats.suites_compiled, 0, "no cell may recompile the suite");
+        assert_eq!(stats.suites_instantiated + stats.suites_reused, 4);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use esafe_harness::{Experiment, ExperimentConfig, ExperimentError, RunReport};
 use esafe_monitor::{CorrelationReport, ViolationInterval};
 use esafe_sim::SeriesLog;
 use esafe_vehicle::config::DefectSet;
-use esafe_vehicle::substrate::VehicleSubstrate;
+use esafe_vehicle::substrate::{VehicleFamily, VehicleSubstrate};
 use serde::{Deserialize, Serialize};
 
 /// The timing policy of the thesis's vehicle evaluation: the CarSim
@@ -81,9 +81,33 @@ impl ScenarioReport {
     }
 }
 
-/// Builds the substrate configuration for a scenario × defect cell.
+/// Builds the substrate configuration for a scenario × defect cell. The
+/// substrate self-compiles its monitor suite per run — the reference
+/// path; sweeps amortize compilation with [`substrate_in`].
 pub fn substrate(scenario: &Scenario, defects: DefectSet) -> VehicleSubstrate {
-    VehicleSubstrate::new(defects, scenario.scene, scenario.script.clone())
+    configure(
+        VehicleSubstrate::new(defects, scenario.scene, scenario.script.clone()),
+        scenario,
+    )
+}
+
+/// Builds the substrate for a scenario × defect cell **within a
+/// family**: the cell shares the family's signal table and compile-once
+/// suite template, so a sweep pays formula compilation once instead of
+/// once per cell. Reports are bit-identical to [`substrate`]'s.
+pub fn substrate_in(
+    family: &VehicleFamily,
+    scenario: &Scenario,
+    defects: DefectSet,
+) -> VehicleSubstrate {
+    configure(
+        family.substrate(defects, scenario.scene, scenario.script.clone()),
+        scenario,
+    )
+}
+
+fn configure(substrate: VehicleSubstrate, scenario: &Scenario) -> VehicleSubstrate {
+    substrate
         .with_duration_s(scenario.duration_s)
         .with_tracked(scenario.figure_signals.iter().copied())
         .with_label(format!("scenario-{}", scenario.number))

@@ -73,7 +73,7 @@ pub fn monitoring_matrix() -> String {
     for (id, _parent, location) in suite.location_matrix() {
         let _ = write!(out, "{id:<8}");
         for l in locations {
-            let mark = if location == l { "X" } else { "" };
+            let mark = if location.as_str() == l { "X" } else { "" };
             let _ = write!(out, " {mark:>8}");
         }
         let _ = writeln!(out);

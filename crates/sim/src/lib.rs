@@ -335,13 +335,45 @@ impl SeriesLog {
     /// named after the signal (booleans record as 0/1). Unset or symbolic
     /// signals are skipped.
     pub fn sample(&mut self, frame: &Frame, id: SignalId, time_s: f64) {
-        let point = match frame.get(id) {
-            Some(Value::Bool(b)) => Some(if b { 1.0 } else { 0.0 }),
-            Some(v) => v.as_real(),
-            None => None,
-        };
-        if let Some(x) = point {
+        if let Some(x) = sample_point(frame.get(id)) {
             self.push(frame.table().name(id), time_s, x);
+        }
+    }
+
+    /// Samples a signal's full column from a recorded [`FrameTrace`] into
+    /// the series named after the signal, timed by the trace's own tick
+    /// period — the batch analogue of calling [`SeriesLog::sample`] once
+    /// per recorded frame, but a single pass over one contiguous column
+    /// instead of a map lookup per sample.
+    ///
+    /// [`FrameTrace`]: esafe_logic::FrameTrace
+    pub fn sample_trace(&mut self, trace: &esafe_logic::FrameTrace, id: SignalId) {
+        let column = trace.column(id);
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(column.len());
+        for (i, slot) in column.iter().enumerate() {
+            if let Some(x) = sample_point(*slot) {
+                points.push((trace.time_s(i), x));
+            }
+        }
+        if points.is_empty() {
+            return;
+        }
+        self.append_points(trace.table().name(id), points);
+    }
+
+    /// Appends a batch of pre-collected points to the named series
+    /// (creating it if absent). The experiment loop buffers each tracked
+    /// signal's points in a plain `Vec` during the run — an indexed push
+    /// per tick instead of a map lookup — and lands them here once;
+    /// empty batches are skipped so no empty series appears.
+    pub fn append_points(&mut self, name: &str, points: Vec<(f64, f64)>) {
+        if points.is_empty() {
+            return;
+        }
+        if let Some(existing) = self.series.get_mut(name) {
+            existing.extend(points);
+        } else {
+            self.series.insert(name.to_owned(), points);
         }
     }
 
@@ -366,6 +398,20 @@ impl SeriesLog {
         }
         let stride = points.len().div_ceil(max_points);
         points.iter().step_by(stride).copied().collect()
+    }
+}
+
+/// How a slot value becomes a figure point: booleans as 0/1, numerics
+/// as themselves, symbolic or unset slots skipped — the one sampling
+/// rule shared by live runs ([`SeriesLog::sample`]), trace replay
+/// ([`SeriesLog::sample_trace`]), and the experiment loop's buffered
+/// sampling.
+#[inline]
+pub fn sample_point(value: Option<Value>) -> Option<f64> {
+    match value {
+        Some(Value::Bool(b)) => Some(if b { 1.0 } else { 0.0 }),
+        Some(v) => v.as_real(),
+        None => None,
     }
 }
 
@@ -497,6 +543,38 @@ mod tests {
         assert!(ds.len() <= 10);
         assert_eq!(ds[0], (0.0, 0.0));
         assert!(log.series("missing").is_none());
+    }
+
+    #[test]
+    fn series_log_samples_frame_traces_like_live_frames() {
+        let mut b = SignalTableBuilder::new();
+        let speed = b.real("speed");
+        let flag = b.bool("flag");
+        let table = b.finish();
+        let mut trace = esafe_logic::FrameTrace::new(&table, 10);
+        let mut frame = table.frame();
+        for i in 0..4 {
+            frame.set(speed, i as f64);
+            if i == 2 {
+                frame.set(flag, true);
+            }
+            trace.push(&frame);
+        }
+        // Reference: sample each frame live at the trace's own times.
+        let mut live = SeriesLog::new();
+        let mut scratch = table.frame();
+        for i in 0..trace.len() {
+            trace.read_into(i, &mut scratch);
+            live.sample(&scratch, speed, trace.time_s(i));
+            live.sample(&scratch, flag, trace.time_s(i));
+        }
+        let mut batch = SeriesLog::new();
+        batch.sample_trace(&trace, speed);
+        batch.sample_trace(&trace, flag);
+        assert_eq!(batch, live, "trace sampling must match live sampling");
+        assert_eq!(batch.series("speed").unwrap().len(), 4);
+        // `flag` is unset for the first two samples, then latches true.
+        assert_eq!(batch.series("flag").unwrap(), &[(0.02, 1.0), (0.03, 1.0)]);
     }
 
     #[test]

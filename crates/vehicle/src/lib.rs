@@ -44,4 +44,4 @@ pub mod substrate;
 
 pub use builder::build_vehicle;
 pub use config::{DefectSet, VehicleParams};
-pub use substrate::VehicleSubstrate;
+pub use substrate::{VehicleFamily, VehicleSubstrate};

@@ -9,9 +9,102 @@ use crate::signals::{vehicle_table, VehicleSigs};
 use crate::{goals, probe};
 use esafe_harness::Substrate;
 use esafe_logic::{EvalError, Frame, SignalId, SignalTable};
-use esafe_monitor::MonitorSuite;
+use esafe_monitor::{MonitorSuite, SuiteTemplate};
 use esafe_sim::Simulator;
 use std::sync::Arc;
+
+/// The compile-once artifacts of the vehicle substrate *family*: the
+/// shared [`SignalTable`], its resolved [`VehicleSigs`], and the
+/// [`SuiteTemplate`] holding every Table 5.3 goal/subgoal formula
+/// compiled against that table.
+///
+/// A sweep builds one family up front and derives each cell's substrate
+/// from it with [`VehicleFamily::substrate`]: every cell then shares one
+/// namespace and one compiled goal suite, so per-cell setup is
+/// O(monitors) instead of re-parsing ~49 formulas. Standalone
+/// [`VehicleSubstrate::new`] still self-compiles — the reference path
+/// the template-backed sweep is golden-tested against.
+#[derive(Debug, Clone)]
+pub struct VehicleFamily {
+    params: VehicleParams,
+    table: Arc<SignalTable>,
+    sigs: VehicleSigs,
+    template: Arc<SuiteTemplate>,
+}
+
+impl VehicleFamily {
+    /// Builds the family for the given parameters: constructs the signal
+    /// table and compiles the full monitor suite once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a goal formula fails to compile — the goal tables are
+    /// static, so this is a programming error caught by any test.
+    pub fn new(params: VehicleParams) -> Self {
+        let (table, sigs) = vehicle_table();
+        let template = Arc::new(
+            goals::build_suite(&table, &params)
+                .expect("vehicle goal tables compile against the vehicle signal table")
+                .template(),
+        );
+        VehicleFamily {
+            params,
+            table,
+            sigs,
+            template,
+        }
+    }
+
+    /// The family's parameters.
+    pub fn params(&self) -> &VehicleParams {
+        &self.params
+    }
+
+    /// The family's shared signal namespace.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
+    /// The compile-once goal/subgoal suite template.
+    pub fn template(&self) -> &Arc<SuiteTemplate> {
+        &self.template
+    }
+
+    /// Derives one cell's substrate: shares the family's table, signal
+    /// ids, parameters, and suite template (`Arc` clones — no namespace
+    /// or formula work).
+    pub fn substrate(
+        &self,
+        defects: DefectSet,
+        scene: Scene,
+        script: Vec<(f64, DriverAction)>,
+    ) -> VehicleSubstrate {
+        VehicleSubstrate {
+            params: self.params,
+            defects,
+            scene,
+            script,
+            duration_s: DEFAULT_DURATION_S,
+            label: DEFAULT_LABEL.to_owned(),
+            table: self.table.clone(),
+            sigs: self.sigs,
+            tracked: Vec::new(),
+            template: Some(Arc::clone(&self.template)),
+        }
+    }
+}
+
+/// The default schedule: every thesis scenario runs 20 s.
+const DEFAULT_DURATION_S: f64 = 20.0;
+
+/// The default report label before [`VehicleSubstrate::with_label`].
+const DEFAULT_LABEL: &str = "vehicle";
+
+impl Default for VehicleFamily {
+    fn default() -> Self {
+        Self::new(VehicleParams::default())
+    }
+}
 
 /// One monitored vehicle run: the Chapter 5 substrate under a scene, a
 /// scripted driver, and a [`DefectSet`].
@@ -63,6 +156,9 @@ pub struct VehicleSubstrate {
     table: Arc<SignalTable>,
     sigs: VehicleSigs,
     tracked: Vec<SignalId>,
+    /// The family's compile-once suite template, when this substrate was
+    /// derived from a [`VehicleFamily`]; `None` self-compiles per run.
+    template: Option<Arc<SuiteTemplate>>,
 }
 
 impl VehicleSubstrate {
@@ -76,11 +172,12 @@ impl VehicleSubstrate {
             defects,
             scene,
             script,
-            duration_s: 20.0,
-            label: "vehicle".to_owned(),
+            duration_s: DEFAULT_DURATION_S,
+            label: DEFAULT_LABEL.to_owned(),
             table,
             sigs,
             tracked: Vec::new(),
+            template: None,
         }
     }
 
@@ -89,9 +186,12 @@ impl VehicleSubstrate {
         &self.sigs
     }
 
-    /// Replaces the vehicle parameters.
+    /// Replaces the vehicle parameters. Goal thresholds derive from the
+    /// parameters, so any family suite template no longer applies and is
+    /// dropped — the substrate self-compiles its monitors again.
     pub fn with_params(mut self, params: VehicleParams) -> Self {
         self.params = params;
+        self.template = None;
         self
     }
 
@@ -150,6 +250,10 @@ impl Substrate for VehicleSubstrate {
 
     fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
         goals::build_suite(&self.table, &self.params)
+    }
+
+    fn suite_template(&self) -> Option<&Arc<SuiteTemplate>> {
+        self.template.as_ref()
     }
 
     /// The monitors and figures read the probe-derived signals, not the
@@ -215,6 +319,36 @@ mod tests {
         assert!(report.terminated_early);
         assert!(!report.violations_for("4B:PA").is_empty());
         assert!(!report.series.downsample("host.speed", 16).is_empty());
+    }
+
+    #[test]
+    fn family_substrates_match_standalone_substrates() {
+        let family = VehicleFamily::default();
+        let standalone = VehicleSubstrate::new(DefectSet::thesis(), parked_ahead(), creep_script())
+            .with_tracked(["host.speed"]);
+        let derived = family
+            .substrate(DefectSet::thesis(), parked_ahead(), creep_script())
+            .with_tracked(["host.speed"]);
+        assert!(derived.suite_template().is_some());
+        assert!(standalone.suite_template().is_none());
+        let a = Experiment::new(&standalone).run().unwrap();
+        let b = Experiment::new(&derived).run().unwrap();
+        assert_eq!(a, b, "template-backed run must match self-compiled run");
+    }
+
+    #[test]
+    fn with_params_drops_the_family_template() {
+        let family = VehicleFamily::default();
+        let tweaked = family
+            .substrate(DefectSet::none(), parked_ahead(), vec![])
+            .with_params(crate::config::VehicleParams {
+                accel_limit: 1.0,
+                ..crate::config::VehicleParams::default()
+            });
+        assert!(
+            tweaked.suite_template().is_none(),
+            "parameter overrides invalidate the family's compiled goals"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use emergent_safety::core::render;
 use emergent_safety::elevator::faults::ElevatorFaults;
-use emergent_safety::elevator::{icpa, ElevatorParams, ElevatorSubstrate};
+use emergent_safety::elevator::{icpa, ElevatorFamily, ElevatorParams};
 use emergent_safety::harness::{Experiment, ExperimentConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,8 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ExperimentConfig::default()
     };
 
+    // One family = one signal table + one compiled goal suite shared by
+    // every run below (the monitors compile once, not once per run).
+    let family = ElevatorFamily::new(params);
+
     // Healthy run: 2 simulated minutes of random passenger traffic.
-    let healthy = ElevatorSubstrate::new(ElevatorFaults::none(), 7).with_ticks(12_000);
+    let healthy = family
+        .substrate(ElevatorFaults::none(), 7)
+        .with_ticks(12_000);
     let report = Experiment::new(&healthy).with_config(config).run()?;
     println!("healthy run:\n{}", report.correlation);
 
@@ -41,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hoistway_guard_missing: true,
         ..ElevatorFaults::none()
     };
-    let runaway = ElevatorSubstrate::new(faults, 7).with_ticks(6_000);
+    let runaway = family.substrate(faults, 7).with_ticks(6_000);
     let report = Experiment::new(&runaway).with_config(config).run()?;
     println!(
         "runaway drive, emergency brake alive:\n{}",

@@ -3,7 +3,7 @@
 //! rayon-parallel sweep path must match the serial reference exactly.
 
 use emergent_safety::elevator::faults::ElevatorFaults;
-use emergent_safety::elevator::ElevatorSubstrate;
+use emergent_safety::elevator::{ElevatorFamily, ElevatorSubstrate};
 use emergent_safety::harness::{Experiment, RunReport, Sweep};
 use emergent_safety::scenarios::{catalog, grid, runner};
 use emergent_safety::vehicle::config::DefectSet;
@@ -93,4 +93,26 @@ fn elevator_seed_sweep_parallel_matches_serial_over_eight_cells() {
     let labels: std::collections::BTreeSet<&String> =
         parallel.runs.iter().map(|r| &r.label).collect();
     assert_eq!(labels.len(), 8, "cell seeds must be distinct");
+}
+
+#[test]
+fn elevator_family_sweep_matches_standalone_sweep_on_both_paths() {
+    // The template/pooled path (family-derived substrates) against
+    // per-cell compilation, parallel and serial — all four runs must be
+    // byte-identical.
+    let sweep = Sweep::new((0..6u64).collect::<Vec<_>>()).with_base_seed(1977);
+    let family = ElevatorFamily::default();
+    let fault = ElevatorFaults {
+        drive_ignores_door: true,
+        ..ElevatorFaults::none()
+    };
+    let in_family = |_cell: &u64, seed: u64| family.substrate(fault, seed).with_ticks(1200);
+    let standalone = |_cell: &u64, seed: u64| ElevatorSubstrate::new(fault, seed).with_ticks(1200);
+    let (family_parallel, stats) = sweep.run_timed(in_family).unwrap();
+    let family_serial = sweep.run_serial(in_family).unwrap();
+    let reference = sweep.run(standalone).unwrap();
+    assert_eq!(family_parallel, family_serial);
+    assert_eq!(family_parallel, reference);
+    assert_eq!(stats.suites_compiled, 0, "family cells must not recompile");
+    assert_eq!(stats.suites_instantiated + stats.suites_reused, 6);
 }

@@ -11,7 +11,7 @@
 use emergent_safety::elevator::faults::ElevatorFaults;
 use emergent_safety::elevator::ElevatorSubstrate;
 use emergent_safety::harness::{Experiment, ExperimentConfig};
-use emergent_safety::scenarios::{catalog, runner};
+use emergent_safety::scenarios::{catalog, grid, runner};
 use emergent_safety::vehicle::config::DefectSet;
 
 #[test]
@@ -29,6 +29,32 @@ fn vehicle_scenario1_thesis_matches_seed_pipeline() {
         golden.trim(),
         "vehicle scenario 1 diverged from the seed pipeline"
     );
+}
+
+/// The amortized sweep engine (compile-once suite template + per-worker
+/// pooled run contexts — the production `repro --grid` path) against the
+/// per-run-compile reference: the whole `SweepReport` must be
+/// bit-identical, through actual JSON text, for a grid slice that
+/// includes early-terminating, colliding, and clean cells.
+#[test]
+fn template_pooled_sweep_matches_per_run_compile_sweep() {
+    let cells = grid::cells(&[1, 2, 10], &grid::ablation_configs());
+    assert_eq!(cells.len(), 42);
+    // Reference: every cell builds a standalone substrate and recompiles
+    // its monitor suite (`grid::build_cell`), serially.
+    let reference = grid::sweep(cells.clone())
+        .run_serial(grid::build_cell)
+        .unwrap();
+    // Production: one family, template-instantiated suites, pooled
+    // worker contexts, rayon-parallel.
+    let amortized = grid::run_parallel(cells).unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&amortized).unwrap(),
+        serde_json::to_string_pretty(&reference).unwrap(),
+        "amortized sweep diverged from the per-run-compile pipeline"
+    );
+    assert_eq!(amortized, reference, "series must match too");
+    assert_eq!(amortized.aggregate(), reference.aggregate());
 }
 
 #[test]

@@ -1,9 +1,13 @@
 //! Offline stand-in for `rayon`, covering the data-parallel subset this
-//! workspace uses: `par_iter`/`into_par_iter` → `map` → `collect`.
+//! workspace uses: `par_iter`/`into_par_iter` → `map`/`map_init` →
+//! `collect`.
 //!
 //! Work is distributed over `std::thread::scope` with an atomic work
 //! index; results land in their input slot, so `collect` preserves input
 //! order and is deterministic regardless of thread interleaving.
+//! `map_init` gives every worker thread one mutable state value built by
+//! the caller's `init` closure — the hook behind per-worker pooled run
+//! contexts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -25,22 +29,36 @@ fn thread_count(len: usize) -> usize {
 /// Runs `f` over `items` on multiple threads, returning the results in
 /// input order.
 fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    parallel_map_init(items, || (), |(), x| f(x))
+}
+
+/// Runs `f` over `items` on multiple threads with one `init()`-built
+/// state value per worker thread, returning the results in input order.
+fn parallel_map_init<T: Send, S, R: Send>(
+    items: Vec<T>,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, T) -> R + Sync,
+) -> Vec<R> {
     let threads = thread_count(items.len());
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|x| f(&mut state, x)).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().expect("item taken once");
+                    *results[i].lock().unwrap() = Some(f(&mut state, item));
                 }
-                let item = slots[i].lock().unwrap().take().expect("item taken once");
-                *results[i].lock().unwrap() = Some(f(item));
             });
         }
     });
@@ -58,6 +76,14 @@ pub struct ParIter<T> {
 /// A mapped parallel iterator, executed on `collect`.
 pub struct ParMap<T, F> {
     items: Vec<T>,
+    f: F,
+}
+
+/// A mapped parallel iterator carrying per-worker state, executed on
+/// `collect`.
+pub struct ParMapInit<T, INIT, F> {
+    items: Vec<T>,
+    init: INIT,
     f: F,
 }
 
@@ -116,6 +142,16 @@ pub trait ParallelIterator: Sized {
 
     /// Maps each element through `f` (executed at `collect`).
     fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> ParMap<Self::Item, F>;
+
+    /// Maps each element through `f` with one `init()`-built mutable
+    /// state value per worker thread (executed at `collect`). The number
+    /// of `init` calls is unspecified — state must not influence
+    /// results, only amortize their computation.
+    fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<Self::Item, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync;
 }
 
 impl<T: Send> ParallelIterator for ParIter<T> {
@@ -127,12 +163,40 @@ impl<T: Send> ParallelIterator for ParIter<T> {
             f,
         }
     }
+
+    fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<T, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
 }
 
 impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
     /// Executes the map in parallel and collects results in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
         parallel_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+impl<T, S, R, INIT, F> ParMapInit<T, INIT, F>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_init(self.items, self.init, self.f)
+            .into_iter()
+            .collect()
     }
 }
 
@@ -159,5 +223,29 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_init_reuses_worker_state_and_preserves_order() {
+        let input: Vec<u64> = (0..257).collect();
+        // Each worker counts how many items it has processed in its own
+        // state; results stay keyed to the input order regardless.
+        let out: Vec<(u64, u64)> = input
+            .clone()
+            .into_par_iter()
+            .map_init(
+                || 0u64,
+                |seen, x| {
+                    *seen += 1;
+                    (x * 2, *seen)
+                },
+            )
+            .collect();
+        let doubled: Vec<u64> = out.iter().map(|(d, _)| *d).collect();
+        assert_eq!(doubled, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // Every worker's per-state counter advanced from 1 upward, and
+        // all items were processed exactly once.
+        let total: u64 = out.iter().filter(|(_, seen)| *seen == 1).count() as u64;
+        assert!(total >= 1, "at least one worker processed a first item");
     }
 }

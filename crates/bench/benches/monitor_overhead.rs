@@ -39,20 +39,31 @@ fn single_monitor(c: &mut Criterion) {
 
 fn full_suite(c: &mut Criterion) {
     let params = VehicleParams::default();
+    let (table, sigs) = vehicle_table();
+    // A representative derived frame.
+    let mut sim = esafe_vehicle::builder::build_vehicle(
+        params,
+        esafe_vehicle::config::DefectSet::none(),
+        esafe_vehicle::dynamics::Scene::default(),
+        vec![],
+        &table,
+        &sigs,
+    );
+    sim.step();
+    let frame = esafe_vehicle::probe::derive(sim.state(), &sigs, &params);
+
+    // The per-monitor reference engine: 49 separate tree walks per tick.
     c.bench_function("vehicle_suite_49_monitors_tick", |b| {
-        let (table, sigs) = vehicle_table();
         let mut suite = esafe_vehicle::goals::build_suite(&table, &params).unwrap();
-        // A representative derived frame.
-        let mut sim = esafe_vehicle::builder::build_vehicle(
-            params,
-            esafe_vehicle::config::DefectSet::none(),
-            esafe_vehicle::dynamics::Scene::default(),
-            vec![],
-            &table,
-            &sigs,
-        );
-        sim.step();
-        let frame = esafe_vehicle::probe::derive(sim.state(), &sigs, &params);
+        b.iter(|| suite.observe(black_box(&frame)).unwrap());
+    });
+
+    // The fused engine: one pass over the deduplicated suite-level DAG.
+    c.bench_function("vehicle_suite_49_monitors_fused_tick", |b| {
+        let mut suite = esafe_vehicle::goals::build_suite(&table, &params)
+            .unwrap()
+            .template()
+            .instantiate();
         b.iter(|| suite.observe(black_box(&frame)).unwrap());
     });
 }

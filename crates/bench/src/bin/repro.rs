@@ -11,7 +11,9 @@
 //! repro --json <scenario>      # dump a scenario's figure series as JSON
 //! ```
 
-use esafe_bench::{ablation, figure_map, full_grid_timed, grid_summary_json, thesis_run};
+use esafe_bench::{
+    ablation, figure_map, full_grid_timed, grid_summary_json, observe_calibration, thesis_run,
+};
 use esafe_core::render;
 use esafe_elevator::ElevatorParams;
 use esafe_scenarios::tables;
@@ -46,9 +48,11 @@ fn main() {
     }
 }
 
-/// Runs the full 10-scenario × 14-configuration grid in parallel and
-/// prints the order-independent aggregate. With `json_path`, also writes
-/// the machine-readable timing/result summary so future changes have a
+/// Runs the full 10-scenario × 14-configuration grid in parallel —
+/// streaming each worker's reports into a partial aggregate, so memory
+/// stays O(workers) however large the grid — and prints the
+/// order-independent aggregate. With `json_path`, also writes the
+/// machine-readable timing/result summary so future changes have a
 /// benchmark trajectory to compare against.
 fn print_grid(json_path: Option<&str>) {
     let started = std::time::Instant::now();
@@ -76,8 +80,19 @@ fn print_grid(json_path: Option<&str>) {
         stats.suites_instantiated,
         stats.suites_reused
     );
+    let calibration = observe_calibration();
+    println!(
+        "fused observe: {:.0} ns/tick over {} monitors; CSE: {} -> {} nodes \
+         ({:.2}x shared)",
+        calibration.observe_ns_per_tick,
+        calibration.monitors,
+        calibration.cse_source_nodes,
+        calibration.cse_unique_nodes,
+        calibration.cse_source_nodes as f64 / calibration.cse_unique_nodes as f64
+    );
     if let Some(path) = json_path {
-        let json = grid_summary_json(&aggregate, wall, &stats).expect("summary serializes");
+        let json =
+            grid_summary_json(&aggregate, wall, &stats, &calibration).expect("summary serializes");
         std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
         println!("summary written to {path}");
     }

@@ -1,8 +1,9 @@
 //! Shared helpers for the reproduction harness and benchmarks.
 
-use esafe_harness::{SweepAggregate, SweepStats};
+use esafe_harness::{Experiment, SweepAggregate, SweepStats};
 use esafe_scenarios::{catalog, grid, runner, ScenarioReport};
 use esafe_vehicle::config::DefectSet;
+use esafe_vehicle::VehicleFamily;
 
 /// Figure-number → (scenario, signals) mapping for the thesis's
 /// Figures 5.2–5.15.
@@ -66,16 +67,80 @@ pub fn ablation(scenario: u8) -> Vec<(String, Vec<String>)> {
 /// Runs the full ten-scenario × fourteen-configuration evaluation grid
 /// in parallel and returns its order-independent aggregate.
 pub fn full_grid_aggregate() -> SweepAggregate {
-    grid::run_parallel(grid::full_grid())
-        .expect("grid runs")
-        .aggregate()
+    full_grid_timed().0
 }
 
 /// [`full_grid_aggregate`] plus the sweep's timing/amortization stats —
-/// the source of the `repro --grid --json` breakdown.
+/// the source of the `repro --grid --json` breakdown. Runs as a
+/// **streaming reduction** (per-worker partial aggregates, no retained
+/// reports), which the regression tests pin as identical to the
+/// collect-all path.
 pub fn full_grid_timed() -> (SweepAggregate, SweepStats) {
-    let (report, stats) = grid::run_parallel_timed(grid::full_grid()).expect("grid runs");
-    (report.aggregate(), stats)
+    grid::run_parallel_aggregate(grid::full_grid()).expect("grid runs")
+}
+
+/// One-off calibration of the fused monitor hot path: the 49-monitor
+/// vehicle `observe` cost per tick, measured by recording a clean
+/// scenario-1 run's observed frames ([`Experiment::with_frame_recording`])
+/// and replaying them through a template-instantiated (fused) suite —
+/// monitoring cost only, no simulation in the loop. Also reports the
+/// suite's cross-monitor CSE node counts.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ObserveCalibration {
+    /// Fused suite `observe` cost per tick, nanoseconds.
+    pub observe_ns_per_tick: f64,
+    /// Monitors (goals + subgoals) in the calibrated suite.
+    pub monitors: usize,
+    /// Expression nodes summed over the per-monitor programs (what
+    /// per-monitor evaluation would walk).
+    pub cse_source_nodes: usize,
+    /// Nodes in the deduplicated fused DAG (what one tick evaluates).
+    pub cse_unique_nodes: usize,
+}
+
+/// Measures [`ObserveCalibration`] on this machine (≈100 ms: one 20 s
+/// recorded run plus a few replay passes).
+pub fn observe_calibration() -> ObserveCalibration {
+    let family = VehicleFamily::default();
+    let cells = grid::cells(&[1], &[("none".to_owned(), DefectSet::none())]);
+    let substrate = grid::build_cell_in(&family, &cells[0], 0);
+    let report = Experiment::new(&substrate)
+        .with_config(runner::thesis_config())
+        .with_frame_recording(true)
+        .run()
+        .expect("scenario formulas compile against the simulator signals");
+    let trace = report.trace.expect("frame recording enabled");
+    // Pre-materialize the frames so the timed loop is monitoring only —
+    // no per-tick column-to-frame assembly.
+    let frames: Vec<_> = (0..trace.len())
+        .map(|i| {
+            let mut frame = family.table().frame();
+            trace.read_into(i, &mut frame);
+            frame
+        })
+        .collect();
+    let mut suite = family.template().instantiate();
+    let observe_pass = |suite: &mut esafe_monitor::MonitorSuite| {
+        suite.reset();
+        for frame in &frames {
+            suite.observe(frame).expect("recorded frames are complete");
+        }
+    };
+    // Warm-up pass, then timed passes.
+    observe_pass(&mut suite);
+    let passes = 3u32;
+    let started = std::time::Instant::now();
+    for _ in 0..passes {
+        observe_pass(&mut suite);
+    }
+    let elapsed = started.elapsed();
+    let program = family.template().fused_program().clone();
+    ObserveCalibration {
+        observe_ns_per_tick: elapsed.as_nanos() as f64 / (passes as usize * trace.len()) as f64,
+        monitors: program.roots(),
+        cse_source_nodes: program.source_nodes(),
+        cse_unique_nodes: program.unique_nodes(),
+    }
 }
 
 /// The machine-readable `repro --grid --json` summary: wall-clock timing
@@ -85,7 +150,9 @@ pub fn full_grid_timed() -> (SweepAggregate, SweepStats) {
 /// Schema history: **v1** had `wall_clock_ms` / `ms_per_run` /
 /// `aggregate` only; **v2** adds the setup/tick attribution and the
 /// suite amortization counters, so future wins (and regressions) name
-/// the phase they came from.
+/// the phase they came from; **v3** adds the fused-monitor calibration —
+/// `observe_ns_per_tick` and the cross-monitor CSE node counts — and is
+/// produced by the streaming (per-worker-reduced) grid sweep.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct GridSummary {
     /// Summary schema version (bump when fields change meaning).
@@ -99,6 +166,14 @@ pub struct GridSummary {
     pub setup_ms: f64,
     /// Tick-loop time summed over all workers, milliseconds.
     pub tick_ms: f64,
+    /// Fused 49-monitor vehicle `observe` cost per tick, nanoseconds
+    /// (replay-calibrated, monitoring only — see `observe_calibration`).
+    pub observe_ns_per_tick: f64,
+    /// Vehicle goal-suite expression nodes before cross-monitor
+    /// deduplication (summed per-monitor trees).
+    pub cse_source_nodes: usize,
+    /// Nodes in the deduplicated fused DAG one tick actually evaluates.
+    pub cse_unique_nodes: usize,
     /// Runs that compiled their monitor suite from scratch.
     pub suite_compiles: usize,
     /// Runs that instantiated a suite from the sweep's compile-once
@@ -110,7 +185,8 @@ pub struct GridSummary {
     pub aggregate: SweepAggregate,
 }
 
-/// Serializes the grid aggregate + timing as pretty JSON (schema v2).
+/// Serializes the grid aggregate + timing + fused-monitor calibration
+/// as pretty JSON (schema v3).
 ///
 /// # Errors
 ///
@@ -120,10 +196,11 @@ pub fn grid_summary_json(
     aggregate: &SweepAggregate,
     wall: std::time::Duration,
     stats: &SweepStats,
+    calibration: &ObserveCalibration,
 ) -> Result<String, serde_json::Error> {
     let wall_clock_ms = wall.as_secs_f64() * 1000.0;
     let summary = GridSummary {
-        schema: 2,
+        schema: 3,
         wall_clock_ms,
         ms_per_run: if aggregate.runs == 0 {
             0.0
@@ -132,6 +209,9 @@ pub fn grid_summary_json(
         },
         setup_ms: stats.setup.as_secs_f64() * 1000.0,
         tick_ms: stats.ticking.as_secs_f64() * 1000.0,
+        observe_ns_per_tick: calibration.observe_ns_per_tick,
+        cse_source_nodes: calibration.cse_source_nodes,
+        cse_unique_nodes: calibration.cse_unique_nodes,
         suite_compiles: stats.suites_compiled,
         suite_instantiations: stats.suites_instantiated,
         suite_reuses: stats.suites_reused,

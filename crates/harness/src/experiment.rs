@@ -2,7 +2,7 @@
 
 use crate::context::{RunContext, RunTiming};
 use crate::substrate::Substrate;
-use esafe_logic::{EvalError, Frame};
+use esafe_logic::{EvalError, Frame, FrameTrace};
 use esafe_monitor::{CorrelationReport, MonitorError, ViolationInterval};
 use esafe_sim::SeriesLog;
 use serde::{Deserialize, Serialize};
@@ -104,6 +104,13 @@ pub struct RunReport {
     /// Recorded figure series (not serialized).
     #[serde(skip)]
     pub series: SeriesLog,
+    /// The full observed-frame recording, when the experiment ran with
+    /// [`Experiment::with_frame_recording`] (not serialized — a 20 s
+    /// vehicle run is ~20 000 frames × ~60 signals). Replay it through
+    /// a different goal suite (`MonitorSuite::replay`) to re-monitor
+    /// the run offline without re-simulating.
+    #[serde(skip)]
+    pub trace: Option<FrameTrace>,
 }
 
 impl RunReport {
@@ -133,6 +140,7 @@ impl RunReport {
 pub struct Experiment<'a, S: Substrate> {
     substrate: &'a S,
     config: ExperimentConfig,
+    record_frames: bool,
 }
 
 impl<'a, S: Substrate> Experiment<'a, S> {
@@ -141,12 +149,25 @@ impl<'a, S: Substrate> Experiment<'a, S> {
         Experiment {
             substrate,
             config: ExperimentConfig::default(),
+            record_frames: false,
         }
     }
 
     /// Replaces the timing policy.
     pub fn with_config(mut self, config: ExperimentConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Records the full observed-frame stream into the report's
+    /// [`RunReport::trace`] (one [`FrameTrace`] column per signal, at
+    /// the simulator's tick period). Off by default: recording a 1 kHz
+    /// run costs ~one `Frame` memcpy per tick and holds every sample in
+    /// memory. Switch it on to re-monitor the run offline with new goal
+    /// suites — no re-simulation — via `MonitorSuite::replay` or
+    /// [`FrameTrace::replay_expr`].
+    pub fn with_frame_recording(mut self, record: bool) -> Self {
+        self.record_frames = record;
         self
     }
 
@@ -238,6 +259,14 @@ impl<'a, S: Substrate> Experiment<'a, S> {
             Vec::new()
         };
 
+        let mut trace = self.record_frames.then(|| {
+            FrameTrace::with_capacity(
+                substrate.signal_table(),
+                dt,
+                usize::try_from(scheduled_ticks).unwrap_or(0),
+            )
+        });
+
         let mut terminal_tick: Option<u64> = None;
         let mut terminal_event: Option<String> = None;
         let mut terminated_early = false;
@@ -247,6 +276,9 @@ impl<'a, S: Substrate> Experiment<'a, S> {
         for tick in 1..=scheduled_ticks {
             sim.step();
             substrate.observe(sim.state(), &mut observed);
+            if let Some(trace) = &mut trace {
+                trace.push(&observed);
+            }
             suite.observe(&observed)?;
             let t = sim.seconds();
             if buffered {
@@ -298,6 +330,7 @@ impl<'a, S: Substrate> Experiment<'a, S> {
             violations,
             correlation,
             series,
+            trace,
         };
         ctx.put_back(observed, suite, substrate.suite_template());
         let timing = RunTiming {
@@ -523,6 +556,64 @@ mod tests {
         assert_eq!(tb.suite, SuiteProvenance::Compiled);
         assert_eq!(a, b, "frame pooling alone must be invisible too");
         assert!(ta.setup + ta.ticking > Duration::ZERO);
+    }
+
+    #[test]
+    fn frame_recording_is_opt_in_and_captures_every_observed_tick() {
+        let substrate = RampSubstrate::new(5.0, 10_000);
+        let unrecorded = Experiment::new(&substrate).run().unwrap();
+        assert!(unrecorded.trace.is_none(), "recording must be opt-in");
+
+        let recorded = Experiment::new(&substrate)
+            .with_frame_recording(true)
+            .run()
+            .unwrap();
+        let trace = recorded.trace.as_ref().expect("trace recorded");
+        // One sample per executed tick (early termination included),
+        // at the simulator's own period.
+        assert_eq!(trace.len() as u64, recorded.ticks);
+        assert_eq!(trace.tick_millis(), recorded.dt_millis);
+        // The recording carries the observed frames: the ramp value at
+        // sample i is i+1.
+        let x = substrate.table.id("x").unwrap();
+        assert_eq!(trace.get(0, x), Some(esafe_logic::Value::Real(1.0)));
+        assert_eq!(trace.get(4, x), Some(esafe_logic::Value::Real(5.0)));
+        // Everything but the trace matches the unrecorded run.
+        let stripped = RunReport {
+            trace: None,
+            ..recorded.clone()
+        };
+        assert_eq!(stripped, unrecorded, "recording must not change the run");
+    }
+
+    #[test]
+    fn recorded_traces_re_monitor_offline_with_new_goals() {
+        use esafe_logic::parse;
+        // Record a run monitored with the substrate's own suite…
+        let substrate = RampSubstrate::new(5.0, 10_000);
+        let recorded = Experiment::new(&substrate)
+            .with_frame_recording(true)
+            .run()
+            .unwrap();
+        let trace = recorded.trace.expect("trace recorded");
+        // …then evaluate a goal the live run never compiled, offline.
+        let verdicts = trace.replay_expr(&parse("x < 3.0").unwrap()).unwrap();
+        let violated_at: Vec<usize> = verdicts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ok)| (!ok).then_some(i))
+            .collect();
+        // x ramps 1,2,3,…: x < 3 fails from sample index 2 onwards.
+        assert_eq!(violated_at.first(), Some(&2));
+        assert_eq!(violated_at.len(), trace.len() - 2);
+        // And an offline suite replay matches the live suite verdicts.
+        let mut offline = substrate.build_monitors().unwrap();
+        offline.replay(&trace).unwrap();
+        assert_eq!(
+            offline.take_violations(),
+            recorded.violations,
+            "offline re-monitoring must reproduce the live verdicts"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! * [`Sweep`] — a rayon-parallel fan-out of experiment cells (scenario ×
 //!   defect grids, seed batches) with deterministic per-cell seeds and
 //!   order-independent aggregation, so the parallel path is
-//!   bit-identical to the serial one;
+//!   bit-identical to the serial one. [`Sweep::run_aggregate`] is the
+//!   streaming form: per-worker partial aggregates
+//!   ([`AggregateBuilder`]) folded as reports are produced and merged
+//!   at join — O(workers) memory for arbitrarily large grids;
 //! * [`RunContext`] — per-worker pooled run state (observed scratch
 //!   frame, template-instantiated monitor suite) reused across the cells
 //!   a sweep worker executes. Substrate families expose a compile-once
@@ -97,4 +100,4 @@ pub mod sweep;
 pub use context::{RunContext, RunTiming, SuiteProvenance};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
 pub use substrate::Substrate;
-pub use sweep::{cell_seed, Sweep, SweepAggregate, SweepReport, SweepStats};
+pub use sweep::{cell_seed, AggregateBuilder, Sweep, SweepAggregate, SweepReport, SweepStats};

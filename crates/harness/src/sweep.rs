@@ -1,4 +1,20 @@
 //! Batch-parallel experiment sweeps over a grid of configurations.
+//!
+//! Two execution shapes share one cell runner:
+//!
+//! * **collect-all** ([`Sweep::run`] / [`Sweep::run_serial`] and their
+//!   `_timed` variants) — every [`RunReport`] is kept, in cell order.
+//!   This is the explicit API for tests, goldens, and callers that need
+//!   per-run detail (violation tables, figure series); memory is O(cells).
+//! * **streaming** ([`Sweep::run_aggregate`] /
+//!   [`Sweep::run_aggregate_serial`]) — each worker folds the reports it
+//!   produces into a per-worker partial [`SweepAggregate`]
+//!   ([`AggregateBuilder`]), merged once at join. No report outlives its
+//!   cell, so memory is O(workers) and grid size is bounded by time, not
+//!   RAM — the path behind `repro --grid` and 10⁵+-cell sweeps.
+//!
+//! Both shapes produce the identical aggregate (every total is a
+//! commutative sum), which the workspace's regression tests pin.
 
 use crate::context::{RunContext, RunTiming, SuiteProvenance};
 use crate::experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
@@ -139,6 +155,59 @@ impl<C: Sync> Sweep<C> {
         Self::collect_reports(results)
     }
 
+    /// Runs every cell in parallel, folding each report into a
+    /// per-worker partial aggregate the moment it is produced — no
+    /// report is retained, so memory is O(workers) regardless of grid
+    /// size. The partials merge at join into the same
+    /// [`SweepAggregate`] the collect-all paths compute (every total is
+    /// a commutative sum), with the same pooled-context amortization.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell's [`ExperimentError`], by cell order —
+    /// identical to [`Sweep::run`] regardless of scheduling.
+    pub fn run_aggregate<S, F>(
+        &self,
+        build: F,
+    ) -> Result<(SweepAggregate, SweepStats), ExperimentError>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S + Sync,
+    {
+        let indices: Vec<usize> = (0..self.cells.len()).collect();
+        let partial = indices
+            .into_par_iter()
+            .map_init(RunContext::new, |ctx, i| (i, self.run_cell(ctx, i, &build)))
+            .fold(Partial::default, |acc: Partial, (i, outcome)| {
+                acc.absorbed(i, outcome)
+            })
+            .reduce(Partial::default, Partial::merged);
+        partial.finish()
+    }
+
+    /// [`Sweep::run_aggregate`] on the calling thread: one pooled
+    /// context, one accumulator, cells in order — the reference the
+    /// parallel reducer must match exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell's [`ExperimentError`], by cell order.
+    pub fn run_aggregate_serial<S, F>(
+        &self,
+        build: F,
+    ) -> Result<(SweepAggregate, SweepStats), ExperimentError>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S,
+    {
+        let mut ctx = RunContext::new();
+        let mut partial = Partial::default();
+        for i in 0..self.cells.len() {
+            partial = partial.absorbed(i, self.run_cell(&mut ctx, i, &build));
+        }
+        partial.finish()
+    }
+
     fn run_cell<S, F>(
         &self,
         ctx: &mut RunContext,
@@ -169,6 +238,123 @@ impl<C: Sync> Sweep<C> {
             stats.absorb(timing);
         }
         Ok((SweepReport { runs }, stats))
+    }
+}
+
+/// One worker's streaming fold state: the partial aggregate, the timing
+/// totals, and the earliest failing cell seen so far. Merging partials
+/// is commutative, so the reduction order across workers cannot change
+/// the result.
+#[derive(Debug, Default)]
+struct Partial {
+    aggregate: AggregateBuilder,
+    stats: SweepStats,
+    error: Option<(usize, ExperimentError)>,
+}
+
+impl Partial {
+    /// Folds one cell's outcome in, keeping the earliest error by cell
+    /// index.
+    fn absorbed(
+        mut self,
+        index: usize,
+        (result, timing): (Result<RunReport, ExperimentError>, RunTiming),
+    ) -> Partial {
+        self.stats.absorb(timing);
+        match result {
+            Ok(report) => self.aggregate.absorb(&report),
+            Err(e) => {
+                if self.error.as_ref().is_none_or(|(j, _)| index < *j) {
+                    self.error = Some((index, e));
+                }
+            }
+        }
+        self
+    }
+
+    /// Merges two workers' partials.
+    fn merged(mut self, other: Partial) -> Partial {
+        self.aggregate.merge(other.aggregate);
+        self.stats.merge(other.stats);
+        self.error = match (self.error, other.error) {
+            (Some(a), Some(b)) => Some(if a.0 <= b.0 { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+
+    fn finish(self) -> Result<(SweepAggregate, SweepStats), ExperimentError> {
+        match self.error {
+            Some((_, e)) => Err(e),
+            None => Ok((self.aggregate.finish(), self.stats)),
+        }
+    }
+}
+
+/// Streaming accumulator for [`SweepAggregate`]: absorb reports one at a
+/// time, merge accumulators across workers, then
+/// [`finish`](AggregateBuilder::finish). Every operation is a
+/// commutative sum, so any absorb/merge order yields the same aggregate
+/// — the property that makes the streaming sweep bit-identical to
+/// collect-then-aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateBuilder {
+    runs: usize,
+    terminated_early: usize,
+    terminal_events: usize,
+    hits: usize,
+    false_negatives: usize,
+    false_positives: usize,
+    violations_by_monitor: BTreeMap<String, usize>,
+}
+
+impl AggregateBuilder {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one run's totals in. The report is only read — callers
+    /// drop it immediately after, which is the point: nothing of the
+    /// run outlives this call.
+    pub fn absorb(&mut self, run: &RunReport) {
+        self.runs += 1;
+        self.terminated_early += usize::from(run.terminated_early);
+        self.terminal_events += usize::from(run.terminal_event.is_some());
+        for (id, intervals) in &run.violations {
+            *self.violations_by_monitor.entry(id.clone()).or_default() += intervals.len();
+        }
+        for row in &run.correlation.rows {
+            self.hits += row.hits;
+            self.false_negatives += row.false_negatives;
+            self.false_positives += row.false_positives;
+        }
+    }
+
+    /// Merges another accumulator in (the sweep's join step).
+    pub fn merge(&mut self, other: AggregateBuilder) {
+        self.runs += other.runs;
+        self.terminated_early += other.terminated_early;
+        self.terminal_events += other.terminal_events;
+        self.hits += other.hits;
+        self.false_negatives += other.false_negatives;
+        self.false_positives += other.false_positives;
+        for (id, count) in other.violations_by_monitor {
+            *self.violations_by_monitor.entry(id).or_default() += count;
+        }
+    }
+
+    /// The order-independent totals (per-monitor counts sorted by id).
+    pub fn finish(self) -> SweepAggregate {
+        SweepAggregate {
+            runs: self.runs,
+            terminated_early: self.terminated_early,
+            terminal_events: self.terminal_events,
+            hits: self.hits,
+            false_negatives: self.false_negatives,
+            false_positives: self.false_positives,
+            violations_by_monitor: self.violations_by_monitor.into_iter().collect(),
+        }
     }
 }
 
@@ -205,6 +391,15 @@ impl SweepStats {
         }
     }
 
+    /// Merges another sweep's (or worker's) totals in.
+    pub fn merge(&mut self, other: SweepStats) {
+        self.setup += other.setup;
+        self.ticking += other.ticking;
+        self.suites_compiled += other.suites_compiled;
+        self.suites_instantiated += other.suites_instantiated;
+        self.suites_reused += other.suites_reused;
+    }
+
     /// Number of runs folded in.
     pub fn runs(&self) -> usize {
         self.suites_compiled + self.suites_instantiated + self.suites_reused
@@ -227,26 +422,14 @@ impl SweepReport {
     /// Aggregates the sweep into order-independent totals: every count is
     /// a commutative sum and per-monitor totals are keyed (sorted) by
     /// monitor id, so any execution order yields the same aggregate.
+    /// (Same accumulator as the streaming [`Sweep::run_aggregate`] path,
+    /// so collect-then-aggregate and streaming agree by construction.)
     pub fn aggregate(&self) -> SweepAggregate {
-        let mut violations_by_monitor: BTreeMap<String, usize> = BTreeMap::new();
-        let mut aggregate = SweepAggregate {
-            runs: self.runs.len(),
-            ..SweepAggregate::default()
-        };
+        let mut builder = AggregateBuilder::new();
         for run in &self.runs {
-            aggregate.terminated_early += usize::from(run.terminated_early);
-            aggregate.terminal_events += usize::from(run.terminal_event.is_some());
-            for (id, intervals) in &run.violations {
-                *violations_by_monitor.entry(id.clone()).or_default() += intervals.len();
-            }
-            for row in &run.correlation.rows {
-                aggregate.hits += row.hits;
-                aggregate.false_negatives += row.false_negatives;
-                aggregate.false_positives += row.false_positives;
-            }
+            builder.absorb(run);
         }
-        aggregate.violations_by_monitor = violations_by_monitor.into_iter().collect();
-        aggregate
+        builder.finish()
     }
 }
 
@@ -391,6 +574,95 @@ mod tests {
         assert_eq!(stats.suites_instantiated + stats.suites_reused, 0);
         let (_, serial_stats) = sweep.run_serial_timed(build).unwrap();
         assert_eq!(serial_stats.runs(), 8);
+    }
+
+    #[test]
+    fn streaming_aggregate_matches_collect_all() {
+        let sweep = Sweep::new((0..64).collect::<Vec<u64>>()).with_base_seed(13);
+        let collected = sweep.run_timed(build).unwrap();
+        let (streamed, streamed_stats) = sweep.run_aggregate(build).unwrap();
+        let (serial_streamed, serial_stats) = sweep.run_aggregate_serial(build).unwrap();
+        assert_eq!(streamed, collected.0.aggregate());
+        assert_eq!(serial_streamed, collected.0.aggregate());
+        assert_eq!(streamed_stats.runs(), 64);
+        assert_eq!(serial_stats.runs(), 64);
+        assert_eq!(
+            streamed_stats.suites_compiled
+                + streamed_stats.suites_instantiated
+                + streamed_stats.suites_reused,
+            collected.1.suites_compiled
+                + collected.1.suites_instantiated
+                + collected.1.suites_reused
+        );
+    }
+
+    #[test]
+    fn streaming_aggregate_over_an_empty_sweep_is_empty() {
+        let sweep = Sweep::new(Vec::<u64>::new());
+        let (agg, stats) = sweep.run_aggregate(build).unwrap();
+        assert_eq!(agg, SweepAggregate::default());
+        assert_eq!(stats.runs(), 0);
+    }
+
+    /// An [`EmitSubstrate`] whose goal suite references a signal the
+    /// simulator never sets, so every run fails with a per-cell
+    /// `MissingVar` naming its label — for error-ordering tests.
+    struct BrokenSubstrate(EmitSubstrate);
+
+    impl Substrate for BrokenSubstrate {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn label(&self) -> String {
+            self.0.label()
+        }
+        fn duration_ms(&self) -> u64 {
+            self.0.duration_ms()
+        }
+        fn signal_table(&self) -> &Arc<SignalTable> {
+            self.0.signal_table()
+        }
+        fn build_simulator(&self) -> esafe_sim::Simulator {
+            self.0.build_simulator()
+        }
+        fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
+            let mut suite = MonitorSuite::new(self.0.table.clone());
+            suite.add_goal(
+                self.0.label.clone(),
+                Location::new("Emit"),
+                parse("ghost < 3.0").expect("valid formula"),
+            )?;
+            Ok(suite)
+        }
+    }
+
+    fn build_broken(cell: &u64, seed: u64) -> BrokenSubstrate {
+        let mut b = SignalTable::builder();
+        let y = b.real("y");
+        b.real("ghost");
+        BrokenSubstrate(EmitSubstrate {
+            value: (cell % 5) as f64,
+            label: format!("cell-{cell}-seed-{seed:016x}"),
+            table: b.finish(),
+            y,
+        })
+    }
+
+    #[test]
+    fn streaming_reports_the_earliest_cell_error() {
+        // Every cell fails with a MissingVar from a monitor named after
+        // its own label; the streaming path must surface cell 0's error,
+        // exactly like the collect-all path, regardless of scheduling.
+        let sweep = Sweep::new((0..8).collect::<Vec<u64>>()).with_base_seed(3);
+        let collected = sweep.run(build_broken);
+        let streamed = sweep.run_aggregate(build_broken).map(|(a, _)| a);
+        match (collected, streamed) {
+            (Err(a), Err(b)) => {
+                assert!(format!("{a}").contains("cell-0"), "collect path: {a}");
+                assert_eq!(format!("{a}"), format!("{b}"));
+            }
+            (a, b) => panic!("expected both paths to fail: {a:?} vs {b:?}"),
+        }
     }
 
     #[test]

@@ -224,6 +224,18 @@ impl FrameTrace {
     }
 }
 
+/// Two traces are equal when they record the same samples over the same
+/// namespace (table identity or same names in the same order) at the
+/// same tick period — the equality `RunReport` comparisons rely on.
+impl PartialEq for FrameTrace {
+    fn eq(&self, other: &Self) -> bool {
+        (Arc::ptr_eq(&self.table, &other.table) || self.table.same_names(&other.table))
+            && self.tick_millis == other.tick_millis
+            && self.len == other.len
+            && self.columns == other.columns
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,18 @@
 //! every stateful subformula so monitor history never desyncs. Verdicts
 //! are identical to exhaustive evaluation on every error-free frame.
 //!
+//! # Suite-level fusion
+//!
+//! Monitors rarely run alone: a goal suite carries dozens of formulas
+//! over a shared antecedent alphabet. [`FusedSuiteProgram`] compiles a
+//! *whole suite* into one hash-consed DAG in which every structurally
+//! identical subexpression — stateless atoms and temporal subtrees
+//! alike, since all monitors of a suite observe the same frame stream —
+//! is a single node evaluated once per tick ([`FusedSuite::observe`]:
+//! one forward pass over the topologically-ordered nodes into a value
+//! slab, one slab read per monitor verdict). Fused verdicts are
+//! property-tested identical to independent per-monitor evaluation.
+//!
 //! # Monitor semantics
 //!
 //! Run-time monitors cannot see the future, so the future-directed forms are
@@ -54,7 +66,8 @@ use crate::expr::{CmpOp, Expr, Operand};
 use crate::signal::{Frame, SignalId, SignalKind, SignalTable};
 use crate::state::State;
 use crate::value::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::sync::Arc;
 
 /// Rewrites an expression into its run-time-monitorable form.
@@ -417,6 +430,99 @@ enum Cell {
     Captured(Option<bool>),
 }
 
+/// The single-step semantics of each temporal operator: advance the
+/// cell with the child's current value and return the operator's output
+/// at this step. **The one place these semantics live** — shared by the
+/// per-monitor evaluator ([`PNode::eval`]) and the fused suite pass
+/// ([`FusedSuite::observe`]), so the two engines cannot drift.
+///
+/// Each method panics (`unreachable!`) on a cell variant other than the
+/// operator's own; variants are fixed at compile time.
+impl Cell {
+    /// `prev(p)`: the child's value at the previous step.
+    #[inline]
+    fn step_prev(&mut self, cur: bool) -> bool {
+        let Cell::Last(last) = self else {
+            unreachable!("cell kind fixed at compile time");
+        };
+        let out = last.unwrap_or(false);
+        *last = Some(cur);
+        out
+    }
+
+    /// `once(p)`: whether the child held at any strictly-earlier step.
+    #[inline]
+    fn step_once(&mut self, cur: bool) -> bool {
+        let Cell::Seen(seen_true_before) = self else {
+            unreachable!("cell kind fixed at compile time");
+        };
+        let out = *seen_true_before;
+        *seen_true_before |= cur;
+        out
+    }
+
+    /// `historically(p)`: whether the child held at every earlier step.
+    #[inline]
+    fn step_historically(&mut self, cur: bool) -> bool {
+        let Cell::All(all_true_before) = self else {
+            unreachable!("cell kind fixed at compile time");
+        };
+        let out = *all_true_before;
+        *all_true_before &= cur;
+        out
+    }
+
+    /// `held_for(p, ticks)`: whether the child's current true-run
+    /// before now spans at least `ticks` steps.
+    #[inline]
+    fn step_held_for(&mut self, cur: bool, ticks: u64) -> bool {
+        let Cell::Run(run_before) = self else {
+            unreachable!("cell kind fixed at compile time");
+        };
+        let out = ticks == 0 || *run_before >= ticks;
+        *run_before = if cur { run_before.saturating_add(1) } else { 0 };
+        out
+    }
+
+    /// `once_within(p, ticks)`: whether the child held within the
+    /// previous `ticks` steps (inclusive of now's history).
+    #[inline]
+    fn step_once_within(&mut self, cur: bool, step: usize, ticks: u64) -> bool {
+        let Cell::LastTrue(last_true_step) = self else {
+            unreachable!("cell kind fixed at compile time");
+        };
+        let step_u64 = step as u64;
+        let out = last_true_step.is_some_and(|lt| step_u64.saturating_sub(lt) <= ticks);
+        if cur {
+            *last_true_step = Some(step_u64);
+        }
+        out
+    }
+
+    /// `became(p)` (`@p ≡ ●¬p ∧ p`): a false→true edge at this step.
+    #[inline]
+    fn step_became(&mut self, cur: bool) -> bool {
+        let Cell::Last(last) = self else {
+            unreachable!("cell kind fixed at compile time");
+        };
+        let out = cur && !last.unwrap_or(true);
+        *last = Some(cur);
+        out
+    }
+
+    /// `initially(p)` (`S0 ⊨ p`): the child's value at the first step.
+    #[inline]
+    fn step_initially(&mut self, cur: bool) -> bool {
+        let Cell::Captured(captured) = self else {
+            unreachable!("cell kind fixed at compile time");
+        };
+        if captured.is_none() {
+            *captured = Some(cur);
+        }
+        captured.expect("just set")
+    }
+}
+
 /// A compiled subformula plus whether any temporal state lives below it.
 /// Stateless subtrees may be skipped once a connective's result is
 /// decided; stateful ones must see every frame.
@@ -610,72 +716,543 @@ impl PNode {
             }
             PNode::Prev { child, cell } => {
                 let cur = child.node.eval(frame, step, table, cells)?;
-                let Cell::Last(last) = &mut cells[*cell] else {
-                    unreachable!("cell kind fixed at compile time");
-                };
-                let out = last.unwrap_or(false);
-                *last = Some(cur);
-                Ok(out)
+                Ok(cells[*cell].step_prev(cur))
             }
             PNode::Once { child, cell } => {
                 let cur = child.node.eval(frame, step, table, cells)?;
-                let Cell::Seen(seen_true_before) = &mut cells[*cell] else {
-                    unreachable!("cell kind fixed at compile time");
-                };
-                let out = *seen_true_before;
-                *seen_true_before |= cur;
-                Ok(out)
+                Ok(cells[*cell].step_once(cur))
             }
             PNode::Historically { child, cell } => {
                 let cur = child.node.eval(frame, step, table, cells)?;
-                let Cell::All(all_true_before) = &mut cells[*cell] else {
-                    unreachable!("cell kind fixed at compile time");
-                };
-                let out = *all_true_before;
-                *all_true_before &= cur;
-                Ok(out)
+                Ok(cells[*cell].step_historically(cur))
             }
             PNode::HeldFor { child, ticks, cell } => {
                 let cur = child.node.eval(frame, step, table, cells)?;
-                let Cell::Run(run_before) = &mut cells[*cell] else {
-                    unreachable!("cell kind fixed at compile time");
-                };
-                let out = *ticks == 0 || *run_before >= *ticks;
-                *run_before = if cur { run_before.saturating_add(1) } else { 0 };
-                Ok(out)
+                Ok(cells[*cell].step_held_for(cur, *ticks))
             }
             PNode::OnceWithin { child, ticks, cell } => {
                 let cur = child.node.eval(frame, step, table, cells)?;
-                let Cell::LastTrue(last_true_step) = &mut cells[*cell] else {
-                    unreachable!("cell kind fixed at compile time");
-                };
-                let step_u64 = step as u64;
-                let out = last_true_step.is_some_and(|lt| step_u64.saturating_sub(lt) <= *ticks);
-                if cur {
-                    *last_true_step = Some(step_u64);
-                }
-                Ok(out)
+                Ok(cells[*cell].step_once_within(cur, step, *ticks))
             }
             PNode::Became { child, cell } => {
                 let cur = child.node.eval(frame, step, table, cells)?;
-                let Cell::Last(last) = &mut cells[*cell] else {
-                    unreachable!("cell kind fixed at compile time");
-                };
-                let out = cur && !last.unwrap_or(true);
-                *last = Some(cur);
-                Ok(out)
+                Ok(cells[*cell].step_became(cur))
             }
             PNode::Initially { child, cell } => {
                 let cur = child.node.eval(frame, step, table, cells)?;
-                let Cell::Captured(captured) = &mut cells[*cell] else {
-                    unreachable!("cell kind fixed at compile time");
-                };
-                if captured.is_none() {
-                    *captured = Some(cur);
-                }
-                Ok(captured.expect("just set"))
+                Ok(cells[*cell].step_initially(cur))
             }
         }
+    }
+}
+
+/// An evaluation error raised by a fused suite, attributed to the first
+/// monitor (by suite order) whose formula demanded the failing node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedError {
+    /// Index of the owning monitor within the fused suite's root order.
+    pub monitor: usize,
+    /// The underlying evaluation error.
+    pub source: EvalError,
+}
+
+impl fmt::Display for FusedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fused monitor #{}: {}", self.monitor, self.source)
+    }
+}
+
+impl std::error::Error for FusedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The structural identity of one fused node — the hash-consing key.
+///
+/// Children are identified by their already-interned node indices, so two
+/// subtrees hash equal exactly when they are structurally identical after
+/// [`monitor_form`] rewriting and [`SignalId`] resolution. `Real`
+/// literals compare by bit pattern (structural, not numeric, identity).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NodeKey {
+    Const(bool),
+    Var(u32),
+    Cmp(SlotKey, CmpOp, SlotKey),
+    Not(u32),
+    And(Vec<u32>),
+    Or(Vec<u32>),
+    Implies(u32, u32),
+    Prev(u32),
+    Once(u32),
+    Historically(u32),
+    HeldFor(u32, u64),
+    OnceWithin(u32, u64),
+    Became(u32),
+    Initially(u32),
+}
+
+/// A hashable [`Slot`]: reals are keyed by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SlotKey {
+    Sig(u32),
+    Bool(bool),
+    Int(i64),
+    Real(u64),
+    Sym(crate::value::Sym),
+}
+
+impl SlotKey {
+    fn of(slot: Slot) -> SlotKey {
+        match slot {
+            Slot::Sig(id) => SlotKey::Sig(id.index() as u32),
+            Slot::Lit(Value::Bool(b)) => SlotKey::Bool(b),
+            Slot::Lit(Value::Int(i)) => SlotKey::Int(i),
+            Slot::Lit(Value::Real(r)) => SlotKey::Real(r.to_bits()),
+            Slot::Lit(Value::Sym(s)) => SlotKey::Sym(s),
+        }
+    }
+}
+
+/// One node of a [`FusedSuiteProgram`]: expression shape with resolved
+/// [`Slot`]s, children referenced by slab index (always smaller than the
+/// node's own index — the node vector is topologically ordered), and
+/// temporal operators referencing their suite-level state cell.
+#[derive(Debug)]
+enum FusedNode {
+    Const(bool),
+    Var(SignalId),
+    Cmp { lhs: Slot, op: CmpOp, rhs: Slot },
+    Not(u32),
+    And(Box<[u32]>),
+    Or(Box<[u32]>),
+    Implies(u32, u32),
+    Prev { child: u32, cell: u32 },
+    Once { child: u32, cell: u32 },
+    Historically { child: u32, cell: u32 },
+    HeldFor { child: u32, ticks: u64, cell: u32 },
+    OnceWithin { child: u32, ticks: u64, cell: u32 },
+    Became { child: u32, cell: u32 },
+    Initially { child: u32, cell: u32 },
+}
+
+/// The compile-once fused form of a whole goal suite: every monitor's
+/// [`monitor_form`]-rewritten expression merged into **one** deduplicated
+/// DAG over resolved [`SignalId`]s.
+///
+/// Compilation hash-conses every subexpression ([`NodeKey`]): a
+/// subformula shared by several monitors — the vehicle suite's
+/// `probe.forward`, `probe.auto_accel_source == 'ACC'`, … antecedents —
+/// becomes one node, evaluated **once per tick** into a shared value
+/// slab. Temporal subformulas dedup too: every monitor in a suite
+/// observes the same frame stream, so structurally identical temporal
+/// subtrees carry identical history and can share one state cell. (This
+/// is the suite-level analogue of what [`CompiledProgram`] does for one
+/// monitor, and verdicts are identical — property-tested against
+/// per-monitor evaluation on random suites and traces.)
+///
+/// Evaluation is a single forward pass over the topologically-ordered
+/// node vector — no recursion, no pointer chasing, no per-monitor
+/// re-walking — after which each monitor's verdict is one slab read at
+/// its root index.
+///
+/// Like [`CompiledProgram`], a fused program is immutable and carries no
+/// run state: one `Arc<FusedSuiteProgram>` is shared by every
+/// [`FusedSuite`] instance across sweep cells and threads.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::{parse, FusedSuiteProgram, SignalTable};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalTable::builder();
+/// let p = b.bool("p");
+/// let q = b.bool("q");
+/// let table = b.finish();
+///
+/// // Both goals share the atom `p`; the fused DAG evaluates it once.
+/// let goals = [parse("p && q")?, parse("p && prev(q)")?];
+/// let program = Arc::new(FusedSuiteProgram::compile(&goals, &table)?);
+/// assert_eq!(program.roots(), 2);
+/// assert!(program.unique_nodes() < program.source_nodes());
+///
+/// let mut suite = program.instantiate();
+/// let mut frame = table.frame();
+/// frame.set(p, true);
+/// frame.set(q, true);
+/// suite.observe(&frame)?;
+/// assert!(suite.verdict(0));
+/// assert!(!suite.verdict(1)); // no previous state yet
+/// suite.observe(&frame)?;
+/// assert!(suite.verdict(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FusedSuiteProgram {
+    table: Arc<SignalTable>,
+    /// Topologically ordered: every child index precedes its parent.
+    nodes: Vec<FusedNode>,
+    /// First monitor (root index) that demanded each node — error
+    /// attribution for the fused evaluation pass.
+    owners: Vec<u32>,
+    init_cells: Vec<Cell>,
+    /// One slab index per monitor, in compile order.
+    roots: Vec<u32>,
+    /// Node count before deduplication (the sum of the per-monitor
+    /// program sizes).
+    source_nodes: usize,
+}
+
+/// Builder state for one [`FusedSuiteProgram`] compilation.
+struct FusedBuilder<'t> {
+    table: &'t SignalTable,
+    nodes: Vec<FusedNode>,
+    owners: Vec<u32>,
+    cells: Vec<Cell>,
+    interned: HashMap<NodeKey, u32>,
+    source_nodes: usize,
+}
+
+impl FusedBuilder<'_> {
+    /// Interns a node: an existing structural twin is reused (its state
+    /// cell included), otherwise `make` materializes the node. Every
+    /// call counts one *source* node toward the dedup ratio.
+    fn intern(
+        &mut self,
+        key: NodeKey,
+        monitor: u32,
+        make: impl FnOnce(&mut Vec<Cell>) -> FusedNode,
+    ) -> u32 {
+        self.source_nodes += 1;
+        if let Some(&idx) = self.interned.get(&key) {
+            return idx;
+        }
+        let idx = u32::try_from(self.nodes.len()).expect("fused program too large");
+        self.nodes.push(make(&mut self.cells));
+        self.owners.push(monitor);
+        self.interned.insert(key, idx);
+        idx
+    }
+
+    fn build(&mut self, expr: &Expr, monitor: u32) -> Result<u32, EvalError> {
+        Ok(match expr {
+            Expr::Const(b) => self.intern(NodeKey::Const(*b), monitor, |_| FusedNode::Const(*b)),
+            Expr::Var(v) => {
+                let id = resolve(v, self.table)?;
+                self.intern(NodeKey::Var(id.index() as u32), monitor, |_| {
+                    FusedNode::Var(id)
+                })
+            }
+            Expr::Cmp { lhs, op, rhs } => {
+                let lhs = Slot::resolve(lhs, self.table)?;
+                let rhs = Slot::resolve(rhs, self.table)?;
+                self.intern(
+                    NodeKey::Cmp(SlotKey::of(lhs), *op, SlotKey::of(rhs)),
+                    monitor,
+                    |_| FusedNode::Cmp { lhs, op: *op, rhs },
+                )
+            }
+            Expr::Not(e) => {
+                let c = self.build(e, monitor)?;
+                self.intern(NodeKey::Not(c), monitor, |_| FusedNode::Not(c))
+            }
+            Expr::And(items) => {
+                let cs = items
+                    .iter()
+                    .map(|e| self.build(e, monitor))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.intern(NodeKey::And(cs.clone()), monitor, |_| {
+                    FusedNode::And(cs.into_boxed_slice())
+                })
+            }
+            Expr::Or(items) => {
+                let cs = items
+                    .iter()
+                    .map(|e| self.build(e, monitor))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.intern(NodeKey::Or(cs.clone()), monitor, |_| {
+                    FusedNode::Or(cs.into_boxed_slice())
+                })
+            }
+            Expr::Implies(a, b) => {
+                let a = self.build(a, monitor)?;
+                let b = self.build(b, monitor)?;
+                self.intern(NodeKey::Implies(a, b), monitor, |_| {
+                    FusedNode::Implies(a, b)
+                })
+            }
+            Expr::Prev(e) => {
+                let c = self.build(e, monitor)?;
+                self.intern(NodeKey::Prev(c), monitor, |cells| FusedNode::Prev {
+                    child: c,
+                    cell: alloc_fused_cell(cells, Cell::Last(None)),
+                })
+            }
+            Expr::Once(e) => {
+                let c = self.build(e, monitor)?;
+                self.intern(NodeKey::Once(c), monitor, |cells| FusedNode::Once {
+                    child: c,
+                    cell: alloc_fused_cell(cells, Cell::Seen(false)),
+                })
+            }
+            Expr::Historically(e) => {
+                let c = self.build(e, monitor)?;
+                self.intern(NodeKey::Historically(c), monitor, |cells| {
+                    FusedNode::Historically {
+                        child: c,
+                        cell: alloc_fused_cell(cells, Cell::All(true)),
+                    }
+                })
+            }
+            Expr::HeldFor { expr, ticks } => {
+                let c = self.build(expr, monitor)?;
+                self.intern(NodeKey::HeldFor(c, *ticks), monitor, |cells| {
+                    FusedNode::HeldFor {
+                        child: c,
+                        ticks: *ticks,
+                        cell: alloc_fused_cell(cells, Cell::Run(0)),
+                    }
+                })
+            }
+            Expr::OnceWithin { expr, ticks } => {
+                let c = self.build(expr, monitor)?;
+                self.intern(NodeKey::OnceWithin(c, *ticks), monitor, |cells| {
+                    FusedNode::OnceWithin {
+                        child: c,
+                        ticks: *ticks,
+                        cell: alloc_fused_cell(cells, Cell::LastTrue(None)),
+                    }
+                })
+            }
+            Expr::Became(e) => {
+                let c = self.build(e, monitor)?;
+                self.intern(NodeKey::Became(c), monitor, |cells| FusedNode::Became {
+                    child: c,
+                    cell: alloc_fused_cell(cells, Cell::Last(None)),
+                })
+            }
+            Expr::Initially(e) => {
+                let c = self.build(e, monitor)?;
+                self.intern(NodeKey::Initially(c), monitor, |cells| {
+                    FusedNode::Initially {
+                        child: c,
+                        cell: alloc_fused_cell(cells, Cell::Captured(None)),
+                    }
+                })
+            }
+            // monitor_form has eliminated these before build runs
+            Expr::Entails(..)
+            | Expr::Iff(..)
+            | Expr::Always(_)
+            | Expr::Eventually(_)
+            | Expr::Next(_) => unreachable!("monitor_form eliminates future forms"),
+        })
+    }
+}
+
+/// Allocates a suite-level state cell, returning its index as `u32`.
+fn alloc_fused_cell(cells: &mut Vec<Cell>, init: Cell) -> u32 {
+    cells.push(init);
+    u32::try_from(cells.len() - 1).expect("fused cell index overflow")
+}
+
+impl FusedSuiteProgram {
+    /// Compiles a whole goal suite — one expression per monitor, in
+    /// suite order — into a single deduplicated DAG over `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::FutureOperator`] if any expression contains
+    /// `eventually` or `next`, and [`EvalError::UnknownSignal`] if any
+    /// references a name outside the table.
+    pub fn compile(exprs: &[Expr], table: &Arc<SignalTable>) -> Result<Self, EvalError> {
+        let mut b = FusedBuilder {
+            table,
+            nodes: Vec::new(),
+            owners: Vec::new(),
+            cells: Vec::new(),
+            interned: HashMap::new(),
+            source_nodes: 0,
+        };
+        let mut roots = Vec::with_capacity(exprs.len());
+        for (monitor, expr) in exprs.iter().enumerate() {
+            let rewritten = monitor_form(expr)?;
+            let monitor = u32::try_from(monitor).expect("too many monitors");
+            roots.push(b.build(&rewritten, monitor)?);
+        }
+        Ok(FusedSuiteProgram {
+            table: Arc::clone(table),
+            nodes: b.nodes,
+            owners: b.owners,
+            init_cells: b.cells,
+            roots,
+            source_nodes: b.source_nodes,
+        })
+    }
+
+    /// The signal table the program's variable references resolve into.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
+    /// Number of monitors (roots) fused into the program.
+    pub fn roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of nodes in the deduplicated DAG — the work one tick
+    /// actually performs.
+    pub fn unique_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes before deduplication (the sum of the standalone
+    /// per-monitor program sizes) — the work per-monitor evaluation
+    /// would perform without short-circuiting.
+    pub fn source_nodes(&self) -> usize {
+        self.source_nodes
+    }
+
+    /// Number of suite-level temporal state cells an instance carries.
+    pub fn state_cells(&self) -> usize {
+        self.init_cells.len()
+    }
+
+    /// Materializes a fresh fused suite: two slab allocations plus a
+    /// `memcpy` of the initial cell values.
+    pub fn instantiate(self: &Arc<Self>) -> FusedSuite {
+        FusedSuite {
+            cells: self.init_cells.clone(),
+            slab: vec![false; self.nodes.len()],
+            program: Arc::clone(self),
+            step: 0,
+        }
+    }
+}
+
+/// The run state of one [`FusedSuiteProgram`] instance: the value slab
+/// (one `bool` per DAG node, rewritten every tick) and the suite-level
+/// temporal cells.
+///
+/// [`FusedSuite::observe`] makes one forward pass over the DAG;
+/// [`FusedSuite::verdict`] then reads any monitor's current truth in
+/// O(1). See [`FusedSuiteProgram`].
+#[derive(Debug, Clone)]
+pub struct FusedSuite {
+    program: Arc<FusedSuiteProgram>,
+    cells: Vec<Cell>,
+    slab: Vec<bool>,
+    step: u64,
+}
+
+impl FusedSuite {
+    /// The immutable fused program this suite executes.
+    pub fn program(&self) -> &Arc<FusedSuiteProgram> {
+        &self.program
+    }
+
+    /// Feeds the next frame: one forward pass evaluating every DAG node
+    /// exactly once, advancing every temporal cell.
+    ///
+    /// Verdicts are identical to per-monitor evaluation on error-free
+    /// frames. Error behaviour differs in one corner: per-monitor
+    /// evaluation may skip a stateless subtree whose connective is
+    /// already decided, while the fused pass evaluates every node — so a
+    /// frame leaving a *never-relevant* signal unset errors here. Treat
+    /// an error as fatal for this suite instance, as with
+    /// [`CompiledMonitor::observe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusedError`] naming the first monitor (by suite order)
+    /// whose formula demanded the failing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `frame` indexes a different table than
+    /// the program was compiled against.
+    pub fn observe(&mut self, frame: &Frame) -> Result<(), FusedError> {
+        debug_assert!(
+            Arc::ptr_eq(frame.table(), &self.program.table),
+            "frame and fused suite must share one signal table"
+        );
+        let step = usize::try_from(self.step).unwrap_or(usize::MAX);
+        let table = &self.program.table;
+        let cells = &mut self.cells;
+        for (i, node) in self.program.nodes.iter().enumerate() {
+            let v = match node {
+                FusedNode::Const(b) => *b,
+                FusedNode::Var(id) => {
+                    frame_bool(frame, *id, step, table).map_err(|e| FusedError {
+                        monitor: self.program.owners[i] as usize,
+                        source: e,
+                    })?
+                }
+                FusedNode::Cmp { lhs, op, rhs } => {
+                    let err = |e| FusedError {
+                        monitor: self.program.owners[i] as usize,
+                        source: e,
+                    };
+                    let a = lhs.value(frame, step, table).map_err(err)?;
+                    let b = rhs.value(frame, step, table).map_err(err)?;
+                    eval::compare_values(&a, *op, &b).map_err(err)?
+                }
+                FusedNode::Not(c) => !self.slab[*c as usize],
+                FusedNode::And(cs) => cs.iter().all(|&c| self.slab[c as usize]),
+                FusedNode::Or(cs) => cs.iter().any(|&c| self.slab[c as usize]),
+                FusedNode::Implies(a, b) => !self.slab[*a as usize] | self.slab[*b as usize],
+                FusedNode::Prev { child, cell } => {
+                    cells[*cell as usize].step_prev(self.slab[*child as usize])
+                }
+                FusedNode::Once { child, cell } => {
+                    cells[*cell as usize].step_once(self.slab[*child as usize])
+                }
+                FusedNode::Historically { child, cell } => {
+                    cells[*cell as usize].step_historically(self.slab[*child as usize])
+                }
+                FusedNode::HeldFor { child, ticks, cell } => {
+                    cells[*cell as usize].step_held_for(self.slab[*child as usize], *ticks)
+                }
+                FusedNode::OnceWithin { child, ticks, cell } => {
+                    cells[*cell as usize].step_once_within(self.slab[*child as usize], step, *ticks)
+                }
+                FusedNode::Became { child, cell } => {
+                    cells[*cell as usize].step_became(self.slab[*child as usize])
+                }
+                FusedNode::Initially { child, cell } => {
+                    cells[*cell as usize].step_initially(self.slab[*child as usize])
+                }
+            };
+            self.slab[i] = v;
+        }
+        self.step += 1;
+        Ok(())
+    }
+
+    /// Monitor `monitor`'s verdict from the most recent
+    /// [`FusedSuite::observe`] pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitor` is out of range.
+    #[inline]
+    pub fn verdict(&self, monitor: usize) -> bool {
+        self.slab[self.program.roots[monitor] as usize]
+    }
+
+    /// Number of frames observed so far.
+    pub fn steps_observed(&self) -> u64 {
+        self.step
+    }
+
+    /// Clears all history, returning the suite to its initial state — a
+    /// `memcpy` of the program's initial cell values, no allocation.
+    pub fn reset(&mut self) {
+        self.cells.copy_from_slice(&self.program.init_cells);
+        self.step = 0;
     }
 }
 
@@ -817,6 +1394,135 @@ mod tests {
         m.reset();
         assert_eq!(m.steps_observed(), 0);
         assert!(!m.observe_state(&s_true).unwrap());
+    }
+
+    /// Compiles `srcs` both ways and checks fused verdicts against
+    /// independent per-monitor verdicts over `t`.
+    fn assert_fused_matches_per_monitor(srcs: &[&str], t: &Trace) {
+        let exprs: Vec<Expr> = srcs.iter().map(|s| parse(s).unwrap()).collect();
+        let table = {
+            let mut b = SignalTable::builder();
+            for name in ["p", "q", "r"] {
+                b.bool(name);
+            }
+            b.finish()
+        };
+        let mut monitors: Vec<CompiledMonitor> = exprs
+            .iter()
+            .map(|e| CompiledMonitor::compile_in(e, &table).unwrap())
+            .collect();
+        let mut fused = Arc::new(FusedSuiteProgram::compile(&exprs, &table).unwrap()).instantiate();
+        for s in t.iter() {
+            let frame = table.frame_from_state_lossy(s);
+            fused.observe(&frame).unwrap();
+            for (i, m) in monitors.iter_mut().enumerate() {
+                assert_eq!(
+                    fused.verdict(i),
+                    m.observe(&frame).unwrap(),
+                    "monitor {i} (`{}`) diverged at step {}",
+                    srcs[i],
+                    m.steps_observed() - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_suite_matches_per_monitor_verdicts() {
+        let t = trace_of(&[
+            ("p", vec![true, false, true, true, false, true]),
+            ("q", vec![false, false, true, false, true, true]),
+            ("r", vec![true, true, false, false, true, false]),
+        ]);
+        assert_fused_matches_per_monitor(
+            &[
+                "always(p -> q)",
+                "p -> prev(q)",
+                "p && q && r",
+                "once(p && q) || held_for(r, 2ticks)",
+                "historically(p || q) -> became(r)",
+                "initially(p) <-> once_within(q, 3ticks)",
+                "p => q",
+            ],
+            &t,
+        );
+    }
+
+    #[test]
+    fn fused_suite_dedups_shared_subtrees_and_cells() {
+        let table = {
+            let mut b = SignalTable::builder();
+            b.bool("p");
+            b.bool("q");
+            b.finish()
+        };
+        let exprs = [
+            parse("p && prev(q)").unwrap(),
+            parse("q || prev(q)").unwrap(),
+            parse("p && prev(q)").unwrap(),
+        ];
+        let program = FusedSuiteProgram::compile(&exprs, &table).unwrap();
+        // Unique nodes: p, q, prev(q), p && prev(q), q || prev(q).
+        assert_eq!(program.unique_nodes(), 5);
+        // Source nodes: 4 + 4 + 4 (each monitor re-counts its whole
+        // tree: two leaves, the prev, the connective).
+        assert_eq!(program.source_nodes(), 12);
+        // The three `prev(q)` occurrences share one temporal cell.
+        assert_eq!(program.state_cells(), 1);
+        assert_eq!(program.roots(), 3);
+    }
+
+    #[test]
+    fn fused_reset_restores_initial_behaviour() {
+        let table = {
+            let mut b = SignalTable::builder();
+            let p = b.bool("p");
+            (b.finish(), p)
+        };
+        let (table, p) = table;
+        let exprs = [parse("prev(p)").unwrap()];
+        let mut suite = Arc::new(FusedSuiteProgram::compile(&exprs, &table).unwrap()).instantiate();
+        let mut frame = table.frame();
+        frame.set(p, true);
+        suite.observe(&frame).unwrap();
+        suite.observe(&frame).unwrap();
+        assert!(suite.verdict(0));
+        assert_eq!(suite.steps_observed(), 2);
+        suite.reset();
+        assert_eq!(suite.steps_observed(), 0);
+        suite.observe(&frame).unwrap();
+        assert!(!suite.verdict(0), "reset must clear temporal history");
+    }
+
+    #[test]
+    fn fused_errors_name_the_first_owning_monitor() {
+        let mut b = SignalTable::builder();
+        b.bool("p");
+        b.bool("q");
+        let table = b.finish();
+        let exprs = [parse("p").unwrap(), parse("p || q").unwrap()];
+        let mut suite = Arc::new(FusedSuiteProgram::compile(&exprs, &table).unwrap()).instantiate();
+        let mut frame = table.frame();
+        frame.set_named("p", true);
+        // `q` is unset: the failing node is owned by monitor 1, the
+        // first (and only) formula that demanded it.
+        let err = suite.observe(&frame).unwrap_err();
+        assert_eq!(err.monitor, 1);
+        assert!(matches!(err.source, EvalError::MissingVar { ref name, .. } if name == "q"));
+        assert!(err.to_string().contains("fused monitor #1"));
+    }
+
+    #[test]
+    fn fused_rejects_future_operators_and_unknown_signals() {
+        let table = SignalTable::builder().finish();
+        assert!(matches!(
+            FusedSuiteProgram::compile(&[parse("eventually(p)").unwrap()], &table),
+            Err(EvalError::FutureOperator { .. })
+        ));
+        assert!(matches!(
+            FusedSuiteProgram::compile(&[parse("p").unwrap()], &table),
+            Err(EvalError::UnknownSignal { .. })
+        ));
     }
 
     #[test]

@@ -38,7 +38,9 @@
 //!   against);
 //! * [`incremental`] — an O(#subformulas)-per-tick monitor; variable
 //!   references are resolved to [`SignalId`]s at compile time via
-//!   [`CompiledMonitor::compile_in`];
+//!   [`CompiledMonitor::compile_in`], and whole goal suites fuse into
+//!   one deduplicated DAG ([`FusedSuiteProgram`]) evaluating every
+//!   shared subexpression once per tick;
 //! * [`prop`] — bounded two-state unrolling into propositional formulas
 //!   over a dense `(variable, age)` atom table with model enumeration,
 //!   used by the composability and realizability analyses of `esafe-core`.
@@ -84,7 +86,9 @@ pub mod value;
 pub use error::{EvalError, ParseError, PropError};
 pub use expr::{CmpOp, Expr, Operand};
 pub use frame_trace::FrameTrace;
-pub use incremental::{CompiledMonitor, CompiledProgram};
+pub use incremental::{
+    CompiledMonitor, CompiledProgram, FusedError, FusedSuite, FusedSuiteProgram,
+};
 pub use parser::parse;
 pub use signal::{Frame, SignalId, SignalKind, SignalTable, SignalTableBuilder};
 pub use state::{State, Trace};

@@ -189,6 +189,13 @@ impl SignalTable {
         self.kinds[id.index()]
     }
 
+    /// Whether two tables declare the same namespace (same names in the
+    /// same order) — the structural fallback behind [`Frame`] and
+    /// [`FrameTrace`](crate::FrameTrace) equality when the `Arc`s differ.
+    pub(crate) fn same_names(&self, other: &SignalTable) -> bool {
+        self.names == other.names
+    }
+
     /// Number of signals in the namespace.
     pub fn len(&self) -> usize {
         self.names.len()
@@ -387,7 +394,7 @@ impl Frame {
 
 impl PartialEq for Frame {
     fn eq(&self, other: &Self) -> bool {
-        (Arc::ptr_eq(&self.table, &other.table) || self.table.names == other.table.names)
+        (Arc::ptr_eq(&self.table, &other.table) || self.table.same_names(&other.table))
             && self.slots == other.slots
     }
 }

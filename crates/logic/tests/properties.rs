@@ -1,7 +1,7 @@
 //! Property-based tests for the temporal-logic engine.
 
 use esafe_logic::eval::eval_trace;
-use esafe_logic::incremental::{monitor_form, CompiledMonitor};
+use esafe_logic::incremental::{monitor_form, CompiledMonitor, FusedSuiteProgram};
 use esafe_logic::{parse, prop, Expr, FrameTrace, SignalTable, State, Trace, Value};
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -55,6 +55,28 @@ fn unrollable_expr(depth: u32) -> impl Strategy<Value = Expr> {
             inner.prop_map(Expr::became),
         ]
     })
+}
+
+/// Builds a goal suite whose monitors are random combinations of a
+/// shared subexpression pool — the shape the fused engine exists for:
+/// the same `pool` subtree appears in several monitors, so the fused
+/// DAG must evaluate it once while per-monitor evaluation re-walks it.
+fn suite_from(pool: &[Expr], spec: &[(usize, usize, u8)]) -> Vec<Expr> {
+    spec.iter()
+        .map(|&(i, j, op)| {
+            let a = pool[i % pool.len()].clone();
+            let b = pool[j % pool.len()].clone();
+            match op % 7 {
+                0 => Expr::and(a, b),
+                1 => Expr::or(a, b),
+                2 => Expr::implies(a, b),
+                3 => Expr::and(Expr::once(a), b),
+                4 => Expr::prev(Expr::or(a, b)),
+                5 => Expr::not(Expr::and(a, Expr::historically(b))),
+                _ => Expr::held_for(Expr::or(a, b), 2),
+            }
+        })
+        .collect()
 }
 
 fn random_trace(rows: Vec<[bool; 4]>) -> Trace {
@@ -235,6 +257,56 @@ proptest! {
         for (bw, uw) in bounded.iter().zip(&unbounded) {
             prop_assert!(!bw || *uw);
         }
+    }
+
+    /// Fused suite-level evaluation produces exactly the verdicts of
+    /// independent per-monitor evaluation, on random traces and random
+    /// suites built from shared subexpressions — the correctness
+    /// contract of the cross-monitor CSE engine.
+    #[test]
+    fn fused_suite_matches_per_monitor_on_shared_suites(
+        pool in proptest::collection::vec(past_expr(3), 2..5),
+        spec in proptest::collection::vec(
+            (0usize..16, 0usize..16, 0u8..32), 1..8),
+        rows in proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 1..25),
+    ) {
+        let exprs = suite_from(&pool, &spec);
+        let table = four_bool_table();
+        let trace = random_trace(rows);
+        let mut monitors: Vec<CompiledMonitor> = exprs
+            .iter()
+            .map(|e| CompiledMonitor::compile_in(e, &table).expect("compiles"))
+            .collect();
+        let program = Arc::new(
+            FusedSuiteProgram::compile(&exprs, &table).expect("compiles"));
+        prop_assert!(program.unique_nodes() <= program.source_nodes());
+        let mut fused = program.instantiate();
+        for s in trace.iter() {
+            let frame = table.frame_from_state_lossy(s);
+            fused.observe(&frame).expect("vars present");
+            for (i, m) in monitors.iter_mut().enumerate() {
+                prop_assert_eq!(
+                    fused.verdict(i),
+                    m.observe(&frame).expect("vars present"),
+                    "monitor {} diverged on `{}`", i, &exprs[i]
+                );
+            }
+        }
+    }
+
+    /// Fusing the same formula list twice adds no new nodes beyond the
+    /// first copy: dedup is exact on structural duplicates.
+    #[test]
+    fn fused_duplicate_monitors_are_free(e in past_expr(3)) {
+        let table = four_bool_table();
+        let single = FusedSuiteProgram::compile(
+            std::slice::from_ref(&e), &table).expect("compiles");
+        let doubled = FusedSuiteProgram::compile(
+            &[e.clone(), e.clone()], &table).expect("compiles");
+        prop_assert_eq!(doubled.unique_nodes(), single.unique_nodes());
+        prop_assert_eq!(doubled.state_cells(), single.state_cells());
+        prop_assert_eq!(doubled.source_nodes(), 2 * single.source_nodes());
+        prop_assert_eq!(doubled.roots(), 2);
     }
 
     /// Monitor `reset` makes re-observation identical to a fresh monitor.

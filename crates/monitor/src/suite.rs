@@ -3,7 +3,10 @@
 
 use crate::correlate::{CorrelationReport, CorrelationRow, SubgoalStats};
 use crate::violation::{IntervalTracker, ViolationInterval};
-use esafe_logic::{CompiledMonitor, CompiledProgram, EvalError, Expr, Frame, SignalTable};
+use esafe_logic::{
+    CompiledMonitor, CompiledProgram, EvalError, Expr, Frame, FrameTrace, FusedSuite,
+    FusedSuiteProgram, SignalTable,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -73,8 +76,28 @@ struct EntryMeta {
 #[derive(Debug, Clone)]
 struct Entry {
     meta: Arc<EntryMeta>,
-    monitor: CompiledMonitor,
     tracker: IntervalTracker,
+}
+
+/// How a suite evaluates its monitors each tick.
+///
+/// Both engines produce identical verdicts on error-free frames (pinned
+/// by property tests and the workspace's golden sweeps); they differ
+/// only in cost:
+///
+/// * `PerMonitor` — one [`CompiledMonitor`] per entry, each re-walking
+///   its own expression tree. This is what incremental suite authoring
+///   ([`MonitorSuite::add_goal`]) builds, and the reference engine the
+///   fused path is tested against.
+/// * `Fused` — the whole suite as one [`FusedSuite`]: a deduplicated
+///   DAG in which every shared subformula is evaluated once per tick.
+///   Stamped out by [`SuiteTemplate::instantiate`].
+#[derive(Debug, Clone)]
+enum Engine {
+    /// Index-aligned with the suite's entries.
+    PerMonitor(Vec<CompiledMonitor>),
+    /// Roots index-aligned with the suite's entries.
+    Fused(FusedSuite),
 }
 
 /// A set of goal and subgoal monitors fed from a shared [`Frame`] stream.
@@ -83,7 +106,10 @@ struct Entry {
 /// formula is compiled against it
 /// ([`CompiledMonitor::compile_in`]), so all variable references resolve
 /// to [`SignalId`](esafe_logic::SignalId)s once and
-/// [`MonitorSuite::observe`] is pure id-indexed slot access.
+/// [`MonitorSuite::observe`] is pure id-indexed slot access. A suite
+/// instantiated from a [`SuiteTemplate`] runs *fused*: one deduplicated
+/// DAG evaluates every monitor in a single pass per tick (see
+/// [`FusedSuiteProgram`]).
 ///
 /// Goals are top-level entries; subgoals name their parent goal. After the
 /// run, [`MonitorSuite::correlate`] produces the hit / false-positive /
@@ -92,6 +118,7 @@ struct Entry {
 pub struct MonitorSuite {
     table: Arc<SignalTable>,
     entries: Vec<Entry>,
+    engine: Engine,
 }
 
 impl MonitorSuite {
@@ -100,6 +127,7 @@ impl MonitorSuite {
         MonitorSuite {
             table,
             entries: Vec::new(),
+            engine: Engine::PerMonitor(Vec::new()),
         }
     }
 
@@ -158,7 +186,13 @@ impl MonitorSuite {
         location: Location,
         expr: Expr,
     ) -> Result<(), EvalError> {
-        let monitor = CompiledMonitor::compile_in(&expr, &self.table)?;
+        let Engine::PerMonitor(monitors) = &mut self.engine else {
+            panic!(
+                "cannot add monitors to a fused suite; author the suite \
+                 per-monitor and fuse it via `template().instantiate()`"
+            );
+        };
+        monitors.push(CompiledMonitor::compile_in(&expr, &self.table)?);
         self.entries.push(Entry {
             meta: Arc::new(EntryMeta {
                 id,
@@ -166,27 +200,60 @@ impl MonitorSuite {
                 location,
                 expr,
             }),
-            monitor,
             tracker: IntervalTracker::new(),
         });
         Ok(())
     }
 
-    /// Extracts the suite's compile-once artifacts — one shared
-    /// `(meta, program)` pair per monitor — as a [`SuiteTemplate`] that
-    /// stamps out fresh suites without parsing or name resolution. Cheap:
-    /// every element is an `Arc` clone.
+    /// Whether the suite evaluates through the fused suite-level DAG
+    /// (template-instantiated) rather than one monitor at a time.
+    pub fn is_fused(&self) -> bool {
+        matches!(self.engine, Engine::Fused(_))
+    }
+
+    /// Extracts the suite's compile-once artifacts as a
+    /// [`SuiteTemplate`]: one shared `(meta, program)` pair per monitor
+    /// **plus** the suite-level [`FusedSuiteProgram`] merging every
+    /// formula into one deduplicated DAG. Building the template is the
+    /// once-per-sweep compile point; stamping suites from it is
+    /// O(monitors).
     pub fn template(&self) -> SuiteTemplate {
-        SuiteTemplate {
-            table: self.table.clone(),
-            entries: self
+        let entries: Vec<TemplateEntry> = match &self.engine {
+            Engine::PerMonitor(monitors) => self
+                .entries
+                .iter()
+                .zip(monitors)
+                .map(|(e, m)| TemplateEntry {
+                    meta: Arc::clone(&e.meta),
+                    program: Arc::clone(m.program()),
+                })
+                .collect(),
+            Engine::Fused(_) => self
                 .entries
                 .iter()
                 .map(|e| TemplateEntry {
                     meta: Arc::clone(&e.meta),
-                    program: Arc::clone(e.monitor.program()),
+                    program: Arc::new(
+                        CompiledProgram::compile(&e.meta.expr, &self.table)
+                            .expect("formula compiled when the suite was built"),
+                    ),
                 })
                 .collect(),
+        };
+        let fused = match &self.engine {
+            Engine::Fused(f) => Arc::clone(f.program()),
+            Engine::PerMonitor(_) => {
+                let exprs: Vec<Expr> = self.entries.iter().map(|e| e.meta.expr.clone()).collect();
+                Arc::new(
+                    FusedSuiteProgram::compile(&exprs, &self.table)
+                        .expect("every formula compiled per-monitor when the suite was built"),
+                )
+            }
+        };
+        SuiteTemplate {
+            table: self.table.clone(),
+            entries,
+            fused,
         }
     }
 
@@ -196,15 +263,23 @@ impl MonitorSuite {
     /// identical to a freshly instantiated one — the property run-context
     /// pooling relies on.
     pub fn reset(&mut self) {
+        match &mut self.engine {
+            Engine::PerMonitor(monitors) => {
+                for m in monitors {
+                    m.reset();
+                }
+            }
+            Engine::Fused(f) => f.reset(),
+        }
         for e in &mut self.entries {
-            e.monitor.reset();
             e.tracker.reset();
         }
     }
 
     /// Feeds one frame to every monitor — the per-tick hot path: no
     /// string lookups, no allocation, one table identity check for the
-    /// whole suite.
+    /// whole suite. A fused suite makes a single pass over the
+    /// deduplicated DAG and then records one verdict per entry.
     ///
     /// # Errors
     ///
@@ -219,16 +294,57 @@ impl MonitorSuite {
             Arc::ptr_eq(frame.table(), &self.table),
             "frame and suite must share one signal table"
         );
-        for e in &mut self.entries {
-            let ok = e
-                .monitor
-                .observe_trusted(frame)
-                .map_err(|err| MonitorError {
-                    monitor_id: e.meta.id.clone(),
-                    source: err,
+        match &mut self.engine {
+            Engine::PerMonitor(monitors) => {
+                for (e, m) in self.entries.iter_mut().zip(monitors) {
+                    let ok = m.observe_trusted(frame).map_err(|err| MonitorError {
+                        monitor_id: e.meta.id.clone(),
+                        source: err,
+                    })?;
+                    e.tracker.record(ok);
+                }
+            }
+            Engine::Fused(fused) => {
+                fused.observe(frame).map_err(|err| MonitorError {
+                    monitor_id: self.entries[err.monitor].meta.id.clone(),
+                    source: err.source,
                 })?;
-            e.tracker.record(ok);
+                for (i, e) in self.entries.iter_mut().enumerate() {
+                    e.tracker.record(fused.verdict(i));
+                }
+            }
         }
+        Ok(())
+    }
+
+    /// Replays a recorded [`FrameTrace`] from a clean start: the suite
+    /// is [`reset`](MonitorSuite::reset), fed every sample, and
+    /// [`finish`](MonitorSuite::finish)ed — the offline re-monitoring
+    /// path. Recordings captured from a live run (see the harness's
+    /// frame-recording experiment option) can be re-monitored with a
+    /// *different* goal suite without re-simulating, as long as both
+    /// suites share the trace's signal table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonitorError`] naming the failing monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` indexes a different table than the suite is
+    /// bound to.
+    pub fn replay(&mut self, trace: &FrameTrace) -> Result<(), MonitorError> {
+        assert!(
+            Arc::ptr_eq(trace.table(), &self.table),
+            "trace and suite must share one signal table"
+        );
+        self.reset();
+        let mut frame = self.table.frame();
+        for i in 0..trace.len() {
+            trace.read_into(i, &mut frame);
+            self.observe(&frame)?;
+        }
+        self.finish();
         Ok(())
     }
 
@@ -370,15 +486,19 @@ impl MonitorSuite {
 
 /// The compile-once form of a [`MonitorSuite`]: every goal/subgoal
 /// formula of a substrate *family* compiled against the family's shared
-/// [`SignalTable`], held as `Arc`-shared immutable programs.
+/// [`SignalTable`], held as `Arc`-shared immutable programs — both the
+/// per-monitor [`CompiledProgram`]s and the suite-level
+/// [`FusedSuiteProgram`] that merges every formula into one
+/// deduplicated DAG.
 ///
 /// Building a suite parses and resolves ~`O(formula size)` work per
 /// monitor; a sweep that rebuilt its suite per cell paid that ×cells.
 /// A template is built **once per sweep** (typically via
 /// [`MonitorSuite::template`] on the first suite compiled) and
-/// [`SuiteTemplate::instantiate`] stamps out a per-cell suite in
-/// O(monitors): per monitor, two `Arc` clones, a `memcpy` of the
-/// temporal state cells, and an empty interval tracker.
+/// [`SuiteTemplate::instantiate`] stamps out a per-cell *fused* suite in
+/// O(monitors): Arc clones, two slab allocations, and a `memcpy` of the
+/// temporal state cells. [`SuiteTemplate::instantiate_per_monitor`]
+/// stamps the reference per-monitor engine instead.
 ///
 /// An instantiated suite is observationally identical to one compiled
 /// from scratch — same monitors, same ids, same verdicts — which the
@@ -387,6 +507,7 @@ impl MonitorSuite {
 pub struct SuiteTemplate {
     table: Arc<SignalTable>,
     entries: Vec<TemplateEntry>,
+    fused: Arc<FusedSuiteProgram>,
 }
 
 #[derive(Debug, Clone)]
@@ -411,21 +532,51 @@ impl SuiteTemplate {
         self.entries.is_empty()
     }
 
-    /// Stamps out a fresh suite: no parsing, no compilation, no string
-    /// copies — O(monitors) Arc clones plus fresh run state.
+    /// The suite-level fused program: the deduplicated DAG every
+    /// instantiated suite evaluates. Its
+    /// [`source_nodes`](FusedSuiteProgram::source_nodes) /
+    /// [`unique_nodes`](FusedSuiteProgram::unique_nodes) counts quantify
+    /// the cross-monitor sharing (the `repro --grid --json` CSE fields).
+    pub fn fused_program(&self) -> &Arc<FusedSuiteProgram> {
+        &self.fused
+    }
+
+    /// Stamps out a fresh **fused** suite — the production engine: no
+    /// parsing, no compilation, no string copies; every monitor verdict
+    /// comes from one shared evaluation pass per tick.
     pub fn instantiate(&self) -> MonitorSuite {
         MonitorSuite {
             table: self.table.clone(),
-            entries: self
-                .entries
-                .iter()
-                .map(|t| Entry {
-                    meta: Arc::clone(&t.meta),
-                    monitor: t.program.instantiate(),
-                    tracker: IntervalTracker::new(),
-                })
-                .collect(),
+            entries: self.stamp_entries(),
+            engine: Engine::Fused(self.fused.instantiate()),
         }
+    }
+
+    /// Stamps out a fresh suite on the **per-monitor** reference engine —
+    /// each goal evaluated by its own [`CompiledMonitor`]. Verdicts are
+    /// identical to [`SuiteTemplate::instantiate`]; this path exists for
+    /// equivalence tests and benchmarks of the fused engine.
+    pub fn instantiate_per_monitor(&self) -> MonitorSuite {
+        MonitorSuite {
+            table: self.table.clone(),
+            entries: self.stamp_entries(),
+            engine: Engine::PerMonitor(
+                self.entries
+                    .iter()
+                    .map(|t| t.program.instantiate())
+                    .collect(),
+            ),
+        }
+    }
+
+    fn stamp_entries(&self) -> Vec<Entry> {
+        self.entries
+            .iter()
+            .map(|t| Entry {
+                meta: Arc::clone(&t.meta),
+                tracker: IntervalTracker::new(),
+            })
+            .collect()
     }
 }
 
@@ -582,6 +733,101 @@ mod tests {
         assert_eq!(instantiated, compiled);
         // Instantiation is repeatable: each instance starts clean.
         assert_eq!(outcome(template.instantiate(), &frames), compiled);
+    }
+
+    #[test]
+    fn fused_and_per_monitor_engines_agree() {
+        let template = suite().template();
+        let fused = template.instantiate();
+        let per_monitor = template.instantiate_per_monitor();
+        assert!(fused.is_fused());
+        assert!(!per_monitor.is_fused());
+        assert!(!suite().is_fused(), "authored suites run per-monitor");
+        let frames = [
+            (true, true),
+            (false, false),
+            (true, false),
+            (false, true),
+            (true, true),
+        ];
+        assert_eq!(outcome(fused, &frames), outcome(per_monitor, &frames));
+    }
+
+    #[test]
+    fn fused_template_shares_subformulas_across_monitors() {
+        let mut m = MonitorSuite::new(table());
+        m.add_goal("G", Location::new("System"), parse("g && s").unwrap())
+            .unwrap();
+        m.add_subgoal("G.A", "G", Location::new("Sub"), parse("s && g").unwrap())
+            .unwrap();
+        m.add_subgoal("G.B", "G", Location::new("Sub"), parse("g && s").unwrap())
+            .unwrap();
+        let template = m.template();
+        let program = template.fused_program();
+        // g, s, g && s, s && g — the duplicate third formula is free.
+        assert_eq!(program.unique_nodes(), 4);
+        assert_eq!(program.source_nodes(), 9);
+        assert_eq!(program.roots(), 3);
+    }
+
+    #[test]
+    fn templating_a_fused_suite_round_trips() {
+        // template() on a fused (template-instantiated) suite rebuilds
+        // the per-monitor programs from the shared metas.
+        let template = suite().template();
+        let retemplated = template.instantiate().template();
+        let frames = [(true, true), (false, true), (true, false)];
+        assert_eq!(
+            outcome(retemplated.instantiate(), &frames),
+            outcome(suite(), &frames)
+        );
+        assert_eq!(
+            outcome(retemplated.instantiate_per_monitor(), &frames),
+            outcome(suite(), &frames)
+        );
+    }
+
+    #[test]
+    fn replay_matches_live_observation() {
+        use esafe_logic::FrameTrace;
+        let frames = [(true, true), (false, false), (true, false), (false, true)];
+        // Record the observed frames as a live run would.
+        let t = table();
+        let mut shared = MonitorSuite::new(t.clone());
+        shared
+            .add_goal("G", Location::new("System"), parse("g").unwrap())
+            .unwrap();
+        shared
+            .add_subgoal("G.A", "G", Location::new("Sub"), parse("s").unwrap())
+            .unwrap();
+        let template = shared.template();
+        let mut trace = FrameTrace::new(&t, 1);
+        let mut frame = t.frame();
+        for &(g, s) in &frames {
+            frame.set_named("g", g);
+            frame.set_named("s", s);
+            trace.push(&frame);
+        }
+        let live = outcome(template.instantiate(), &frames);
+        // Offline: replay the recording through a fresh fused suite —
+        // dirty it first to prove replay resets.
+        let mut offline = template.instantiate();
+        observe(&mut offline, false, false);
+        offline.replay(&trace).unwrap();
+        let hits = offline.correlate(0).for_goal("G").unwrap().hits;
+        let violations: Vec<(String, usize)> = offline
+            .take_violations()
+            .into_iter()
+            .map(|(id, v)| (id, v.len()))
+            .collect();
+        assert_eq!((violations, hits), live);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add monitors to a fused suite")]
+    fn fused_suites_reject_incremental_authoring() {
+        let mut fused = suite().template().instantiate();
+        let _ = fused.add_goal("H", Location::new("System"), parse("g").unwrap());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::catalog;
 use crate::runner;
-use esafe_harness::{ExperimentError, Sweep, SweepReport, SweepStats};
+use esafe_harness::{ExperimentError, Sweep, SweepAggregate, SweepReport, SweepStats};
 use esafe_vehicle::config::DefectSet;
 use esafe_vehicle::substrate::{VehicleFamily, VehicleSubstrate};
 
@@ -115,6 +115,23 @@ pub fn run_parallel_timed(
 pub fn run_serial(grid: Vec<GridCell>) -> Result<SweepReport, ExperimentError> {
     let family = VehicleFamily::default();
     sweep(grid).run_serial(|cell, seed| build_cell_in(&family, cell, seed))
+}
+
+/// Runs a grid in parallel as a **streaming reduction**: each worker
+/// folds its reports into a partial aggregate the moment they are
+/// produced, so no report is retained and memory stays O(workers) no
+/// matter how many cells the grid holds. The aggregate is identical to
+/// `run_parallel(..).aggregate()` (pinned by the workspace's regression
+/// tests); use the collect-all paths when per-run detail is needed.
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`ExperimentError`], by cell order.
+pub fn run_parallel_aggregate(
+    grid: Vec<GridCell>,
+) -> Result<(SweepAggregate, SweepStats), ExperimentError> {
+    let family = VehicleFamily::default();
+    sweep(grid).run_aggregate(|cell, seed| build_cell_in(&family, cell, seed))
 }
 
 #[cfg(test)]

@@ -31,30 +31,55 @@ fn vehicle_scenario1_thesis_matches_seed_pipeline() {
     );
 }
 
-/// The amortized sweep engine (compile-once suite template + per-worker
-/// pooled run contexts — the production `repro --grid` path) against the
-/// per-run-compile reference: the whole `SweepReport` must be
-/// bit-identical, through actual JSON text, for a grid slice that
-/// includes early-terminating, colliding, and clean cells.
+/// The fused sweep engine (compile-once suite template whose
+/// instantiations evaluate the whole 49-monitor suite as one
+/// deduplicated DAG, per-worker pooled run contexts — the production
+/// `repro --grid` path) against the per-run-compile reference, whose
+/// standalone substrates self-compile one `CompiledMonitor` per goal:
+/// the whole `SweepReport` must be bit-identical, through actual JSON
+/// text, for a grid slice that includes early-terminating, colliding,
+/// and clean cells. This is the fused-vs-per-monitor sweep golden.
 #[test]
-fn template_pooled_sweep_matches_per_run_compile_sweep() {
+fn fused_template_sweep_matches_per_monitor_compile_sweep() {
     let cells = grid::cells(&[1, 2, 10], &grid::ablation_configs());
     assert_eq!(cells.len(), 42);
     // Reference: every cell builds a standalone substrate and recompiles
-    // its monitor suite (`grid::build_cell`), serially.
+    // its monitor suite per-monitor (`grid::build_cell`), serially.
     let reference = grid::sweep(cells.clone())
         .run_serial(grid::build_cell)
         .unwrap();
-    // Production: one family, template-instantiated suites, pooled
+    // Production: one family, fused template-instantiated suites, pooled
     // worker contexts, rayon-parallel.
-    let amortized = grid::run_parallel(cells).unwrap();
+    let fused = grid::run_parallel(cells).unwrap();
     assert_eq!(
-        serde_json::to_string_pretty(&amortized).unwrap(),
+        serde_json::to_string_pretty(&fused).unwrap(),
         serde_json::to_string_pretty(&reference).unwrap(),
-        "amortized sweep diverged from the per-run-compile pipeline"
+        "fused sweep diverged from the per-monitor-compile pipeline"
     );
-    assert_eq!(amortized, reference, "series must match too");
-    assert_eq!(amortized.aggregate(), reference.aggregate());
+    assert_eq!(fused, reference, "series must match too");
+    assert_eq!(fused.aggregate(), reference.aggregate());
+}
+
+/// The streaming sweep reducer (per-worker partial aggregates folded as
+/// reports are produced, merged at join — memory O(workers)) against
+/// the collect-all path, over a grid enlarged beyond the golden slice
+/// by replicating its scenarios: the aggregates must be identical.
+#[test]
+fn streaming_sweep_aggregate_matches_collect_all_on_enlarged_grid() {
+    // 6 scenario entries × 14 configurations = 84 cells — twice the
+    // golden slice, with duplicate cells exercising accumulator merges
+    // beyond one-report-per-key.
+    let cells = grid::cells(&[1, 1, 2, 2, 10, 10], &grid::ablation_configs());
+    assert_eq!(cells.len(), 84);
+    let collected = grid::run_parallel(cells.clone()).unwrap().aggregate();
+    let (streamed, stats) = grid::run_parallel_aggregate(cells).unwrap();
+    assert_eq!(
+        streamed, collected,
+        "streaming reduction diverged from collect-then-aggregate"
+    );
+    assert_eq!(streamed.runs, 84);
+    assert_eq!(stats.runs(), 84);
+    assert_eq!(stats.suites_compiled, 0, "family sweeps never recompile");
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Offline stand-in for `rayon`, covering the data-parallel subset this
 //! workspace uses: `par_iter`/`into_par_iter` → `map`/`map_init` →
-//! `collect`.
+//! `collect`, plus `map_init(..).fold(..).reduce(..)` for streaming
+//! reductions.
 //!
 //! Work is distributed over `std::thread::scope` with an atomic work
 //! index; results land in their input slot, so `collect` preserves input
@@ -8,6 +9,13 @@
 //! `map_init` gives every worker thread one mutable state value built by
 //! the caller's `init` closure — the hook behind per-worker pooled run
 //! contexts.
+//!
+//! `fold` keeps one accumulator per worker thread and never materializes
+//! the mapped results, so a fold over N items allocates O(threads), not
+//! O(N) — the hook behind streaming experiment sweeps. As in rayon, the
+//! number of accumulators and the reduction order are unspecified:
+//! `fold`/`reduce` operations must be commutative and associative for
+//! deterministic results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -68,6 +76,49 @@ fn parallel_map_init<T: Send, S, R: Send>(
         .collect()
 }
 
+/// Runs `f` over `items` on multiple threads with per-worker `init()`
+/// state, folding each worker's results into a per-worker accumulator
+/// (`identity()` + `fold`). Returns one accumulator per worker; mapped
+/// results are never materialized, so memory is O(threads).
+fn parallel_fold_init<T: Send, S, R, A: Send>(
+    items: Vec<T>,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, T) -> R + Sync,
+    identity: impl Fn() -> A + Sync,
+    fold: impl Fn(A, R) -> A + Sync,
+) -> Vec<A> {
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        let mut state = init();
+        let mut acc = identity();
+        for x in items {
+            acc = fold(acc, f(&mut state, x));
+        }
+        return vec![acc];
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let next = AtomicUsize::new(0);
+    let accumulators: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                let mut acc = identity();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().expect("item taken once");
+                    acc = fold(acc, f(&mut state, item));
+                }
+                accumulators.lock().unwrap().push(acc);
+            });
+        }
+    });
+    accumulators.into_inner().unwrap()
+}
+
 /// A materialized parallel iterator.
 pub struct ParIter<T> {
     items: Vec<T>,
@@ -85,6 +136,18 @@ pub struct ParMapInit<T, INIT, F> {
     items: Vec<T>,
     init: INIT,
     f: F,
+}
+
+/// A folded parallel iterator: per-worker accumulators over the mapped
+/// results, executed on `reduce`. Mirrors rayon's
+/// `map_init(..).fold(..).reduce(..)` chain for the streaming subset
+/// this workspace uses.
+pub struct ParFoldInit<T, INIT, F, AI, FOLD> {
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+    identity: AI,
+    fold: FOLD,
 }
 
 /// Conversion into a by-value parallel iterator.
@@ -198,6 +261,51 @@ where
             .into_iter()
             .collect()
     }
+
+    /// Folds the mapped results into per-worker accumulators (executed
+    /// at `reduce`). Each worker starts from `identity()` and folds every
+    /// result it produces; mapped results are never materialized, so a
+    /// fold over N items holds O(threads) accumulators. How items are
+    /// partitioned across accumulators is unspecified — `fold_op` must
+    /// combine commutatively for deterministic results.
+    pub fn fold<A, AI, FOLD>(self, identity: AI, fold_op: FOLD) -> ParFoldInit<T, INIT, F, AI, FOLD>
+    where
+        A: Send,
+        AI: Fn() -> A + Sync,
+        FOLD: Fn(A, R) -> A + Sync,
+    {
+        ParFoldInit {
+            items: self.items,
+            init: self.init,
+            f: self.f,
+            identity,
+            fold: fold_op,
+        }
+    }
+}
+
+impl<T, S, R, A, INIT, F, AI, FOLD> ParFoldInit<T, INIT, F, AI, FOLD>
+where
+    T: Send,
+    R: Send,
+    A: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+    AI: Fn() -> A + Sync,
+    FOLD: Fn(A, R) -> A + Sync,
+{
+    /// Executes the fold in parallel and merges the per-worker
+    /// accumulators with `op`, starting from `identity()`. The merge
+    /// order is unspecified — `op` must be commutative and associative
+    /// for deterministic results.
+    pub fn reduce<OP>(self, identity: impl Fn() -> A, op: OP) -> A
+    where
+        OP: Fn(A, A) -> A,
+    {
+        parallel_fold_init(self.items, self.init, self.f, &self.identity, self.fold)
+            .into_iter()
+            .fold(identity(), op)
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +331,25 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fold_reduce_streams_without_materializing() {
+        let input: Vec<u64> = (0..1000).collect();
+        let sum = input
+            .clone()
+            .into_par_iter()
+            .map_init(|| 0u64, |_, x| x * 3)
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(sum, input.iter().map(|x| x * 3).sum::<u64>());
+        // Empty input reduces to the identity.
+        let empty = Vec::<u64>::new()
+            .into_par_iter()
+            .map_init(|| (), |(), x| x)
+            .fold(|| 7u64, |acc, x| acc + x)
+            .reduce(|| 7u64, |a, b| a.min(b));
+        assert_eq!(empty, 7);
     }
 
     #[test]

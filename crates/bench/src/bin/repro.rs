@@ -7,12 +7,15 @@
 //! repro --ablation [scenario]
 //! repro --grid                 # full scenario × defect sweep, in parallel
 //! repro --grid --json <path>   # …plus a machine-readable timing summary
+//! repro --mega-grid            # ≥10⁴-cell scenario-parameter sweep (batched)
+//! repro --mega-grid --json <path>  # …plus the schema-v4 summary
 //! repro --all                  # everything, in thesis order
 //! repro --json <scenario>      # dump a scenario's figure series as JSON
 //! ```
 
 use esafe_bench::{
-    ablation, figure_map, full_grid_timed, grid_summary_json, observe_calibration, thesis_run,
+    ablation, batch_calibration, figure_map, full_grid_timed, full_mega_timed, grid_summary_json,
+    mega_summary_json, observe_calibration, thesis_run,
 };
 use esafe_core::render;
 use esafe_elevator::ElevatorParams;
@@ -37,14 +40,73 @@ fn main() {
         [grid, json, path] if grid == "--grid" && json == "--json" => {
             print_grid(Some(path));
         }
+        [flag] if flag == "--mega-grid" => print_mega_grid(None),
+        [mega, json, path] if mega == "--mega-grid" && json == "--json" => {
+            print_mega_grid(Some(path));
+        }
         [flag] if flag == "--all" => print_all(),
         _ => {
             eprintln!(
                 "usage: repro --table <id> | --figure <id> | --ablation [n] \
-                 | --grid [--json <path>] | --json <n> | --all"
+                 | --grid [--json <path>] | --mega-grid [--json <path>] \
+                 | --json <n> | --all"
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// Runs the ≥10⁴-cell scenario-parameter mega grid: calibrate the
+/// stripe width on a recorded run, then stream the whole space through
+/// the batched striped engine with O(workers × width) memory, and
+/// (with `json_path`) write the schema-v4 `BENCH_megagrid.json`
+/// summary.
+fn print_mega_grid(json_path: Option<&str>) {
+    let calibration = batch_calibration();
+    println!(
+        "batch-width calibration over {} recorded ticks (49-monitor fused observe):",
+        calibration.ticks
+    );
+    println!(
+        "  scalar   {:>8.1} ns/tick/run",
+        calibration.scalar_ns_per_tick_per_run
+    );
+    for point in &calibration.widths {
+        println!(
+            "  width {:>2} {:>8.1} ns/tick/run",
+            point.width, point.ns_per_tick_per_run
+        );
+    }
+    let width = calibration.best_width();
+    println!("selected stripe width: {width}");
+
+    let started = std::time::Instant::now();
+    let (aggregate, stats, cells) = full_mega_timed(width);
+    let wall = started.elapsed();
+    println!(
+        "Mega grid: {} cells swept, {} runs ({} early terminations, {} collisions)",
+        cells, aggregate.runs, aggregate.terminated_early, aggregate.terminal_events
+    );
+    println!(
+        "Classification totals: {} hits, {} false negatives, {} false positives",
+        aggregate.hits, aggregate.false_negatives, aggregate.false_positives
+    );
+    println!(
+        "wall clock: {:.3} s ({:.2} ms/run); worker time: {:.3} s setup + {:.3} s ticking",
+        wall.as_secs_f64(),
+        wall.as_secs_f64() * 1000.0 / aggregate.runs.max(1) as f64,
+        stats.setup.as_secs_f64(),
+        stats.ticking.as_secs_f64()
+    );
+    println!(
+        "suites: {} compiled, {} instantiated, {} reused",
+        stats.suites_compiled, stats.suites_instantiated, stats.suites_reused
+    );
+    if let Some(path) = json_path {
+        let json = mega_summary_json(&aggregate, wall, &stats, &calibration, cells, width)
+            .expect("summary serializes");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+        println!("summary written to {path}");
     }
 }
 

@@ -1,7 +1,8 @@
 //! Shared helpers for the reproduction harness and benchmarks.
 
 use esafe_harness::{Experiment, SweepAggregate, SweepStats};
-use esafe_scenarios::{catalog, grid, runner, ScenarioReport};
+use esafe_logic::Frame;
+use esafe_scenarios::{catalog, grid, mega, runner, ScenarioReport};
 use esafe_vehicle::config::DefectSet;
 use esafe_vehicle::VehicleFamily;
 
@@ -98,27 +99,44 @@ pub struct ObserveCalibration {
     pub cse_unique_nodes: usize,
 }
 
-/// Measures [`ObserveCalibration`] on this machine (≈100 ms: one 20 s
-/// recorded run plus a few replay passes).
-pub fn observe_calibration() -> ObserveCalibration {
-    let family = VehicleFamily::default();
+/// Records one clean (defect-free) scenario-1 run with frame recording
+/// and materializes its first `max_ticks` observed frames over the
+/// family's table, so a timed replay loop is monitoring only — no
+/// per-tick column-to-frame assembly. **The one recorded-run harness**
+/// behind [`observe_calibration`], [`batch_calibration`], and the
+/// `fused_observe`/`batched_observe` criterion benches: they must all
+/// measure the same frame stream to stay comparable.
+pub fn recorded_clean_frames(family: &VehicleFamily, max_ticks: usize) -> Vec<Frame> {
     let cells = grid::cells(&[1], &[("none".to_owned(), DefectSet::none())]);
-    let substrate = grid::build_cell_in(&family, &cells[0], 0);
+    let substrate = grid::build_cell_in(family, &cells[0], 0);
     let report = Experiment::new(&substrate)
         .with_config(runner::thesis_config())
         .with_frame_recording(true)
         .run()
         .expect("scenario formulas compile against the simulator signals");
     let trace = report.trace.expect("frame recording enabled");
-    // Pre-materialize the frames so the timed loop is monitoring only —
-    // no per-tick column-to-frame assembly.
-    let frames: Vec<_> = (0..trace.len())
+    (0..trace.len().min(max_ticks))
         .map(|i| {
             let mut frame = family.table().frame();
             trace.read_into(i, &mut frame);
             frame
         })
-        .collect();
+        .collect()
+}
+
+/// Replicates recorded frames into tick-major stripe inputs:
+/// `result[t]` is the `width`-lane input at tick `t` (the same
+/// recorded frame in every lane) — the batched-replay analogue of
+/// feeding one frame to a scalar suite.
+pub fn replicate_lanes(frames: &[Frame], width: usize) -> Vec<Vec<Frame>> {
+    frames.iter().map(|f| vec![f.clone(); width]).collect()
+}
+
+/// Measures [`ObserveCalibration`] on this machine (≈100 ms: one 20 s
+/// recorded run plus a few replay passes).
+pub fn observe_calibration() -> ObserveCalibration {
+    let family = VehicleFamily::default();
+    let frames = recorded_clean_frames(&family, usize::MAX);
     let mut suite = family.template().instantiate();
     let observe_pass = |suite: &mut esafe_monitor::MonitorSuite| {
         suite.reset();
@@ -136,11 +154,215 @@ pub fn observe_calibration() -> ObserveCalibration {
     let elapsed = started.elapsed();
     let program = family.template().fused_program().clone();
     ObserveCalibration {
-        observe_ns_per_tick: elapsed.as_nanos() as f64 / (passes as usize * trace.len()) as f64,
+        observe_ns_per_tick: elapsed.as_nanos() as f64 / (passes as usize * frames.len()) as f64,
         monitors: program.roots(),
         cse_source_nodes: program.source_nodes(),
         cse_unique_nodes: program.unique_nodes(),
     }
+}
+
+/// One measured point of the batch-width calibration: the fused
+/// monitor-observe cost per tick *per run* when `width` runs step
+/// through the suite together.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WidthPoint {
+    /// Lanes per stripe.
+    pub width: usize,
+    /// Monitor-observe cost per tick per lane, nanoseconds.
+    pub ns_per_tick_per_run: f64,
+}
+
+/// The batch-width calibration: the scalar fused baseline plus one
+/// [`WidthPoint`] per candidate stripe width, measured by replaying a
+/// recorded clean scenario-1 run through the 49-monitor vehicle suite —
+/// monitoring cost only, no simulation in the loop (the batched
+/// analogue of [`observe_calibration`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatchCalibration {
+    /// Replayed ticks per pass.
+    pub ticks: usize,
+    /// Scalar fused suite baseline ([`ObserveCalibration`]'s quantity),
+    /// nanoseconds per tick per run.
+    pub scalar_ns_per_tick_per_run: f64,
+    /// Batched cost per candidate width, cheapest engine for a sweep
+    /// stripe being the smallest `ns_per_tick_per_run`.
+    pub widths: Vec<WidthPoint>,
+}
+
+impl BatchCalibration {
+    /// The calibrated stripe width: the candidate with the lowest
+    /// per-run cost (ties break toward the narrower stripe, which
+    /// schedules better).
+    pub fn best_width(&self) -> usize {
+        self.widths
+            .iter()
+            .min_by(|a, b| {
+                a.ns_per_tick_per_run
+                    .total_cmp(&b.ns_per_tick_per_run)
+                    .then(a.width.cmp(&b.width))
+            })
+            .map_or(esafe_harness::DEFAULT_BATCH_WIDTH, |p| p.width)
+    }
+
+    /// The calibrated width's per-run cost, nanoseconds per tick.
+    pub fn best_ns_per_tick_per_run(&self) -> f64 {
+        let best = self.best_width();
+        self.widths
+            .iter()
+            .find(|p| p.width == best)
+            .map_or(self.scalar_ns_per_tick_per_run, |p| p.ns_per_tick_per_run)
+    }
+}
+
+/// Measures [`BatchCalibration`] on this machine: one recorded clean
+/// scenario-1 run, then warm-up + timed replay passes through the
+/// scalar fused suite and through batched suites at widths 2–32, each
+/// lane fed its own copy of the recorded frames (pre-materialized, so
+/// the timed loop is monitoring only).
+pub fn batch_calibration() -> BatchCalibration {
+    let family = VehicleFamily::default();
+    // A bounded tick window keeps the width-32 lane replica set small
+    // (~ticks × width frames) while staying long enough to exercise the
+    // temporal cells realistically.
+    let frames = recorded_clean_frames(&family, 1500);
+    let ticks = frames.len();
+    let passes = 3u32;
+
+    let mut scalar = family.template().instantiate();
+    let scalar_pass = |suite: &mut esafe_monitor::MonitorSuite| {
+        suite.reset();
+        for frame in &frames {
+            suite.observe(frame).expect("recorded frames are complete");
+        }
+    };
+    scalar_pass(&mut scalar);
+    let started = std::time::Instant::now();
+    for _ in 0..passes {
+        scalar_pass(&mut scalar);
+    }
+    let scalar_ns_per_tick_per_run =
+        started.elapsed().as_nanos() as f64 / (passes as usize * ticks) as f64;
+
+    let widths = [2usize, 4, 8, 16, 32]
+        .into_iter()
+        .map(|width| {
+            let lane_frames = replicate_lanes(&frames, width);
+            let mut batch = family.template().instantiate_batch(width);
+            let batch_pass = |batch: &mut esafe_monitor::MonitorSuiteBatch| {
+                batch.reset();
+                for stripe in &lane_frames {
+                    batch
+                        .observe_batch(stripe)
+                        .expect("recorded frames are complete");
+                }
+            };
+            batch_pass(&mut batch);
+            let started = std::time::Instant::now();
+            for _ in 0..passes {
+                batch_pass(&mut batch);
+            }
+            WidthPoint {
+                width,
+                ns_per_tick_per_run: started.elapsed().as_nanos() as f64
+                    / (passes as usize * ticks * width) as f64,
+            }
+        })
+        .collect();
+
+    BatchCalibration {
+        ticks,
+        scalar_ns_per_tick_per_run,
+        widths,
+    }
+}
+
+/// Runs the full default mega grid (`esafe_scenarios::mega`, ≥10⁴
+/// cells) through the batched streaming engine at the given stripe
+/// width, returning the aggregate, sweep stats, and cell count.
+pub fn full_mega_timed(width: usize) -> (SweepAggregate, SweepStats, usize) {
+    let cells = mega::mega_grid();
+    let count = cells.len();
+    let (aggregate, stats) =
+        mega::run_mega_aggregate(cells, width).expect("mega-grid formulas compile");
+    (aggregate, stats, count)
+}
+
+/// The machine-readable `repro --mega-grid --json` summary — **schema
+/// v4**, written to `BENCH_megagrid.json`: the ≥10⁴-cell sweep's
+/// wall-clock and worker-time totals, the batch-width calibration that
+/// chose the stripe width, and the order-independent aggregate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MegaGridSummary {
+    /// Summary schema version (v4 introduces the mega-grid fields and
+    /// the width calibration; v1–v3 are the `BENCH_grid.json` history).
+    pub schema: u32,
+    /// Cells in the swept parameter space.
+    pub cells: usize,
+    /// Total sweep wall-clock, milliseconds.
+    pub wall_clock_ms: f64,
+    /// Wall-clock per monitored run, milliseconds.
+    pub ms_per_run: f64,
+    /// Per-run setup time summed over all workers, milliseconds.
+    pub setup_ms: f64,
+    /// Tick-loop time summed over all workers, milliseconds.
+    pub tick_ms: f64,
+    /// The stripe width the calibration selected for the sweep.
+    pub batch_width: usize,
+    /// Scalar fused monitor-observe baseline, ns per tick per run.
+    pub observe_ns_per_tick_per_run_scalar: f64,
+    /// Batched monitor-observe cost at `batch_width`, ns per tick per
+    /// run — the acceptance quantity (at or below the scalar baseline).
+    pub observe_ns_per_tick_per_run_batched: f64,
+    /// The full width sweep behind the choice.
+    pub width_calibration: Vec<WidthPoint>,
+    /// Runs that compiled their monitor suite from scratch.
+    pub suite_compiles: usize,
+    /// Runs whose suite came from a template instantiation (stripe
+    /// lanes count here).
+    pub suite_instantiations: usize,
+    /// Runs that reset and reused a worker's pooled suite.
+    pub suite_reuses: usize,
+    /// The order-independent classification totals.
+    pub aggregate: SweepAggregate,
+}
+
+/// Serializes the mega-grid aggregate + timing + width calibration as
+/// pretty JSON (schema v4).
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` if serialization fails (never expected
+/// for these types).
+pub fn mega_summary_json(
+    aggregate: &SweepAggregate,
+    wall: std::time::Duration,
+    stats: &SweepStats,
+    calibration: &BatchCalibration,
+    cells: usize,
+    batch_width: usize,
+) -> Result<String, serde_json::Error> {
+    let wall_clock_ms = wall.as_secs_f64() * 1000.0;
+    let summary = MegaGridSummary {
+        schema: 4,
+        cells,
+        wall_clock_ms,
+        ms_per_run: if aggregate.runs == 0 {
+            0.0
+        } else {
+            wall_clock_ms / aggregate.runs as f64
+        },
+        setup_ms: stats.setup.as_secs_f64() * 1000.0,
+        tick_ms: stats.ticking.as_secs_f64() * 1000.0,
+        batch_width,
+        observe_ns_per_tick_per_run_scalar: calibration.scalar_ns_per_tick_per_run,
+        observe_ns_per_tick_per_run_batched: calibration.best_ns_per_tick_per_run(),
+        width_calibration: calibration.widths.clone(),
+        suite_compiles: stats.suites_compiled,
+        suite_instantiations: stats.suites_instantiated,
+        suite_reuses: stats.suites_reused,
+        aggregate: aggregate.clone(),
+    };
+    serde_json::to_string_pretty(&summary)
 }
 
 /// The machine-readable `repro --grid --json` summary: wall-clock timing

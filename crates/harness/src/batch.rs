@@ -1,0 +1,638 @@
+//! Striped batched sweeps: whole groups of cells stepping through the
+//! monitor suite together.
+//!
+//! The scalar sweep runs one cell at a time: each run walks the fused
+//! monitor DAG once per tick for *its own* frame. The batched sweep
+//! instead groups cells that share a compile-once
+//! [`SuiteTemplate`](esafe_monitor::SuiteTemplate) (and schedule) into
+//! **stripes** of up to `width` cells, ticks the stripe's simulators in
+//! lock-step, and feeds all observed frames to one
+//! [`MonitorSuiteBatch`] pass — the slab-of-lanes engine that evaluates
+//! each DAG node across every run in the stripe before moving to the
+//! next node, amortizing node decode and turning the per-node inner
+//! loop into a straight-line sweep over contiguous lanes.
+//!
+//! Batching is observationally invisible — reports and aggregates are
+//! **bit-identical** to the scalar paths ([`Sweep::run`] /
+//! [`Sweep::run_aggregate`]), which the workspace's golden sweeps and
+//! property tests pin. The shapes that don't fit a stripe degrade
+//! gracefully to the scalar fused path, never to different results:
+//!
+//! * cells without a suite template (self-compiling substrates) run
+//!   scalar;
+//! * ragged tails — the last `< 2` cells of a group — run scalar;
+//! * a run hitting its terminal event mid-stripe is *retired*: its lane
+//!   freezes (temporal history, violation trackers, step counter) while
+//!   the surviving lanes keep ticking, exactly as if each had run alone;
+//! * a monitoring error inside a stripe reruns the whole stripe on the
+//!   scalar path, so per-cell errors surface identically to
+//!   [`Sweep::run`] (earliest-cell-first).
+
+use crate::context::{RunContext, RunTiming, SuiteProvenance};
+use crate::experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
+use crate::substrate::Substrate;
+use crate::sweep::{cell_seed, Partial, Sweep, SweepAggregate, SweepReport, SweepStats};
+use esafe_logic::Frame;
+use esafe_monitor::MonitorSuiteBatch;
+use esafe_sim::{sample_point, SeriesLog, Simulator};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default stripe width for batched sweeps: wide enough to amortize the
+/// per-node decode across many lanes, narrow enough that a grid still
+/// splits into more stripes than cores. (The mega-grid reproduction
+/// calibrates its width empirically; see `esafe-bench`.)
+pub const DEFAULT_BATCH_WIDTH: usize = 8;
+
+/// One schedulable piece of a batched sweep: a lock-step stripe of
+/// same-template cell indices, or a single cell on the scalar path.
+#[derive(Debug)]
+enum Unit {
+    Stripe(Vec<usize>),
+    Scalar(usize),
+}
+
+/// Partitions cells into stripes of up to `width` same-group cells plus
+/// scalar singles. Cells group when they share the same suite template,
+/// signal table, and scheduled duration (`Arc` identity — the family
+/// pattern); template-less cells and one-cell tails run scalar.
+fn plan_units<S: Substrate>(subs: &[S], width: usize) -> Vec<Unit> {
+    let width = width.max(1);
+    let mut units = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut by_key: HashMap<(usize, usize, u64), usize> = HashMap::new();
+    for (i, sub) in subs.iter().enumerate() {
+        match sub.suite_template() {
+            None => units.push(Unit::Scalar(i)),
+            Some(template) => {
+                let key = (
+                    Arc::as_ptr(sub.signal_table()) as usize,
+                    Arc::as_ptr(template) as usize,
+                    sub.duration_ms(),
+                );
+                let g = *by_key.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[g].push(i);
+            }
+        }
+    }
+    for group in groups {
+        for chunk in group.chunks(width) {
+            if chunk.len() == 1 {
+                units.push(Unit::Scalar(chunk[0]));
+            } else {
+                units.push(Unit::Stripe(chunk.to_vec()));
+            }
+        }
+    }
+    units
+}
+
+/// The per-lane run state a stripe carries for one cell: everything the
+/// scalar experiment loop keeps per run, minus the monitor suite (which
+/// lives lane-indexed in the shared [`MonitorSuiteBatch`]).
+struct Lane {
+    sim: Simulator,
+    /// Per-tracked-signal point buffers (the indexed fast path), used
+    /// when no signal is tracked twice.
+    buffers: Vec<Vec<(f64, f64)>>,
+    buffered: bool,
+    series: SeriesLog,
+    terminal_tick: Option<u64>,
+    terminal_event: Option<String>,
+    terminated_early: bool,
+    live: bool,
+}
+
+type CellOutcome = (usize, Result<RunReport, ExperimentError>, RunTiming);
+
+/// Runs one cell on the scalar experiment loop — the fallback for
+/// template-less cells, one-cell tails, and stripes that hit a
+/// monitoring error.
+fn run_scalar_cell<S: Substrate>(
+    config: ExperimentConfig,
+    substrate: &S,
+    index: usize,
+) -> CellOutcome {
+    match Experiment::new(substrate)
+        .with_config(config)
+        .run_in(&mut RunContext::new())
+    {
+        Ok((report, timing)) => (index, Ok(report), timing),
+        Err(e) => (index, Err(e), RunTiming::default()),
+    }
+}
+
+/// Runs one stripe: `lanes_idx.len()` simulators ticking in lock-step,
+/// all observed frames fed to one batched monitor pass per tick. Per
+/// lane, the loop reproduces the scalar experiment semantics exactly —
+/// same tick schedule, same series sampling, same terminal-event grace
+/// window, same correlation — so each cell's report is bit-identical to
+/// a scalar run of the same substrate.
+fn run_stripe<S: Substrate>(
+    config: ExperimentConfig,
+    subs: &[S],
+    lanes_idx: &[usize],
+) -> Vec<CellOutcome> {
+    let width = lanes_idx.len();
+    let setup_started = Instant::now();
+    let template = subs[lanes_idx[0]]
+        .suite_template()
+        .expect("planned stripes carry a template");
+    let mut lanes: Vec<Lane> = lanes_idx
+        .iter()
+        .map(|&i| {
+            let substrate = &subs[i];
+            let tracked = substrate.tracked_signals();
+            let buffered = {
+                let mut ids: Vec<_> = tracked.to_vec();
+                ids.sort_unstable();
+                ids.dedup();
+                ids.len() == tracked.len()
+            };
+            Lane {
+                sim: substrate.build_simulator(),
+                buffers: if buffered {
+                    tracked.iter().map(|_| Vec::new()).collect()
+                } else {
+                    Vec::new()
+                },
+                buffered,
+                series: SeriesLog::new(),
+                terminal_tick: None,
+                terminal_event: None,
+                terminated_early: false,
+                live: true,
+            }
+        })
+        .collect();
+
+    let dt = lanes[0].sim.dt_millis();
+    if lanes.iter().any(|lane| lane.sim.dt_millis() != dt) {
+        // Mixed tick periods cannot tick in lock-step. Grouping keys on
+        // the shared table/template/duration, which in practice fixes
+        // dt too — this is a correctness backstop, not a hot path.
+        return lanes_idx
+            .iter()
+            .map(|&i| run_scalar_cell(config, &subs[i], i))
+            .collect();
+    }
+
+    let mut batch: MonitorSuiteBatch = template.instantiate_batch(width);
+    let mut observed: Vec<Frame> = lanes_idx
+        .iter()
+        .map(|&i| subs[i].signal_table().frame())
+        .collect();
+    let scheduled_ticks = subs[lanes_idx[0]].duration_ms().div_ceil(dt);
+    let post_terminal_ticks = config.post_terminal_ms.div_ceil(dt);
+    let setup = setup_started.elapsed();
+
+    let tick_started = Instant::now();
+    for tick in 1..=scheduled_ticks {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            if lane.live {
+                lane.sim.step();
+                subs[lanes_idx[l]].observe(lane.sim.state(), &mut observed[l]);
+            }
+        }
+        if batch.observe_batch(&observed).is_err() {
+            // A monitoring error mid-stripe: rerun every lane on the
+            // scalar path so per-cell results (successes *and* the
+            // failing cell's error) match `Sweep::run` exactly.
+            return lanes_idx
+                .iter()
+                .map(|&i| run_scalar_cell(config, &subs[i], i))
+                .collect();
+        }
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            if !lane.live {
+                continue;
+            }
+            let substrate = &subs[lanes_idx[l]];
+            let t = lane.sim.seconds();
+            let tracked = substrate.tracked_signals();
+            if lane.buffered {
+                for (buffer, &id) in lane.buffers.iter_mut().zip(tracked) {
+                    if let Some(x) = sample_point(observed[l].get(id)) {
+                        buffer.push((t, x));
+                    }
+                }
+            } else {
+                for &id in tracked {
+                    lane.series.sample(&observed[l], id, t);
+                }
+            }
+            if lane.terminal_tick.is_none() {
+                if let Some(event) = substrate.terminal_event(&observed[l]) {
+                    lane.terminal_tick = Some(tick);
+                    lane.terminal_event = Some(event.to_owned());
+                }
+            }
+            if let Some(at) = lane.terminal_tick {
+                if tick >= at + post_terminal_ticks {
+                    lane.terminated_early = tick < scheduled_ticks;
+                    lane.live = false;
+                    batch.retire_lane(l);
+                }
+            }
+        }
+        if batch.active_lanes() == 0 {
+            break;
+        }
+    }
+    batch.finish();
+    let ticking = tick_started.elapsed();
+
+    // Per-lane timing: the stripe's wall-clock split evenly across its
+    // lanes, so `SweepStats` totals stay comparable to the scalar paths.
+    let lane_timing = RunTiming {
+        setup: setup / width as u32,
+        ticking: ticking / width as u32,
+        suite: SuiteProvenance::Instantiated,
+    };
+    let window_ticks = config.correlation_window_ms.div_ceil(dt);
+    lanes
+        .into_iter()
+        .enumerate()
+        .map(|(l, lane)| {
+            let index = lanes_idx[l];
+            let substrate = &subs[index];
+            let correlation = batch.correlate_lane(l, window_ticks);
+            let violations = batch.take_violations_lane(l);
+            let mut series = lane.series;
+            for (buffer, &id) in lane.buffers.into_iter().zip(substrate.tracked_signals()) {
+                series.append_points(substrate.signal_table().name(id), buffer);
+            }
+            let report = RunReport {
+                substrate: substrate.name().to_owned(),
+                label: substrate.label(),
+                config,
+                dt_millis: dt,
+                scheduled_ticks,
+                ticks: lane.sim.tick(),
+                end_time_s: lane.sim.seconds(),
+                terminated_early: lane.terminated_early,
+                terminal_event: lane.terminal_event,
+                violations,
+                correlation,
+                series,
+                trace: None,
+            };
+            (index, Ok(report), lane_timing)
+        })
+        .collect()
+}
+
+impl<C: Sync> Sweep<C> {
+    /// [`Sweep::run`] on the **batched** engine: cells sharing a suite
+    /// template are grouped into lock-step stripes of up to `width`
+    /// runs, each tick feeding every lane's observed frame to one
+    /// [`MonitorSuiteBatch`] pass (see the [module docs](self)).
+    /// Reports are bit-identical to the scalar paths, in cell order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell's [`ExperimentError`], by cell order.
+    pub fn run_batched<S, F>(&self, build: F, width: usize) -> Result<SweepReport, ExperimentError>
+    where
+        S: Substrate + Sync,
+        F: Fn(&C, u64) -> S + Sync,
+    {
+        self.run_batched_timed(build, width)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Sweep::run_batched`] plus the aggregated [`SweepStats`]
+    /// (stripe wall-clock split evenly across its lanes).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell's [`ExperimentError`], by cell order.
+    pub fn run_batched_timed<S, F>(
+        &self,
+        build: F,
+        width: usize,
+    ) -> Result<(SweepReport, SweepStats), ExperimentError>
+    where
+        S: Substrate + Sync,
+        F: Fn(&C, u64) -> S + Sync,
+    {
+        let subs = self.build_all(&build);
+        let units = plan_units(&subs, width);
+        let per_unit: Vec<Vec<CellOutcome>> = units
+            .into_par_iter()
+            .map(|unit| run_unit(self.config, &subs, &unit))
+            .collect();
+        let mut slots: Vec<Option<(Result<RunReport, ExperimentError>, RunTiming)>> =
+            (0..subs.len()).map(|_| None).collect();
+        for (i, result, timing) in per_unit.into_iter().flatten() {
+            slots[i] = Some((result, timing));
+        }
+        let results: Vec<_> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every cell is planned into exactly one unit"))
+            .collect();
+        Self::collect_reports(results)
+    }
+
+    /// [`Sweep::run_aggregate`] on the **batched** engine: stripes run
+    /// in parallel, and every lane's report folds into a per-worker
+    /// partial aggregate the moment its stripe completes — no report
+    /// outlives its stripe, so memory is O(workers × width) regardless
+    /// of grid size. The aggregate is identical to every other sweep
+    /// path (pinned by the workspace's regression tests); this is the
+    /// engine behind `repro --grid` and `repro --mega-grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell's [`ExperimentError`], by cell order.
+    pub fn run_aggregate_batched<S, F>(
+        &self,
+        build: F,
+        width: usize,
+    ) -> Result<(SweepAggregate, SweepStats), ExperimentError>
+    where
+        S: Substrate + Sync,
+        F: Fn(&C, u64) -> S + Sync,
+    {
+        let subs = self.build_all(&build);
+        let units = plan_units(&subs, width);
+        let partial = units
+            .into_par_iter()
+            // `map_init` only for its `fold` hook — stripes carry no
+            // per-worker pooled state (scalar fallbacks build their own
+            // `RunContext`).
+            .map_init(|| (), |(), unit| run_unit(self.config, &subs, &unit))
+            .fold(Partial::default, |acc: Partial, outcomes| {
+                outcomes.into_iter().fold(acc, |acc, (i, result, timing)| {
+                    acc.absorbed(i, (result, timing))
+                })
+            })
+            .reduce(Partial::default, Partial::merged);
+        partial.finish()
+    }
+
+    /// Builds every cell's substrate up front (cells must be inspected
+    /// — table, template, duration — before they can be grouped into
+    /// stripes). Substrate construction is the cheap, amortized part of
+    /// a run; simulators and suites are still built per stripe.
+    fn build_all<S, F>(&self, build: &F) -> Vec<S>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S,
+    {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| build(cell, cell_seed(self.base_seed, i)))
+            .collect()
+    }
+}
+
+/// Executes one planned unit.
+fn run_unit<S: Substrate>(config: ExperimentConfig, subs: &[S], unit: &Unit) -> Vec<CellOutcome> {
+    match unit {
+        Unit::Scalar(i) => vec![run_scalar_cell(config, &subs[*i], *i)],
+        Unit::Stripe(lanes) => run_stripe(config, subs, lanes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::{parse, EvalError, SignalId, SignalTable};
+    use esafe_monitor::{Location, MonitorSuite, SuiteTemplate};
+    use esafe_sim::{SimTime, Subsystem};
+
+    /// A ramp that climbs by `slope` per tick.
+    struct Ramp {
+        x: SignalId,
+        slope: f64,
+    }
+
+    impl Subsystem for Ramp {
+        fn name(&self) -> &str {
+            "ramp"
+        }
+        fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
+            next.set(self.x, prev.real_or(self.x, 0.0) + self.slope);
+        }
+    }
+
+    /// A family of ramp substrates sharing one table + suite template:
+    /// per-cell `slope` controls when (or whether) the terminal limit is
+    /// hit, so a stripe mixes clean, early-terminating, and
+    /// limit-at-the-boundary lanes.
+    struct RampFamily {
+        table: Arc<SignalTable>,
+        x: SignalId,
+        template: Arc<SuiteTemplate>,
+    }
+
+    impl RampFamily {
+        fn new() -> Self {
+            let mut b = SignalTable::builder();
+            let x = b.real("x");
+            let table = b.finish();
+            let mut suite = MonitorSuite::new(table.clone());
+            suite
+                .add_goal("G", Location::new("Ramp"), parse("x < 40.0").unwrap())
+                .unwrap();
+            suite
+                .add_subgoal(
+                    "G.A",
+                    "G",
+                    Location::new("Sub"),
+                    parse("held_for(x < 35.0, 2ticks)").unwrap(),
+                )
+                .unwrap();
+            let template = Arc::new(suite.template());
+            RampFamily { table, x, template }
+        }
+
+        fn substrate(&self, slope: f64) -> RampCell {
+            RampCell {
+                table: self.table.clone(),
+                x: self.x,
+                slope,
+                template: Some(Arc::clone(&self.template)),
+                tracked: vec![self.x],
+            }
+        }
+    }
+
+    struct RampCell {
+        table: Arc<SignalTable>,
+        x: SignalId,
+        slope: f64,
+        template: Option<Arc<SuiteTemplate>>,
+        tracked: Vec<SignalId>,
+    }
+
+    impl Substrate for RampCell {
+        fn name(&self) -> &str {
+            "ramp"
+        }
+        fn label(&self) -> String {
+            format!("slope-{}", self.slope)
+        }
+        fn duration_ms(&self) -> u64 {
+            600
+        }
+        fn signal_table(&self) -> &Arc<SignalTable> {
+            &self.table
+        }
+        fn build_simulator(&self) -> Simulator {
+            let mut sim = Simulator::new(10, &self.table);
+            sim.add(Ramp {
+                x: self.x,
+                slope: self.slope,
+            });
+            sim.init_with(|f| f.set(self.x, 0.0));
+            sim
+        }
+        fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
+            let mut suite = MonitorSuite::new(self.table.clone());
+            suite.add_goal("G", Location::new("Ramp"), parse("x < 40.0").unwrap())?;
+            suite.add_subgoal(
+                "G.A",
+                "G",
+                Location::new("Sub"),
+                parse("held_for(x < 35.0, 2ticks)").unwrap(),
+            )?;
+            Ok(suite)
+        }
+        fn suite_template(&self) -> Option<&Arc<SuiteTemplate>> {
+            self.template.as_ref()
+        }
+        fn terminal_event(&self, observed: &Frame) -> Option<&'static str> {
+            (observed.real_or(self.x, 0.0) >= 50.0).then_some("limit")
+        }
+        fn tracked_signals(&self) -> &[SignalId] {
+            &self.tracked
+        }
+    }
+
+    /// Slopes chosen so lanes terminate at different ticks: slope 2.0
+    /// hits the terminal limit at tick 25 (mid-stripe), slope 1.0 at
+    /// tick 50, slope 0.25 never.
+    fn mixed_slopes() -> Vec<f64> {
+        vec![2.0, 0.25, 1.0, 0.5, 3.0, 0.75, 1.5, 0.1, 2.5, 0.3, 4.0]
+    }
+
+    #[test]
+    fn batched_sweep_matches_scalar_sweep_bit_for_bit() {
+        let family = RampFamily::new();
+        let sweep = Sweep::new(mixed_slopes()).with_base_seed(11);
+        let build = |slope: &f64, _seed: u64| family.substrate(*slope);
+        let scalar = sweep.run_serial(build).unwrap();
+        for width in [2, 3, 8, 64] {
+            let batched = sweep.run_batched(build, width).unwrap();
+            assert_eq!(batched, scalar, "width {width} diverged from scalar");
+        }
+    }
+
+    /// The early-termination-inside-a-stripe regression: a lane that
+    /// hits its terminal event mid-stripe (slope 4.0 terminates at tick
+    /// ~13 of 60) must leave every surviving lane's verdicts, series,
+    /// and violation intervals bit-identical to scalar execution.
+    #[test]
+    fn early_termination_mid_stripe_leaves_survivors_bit_identical() {
+        let family = RampFamily::new();
+        // One stripe: the fast lane dies first, the slow lanes run the
+        // full schedule.
+        let sweep = Sweep::new(vec![4.0, 0.2, 1.0, 0.4]).with_base_seed(3);
+        let build = |slope: &f64, _seed: u64| family.substrate(*slope);
+        let scalar = sweep.run_serial(build).unwrap();
+        let batched = sweep.run_batched(build, 4).unwrap();
+        assert!(
+            batched.runs[0].terminated_early,
+            "the fast lane must terminate early"
+        );
+        assert!(
+            !batched.runs[1].terminated_early,
+            "the slow lane must run its schedule"
+        );
+        assert_ne!(
+            batched.runs[0].ticks, batched.runs[2].ticks,
+            "lanes must terminate at different ticks"
+        );
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batched_aggregate_matches_scalar_aggregate() {
+        let family = RampFamily::new();
+        let sweep = Sweep::new(mixed_slopes()).with_base_seed(7);
+        let build = |slope: &f64, _seed: u64| family.substrate(*slope);
+        let (scalar, scalar_stats) = sweep.run_aggregate(build).unwrap();
+        let (batched, stats) = sweep.run_aggregate_batched(build, 4).unwrap();
+        assert_eq!(batched, scalar);
+        assert_eq!(stats.runs(), scalar_stats.runs());
+        assert_eq!(stats.suites_compiled, 0, "stripes never recompile");
+    }
+
+    #[test]
+    fn template_less_cells_fall_back_to_the_scalar_path() {
+        // RampCell with template stripped: still correct, just scalar.
+        let family = RampFamily::new();
+        let sweep = Sweep::new(vec![2.0, 1.0, 0.5]).with_base_seed(5);
+        let strip = |slope: &f64, _seed: u64| {
+            let mut cell = family.substrate(*slope);
+            cell.template = None;
+            cell
+        };
+        let batched = sweep.run_batched(strip, 4).unwrap();
+        let scalar = sweep.run_serial(strip).unwrap();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn width_one_and_empty_sweeps_are_fine() {
+        let family = RampFamily::new();
+        let build = |slope: &f64, _seed: u64| family.substrate(*slope);
+        let sweep = Sweep::new(vec![1.0, 2.0]).with_base_seed(9);
+        assert_eq!(
+            sweep.run_batched(build, 1).unwrap(),
+            sweep.run_serial(build).unwrap()
+        );
+        let empty = Sweep::new(Vec::<f64>::new());
+        assert_eq!(empty.run_batched(build, 8).unwrap().runs.len(), 0);
+        let (agg, stats) = empty.run_aggregate_batched(build, 8).unwrap();
+        assert_eq!(agg, SweepAggregate::default());
+        assert_eq!(stats.runs(), 0);
+    }
+
+    /// A family whose goal references a signal the simulator never sets
+    /// — the batch pass errors on the first tick and the stripe must
+    /// rerun scalar, reporting the earliest cell's error exactly like
+    /// the scalar sweep does.
+    #[test]
+    fn stripe_monitoring_errors_match_the_scalar_path() {
+        let mut b = SignalTable::builder();
+        let x = b.real("x");
+        b.real("ghost");
+        let table = b.finish();
+        let mut suite = MonitorSuite::new(table.clone());
+        suite
+            .add_goal("G", Location::new("Ramp"), parse("ghost < 1.0").unwrap())
+            .unwrap();
+        let broken = RampFamily {
+            table,
+            x,
+            template: Arc::new(suite.template()),
+        };
+        let sweep = Sweep::new(vec![1.0, 2.0, 3.0]).with_base_seed(1);
+        let build = |slope: &f64, _seed: u64| broken.substrate(*slope);
+        let batched = sweep.run_batched(build, 4);
+        let scalar = sweep.run_serial(build);
+        match (batched, scalar) {
+            (Err(a), Err(b)) => assert_eq!(format!("{a}"), format!("{b}")),
+            (a, b) => panic!("both paths must fail: {a:?} vs {b:?}"),
+        }
+    }
+}

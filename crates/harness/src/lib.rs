@@ -92,11 +92,13 @@
 //! assert_eq!(report.violations_for("bound").len(), 1);
 //! ```
 
+pub mod batch;
 pub mod context;
 pub mod experiment;
 pub mod substrate;
 pub mod sweep;
 
+pub use batch::DEFAULT_BATCH_WIDTH;
 pub use context::{RunContext, RunTiming, SuiteProvenance};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
 pub use substrate::Substrate;

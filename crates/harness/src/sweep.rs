@@ -46,9 +46,9 @@ pub fn cell_seed(base: u64, index: usize) -> u64 {
 /// identical results.
 #[derive(Debug, Clone)]
 pub struct Sweep<C> {
-    cells: Vec<C>,
-    config: ExperimentConfig,
-    base_seed: u64,
+    pub(crate) cells: Vec<C>,
+    pub(crate) config: ExperimentConfig,
+    pub(crate) base_seed: u64,
 }
 
 impl<C: Sync> Sweep<C> {
@@ -208,7 +208,7 @@ impl<C: Sync> Sweep<C> {
         partial.finish()
     }
 
-    fn run_cell<S, F>(
+    pub(crate) fn run_cell<S, F>(
         &self,
         ctx: &mut RunContext,
         index: usize,
@@ -228,7 +228,7 @@ impl<C: Sync> Sweep<C> {
         }
     }
 
-    fn collect_reports(
+    pub(crate) fn collect_reports(
         results: Vec<(Result<RunReport, ExperimentError>, RunTiming)>,
     ) -> Result<(SweepReport, SweepStats), ExperimentError> {
         let mut runs = Vec::with_capacity(results.len());
@@ -246,7 +246,7 @@ impl<C: Sync> Sweep<C> {
 /// is commutative, so the reduction order across workers cannot change
 /// the result.
 #[derive(Debug, Default)]
-struct Partial {
+pub(crate) struct Partial {
     aggregate: AggregateBuilder,
     stats: SweepStats,
     error: Option<(usize, ExperimentError)>,
@@ -255,7 +255,7 @@ struct Partial {
 impl Partial {
     /// Folds one cell's outcome in, keeping the earliest error by cell
     /// index.
-    fn absorbed(
+    pub(crate) fn absorbed(
         mut self,
         index: usize,
         (result, timing): (Result<RunReport, ExperimentError>, RunTiming),
@@ -273,7 +273,7 @@ impl Partial {
     }
 
     /// Merges two workers' partials.
-    fn merged(mut self, other: Partial) -> Partial {
+    pub(crate) fn merged(mut self, other: Partial) -> Partial {
         self.aggregate.merge(other.aggregate);
         self.stats.merge(other.stats);
         self.error = match (self.error, other.error) {
@@ -283,7 +283,7 @@ impl Partial {
         self
     }
 
-    fn finish(self) -> Result<(SweepAggregate, SweepStats), ExperimentError> {
+    pub(crate) fn finish(self) -> Result<(SweepAggregate, SweepStats), ExperimentError> {
         match self.error {
             Some((_, e)) => Err(e),
             None => Ok((self.aggregate.finish(), self.stats)),

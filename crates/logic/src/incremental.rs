@@ -840,7 +840,8 @@ enum FusedNode {
 /// [`monitor_form`]-rewritten expression merged into **one** deduplicated
 /// DAG over resolved [`SignalId`]s.
 ///
-/// Compilation hash-conses every subexpression ([`NodeKey`]): a
+/// Compilation hash-conses every subexpression (`NodeKey`, the
+/// structural identity over resolved ids and literal bit patterns): a
 /// subformula shared by several monitors — the vehicle suite's
 /// `probe.forward`, `probe.auto_accel_source == 'ACC'`, … antecedents —
 /// becomes one node, evaluated **once per tick** into a shared value
@@ -1256,6 +1257,393 @@ impl FusedSuite {
     }
 }
 
+/// An evaluation error raised by a batched fused pass, attributed to the
+/// failing lane (run) and the first monitor whose formula demanded the
+/// failing node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchError {
+    /// Index of the failing lane (run) within the batch.
+    pub lane: usize,
+    /// Index of the owning monitor within the fused suite's root order.
+    pub monitor: usize,
+    /// The underlying evaluation error.
+    pub source: EvalError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fused lane #{} monitor #{}: {}",
+            self.lane, self.monitor, self.source
+        )
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The run state of one [`FusedSuiteProgram`] evaluated over **many runs
+/// at once** — the batch/SoA engine.
+///
+/// Where a [`FusedSuite`] holds one `bool` per DAG node, a batch holds a
+/// *lane row* per node: `lanes` contiguous slots, one per run
+/// (slab-of-lanes layout, `slab[node * lanes + lane]`), and likewise one
+/// lane row per temporal state cell. [`FusedSuiteBatch::observe_batch`]
+/// advances every lane by one frame in a single forward pass that steps
+/// the whole batch through each DAG node before moving to the next:
+/// the per-node inner loop is a straight-line sweep over contiguous
+/// lanes — branch-free for the boolean combinators — so evaluating one
+/// shared subexpression across N runs costs one node decode plus N slab
+/// reads, instead of N full scalar passes.
+///
+/// Lanes are independent runs in lock-step: verdicts per lane are
+/// **identical** to running a scalar [`FusedSuite`] per lane over the
+/// same frame sequence (property-tested, including mid-batch
+/// retirement). A run that ends early — a terminal event inside a sweep
+/// stripe — is [`retire_lane`](FusedSuiteBatch::retire_lane)d: its
+/// temporal cells and step counter freeze while the surviving lanes
+/// keep advancing, so early termination in one lane cannot perturb its
+/// neighbours.
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::{parse, FusedSuiteProgram, SignalTable};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalTable::builder();
+/// let p = b.bool("p");
+/// let table = b.finish();
+///
+/// let program = Arc::new(FusedSuiteProgram::compile(&[parse("prev(p)")?], &table)?);
+/// let mut batch = program.instantiate_batch(2);
+///
+/// // Lane 0 sees p=true, lane 1 sees p=false.
+/// let mut frames = vec![table.frame(), table.frame()];
+/// frames[0].set(p, true);
+/// frames[1].set(p, false);
+/// batch.observe_batch(&frames)?;
+/// batch.observe_batch(&frames)?;
+/// assert!(batch.verdict(0, 0)); // lane 0: p held in the previous state
+/// assert!(!batch.verdict(1, 0)); // lane 1: it did not
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusedSuiteBatch {
+    program: Arc<FusedSuiteProgram>,
+    lanes: usize,
+    /// Temporal cells, one lane row per suite-level cell:
+    /// `cells[cell * lanes + lane]`.
+    cells: Vec<Cell>,
+    /// Node values, one lane row per DAG node:
+    /// `slab[node * lanes + lane]`, rewritten every pass.
+    slab: Vec<bool>,
+    /// Per-lane frames observed so far (frozen on retirement).
+    steps: Vec<u64>,
+    /// Per-lane liveness; retired lanes are skipped by every pass.
+    active: Vec<bool>,
+    retired: usize,
+}
+
+impl FusedSuiteProgram {
+    /// Materializes a batch evaluator over this program with `lanes`
+    /// independent runs, every lane starting from the initial (empty
+    /// history) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn instantiate_batch(self: &Arc<Self>, lanes: usize) -> FusedSuiteBatch {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        let mut cells = Vec::with_capacity(self.init_cells.len() * lanes);
+        for &init in &self.init_cells {
+            cells.extend(std::iter::repeat_n(init, lanes));
+        }
+        FusedSuiteBatch {
+            cells,
+            slab: vec![false; self.nodes.len() * lanes],
+            steps: vec![0; lanes],
+            active: vec![true; lanes],
+            retired: 0,
+            program: Arc::clone(self),
+            lanes,
+        }
+    }
+}
+
+impl FusedSuiteBatch {
+    /// The immutable fused program this batch executes.
+    pub fn program(&self) -> &Arc<FusedSuiteProgram> {
+        &self.program
+    }
+
+    /// Number of lanes (runs) in the batch, retired lanes included.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of lanes still advancing.
+    pub fn active_lanes(&self) -> usize {
+        self.lanes - self.retired
+    }
+
+    /// Whether `lane` is still advancing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn is_active(&self, lane: usize) -> bool {
+        self.active[lane]
+    }
+
+    /// Retires a lane: its temporal cells and step counter freeze, and
+    /// subsequent [`observe_batch`](FusedSuiteBatch::observe_batch)
+    /// passes skip it (its slot in `frames` is ignored). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn retire_lane(&mut self, lane: usize) {
+        if std::mem::replace(&mut self.active[lane], false) {
+            self.retired += 1;
+        }
+    }
+
+    /// Number of frames `lane` has observed so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn steps_observed(&self, lane: usize) -> u64 {
+        self.steps[lane]
+    }
+
+    /// Feeds the next frame of every active lane — `frames[lane]` is
+    /// that lane's sample; retired lanes' entries are ignored. One
+    /// forward pass over the DAG advances **all** lanes through each
+    /// node before moving to the next (see the type docs).
+    ///
+    /// Verdicts per lane are identical to a scalar [`FusedSuite`] fed
+    /// the same frames, with the same error-behaviour caveat as
+    /// [`FusedSuite::observe`]: every node of every active lane is
+    /// evaluated, so an unset never-relevant signal errors here. Treat
+    /// an error as fatal for the whole batch instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] naming the failing lane and the first
+    /// monitor (by suite order) whose formula demanded the failing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames.len() != lanes`; debug builds also panic if an
+    /// active lane's frame indexes a different table than the program
+    /// was compiled against.
+    pub fn observe_batch(&mut self, frames: &[Frame]) -> Result<(), BatchError> {
+        let lanes = self.lanes;
+        assert_eq!(frames.len(), lanes, "one frame per lane, retired included");
+        debug_assert!(
+            frames
+                .iter()
+                .zip(&self.active)
+                .all(|(f, &a)| !a || Arc::ptr_eq(f.table(), &self.program.table)),
+            "active frames and batch must share one signal table"
+        );
+        let program = Arc::clone(&self.program);
+        let table = &program.table;
+        let active = &self.active;
+        let steps = &self.steps;
+        let cells = &mut self.cells;
+        for (i, node) in program.nodes.iter().enumerate() {
+            // Children precede node `i` in the topological order, so
+            // `prev` holds every child's lane row and `out` is node
+            // `i`'s own row.
+            let (prev, rest) = self.slab.split_at_mut(i * lanes);
+            let out = &mut rest[..lanes];
+            let row = |c: &u32| &prev[*c as usize * lanes..][..lanes];
+            let err = |lane: usize, e: EvalError| BatchError {
+                lane,
+                monitor: program.owners[i] as usize,
+                source: e,
+            };
+            match node {
+                FusedNode::Const(b) => out.fill(*b),
+                FusedNode::Var(id) => {
+                    for (l, out) in out.iter_mut().enumerate() {
+                        if active[l] {
+                            let step = usize::try_from(steps[l]).unwrap_or(usize::MAX);
+                            *out =
+                                frame_bool(&frames[l], *id, step, table).map_err(|e| err(l, e))?;
+                        }
+                    }
+                }
+                FusedNode::Cmp { lhs, op, rhs } => {
+                    for (l, out) in out.iter_mut().enumerate() {
+                        if active[l] {
+                            let step = usize::try_from(steps[l]).unwrap_or(usize::MAX);
+                            let a = lhs.value(&frames[l], step, table).map_err(|e| err(l, e))?;
+                            let b = rhs.value(&frames[l], step, table).map_err(|e| err(l, e))?;
+                            *out = eval::compare_values(&a, *op, &b).map_err(|e| err(l, e))?;
+                        }
+                    }
+                }
+                // The boolean combinators are pure slab-to-slab sweeps:
+                // no frame reads, no temporal state. They run over every
+                // lane unconditionally — retired lanes compute garbage
+                // from stale child rows that nothing ever reads — so the
+                // inner loops stay branch-free and vectorizable.
+                FusedNode::Not(c) => {
+                    for (out, &v) in out.iter_mut().zip(row(c)) {
+                        *out = !v;
+                    }
+                }
+                FusedNode::And(cs) => {
+                    out.fill(true);
+                    for c in cs.iter() {
+                        for (out, &v) in out.iter_mut().zip(row(c)) {
+                            *out &= v;
+                        }
+                    }
+                }
+                FusedNode::Or(cs) => {
+                    out.fill(false);
+                    for c in cs.iter() {
+                        for (out, &v) in out.iter_mut().zip(row(c)) {
+                            *out |= v;
+                        }
+                    }
+                }
+                FusedNode::Implies(a, b) => {
+                    for ((out, &av), &bv) in out.iter_mut().zip(row(a)).zip(row(b)) {
+                        *out = !av | bv;
+                    }
+                }
+                // Temporal nodes advance per-lane state, so retired
+                // lanes must be skipped — their history is frozen.
+                FusedNode::Prev { child, cell } => {
+                    let cells = &mut cells[*cell as usize * lanes..][..lanes];
+                    for ((l, out), (cell, &cur)) in out
+                        .iter_mut()
+                        .enumerate()
+                        .zip(cells.iter_mut().zip(row(child)))
+                    {
+                        if active[l] {
+                            *out = cell.step_prev(cur);
+                        }
+                    }
+                }
+                FusedNode::Once { child, cell } => {
+                    let cells = &mut cells[*cell as usize * lanes..][..lanes];
+                    for ((l, out), (cell, &cur)) in out
+                        .iter_mut()
+                        .enumerate()
+                        .zip(cells.iter_mut().zip(row(child)))
+                    {
+                        if active[l] {
+                            *out = cell.step_once(cur);
+                        }
+                    }
+                }
+                FusedNode::Historically { child, cell } => {
+                    let cells = &mut cells[*cell as usize * lanes..][..lanes];
+                    for ((l, out), (cell, &cur)) in out
+                        .iter_mut()
+                        .enumerate()
+                        .zip(cells.iter_mut().zip(row(child)))
+                    {
+                        if active[l] {
+                            *out = cell.step_historically(cur);
+                        }
+                    }
+                }
+                FusedNode::HeldFor { child, ticks, cell } => {
+                    let cells = &mut cells[*cell as usize * lanes..][..lanes];
+                    for ((l, out), (cell, &cur)) in out
+                        .iter_mut()
+                        .enumerate()
+                        .zip(cells.iter_mut().zip(row(child)))
+                    {
+                        if active[l] {
+                            *out = cell.step_held_for(cur, *ticks);
+                        }
+                    }
+                }
+                FusedNode::OnceWithin { child, ticks, cell } => {
+                    let cells = &mut cells[*cell as usize * lanes..][..lanes];
+                    for ((l, out), (cell, &cur)) in out
+                        .iter_mut()
+                        .enumerate()
+                        .zip(cells.iter_mut().zip(row(child)))
+                    {
+                        if active[l] {
+                            let step = usize::try_from(steps[l]).unwrap_or(usize::MAX);
+                            *out = cell.step_once_within(cur, step, *ticks);
+                        }
+                    }
+                }
+                FusedNode::Became { child, cell } => {
+                    let cells = &mut cells[*cell as usize * lanes..][..lanes];
+                    for ((l, out), (cell, &cur)) in out
+                        .iter_mut()
+                        .enumerate()
+                        .zip(cells.iter_mut().zip(row(child)))
+                    {
+                        if active[l] {
+                            *out = cell.step_became(cur);
+                        }
+                    }
+                }
+                FusedNode::Initially { child, cell } => {
+                    let cells = &mut cells[*cell as usize * lanes..][..lanes];
+                    for ((l, out), (cell, &cur)) in out
+                        .iter_mut()
+                        .enumerate()
+                        .zip(cells.iter_mut().zip(row(child)))
+                    {
+                        if active[l] {
+                            *out = cell.step_initially(cur);
+                        }
+                    }
+                }
+            }
+        }
+        for (step, &a) in self.steps.iter_mut().zip(&self.active) {
+            *step += u64::from(a);
+        }
+        Ok(())
+    }
+
+    /// Monitor `monitor`'s verdict in `lane` from the most recent
+    /// [`FusedSuiteBatch::observe_batch`] pass the lane took part in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` or `monitor` is out of range.
+    #[inline]
+    pub fn verdict(&self, lane: usize, monitor: usize) -> bool {
+        assert!(lane < self.lanes, "lane out of range");
+        self.slab[self.program.roots[monitor] as usize * self.lanes + lane]
+    }
+
+    /// Clears all history in every lane and re-activates retired lanes,
+    /// returning the batch to its freshly instantiated state without
+    /// reallocating.
+    pub fn reset(&mut self) {
+        for (c, &init) in self.program.init_cells.iter().enumerate() {
+            self.cells[c * self.lanes..][..self.lanes].fill(init);
+        }
+        self.steps.fill(0);
+        self.active.fill(true);
+        self.retired = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1523,6 +1911,139 @@ mod tests {
             FusedSuiteProgram::compile(&[parse("p").unwrap()], &table),
             Err(EvalError::UnknownSignal { .. })
         ));
+    }
+
+    /// Feeds `t` to a scalar fused suite per lane and to one batch with
+    /// a retirement schedule (`retire_at[l]` = observe count after which
+    /// lane `l` stops), asserting identical verdicts at every step.
+    fn assert_batch_matches_scalar_lanes(srcs: &[&str], traces: &[&Trace], retire_at: &[usize]) {
+        let exprs: Vec<Expr> = srcs.iter().map(|s| parse(s).unwrap()).collect();
+        let table = {
+            let mut b = SignalTable::builder();
+            for name in ["p", "q", "r"] {
+                b.bool(name);
+            }
+            b.finish()
+        };
+        let program = Arc::new(FusedSuiteProgram::compile(&exprs, &table).unwrap());
+        let lanes = traces.len();
+        let mut batch = program.instantiate_batch(lanes);
+        let mut scalars: Vec<FusedSuite> = (0..lanes).map(|_| program.instantiate()).collect();
+        let max_len = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+        let mut frames: Vec<Frame> = (0..lanes).map(|_| table.frame()).collect();
+        for step in 0..max_len {
+            for l in 0..lanes {
+                let lane_done = step >= retire_at[l].min(traces[l].len());
+                if lane_done {
+                    batch.retire_lane(l);
+                } else {
+                    frames[l] = table.frame_from_state_lossy(traces[l].state(step).unwrap());
+                }
+            }
+            if batch.active_lanes() == 0 {
+                break;
+            }
+            batch.observe_batch(&frames).unwrap();
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                if !batch.is_active(l) {
+                    continue;
+                }
+                scalar.observe(&frames[l]).unwrap();
+                for (m, src) in srcs.iter().enumerate() {
+                    assert_eq!(
+                        batch.verdict(l, m),
+                        scalar.verdict(m),
+                        "lane {l} monitor {m} (`{src}`) diverged at step {step}"
+                    );
+                }
+            }
+        }
+        for (l, scalar) in scalars.iter().enumerate() {
+            assert_eq!(
+                batch.steps_observed(l),
+                scalar.steps_observed(),
+                "lane {l} step counter diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_fused_lanes() {
+        let t0 = trace_of(&[
+            ("p", vec![true, false, true, true, false, true]),
+            ("q", vec![false, false, true, false, true, true]),
+            ("r", vec![true, true, false, false, true, false]),
+        ]);
+        let t1 = trace_of(&[
+            ("p", vec![false, false, true, false, true, true]),
+            ("q", vec![true, true, true, false, false, false]),
+            ("r", vec![false, true, false, true, false, true]),
+        ]);
+        let t2 = trace_of(&[
+            ("p", vec![true, true, true, true, true, true]),
+            ("q", vec![false, false, false, false, false, false]),
+            ("r", vec![true, false, true, false, true, false]),
+        ]);
+        let srcs = [
+            "always(p -> q)",
+            "p -> prev(q)",
+            "once(p && q) || held_for(r, 2ticks)",
+            "historically(p || q) -> became(r)",
+            "initially(p) <-> once_within(q, 3ticks)",
+        ];
+        // No retirement: all lanes run the full trace.
+        assert_batch_matches_scalar_lanes(&srcs, &[&t0, &t1, &t2], &[6, 6, 6]);
+        // Mid-batch retirement at different steps: surviving lanes'
+        // verdicts and temporal history must be untouched.
+        assert_batch_matches_scalar_lanes(&srcs, &[&t0, &t1, &t2], &[2, 6, 4]);
+        assert_batch_matches_scalar_lanes(&srcs, &[&t0, &t1, &t2], &[0, 3, 6]);
+    }
+
+    #[test]
+    fn batch_reset_reactivates_and_clears_history() {
+        let mut b = SignalTable::builder();
+        let p = b.bool("p");
+        let table = b.finish();
+        let program =
+            Arc::new(FusedSuiteProgram::compile(&[parse("prev(p)").unwrap()], &table).unwrap());
+        let mut batch = program.instantiate_batch(2);
+        let mut frames = vec![table.frame(), table.frame()];
+        frames[0].set(p, true);
+        frames[1].set(p, true);
+        batch.observe_batch(&frames).unwrap();
+        batch.retire_lane(1);
+        batch.retire_lane(1); // idempotent
+        assert_eq!(batch.active_lanes(), 1);
+        batch.observe_batch(&frames).unwrap();
+        assert!(batch.verdict(0, 0));
+        assert_eq!(batch.steps_observed(0), 2);
+        assert_eq!(batch.steps_observed(1), 1, "retired lane froze");
+        batch.reset();
+        assert_eq!(batch.active_lanes(), 2);
+        assert_eq!(batch.steps_observed(0), 0);
+        batch.observe_batch(&frames).unwrap();
+        assert!(!batch.verdict(0, 0), "reset must clear temporal history");
+        assert!(!batch.verdict(1, 0), "reset must reactivate lane 1 clean");
+    }
+
+    #[test]
+    fn batch_errors_name_the_lane_and_monitor() {
+        let mut b = SignalTable::builder();
+        b.bool("p");
+        b.bool("q");
+        let table = b.finish();
+        let exprs = [parse("p").unwrap(), parse("p || q").unwrap()];
+        let program = Arc::new(FusedSuiteProgram::compile(&exprs, &table).unwrap());
+        let mut batch = program.instantiate_batch(2);
+        let mut ok = table.frame();
+        ok.set_named("p", true);
+        ok.set_named("q", false);
+        let mut missing_q = table.frame();
+        missing_q.set_named("p", true);
+        let err = batch.observe_batch(&[ok, missing_q]).unwrap_err();
+        assert_eq!((err.lane, err.monitor), (1, 1));
+        assert!(matches!(err.source, EvalError::MissingVar { ref name, .. } if name == "q"));
+        assert!(err.to_string().contains("lane #1"));
     }
 
     #[test]

@@ -72,6 +72,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod eval;
 pub mod expr;
@@ -87,7 +89,8 @@ pub use error::{EvalError, ParseError, PropError};
 pub use expr::{CmpOp, Expr, Operand};
 pub use frame_trace::FrameTrace;
 pub use incremental::{
-    CompiledMonitor, CompiledProgram, FusedError, FusedSuite, FusedSuiteProgram,
+    BatchError, CompiledMonitor, CompiledProgram, FusedError, FusedSuite, FusedSuiteBatch,
+    FusedSuiteProgram,
 };
 pub use parser::parse;
 pub use signal::{Frame, SignalId, SignalKind, SignalTable, SignalTableBuilder};

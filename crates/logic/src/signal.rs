@@ -18,7 +18,7 @@
 //!   interned), copying a frame is a memcpy and per-tick reads/writes are
 //!   array indexing — zero heap traffic on the hot path.
 //!
-//! The name-keyed [`State`](crate::State) map remains the authoring,
+//! The name-keyed [`State`] map remains the authoring,
 //! serde, and test-fixture view; [`SignalTable::frame_from_state`] and
 //! [`Frame::to_state`] convert between the two.
 //!

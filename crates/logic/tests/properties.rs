@@ -294,6 +294,70 @@ proptest! {
         }
     }
 
+    /// The batched SoA evaluator produces exactly the verdicts of a
+    /// scalar fused suite per lane — on random suites, random per-lane
+    /// traces, and random mid-batch retirement schedules (a lane that
+    /// stops early must freeze without perturbing its neighbours). This
+    /// is the correctness contract of the striped sweep engine.
+    #[test]
+    fn batched_fused_matches_scalar_fused_per_lane(
+        pool in proptest::collection::vec(past_expr(3), 2..5),
+        spec in proptest::collection::vec(
+            (0usize..16, 0usize..16, 0u8..32), 1..6),
+        lane_rows in proptest::collection::vec(
+            proptest::collection::vec(proptest::array::uniform4(any::<bool>()), 1..20),
+            1..5),
+        retire_seed in 0u64..u64::MAX,
+    ) {
+        use esafe_logic::FusedSuiteBatch;
+        let exprs = suite_from(&pool, &spec);
+        let table = four_bool_table();
+        let traces: Vec<Trace> = lane_rows.into_iter().map(random_trace).collect();
+        let lanes = traces.len();
+        // Splitmix-style per-lane retirement step (possibly beyond the
+        // lane's trace, i.e. never retired).
+        let retire_at: Vec<usize> = (0..lanes)
+            .map(|l| {
+                let mut z = retire_seed.wrapping_add(l as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                z ^= z >> 31;
+                (z % 24) as usize
+            })
+            .collect();
+        let program = Arc::new(
+            FusedSuiteProgram::compile(&exprs, &table).expect("compiles"));
+        let mut batch: FusedSuiteBatch = program.instantiate_batch(lanes);
+        let mut scalars: Vec<_> = (0..lanes).map(|_| program.instantiate()).collect();
+        let mut frames: Vec<_> = (0..lanes).map(|_| table.frame()).collect();
+        let max_len = traces.iter().map(|t| t.len()).max().unwrap();
+        for step in 0..max_len {
+            for l in 0..lanes {
+                if step >= retire_at[l].min(traces[l].len()) {
+                    batch.retire_lane(l);
+                } else {
+                    frames[l] = table.frame_from_state_lossy(traces[l].state(step).unwrap());
+                }
+            }
+            if batch.active_lanes() == 0 {
+                break;
+            }
+            batch.observe_batch(&frames).expect("vars present");
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                if !batch.is_active(l) {
+                    continue;
+                }
+                scalar.observe(&frames[l]).expect("vars present");
+                for (m, expr) in exprs.iter().enumerate() {
+                    prop_assert_eq!(
+                        batch.verdict(l, m),
+                        scalar.verdict(m),
+                        "lane {} monitor {} diverged at step {} on `{}`",
+                        l, m, step, expr
+                    );
+                }
+            }
+        }
+    }
+
     /// Fusing the same formula list twice adds no new nodes beyond the
     /// first copy: dedup is exact on structural duplicates.
     #[test]

@@ -45,10 +45,14 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod correlate;
 pub mod suite;
 pub mod violation;
 
 pub use correlate::{CorrelationReport, CorrelationRow, SubgoalStats};
-pub use suite::{Location, MonitorError, MonitorSuite, SuiteTemplate};
+pub use suite::{
+    BatchMonitorError, Location, MonitorError, MonitorSuite, MonitorSuiteBatch, SuiteTemplate,
+};
 pub use violation::{IntervalTracker, ViolationInterval};

@@ -5,7 +5,7 @@ use crate::correlate::{CorrelationReport, CorrelationRow, SubgoalStats};
 use crate::violation::{IntervalTracker, ViolationInterval};
 use esafe_logic::{
     CompiledMonitor, CompiledProgram, EvalError, Expr, Frame, FrameTrace, FusedSuite,
-    FusedSuiteProgram, SignalTable,
+    FusedSuiteBatch, FusedSuiteProgram, SignalTable,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -333,6 +333,37 @@ impl MonitorSuite {
     ///
     /// Panics if `trace` indexes a different table than the suite is
     /// bound to.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use esafe_logic::{parse, FrameTrace, SignalTable};
+    /// use esafe_monitor::{Location, MonitorSuite};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = SignalTable::builder();
+    /// let speed = b.real("speed");
+    /// let table = b.finish();
+    ///
+    /// // A recorded run: speed ramps 1, 2, 3 (one sample per ms).
+    /// let mut trace = FrameTrace::new(&table, 1);
+    /// let mut frame = table.frame();
+    /// for v in [1.0, 2.0, 3.0] {
+    ///     frame.set(speed, v);
+    ///     trace.push(&frame);
+    /// }
+    ///
+    /// // Re-monitor the recording offline with a goal the live run
+    /// // never compiled.
+    /// let mut suite = MonitorSuite::new(table.clone());
+    /// suite.add_goal("tighter", Location::new("Host"), parse("speed < 2.5")?)?;
+    /// suite.replay(&trace)?;
+    /// let violations = suite.violations("tighter").unwrap();
+    /// assert_eq!(violations.len(), 1);
+    /// assert_eq!(violations[0].start_tick, 2); // the 3.0 sample
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn replay(&mut self, trace: &FrameTrace) -> Result<(), MonitorError> {
         assert!(
             Arc::ptr_eq(trace.table(), &self.table),
@@ -426,62 +457,73 @@ impl MonitorSuite {
     /// Classifies detections per §5.1.2 with the given correlation
     /// `window` (ticks of slack between subgoal and goal violations).
     pub fn correlate(&self, window: u64) -> CorrelationReport {
-        let mut rows = Vec::new();
-        for goal in self.entries.iter().filter(|e| e.meta.parent.is_none()) {
-            let goal_violations = goal.tracker.intervals();
-            let subs: Vec<&Entry> = self
-                .entries
+        let entries: Vec<(&EntryMeta, &[ViolationInterval])> = self
+            .entries
+            .iter()
+            .map(|e| (&*e.meta, e.tracker.intervals()))
+            .collect();
+        correlate_entries(&entries, window)
+    }
+}
+
+/// The §5.1.2 hit / false-positive / false-negative classification over
+/// one run's `(meta, recorded intervals)` rows, in suite order. **The
+/// one implementation** behind [`MonitorSuite::correlate`] and
+/// [`MonitorSuiteBatch::correlate_lane`], so the scalar and batched
+/// engines classify identically by construction.
+fn correlate_entries(
+    entries: &[(&EntryMeta, &[ViolationInterval])],
+    window: u64,
+) -> CorrelationReport {
+    let mut rows = Vec::new();
+    for (goal, goal_violations) in entries.iter().filter(|(m, _)| m.parent.is_none()) {
+        let subs: Vec<&(&EntryMeta, &[ViolationInterval])> = entries
+            .iter()
+            .filter(|(m, _)| m.parent.as_deref() == Some(goal.id.as_str()))
+            .collect();
+
+        let mut hits = 0usize;
+        let mut false_negatives = 0usize;
+        for gv in *goal_violations {
+            let covered = subs
                 .iter()
-                .filter(|e| e.meta.parent.as_deref() == Some(goal.meta.id.as_str()))
-                .collect();
+                .any(|(_, sv)| sv.iter().any(|sv| sv.overlaps(gv, window)));
+            if covered {
+                hits += 1;
+            } else {
+                false_negatives += 1;
+            }
+        }
 
-            let mut hits = 0usize;
-            let mut false_negatives = 0usize;
-            for gv in goal_violations {
-                let covered = subs.iter().any(|s| {
-                    s.tracker
-                        .intervals()
-                        .iter()
-                        .any(|sv| sv.overlaps(gv, window))
-                });
-                if covered {
-                    hits += 1;
-                } else {
-                    false_negatives += 1;
+        let mut false_positives = 0usize;
+        let mut per_subgoal = Vec::new();
+        for (meta, sub_viol) in &subs {
+            let mut sub_fp = 0usize;
+            for sv in *sub_viol {
+                let matched = goal_violations.iter().any(|gv| gv.overlaps(sv, window));
+                if !matched {
+                    sub_fp += 1;
                 }
             }
-
-            let mut false_positives = 0usize;
-            let mut per_subgoal = Vec::new();
-            for s in &subs {
-                let mut sub_fp = 0usize;
-                let sub_viol = s.tracker.intervals();
-                for sv in sub_viol {
-                    let matched = goal_violations.iter().any(|gv| gv.overlaps(sv, window));
-                    if !matched {
-                        sub_fp += 1;
-                    }
-                }
-                false_positives += sub_fp;
-                per_subgoal.push(SubgoalStats {
-                    subgoal_id: s.meta.id.clone(),
-                    location: s.meta.location.to_string(),
-                    violations: sub_viol.len(),
-                    false_positives: sub_fp,
-                });
-            }
-
-            rows.push(CorrelationRow {
-                goal_id: goal.meta.id.clone(),
-                goal_violations: goal_violations.len(),
-                hits,
-                false_negatives,
-                false_positives,
-                subgoals: per_subgoal,
+            false_positives += sub_fp;
+            per_subgoal.push(SubgoalStats {
+                subgoal_id: meta.id.clone(),
+                location: meta.location.to_string(),
+                violations: sub_viol.len(),
+                false_positives: sub_fp,
             });
         }
-        CorrelationReport { rows }
+
+        rows.push(CorrelationRow {
+            goal_id: goal.id.clone(),
+            goal_violations: goal_violations.len(),
+            hits,
+            false_negatives,
+            false_positives,
+            subgoals: per_subgoal,
+        });
     }
+    CorrelationReport { rows }
 }
 
 /// The compile-once form of a [`MonitorSuite`]: every goal/subgoal
@@ -544,6 +586,36 @@ impl SuiteTemplate {
     /// Stamps out a fresh **fused** suite — the production engine: no
     /// parsing, no compilation, no string copies; every monitor verdict
     /// comes from one shared evaluation pass per tick.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use esafe_logic::{parse, SignalTable};
+    /// use esafe_monitor::{Location, MonitorSuite};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = SignalTable::builder();
+    /// let speed = b.real("speed");
+    /// let table = b.finish();
+    ///
+    /// // Author once, template once, stamp per cell.
+    /// let mut authored = MonitorSuite::new(table.clone());
+    /// authored.add_goal("bound", Location::new("Host"), parse("speed < 3.0")?)?;
+    /// let template = authored.template();
+    ///
+    /// let mut cell_suite = template.instantiate();
+    /// assert!(cell_suite.is_fused());
+    /// let mut frame = table.frame();
+    /// frame.set(speed, 5.0);
+    /// cell_suite.observe(&frame)?;
+    /// cell_suite.finish();
+    /// assert_eq!(cell_suite.violations("bound").unwrap().len(), 1);
+    ///
+    /// // Each instantiation starts clean — cells never share history.
+    /// assert!(template.instantiate().violations("bound").unwrap().is_empty());
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn instantiate(&self) -> MonitorSuite {
         MonitorSuite {
             table: self.table.clone(),
@@ -569,6 +641,26 @@ impl SuiteTemplate {
         }
     }
 
+    /// Stamps out a **batched** suite evaluating `lanes` independent
+    /// runs in lock-step through one slab-of-lanes pass per tick — the
+    /// engine behind the harness's striped sweeps. Each lane carries its
+    /// own violation trackers and temporal history; per-lane results are
+    /// identical to `lanes` separate [`SuiteTemplate::instantiate`]d
+    /// suites fed the same frames (see [`MonitorSuiteBatch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn instantiate_batch(&self, lanes: usize) -> MonitorSuiteBatch {
+        MonitorSuiteBatch {
+            table: self.table.clone(),
+            trackers: vec![IntervalTracker::new(); self.entries.len() * lanes],
+            metas: self.entries.iter().map(|t| Arc::clone(&t.meta)).collect(),
+            fused: self.fused.instantiate_batch(lanes),
+            lanes,
+        }
+    }
+
     fn stamp_entries(&self) -> Vec<Entry> {
         self.entries
             .iter()
@@ -577,6 +669,228 @@ impl SuiteTemplate {
                 tracker: IntervalTracker::new(),
             })
             .collect()
+    }
+}
+
+/// An evaluation error raised by a batched suite, naming the failing
+/// lane (run) and monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMonitorError {
+    /// Index of the failing lane within the batch.
+    pub lane: usize,
+    /// The failing monitor's id.
+    pub monitor_id: String,
+    /// The underlying evaluation error.
+    pub source: EvalError,
+}
+
+impl fmt::Display for BatchMonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lane #{} monitor `{}`: {}",
+            self.lane, self.monitor_id, self.source
+        )
+    }
+}
+
+impl std::error::Error for BatchMonitorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl BatchMonitorError {
+    /// Drops the lane attribution, leaving the per-run error a scalar
+    /// suite would have reported.
+    pub fn into_monitor_error(self) -> MonitorError {
+        MonitorError {
+            monitor_id: self.monitor_id,
+            source: self.source,
+        }
+    }
+}
+
+/// A [`MonitorSuite`] over **many runs at once**: `lanes` independent
+/// runs advance in lock-step through one batched fused pass per tick
+/// ([`FusedSuiteBatch`]), with one violation-tracker row per lane.
+///
+/// The batch is the monitor-side half of the harness's striped sweeps: a
+/// stripe of same-template sweep cells ticks its simulators together and
+/// feeds all observed frames to [`MonitorSuiteBatch::observe_batch`] —
+/// each DAG node is then evaluated across the whole stripe in a
+/// straight-line lane loop before moving to the next node, instead of
+/// re-walking the suite once per run.
+///
+/// Lanes are observationally independent: verdicts, recorded intervals,
+/// correlation, and violation reports per lane are **identical** to
+/// running `lanes` separate [`SuiteTemplate::instantiate`]d suites over
+/// the same frames (pinned by unit, property, and golden sweep tests) —
+/// including when a lane [`retire`](MonitorSuiteBatch::retire_lane)s
+/// early while its neighbours keep running.
+///
+/// The per-lane lifecycle mirrors the scalar suite's
+/// observe → finish → correlate → take_violations:
+/// [`observe_batch`](MonitorSuiteBatch::observe_batch) each tick, then
+/// [`retire_lane`](MonitorSuiteBatch::retire_lane) when the lane's run
+/// ends (early termination) or [`finish`](MonitorSuiteBatch::finish)
+/// once for everything still live, then
+/// [`correlate_lane`](MonitorSuiteBatch::correlate_lane) and
+/// [`take_violations_lane`](MonitorSuiteBatch::take_violations_lane)
+/// per lane.
+#[derive(Debug, Clone)]
+pub struct MonitorSuiteBatch {
+    table: Arc<SignalTable>,
+    metas: Vec<Arc<EntryMeta>>,
+    /// Lane-major: `trackers[lane * metas.len() + entry]`, so one lane's
+    /// rows are contiguous for per-lane extraction.
+    trackers: Vec<IntervalTracker>,
+    fused: FusedSuiteBatch,
+    lanes: usize,
+}
+
+impl MonitorSuiteBatch {
+    /// The signal namespace the batch's monitors are compiled against.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
+    /// Number of lanes (runs) in the batch, retired lanes included.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of lanes still advancing.
+    pub fn active_lanes(&self) -> usize {
+        self.fused.active_lanes()
+    }
+
+    /// Whether `lane` is still advancing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn is_active(&self, lane: usize) -> bool {
+        self.fused.is_active(lane)
+    }
+
+    /// Number of monitors (goals + subgoals) per lane.
+    pub fn monitors(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Feeds the next frame of every active lane (`frames[lane]`;
+    /// retired lanes' entries are ignored): one batched fused pass, then
+    /// one verdict recording per monitor per active lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BatchMonitorError`] naming the failing lane and
+    /// monitor. As with the scalar suite, treat an error as fatal for
+    /// the batch instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames.len() != lanes`; debug builds also panic if an
+    /// active lane's frame indexes a different table.
+    pub fn observe_batch(&mut self, frames: &[Frame]) -> Result<(), BatchMonitorError> {
+        self.fused
+            .observe_batch(frames)
+            .map_err(|err| BatchMonitorError {
+                lane: err.lane,
+                monitor_id: self.metas[err.monitor].id.clone(),
+                source: err.source,
+            })?;
+        let n = self.metas.len();
+        for lane in 0..self.lanes {
+            if !self.fused.is_active(lane) {
+                continue;
+            }
+            let row = &mut self.trackers[lane * n..][..n];
+            for (e, tracker) in row.iter_mut().enumerate() {
+                tracker.record(self.fused.verdict(lane, e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends a lane's run: closes its open violation intervals and
+    /// freezes its monitors, exactly as [`MonitorSuite::finish`] would
+    /// at the end of a scalar run. Subsequent passes skip the lane.
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn retire_lane(&mut self, lane: usize) {
+        if self.fused.is_active(lane) {
+            self.fused.retire_lane(lane);
+            let n = self.metas.len();
+            for tracker in &mut self.trackers[lane * n..][..n] {
+                tracker.finish();
+            }
+        }
+    }
+
+    /// Retires every lane still active (call once after the stripe's
+    /// tick loop; lanes that terminated early were retired then).
+    pub fn finish(&mut self) {
+        for lane in 0..self.lanes {
+            self.retire_lane(lane);
+        }
+    }
+
+    /// Classifies `lane`'s detections per §5.1.2 — the same
+    /// classification [`MonitorSuite::correlate`] computes, over the
+    /// lane's own recorded intervals (one shared implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn correlate_lane(&self, lane: usize, window: u64) -> CorrelationReport {
+        let n = self.metas.len();
+        let row = &self.trackers[lane * n..][..n];
+        let entries: Vec<(&EntryMeta, &[ViolationInterval])> = self
+            .metas
+            .iter()
+            .zip(row)
+            .map(|(m, t)| (&**m, t.intervals()))
+            .collect();
+        correlate_entries(&entries, window)
+    }
+
+    /// Drains `lane`'s recorded violations into owned storage — the
+    /// batched analogue of [`MonitorSuite::take_violations`]: one
+    /// `(id, intervals)` pair per monitor with at least one interval, in
+    /// insertion order. Call
+    /// [`correlate_lane`](MonitorSuiteBatch::correlate_lane) first;
+    /// correlation reads the same intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn take_violations_lane(&mut self, lane: usize) -> Vec<(String, Vec<ViolationInterval>)> {
+        let n = self.metas.len();
+        let row = &mut self.trackers[lane * n..][..n];
+        let mut out = Vec::new();
+        for (meta, tracker) in self.metas.iter().zip(row) {
+            let intervals = tracker.take_intervals();
+            if !intervals.is_empty() {
+                out.push((meta.id.clone(), intervals));
+            }
+        }
+        out
+    }
+
+    /// Returns every lane to its pre-run state — history, trackers, and
+    /// retirements cleared in place, no reallocation. A reset batch is
+    /// observationally identical to a freshly instantiated one, so a
+    /// sweep worker can reuse one batch across the stripes it executes.
+    pub fn reset(&mut self) {
+        self.fused.reset();
+        for tracker in &mut self.trackers {
+            tracker.reset();
+        }
     }
 }
 
@@ -821,6 +1135,116 @@ mod tests {
             .map(|(id, v)| (id, v.len()))
             .collect();
         assert_eq!((violations, hits), live);
+    }
+
+    /// Drives `frame_lanes` (one frame sequence per lane, possibly of
+    /// different lengths — shorter lanes retire early) through one
+    /// batched suite and through one scalar suite per lane, asserting
+    /// identical correlation and drained violations per lane.
+    fn assert_batch_lane_outcomes_match_scalar(
+        template: &SuiteTemplate,
+        lanes: &[&[(bool, bool)]],
+    ) {
+        let t = template.table().clone();
+        let width = lanes.len();
+        let mut batch = template.instantiate_batch(width);
+        let mut frames: Vec<_> = (0..width).map(|_| t.frame()).collect();
+        let max_len = lanes.iter().map(|l| l.len()).max().unwrap();
+        for step in 0..max_len {
+            for (l, lane) in lanes.iter().enumerate() {
+                match lane.get(step) {
+                    Some(&(g, s)) => {
+                        frames[l].set_named("g", g);
+                        frames[l].set_named("s", s);
+                    }
+                    None => batch.retire_lane(l),
+                }
+            }
+            if batch.active_lanes() == 0 {
+                break;
+            }
+            batch.observe_batch(&frames).unwrap();
+        }
+        batch.finish();
+        for (l, lane) in lanes.iter().enumerate() {
+            let scalar = outcome(template.instantiate(), lane);
+            let hits = batch
+                .correlate_lane(l, 0)
+                .for_goal("G")
+                .map_or(0, |row| row.hits);
+            let violations: Vec<(String, usize)> = batch
+                .take_violations_lane(l)
+                .into_iter()
+                .map(|(id, v)| (id, v.len()))
+                .collect();
+            assert_eq!((violations, hits), scalar, "lane {l} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_suite_matches_scalar_suites_per_lane() {
+        let template = suite().template();
+        // Uniform lanes.
+        assert_batch_lane_outcomes_match_scalar(
+            &template,
+            &[
+                &[(true, true), (false, false), (true, false)],
+                &[(false, true), (true, true), (false, false)],
+                &[(true, true), (true, true), (true, true)],
+            ],
+        );
+        // Ragged lanes: lane 1 retires after one tick, lane 2 after two
+        // — the early-termination-inside-a-stripe shape. Lane 0's
+        // verdicts must be bit-identical to its scalar run regardless.
+        assert_batch_lane_outcomes_match_scalar(
+            &template,
+            &[
+                &[(true, true), (false, false), (true, false), (false, true)],
+                &[(false, false)],
+                &[(true, false), (false, true)],
+            ],
+        );
+    }
+
+    #[test]
+    fn batched_suite_reset_behaves_like_fresh() {
+        let template = suite().template();
+        let mut batch = template.instantiate_batch(2);
+        let t = template.table().clone();
+        let mut frames = vec![t.frame(), t.frame()];
+        for f in &mut frames {
+            f.set_named("g", false);
+            f.set_named("s", false);
+        }
+        batch.observe_batch(&frames).unwrap();
+        batch.retire_lane(0);
+        batch.finish();
+        assert_eq!(batch.take_violations_lane(0).len(), 2);
+        batch.reset();
+        assert_eq!(batch.active_lanes(), 2);
+        for f in &mut frames {
+            f.set_named("g", true);
+            f.set_named("s", true);
+        }
+        batch.observe_batch(&frames).unwrap();
+        batch.finish();
+        assert!(batch.take_violations_lane(0).is_empty());
+        assert!(batch.take_violations_lane(1).is_empty());
+    }
+
+    #[test]
+    fn batched_observe_error_names_lane_and_monitor() {
+        let template = suite().template();
+        let t = template.table().clone();
+        let mut batch = template.instantiate_batch(2);
+        let mut good = t.frame();
+        good.set_named("g", true);
+        good.set_named("s", true);
+        let err = batch.observe_batch(&[good, t.frame()]).unwrap_err();
+        assert_eq!(err.lane, 1);
+        assert_eq!(err.monitor_id, "G");
+        assert!(err.to_string().contains("lane #1"));
+        assert_eq!(err.clone().into_monitor_error().monitor_id, "G");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use crate::catalog;
 use crate::runner;
-use esafe_harness::{ExperimentError, Sweep, SweepAggregate, SweepReport, SweepStats};
+use esafe_harness::{
+    ExperimentError, Sweep, SweepAggregate, SweepReport, SweepStats, DEFAULT_BATCH_WIDTH,
+};
 use esafe_vehicle::config::DefectSet;
 use esafe_vehicle::substrate::{VehicleFamily, VehicleSubstrate};
 
@@ -83,8 +85,13 @@ pub fn sweep(grid: Vec<GridCell>) -> Sweep<GridCell> {
     Sweep::new(grid).with_config(runner::thesis_config())
 }
 
-/// Runs a grid in parallel across cores, amortizing suite compilation
-/// through one [`VehicleFamily`] built for the whole sweep.
+/// Runs a grid in parallel across cores on the **batched** engine:
+/// suite compilation amortized through one [`VehicleFamily`] built for
+/// the whole sweep, and same-template cells grouped into lock-step
+/// stripes whose monitors evaluate through one slab-of-lanes pass per
+/// tick ([`Sweep::run_batched`]). Reports are bit-identical to the
+/// scalar paths — pinned against [`run_serial`] and the per-run-compile
+/// reference by the workspace's golden sweep tests.
 ///
 /// # Errors
 ///
@@ -103,7 +110,10 @@ pub fn run_parallel_timed(
     grid: Vec<GridCell>,
 ) -> Result<(SweepReport, SweepStats), ExperimentError> {
     let family = VehicleFamily::default();
-    sweep(grid).run_timed(|cell, seed| build_cell_in(&family, cell, seed))
+    sweep(grid).run_batched_timed(
+        |cell, seed| build_cell_in(&family, cell, seed),
+        DEFAULT_BATCH_WIDTH,
+    )
 }
 
 /// Runs a grid serially (the reference the parallel path must match),
@@ -117,12 +127,15 @@ pub fn run_serial(grid: Vec<GridCell>) -> Result<SweepReport, ExperimentError> {
     sweep(grid).run_serial(|cell, seed| build_cell_in(&family, cell, seed))
 }
 
-/// Runs a grid in parallel as a **streaming reduction**: each worker
-/// folds its reports into a partial aggregate the moment they are
-/// produced, so no report is retained and memory stays O(workers) no
-/// matter how many cells the grid holds. The aggregate is identical to
+/// Runs a grid in parallel as a **batched streaming reduction**: cells
+/// group into lock-step stripes (one batched monitor pass per tick for
+/// a whole stripe), and every stripe's reports fold into a per-worker
+/// partial aggregate the moment the stripe completes, so no report is
+/// retained and memory stays O(workers × stripe width) no matter how
+/// many cells the grid holds. The aggregate is identical to
 /// `run_parallel(..).aggregate()` (pinned by the workspace's regression
 /// tests); use the collect-all paths when per-run detail is needed.
+/// This is the engine behind `repro --grid` and `repro --mega-grid`.
 ///
 /// # Errors
 ///
@@ -131,7 +144,10 @@ pub fn run_parallel_aggregate(
     grid: Vec<GridCell>,
 ) -> Result<(SweepAggregate, SweepStats), ExperimentError> {
     let family = VehicleFamily::default();
-    sweep(grid).run_aggregate(|cell, seed| build_cell_in(&family, cell, seed))
+    sweep(grid).run_aggregate_batched(
+        |cell, seed| build_cell_in(&family, cell, seed),
+        DEFAULT_BATCH_WIDTH,
+    )
 }
 
 #[cfg(test)]

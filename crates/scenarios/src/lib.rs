@@ -3,13 +3,18 @@
 //!
 //! * [`catalog`] — the ten [`Scenario`] descriptors (world, driver script,
 //!   expected phenomena);
-//! * [`runner`] — lifts a scenario × [`DefectSet`] cell into a
+//! * [`runner`] — lifts a scenario × [`DefectSet`](esafe_vehicle::config::DefectSet) cell into a
 //!   [`esafe_vehicle::substrate::VehicleSubstrate`] and executes it
 //!   through the generic [`esafe_harness::Experiment`] loop, monitoring
 //!   all 49 goal/subgoal monitors and recording the figure time series
 //!   (grids of cells run in parallel via [`esafe_harness::Sweep`]);
 //! * [`tables`] — renders the per-scenario violation tables (D.1–D.11),
-//!   the Table 5.3 monitoring matrix, and the figure series.
+//!   the Table 5.3 monitoring matrix, and the figure series;
+//! * [`grid`] — the 140-cell scenario × defect evaluation grid, swept on
+//!   the batched striped engine (`repro --grid`);
+//! * [`mega`] — the ≥10⁴-cell scenario-*parameter* mega grid (headways ×
+//!   lead speeds × throttle levels × defect configurations), streamed
+//!   with O(workers × stripe width) memory (`repro --mega-grid`).
 //!
 //! # Example
 //!
@@ -25,9 +30,11 @@
 
 pub mod catalog;
 pub mod grid;
+pub mod mega;
 pub mod runner;
 pub mod tables;
 
 pub use catalog::{scenario, Scenario};
 pub use grid::GridCell;
+pub use mega::MegaCell;
 pub use runner::{run, ScenarioReport};

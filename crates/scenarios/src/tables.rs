@@ -6,7 +6,7 @@ use crate::runner::ScenarioReport;
 use esafe_vehicle::config::VehicleParams;
 use std::fmt::Write as _;
 
-/// Renders the Table D.<n> analogue: every goal/subgoal violation of a
+/// Renders the Table D.`<n>` analogue: every goal/subgoal violation of a
 /// scenario run with onset time and duration, followed by the
 /// hit/false-positive/false-negative classification.
 pub fn violation_table(report: &ScenarioReport) -> String {

@@ -263,7 +263,7 @@ pub mod collection {
     use super::{Rng, Strategy};
     use std::ops::Range;
 
-    /// Length specifications accepted by [`vec`]: a range or an exact
+    /// Length specifications accepted by [`vec()`]: a range or an exact
     /// size.
     pub trait IntoSizeRange {
         /// The `(min, max_exclusive)` bounds.

@@ -1,0 +1,86 @@
+//! Quick component-level timing of one mega-grid stripe: how the
+//! per-lane-tick budget splits between batched simulation, in-place
+//! probe observation, the fused monitor DAG pass, and verdict trackers.
+//!
+//! Run with `cargo run --release -p esafe-bench --example profile_stripe`.
+
+use esafe_harness::Substrate;
+use esafe_scenarios::mega;
+use esafe_vehicle::VehicleFamily;
+use std::time::Instant;
+
+fn main() {
+    let ticks = 5000u64;
+    let family = VehicleFamily::default();
+    let cells = mega::mega_grid();
+    for width in [16usize, 32, 64, 128] {
+        let subs: Vec<_> = cells[..width]
+            .iter()
+            .map(|c| mega::build_mega_cell_in(&family, c, 0))
+            .collect();
+        let group: Vec<&_> = subs.iter().collect();
+        let table = subs[0].signal_table().clone();
+        let mut raw = table.frame();
+        let mut observed = table.frame();
+
+        // (a) batched sim stepping only.
+        let mut sim = Substrate::build_simulator_batch(&group).expect("native vehicle batch");
+        let t0 = Instant::now();
+        for _ in 0..ticks {
+            sim.step();
+        }
+        let sim_ns = t0.elapsed().as_nanos() as f64 / (ticks as usize * width) as f64;
+
+        // (b) sim + in-place probe observe.
+        let mut sim = Substrate::build_simulator_batch(&group).expect("native vehicle batch");
+        let t0 = Instant::now();
+        for _ in 0..ticks {
+            sim.step();
+            for (l, sub) in subs.iter().enumerate() {
+                sub.observe_lane(sim.state_mut(), l, &mut raw, &mut observed);
+            }
+        }
+        let simobs_ns = t0.elapsed().as_nanos() as f64 / (ticks as usize * width) as f64;
+
+        // (c) sim + observe + raw fused DAG pass (no verdict trackers).
+        let mut sim = Substrate::build_simulator_batch(&group).expect("native vehicle batch");
+        let mut fused = family.template().fused_program().instantiate_batch(width);
+        let t0 = Instant::now();
+        for _ in 0..ticks {
+            sim.step();
+            for (l, sub) in subs.iter().enumerate() {
+                sub.observe_lane(sim.state_mut(), l, &mut raw, &mut observed);
+            }
+            fused.observe_slab(sim.state()).expect("complete frames");
+        }
+        let dag_ns = t0.elapsed().as_nanos() as f64 / (ticks as usize * width) as f64;
+
+        // (d) sim + observe + full monitor suite pass (DAG + trackers).
+        let mut sim = Substrate::build_simulator_batch(&group).expect("native vehicle batch");
+        let mut suite = family.template().instantiate_batch(width);
+        let t0 = Instant::now();
+        for _ in 0..ticks {
+            sim.step();
+            for (l, sub) in subs.iter().enumerate() {
+                sub.observe_lane(sim.state_mut(), l, &mut raw, &mut observed);
+            }
+            suite.observe_slab(sim.state()).expect("complete frames");
+        }
+        let full_ns = t0.elapsed().as_nanos() as f64 / (ticks as usize * width) as f64;
+
+        println!("width {width:4}, ns per lane-tick:");
+        println!("  sim step only      {sim_ns:8.1}");
+        println!(
+            "  + probe observe    {simobs_ns:8.1}  (observe {:.1})",
+            simobs_ns - sim_ns
+        );
+        println!(
+            "  + fused DAG        {dag_ns:8.1}  (dag {:.1})",
+            dag_ns - simobs_ns
+        );
+        println!(
+            "  + suite trackers   {full_ns:8.1}  (trackers {:.1})",
+            full_ns - dag_ns
+        );
+    }
+}

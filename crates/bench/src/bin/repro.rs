@@ -57,24 +57,27 @@ fn main() {
 }
 
 /// Runs the ≥10⁴-cell scenario-parameter mega grid: calibrate the
-/// stripe width on a recorded run, then stream the whole space through
-/// the batched striped engine with O(workers × width) memory, and
-/// (with `json_path`) write the schema-v4 `BENCH_megagrid.json`
-/// summary.
+/// stripe width on live mega-cell stripes (sim + observe), then stream
+/// the whole space through the batched striped engine with
+/// O(workers × width) memory, and (with `json_path`) write the
+/// schema-v5 `BENCH_megagrid.json` summary.
 fn print_mega_grid(json_path: Option<&str>) {
     let calibration = batch_calibration();
     println!(
-        "batch-width calibration over {} recorded ticks (49-monitor fused observe):",
+        "batch-width calibration over {} live mega-cell ticks (sim + 49-monitor fused observe):",
         calibration.ticks
     );
     println!(
-        "  scalar   {:>8.1} ns/tick/run",
+        "  scalar    {:>8.1} ns/tick/run",
         calibration.scalar_ns_per_tick_per_run
     );
     for point in &calibration.widths {
         println!(
-            "  width {:>2} {:>8.1} ns/tick/run",
-            point.width, point.ns_per_tick_per_run
+            "  width {:>3} {:>8.1} ns/tick/run  (sim {:.1} + observe {:.1})",
+            point.width,
+            point.ns_per_tick_per_run,
+            point.sim_ns_per_tick_per_run,
+            point.observe_ns_per_tick_per_run
         );
     }
     let width = calibration.best_width();

@@ -103,9 +103,10 @@ pub struct ObserveCalibration {
 /// and materializes its first `max_ticks` observed frames over the
 /// family's table, so a timed replay loop is monitoring only — no
 /// per-tick column-to-frame assembly. **The one recorded-run harness**
-/// behind [`observe_calibration`], [`batch_calibration`], and the
-/// `fused_observe`/`batched_observe` criterion benches: they must all
-/// measure the same frame stream to stay comparable.
+/// behind [`observe_calibration`] and the `fused_observe`/
+/// `batched_observe` criterion benches: they must all measure the same
+/// frame stream to stay comparable. ([`batch_calibration`] instead
+/// ticks live mega-grid stripes, because it must price simulation too.)
 pub fn recorded_clean_frames(family: &VehicleFamily, max_ticks: usize) -> Vec<Frame> {
     let cells = grid::cells(&[1], &[("none".to_owned(), DefectSet::none())]);
     let substrate = grid::build_cell_in(family, &cells[0], 0);
@@ -161,28 +162,36 @@ pub fn observe_calibration() -> ObserveCalibration {
     }
 }
 
-/// One measured point of the batch-width calibration: the fused
-/// monitor-observe cost per tick *per run* when `width` runs step
-/// through the suite together.
+/// One measured point of the batch-width calibration: the **full
+/// stripe loop** cost per tick *per run* when `width` runs advance
+/// together — batched simulation, in-place probe observation, and the
+/// fused monitor pass — split into its sim and observe shares.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WidthPoint {
     /// Lanes per stripe.
     pub width: usize,
-    /// Monitor-observe cost per tick per lane, nanoseconds.
+    /// Whole stripe-loop cost per tick per lane, nanoseconds
+    /// (`sim + observe`).
     pub ns_per_tick_per_run: f64,
+    /// The [`SimulatorBatch::step`](esafe_sim::SimulatorBatch::step)
+    /// share of `ns_per_tick_per_run`.
+    pub sim_ns_per_tick_per_run: f64,
+    /// The observation share of `ns_per_tick_per_run`: in-place probe
+    /// derivation plus the fused monitor slab pass (DAG + trackers).
+    pub observe_ns_per_tick_per_run: f64,
 }
 
-/// The batch-width calibration: the scalar fused baseline plus one
-/// [`WidthPoint`] per candidate stripe width, measured by replaying a
-/// recorded clean scenario-1 run through the 49-monitor vehicle suite —
-/// monitoring cost only, no simulation in the loop (the batched
-/// analogue of [`observe_calibration`]).
+/// The batch-width calibration: the scalar full-loop baseline plus one
+/// [`WidthPoint`] per candidate stripe width, measured by ticking real
+/// mega-grid cells — simulate **and** monitor, the same loop the
+/// striped sweep runs — so the chosen width reflects how sim cost
+/// amortizes across lanes, not just the monitor pass.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BatchCalibration {
-    /// Replayed ticks per pass.
+    /// Timed ticks per measurement (after a short warm-up).
     pub ticks: usize,
-    /// Scalar fused suite baseline ([`ObserveCalibration`]'s quantity),
-    /// nanoseconds per tick per run.
+    /// Scalar baseline — one cell through `Simulator` + scalar probe
+    /// observe + fused `MonitorSuite` — nanoseconds per tick per run.
     pub scalar_ns_per_tick_per_run: f64,
     /// Batched cost per candidate width, cheapest engine for a sweep
     /// stripe being the smallest `ns_per_tick_per_run`.
@@ -194,83 +203,118 @@ impl BatchCalibration {
     /// per-run cost (ties break toward the narrower stripe, which
     /// schedules better).
     pub fn best_width(&self) -> usize {
-        self.widths
-            .iter()
-            .min_by(|a, b| {
-                a.ns_per_tick_per_run
-                    .total_cmp(&b.ns_per_tick_per_run)
-                    .then(a.width.cmp(&b.width))
-            })
+        self.best_point()
             .map_or(esafe_harness::DEFAULT_BATCH_WIDTH, |p| p.width)
+    }
+
+    /// The winning [`WidthPoint`] (`None` only for an empty sweep).
+    pub fn best_point(&self) -> Option<&WidthPoint> {
+        self.widths.iter().min_by(|a, b| {
+            a.ns_per_tick_per_run
+                .total_cmp(&b.ns_per_tick_per_run)
+                .then(a.width.cmp(&b.width))
+        })
     }
 
     /// The calibrated width's per-run cost, nanoseconds per tick.
     pub fn best_ns_per_tick_per_run(&self) -> f64 {
-        let best = self.best_width();
-        self.widths
-            .iter()
-            .find(|p| p.width == best)
+        self.best_point()
             .map_or(self.scalar_ns_per_tick_per_run, |p| p.ns_per_tick_per_run)
     }
 }
 
-/// Measures [`BatchCalibration`] on this machine: one recorded clean
-/// scenario-1 run, then warm-up + timed replay passes through the
-/// scalar fused suite and through batched suites at widths 2–32, each
-/// lane fed its own copy of the recorded frames (pre-materialized, so
-/// the timed loop is monitoring only).
+/// Ticks each calibration measurement is timed over (after
+/// [`CALIBRATION_WARMUP`] untimed warm-up ticks).
+const CALIBRATION_TICKS: u64 = 1000;
+/// Untimed ticks that settle caches, branch predictors, and the
+/// scenario's initial transient before timing starts.
+const CALIBRATION_WARMUP: u64 = 200;
+
+/// Measures [`BatchCalibration`] on this machine: one scalar mega-cell
+/// baseline, then one real stripe per candidate width (2–128) of
+/// distinct mega-grid cells stepped through a native
+/// [`SimulatorBatch`](esafe_sim::SimulatorBatch) with in-place probe
+/// observation and one fused
+/// [`MonitorSuiteBatch`](esafe_monitor::MonitorSuiteBatch) pass per tick —
+/// the striped sweep's tick loop, minus series sampling and terminal
+/// checks (both negligible). The sim share is timed inline around
+/// `sim.step()`; the observe share is the remainder.
 pub fn batch_calibration() -> BatchCalibration {
+    use esafe_harness::Substrate as _;
+    use std::time::{Duration, Instant};
+
     let family = VehicleFamily::default();
-    // A bounded tick window keeps the width-32 lane replica set small
-    // (~ticks × width frames) while staying long enough to exercise the
-    // temporal cells realistically.
-    let frames = recorded_clean_frames(&family, 1500);
-    let ticks = frames.len();
-    let passes = 3u32;
+    let cells = mega::mega_grid();
 
-    let mut scalar = family.template().instantiate();
-    let scalar_pass = |suite: &mut esafe_monitor::MonitorSuite| {
-        suite.reset();
-        for frame in &frames {
-            suite.observe(frame).expect("recorded frames are complete");
-        }
+    // Scalar baseline: one cell, one `Simulator`, one fused suite.
+    let sub = mega::build_mega_cell_in(&family, &cells[0], 0);
+    let mut sim = sub.build_simulator();
+    let mut suite = family.template().instantiate();
+    let mut observed = sub.signal_table().frame();
+    let mut scalar_tick = |sim: &mut esafe_sim::Simulator| {
+        let raw = sim.step();
+        sub.observe(raw, &mut observed);
+        suite.observe(&observed).expect("mega frames are complete");
     };
-    scalar_pass(&mut scalar);
-    let started = std::time::Instant::now();
-    for _ in 0..passes {
-        scalar_pass(&mut scalar);
+    for _ in 0..CALIBRATION_WARMUP {
+        scalar_tick(&mut sim);
     }
-    let scalar_ns_per_tick_per_run =
-        started.elapsed().as_nanos() as f64 / (passes as usize * ticks) as f64;
+    let started = Instant::now();
+    for _ in 0..CALIBRATION_TICKS {
+        scalar_tick(&mut sim);
+    }
+    let scalar_ns_per_tick_per_run = started.elapsed().as_nanos() as f64 / CALIBRATION_TICKS as f64;
 
-    let widths = [2usize, 4, 8, 16, 32]
+    let widths = [2usize, 4, 8, 16, 32, 64, 128]
         .into_iter()
         .map(|width| {
-            let lane_frames = replicate_lanes(&frames, width);
+            let subs: Vec<_> = cells[..width]
+                .iter()
+                .map(|c| mega::build_mega_cell_in(&family, c, 0))
+                .collect();
+            let group: Vec<&_> = subs.iter().collect();
+            let table = subs[0].signal_table().clone();
+            let mut raw = table.frame();
+            let mut observed = table.frame();
+            let mut sim = esafe_vehicle::VehicleSubstrate::build_simulator_batch(&group)
+                .expect("the vehicle substrate has a native batched builder");
             let mut batch = family.template().instantiate_batch(width);
-            let batch_pass = |batch: &mut esafe_monitor::MonitorSuiteBatch| {
-                batch.reset();
-                for stripe in &lane_frames {
-                    batch
-                        .observe_batch(stripe)
-                        .expect("recorded frames are complete");
+            let mut sim_time = Duration::ZERO;
+            let mut tick = |sim: &mut esafe_sim::SimulatorBatch,
+                            batch: &mut esafe_monitor::MonitorSuiteBatch,
+                            sim_time: &mut Duration| {
+                let t0 = Instant::now();
+                sim.step();
+                *sim_time += t0.elapsed();
+                for (l, sub) in subs.iter().enumerate() {
+                    sub.observe_lane(sim.state_mut(), l, &mut raw, &mut observed);
                 }
+                batch
+                    .observe_slab(sim.state())
+                    .expect("mega frames are complete");
             };
-            batch_pass(&mut batch);
-            let started = std::time::Instant::now();
-            for _ in 0..passes {
-                batch_pass(&mut batch);
+            for _ in 0..CALIBRATION_WARMUP {
+                tick(&mut sim, &mut batch, &mut sim_time);
             }
+            sim_time = Duration::ZERO;
+            let started = Instant::now();
+            for _ in 0..CALIBRATION_TICKS {
+                tick(&mut sim, &mut batch, &mut sim_time);
+            }
+            let lane_ticks = (CALIBRATION_TICKS as usize * width) as f64;
+            let total = started.elapsed().as_nanos() as f64 / lane_ticks;
+            let sim_ns = sim_time.as_nanos() as f64 / lane_ticks;
             WidthPoint {
                 width,
-                ns_per_tick_per_run: started.elapsed().as_nanos() as f64
-                    / (passes as usize * ticks * width) as f64,
+                ns_per_tick_per_run: total,
+                sim_ns_per_tick_per_run: sim_ns,
+                observe_ns_per_tick_per_run: total - sim_ns,
             }
         })
         .collect();
 
     BatchCalibration {
-        ticks,
+        ticks: CALIBRATION_TICKS as usize,
         scalar_ns_per_tick_per_run,
         widths,
     }
@@ -288,13 +332,17 @@ pub fn full_mega_timed(width: usize) -> (SweepAggregate, SweepStats, usize) {
 }
 
 /// The machine-readable `repro --mega-grid --json` summary — **schema
-/// v4**, written to `BENCH_megagrid.json`: the ≥10⁴-cell sweep's
+/// v5**, written to `BENCH_megagrid.json`: the ≥10⁴-cell sweep's
 /// wall-clock and worker-time totals, the batch-width calibration that
-/// chose the stripe width, and the order-independent aggregate.
+/// chose the stripe width (now the full sim+observe stripe loop, with
+/// the chosen width's sim/observe split), and the order-independent
+/// aggregate.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MegaGridSummary {
-    /// Summary schema version (v4 introduces the mega-grid fields and
-    /// the width calibration; v1–v3 are the `BENCH_grid.json` history).
+    /// Summary schema version (v4 introduced the mega-grid fields and
+    /// the monitor-only width calibration; v5 recalibrates over the
+    /// full sim+observe stripe loop and records the chosen width's
+    /// sim/observe split; v1–v3 are the `BENCH_grid.json` history).
     pub schema: u32,
     /// Cells in the swept parameter space.
     pub cells: usize,
@@ -308,11 +356,18 @@ pub struct MegaGridSummary {
     pub tick_ms: f64,
     /// The stripe width the calibration selected for the sweep.
     pub batch_width: usize,
-    /// Scalar fused monitor-observe baseline, ns per tick per run.
-    pub observe_ns_per_tick_per_run_scalar: f64,
-    /// Batched monitor-observe cost at `batch_width`, ns per tick per
-    /// run — the acceptance quantity (at or below the scalar baseline).
-    pub observe_ns_per_tick_per_run_batched: f64,
+    /// Scalar full-loop baseline (sim + probe observe + fused
+    /// monitors, one run at a time), ns per tick per run.
+    pub scalar_ns_per_tick_per_run: f64,
+    /// Full stripe-loop cost at `batch_width`, ns per tick per run —
+    /// the acceptance quantity (at or below the scalar baseline).
+    pub batched_ns_per_tick_per_run: f64,
+    /// The [`SimulatorBatch::step`](esafe_sim::SimulatorBatch::step)
+    /// share of `batched_ns_per_tick_per_run`.
+    pub batched_sim_ns_per_tick_per_run: f64,
+    /// The observation share of `batched_ns_per_tick_per_run`:
+    /// in-place probe derivation plus the fused monitor slab pass.
+    pub batched_observe_ns_per_tick_per_run: f64,
     /// The full width sweep behind the choice.
     pub width_calibration: Vec<WidthPoint>,
     /// Runs that compiled their monitor suite from scratch.
@@ -327,7 +382,7 @@ pub struct MegaGridSummary {
 }
 
 /// Serializes the mega-grid aggregate + timing + width calibration as
-/// pretty JSON (schema v4).
+/// pretty JSON (schema v5).
 ///
 /// # Errors
 ///
@@ -342,8 +397,9 @@ pub fn mega_summary_json(
     batch_width: usize,
 ) -> Result<String, serde_json::Error> {
     let wall_clock_ms = wall.as_secs_f64() * 1000.0;
+    let best = calibration.best_point();
     let summary = MegaGridSummary {
-        schema: 4,
+        schema: 5,
         cells,
         wall_clock_ms,
         ms_per_run: if aggregate.runs == 0 {
@@ -354,8 +410,10 @@ pub fn mega_summary_json(
         setup_ms: stats.setup.as_secs_f64() * 1000.0,
         tick_ms: stats.ticking.as_secs_f64() * 1000.0,
         batch_width,
-        observe_ns_per_tick_per_run_scalar: calibration.scalar_ns_per_tick_per_run,
-        observe_ns_per_tick_per_run_batched: calibration.best_ns_per_tick_per_run(),
+        scalar_ns_per_tick_per_run: calibration.scalar_ns_per_tick_per_run,
+        batched_ns_per_tick_per_run: calibration.best_ns_per_tick_per_run(),
+        batched_sim_ns_per_tick_per_run: best.map_or(0.0, |p| p.sim_ns_per_tick_per_run),
+        batched_observe_ns_per_tick_per_run: best.map_or(0.0, |p| p.observe_ns_per_tick_per_run),
         width_calibration: calibration.widths.clone(),
         suite_compiles: stats.suites_compiled,
         suite_instantiations: stats.suites_instantiated,

@@ -5,7 +5,7 @@ use crate::faults::ElevatorFaults;
 use crate::model::{self, ElevatorParams, ElevatorSigs};
 use crate::{build_elevator, goals};
 use esafe_harness::Substrate;
-use esafe_logic::{EvalError, SignalId, SignalTable};
+use esafe_logic::{EvalError, Frame, FrameBatch, SignalId, SignalTable};
 use esafe_monitor::{MonitorSuite, SuiteTemplate};
 use esafe_sim::Simulator;
 use std::sync::Arc;
@@ -244,6 +244,28 @@ impl Substrate for ElevatorSubstrate {
 
     fn suite_template(&self) -> Option<&Arc<SuiteTemplate>> {
         self.template.as_ref()
+    }
+
+    /// The elevator's monitors read plant signals directly (the scalar
+    /// observe is an identity copy), so batched observation is a no-op:
+    /// the slab lane already *is* the observed frame.
+    fn observe_lane(
+        &self,
+        _slab: &mut FrameBatch,
+        _lane: usize,
+        _raw: &mut Frame,
+        _observed: &mut Frame,
+    ) {
+    }
+
+    /// The elevator has no terminal events; skip the default's lane copy.
+    fn terminal_event_lane(
+        &self,
+        _slab: &FrameBatch,
+        _lane: usize,
+        _scratch: &mut Frame,
+    ) -> Option<&'static str> {
+        None
     }
 
     fn tracked_signals(&self) -> &[SignalId] {

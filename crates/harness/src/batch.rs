@@ -1,16 +1,21 @@
-//! Striped batched sweeps: whole groups of cells stepping through the
-//! monitor suite together.
+//! Striped batched sweeps: whole groups of cells simulating *and*
+//! monitoring together through lane-major slabs.
 //!
-//! The scalar sweep runs one cell at a time: each run walks the fused
-//! monitor DAG once per tick for *its own* frame. The batched sweep
-//! instead groups cells that share a compile-once
-//! [`SuiteTemplate`](esafe_monitor::SuiteTemplate) (and schedule) into
-//! **stripes** of up to `width` cells, ticks the stripe's simulators in
-//! lock-step, and feeds all observed frames to one
-//! [`MonitorSuiteBatch`] pass — the slab-of-lanes engine that evaluates
-//! each DAG node across every run in the stripe before moving to the
-//! next node, amortizing node decode and turning the per-node inner
-//! loop into a straight-line sweep over contiguous lanes.
+//! The scalar sweep runs one cell at a time: each run steps its own
+//! simulator and walks the fused monitor DAG once per tick for *its
+//! own* frame. The batched sweep instead groups cells that share a
+//! compile-once [`SuiteTemplate`](esafe_monitor::SuiteTemplate) (and
+//! schedule) into **stripes** of up to `width` cells, advances the
+//! whole stripe through one [`SimulatorBatch`] — every subsystem
+//! stepping all lanes of a lane-major
+//! [`FrameBatch`](esafe_logic::FrameBatch) state slab before the next
+//! subsystem runs — and feeds the slab directly to one
+//! [`MonitorSuiteBatch`] pass per tick. Monitoring, series sampling,
+//! and terminal-event checks all read the slab **in place**: the
+//! per-lane `Frame` copy across the sim→observe boundary is gone, and
+//! both engines evaluate each node/subsystem across every run in the
+//! stripe before moving on, amortizing decode and turning the inner
+//! loops into straight-line sweeps over contiguous lanes.
 //!
 //! Batching is observationally invisible — reports and aggregates are
 //! **bit-identical** to the scalar paths ([`Sweep::run`] /
@@ -32,9 +37,9 @@ use crate::context::{RunContext, RunTiming, SuiteProvenance};
 use crate::experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
 use crate::substrate::Substrate;
 use crate::sweep::{cell_seed, Partial, Sweep, SweepAggregate, SweepReport, SweepStats};
-use esafe_logic::Frame;
+use esafe_logic::SignalId;
 use esafe_monitor::MonitorSuiteBatch;
-use esafe_sim::{sample_point, SeriesLog, Simulator};
+use esafe_sim::{sample_point, SeriesLog, Simulator, SimulatorBatch};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -94,9 +99,13 @@ fn plan_units<S: Substrate>(subs: &[S], width: usize) -> Vec<Unit> {
 
 /// The per-lane run state a stripe carries for one cell: everything the
 /// scalar experiment loop keeps per run, minus the monitor suite (which
-/// lives lane-indexed in the shared [`MonitorSuiteBatch`]).
-struct Lane {
-    sim: Simulator,
+/// lives lane-indexed in the shared [`MonitorSuiteBatch`]) and the
+/// simulator (which lives lane-indexed in the stripe's
+/// [`SimulatorBatch`]).
+struct Lane<'s> {
+    /// The substrate's tracked signal ids, resolved once at stripe
+    /// setup rather than re-fetched per tick.
+    tracked: &'s [SignalId],
     /// Per-tracked-signal point buffers (the indexed fast path), used
     /// when no signal is tracked twice.
     buffers: Vec<Vec<(f64, f64)>>,
@@ -127,10 +136,13 @@ fn run_scalar_cell<S: Substrate>(
     }
 }
 
-/// Runs one stripe: `lanes_idx.len()` simulators ticking in lock-step,
-/// all observed frames fed to one batched monitor pass per tick. Per
-/// lane, the loop reproduces the scalar experiment semantics exactly —
-/// same tick schedule, same series sampling, same terminal-event grace
+/// Runs one stripe: one [`SimulatorBatch`] advancing every lane through
+/// lane-major state slabs, with monitors, series sampling, and terminal
+/// checks all reading the slab **in place** — no per-lane `Frame` copy
+/// anywhere in the tick loop (substrates without in-place observe
+/// overrides bridge through two stripe-owned scratch frames). Per lane,
+/// the loop reproduces the scalar experiment semantics exactly — same
+/// tick schedule, same series sampling, same terminal-event grace
 /// window, same correlation — so each cell's report is bit-identical to
 /// a scalar run of the same substrate.
 fn run_stripe<S: Substrate>(
@@ -143,10 +155,11 @@ fn run_stripe<S: Substrate>(
     let template = subs[lanes_idx[0]]
         .suite_template()
         .expect("planned stripes carry a template");
-    let mut lanes: Vec<Lane> = lanes_idx
+    let group: Vec<&S> = lanes_idx.iter().map(|&i| &subs[i]).collect();
+    let mut lanes: Vec<Lane<'_>> = group
         .iter()
-        .map(|&i| {
-            let substrate = &subs[i];
+        .map(|substrate| {
+            // Tracked ids are resolved once here, not per tick.
             let tracked = substrate.tracked_signals();
             let buffered = {
                 let mut ids: Vec<_> = tracked.to_vec();
@@ -155,7 +168,7 @@ fn run_stripe<S: Substrate>(
                 ids.len() == tracked.len()
             };
             Lane {
-                sim: substrate.build_simulator(),
+                tracked,
                 buffers: if buffered {
                     tracked.iter().map(|_| Vec::new()).collect()
                 } else {
@@ -171,35 +184,47 @@ fn run_stripe<S: Substrate>(
         })
         .collect();
 
-    let dt = lanes[0].sim.dt_millis();
-    if lanes.iter().any(|lane| lane.sim.dt_millis() != dt) {
-        // Mixed tick periods cannot tick in lock-step. Grouping keys on
-        // the shared table/template/duration, which in practice fixes
-        // dt too — this is a correctness backstop, not a hot path.
-        return lanes_idx
-            .iter()
-            .map(|&i| run_scalar_cell(config, &subs[i], i))
-            .collect();
-    }
+    let mut sim = match S::build_simulator_batch(&group) {
+        Some(sim) => sim,
+        None => {
+            // No native batched builder: wrap scalar simulators. Their
+            // per-lane chains step bit-identically inside the batch.
+            let sims: Vec<Simulator> = group.iter().map(|s| s.build_simulator()).collect();
+            let dt = sims[0].dt_millis();
+            if sims.iter().any(|s| s.dt_millis() != dt) {
+                // Mixed tick periods cannot tick in lock-step. Grouping
+                // keys on the shared table/template/duration, which in
+                // practice fixes dt too — this is a correctness
+                // backstop, not a hot path.
+                return lanes_idx
+                    .iter()
+                    .map(|&i| run_scalar_cell(config, &subs[i], i))
+                    .collect();
+            }
+            SimulatorBatch::from_scalar(sims)
+        }
+    };
+    let dt = sim.dt_millis();
 
     let mut batch: MonitorSuiteBatch = template.instantiate_batch(width);
-    let mut observed: Vec<Frame> = lanes_idx
-        .iter()
-        .map(|&i| subs[i].signal_table().frame())
-        .collect();
+    let table = Arc::clone(subs[lanes_idx[0]].signal_table());
+    // Stripe-owned scratch frames for substrates whose observe /
+    // terminal check still runs per lane over a copied frame.
+    let mut raw = table.frame();
+    let mut observed = table.frame();
     let scheduled_ticks = subs[lanes_idx[0]].duration_ms().div_ceil(dt);
     let post_terminal_ticks = config.post_terminal_ms.div_ceil(dt);
     let setup = setup_started.elapsed();
 
     let tick_started = Instant::now();
     for tick in 1..=scheduled_ticks {
-        for (l, lane) in lanes.iter_mut().enumerate() {
+        sim.step();
+        for (l, lane) in lanes.iter().enumerate() {
             if lane.live {
-                lane.sim.step();
-                subs[lanes_idx[l]].observe(lane.sim.state(), &mut observed[l]);
+                group[l].observe_lane(sim.state_mut(), l, &mut raw, &mut observed);
             }
         }
-        if batch.observe_batch(&observed).is_err() {
+        if batch.observe_slab(sim.state()).is_err() {
             // A monitoring error mid-stripe: rerun every lane on the
             // scalar path so per-cell results (successes *and* the
             // failing cell's error) match `Sweep::run` exactly.
@@ -212,22 +237,23 @@ fn run_stripe<S: Substrate>(
             if !lane.live {
                 continue;
             }
-            let substrate = &subs[lanes_idx[l]];
-            let t = lane.sim.seconds();
-            let tracked = substrate.tracked_signals();
+            let t = sim.lane_seconds(l);
             if lane.buffered {
-                for (buffer, &id) in lane.buffers.iter_mut().zip(tracked) {
-                    if let Some(x) = sample_point(observed[l].get(id)) {
+                for (buffer, &id) in lane.buffers.iter_mut().zip(lane.tracked) {
+                    if let Some(x) = sample_point(sim.state().get(id, l)) {
                         buffer.push((t, x));
                     }
                 }
             } else {
-                for &id in tracked {
-                    lane.series.sample(&observed[l], id, t);
+                for &id in lane.tracked {
+                    // Same rule as `SeriesLog::sample`, reading the slab.
+                    if let Some(x) = sample_point(sim.state().get(id, l)) {
+                        lane.series.push(table.name(id), t, x);
+                    }
                 }
             }
             if lane.terminal_tick.is_none() {
-                if let Some(event) = substrate.terminal_event(&observed[l]) {
+                if let Some(event) = group[l].terminal_event_lane(sim.state(), l, &mut raw) {
                     lane.terminal_tick = Some(tick);
                     lane.terminal_event = Some(event.to_owned());
                 }
@@ -237,6 +263,7 @@ fn run_stripe<S: Substrate>(
                     lane.terminated_early = tick < scheduled_ticks;
                     lane.live = false;
                     batch.retire_lane(l);
+                    sim.retire_lane(l);
                 }
             }
         }
@@ -264,7 +291,7 @@ fn run_stripe<S: Substrate>(
             let correlation = batch.correlate_lane(l, window_ticks);
             let violations = batch.take_violations_lane(l);
             let mut series = lane.series;
-            for (buffer, &id) in lane.buffers.into_iter().zip(substrate.tracked_signals()) {
+            for (buffer, &id) in lane.buffers.into_iter().zip(lane.tracked) {
                 series.append_points(substrate.signal_table().name(id), buffer);
             }
             let report = RunReport {
@@ -273,8 +300,8 @@ fn run_stripe<S: Substrate>(
                 config,
                 dt_millis: dt,
                 scheduled_ticks,
-                ticks: lane.sim.tick(),
-                end_time_s: lane.sim.seconds(),
+                ticks: sim.lane_tick(l),
+                end_time_s: sim.lane_seconds(l),
                 terminated_early: lane.terminated_early,
                 terminal_event: lane.terminal_event,
                 violations,
@@ -404,7 +431,7 @@ fn run_unit<S: Substrate>(config: ExperimentConfig, subs: &[S], unit: &Unit) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use esafe_logic::{parse, EvalError, SignalId, SignalTable};
+    use esafe_logic::{parse, EvalError, Frame, SignalId, SignalTable};
     use esafe_monitor::{Location, MonitorSuite, SuiteTemplate};
     use esafe_sim::{SimTime, Subsystem};
 

@@ -1,9 +1,9 @@
 //! The [`Substrate`] trait: what a composite system provides to be run
 //! under the generic experiment loop.
 
-use esafe_logic::{EvalError, Frame, SignalId, SignalTable};
+use esafe_logic::{EvalError, Frame, FrameBatch, SignalId, SignalTable};
 use esafe_monitor::{MonitorSuite, SuiteTemplate};
-use esafe_sim::Simulator;
+use esafe_sim::{Simulator, SimulatorBatch};
 use std::sync::Arc;
 
 /// A monitored composite system: one concrete configuration of one of
@@ -63,6 +63,24 @@ pub trait Substrate {
         None
     }
 
+    /// Assembles one batched simulator for a whole stripe of
+    /// configurations (`group[lane]` builds lane `lane`), or `None` if
+    /// this substrate has no native batched builder — the striped sweep
+    /// then builds scalar simulators and wraps them via
+    /// [`SimulatorBatch::from_scalar`], which is bit-identical but pays
+    /// per-lane frame copies each tick. Implementations must produce
+    /// lanes bit-identical to [`Substrate::build_simulator`] on the same
+    /// configuration (pinned by the workspace's batched-sweep tests) and
+    /// may assume every `group` member shares this substrate's signal
+    /// table and tick period.
+    fn build_simulator_batch(group: &[&Self]) -> Option<SimulatorBatch>
+    where
+        Self: Sized,
+    {
+        let _ = group;
+        None
+    }
+
     /// Derives the observed frame the monitors and series sampling see
     /// from the raw simulator frame, writing into the loop-owned
     /// `observed` scratch frame. The default copies the raw frame (the
@@ -72,12 +90,49 @@ pub trait Substrate {
         observed.copy_from(raw);
     }
 
+    /// [`Substrate::observe`] for one lane of a batched simulator's
+    /// state slab, **in place**: derived signals are written directly
+    /// into the lane, which monitors and series sampling then read
+    /// without any per-lane `Frame` copy. The default bridges through
+    /// the loop-owned `raw`/`observed` scratch frames and the scalar
+    /// [`Substrate::observe`], so it is correct for every substrate.
+    ///
+    /// Overrides that write the slab directly must only write signals no
+    /// subsystem reads (observation-derived probes): the slab is also
+    /// the simulator's live state, and anything else would leak
+    /// observation back into the dynamics.
+    fn observe_lane(
+        &self,
+        slab: &mut FrameBatch,
+        lane: usize,
+        raw: &mut Frame,
+        observed: &mut Frame,
+    ) {
+        slab.read_lane_into(lane, raw);
+        self.observe(raw, observed);
+        slab.write_lane_from(lane, observed);
+    }
+
     /// Checks the observed frame for a terminal event (e.g. a collision).
     /// Returning `Some` starts the post-terminal grace window after which
     /// the run aborts early, mirroring the thesis's CarSim environment.
     fn terminal_event(&self, observed: &Frame) -> Option<&'static str> {
         let _ = observed;
         None
+    }
+
+    /// [`Substrate::terminal_event`] for one lane of an observed state
+    /// slab. The default copies the lane into `scratch` and delegates to
+    /// the scalar check; substrates whose check reads a couple of
+    /// signals should override it with direct slab reads.
+    fn terminal_event_lane(
+        &self,
+        slab: &FrameBatch,
+        lane: usize,
+        scratch: &mut Frame,
+    ) -> Option<&'static str> {
+        slab.read_lane_into(lane, scratch);
+        self.terminal_event(scratch)
     }
 
     /// Signals to record into the report's [`SeriesLog`] each tick,

@@ -63,6 +63,7 @@
 use crate::error::EvalError;
 use crate::eval;
 use crate::expr::{CmpOp, Expr, Operand};
+use crate::frame_batch::FrameBatch;
 use crate::signal::{Frame, SignalId, SignalKind, SignalTable};
 use crate::state::State;
 use crate::value::Value;
@@ -383,6 +384,222 @@ impl Slot {
             }),
         }
     }
+
+    /// [`Slot::value`] over one lane of a [`LaneSource`] — identical
+    /// semantics, storage-generic.
+    #[inline]
+    fn value_in<S: LaneSource + ?Sized>(
+        &self,
+        src: &S,
+        lane: usize,
+        step: usize,
+        table: &SignalTable,
+    ) -> Result<Value, EvalError> {
+        match self {
+            Slot::Lit(v) => Ok(*v),
+            Slot::Sig(id) => src.get(*id, lane).ok_or_else(|| EvalError::MissingVar {
+                name: table.name(*id).to_owned(),
+                step,
+            }),
+        }
+    }
+
+    /// Resolves this operand against a lane-major source, or `None` when
+    /// the source has no rows (per-lane frames).
+    #[inline]
+    fn operand_row<'a, S: LaneSource + ?Sized>(&self, src: &'a S) -> Option<LaneOperand<'a>> {
+        match self {
+            Slot::Lit(v) => Some(LaneOperand::Lit(*v)),
+            Slot::Sig(id) => src.row(*id).map(LaneOperand::Row),
+        }
+    }
+}
+
+/// One tick's per-lane signal samples, abstracted over storage: a
+/// `&[Frame]` slice (one frame per lane) or a lane-major [`FrameBatch`]
+/// slab read in place. Only `Var` and `Cmp` nodes touch the source, so
+/// this is the entire surface batched evaluation needs.
+trait LaneSource {
+    /// The value of `id` in `lane`, or `None` if unset.
+    fn get(&self, id: SignalId, lane: usize) -> Option<Value>;
+    /// Whether `lane`'s sample indexes `table` (debug check only).
+    fn shares_table(&self, lane: usize, table: &Arc<SignalTable>) -> bool;
+    /// The contiguous lane-major row for `id`, when the storage has one
+    /// (`Some` for a [`FrameBatch`] slab, `None` for per-lane frames).
+    /// `Var`/`Cmp` nodes sweep rows in tight slice loops and only fall
+    /// back to per-lane [`get`](LaneSource::get) when a row is absent or
+    /// holds an unset/mistyped slot that needs exact error attribution.
+    #[inline]
+    fn row(&self, _id: SignalId) -> Option<&[Option<Value>]> {
+        None
+    }
+}
+
+impl LaneSource for [Frame] {
+    #[inline]
+    fn get(&self, id: SignalId, lane: usize) -> Option<Value> {
+        self[lane].get(id)
+    }
+
+    fn shares_table(&self, lane: usize, table: &Arc<SignalTable>) -> bool {
+        Arc::ptr_eq(self[lane].table(), table)
+    }
+}
+
+impl LaneSource for FrameBatch {
+    #[inline]
+    fn get(&self, id: SignalId, lane: usize) -> Option<Value> {
+        FrameBatch::get(self, id, lane)
+    }
+
+    fn shares_table(&self, _lane: usize, table: &Arc<SignalTable>) -> bool {
+        Arc::ptr_eq(self.table(), table)
+    }
+
+    #[inline]
+    fn row(&self, id: SignalId) -> Option<&[Option<Value>]> {
+        Some(FrameBatch::row(self, id))
+    }
+}
+
+/// A [`Cmp`](FusedNode::Cmp) operand resolved for row-sweep evaluation:
+/// a signal's lane-major row, or a literal broadcast to every lane.
+enum LaneOperand<'a> {
+    Row(&'a [Option<Value>]),
+    Lit(Value),
+}
+
+impl LaneOperand<'_> {
+    #[inline]
+    fn get(&self, lane: usize) -> Option<Value> {
+        match self {
+            LaneOperand::Row(r) => r[lane],
+            LaneOperand::Lit(v) => Some(*v),
+        }
+    }
+}
+
+/// Sweeps an ordering comparison of one signal row against a fixed
+/// numeric bound (`f` closes over the bound and the operator). Returns
+/// `false` when any lane's slot is unset or non-numeric, so the caller
+/// reruns the per-lane path for exact error attribution.
+#[inline]
+fn num_rows(out: &mut [bool], row: &[Option<Value>], f: impl Fn(f64) -> bool) -> bool {
+    let mut ok = true;
+    for (out, x) in out.iter_mut().zip(row) {
+        match x {
+            Some(Value::Real(x)) => *out = f(*x),
+            Some(Value::Int(i)) => *out = f(*i as f64),
+            _ => ok = false,
+        }
+    }
+    ok
+}
+
+/// Sweeps `==`/`!=` of one signal row against a fixed numeric literal,
+/// mirroring [`Value::num_eq`]: numeric slots compare as reals, and a
+/// non-numeric slot never equals a numeric literal. Returns `false` on
+/// any unset slot.
+#[inline]
+fn num_eq_rows(out: &mut [bool], row: &[Option<Value>], y: f64, want_eq: bool) -> bool {
+    let mut ok = true;
+    for (out, x) in out.iter_mut().zip(row) {
+        *out = match x {
+            Some(Value::Real(x)) => (*x == y) == want_eq,
+            Some(Value::Int(i)) => (*i as f64 == y) == want_eq,
+            Some(_) => !want_eq,
+            None => {
+                ok = false;
+                false
+            }
+        };
+    }
+    ok
+}
+
+/// Sweeps `==`/`!=` of one signal row against a fixed symbol —
+/// [`Value::num_eq`]'s variant-equality fallback, specialized: interned
+/// symbols compare by id, and any non-symbol slot differs. Returns
+/// `false` on any unset slot.
+#[inline]
+fn sym_eq_rows(out: &mut [bool], row: &[Option<Value>], s: crate::Sym, want_eq: bool) -> bool {
+    let mut ok = true;
+    for (out, x) in out.iter_mut().zip(row) {
+        *out = match x {
+            Some(Value::Sym(t)) => (*t == s) == want_eq,
+            Some(_) => !want_eq,
+            None => {
+                ok = false;
+                false
+            }
+        };
+    }
+    ok
+}
+
+/// [`sym_eq_rows`] for a fixed boolean literal.
+#[inline]
+fn bool_eq_rows(out: &mut [bool], row: &[Option<Value>], b: bool, want_eq: bool) -> bool {
+    let mut ok = true;
+    for (out, x) in out.iter_mut().zip(row) {
+        *out = match x {
+            Some(Value::Bool(t)) => (*t == b) == want_eq,
+            Some(_) => !want_eq,
+            None => {
+                ok = false;
+                false
+            }
+        };
+    }
+    ok
+}
+
+/// One [`Cmp`](FusedNode::Cmp) node swept across whole lane rows.
+/// Signal-vs-literal dominates compiled suites (probed magnitudes
+/// against thresholds, sources against symbols), so those shapes get
+/// dedicated branch-light sweeps; anything else runs the generic
+/// comparator lane by lane, still row-addressed. Returns `false` when
+/// any lane's slot is unset, mistyped, or incomparable — callers then
+/// rerun the per-lane path, which attributes the error exactly.
+fn cmp_rows(out: &mut [bool], a: &LaneOperand, op: CmpOp, b: &LaneOperand) -> bool {
+    match (a, b) {
+        (LaneOperand::Row(r), LaneOperand::Lit(lit)) => {
+            if let Some(y) = lit.as_real() {
+                match op {
+                    CmpOp::Eq => num_eq_rows(out, r, y, true),
+                    CmpOp::Ne => num_eq_rows(out, r, y, false),
+                    CmpOp::Lt => num_rows(out, r, |x| x < y),
+                    CmpOp::Le => num_rows(out, r, |x| x <= y),
+                    CmpOp::Gt => num_rows(out, r, |x| x > y),
+                    CmpOp::Ge => num_rows(out, r, |x| x >= y),
+                }
+            } else {
+                match (op, lit) {
+                    (CmpOp::Eq, Value::Sym(s)) => sym_eq_rows(out, r, *s, true),
+                    (CmpOp::Ne, Value::Sym(s)) => sym_eq_rows(out, r, *s, false),
+                    (CmpOp::Eq, Value::Bool(v)) => bool_eq_rows(out, r, *v, true),
+                    (CmpOp::Ne, Value::Bool(v)) => bool_eq_rows(out, r, *v, false),
+                    // Ordering against a non-numeric literal is
+                    // incomparable in every lane — let the per-lane
+                    // path raise it.
+                    _ => false,
+                }
+            }
+        }
+        _ => {
+            let mut ok = true;
+            for (l, out) in out.iter_mut().enumerate() {
+                match (a.get(l), b.get(l)) {
+                    (Some(x), Some(y)) => match eval::compare_values(&x, op, &y) {
+                        Ok(v) => *out = v,
+                        Err(_) => ok = false,
+                    },
+                    _ => ok = false,
+                }
+            }
+            ok
+        }
+    }
 }
 
 fn resolve(name: &str, table: &SignalTable) -> Result<SignalId, EvalError> {
@@ -409,6 +626,74 @@ fn frame_bool(
             found: other.type_name(),
         }),
     }
+}
+
+/// [`frame_bool`] over one lane of a [`LaneSource`] — identical
+/// semantics, storage-generic.
+#[inline]
+fn source_bool<S: LaneSource + ?Sized>(
+    src: &S,
+    id: SignalId,
+    lane: usize,
+    step: usize,
+    table: &SignalTable,
+) -> Result<bool, EvalError> {
+    match src.get(id, lane) {
+        None => Err(EvalError::MissingVar {
+            name: table.name(id).to_owned(),
+            step,
+        }),
+        Some(Value::Bool(b)) => Ok(b),
+        Some(other) => Err(EvalError::NotBoolean {
+            name: table.name(id).to_owned(),
+            found: other.type_name(),
+        }),
+    }
+}
+
+/// The per-lane [`Var`](FusedNode::Var) evaluation with exact error
+/// semantics, skipping retired lanes. Per-frame sources always take
+/// this path; the row fast path falls back here when any slot in the
+/// row is unset or mistyped, so the error names the right lane/step.
+fn var_lanes<S: LaneSource + ?Sized>(
+    out: &mut [bool],
+    src: &S,
+    id: SignalId,
+    active: &[bool],
+    steps: &[u64],
+    table: &SignalTable,
+) -> Result<(), (usize, EvalError)> {
+    for (l, out) in out.iter_mut().enumerate() {
+        if active[l] {
+            let step = usize::try_from(steps[l]).unwrap_or(usize::MAX);
+            *out = source_bool(src, id, l, step, table).map_err(|e| (l, e))?;
+        }
+    }
+    Ok(())
+}
+
+/// The per-lane [`Cmp`](FusedNode::Cmp) evaluation — the exact-error
+/// counterpart of [`var_lanes`] for comparisons.
+#[allow(clippy::too_many_arguments)]
+fn cmp_lanes<S: LaneSource + ?Sized>(
+    out: &mut [bool],
+    src: &S,
+    lhs: &Slot,
+    op: CmpOp,
+    rhs: &Slot,
+    active: &[bool],
+    steps: &[u64],
+    table: &SignalTable,
+) -> Result<(), (usize, EvalError)> {
+    for (l, out) in out.iter_mut().enumerate() {
+        if active[l] {
+            let step = usize::try_from(steps[l]).unwrap_or(usize::MAX);
+            let a = lhs.value_in(src, l, step, table).map_err(|e| (l, e))?;
+            let b = rhs.value_in(src, l, step, table).map_err(|e| (l, e))?;
+            *out = eval::compare_values(&a, op, &b).map_err(|e| (l, e))?;
+        }
+    }
+    Ok(())
 }
 
 /// One temporal subformula's run state. Each variant's "empty history"
@@ -1446,14 +1731,45 @@ impl FusedSuiteBatch {
     /// active lane's frame indexes a different table than the program
     /// was compiled against.
     pub fn observe_batch(&mut self, frames: &[Frame]) -> Result<(), BatchError> {
+        assert_eq!(
+            frames.len(),
+            self.lanes,
+            "one frame per lane, retired included"
+        );
+        self.observe_src(frames)
+    }
+
+    /// [`observe_batch`](FusedSuiteBatch::observe_batch) reading a
+    /// lane-major [`FrameBatch`] slab **in place** — the zero-copy path a
+    /// batched simulator feeds its state slab through (lane layouts
+    /// match, so `Var`/`Cmp` reads sweep the slab's contiguous signal
+    /// rows directly). Retired lanes' slab rows are ignored. Verdicts
+    /// are identical to copying each lane out and calling
+    /// [`observe_batch`](FusedSuiteBatch::observe_batch).
+    ///
+    /// # Errors
+    ///
+    /// As [`observe_batch`](FusedSuiteBatch::observe_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slab.lanes() != lanes`; debug builds also panic if the
+    /// slab indexes a different table than the program was compiled
+    /// against.
+    pub fn observe_slab(&mut self, slab: &FrameBatch) -> Result<(), BatchError> {
+        assert_eq!(slab.lanes(), self.lanes, "one slab lane per batch lane");
+        self.observe_src(slab)
+    }
+
+    /// The one shared forward pass behind
+    /// [`observe_batch`](FusedSuiteBatch::observe_batch) and
+    /// [`observe_slab`](FusedSuiteBatch::observe_slab): only `Var` and
+    /// `Cmp` touch `src`, everything else is slab-to-slab.
+    fn observe_src<S: LaneSource + ?Sized>(&mut self, src: &S) -> Result<(), BatchError> {
         let lanes = self.lanes;
-        assert_eq!(frames.len(), lanes, "one frame per lane, retired included");
         debug_assert!(
-            frames
-                .iter()
-                .zip(&self.active)
-                .all(|(f, &a)| !a || Arc::ptr_eq(f.table(), &self.program.table)),
-            "active frames and batch must share one signal table"
+            (0..lanes).all(|l| !self.active[l] || src.shares_table(l, &self.program.table)),
+            "active lanes and batch must share one signal table"
         );
         let program = Arc::clone(&self.program);
         let table = &program.table;
@@ -1474,23 +1790,39 @@ impl FusedSuiteBatch {
             };
             match node {
                 FusedNode::Const(b) => out.fill(*b),
+                // `Var`/`Cmp` are the only nodes that read `src`. When
+                // the source is lane-major, a signal's samples across
+                // every run are one contiguous row, so both sweep whole
+                // rows in tight slice loops — no per-lane step
+                // bookkeeping, no active check (retired lanes' rows are
+                // frozen-but-valid, and nothing reads their slab cells).
+                // Any row that holds an unset or mistyped slot bails to
+                // the per-lane path for exact error attribution, which
+                // is also the only path frame-slice sources have.
                 FusedNode::Var(id) => {
-                    for (l, out) in out.iter_mut().enumerate() {
-                        if active[l] {
-                            let step = usize::try_from(steps[l]).unwrap_or(usize::MAX);
-                            *out =
-                                frame_bool(&frames[l], *id, step, table).map_err(|e| err(l, e))?;
+                    let fast = src.row(*id).is_some_and(|vals| {
+                        let mut ok = true;
+                        for (out, v) in out.iter_mut().zip(vals) {
+                            match v {
+                                Some(Value::Bool(b)) => *out = *b,
+                                _ => ok = false,
+                            }
                         }
+                        ok
+                    });
+                    if !fast {
+                        var_lanes(out, src, *id, active, steps, table)
+                            .map_err(|(l, e)| err(l, e))?;
                     }
                 }
                 FusedNode::Cmp { lhs, op, rhs } => {
-                    for (l, out) in out.iter_mut().enumerate() {
-                        if active[l] {
-                            let step = usize::try_from(steps[l]).unwrap_or(usize::MAX);
-                            let a = lhs.value(&frames[l], step, table).map_err(|e| err(l, e))?;
-                            let b = rhs.value(&frames[l], step, table).map_err(|e| err(l, e))?;
-                            *out = eval::compare_values(&a, *op, &b).map_err(|e| err(l, e))?;
-                        }
+                    let fast = match (lhs.operand_row(src), rhs.operand_row(src)) {
+                        (Some(a), Some(b)) => cmp_rows(out, &a, *op, &b),
+                        _ => false,
+                    };
+                    if !fast {
+                        cmp_lanes(out, src, lhs, *op, rhs, active, steps, table)
+                            .map_err(|(l, e)| err(l, e))?;
                     }
                 }
                 // The boolean combinators are pure slab-to-slab sweeps:
@@ -1629,6 +1961,21 @@ impl FusedSuiteBatch {
     pub fn verdict(&self, lane: usize, monitor: usize) -> bool {
         assert!(lane < self.lanes, "lane out of range");
         self.slab[self.program.roots[monitor] as usize * self.lanes + lane]
+    }
+
+    /// Every lane's verdict for `monitor` from the most recent pass, as
+    /// one contiguous lane row — the bulk counterpart of
+    /// [`verdict`](FusedSuiteBatch::verdict). Retired lanes' cells hold
+    /// their last active-pass verdict (nothing recomputes them from
+    /// fresh inputs), so row-diffing against a previous copy sees no
+    /// spurious transitions from retirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitor` is out of range.
+    #[inline]
+    pub fn verdict_row(&self, monitor: usize) -> &[bool] {
+        &self.slab[self.program.roots[monitor] as usize * self.lanes..][..self.lanes]
     }
 
     /// Clears all history in every lane and re-activates retired lanes,

@@ -77,6 +77,7 @@
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod frame_batch;
 pub mod frame_trace;
 pub mod incremental;
 pub mod parser;
@@ -87,6 +88,7 @@ pub mod value;
 
 pub use error::{EvalError, ParseError, PropError};
 pub use expr::{CmpOp, Expr, Operand};
+pub use frame_batch::{FrameBatch, LaneMut, LaneRef, SignalRead, SignalWrite};
 pub use frame_trace::FrameTrace;
 pub use incremental::{
     BatchError, CompiledMonitor, CompiledProgram, FusedError, FusedSuite, FusedSuiteBatch,

@@ -4,7 +4,7 @@
 use crate::correlate::{CorrelationReport, CorrelationRow, SubgoalStats};
 use crate::violation::{IntervalTracker, ViolationInterval};
 use esafe_logic::{
-    CompiledMonitor, CompiledProgram, EvalError, Expr, Frame, FrameTrace, FusedSuite,
+    CompiledMonitor, CompiledProgram, EvalError, Expr, Frame, FrameBatch, FrameTrace, FusedSuite,
     FusedSuiteBatch, FusedSuiteProgram, SignalTable,
 };
 use serde::{Deserialize, Serialize};
@@ -655,6 +655,7 @@ impl SuiteTemplate {
         MonitorSuiteBatch {
             table: self.table.clone(),
             trackers: vec![IntervalTracker::new(); self.entries.len() * lanes],
+            prev: vec![true; self.entries.len() * lanes],
             metas: self.entries.iter().map(|t| Arc::clone(&t.meta)).collect(),
             fused: self.fused.instantiate_batch(lanes),
             lanes,
@@ -745,6 +746,11 @@ pub struct MonitorSuiteBatch {
     /// Lane-major: `trackers[lane * metas.len() + entry]`, so one lane's
     /// rows are contiguous for per-lane extraction.
     trackers: Vec<IntervalTracker>,
+    /// Monitor-major verdicts from the previous pass:
+    /// `prev[entry * lanes + lane]`, matching the fused slab's row
+    /// layout so recording diffs whole rows. Starts all-`true` (an
+    /// initial `false` verdict is a recordable true→false edge).
+    prev: Vec<bool>,
     fused: FusedSuiteBatch,
     lanes: usize,
 }
@@ -801,17 +807,69 @@ impl MonitorSuiteBatch {
                 monitor_id: self.metas[err.monitor].id.clone(),
                 source: err.source,
             })?;
+        self.record_verdicts();
+        Ok(())
+    }
+
+    /// [`observe_batch`](MonitorSuiteBatch::observe_batch) reading a
+    /// lane-major [`FrameBatch`] slab **in place** — the zero-copy path
+    /// for a batched simulator's state slab. Verdicts, intervals, and
+    /// errors are identical to copying each lane out into a frame and
+    /// calling [`observe_batch`](MonitorSuiteBatch::observe_batch).
+    ///
+    /// # Errors
+    ///
+    /// As [`observe_batch`](MonitorSuiteBatch::observe_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slab.lanes() != lanes`; debug builds also panic if the
+    /// slab indexes a different table.
+    pub fn observe_slab(&mut self, slab: &FrameBatch) -> Result<(), BatchMonitorError> {
+        self.fused
+            .observe_slab(slab)
+            .map_err(|err| BatchMonitorError {
+                lane: err.lane,
+                monitor_id: self.metas[err.monitor].id.clone(),
+                source: err.source,
+            })?;
+        self.record_verdicts();
+        Ok(())
+    }
+
+    /// Folds the pass's verdicts into the violation trackers — the
+    /// shared back half of both observe paths. Intervals only change at
+    /// verdict *edges*, so instead of one
+    /// [`IntervalTracker::record`] per monitor per lane per tick, this
+    /// diffs each monitor's contiguous verdict row against the previous
+    /// pass's copy (one slice compare, almost always equal) and touches
+    /// a tracker only where a lane's verdict actually flipped. Retired
+    /// lanes' verdict cells are frozen, so they never diff.
+    fn record_verdicts(&mut self) {
         let n = self.metas.len();
-        for lane in 0..self.lanes {
-            if !self.fused.is_active(lane) {
+        let lanes = self.lanes;
+        for e in 0..n {
+            let row = self.fused.verdict_row(e);
+            let prev = &mut self.prev[e * lanes..][..lanes];
+            if prev == row {
                 continue;
             }
-            let row = &mut self.trackers[lane * n..][..n];
-            for (e, tracker) in row.iter_mut().enumerate() {
-                tracker.record(self.fused.verdict(lane, e));
+            for (l, (prev, &sat)) in prev.iter_mut().zip(row).enumerate() {
+                if *prev != sat {
+                    if self.fused.is_active(l) {
+                        // The tick just recorded for this lane.
+                        let t = self.fused.steps_observed(l) - 1;
+                        let tracker = &mut self.trackers[l * n + e];
+                        if sat {
+                            tracker.close_at(t);
+                        } else {
+                            tracker.open_at(t);
+                        }
+                    }
+                    *prev = sat;
+                }
             }
         }
-        Ok(())
     }
 
     /// Ends a lane's run: closes its open violation intervals and
@@ -825,8 +883,13 @@ impl MonitorSuiteBatch {
     pub fn retire_lane(&mut self, lane: usize) {
         if self.fused.is_active(lane) {
             self.fused.retire_lane(lane);
+            let steps = self.fused.steps_observed(lane);
             let n = self.metas.len();
             for tracker in &mut self.trackers[lane * n..][..n] {
+                // Edge-driven recording leaves the clock stale between
+                // verdict flips; sync it so a still-open violation
+                // closes at the lane's true end.
+                tracker.advance_to(steps);
                 tracker.finish();
             }
         }
@@ -891,6 +954,7 @@ impl MonitorSuiteBatch {
         for tracker in &mut self.trackers {
             tracker.reset();
         }
+        self.prev.fill(true);
     }
 }
 

@@ -95,6 +95,37 @@ impl IntervalTracker {
         }
     }
 
+    /// Opens a violation at an absolute `tick` (no-op if one is already
+    /// open) — the transition-driven interface batched recording uses:
+    /// instead of one [`record`](IntervalTracker::record) call per tick,
+    /// the batch diffs whole verdict rows and touches the tracker only
+    /// at a true→false edge.
+    pub fn open_at(&mut self, tick: u64) {
+        if self.open_since.is_none() {
+            self.open_since = Some(tick);
+        }
+    }
+
+    /// Closes the open violation at an absolute `tick` (no-op if none is
+    /// open) — the false→true edge counterpart of
+    /// [`open_at`](IntervalTracker::open_at).
+    pub fn close_at(&mut self, tick: u64) {
+        if let Some(start) = self.open_since.take() {
+            if tick > start {
+                self.closed.push(ViolationInterval::new(start, tick));
+            }
+        }
+    }
+
+    /// Advances the tick cursor without recording (never rewinds).
+    /// Transition-driven recording leaves the cursor stale between
+    /// edges, so it syncs the clock this way before
+    /// [`finish`](IntervalTracker::finish) closes a still-open interval
+    /// at the right tick.
+    pub fn advance_to(&mut self, tick: u64) {
+        self.tick = self.tick.max(tick);
+    }
+
     /// The closed violation intervals recorded so far.
     pub fn intervals(&self) -> &[ViolationInterval] {
         &self.closed

@@ -56,6 +56,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+pub mod batch;
+
+pub use batch::{BatchSubsystem, LaneMask, LaneSubsystem, LaneVec, SimulatorBatch};
+pub use esafe_logic::{FrameBatch, LaneMut, LaneRef, SignalRead, SignalWrite};
+
 /// Simulation time: the current tick and the tick period.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimTime {

@@ -17,8 +17,8 @@
 
 use crate::config::{DefectSet, VehicleParams};
 use crate::signals::{self as sig, VehicleSigs};
-use esafe_logic::Frame;
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{LaneSubsystem, SimTime};
 
 /// Steering-capable features in correct priority order (indices into
 /// [`sig::FEATURES`]).
@@ -47,7 +47,7 @@ impl Arbiter {
     }
 
     /// Seeds the blackboard with the arbiter's initial outputs.
-    pub fn seed(frame: &mut Frame, sigs: &VehicleSigs) {
+    pub fn seed<W: SignalWrite>(frame: &mut W, sigs: &VehicleSigs) {
         frame.set(sigs.accel_cmd, 0.0);
         frame.set(sigs.accel_cmd_rate, 0.0);
         frame.set(sigs.accel_source, sigs.sym_driver);
@@ -57,12 +57,12 @@ impl Arbiter {
     }
 }
 
-impl Subsystem for Arbiter {
+impl LaneSubsystem for Arbiter {
     fn name(&self) -> &str {
         "Arbiter"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, prev: &R, next: &mut W) {
         let s = &self.sigs;
         let speed = prev.real_or(s.host_speed, 0.0);
         let driver_request = prev.real_or(s.driver_accel_request, 0.0);
@@ -218,7 +218,8 @@ mod tests {
     use super::*;
     use crate::features::FeatureOutputs;
     use crate::signals::vehicle_table;
-    use esafe_logic::{SignalTable, Value};
+    use esafe_logic::{Frame, SignalTable, Value};
+    use esafe_sim::Subsystem;
     use std::sync::Arc;
 
     fn base_state(table: &Arc<SignalTable>, sigs: &VehicleSigs) -> Frame {

@@ -10,7 +10,7 @@ use crate::features::{
 };
 use crate::signals::VehicleSigs;
 use esafe_logic::SignalTable;
-use esafe_sim::Simulator;
+use esafe_sim::{LaneVec, Simulator, SimulatorBatch};
 use std::sync::Arc;
 
 /// Builds a ready-to-run vehicle [`Simulator`] at 1 kHz over the shared
@@ -68,6 +68,79 @@ pub fn build_vehicle(
     sim
 }
 
+/// One lane's configuration for [`build_vehicle_batch`]: the per-cell
+/// inputs [`build_vehicle`] takes, minus the shared table/sigs.
+#[derive(Debug, Clone)]
+pub struct VehicleLaneConfig {
+    /// Physical and control constants.
+    pub params: VehicleParams,
+    /// The injected defect configuration.
+    pub defects: DefectSet,
+    /// Scene objects around the host.
+    pub scene: Scene,
+    /// Scheduled driver/HMI actions.
+    pub script: Vec<(f64, DriverAction)>,
+}
+
+/// Builds a batched vehicle simulator stepping every lane of `lanes`
+/// together: the same eight subsystems in the same order as
+/// [`build_vehicle`], each as a [`LaneVec`] over per-lane instances, and
+/// each lane's initial frame seeded exactly as `build_vehicle` seeds its
+/// scalar counterpart. Lane `l` is bit-identical to
+/// `build_vehicle(lanes[l]…)` (pinned by this module's tests and the
+/// workspace's batched-sweep golden tests) because every subsystem's
+/// `step_lane` body is the one `build_vehicle`'s boxed subsystems
+/// monomorphize.
+///
+/// # Panics
+///
+/// Panics if `lanes` is empty.
+pub fn build_vehicle_batch(
+    lanes: &[VehicleLaneConfig],
+    table: &Arc<SignalTable>,
+    sigs: &VehicleSigs,
+) -> SimulatorBatch {
+    assert!(!lanes.is_empty(), "a vehicle batch needs at least one lane");
+    let mut sim = SimulatorBatch::new(1, table, lanes.len());
+    let n = lanes.len();
+    sim.add(LaneVec::from_fn(n, |l| {
+        ScriptedDriver::new(lanes[l].params, *sigs, lanes[l].script.clone())
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        CollisionAvoidance::new(lanes[l].params, lanes[l].defects, *sigs)
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        RearCollisionAvoidance::new(lanes[l].params, lanes[l].defects, *sigs)
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        ParkAssist::new(lanes[l].params, lanes[l].defects, *sigs)
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        LaneChangeAssist::new(lanes[l].params, lanes[l].defects, *sigs)
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        AdaptiveCruiseControl::new(lanes[l].params, lanes[l].defects, *sigs)
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        Arbiter::new(lanes[l].params, lanes[l].defects, *sigs)
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        HostDynamics::new(lanes[l].params, lanes[l].defects, lanes[l].scene, *sigs)
+    }));
+
+    for (l, cfg) in lanes.iter().enumerate() {
+        sim.init_lane_with(l, |frame| {
+            HostDynamics::seed(frame, sigs, &cfg.scene);
+            ScriptedDriver::seed(frame, sigs);
+            Arbiter::seed(frame, sigs);
+            for f in &sigs.features {
+                FeatureOutputs::seed(frame, f);
+            }
+        });
+    }
+    sim
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +162,54 @@ mod tests {
             ),
             sigs,
         )
+    }
+
+    #[test]
+    fn batched_vehicle_matches_scalar_lanes_bit_for_bit() {
+        let (table, sigs) = vehicle_table();
+        let configs = vec![
+            VehicleLaneConfig {
+                params: VehicleParams::default(),
+                defects: DefectSet::none(),
+                scene: Scene::default(),
+                script: vec![(0.5, DriverAction::Throttle(0.3))],
+            },
+            VehicleLaneConfig {
+                params: VehicleParams::default(),
+                defects: DefectSet::thesis(),
+                scene: Scene {
+                    lead: Some(crate::dynamics::SceneObject::constant(20.0, 0.0)),
+                    rear: None,
+                },
+                script: vec![
+                    (0.5, DriverAction::Enable("CA".into(), true)),
+                    (1.0, DriverAction::Throttle(0.10)),
+                ],
+            },
+        ];
+        let mut batch = build_vehicle_batch(&configs, &table, &sigs);
+        let mut scalars: Vec<Simulator> = configs
+            .iter()
+            .map(|c| {
+                build_vehicle(
+                    c.params,
+                    c.defects,
+                    c.scene,
+                    c.script.clone(),
+                    &table,
+                    &sigs,
+                )
+            })
+            .collect();
+        let mut frame = table.frame();
+        for tick in 0..2000u64 {
+            batch.step();
+            for (l, sim) in scalars.iter_mut().enumerate() {
+                sim.step();
+                batch.state().read_lane_into(l, &mut frame);
+                assert_eq!(&frame, sim.state(), "lane {l} diverged at tick {tick}");
+            }
+        }
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use crate::config::VehicleParams;
 use crate::signals::{feature_index, VehicleSigs};
-use esafe_logic::{Frame, Value};
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite, Value};
+use esafe_sim::{LaneSubsystem, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// One scripted driver/HMI action.
@@ -74,7 +74,7 @@ impl ScriptedDriver {
     }
 
     /// Seeds the blackboard with the driver's initial outputs.
-    pub fn seed(frame: &mut Frame, sigs: &VehicleSigs) {
+    pub fn seed<W: SignalWrite>(frame: &mut W, sigs: &VehicleSigs) {
         frame.set(sigs.driver_throttle, 0.0);
         frame.set(sigs.driver_brake, 0.0);
         frame.set(sigs.driver_steering_active, false);
@@ -100,12 +100,12 @@ impl ScriptedDriver {
     }
 }
 
-impl Subsystem for ScriptedDriver {
+impl LaneSubsystem for ScriptedDriver {
     fn name(&self) -> &str {
         "Driver"
     }
 
-    fn step(&mut self, t: &SimTime, _prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, _prev: &R, next: &mut W) {
         let s = self.sigs;
         let now = t.seconds();
         // Momentary signals reset each tick unless re-pressed.
@@ -146,6 +146,7 @@ impl Subsystem for ScriptedDriver {
 mod tests {
     use super::*;
     use crate::signals::{self as sig, vehicle_table};
+    use esafe_logic::Frame;
     use esafe_sim::Simulator;
 
     fn run_driver(schedule: Vec<(f64, DriverAction)>, ticks: u64) -> (Frame, VehicleSigs) {

@@ -10,8 +10,8 @@
 
 use crate::config::{DefectSet, VehicleParams};
 use crate::signals::VehicleSigs;
-use esafe_logic::Frame;
-use esafe_sim::{FirstOrderLag, SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{FirstOrderLag, LaneSubsystem, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// A scene object ahead of or behind the host.
@@ -105,7 +105,7 @@ impl HostDynamics {
     }
 
     /// Seeds the blackboard with the plant's initial outputs.
-    pub fn seed(frame: &mut Frame, sigs: &VehicleSigs, scene: &Scene) {
+    pub fn seed<W: SignalWrite>(frame: &mut W, sigs: &VehicleSigs, scene: &Scene) {
         frame.set(sigs.host_speed, 0.0);
         frame.set(sigs.host_accel, 0.0);
         frame.set(sigs.host_jerk, 0.0);
@@ -126,12 +126,12 @@ impl HostDynamics {
     }
 }
 
-impl Subsystem for HostDynamics {
+impl LaneSubsystem for HostDynamics {
     fn name(&self) -> &str {
         "HostDynamics"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, prev: &R, next: &mut W) {
         let s = &self.sigs;
         let dt = t.dt_seconds();
         let cmd = prev.real_or(s.accel_cmd, 0.0);
@@ -219,8 +219,8 @@ impl Subsystem for HostDynamics {
 mod tests {
     use super::*;
     use crate::signals::vehicle_table;
-    use esafe_logic::{SignalId, SignalTable, Value};
-    use esafe_sim::Simulator;
+    use esafe_logic::{Frame, SignalId, SignalTable, Value};
+    use esafe_sim::{Simulator, Subsystem};
     use std::sync::Arc;
 
     /// Injects a constant acceleration command each tick.

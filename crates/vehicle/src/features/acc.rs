@@ -4,8 +4,8 @@
 use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
 use crate::signals::VehicleSigs;
-use esafe_logic::Frame;
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{LaneSubsystem, SimTime};
 
 /// Ticks after an engage before a healthy ACC starts requesting control.
 const ACTIVATION_DELAY_TICKS: u64 = 50;
@@ -77,12 +77,12 @@ impl AdaptiveCruiseControl {
     }
 }
 
-impl Subsystem for AdaptiveCruiseControl {
+impl LaneSubsystem for AdaptiveCruiseControl {
     fn name(&self) -> &str {
         "ACC"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, prev: &R, next: &mut W) {
         let s = &self.sigs;
         let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
         let engage_req = prev.bool_or(self.out.sigs().hmi_engage, false);
@@ -184,7 +184,8 @@ impl Subsystem for AdaptiveCruiseControl {
 mod tests {
     use super::*;
     use crate::signals::{self as sig, vehicle_table};
-    use esafe_logic::{SignalTable, Value};
+    use esafe_logic::{Frame, SignalTable, Value};
+    use esafe_sim::Subsystem;
     use std::sync::Arc;
 
     fn world(table: &Arc<SignalTable>, sigs: &VehicleSigs, speed: f64, set: f64) -> Frame {

@@ -4,8 +4,8 @@
 use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
 use crate::signals::VehicleSigs;
-use esafe_logic::Frame;
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{LaneSubsystem, SimTime};
 
 /// The CA feature subsystem.
 ///
@@ -66,12 +66,12 @@ impl CollisionAvoidance {
     }
 }
 
-impl Subsystem for CollisionAvoidance {
+impl LaneSubsystem for CollisionAvoidance {
     fn name(&self) -> &str {
         "CA"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, prev: &R, next: &mut W) {
         let s = &self.sigs;
         let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
         let speed = prev.real_or(s.host_speed, 0.0);
@@ -144,7 +144,8 @@ impl Subsystem for CollisionAvoidance {
 mod tests {
     use super::*;
     use crate::signals::{self as sig, vehicle_table};
-    use esafe_logic::{SignalTable, Value};
+    use esafe_logic::{Frame, SignalTable, Value};
+    use esafe_sim::Subsystem;
     use std::sync::Arc;
 
     fn ctx() -> (Arc<SignalTable>, VehicleSigs) {

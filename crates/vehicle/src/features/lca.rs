@@ -6,8 +6,8 @@
 use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
 use crate::signals::VehicleSigs;
-use esafe_logic::Frame;
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{LaneSubsystem, SimTime};
 
 /// Ticks after engage before LCA requests control (thesis Fig. 5.10:
 /// control gained at 5.001 s after a 5.0 s enable — one 1 ms state).
@@ -58,12 +58,12 @@ impl LaneChangeAssist {
     }
 }
 
-impl Subsystem for LaneChangeAssist {
+impl LaneSubsystem for LaneChangeAssist {
     fn name(&self) -> &str {
         "LCA"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, prev: &R, next: &mut W) {
         let s = &self.sigs;
         let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
         let engage_req = prev.bool_or(self.out.sigs().hmi_engage, false);
@@ -104,7 +104,8 @@ impl Subsystem for LaneChangeAssist {
 mod tests {
     use super::*;
     use crate::signals::{self as sig, vehicle_table};
-    use esafe_logic::{SignalTable, Value};
+    use esafe_logic::{Frame, SignalTable, Value};
+    use esafe_sim::Subsystem;
     use std::sync::Arc;
 
     fn world(table: &Arc<SignalTable>, sigs: &VehicleSigs, acc_request: f64) -> Frame {

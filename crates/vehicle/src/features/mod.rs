@@ -15,7 +15,7 @@ pub use pa::ParkAssist;
 pub use rca::RearCollisionAvoidance;
 
 use crate::signals::FeatureSigs;
-use esafe_logic::Frame;
+use esafe_logic::SignalWrite;
 
 /// Shared output plumbing for a feature: publishes the standard signal set
 /// and tracks the request rate (the "jerk" of the request stream that
@@ -48,9 +48,9 @@ impl FeatureOutputs {
 
     /// Publishes the per-tick output set and updates the request rate.
     #[allow(clippy::too_many_arguments)]
-    pub fn publish(
+    pub fn publish<W: SignalWrite>(
         &mut self,
-        next: &mut Frame,
+        next: &mut W,
         enabled: bool,
         active: bool,
         accel_request: f64,
@@ -71,7 +71,7 @@ impl FeatureOutputs {
     }
 
     /// Seeds the blackboard with a feature's quiescent outputs.
-    pub fn seed(frame: &mut Frame, sigs: &FeatureSigs) {
+    pub fn seed<W: SignalWrite>(frame: &mut W, sigs: &FeatureSigs) {
         frame.set(sigs.enabled, false);
         frame.set(sigs.active, false);
         frame.set(sigs.accel_request, 0.0);

@@ -5,8 +5,8 @@
 use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
 use crate::signals::VehicleSigs;
-use esafe_logic::Frame;
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{LaneSubsystem, SimTime};
 
 /// The creep acceleration PA uses while maneuvering, m/s².
 const PA_CREEP_ACCEL: f64 = 0.5;
@@ -52,12 +52,12 @@ impl ParkAssist {
     }
 }
 
-impl Subsystem for ParkAssist {
+impl LaneSubsystem for ParkAssist {
     fn name(&self) -> &str {
         "PA"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, prev: &R, next: &mut W) {
         let s = &self.sigs;
         let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
         let engage_req = prev.bool_or(self.out.sigs().hmi_engage, false);
@@ -122,6 +122,8 @@ impl Subsystem for ParkAssist {
 mod tests {
     use super::*;
     use crate::signals::{self as sig, vehicle_table};
+    use esafe_logic::Frame;
+    use esafe_sim::Subsystem;
 
     fn tick_at(pa: &mut ParkAssist, prev: &Frame, tick: u64) -> Frame {
         let mut next = prev.clone();

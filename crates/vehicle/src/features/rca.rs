@@ -5,8 +5,8 @@
 use super::FeatureOutputs;
 use crate::config::{DefectSet, VehicleParams};
 use crate::signals::VehicleSigs;
-use esafe_logic::Frame;
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{LaneSubsystem, SimTime};
 
 /// The RCA feature subsystem.
 #[derive(Debug)]
@@ -31,12 +31,12 @@ impl RearCollisionAvoidance {
     }
 }
 
-impl Subsystem for RearCollisionAvoidance {
+impl LaneSubsystem for RearCollisionAvoidance {
     fn name(&self) -> &str {
         "RCA"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, prev: &R, next: &mut W) {
         let s = &self.sigs;
         let enabled = prev.bool_or(self.out.sigs().hmi_enable, false);
         let speed = prev.real_or(s.host_speed, 0.0);
@@ -84,7 +84,8 @@ impl Subsystem for RearCollisionAvoidance {
 mod tests {
     use super::*;
     use crate::signals::{self as sig, vehicle_table};
-    use esafe_logic::{SignalTable, Value};
+    use esafe_logic::{Frame, SignalTable, Value};
+    use esafe_sim::Subsystem;
     use std::sync::Arc;
 
     fn reversing_world(table: &Arc<SignalTable>, sigs: &VehicleSigs, gap: f64) -> Frame {

@@ -8,12 +8,19 @@
 
 use crate::config::VehicleParams;
 use crate::signals::VehicleSigs;
-use esafe_logic::Frame;
+use esafe_logic::{Frame, SignalRead, SignalWrite};
 
-/// Writes the `probe.*` signals into `out`, which must already carry the
-/// raw frame's values (the experiment loop memcpys `raw` into `out`
-/// first). Pure id-indexed slot access — no allocation.
-pub fn derive_into(out: &mut Frame, sigs: &VehicleSigs, params: &VehicleParams) {
+/// Writes the `probe.*` signals into any sample carrying the raw
+/// frame's values — a scalar [`Frame`] ([`derive_into`]) or one lane of
+/// a batched state slab, **in place**. In-place derivation is safe
+/// because no subsystem reads a `probe.*` signal (every probe is
+/// overwritten here each tick) and `hmi.go` is only defaulted when
+/// unset. Pure id-indexed slot access — no allocation.
+pub fn derive_lane<F: SignalRead + SignalWrite>(
+    out: &mut F,
+    sigs: &VehicleSigs,
+    params: &VehicleParams,
+) {
     let speed = out.real_or(sigs.host_speed, 0.0);
     let accel = out.real_or(sigs.host_accel, 0.0);
     let accel_source = out.get(sigs.accel_source);
@@ -37,6 +44,13 @@ pub fn derive_into(out: &mut Frame, sigs: &VehicleSigs, params: &VehicleParams) 
     if out.get(sigs.hmi_go).is_none() {
         out.set(sigs.hmi_go, false);
     }
+}
+
+/// [`derive_lane`] over a scalar [`Frame`], which must already carry
+/// the raw frame's values (the experiment loop memcpys `raw` into `out`
+/// first).
+pub fn derive_into(out: &mut Frame, sigs: &VehicleSigs, params: &VehicleParams) {
+    derive_lane(out, sigs, params);
 }
 
 /// Returns a copy of `frame` augmented with the `probe.*` signals (the

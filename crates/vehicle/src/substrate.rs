@@ -1,16 +1,16 @@
 //! The vehicle's [`Substrate`] implementation: one scenario × defect
 //! configuration, runnable under the generic experiment harness.
 
-use crate::builder::build_vehicle;
+use crate::builder::{build_vehicle, build_vehicle_batch, VehicleLaneConfig};
 use crate::config::{DefectSet, VehicleParams};
 use crate::driver::DriverAction;
 use crate::dynamics::Scene;
 use crate::signals::{vehicle_table, VehicleSigs};
 use crate::{goals, probe};
 use esafe_harness::Substrate;
-use esafe_logic::{EvalError, Frame, SignalId, SignalTable};
+use esafe_logic::{EvalError, Frame, FrameBatch, SignalId, SignalTable};
 use esafe_monitor::{MonitorSuite, SuiteTemplate};
-use esafe_sim::Simulator;
+use esafe_sim::{Simulator, SimulatorBatch};
 use std::sync::Arc;
 
 /// The compile-once artifacts of the vehicle substrate *family*: the
@@ -248,6 +248,23 @@ impl Substrate for VehicleSubstrate {
         )
     }
 
+    /// The native batched builder: one [`SimulatorBatch`] whose lane `l`
+    /// is `group[l]`'s configuration, stepping the whole stripe in
+    /// lane-major loops instead of per-lane boxed-subsystem dispatch.
+    fn build_simulator_batch(group: &[&Self]) -> Option<SimulatorBatch> {
+        let first = group.first()?;
+        let lanes: Vec<VehicleLaneConfig> = group
+            .iter()
+            .map(|s| VehicleLaneConfig {
+                params: s.params,
+                defects: s.defects,
+                scene: s.scene,
+                script: s.script.clone(),
+            })
+            .collect();
+        Some(build_vehicle_batch(&lanes, &first.table, &first.sigs))
+    }
+
     fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
         goals::build_suite(&self.table, &self.params)
     }
@@ -263,12 +280,42 @@ impl Substrate for VehicleSubstrate {
         probe::derive_into(observed, &self.sigs, &self.params);
     }
 
+    /// Batched observation runs the probe derivation **in place** on the
+    /// lane: probes are observation-only (no subsystem reads `probe.*`,
+    /// and `hmi.go` is only defaulted when unset), so writing them into
+    /// the live state slab is safe and skips both per-lane frame copies.
+    fn observe_lane(
+        &self,
+        slab: &mut FrameBatch,
+        lane: usize,
+        _raw: &mut Frame,
+        _observed: &mut Frame,
+    ) {
+        probe::derive_lane(&mut slab.lane_mut(lane), &self.sigs, &self.params);
+    }
+
     /// A forward or rear collision aborts the run after the grace window
     /// (the thesis's CarSim early termination).
     fn terminal_event(&self, observed: &Frame) -> Option<&'static str> {
         if observed.bool_or(self.sigs.collision, false) {
             Some("collision")
         } else if observed.bool_or(self.sigs.rear_collision, false) {
+            Some("rear_collision")
+        } else {
+            None
+        }
+    }
+
+    /// Two direct slab reads — no per-lane frame copy.
+    fn terminal_event_lane(
+        &self,
+        slab: &FrameBatch,
+        lane: usize,
+        _scratch: &mut Frame,
+    ) -> Option<&'static str> {
+        if slab.bool_or(self.sigs.collision, lane, false) {
+            Some("collision")
+        } else if slab.bool_or(self.sigs.rear_collision, lane, false) {
             Some("rear_collision")
         } else {
             None

@@ -9,13 +9,15 @@
 //! repro --grid --json <path>   # …plus a machine-readable timing summary
 //! repro --mega-grid            # ≥10⁴-cell scenario-parameter sweep (batched)
 //! repro --mega-grid --json <path>  # …plus the schema-v4 summary
+//! repro --serve-bench          # 1000-stream fleet through the monitor service
+//! repro --serve-bench --json <path>  # …plus the serve-bench-v1 summary
 //! repro --all                  # everything, in thesis order
 //! repro --json <scenario>      # dump a scenario's figure series as JSON
 //! ```
 
 use esafe_bench::{
     ablation, batch_calibration, figure_map, full_grid_timed, full_mega_timed, grid_summary_json,
-    mega_summary_json, observe_calibration, thesis_run,
+    mega_summary_json, observe_calibration, serve_bench, serve_summary_json, thesis_run,
 };
 use esafe_core::render;
 use esafe_elevator::ElevatorParams;
@@ -44,12 +46,16 @@ fn main() {
         [mega, json, path] if mega == "--mega-grid" && json == "--json" => {
             print_mega_grid(Some(path));
         }
+        [flag] if flag == "--serve-bench" => print_serve_bench(None),
+        [sb, json, path] if sb == "--serve-bench" && json == "--json" => {
+            print_serve_bench(Some(path));
+        }
         [flag] if flag == "--all" => print_all(),
         _ => {
             eprintln!(
                 "usage: repro --table <id> | --figure <id> | --ablation [n] \
                  | --grid [--json <path>] | --mega-grid [--json <path>] \
-                 | --json <n> | --all"
+                 | --serve-bench [--json <path>] | --json <n> | --all"
             );
             std::process::exit(2);
         }
@@ -108,6 +114,35 @@ fn print_mega_grid(json_path: Option<&str>) {
     if let Some(path) = json_path {
         let json = mega_summary_json(&aggregate, wall, &stats, &calibration, cells, width)
             .expect("summary serializes");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+        println!("summary written to {path}");
+    }
+}
+
+/// Runs the fleet-service benchmark: 1000 concurrent replayed elevator
+/// streams held live on one `esafe-serve` shard worker (2000 streams
+/// total — every close is immediately replaced), and (with `json_path`)
+/// writes the serve-bench-v1 `BENCH_serve.json` summary.
+fn print_serve_bench(json_path: Option<&str>) {
+    const CONCURRENT: usize = 1000;
+    const TOTAL: usize = 2000;
+    const TICKS_PER_STREAM: u64 = 400;
+    println!(
+        "serve bench: {CONCURRENT} concurrent streams, {TOTAL} total, \
+         {TICKS_PER_STREAM} ticks each, one shard worker"
+    );
+    let summary = serve_bench(CONCURRENT, TOTAL, TICKS_PER_STREAM);
+    println!(
+        "monitored {} stream-ticks x {} monitors in {:.3} s",
+        summary.stream_ticks, summary.monitors, summary.wall_clock_s
+    );
+    println!(
+        "throughput: {:.0} stream-ticks/s ({:.1} ns/stream-tick); \
+         {} violation intervals reported",
+        summary.stream_ticks_per_s, summary.ns_per_stream_tick, summary.violation_intervals
+    );
+    if let Some(path) = json_path {
+        let json = serve_summary_json(&summary).expect("summary serializes");
         std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
         println!("summary written to {path}");
     }

@@ -500,9 +500,178 @@ pub fn grid_summary_json(
     serde_json::to_string_pretty(&summary)
 }
 
+/// The machine-readable `repro --serve-bench --json` summary —
+/// **schema v1 (`serve-bench`)**, written to `BENCH_serve.json`: a
+/// fleet of replayed elevator runs streamed through one
+/// [`esafe_serve::MonitorService`] shard worker, with the sustained
+/// concurrency and the end-to-end stream-tick throughput.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServeBenchSummary {
+    /// Serve-bench summary schema version.
+    pub schema: u32,
+    /// Streams held live at once (the fleet size): every close is
+    /// immediately replaced until `total_streams` have launched, so the
+    /// shard sustains this occupancy for the whole measured window.
+    pub concurrent_streams: usize,
+    /// Streams launched (and closed) over the run.
+    pub total_streams: usize,
+    /// Frames each stream replays before ending.
+    pub ticks_per_stream: u64,
+    /// Total frames monitored, summed over every stream's close-out
+    /// summary — the work quantity behind the throughput figures.
+    pub stream_ticks: u64,
+    /// Monitors evaluated per stream tick (the elevator goal suite).
+    pub monitors: usize,
+    /// Length of the shared recorded elevator trace the fleet replays
+    /// (members start at staggered offsets, wrapping).
+    pub trace_ticks: usize,
+    /// Lanes provisioned on the shard
+    /// ([`lanes_per_shard`](esafe_serve::ServiceConfig::lanes_per_shard)).
+    pub shard_lanes: usize,
+    /// Waves between periodic violation drains
+    /// ([`report_every`](esafe_serve::ServiceConfig::report_every)).
+    pub report_every: u64,
+    /// Violation intervals reported across the whole fleet (periodic
+    /// drains plus close-out summaries — the two never overlap).
+    pub violation_intervals: usize,
+    /// End-to-end wall-clock, seconds: connect of the first stream to
+    /// close of the last, reports consumed on the caller's thread.
+    pub wall_clock_s: f64,
+    /// `stream_ticks / wall_clock_s` — monitored frames per second
+    /// through the single shard worker.
+    pub stream_ticks_per_s: f64,
+    /// `1e9 / stream_ticks_per_s` — cost of one monitored frame.
+    pub ns_per_stream_tick: f64,
+}
+
+/// Drives the fleet-service benchmark behind `repro --serve-bench`:
+/// `concurrent` replayed elevator streams held live on one
+/// [`MonitorService`](esafe_serve::MonitorService) shard (each close
+/// immediately replaced until `total` streams have run), measuring
+/// end-to-end stream-tick throughput from the report channel.
+///
+/// The service runs one worker thread per signal-table family — here
+/// exactly one — so the quoted throughput is a single-core figure; the
+/// caller's thread only consumes reports and issues replacement
+/// connects.
+///
+/// # Panics
+///
+/// Panics if `concurrent` is zero, `total < concurrent`, or
+/// `ticks_per_stream` is zero; propagates a shard worker failure.
+pub fn serve_bench(concurrent: usize, total: usize, ticks_per_stream: u64) -> ServeBenchSummary {
+    use esafe_serve::{MonitorService, ReportEvent, ServiceConfig};
+
+    assert!(concurrent > 0, "an empty fleet measures nothing");
+    assert!(total >= concurrent, "total streams must cover the fleet");
+    assert!(ticks_per_stream > 0, "streams must carry frames");
+
+    let workload = esafe_scenarios::FleetWorkload::elevator(2048);
+    let config = ServiceConfig {
+        lanes_per_shard: concurrent,
+        report_capacity: 4096,
+        report_every: 64,
+    };
+    let report_every = config.report_every;
+    let mut service = MonitorService::new(config);
+    service.load_suite(workload.template());
+    let table = std::sync::Arc::clone(workload.table());
+    let monitors = workload.template().len();
+
+    let started = std::time::Instant::now();
+    let mut launched = 0usize;
+    while launched < concurrent {
+        service
+            .connect(
+                &table,
+                Box::new(workload.stream(launched, ticks_per_stream)),
+            )
+            .expect("a freshly loaded shard accepts streams");
+        launched += 1;
+    }
+
+    let mut closed = 0usize;
+    let mut stream_ticks = 0u64;
+    let mut violation_intervals = 0usize;
+    while closed < total {
+        match service
+            .recv_report()
+            .expect("the shard worker must outlive its streams")
+        {
+            ReportEvent::Violations(report) => {
+                violation_intervals += report
+                    .violations
+                    .iter()
+                    .map(|(_, v)| v.len())
+                    .sum::<usize>();
+            }
+            ReportEvent::StreamClosed(summary) => {
+                closed += 1;
+                stream_ticks += summary.ticks;
+                violation_intervals += summary
+                    .violations
+                    .iter()
+                    .map(|(_, v)| v.len())
+                    .sum::<usize>();
+                if launched < total {
+                    service
+                        .connect(
+                            &table,
+                            Box::new(workload.stream(launched, ticks_per_stream)),
+                        )
+                        .expect("a running shard accepts replacement streams");
+                    launched += 1;
+                }
+            }
+            ReportEvent::SuiteUnloaded { .. } => {}
+            ReportEvent::ShardStopped { error, .. } => {
+                panic!("shard stopped mid-benchmark: {error:?}");
+            }
+        }
+    }
+    let wall = started.elapsed();
+    service.shutdown();
+
+    let wall_clock_s = wall.as_secs_f64();
+    let stream_ticks_per_s = stream_ticks as f64 / wall_clock_s.max(f64::MIN_POSITIVE);
+    ServeBenchSummary {
+        schema: 1,
+        concurrent_streams: concurrent,
+        total_streams: total,
+        ticks_per_stream,
+        stream_ticks,
+        monitors,
+        trace_ticks: workload.trace_ticks(),
+        shard_lanes: concurrent,
+        report_every,
+        violation_intervals,
+        wall_clock_s,
+        stream_ticks_per_s,
+        ns_per_stream_tick: 1e9 / stream_ticks_per_s.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Serializes the serve-bench summary as pretty JSON (schema v1).
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` if serialization fails (never expected
+/// for these types).
+pub fn serve_summary_json(summary: &ServeBenchSummary) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serve_bench_counts_every_stream_tick() {
+        let summary = serve_bench(8, 12, 20);
+        assert_eq!(summary.total_streams, 12);
+        assert_eq!(summary.stream_ticks, 12 * 20);
+        assert!(summary.stream_ticks_per_s > 0.0);
+    }
 
     #[test]
     fn figure_map_covers_all_fourteen_figures() {

@@ -3,8 +3,8 @@
 
 use crate::faults::ElevatorFaults;
 use crate::model::{ElevatorParams, ElevatorSigs};
-use esafe_logic::Frame;
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{LaneSubsystem, SimTime};
 
 /// Latches raw button presses into pending calls (the
 /// `CarButtonController`/`HallButtonController` agents of Fig. 4.5).
@@ -22,12 +22,12 @@ impl ButtonLatches {
     }
 }
 
-impl Subsystem for ButtonLatches {
+impl LaneSubsystem for ButtonLatches {
     fn name(&self) -> &str {
         "ButtonLatches"
     }
 
-    fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, _t: &SimTime, prev: &R, next: &mut W) {
         let m = &self.sigs;
         let at_floor = prev.real_or(m.floor, 0.0) as u32;
         // Clear on the same fully-open sensor the dispatcher's dwell uses,
@@ -72,7 +72,7 @@ impl DispatchController {
         }
     }
 
-    fn nearest_call(&self, prev: &Frame, from_floor: u32) -> Option<u32> {
+    fn nearest_call<R: SignalRead>(&self, prev: &R, from_floor: u32) -> Option<u32> {
         (0..self.params.floors)
             .filter(|f| {
                 let fi = *f as usize;
@@ -83,12 +83,12 @@ impl DispatchController {
     }
 }
 
-impl Subsystem for DispatchController {
+impl LaneSubsystem for DispatchController {
     fn name(&self) -> &str {
         "DispatchController"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, prev: &R, next: &mut W) {
         let p = &self.params;
         let m = &self.sigs;
         let position = prev.real_or(m.position, 0.0);
@@ -158,12 +158,12 @@ impl DoorController {
     }
 }
 
-impl Subsystem for DoorController {
+impl LaneSubsystem for DoorController {
     fn name(&self) -> &str {
         "DoorController"
     }
 
-    fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, _t: &SimTime, prev: &R, next: &mut W) {
         let m = &self.sigs;
         let blocked = prev.bool_or(m.door_blocked, false);
         let stopped = prev.bool_or(m.elevator_stopped, false);
@@ -220,12 +220,12 @@ impl DriveController {
     }
 }
 
-impl Subsystem for DriveController {
+impl LaneSubsystem for DriveController {
     fn name(&self) -> &str {
         "DriveController"
     }
 
-    fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, _t: &SimTime, prev: &R, next: &mut W) {
         let p = &self.params;
         let m = &self.sigs;
         let position = prev.real_or(m.position, 0.0);
@@ -298,12 +298,12 @@ impl EmergencyBrake {
     }
 }
 
-impl Subsystem for EmergencyBrake {
+impl LaneSubsystem for EmergencyBrake {
     fn name(&self) -> &str {
         "EmergencyBrake"
     }
 
-    fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, _t: &SimTime, prev: &R, next: &mut W) {
         if self.faults.ebrake_inoperative {
             return;
         }
@@ -324,7 +324,8 @@ impl Subsystem for EmergencyBrake {
 mod tests {
     use super::*;
     use crate::model::{elevator_table, initial_frame};
-    use esafe_logic::Value;
+    use esafe_logic::{Frame, Value};
+    use esafe_sim::Subsystem;
 
     fn ctx() -> (Frame, ElevatorSigs) {
         let p = ElevatorParams::default();

@@ -50,7 +50,7 @@ pub mod plant;
 pub mod substrate;
 
 use esafe_logic::SignalTable;
-use esafe_sim::Simulator;
+use esafe_sim::{LaneVec, Simulator, SimulatorBatch};
 use std::sync::Arc;
 
 pub use model::{ElevatorParams, ElevatorSigs};
@@ -101,6 +101,69 @@ pub fn build_elevator(
     sim
 }
 
+/// One lane's configuration for [`build_elevator_batch`]: the per-cell
+/// inputs [`build_elevator`] takes, minus the shared
+/// parameters/table/sigs (a batch shares one signal namespace, so every
+/// lane runs the same [`ElevatorParams`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ElevatorLaneConfig {
+    /// The injected fault configuration.
+    pub faults: faults::ElevatorFaults,
+    /// Seed for the deterministic passenger traffic.
+    pub seed: u64,
+}
+
+/// Builds a batched elevator simulator stepping every lane of `lanes`
+/// together: the same seven subsystems in the same order as
+/// [`build_elevator`], each as a [`LaneVec`] over per-lane instances, and
+/// each lane's initial blackboard seeded exactly as `build_elevator`
+/// seeds its scalar counterpart. Lane `l` is bit-identical to
+/// `build_elevator(params, lanes[l]…)` because every subsystem's
+/// `step_lane` body is the one `build_elevator`'s boxed subsystems
+/// monomorphize (pinned by this module's tests).
+///
+/// # Panics
+///
+/// Panics if `lanes` is empty.
+pub fn build_elevator_batch(
+    params: ElevatorParams,
+    lanes: &[ElevatorLaneConfig],
+    table: &Arc<SignalTable>,
+    sigs: &ElevatorSigs,
+) -> SimulatorBatch {
+    assert!(
+        !lanes.is_empty(),
+        "an elevator batch needs at least one lane"
+    );
+    let n = lanes.len();
+    let mut sim = SimulatorBatch::new(params.dt_millis, table, n);
+    sim.add(LaneVec::from_fn(n, |l| {
+        passengers::PassengerTraffic::new(params, lanes[l].seed, sigs.clone())
+    }));
+    sim.add(LaneVec::from_fn(n, |_| {
+        controllers::ButtonLatches::new(params, sigs.clone())
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        controllers::DispatchController::new(params, lanes[l].faults, sigs.clone())
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        controllers::DoorController::new(params, lanes[l].faults, sigs.clone())
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        controllers::DriveController::new(params, lanes[l].faults, sigs.clone())
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        controllers::EmergencyBrake::new(params, lanes[l].faults, sigs.clone())
+    }));
+    sim.add(LaneVec::from_fn(n, |l| {
+        plant::ElevatorPlant::new(params, lanes[l].faults, sigs.clone())
+    }));
+    for l in 0..n {
+        sim.init_lane_with(l, |frame| model::seed_initial(frame, sigs));
+    }
+    sim
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +193,46 @@ mod tests {
             served_floors.len() >= 2,
             "traffic must move the car: served {served_floors:?}"
         );
+    }
+
+    #[test]
+    fn batched_elevator_matches_scalar_lanes_bit_for_bit() {
+        let params = ElevatorParams::default();
+        let (table, sigs) = model::elevator_table(&params);
+        let configs = vec![
+            ElevatorLaneConfig {
+                faults: faults::ElevatorFaults::none(),
+                seed: 7,
+            },
+            ElevatorLaneConfig {
+                faults: faults::ElevatorFaults {
+                    drive_ignores_door: true,
+                    ..faults::ElevatorFaults::none()
+                },
+                seed: 11,
+            },
+            ElevatorLaneConfig {
+                faults: faults::ElevatorFaults {
+                    door_sensor_stuck_closed: true,
+                    ..faults::ElevatorFaults::none()
+                },
+                seed: 7,
+            },
+        ];
+        let mut batch = build_elevator_batch(params, &configs, &table, &sigs);
+        let mut scalars: Vec<Simulator> = configs
+            .iter()
+            .map(|c| build_elevator(params, c.faults, c.seed, &table, &sigs))
+            .collect();
+        let mut frame = table.frame();
+        for tick in 0..2000u64 {
+            batch.step();
+            for (l, sim) in scalars.iter_mut().enumerate() {
+                sim.step();
+                batch.state().read_lane_into(l, &mut frame);
+                assert_eq!(&frame, sim.state(), "lane {l} diverged at tick {tick}");
+            }
+        }
     }
 
     #[test]

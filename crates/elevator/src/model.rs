@@ -1,7 +1,7 @@
 //! Elevator signal names, parameters, the interned [`ElevatorSigs`] id
 //! set, and the initial blackboard.
 
-use esafe_logic::{Frame, SignalId, SignalTable, SignalTableBuilder, Value};
+use esafe_logic::{Frame, SignalId, SignalTable, SignalTableBuilder, SignalWrite, Value};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -208,8 +208,9 @@ pub fn elevator_table(params: &ElevatorParams) -> (Arc<SignalTable>, ElevatorSig
 }
 
 /// Seeds the initial blackboard: car parked at floor 0, doors closed,
-/// idle.
-pub fn seed_initial(frame: &mut Frame, sigs: &ElevatorSigs) {
+/// idle. Generic over the write target so the same seeding runs on a
+/// scalar [`Frame`] and on one lane of a batched state slab.
+pub fn seed_initial<W: SignalWrite>(frame: &mut W, sigs: &ElevatorSigs) {
     frame.set(sigs.door_closed, true);
     frame.set(sigs.door_blocked, false);
     frame.set(sigs.elevator_speed, 0.0);

@@ -2,8 +2,8 @@
 //! environmental agent of Fig. 4.5).
 
 use crate::model::{ElevatorParams, ElevatorSigs};
-use esafe_logic::Frame;
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{LaneSubsystem, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,12 +32,12 @@ impl PassengerTraffic {
     }
 }
 
-impl Subsystem for PassengerTraffic {
+impl LaneSubsystem for PassengerTraffic {
     fn name(&self) -> &str {
         "PassengerTraffic"
     }
 
-    fn step(&mut self, _t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, _t: &SimTime, prev: &R, next: &mut W) {
         let p = self.params;
         let m = &self.sigs;
         // Clear the previous tick's momentary button presses.
@@ -89,6 +89,7 @@ mod tests {
     use super::*;
     use crate::model::{elevator_table, initial_frame};
     use esafe_logic::Value;
+    use esafe_sim::Subsystem;
 
     #[test]
     fn traffic_eventually_presses_buttons() {

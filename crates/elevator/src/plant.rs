@@ -2,8 +2,8 @@
 
 use crate::faults::ElevatorFaults;
 use crate::model::{ElevatorParams, ElevatorSigs};
-use esafe_logic::Frame;
-use esafe_sim::{SimTime, Subsystem};
+use esafe_logic::{SignalRead, SignalWrite};
+use esafe_sim::{LaneSubsystem, SimTime};
 
 /// Drive + door-motor dynamics and the sensor package.
 ///
@@ -30,12 +30,12 @@ impl ElevatorPlant {
     }
 }
 
-impl Subsystem for ElevatorPlant {
+impl LaneSubsystem for ElevatorPlant {
     fn name(&self) -> &str {
         "ElevatorPlant"
     }
 
-    fn step(&mut self, t: &SimTime, prev: &Frame, next: &mut Frame) {
+    fn step_lane<R: SignalRead, W: SignalWrite>(&mut self, t: &SimTime, prev: &R, next: &mut W) {
         let p = &self.params;
         let m = &self.sigs;
         let dt = t.dt_seconds();

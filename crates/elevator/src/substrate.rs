@@ -3,11 +3,11 @@
 
 use crate::faults::ElevatorFaults;
 use crate::model::{self, ElevatorParams, ElevatorSigs};
-use crate::{build_elevator, goals};
+use crate::{build_elevator, build_elevator_batch, goals, ElevatorLaneConfig};
 use esafe_harness::Substrate;
 use esafe_logic::{EvalError, Frame, FrameBatch, SignalId, SignalTable};
 use esafe_monitor::{MonitorSuite, SuiteTemplate};
-use esafe_sim::Simulator;
+use esafe_sim::{Simulator, SimulatorBatch};
 use std::sync::Arc;
 
 /// The compile-once artifacts of the elevator substrate *family*: the
@@ -59,6 +59,11 @@ impl ElevatorFamily {
     /// The family's shared signal namespace.
     pub fn table(&self) -> &Arc<SignalTable> {
         &self.table
+    }
+
+    /// The family's resolved signal ids.
+    pub fn sigs(&self) -> &ElevatorSigs {
+        &self.sigs
     }
 
     /// The compile-once goal/subgoal suite template.
@@ -240,6 +245,29 @@ impl Substrate for ElevatorSubstrate {
 
     fn build_monitors(&self) -> Result<MonitorSuite, EvalError> {
         goals::build_suite(&self.table, &self.params)
+    }
+
+    /// Batches the whole group when every member shares the first cell's
+    /// parameters — true for family-derived sweep cells, which differ
+    /// only in faults and seed.
+    fn build_simulator_batch(group: &[&Self]) -> Option<SimulatorBatch> {
+        let first = group.first()?;
+        if !group.iter().all(|s| s.params == first.params) {
+            return None;
+        }
+        let configs: Vec<ElevatorLaneConfig> = group
+            .iter()
+            .map(|s| ElevatorLaneConfig {
+                faults: s.faults,
+                seed: s.seed,
+            })
+            .collect();
+        Some(build_elevator_batch(
+            first.params,
+            &configs,
+            &first.table,
+            &first.sigs,
+        ))
     }
 
     fn suite_template(&self) -> Option<&Arc<SuiteTemplate>> {

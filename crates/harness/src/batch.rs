@@ -35,6 +35,7 @@
 
 use crate::context::{RunContext, RunTiming, SuiteProvenance};
 use crate::experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
+use crate::lanes::LaneAllocator;
 use crate::substrate::Substrate;
 use crate::sweep::{cell_seed, Partial, Sweep, SweepAggregate, SweepReport, SweepStats};
 use esafe_logic::SignalId;
@@ -114,7 +115,6 @@ struct Lane<'s> {
     terminal_tick: Option<u64>,
     terminal_event: Option<String>,
     terminated_early: bool,
-    live: bool,
 }
 
 type CellOutcome = (usize, Result<RunReport, ExperimentError>, RunTiming);
@@ -179,10 +179,16 @@ fn run_stripe<S: Substrate>(
                 terminal_tick: None,
                 terminal_event: None,
                 terminated_early: false,
-                live: true,
             }
         })
         .collect();
+    // A stripe is the static case of the shared lane-occupancy
+    // abstraction (see [`LaneAllocator`]): every lane is claimed up
+    // front and released as its run retires.
+    let mut occupancy = LaneAllocator::new(width);
+    for _ in 0..width {
+        occupancy.claim();
+    }
 
     let mut sim = match S::build_simulator_batch(&group) {
         Some(sim) => sim,
@@ -219,9 +225,9 @@ fn run_stripe<S: Substrate>(
     let tick_started = Instant::now();
     for tick in 1..=scheduled_ticks {
         sim.step();
-        for (l, lane) in lanes.iter().enumerate() {
-            if lane.live {
-                group[l].observe_lane(sim.state_mut(), l, &mut raw, &mut observed);
+        for (l, sub) in group.iter().enumerate().take(width) {
+            if occupancy.is_claimed(l) {
+                sub.observe_lane(sim.state_mut(), l, &mut raw, &mut observed);
             }
         }
         if batch.observe_slab(sim.state()).is_err() {
@@ -234,7 +240,7 @@ fn run_stripe<S: Substrate>(
                 .collect();
         }
         for (l, lane) in lanes.iter_mut().enumerate() {
-            if !lane.live {
+            if !occupancy.is_claimed(l) {
                 continue;
             }
             let t = sim.lane_seconds(l);
@@ -261,13 +267,13 @@ fn run_stripe<S: Substrate>(
             if let Some(at) = lane.terminal_tick {
                 if tick >= at + post_terminal_ticks {
                     lane.terminated_early = tick < scheduled_ticks;
-                    lane.live = false;
+                    occupancy.release(l);
                     batch.retire_lane(l);
                     sim.retire_lane(l);
                 }
             }
         }
-        if batch.active_lanes() == 0 {
+        if occupancy.in_use() == 0 {
             break;
         }
     }

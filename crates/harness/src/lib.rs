@@ -95,11 +95,13 @@
 pub mod batch;
 pub mod context;
 pub mod experiment;
+pub mod lanes;
 pub mod substrate;
 pub mod sweep;
 
 pub use batch::DEFAULT_BATCH_WIDTH;
 pub use context::{RunContext, RunTiming, SuiteProvenance};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
+pub use lanes::LaneAllocator;
 pub use substrate::Substrate;
 pub use sweep::{cell_seed, AggregateBuilder, Sweep, SweepAggregate, SweepReport, SweepStats};

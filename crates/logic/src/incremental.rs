@@ -1989,6 +1989,30 @@ impl FusedSuiteBatch {
         self.active.fill(true);
         self.retired = 0;
     }
+
+    /// Re-arms a single lane in place: its temporal cells return to the
+    /// initial (empty history) state, its step counter zeroes, and it
+    /// re-activates if retired — the per-lane slice of
+    /// [`reset`](FusedSuiteBatch::reset). Nothing is reallocated and no
+    /// other lane is touched, so a long-running batch can recycle a
+    /// retired lane for a brand-new run while its neighbours keep
+    /// advancing. The lane's stale slab rows are harmless: the next
+    /// observe pass recomputes every node for active lanes before any
+    /// verdict is read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn reset_lane(&mut self, lane: usize) {
+        assert!(lane < self.lanes, "lane out of range");
+        for (c, &init) in self.program.init_cells.iter().enumerate() {
+            self.cells[c * self.lanes + lane] = init;
+        }
+        self.steps[lane] = 0;
+        if !std::mem::replace(&mut self.active[lane], true) {
+            self.retired -= 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -2371,6 +2395,48 @@ mod tests {
         batch.observe_batch(&frames).unwrap();
         assert!(!batch.verdict(0, 0), "reset must clear temporal history");
         assert!(!batch.verdict(1, 0), "reset must reactivate lane 1 clean");
+    }
+
+    #[test]
+    fn reset_lane_rearms_one_lane_without_touching_neighbours() {
+        let mut b = SignalTable::builder();
+        let p = b.bool("p");
+        let table = b.finish();
+        let program = Arc::new(
+            FusedSuiteProgram::compile(
+                &[parse("prev(p)").unwrap(), parse("once(!p)").unwrap()],
+                &table,
+            )
+            .unwrap(),
+        );
+        let mut batch = program.instantiate_batch(2);
+        let mut frames = vec![table.frame(), table.frame()];
+        frames[0].set(p, true);
+        frames[1].set(p, false); // lane 1 trips `once(!p)` forever
+        batch.observe_batch(&frames).unwrap();
+        batch.observe_batch(&frames).unwrap();
+        assert!(batch.verdict(1, 1), "lane 1 latched once(!p)");
+        batch.retire_lane(1);
+        assert_eq!(batch.active_lanes(), 1);
+
+        // Re-arm lane 1 for a fresh run whose samples never violate.
+        batch.reset_lane(1);
+        assert_eq!(batch.active_lanes(), 2);
+        assert_eq!(batch.steps_observed(1), 0);
+        assert_eq!(batch.steps_observed(0), 2, "neighbour untouched");
+        frames[1].set(p, true);
+        batch.observe_batch(&frames).unwrap();
+        assert!(
+            !batch.verdict(1, 1),
+            "reclaimed lane must not inherit the previous run's once() latch"
+        );
+        assert!(
+            !batch.verdict(1, 0),
+            "reclaimed lane restarts with empty prev() history"
+        );
+        assert!(batch.verdict(0, 0), "neighbour's prev(p) history survived");
+        assert_eq!(batch.steps_observed(0), 3);
+        assert_eq!(batch.steps_observed(1), 1);
     }
 
     #[test]

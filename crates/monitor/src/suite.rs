@@ -659,6 +659,7 @@ impl SuiteTemplate {
             metas: self.entries.iter().map(|t| Arc::clone(&t.meta)).collect(),
             fused: self.fused.instantiate_batch(lanes),
             lanes,
+            generation: 0,
         }
     }
 
@@ -753,6 +754,11 @@ pub struct MonitorSuiteBatch {
     prev: Vec<bool>,
     fused: FusedSuiteBatch,
     lanes: usize,
+    /// Which *suite generation* this batch belongs to — provenance for
+    /// long-running services that hot-swap goal suites: every verdict or
+    /// violation drained from this batch is attributed to this
+    /// generation, never to the suite that replaced it.
+    generation: u64,
 }
 
 impl MonitorSuiteBatch {
@@ -783,6 +789,38 @@ impl MonitorSuiteBatch {
     /// Number of monitors (goals + subgoals) per lane.
     pub fn monitors(&self) -> usize {
         self.metas.len()
+    }
+
+    /// Number of frames `lane` has observed so far (frozen once the lane
+    /// retires) — the tick clock violation provenance is expressed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn steps_observed(&self, lane: usize) -> u64 {
+        self.fused.steps_observed(lane)
+    }
+
+    /// The suite generation this batch is tagged with (0 unless
+    /// [`set_generation`](MonitorSuiteBatch::set_generation) was called).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Tags this batch with a suite generation. A service that hot-swaps
+    /// goal suites stamps each instantiated batch with a monotonically
+    /// increasing generation so drained violations stay attributed to
+    /// the suite that actually produced them.
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Whether every lane has retired — a *drained* batch. A draining
+    /// suite (deactivated for new runs but still carrying live lanes)
+    /// can be [`finish`](MonitorSuiteBatch::finish)ed and unloaded as
+    /// soon as this turns true, without cutting any run short.
+    pub fn drained(&self) -> bool {
+        self.fused.active_lanes() == 0
     }
 
     /// Feeds the next frame of every active lane (`frames[lane]`;
@@ -943,6 +981,38 @@ impl MonitorSuiteBatch {
             }
         }
         out
+    }
+
+    /// Reclaims a retired lane for a **new run**, in place: the lane's
+    /// temporal history restarts from the initial state
+    /// ([`FusedSuiteBatch::reset_lane`]), its violation trackers reset,
+    /// and its previous-verdict row returns to all-`true` — exactly the
+    /// state the lane had at instantiation, with no other lane touched
+    /// and nothing reallocated. This is what makes lane slots *reusable*
+    /// in a long-running service: a disconnecting stream retires its
+    /// lane, and the next connecting stream reclaims it.
+    ///
+    /// Drain the lane's recorded violations
+    /// ([`take_violations_lane`](MonitorSuiteBatch::take_violations_lane))
+    /// before reclaiming; reclaim discards anything still recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or still active — retire first,
+    /// so the previous run's open intervals close at its true end.
+    pub fn reclaim_lane(&mut self, lane: usize) {
+        assert!(
+            !self.fused.is_active(lane),
+            "lane {lane} must be retired before it can be reclaimed"
+        );
+        self.fused.reset_lane(lane);
+        let n = self.metas.len();
+        for tracker in &mut self.trackers[lane * n..][..n] {
+            tracker.reset();
+        }
+        for e in 0..n {
+            self.prev[e * self.lanes + lane] = true;
+        }
     }
 
     /// Returns every lane to its pre-run state — history, trackers, and
@@ -1294,6 +1364,49 @@ mod tests {
         batch.finish();
         assert!(batch.take_violations_lane(0).is_empty());
         assert!(batch.take_violations_lane(1).is_empty());
+    }
+
+    #[test]
+    fn reclaimed_lane_behaves_like_a_fresh_lane() {
+        let template = suite().template();
+        let t = template.table().clone();
+        let mut batch = template.instantiate_batch(2);
+        batch.set_generation(3);
+        assert_eq!(batch.generation(), 3);
+        let mut frames = vec![t.frame(), t.frame()];
+        // First occupant of lane 0 violates both monitors, then leaves.
+        frames[0].set_named("g", false);
+        frames[0].set_named("s", false);
+        frames[1].set_named("g", true);
+        frames[1].set_named("s", true);
+        batch.observe_batch(&frames).unwrap();
+        batch.retire_lane(0);
+        assert!(!batch.drained(), "lane 1 is still live");
+        assert_eq!(batch.take_violations_lane(0).len(), 2);
+
+        // Second occupant reclaims lane 0 and runs clean: it must see no
+        // residue — no stale intervals, a zeroed tick clock, all-true
+        // previous verdicts (so staying true records nothing).
+        batch.reclaim_lane(0);
+        assert!(batch.is_active(0));
+        assert_eq!(batch.steps_observed(0), 0);
+        frames[0].set_named("g", true);
+        frames[0].set_named("s", true);
+        batch.observe_batch(&frames).unwrap();
+        batch.finish();
+        assert!(batch.drained());
+        assert!(batch.take_violations_lane(0).is_empty());
+        // Lane 1 observed both passes without interruption.
+        assert_eq!(batch.steps_observed(1), 2);
+        assert!(batch.take_violations_lane(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be retired")]
+    fn reclaiming_an_active_lane_panics() {
+        let template = suite().template();
+        let mut batch = template.instantiate_batch(1);
+        batch.reclaim_lane(0);
     }
 
     #[test]

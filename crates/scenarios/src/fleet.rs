@@ -1,0 +1,105 @@
+//! The fleet-service workload: many concurrent elevator runs streamed
+//! through the [`esafe_serve`] monitor service.
+//!
+//! A [`FleetWorkload`] records one healthy elevator run once and then
+//! fans it out as any number of concurrent [`ReplaySource`] streams —
+//! each starting at its own offset into the shared trace, so the
+//! shard's lanes carry *different* signal histories without the
+//! benchmark paying for per-stream simulation or producer threads. The
+//! serve benchmark (`repro --serve-bench`) drives a thousand of these
+//! through one shard worker.
+
+use esafe_elevator::faults::ElevatorFaults;
+use esafe_elevator::{build_elevator, ElevatorFamily};
+use esafe_logic::{Frame, SignalTable};
+use esafe_monitor::SuiteTemplate;
+use esafe_serve::ReplaySource;
+use std::sync::Arc;
+
+/// A shared recorded run plus the compiled goal suite of its family —
+/// everything a fleet of replay streams needs.
+#[derive(Debug, Clone)]
+pub struct FleetWorkload {
+    family: ElevatorFamily,
+    trace: Arc<Vec<Frame>>,
+}
+
+impl FleetWorkload {
+    /// Records `trace_ticks` of a healthy elevator run (fixed seed, no
+    /// faults) against the default [`ElevatorFamily`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_ticks` is zero.
+    pub fn elevator(trace_ticks: u64) -> Self {
+        assert!(trace_ticks > 0, "an empty trace cannot be replayed");
+        let family = ElevatorFamily::default();
+        let mut sim = build_elevator(
+            *family.params(),
+            ElevatorFaults::none(),
+            7,
+            family.table(),
+            family.sigs(),
+        );
+        let mut trace = Vec::with_capacity(trace_ticks as usize);
+        for _ in 0..trace_ticks {
+            sim.step();
+            trace.push(sim.state().clone());
+        }
+        FleetWorkload {
+            family,
+            trace: Arc::new(trace),
+        }
+    }
+
+    /// The fleet's shared signal table.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        self.family.table()
+    }
+
+    /// The compiled Chapter 4 goal suite, ready to load into a service.
+    pub fn template(&self) -> &Arc<SuiteTemplate> {
+        self.family.template()
+    }
+
+    /// The recorded trace length in ticks.
+    pub fn trace_ticks(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// One fleet member: a replay of `ticks` frames starting `index`
+    /// ticks into the shared trace (wrapping), so concurrent members
+    /// observe staggered histories.
+    pub fn stream(&self, index: usize, ticks: u64) -> ReplaySource {
+        ReplaySource::new(Arc::clone(&self.trace), index, ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_serve::StreamSource;
+
+    #[test]
+    fn workload_records_once_and_fans_out() {
+        let workload = FleetWorkload::elevator(50);
+        assert_eq!(workload.trace_ticks(), 50);
+        // Collect the full trace through an offset-0 member.
+        let mut base = Vec::new();
+        let mut member = workload.stream(0, 50);
+        let mut f = workload.table().frame();
+        while member.next_frame(&mut f) {
+            base.push(f.clone());
+        }
+        assert_eq!(base.len(), 50);
+        // A staggered member replays the same trace shifted (wrapping):
+        // frame i of stream(k) is trace frame (k + i) mod len.
+        let mut b = workload.stream(10, 55);
+        let mut got = 0usize;
+        while b.next_frame(&mut f) {
+            assert_eq!(f, base[(10 + got) % 50], "offset replay at tick {got}");
+            got += 1;
+        }
+        assert_eq!(got, 55, "a member may outlive one trace lap");
+    }
+}

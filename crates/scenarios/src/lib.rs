@@ -14,7 +14,10 @@
 //!   the batched striped engine (`repro --grid`);
 //! * [`mega`] — the ≥10⁴-cell scenario-*parameter* mega grid (headways ×
 //!   lead speeds × throttle levels × defect configurations), streamed
-//!   with O(workers × stripe width) memory (`repro --mega-grid`).
+//!   with O(workers × stripe width) memory (`repro --mega-grid`);
+//! * [`fleet`] — the fleet-service replay workload behind
+//!   `repro --serve-bench`: one recorded elevator run fanned out as
+//!   thousands of concurrent monitor-service streams.
 //!
 //! # Example
 //!
@@ -29,12 +32,14 @@
 //! ```
 
 pub mod catalog;
+pub mod fleet;
 pub mod grid;
 pub mod mega;
 pub mod runner;
 pub mod tables;
 
 pub use catalog::{scenario, Scenario};
+pub use fleet::FleetWorkload;
 pub use grid::GridCell;
 pub use mega::MegaCell;
 pub use runner::{run, ScenarioReport};

@@ -1,0 +1,63 @@
+//! **esafe-serve** — a sharded streaming monitor service for fleets of
+//! live runs.
+//!
+//! The thesis's run-time goal monitors (Ch. 5) watch *one* run at a
+//! time; the batched engine (`esafe-monitor`'s [`MonitorSuiteBatch`])
+//! evaluates a whole stripe of runs per pass but assumes the stripe is
+//! known up front. This crate turns that engine into a *service*: a
+//! long-running, multi-worker process that accepts many concurrent
+//! signal streams — a fleet of live elevators, vehicles, or sweep
+//! workers — and monitors each against the goal suite of its signal
+//! family.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                MonitorService
+//!   streams ──┐  ┌───────────────────────────────┐
+//!   (mpsc/TCP)│  │ shard 0 ── SignalTable A      │
+//!             ├──▶  worker thread                │   bounded
+//!             │  │   ShardCore                   │   report
+//!             │  │    ├ LaneAllocator (claim /   ├──▶ channel
+//!             │  │    │  retire / reclaim)       │  (violations,
+//!             ├──▶   ├ FrameBatch slab          │   summaries,
+//!             │  │    ├ active suite generation  │   lifecycle)
+//!             │  │    └ draining generations     │
+//!             │  ├───────────────────────────────┤
+//!             └──▶ shard 1 ── SignalTable B ...  │
+//!                └───────────────────────────────┘
+//! ```
+//!
+//! * **Sharding** — one worker thread per [`SignalTable`] family;
+//!   streams connect to the shard of their table.
+//! * **Dynamic lanes** — a connecting stream claims a free lane of the
+//!   shard's [`MonitorSuiteBatch`]; a disconnect retires the lane in
+//!   place; the next connection reclaims it. The shard advances all
+//!   its streams in lockstep waves, one frame per stream per wave.
+//! * **Suite lifecycle** — suites load, activate, drain, deactivate,
+//!   and unload ([`MonitorService::load_suite`]), so a goal suite can
+//!   be hot-swapped on a running shard without dropping streams.
+//! * **Reports** — violations flow through one bounded channel with
+//!   per-stream provenance: stream id, suite generation, and
+//!   stream-local tick intervals.
+//!
+//! Everything is plain std: `mpsc` channels in-process, optional
+//! length-prefixed TCP ([`tcp`]) on the wire, no async runtime.
+//!
+//! [`SignalTable`]: esafe_logic::SignalTable
+//! [`MonitorSuiteBatch`]: esafe_monitor::MonitorSuiteBatch
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod service;
+pub mod shard;
+pub mod source;
+pub mod tcp;
+
+pub use report::{
+    ReportEvent, ShardId, StreamId, StreamSummary, StreamViolations, ViolationReport,
+};
+pub use service::{MonitorService, ServeError, ServiceConfig, ShardConnector};
+pub use shard::ShardCore;
+pub use source::{frame_channel, ChannelSource, FrameSender, ReplaySource, StreamSource};

@@ -1,0 +1,94 @@
+//! Violation reporting: the typed events a service emits on its
+//! bounded report channel, each carrying per-stream provenance (stream
+//! id, suite generation, stream-local tick intervals).
+
+use esafe_monitor::ViolationInterval;
+
+/// A service-assigned stream identity, unique for the service's
+/// lifetime and carried on every report about the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u64);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream-{}", self.0)
+    }
+}
+
+/// A shard's index within its service — one shard per
+/// [`SignalTable`](esafe_logic::SignalTable) family, one worker thread
+/// per shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub usize);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// Per-monitor violation intervals, `(monitor id, intervals)` in suite
+/// insertion order, ticks counted from the stream's own first frame.
+pub type StreamViolations = Vec<(String, Vec<ViolationInterval>)>;
+
+/// A live stream's violations drained mid-run (periodic report). Only
+/// *closed* intervals are reported here; an interval still open stays
+/// with the monitor and is delivered closed — by a later drain or by
+/// the stream's [`StreamSummary`]. Aggregate by [`StreamId`] for a
+/// stream's complete record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationReport {
+    /// The violating stream.
+    pub stream: StreamId,
+    /// The shard that monitored it.
+    pub shard: ShardId,
+    /// The suite generation whose monitors produced the verdicts.
+    pub generation: u64,
+    /// The newly closed violation intervals, in stream-local ticks.
+    pub violations: StreamViolations,
+}
+
+/// A stream's end-of-run record, emitted exactly once per connected
+/// stream when its source ends (or the service shuts down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// The finished stream.
+    pub stream: StreamId,
+    /// The shard that monitored it.
+    pub shard: ShardId,
+    /// The suite generation the stream ran under (streams never migrate
+    /// between generations — a hot swap only affects later connections).
+    pub generation: u64,
+    /// Frames observed over the stream's lifetime.
+    pub ticks: u64,
+    /// Violations not yet delivered by a periodic [`ViolationReport`];
+    /// open intervals are closed at the stream's final tick.
+    pub violations: StreamViolations,
+}
+
+/// One event on the service's bounded report channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportEvent {
+    /// A live stream's periodic violation drain (non-empty by
+    /// construction).
+    Violations(ViolationReport),
+    /// A stream finished; its lane is reclaimable.
+    StreamClosed(StreamSummary),
+    /// A drained suite generation left its shard: every stream it was
+    /// monitoring has closed, completing the
+    /// `load → activate → drain → deactivate → unload` lifecycle.
+    SuiteUnloaded {
+        /// The shard the suite ran on.
+        shard: ShardId,
+        /// The unloaded suite's generation.
+        generation: u64,
+    },
+    /// A shard worker exited — cleanly on shutdown (`error: None`) or
+    /// fatally on a monitor evaluation error.
+    ShardStopped {
+        /// The stopped shard.
+        shard: ShardId,
+        /// The fatal error, if the stop was not a requested shutdown.
+        error: Option<String>,
+    },
+}

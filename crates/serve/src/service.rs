@@ -1,0 +1,413 @@
+//! The multi-worker service: one thread per shard, sharded by
+//! [`SignalTable`] family, with a bounded report channel back to the
+//! operator.
+
+use crate::report::{ReportEvent, ShardId, StreamId};
+use crate::shard::ShardCore;
+use crate::source::{frame_channel, FrameSender, StreamSource};
+use esafe_logic::SignalTable;
+use esafe_monitor::SuiteTemplate;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Lanes per shard — the maximum concurrent streams per signal
+    /// family; further connections queue.
+    pub lanes_per_shard: usize,
+    /// Capacity of the bounded report channel. Shard workers block when
+    /// it fills, so a consumer that stops draining exerts backpressure
+    /// on the whole fleet rather than losing verdicts.
+    pub report_capacity: usize,
+    /// Periodic violation-drain cadence, in waves per report pass.
+    pub report_every: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            lanes_per_shard: 1024,
+            report_capacity: 4096,
+            report_every: 32,
+        }
+    }
+}
+
+/// A service-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No loaded suite serves the given signal table; call
+    /// [`MonitorService::load_suite`] first.
+    UnknownTable,
+    /// The target shard's worker has stopped.
+    ShardStopped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTable => {
+                write!(f, "no suite is loaded for this signal table")
+            }
+            ServeError::ShardStopped => write!(f, "the shard worker has stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Control messages into a shard worker.
+enum ShardMsg {
+    Connect {
+        id: StreamId,
+        source: Box<dyn StreamSource>,
+    },
+    Load {
+        template: Arc<SuiteTemplate>,
+    },
+    Shutdown,
+}
+
+struct ShardHandle {
+    id: ShardId,
+    table: Arc<SignalTable>,
+    control: Sender<ShardMsg>,
+    join: JoinHandle<()>,
+}
+
+/// A cloneable, thread-safe connection handle to one shard — what a
+/// transport acceptor (e.g. [`crate::tcp::spawn_acceptor`]) uses to
+/// register inbound streams without holding the whole service.
+#[derive(Clone)]
+pub struct ShardConnector {
+    shard: ShardId,
+    control: Sender<ShardMsg>,
+    next_stream: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ShardConnector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardConnector")
+            .field("shard", &self.shard)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardConnector {
+    /// The shard this connector feeds.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Registers a stream on the shard, returning its service-unique
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShardStopped`] if the worker has exited.
+    pub fn connect(&self, source: Box<dyn StreamSource>) -> Result<StreamId, ServeError> {
+        let id = StreamId(self.next_stream.fetch_add(1, Ordering::Relaxed));
+        self.control
+            .send(ShardMsg::Connect { id, source })
+            .map_err(|_| ServeError::ShardStopped)?;
+        Ok(id)
+    }
+}
+
+/// A long-running monitor service for fleets of live runs.
+///
+/// Each loaded [`SuiteTemplate`] spawns (or hot-swaps) the shard worker
+/// for its [`SignalTable`] family; streams connect to the shard of
+/// their table and are monitored on dynamically assigned lanes.
+/// Violations, stream summaries, and lifecycle events arrive on one
+/// bounded report channel ([`recv_report`](MonitorService::recv_report)).
+///
+/// # Example
+///
+/// ```
+/// use esafe_logic::{parse, SignalTable};
+/// use esafe_monitor::{Location, MonitorSuite};
+/// use esafe_serve::{MonitorService, ReportEvent, ServiceConfig};
+///
+/// let mut b = SignalTable::builder();
+/// let x = b.real("x");
+/// let table = b.finish();
+/// let mut suite = MonitorSuite::new(table.clone());
+/// suite
+///     .add_goal("G", Location::new("Demo"), parse("x < 10.0").unwrap())
+///     .unwrap();
+/// let template = std::sync::Arc::new(suite.template());
+///
+/// let mut service = MonitorService::new(ServiceConfig::default());
+/// service.load_suite(&template);
+/// let (sender, id) = service.connect_channel(&table, 16).unwrap();
+/// for v in [1.0, 11.0, 2.0] {
+///     let mut frame = table.frame();
+///     frame.set(x, v);
+///     sender.send(frame).unwrap();
+/// }
+/// drop(sender); // end of stream
+/// loop {
+///     match service.recv_report().unwrap() {
+///         ReportEvent::StreamClosed(summary) => {
+///             assert_eq!(summary.stream, id);
+///             assert_eq!(summary.ticks, 3);
+///             assert_eq!(summary.violations.len(), 1); // x < 10 broke once
+///             break;
+///         }
+///         _ => continue,
+///     }
+/// }
+/// service.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct MonitorService {
+    config: ServiceConfig,
+    shards: Vec<ShardHandle>,
+    reports_tx: SyncSender<ReportEvent>,
+    reports_rx: Receiver<ReportEvent>,
+    next_stream: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ShardHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHandle")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MonitorService {
+    /// Creates an empty service (no shards until a suite is loaded).
+    pub fn new(config: ServiceConfig) -> Self {
+        let (reports_tx, reports_rx) = mpsc::sync_channel(config.report_capacity);
+        MonitorService {
+            config,
+            shards: Vec::new(),
+            reports_tx,
+            reports_rx,
+            next_stream: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Loads `template` into the service: spawns a new shard worker for
+    /// its signal-table family, or — when that family already has a
+    /// shard — hot-swaps the suite as the shard's next generation (live
+    /// streams finish under the generation they connected to). Returns
+    /// the shard's id.
+    pub fn load_suite(&mut self, template: &Arc<SuiteTemplate>) -> ShardId {
+        if let Some(handle) = self
+            .shards
+            .iter()
+            .find(|h| Arc::ptr_eq(&h.table, template.table()))
+        {
+            // A dead worker leaves the send failing; the caller sees it
+            // on the next connect.
+            let _ = handle.control.send(ShardMsg::Load {
+                template: Arc::clone(template),
+            });
+            return handle.id;
+        }
+        let id = ShardId(self.shards.len());
+        let core = ShardCore::new(
+            id,
+            template,
+            self.config.lanes_per_shard,
+            self.config.report_every,
+        );
+        let (control_tx, control_rx) = mpsc::channel();
+        let reports = self.reports_tx.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("esafe-serve-{}", id.0))
+            .spawn(move || run_shard(core, control_rx, reports))
+            .expect("shard worker thread spawns");
+        self.shards.push(ShardHandle {
+            id,
+            table: template.table().clone(),
+            control: control_tx,
+            join,
+        });
+        id
+    }
+
+    /// The shard serving `table`, if a suite for it is loaded.
+    pub fn shard_for(&self, table: &Arc<SignalTable>) -> Option<ShardId> {
+        self.shards
+            .iter()
+            .find(|h| Arc::ptr_eq(&h.table, table))
+            .map(|h| h.id)
+    }
+
+    /// A cloneable connection handle to `table`'s shard, for transport
+    /// acceptors running on their own threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTable`] if no suite is loaded for `table`.
+    pub fn connector(&self, table: &Arc<SignalTable>) -> Result<ShardConnector, ServeError> {
+        let handle = self
+            .shards
+            .iter()
+            .find(|h| Arc::ptr_eq(&h.table, table))
+            .ok_or(ServeError::UnknownTable)?;
+        Ok(ShardConnector {
+            shard: handle.id,
+            control: handle.control.clone(),
+            next_stream: Arc::clone(&self.next_stream),
+        })
+    }
+
+    /// Connects a stream to the shard of its signal family. The stream
+    /// is admitted onto a lane immediately if one is free, otherwise it
+    /// queues.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTable`] when no suite is loaded for
+    /// `table`; [`ServeError::ShardStopped`] when the shard worker has
+    /// exited.
+    pub fn connect(
+        &mut self,
+        table: &Arc<SignalTable>,
+        source: Box<dyn StreamSource>,
+    ) -> Result<StreamId, ServeError> {
+        self.connector(table)?.connect(source)
+    }
+
+    /// [`connect`](MonitorService::connect) over a fresh bounded
+    /// in-process channel: returns the producing [`FrameSender`] and
+    /// the assigned stream id. Dropping the sender ends the stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`connect`](MonitorService::connect).
+    pub fn connect_channel(
+        &mut self,
+        table: &Arc<SignalTable>,
+        capacity: usize,
+    ) -> Result<(FrameSender, StreamId), ServeError> {
+        let (sender, source) = frame_channel(capacity);
+        let id = self.connect(table, Box::new(source))?;
+        Ok((sender, id))
+    }
+
+    /// Blocks for the next report event.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShardStopped`] once every worker has exited and
+    /// the channel is drained.
+    pub fn recv_report(&self) -> Result<ReportEvent, ServeError> {
+        self.reports_rx.recv().map_err(|_| ServeError::ShardStopped)
+    }
+
+    /// The next report event, if one is ready.
+    pub fn try_recv_report(&self) -> Option<ReportEvent> {
+        self.reports_rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next report event.
+    pub fn recv_report_timeout(&self, timeout: Duration) -> Option<ReportEvent> {
+        self.reports_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Stops every shard and returns the remaining report events (final
+    /// stream summaries, suite unloads, and one
+    /// [`ReportEvent::ShardStopped`] per shard).
+    ///
+    /// Streams still blocked on a live producer keep their worker busy:
+    /// end every stream (drop its sender / close its socket) before
+    /// shutting down, or the join waits for them.
+    pub fn shutdown(self) -> Vec<ReportEvent> {
+        for handle in &self.shards {
+            let _ = handle.control.send(ShardMsg::Shutdown);
+        }
+        // Drain while workers flush, so a full report channel cannot
+        // deadlock the join.
+        drop(self.reports_tx);
+        let mut events = Vec::new();
+        let mut stopped = 0usize;
+        while stopped < self.shards.len() {
+            match self.reports_rx.recv() {
+                Ok(event) => {
+                    if matches!(event, ReportEvent::ShardStopped { .. }) {
+                        stopped += 1;
+                    }
+                    events.push(event);
+                }
+                Err(_) => break,
+            }
+        }
+        for handle in self.shards {
+            let _ = handle.join.join();
+        }
+        while let Ok(event) = self.reports_rx.try_recv() {
+            events.push(event);
+        }
+        events
+    }
+}
+
+/// The worker loop: park while idle, apply control messages, advance
+/// one wave, forward events — until shutdown or a fatal monitor error.
+fn run_shard(mut core: ShardCore, control: Receiver<ShardMsg>, reports: SyncSender<ReportEvent>) {
+    let shard = core.id();
+    let mut shutdown = false;
+    loop {
+        if !shutdown && core.is_idle() {
+            match control.recv() {
+                Ok(msg) => shutdown = apply(&mut core, msg),
+                Err(_) => shutdown = true,
+            }
+        }
+        while !shutdown {
+            match control.try_recv() {
+                Ok(msg) => shutdown = apply(&mut core, msg),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => shutdown = true,
+            }
+        }
+        if shutdown {
+            core.shutdown();
+            for event in core.take_events() {
+                if reports.send(event).is_err() {
+                    return;
+                }
+            }
+            let _ = reports.send(ReportEvent::ShardStopped { shard, error: None });
+            return;
+        }
+        let result = core.wave();
+        for event in core.take_events() {
+            if reports.send(event).is_err() {
+                return;
+            }
+        }
+        if let Err(err) = result {
+            let _ = reports.send(ReportEvent::ShardStopped {
+                shard,
+                error: Some(err.to_string()),
+            });
+            return;
+        }
+    }
+}
+
+/// Applies one control message; returns `true` on shutdown.
+fn apply(core: &mut ShardCore, msg: ShardMsg) -> bool {
+    match msg {
+        ShardMsg::Connect { id, source } => {
+            core.connect(id, source);
+            false
+        }
+        ShardMsg::Load { template } => {
+            core.load_suite(&template);
+            false
+        }
+        ShardMsg::Shutdown => true,
+    }
+}

@@ -1,0 +1,399 @@
+//! The shard core: dynamic lane churn and suite lifecycle over one
+//! [`MonitorSuiteBatch`], deterministic and thread-free.
+//!
+//! A shard owns every stream of one [`SignalTable`] family. Its state
+//! machine is synchronous — [`ShardCore::wave`] advances every live
+//! stream by exactly one frame — so the service's worker thread is a
+//! thin loop around it, and property tests drive the identical code
+//! deterministically.
+//!
+//! # Lanes
+//!
+//! Streams map onto monitor lanes through the harness's
+//! [`LaneAllocator`]: a connecting stream claims a free lane and the
+//! lane's monitors restart from the initial state
+//! ([`MonitorSuiteBatch::reclaim_lane`]); a disconnecting stream
+//! retires its lane in place ([`MonitorSuiteBatch::retire_lane`]) and
+//! the slot is immediately reusable. Connections beyond the shard
+//! width queue and are admitted as lanes free up.
+//!
+//! # Suite lifecycle
+//!
+//! Monitor suites are managed through the composite-component
+//! lifecycle `load → activate → drain → deactivate → unload`:
+//! [`ShardCore::new`]/[`ShardCore::load_suite`] *load* a generation
+//! (instantiate its batch with every lane parked) and *activate* it
+//! (new connections land on it); a later `load_suite` moves the
+//! previous generation to *draining* — it keeps monitoring the streams
+//! already on it, takes no new ones, and is *deactivated and unloaded*
+//! (dropped, with a [`ReportEvent::SuiteUnloaded`]) the moment its
+//! last stream closes. A suite is therefore hot-swappable on a running
+//! shard without dropping a single stream, and every verdict is
+//! attributed to the generation that produced it.
+
+use crate::report::{ReportEvent, ShardId, StreamId, StreamSummary, ViolationReport};
+use crate::source::StreamSource;
+use esafe_harness::LaneAllocator;
+use esafe_logic::{Frame, FrameBatch, SignalTable};
+use esafe_monitor::{BatchMonitorError, MonitorSuiteBatch, SuiteTemplate};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One loaded suite generation: its batch plus the count of lanes it
+/// still monitors.
+#[derive(Debug)]
+struct SuiteSlot {
+    generation: u64,
+    batch: MonitorSuiteBatch,
+    occupied: usize,
+}
+
+impl SuiteSlot {
+    fn load(template: &SuiteTemplate, lanes: usize, generation: u64) -> Self {
+        let mut batch = template.instantiate_batch(lanes);
+        // Park every lane: a service lane observes nothing until a
+        // stream claims (reclaims) it.
+        batch.finish();
+        batch.set_generation(generation);
+        SuiteSlot {
+            generation,
+            batch,
+            occupied: 0,
+        }
+    }
+}
+
+/// A stream bound to a lane: its identity, its frame source, and the
+/// suite generation monitoring it.
+struct LaneStream {
+    id: StreamId,
+    source: Box<dyn StreamSource>,
+    generation: u64,
+}
+
+impl std::fmt::Debug for LaneStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneStream")
+            .field("id", &self.id)
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A connection waiting for a free lane.
+struct PendingStream {
+    id: StreamId,
+    source: Box<dyn StreamSource>,
+}
+
+/// The synchronous heart of one shard: lane allocation, stream pull,
+/// batched observation, suite generations, and violation reporting.
+///
+/// [`wave`](ShardCore::wave) is the only advancing call; everything
+/// else mutates configuration. Emitted [`ReportEvent`]s accumulate
+/// internally and are drained with [`take_events`](ShardCore::take_events).
+pub struct ShardCore {
+    shard: ShardId,
+    table: Arc<SignalTable>,
+    lanes: LaneAllocator,
+    slab: FrameBatch,
+    scratch: Frame,
+    streams: Vec<Option<LaneStream>>,
+    active: SuiteSlot,
+    draining: Vec<SuiteSlot>,
+    next_generation: u64,
+    pending: VecDeque<PendingStream>,
+    report_every: u64,
+    waves: u64,
+    events: Vec<ReportEvent>,
+}
+
+impl std::fmt::Debug for ShardCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardCore")
+            .field("shard", &self.shard)
+            .field("width", &self.lanes.lanes())
+            .field("occupied", &self.lanes.in_use())
+            .field("generation", &self.active.generation)
+            .field("draining", &self.draining.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardCore {
+    /// Loads and activates generation 0 of `template` over `width`
+    /// lanes. `report_every` sets the periodic violation-drain cadence
+    /// in waves (1 = report closed intervals every wave).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `report_every` is zero.
+    pub fn new(shard: ShardId, template: &SuiteTemplate, width: usize, report_every: u64) -> Self {
+        assert!(width > 0, "a shard needs at least one lane");
+        assert!(report_every > 0, "the report cadence must be nonzero");
+        let table = template.table().clone();
+        ShardCore {
+            shard,
+            lanes: LaneAllocator::new(width),
+            slab: FrameBatch::new(&table, width),
+            scratch: table.frame(),
+            streams: (0..width).map(|_| None).collect(),
+            active: SuiteSlot::load(template, width, 0),
+            draining: Vec::new(),
+            next_generation: 1,
+            pending: VecDeque::new(),
+            report_every,
+            waves: 0,
+            events: Vec::new(),
+            table,
+        }
+    }
+
+    /// This shard's id.
+    pub fn id(&self) -> ShardId {
+        self.shard
+    }
+
+    /// The signal-table family this shard serves.
+    pub fn table(&self) -> &Arc<SignalTable> {
+        &self.table
+    }
+
+    /// The shard's lane width (maximum concurrent streams).
+    pub fn width(&self) -> usize {
+        self.lanes.lanes()
+    }
+
+    /// Streams currently bound to lanes.
+    pub fn occupied(&self) -> usize {
+        self.lanes.in_use()
+    }
+
+    /// Connections still waiting for a lane.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The generation new connections land on.
+    pub fn active_generation(&self) -> u64 {
+        self.active.generation
+    }
+
+    /// Generations still draining (monitoring pre-swap streams).
+    pub fn draining_generations(&self) -> Vec<u64> {
+        self.draining.iter().map(|s| s.generation).collect()
+    }
+
+    /// Whether the shard has nothing to do: no bound streams and no
+    /// queued connections. An idle shard's [`wave`](ShardCore::wave) is
+    /// a no-op, so a worker can park until the next control message.
+    pub fn is_idle(&self) -> bool {
+        self.lanes.in_use() == 0 && self.pending.is_empty()
+    }
+
+    /// Hot-swaps the monitor suite: the current generation moves to
+    /// draining (or unloads at once if no stream is on it) and the new
+    /// template is loaded and activated as the next generation. Streams
+    /// already connected are unaffected — their verdicts keep flowing
+    /// from the generation they connected under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template` is compiled against a different signal
+    /// table than this shard serves.
+    pub fn load_suite(&mut self, template: &SuiteTemplate) {
+        assert!(
+            Arc::ptr_eq(template.table(), &self.table),
+            "a shard serves exactly one signal-table family"
+        );
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let fresh = SuiteSlot::load(template, self.lanes.lanes(), generation);
+        let old = std::mem::replace(&mut self.active, fresh);
+        if old.occupied == 0 {
+            self.events.push(ReportEvent::SuiteUnloaded {
+                shard: self.shard,
+                generation: old.generation,
+            });
+        } else {
+            self.draining.push(old);
+        }
+    }
+
+    /// Connects a stream: it claims a free lane right away — binding it
+    /// to the currently active suite generation, so connects and
+    /// [`load_suite`](ShardCore::load_suite) calls take effect in call
+    /// order — or queues until a running stream closes (and is then
+    /// admitted under the generation active at admission).
+    pub fn connect(&mut self, id: StreamId, source: Box<dyn StreamSource>) {
+        self.pending.push_back(PendingStream { id, source });
+        self.admit_pending();
+    }
+
+    /// Advances every live stream by one frame: admits queued
+    /// connections onto free lanes, pulls one frame per bound stream
+    /// (retiring streams whose source ended), runs one batched observe
+    /// pass per generation with bound streams, and — every
+    /// `report_every` waves — drains newly closed violation intervals
+    /// into [`ReportEvent::Violations`]. Returns the number of frames
+    /// observed (0 when the shard is empty).
+    ///
+    /// # Errors
+    ///
+    /// A monitor evaluation error is fatal for the shard, exactly as it
+    /// is for a scalar suite: the caller should report it and stop.
+    pub fn wave(&mut self) -> Result<usize, BatchMonitorError> {
+        self.admit_pending();
+        if self.lanes.in_use() == 0 {
+            return Ok(0);
+        }
+        let width = self.lanes.lanes();
+        let mut pulled = 0usize;
+        for lane in 0..width {
+            let Some(stream) = self.streams[lane].as_mut() else {
+                continue;
+            };
+            if stream.source.next_frame(&mut self.scratch) {
+                self.slab.write_lane_from(lane, &self.scratch);
+                pulled += 1;
+            } else {
+                self.retire(lane);
+            }
+        }
+        if pulled == 0 {
+            return Ok(0);
+        }
+        if self.active.occupied > 0 {
+            self.active.batch.observe_slab(&self.slab)?;
+        }
+        for slot in &mut self.draining {
+            if slot.occupied > 0 {
+                slot.batch.observe_slab(&self.slab)?;
+            }
+        }
+        self.waves += 1;
+        if self.waves.is_multiple_of(self.report_every) {
+            self.drain_live_violations();
+        }
+        Ok(pulled)
+    }
+
+    /// Closes down the shard: every bound stream is retired and
+    /// summarized, queued connections are closed unobserved (a
+    /// [`StreamSummary`] with zero ticks), and every generation —
+    /// draining and active — is unloaded.
+    pub fn shutdown(&mut self) {
+        for lane in 0..self.lanes.lanes() {
+            if self.streams[lane].is_some() {
+                self.retire(lane);
+            }
+        }
+        while let Some(pending) = self.pending.pop_front() {
+            self.events.push(ReportEvent::StreamClosed(StreamSummary {
+                stream: pending.id,
+                shard: self.shard,
+                generation: self.active.generation,
+                ticks: 0,
+                violations: Vec::new(),
+            }));
+        }
+        // Retiring the last stream of each draining generation already
+        // unloaded it; the active generation unloads here.
+        debug_assert!(self.draining.is_empty());
+        self.events.push(ReportEvent::SuiteUnloaded {
+            shard: self.shard,
+            generation: self.active.generation,
+        });
+    }
+
+    /// Drains the events emitted since the previous call, in order.
+    pub fn take_events(&mut self) -> Vec<ReportEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Binds queued connections to free lanes, oldest first.
+    fn admit_pending(&mut self) {
+        while !self.pending.is_empty() {
+            let Some(lane) = self.lanes.claim() else {
+                break;
+            };
+            let pending = self.pending.pop_front().expect("checked non-empty");
+            self.active.batch.reclaim_lane(lane);
+            self.active.occupied += 1;
+            self.streams[lane] = Some(LaneStream {
+                id: pending.id,
+                source: pending.source,
+                generation: self.active.generation,
+            });
+        }
+    }
+
+    /// Ends the stream on `lane`: retires the lane in its generation's
+    /// batch (closing open intervals at the stream's true end), emits
+    /// its [`StreamSummary`], releases the lane for reuse, and unloads
+    /// the generation if this was its last stream while draining.
+    fn retire(&mut self, lane: usize) {
+        let stream = self.streams[lane]
+            .take()
+            .expect("retire needs a bound lane");
+        let shard = self.shard;
+        let slot = self.slot_mut(stream.generation);
+        slot.batch.retire_lane(lane);
+        let ticks = slot.batch.steps_observed(lane);
+        let violations = slot.batch.take_violations_lane(lane);
+        slot.occupied -= 1;
+        let drained = slot.occupied == 0;
+        self.events.push(ReportEvent::StreamClosed(StreamSummary {
+            stream: stream.id,
+            shard,
+            generation: stream.generation,
+            ticks,
+            violations,
+        }));
+        self.lanes.release(lane);
+        if drained && stream.generation != self.active.generation {
+            let idx = self
+                .draining
+                .iter()
+                .position(|s| s.generation == stream.generation)
+                .expect("a non-active generation drains in the draining set");
+            self.draining.remove(idx);
+            self.events.push(ReportEvent::SuiteUnloaded {
+                shard: self.shard,
+                generation: stream.generation,
+            });
+        }
+    }
+
+    /// Emits the newly closed violation intervals of every live stream.
+    fn drain_live_violations(&mut self) {
+        for lane in 0..self.lanes.lanes() {
+            let Some(stream) = self.streams[lane].as_ref() else {
+                continue;
+            };
+            let (id, generation) = (stream.id, stream.generation);
+            let shard = self.shard;
+            let slot = self.slot_mut(generation);
+            let violations = slot.batch.take_violations_lane(lane);
+            if !violations.is_empty() {
+                self.events.push(ReportEvent::Violations(ViolationReport {
+                    stream: id,
+                    shard,
+                    generation,
+                    violations,
+                }));
+            }
+        }
+    }
+
+    fn slot_mut(&mut self, generation: u64) -> &mut SuiteSlot {
+        if self.active.generation == generation {
+            &mut self.active
+        } else {
+            self.draining
+                .iter_mut()
+                .find(|s| s.generation == generation)
+                .expect("a stream's generation is loaded for the stream's lifetime")
+        }
+    }
+}

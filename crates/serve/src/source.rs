@@ -1,0 +1,170 @@
+//! Stream ingestion: the [`StreamSource`] trait and the in-process
+//! channel transport.
+//!
+//! A *stream* is one live run's frame sequence. The service pulls
+//! frames — one per shard wave — through the [`StreamSource`] trait, so
+//! the transport is pluggable: the primary in-process transport is a
+//! bounded std [`mpsc`] channel ([`frame_channel`]), the optional wire
+//! transport is length-prefixed TCP ([`crate::tcp`]), and benchmarks
+//! drive shards directly with an allocation-free [`ReplaySource`].
+
+use esafe_logic::Frame;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One live run's frame feed, pulled by the owning shard.
+///
+/// `next_frame` is called once per shard wave and may block until the
+/// producer's next frame is available — a shard advances its streams in
+/// lockstep, so the wave runs at the pace of its slowest stream.
+/// Returning `false` ends the stream: the shard retires its lane,
+/// reports its final violations, and reuses the lane for the next
+/// connection.
+pub trait StreamSource: Send {
+    /// Writes the stream's next frame into `frame` and returns `true`,
+    /// or returns `false` (leaving `frame` untouched) when the stream
+    /// has ended.
+    fn next_frame(&mut self, frame: &mut Frame) -> bool;
+}
+
+/// The producing half of the in-process transport: send one [`Frame`]
+/// per simulated tick. Dropping the sender (or every clone of it) ends
+/// the stream cleanly.
+#[derive(Debug, Clone)]
+pub struct FrameSender {
+    tx: mpsc::SyncSender<Frame>,
+}
+
+impl FrameSender {
+    /// Sends the run's next frame, blocking while the channel is at
+    /// capacity (backpressure from a busy shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns the frame back if the consuming shard has shut down.
+    pub fn send(&self, frame: Frame) -> Result<(), Frame> {
+        self.tx.send(frame).map_err(|e| e.0)
+    }
+}
+
+/// The consuming half of the in-process transport; implements
+/// [`StreamSource`] by blocking on the channel.
+#[derive(Debug)]
+pub struct ChannelSource {
+    rx: mpsc::Receiver<Frame>,
+}
+
+impl StreamSource for ChannelSource {
+    fn next_frame(&mut self, frame: &mut Frame) -> bool {
+        match self.rx.recv() {
+            Ok(next) => {
+                *frame = next;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Creates a bounded in-process frame stream: the producer keeps the
+/// [`FrameSender`], the [`ChannelSource`] is handed to
+/// [`connect`](crate::MonitorService::connect). `capacity` frames may
+/// be in flight before [`FrameSender::send`] blocks.
+pub fn frame_channel(capacity: usize) -> (FrameSender, ChannelSource) {
+    let (tx, rx) = mpsc::sync_channel(capacity);
+    (FrameSender { tx }, ChannelSource { rx })
+}
+
+/// A non-blocking source replaying a shared recorded trace — the
+/// fleet-benchmark workload: thousands of concurrent streams share one
+/// `Arc`'d trace, each starting at its own offset, with zero per-tick
+/// allocation and no producer threads.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    trace: Arc<Vec<Frame>>,
+    cursor: usize,
+    remaining: u64,
+}
+
+impl ReplaySource {
+    /// Creates a replay of `ticks` frames, cycling `trace` from
+    /// `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn new(trace: Arc<Vec<Frame>>, offset: usize, ticks: u64) -> Self {
+        assert!(!trace.is_empty(), "a replay needs at least one frame");
+        let cursor = offset % trace.len();
+        ReplaySource {
+            trace,
+            cursor,
+            remaining: ticks,
+        }
+    }
+}
+
+impl StreamSource for ReplaySource {
+    fn next_frame(&mut self, frame: &mut Frame) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        frame.copy_from(&self.trace[self.cursor]);
+        self.cursor += 1;
+        if self.cursor == self.trace.len() {
+            self.cursor = 0;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::SignalTable;
+
+    #[test]
+    fn channel_source_delivers_then_ends() {
+        let mut b = SignalTable::builder();
+        let x = b.real("x");
+        let table = b.finish();
+        let (tx, mut src) = frame_channel(4);
+        for v in 0..3 {
+            let mut f = table.frame();
+            f.set(x, f64::from(v));
+            tx.send(f).unwrap();
+        }
+        drop(tx);
+        let mut scratch = table.frame();
+        for v in 0..3 {
+            assert!(src.next_frame(&mut scratch));
+            assert_eq!(scratch.real_or(x, -1.0), f64::from(v));
+        }
+        assert!(
+            !src.next_frame(&mut scratch),
+            "dropped sender ends the stream"
+        );
+    }
+
+    #[test]
+    fn replay_source_cycles_and_stops() {
+        let mut b = SignalTable::builder();
+        let x = b.real("x");
+        let table = b.finish();
+        let trace: Vec<Frame> = (0..3)
+            .map(|v| {
+                let mut f = table.frame();
+                f.set(x, f64::from(v));
+                f
+            })
+            .collect();
+        let mut src = ReplaySource::new(Arc::new(trace), 2, 5);
+        let mut scratch = table.frame();
+        let mut seen = Vec::new();
+        while src.next_frame(&mut scratch) {
+            seen.push(scratch.real_or(x, -1.0));
+        }
+        assert_eq!(seen, vec![2.0, 0.0, 1.0, 2.0, 0.0]);
+    }
+}

@@ -1,0 +1,344 @@
+//! The optional wire transport: length-prefixed frames over plain
+//! [`std::net`] TCP — no async runtime, no external dependencies.
+//!
+//! # Wire format
+//!
+//! Each frame is one message: a big-endian `u32` payload length, then
+//! the payload —
+//!
+//! ```text
+//! u32  set-signal count
+//! per signal:
+//!   u16  name length   |  name bytes (UTF-8)
+//!   u8   value tag     |  payload
+//!        0 = Bool      |  u8 (0/1)
+//!        1 = Int       |  i64 LE
+//!        2 = Real      |  f64 LE bits
+//!        3 = Sym       |  u16 length + UTF-8 bytes
+//! ```
+//!
+//! Signals travel by *name* (and symbols by text), so producer and
+//! service only need to agree on the signal namespace, not on interned
+//! ids. A connection closing between messages ends the stream cleanly;
+//! closing mid-message (or naming an undeclared signal) ends it as an
+//! error — which, for the monitoring shard, also just ends the stream.
+
+use crate::service::ShardConnector;
+use esafe_logic::{Frame, Value};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const TAG_BOOL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_REAL: u8 = 2;
+const TAG_SYM: u8 = 3;
+
+/// Encodes one frame as a length-prefixed message.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let table = frame.table();
+    let mut payload = Vec::with_capacity(frame.len() * 16);
+    let count = frame.iter().count() as u32;
+    payload.extend_from_slice(&count.to_be_bytes());
+    for (id, value) in frame.iter() {
+        let name = table.name(id).as_bytes();
+        payload.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        payload.extend_from_slice(name);
+        match value {
+            Value::Bool(b) => {
+                payload.push(TAG_BOOL);
+                payload.push(u8::from(b));
+            }
+            Value::Int(i) => {
+                payload.push(TAG_INT);
+                payload.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Real(r) => {
+                payload.push(TAG_REAL);
+                payload.extend_from_slice(&r.to_bits().to_le_bytes());
+            }
+            Value::Sym(s) => {
+                payload.push(TAG_SYM);
+                let text = s.as_str().as_bytes();
+                payload.extend_from_slice(&(text.len() as u16).to_be_bytes());
+                payload.extend_from_slice(text);
+            }
+        }
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(&payload)
+}
+
+/// Decodes the next message into `frame` (cleared first), resolving
+/// signal names against the frame's table. Returns `Ok(false)` on a
+/// clean end of stream (EOF at a message boundary).
+///
+/// # Errors
+///
+/// `InvalidData` on an undeclared signal name, unknown value tag, or
+/// malformed UTF-8; `UnexpectedEof` when the stream ends mid-message.
+pub fn read_frame(r: &mut impl Read, frame: &mut Frame) -> io::Result<bool> {
+    let mut header = [0u8; 4];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Ok(false);
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut cursor = &payload[..];
+    let count = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().unwrap());
+    frame.clear();
+    for _ in 0..count {
+        let name_len = u16::from_be_bytes(take(&mut cursor, 2)?.try_into().unwrap()) as usize;
+        let name = std::str::from_utf8(take(&mut cursor, name_len)?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let id = frame.table().id(name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("signal `{name}` is not declared in the shard's table"),
+            )
+        })?;
+        let tag = take(&mut cursor, 1)?[0];
+        let value = match tag {
+            TAG_BOOL => Value::Bool(take(&mut cursor, 1)?[0] != 0),
+            TAG_INT => Value::Int(i64::from_le_bytes(
+                take(&mut cursor, 8)?.try_into().unwrap(),
+            )),
+            TAG_REAL => Value::Real(f64::from_bits(u64::from_le_bytes(
+                take(&mut cursor, 8)?.try_into().unwrap(),
+            ))),
+            TAG_SYM => {
+                let sym_len =
+                    u16::from_be_bytes(take(&mut cursor, 2)?.try_into().unwrap()) as usize;
+                let text = std::str::from_utf8(take(&mut cursor, sym_len)?)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                Value::sym(text)
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown value tag {other}"),
+                ))
+            }
+        };
+        frame.set(id, value);
+    }
+    Ok(true)
+}
+
+/// `read_exact` that distinguishes EOF-before-any-byte (`Ok(false)`,
+/// a clean message boundary) from EOF mid-buffer (`UnexpectedEof`).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 if filled == 0 => return Ok(false),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-message",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    Ok(true)
+}
+
+fn take<'a>(cursor: &mut &'a [u8], n: usize) -> io::Result<&'a [u8]> {
+    if cursor.len() < n {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "message payload truncated",
+        ));
+    }
+    let (head, rest) = cursor.split_at(n);
+    *cursor = rest;
+    Ok(head)
+}
+
+/// The producing half over TCP: one [`send`](TcpFrameSender::send) per
+/// simulated tick. Dropping the sender closes the connection, ending
+/// the stream cleanly at the service.
+#[derive(Debug)]
+pub struct TcpFrameSender {
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpFrameSender {
+    /// Connects to a serving acceptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: std::net::SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpFrameSender {
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one frame, flushed immediately (the consuming shard runs
+    /// its streams in lockstep, so frames must not sit in the buffer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()
+    }
+}
+
+/// A connected inbound TCP stream as a [`StreamSource`]: each shard
+/// wave reads one length-prefixed frame. Any socket error — including
+/// an abrupt disconnect mid-message — ends the stream.
+///
+/// [`StreamSource`]: crate::StreamSource
+#[derive(Debug)]
+pub struct TcpSource {
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpSource {
+    /// Wraps an accepted connection.
+    pub fn new(stream: TcpStream) -> Self {
+        TcpSource {
+            reader: BufReader::new(stream),
+        }
+    }
+}
+
+impl crate::source::StreamSource for TcpSource {
+    fn next_frame(&mut self, frame: &mut Frame) -> bool {
+        matches!(read_frame(&mut self.reader, frame), Ok(true))
+    }
+}
+
+/// A running TCP acceptor: each inbound connection becomes one
+/// monitored stream on the connector's shard.
+#[derive(Debug)]
+pub struct TcpAcceptor {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<()>,
+}
+
+impl TcpAcceptor {
+    /// The bound address (useful with a `:0` listener in tests).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the acceptor thread. Streams already
+    /// connected are unaffected.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.join.join();
+    }
+}
+
+/// Spawns an acceptor thread on `listener`, registering every inbound
+/// connection as a stream via `connector`. The acceptor exits on its
+/// own when the shard stops.
+///
+/// # Errors
+///
+/// Propagates the listener's local-address lookup failure.
+pub fn spawn_acceptor(listener: TcpListener, connector: ShardConnector) -> io::Result<TcpAcceptor> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("esafe-serve-accept".into())
+        .spawn(move || {
+            for inbound in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(stream) = inbound else { continue };
+                let _ = stream.set_nodelay(true);
+                if connector.connect(Box::new(TcpSource::new(stream))).is_err() {
+                    return; // shard gone; stop serving
+                }
+            }
+        })
+        .expect("acceptor thread spawns");
+    Ok(TcpAcceptor { addr, stop, join })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esafe_logic::SignalTable;
+
+    #[test]
+    fn frame_codec_round_trips_every_value_kind() {
+        let mut b = SignalTable::builder();
+        let flag = b.bool("flag");
+        let count = b.int("count");
+        let x = b.real("x");
+        let cmd = b.sym("cmd");
+        let table = b.finish();
+        let mut frame = table.frame();
+        frame.set(flag, true);
+        frame.set(count, -42i64);
+        frame.set(x, 1.5);
+        frame.set(cmd, Value::sym("STOP"));
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        write_frame(&mut wire, &frame).unwrap();
+
+        let mut reader = &wire[..];
+        let mut decoded = table.frame();
+        assert!(read_frame(&mut reader, &mut decoded).unwrap());
+        assert_eq!(decoded, frame);
+        decoded.clear();
+        assert!(read_frame(&mut reader, &mut decoded).unwrap());
+        assert_eq!(decoded, frame);
+        assert!(!read_frame(&mut reader, &mut decoded).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn undeclared_signal_is_invalid_data() {
+        let mut b = SignalTable::builder();
+        b.real("x");
+        let sender_table = b.finish();
+        let mut b = SignalTable::builder();
+        b.real("y");
+        let service_table = b.finish();
+
+        let mut frame = sender_table.frame();
+        frame.set_named("x", 1.0);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut decoded = service_table.frame();
+        let err = read_frame(&mut &wire[..], &mut decoded).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_message_is_unexpected_eof() {
+        let mut b = SignalTable::builder();
+        let x = b.real("x");
+        let table = b.finish();
+        let mut frame = table.frame();
+        frame.set(x, 2.0);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut decoded = table.frame();
+        let err = read_frame(&mut &wire[..], &mut decoded).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,208 @@
+//! Lane-churn property: a shard serving a random schedule of
+//! connecting/ending streams over reusable lanes must report, for every
+//! stream, exactly the violations a dedicated scalar [`MonitorSuite`]
+//! reports for that stream's trace — whatever lane the stream landed
+//! on, however many times the lane was reclaimed, and whatever the
+//! periodic report cadence delivered mid-run.
+
+use esafe_logic::{parse, Frame, SignalTable};
+use esafe_monitor::{Location, MonitorSuite, SuiteTemplate, ViolationInterval};
+use esafe_serve::{ReportEvent, ShardCore, ShardId, StreamId, StreamSource};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The monitored namespace: a real ramp value and a boolean pulse.
+struct Sigs {
+    table: Arc<SignalTable>,
+    x: esafe_logic::SignalId,
+    p: esafe_logic::SignalId,
+    template: Arc<SuiteTemplate>,
+}
+
+fn sigs() -> Sigs {
+    let mut b = SignalTable::builder();
+    let x = b.real("x");
+    let p = b.bool("p");
+    let table = b.finish();
+    let mut suite = MonitorSuite::new(table.clone());
+    suite
+        .add_goal("G", Location::new("Churn"), parse("x < 40.0").unwrap())
+        .unwrap();
+    suite
+        .add_subgoal(
+            "G.hold",
+            "G",
+            Location::new("Churn"),
+            parse("held_for(x < 35.0, 2ticks)").unwrap(),
+        )
+        .unwrap();
+    suite
+        .add_goal("H", Location::new("Churn"), parse("prev(p) -> p").unwrap())
+        .unwrap();
+    let template = Arc::new(suite.template());
+    Sigs {
+        table,
+        x,
+        p,
+        template,
+    }
+}
+
+/// A test stream: its frames, handed out one per wave.
+struct ScriptSource {
+    frames: std::vec::IntoIter<Frame>,
+}
+
+impl StreamSource for ScriptSource {
+    fn next_frame(&mut self, frame: &mut Frame) -> bool {
+        match self.frames.next() {
+            Some(next) => {
+                *frame = next;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// An `f64` strategy over `[lo, hi)` in 1/512 steps (the vendored
+/// proptest shim samples integer ranges).
+fn real(lo: f64, hi: f64) -> impl Strategy<Value = f64> {
+    (0u64..2048).prop_map(move |q| lo + (hi - lo) * q as f64 / 2048.0)
+}
+
+fn tick() -> impl Strategy<Value = (f64, bool)> {
+    (real(20.0, 50.0), (0u8..2).prop_map(|b| b == 1))
+}
+
+/// One stream's schedule: the wave it connects at, and its trace.
+fn stream() -> impl Strategy<Value = (u64, Vec<(f64, bool)>)> {
+    (0u64..40, proptest::collection::vec(tick(), 1..30))
+}
+
+fn frames_of(sigs: &Sigs, trace: &[(f64, bool)]) -> Vec<Frame> {
+    trace
+        .iter()
+        .map(|&(x, p)| {
+            let mut f = sigs.table.frame();
+            f.set(sigs.x, x);
+            f.set(sigs.p, p);
+            f
+        })
+        .collect()
+}
+
+/// The reference: a dedicated scalar suite over one stream's trace.
+fn scalar_violations(
+    sigs: &Sigs,
+    trace: &[(f64, bool)],
+) -> BTreeMap<String, Vec<ViolationInterval>> {
+    let mut suite = sigs.template.instantiate();
+    for frame in frames_of(sigs, trace) {
+        suite.observe(&frame).unwrap();
+    }
+    suite.finish();
+    suite.take_violations().into_iter().collect()
+}
+
+/// Runs the schedule through one shard and checks every stream's merged
+/// report (periodic drains + final summary) against its scalar twin.
+fn check_churn(width: usize, report_every: u64, schedule: Vec<(u64, Vec<(f64, bool)>)>) {
+    let sigs = sigs();
+    let mut core = ShardCore::new(ShardId(0), &sigs.template, width, report_every);
+
+    let mut merged: BTreeMap<u64, BTreeMap<String, Vec<ViolationInterval>>> = BTreeMap::new();
+    let mut closed: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut by_wave: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, (wave, _)) in schedule.iter().enumerate() {
+        by_wave.entry(*wave).or_default().push(i);
+    }
+
+    let mut wave = 0u64;
+    loop {
+        if let Some(ids) = by_wave.get(&wave) {
+            for &i in ids {
+                core.connect(
+                    StreamId(i as u64),
+                    Box::new(ScriptSource {
+                        frames: frames_of(&sigs, &schedule[i].1).into_iter(),
+                    }),
+                );
+            }
+        }
+        let last_connect = by_wave.keys().next_back().copied().unwrap_or(0);
+        let processed = core.wave().unwrap();
+        for event in core.take_events() {
+            match event {
+                ReportEvent::Violations(report) => {
+                    let per_stream = merged.entry(report.stream.0).or_default();
+                    for (monitor, intervals) in report.violations {
+                        per_stream.entry(monitor).or_default().extend(intervals);
+                    }
+                }
+                ReportEvent::StreamClosed(summary) => {
+                    let per_stream = merged.entry(summary.stream.0).or_default();
+                    for (monitor, intervals) in summary.violations {
+                        per_stream.entry(monitor).or_default().extend(intervals);
+                    }
+                    let previous = closed.insert(summary.stream.0, summary.ticks);
+                    assert!(previous.is_none(), "one summary per stream");
+                }
+                other => panic!("unexpected event without a hot swap: {other:?}"),
+            }
+        }
+        wave += 1;
+        if processed == 0 && core.is_idle() && wave > last_connect {
+            break;
+        }
+        assert!(wave < 10_000, "the schedule must terminate");
+    }
+
+    for (i, (_, trace)) in schedule.iter().enumerate() {
+        let id = i as u64;
+        assert_eq!(
+            closed.get(&id),
+            Some(&(trace.len() as u64)),
+            "stream {id} must close after its whole trace"
+        );
+        let expected = scalar_violations(&sigs, trace);
+        let got = merged.remove(&id).unwrap_or_default();
+        // Drop monitors whose merged record is empty (a periodic drain
+        // can never produce one, but the guard keeps the comparison
+        // strictly about intervals).
+        let got: BTreeMap<_, _> = got.into_iter().filter(|(_, v)| !v.is_empty()).collect();
+        assert_eq!(got, expected, "stream {id} diverged from its scalar twin");
+    }
+}
+
+proptest! {
+    /// Random fleets over random shard widths (the full 1–128 span) and
+    /// report cadences: per-stream reports are lane- and
+    /// schedule-independent.
+    #[test]
+    fn churned_streams_match_scalar_suites(
+        width in 1usize..129,
+        report_every in 1u64..6,
+        schedule in proptest::collection::vec(stream(), 1..12),
+    ) {
+        check_churn(width, report_every, schedule);
+    }
+}
+
+/// The boundary widths, pinned deterministically: a 1-lane shard
+/// serializes every stream through one endlessly reclaimed lane; a
+/// 128-lane shard runs the whole schedule concurrently.
+#[test]
+fn boundary_widths_serialize_and_parallelize() {
+    let schedule: Vec<(u64, Vec<(f64, bool)>)> = (0..9)
+        .map(|i| {
+            let trace = (0..(5 + i * 3))
+                .map(|t| (30.0 + (t as f64) + (i as f64), t % 3 != 0))
+                .collect();
+            (i as u64 % 4, trace)
+        })
+        .collect();
+    check_churn(1, 1, schedule.clone());
+    check_churn(128, 3, schedule);
+}

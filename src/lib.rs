@@ -15,6 +15,7 @@
 //! | [`elevator`] | The Ch. 4 distributed elevator substrate |
 //! | [`vehicle`] | The Ch. 5 semi-autonomous vehicle substrate with the thesis's defect population |
 //! | [`scenarios`] | The ten evaluation scenarios, violation tables (D.1–D.11), figure series (5.2–5.15) |
+//! | [`serve`] | Sharded streaming monitor service for fleets of live runs (hot-swappable suites, in-process + TCP transports) |
 //!
 //! # Quickstart
 //!
@@ -51,5 +52,6 @@ pub use esafe_harness as harness;
 pub use esafe_logic as logic;
 pub use esafe_monitor as monitor;
 pub use esafe_scenarios as scenarios;
+pub use esafe_serve as serve;
 pub use esafe_sim as sim;
 pub use esafe_vehicle as vehicle;

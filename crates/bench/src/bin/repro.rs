@@ -10,7 +10,8 @@
 //! repro --mega-grid            # ≥10⁴-cell scenario-parameter sweep (batched)
 //! repro --mega-grid --json <path>  # …plus the schema-v4 summary
 //! repro --serve-bench          # 1000-stream fleet through the monitor service
-//! repro --serve-bench --json <path>  # …plus the serve-bench-v1 summary
+//! repro --serve-bench --json <path>  # …plus the serve-bench-v2 summary
+//! repro --serve-bench --faulty <pct> [--json <path>]  # hostile fleet: pct% faulty streams
 //! repro --all                  # everything, in thesis order
 //! repro --json <scenario>      # dump a scenario's figure series as JSON
 //! ```
@@ -46,16 +47,25 @@ fn main() {
         [mega, json, path] if mega == "--mega-grid" && json == "--json" => {
             print_mega_grid(Some(path));
         }
-        [flag] if flag == "--serve-bench" => print_serve_bench(None),
+        [flag] if flag == "--serve-bench" => print_serve_bench(None, 0),
         [sb, json, path] if sb == "--serve-bench" && json == "--json" => {
-            print_serve_bench(Some(path));
+            print_serve_bench(Some(path), 0);
+        }
+        [sb, faulty, pct] if sb == "--serve-bench" && faulty == "--faulty" => {
+            print_serve_bench(None, parse_pct(pct));
+        }
+        [sb, faulty, pct, json, path]
+            if sb == "--serve-bench" && faulty == "--faulty" && json == "--json" =>
+        {
+            print_serve_bench(Some(path), parse_pct(pct));
         }
         [flag] if flag == "--all" => print_all(),
         _ => {
             eprintln!(
                 "usage: repro --table <id> | --figure <id> | --ablation [n] \
                  | --grid [--json <path>] | --mega-grid [--json <path>] \
-                 | --serve-bench [--json <path>] | --json <n> | --all"
+                 | --serve-bench [--faulty <pct>] [--json <path>] \
+                 | --json <n> | --all"
             );
             std::process::exit(2);
         }
@@ -119,19 +129,35 @@ fn print_mega_grid(json_path: Option<&str>) {
     }
 }
 
+/// Parses the `--faulty` percentage argument.
+fn parse_pct(raw: &str) -> u32 {
+    let pct: u32 = raw.parse().unwrap_or_else(|_| {
+        eprintln!("--faulty wants a percentage 0..=100, got `{raw}`");
+        std::process::exit(2);
+    });
+    if pct > 100 {
+        eprintln!("--faulty wants a percentage 0..=100, got {pct}");
+        std::process::exit(2);
+    }
+    pct
+}
+
 /// Runs the fleet-service benchmark: 1000 concurrent replayed elevator
 /// streams held live on one `esafe-serve` shard worker (2000 streams
 /// total — every close is immediately replaced), and (with `json_path`)
-/// writes the serve-bench-v1 `BENCH_serve.json` summary.
-fn print_serve_bench(json_path: Option<&str>) {
+/// writes the serve-bench-v2 `BENCH_serve.json` summary. With
+/// `faulty_pct > 0`, that share of the fleet misbehaves under seeded
+/// fault plans (stalls, disconnects, corrupt frames, shuffled ticks)
+/// and the degradation counters show how the service coped.
+fn print_serve_bench(json_path: Option<&str>, faulty_pct: u32) {
     const CONCURRENT: usize = 1000;
     const TOTAL: usize = 2000;
     const TICKS_PER_STREAM: u64 = 400;
     println!(
         "serve bench: {CONCURRENT} concurrent streams, {TOTAL} total, \
-         {TICKS_PER_STREAM} ticks each, one shard worker"
+         {TICKS_PER_STREAM} ticks each, one shard worker, {faulty_pct}% faulty"
     );
-    let summary = serve_bench(CONCURRENT, TOTAL, TICKS_PER_STREAM);
+    let summary = serve_bench(CONCURRENT, TOTAL, TICKS_PER_STREAM, faulty_pct);
     println!(
         "monitored {} stream-ticks x {} monitors in {:.3} s",
         summary.stream_ticks, summary.monitors, summary.wall_clock_s
@@ -141,6 +167,18 @@ fn print_serve_bench(json_path: Option<&str>) {
          {} violation intervals reported",
         summary.stream_ticks_per_s, summary.ns_per_stream_tick, summary.violation_intervals
     );
+    if faulty_pct > 0 {
+        println!(
+            "degradation: {} faulty streams; {} evicted ({} stalled, {} corrupt); \
+             {} shard restarts; {} reports dropped",
+            summary.faulty_streams,
+            summary.evicted_streams,
+            summary.stalled_evictions,
+            summary.corrupt_evictions,
+            summary.shard_restarts,
+            summary.reports_dropped
+        );
+    }
     if let Some(path) = json_path {
         let json = serve_summary_json(&summary).expect("summary serializes");
         std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));

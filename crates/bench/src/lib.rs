@@ -501,10 +501,13 @@ pub fn grid_summary_json(
 }
 
 /// The machine-readable `repro --serve-bench --json` summary —
-/// **schema v1 (`serve-bench`)**, written to `BENCH_serve.json`: a
+/// **schema v2 (`serve-bench`)**, written to `BENCH_serve.json`: a
 /// fleet of replayed elevator runs streamed through one
 /// [`esafe_serve::MonitorService`] shard worker, with the sustained
-/// concurrency and the end-to-end stream-tick throughput.
+/// concurrency, the end-to-end stream-tick throughput, and — new in
+/// v2 — the degradation counters (evictions, quarantines, dropped
+/// reports, shard restarts) that a faulty fleet (`--faulty N`)
+/// exercises.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ServeBenchSummary {
     /// Serve-bench summary schema version.
@@ -534,6 +537,24 @@ pub struct ServeBenchSummary {
     /// Violation intervals reported across the whole fleet (periodic
     /// drains plus close-out summaries — the two never overlap).
     pub violation_intervals: usize,
+    /// Percentage of launched streams wrapped in a seeded
+    /// [`FaultPlan`](esafe_serve::FaultPlan) (0 = the healthy fleet).
+    pub faulty_pct: u32,
+    /// Streams actually launched faulty.
+    pub faulty_streams: usize,
+    /// Streams removed by eviction rather than a clean close (stall
+    /// deadline + corrupt quarantine + restart losses).
+    pub evicted_streams: usize,
+    /// Evictions whose reason was the stall deadline.
+    pub stalled_evictions: usize,
+    /// Evictions whose reason was transport corruption (quarantine).
+    pub corrupt_evictions: usize,
+    /// Supervisor shard restarts observed during the run.
+    pub shard_restarts: usize,
+    /// Report events the shard dropped under the
+    /// [`DropAndCount`](esafe_serve::ReportOverflow::DropAndCount)
+    /// policy (always 0 here: the benchmark runs the lossless default).
+    pub reports_dropped: u64,
     /// End-to-end wall-clock, seconds: connect of the first stream to
     /// close of the last, reports consumed on the caller's thread.
     pub wall_clock_s: f64,
@@ -557,20 +578,32 @@ pub struct ServeBenchSummary {
 ///
 /// # Panics
 ///
-/// Panics if `concurrent` is zero, `total < concurrent`, or
-/// `ticks_per_stream` is zero; propagates a shard worker failure.
-pub fn serve_bench(concurrent: usize, total: usize, ticks_per_stream: u64) -> ServeBenchSummary {
-    use esafe_serve::{MonitorService, ReportEvent, ServiceConfig};
+/// Panics if `concurrent` is zero, `total < concurrent`,
+/// `ticks_per_stream` is zero, or `faulty_pct > 100`; propagates an
+/// unexpected clean shard stop.
+pub fn serve_bench(
+    concurrent: usize,
+    total: usize,
+    ticks_per_stream: u64,
+    faulty_pct: u32,
+) -> ServeBenchSummary {
+    use esafe_serve::{EvictReason, MonitorService, ReportEvent, ServiceConfig};
 
     assert!(concurrent > 0, "an empty fleet measures nothing");
     assert!(total >= concurrent, "total streams must cover the fleet");
     assert!(ticks_per_stream > 0, "streams must carry frames");
+    assert!(faulty_pct <= 100, "faulty_pct is a percentage");
 
+    const FAULT_SEED: u64 = 0xE5AF_E5EB;
     let workload = esafe_scenarios::FleetWorkload::elevator(2048);
     let config = ServiceConfig {
         lanes_per_shard: concurrent,
         report_capacity: 4096,
         report_every: 64,
+        // A faulty fleet needs the stall deadline, or a seeded stall
+        // window longer than the stream would pin its lane forever.
+        stall_limit: if faulty_pct > 0 { Some(1024) } else { None },
+        ..ServiceConfig::default()
     };
     let report_every = config.report_every;
     let mut service = MonitorService::new(config);
@@ -578,54 +611,84 @@ pub fn serve_bench(concurrent: usize, total: usize, ticks_per_stream: u64) -> Se
     let table = std::sync::Arc::clone(workload.table());
     let monitors = workload.template().len();
 
+    // Bresenham-style spread: exactly `faulty_pct`% of launches are
+    // faulty, evenly interleaved with healthy ones.
+    let is_faulty = |index: usize| {
+        (index as u64 * u64::from(faulty_pct)) % 100 >= 100 - u64::from(faulty_pct)
+            && faulty_pct > 0
+    };
+    let mut faulty_streams = 0usize;
+    let launch = |service: &mut MonitorService, index: usize, faulty_streams: &mut usize| {
+        let source: Box<dyn esafe_serve::StreamSource> = if is_faulty(index) {
+            *faulty_streams += 1;
+            Box::new(workload.faulty_stream(index, ticks_per_stream, FAULT_SEED))
+        } else {
+            Box::new(workload.stream(index, ticks_per_stream))
+        };
+        service
+            .connect(&table, source)
+            .expect("a loaded shard accepts streams");
+    };
+
     let started = std::time::Instant::now();
     let mut launched = 0usize;
     while launched < concurrent {
-        service
-            .connect(
-                &table,
-                Box::new(workload.stream(launched, ticks_per_stream)),
-            )
-            .expect("a freshly loaded shard accepts streams");
+        launch(&mut service, launched, &mut faulty_streams);
         launched += 1;
     }
 
     let mut closed = 0usize;
     let mut stream_ticks = 0u64;
     let mut violation_intervals = 0usize;
+    let mut evicted_streams = 0usize;
+    let mut stalled_evictions = 0usize;
+    let mut corrupt_evictions = 0usize;
+    let mut shard_restarts = 0usize;
+    let mut reports_dropped = 0u64;
+    let count_intervals = |violations: &esafe_serve::StreamViolations| {
+        violations.iter().map(|(_, v)| v.len()).sum::<usize>()
+    };
     while closed < total {
+        let mut finished = false;
         match service
             .recv_report()
             .expect("the shard worker must outlive its streams")
         {
             ReportEvent::Violations(report) => {
-                violation_intervals += report
-                    .violations
-                    .iter()
-                    .map(|(_, v)| v.len())
-                    .sum::<usize>();
+                violation_intervals += count_intervals(&report.violations);
             }
             ReportEvent::StreamClosed(summary) => {
-                closed += 1;
+                finished = true;
                 stream_ticks += summary.ticks;
-                violation_intervals += summary
-                    .violations
-                    .iter()
-                    .map(|(_, v)| v.len())
-                    .sum::<usize>();
-                if launched < total {
-                    service
-                        .connect(
-                            &table,
-                            Box::new(workload.stream(launched, ticks_per_stream)),
-                        )
-                        .expect("a running shard accepts replacement streams");
-                    launched += 1;
+                violation_intervals += count_intervals(&summary.violations);
+            }
+            ReportEvent::StreamEvicted(eviction) => {
+                finished = true;
+                evicted_streams += 1;
+                stream_ticks += eviction.ticks;
+                violation_intervals += count_intervals(&eviction.violations);
+                match eviction.reason {
+                    EvictReason::Stalled { .. } => stalled_evictions += 1,
+                    EvictReason::Corrupt { .. } => corrupt_evictions += 1,
+                    EvictReason::ShardRestart => {}
                 }
             }
+            ReportEvent::ReportsDropped { dropped, .. } => reports_dropped += dropped,
+            ReportEvent::ShardRestarted { .. } => shard_restarts += 1,
             ReportEvent::SuiteUnloaded { .. } => {}
-            ReportEvent::ShardStopped { error, .. } => {
-                panic!("shard stopped mid-benchmark: {error:?}");
+            ReportEvent::ShardStopped { error: Some(_), .. } => {
+                // Followed by evictions and a ShardRestarted: the
+                // supervisor keeps the benchmark running, degraded.
+            }
+            ReportEvent::ShardStopped { error: None, .. } => {
+                panic!("shard stopped cleanly mid-benchmark");
+            }
+        }
+        if finished {
+            closed += 1;
+            if launched < total {
+                launch(&mut service, launched, &mut faulty_streams);
+                launched += 1;
             }
         }
     }
@@ -635,7 +698,7 @@ pub fn serve_bench(concurrent: usize, total: usize, ticks_per_stream: u64) -> Se
     let wall_clock_s = wall.as_secs_f64();
     let stream_ticks_per_s = stream_ticks as f64 / wall_clock_s.max(f64::MIN_POSITIVE);
     ServeBenchSummary {
-        schema: 1,
+        schema: 2,
         concurrent_streams: concurrent,
         total_streams: total,
         ticks_per_stream,
@@ -645,13 +708,20 @@ pub fn serve_bench(concurrent: usize, total: usize, ticks_per_stream: u64) -> Se
         shard_lanes: concurrent,
         report_every,
         violation_intervals,
+        faulty_pct,
+        faulty_streams,
+        evicted_streams,
+        stalled_evictions,
+        corrupt_evictions,
+        shard_restarts,
+        reports_dropped,
         wall_clock_s,
         stream_ticks_per_s,
         ns_per_stream_tick: 1e9 / stream_ticks_per_s.max(f64::MIN_POSITIVE),
     }
 }
 
-/// Serializes the serve-bench summary as pretty JSON (schema v1).
+/// Serializes the serve-bench summary as pretty JSON (schema v2).
 ///
 /// # Errors
 ///
@@ -667,10 +737,26 @@ mod tests {
 
     #[test]
     fn serve_bench_counts_every_stream_tick() {
-        let summary = serve_bench(8, 12, 20);
+        let summary = serve_bench(8, 12, 20, 0);
         assert_eq!(summary.total_streams, 12);
         assert_eq!(summary.stream_ticks, 12 * 20);
         assert!(summary.stream_ticks_per_s > 0.0);
+        assert_eq!(summary.faulty_streams, 0);
+        assert_eq!(summary.evicted_streams, 0);
+        assert_eq!(summary.shard_restarts, 0);
+    }
+
+    #[test]
+    fn faulty_serve_bench_degrades_without_dying() {
+        let summary = serve_bench(8, 20, 30, 25);
+        assert_eq!(summary.faulty_pct, 25);
+        assert_eq!(summary.faulty_streams, 5, "25% of 20 launches");
+        // Every stream — healthy or hostile — reached a terminal event.
+        assert_eq!(summary.total_streams, 20);
+        // Healthy members alone account for at least their full ticks.
+        assert!(summary.stream_ticks >= 15 * 30);
+        assert_eq!(summary.shard_restarts, 0, "no panics were injected");
+        assert_eq!(summary.reports_dropped, 0, "lossless default policy");
     }
 
     #[test]

@@ -1709,6 +1709,41 @@ impl FusedSuiteBatch {
         self.steps[lane]
     }
 
+    /// Temporarily freezes `lane` for the next observe pass(es): its
+    /// temporal cells, step counter, and verdicts stay exactly as they
+    /// are, and the pass skips it like a retired lane. Unlike
+    /// [`retire_lane`](FusedSuiteBatch::retire_lane) the freeze is meant
+    /// to be undone with [`resume_lane`](FusedSuiteBatch::resume_lane) —
+    /// the pair lets a caller advance a *subset* of lanes through a pass
+    /// (e.g. a streaming service whose streams deliver frames at
+    /// different rates) while the rest hold their history bit-exactly.
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn suspend_lane(&mut self, lane: usize) {
+        if std::mem::replace(&mut self.active[lane], false) {
+            self.retired += 1;
+        }
+    }
+
+    /// Reverses [`suspend_lane`](FusedSuiteBatch::suspend_lane): the lane
+    /// rejoins subsequent passes with its history untouched, as if the
+    /// passes it sat out never happened. Do **not** use this to revive a
+    /// lane retired at end-of-run ([`retire_lane`](FusedSuiteBatch::retire_lane));
+    /// a finished run's lane must be re-armed with
+    /// [`reset_lane`](FusedSuiteBatch::reset_lane) instead. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn resume_lane(&mut self, lane: usize) {
+        if !std::mem::replace(&mut self.active[lane], true) {
+            self.retired -= 1;
+        }
+    }
+
     /// Feeds the next frame of every active lane — `frames[lane]` is
     /// that lane's sample; retired lanes' entries are ignored. One
     /// forward pass over the DAG advances **all** lanes through each

@@ -660,6 +660,7 @@ impl SuiteTemplate {
             fused: self.fused.instantiate_batch(lanes),
             lanes,
             generation: 0,
+            suspended_scratch: Vec::new(),
         }
     }
 
@@ -759,6 +760,10 @@ pub struct MonitorSuiteBatch {
     /// violation drained from this batch is attributed to this
     /// generation, never to the suite that replaced it.
     generation: u64,
+    /// Reusable scratch for
+    /// [`observe_slab_masked`](MonitorSuiteBatch::observe_slab_masked):
+    /// the lanes temporarily suspended for the current pass.
+    suspended_scratch: Vec<usize>,
 }
 
 impl MonitorSuiteBatch {
@@ -875,6 +880,63 @@ impl MonitorSuiteBatch {
         Ok(())
     }
 
+    /// [`observe_slab`](MonitorSuiteBatch::observe_slab) restricted to a
+    /// **subset** of lanes: only lanes with `live[lane] == true` observe
+    /// the pass; every other lane — retired or merely frameless this
+    /// pass — is skipped with its temporal history, step counter, and
+    /// recorded intervals left bit-exactly untouched, as if the pass
+    /// never happened for it. This is the streaming-service path: a
+    /// shard whose streams deliver frames at different rates advances
+    /// exactly the lanes that produced a frame this wave, so a stalled
+    /// stream never perturbs (or is perturbed by) its neighbours.
+    ///
+    /// Skipped lanes' slab rows are not read; they may hold stale or
+    /// unset data.
+    ///
+    /// # Errors
+    ///
+    /// As [`observe_slab`](MonitorSuiteBatch::observe_slab). On error the
+    /// suspended lanes are resumed before returning, but — as with every
+    /// batch observe error — the batch instance should be treated as
+    /// poisoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live.len() != lanes` or `slab.lanes() != lanes`.
+    pub fn observe_slab_masked(
+        &mut self,
+        slab: &FrameBatch,
+        live: &[bool],
+    ) -> Result<(), BatchMonitorError> {
+        assert_eq!(live.len(), self.lanes, "one liveness flag per lane");
+        let mut suspended = std::mem::take(&mut self.suspended_scratch);
+        suspended.clear();
+        for (lane, &is_live) in live.iter().enumerate() {
+            if !is_live && self.fused.is_active(lane) {
+                self.fused.suspend_lane(lane);
+                suspended.push(lane);
+            }
+        }
+        let result = self
+            .fused
+            .observe_slab(slab)
+            .map_err(|err| BatchMonitorError {
+                lane: err.lane,
+                monitor_id: self.metas[err.monitor].id.clone(),
+                source: err.source,
+            });
+        if result.is_ok() {
+            // Record while the skipped lanes are still suspended, so the
+            // edge diff cannot attribute a stale verdict cell to them.
+            self.record_verdicts();
+        }
+        for &lane in &suspended {
+            self.fused.resume_lane(lane);
+        }
+        self.suspended_scratch = suspended;
+        result
+    }
+
     /// Folds the pass's verdicts into the violation trackers — the
     /// shared back half of both observe paths. Intervals only change at
     /// verdict *edges*, so instead of one
@@ -893,16 +955,19 @@ impl MonitorSuiteBatch {
                 continue;
             }
             for (l, (prev, &sat)) in prev.iter_mut().zip(row).enumerate() {
-                if *prev != sat {
-                    if self.fused.is_active(l) {
-                        // The tick just recorded for this lane.
-                        let t = self.fused.steps_observed(l) - 1;
-                        let tracker = &mut self.trackers[l * n + e];
-                        if sat {
-                            tracker.close_at(t);
-                        } else {
-                            tracker.open_at(t);
-                        }
+                if *prev != sat && self.fused.is_active(l) {
+                    // The tick just recorded for this lane. Inactive
+                    // lanes keep their `prev` copy untouched: a
+                    // suspended lane's root cell can hold a stale
+                    // recomputation (e.g. before its first frame ever
+                    // lands), and syncing `prev` to it would swallow the
+                    // real edge when the lane resumes.
+                    let t = self.fused.steps_observed(l) - 1;
+                    let tracker = &mut self.trackers[l * n + e];
+                    if sat {
+                        tracker.close_at(t);
+                    } else {
+                        tracker.open_at(t);
                     }
                     *prev = sat;
                 }

@@ -13,7 +13,7 @@ use esafe_elevator::faults::ElevatorFaults;
 use esafe_elevator::{build_elevator, ElevatorFamily};
 use esafe_logic::{Frame, SignalTable};
 use esafe_monitor::SuiteTemplate;
-use esafe_serve::ReplaySource;
+use esafe_serve::{FaultPlan, FaultySource, ReplaySource};
 use std::sync::Arc;
 
 /// A shared recorded run plus the compiled goal suite of its family —
@@ -73,12 +73,23 @@ impl FleetWorkload {
     pub fn stream(&self, index: usize, ticks: u64) -> ReplaySource {
         ReplaySource::new(Arc::clone(&self.trace), index, ticks)
     }
+
+    /// One *misbehaving* fleet member: the same staggered replay
+    /// wrapped in a seeded [`FaultPlan`] — stalls, mid-run disconnects,
+    /// corrupt frames, duplicated or reordered ticks — deterministic in
+    /// (`seed`, `index`). The faulty-fleet benchmark (`repro
+    /// --serve-bench --faulty`) mixes these into a healthy fleet to
+    /// measure monitoring throughput under hostile load.
+    pub fn faulty_stream(&self, index: usize, ticks: u64, seed: u64) -> FaultySource<ReplaySource> {
+        let plan = FaultPlan::seeded(seed.wrapping_add(index as u64), ticks.max(1));
+        FaultySource::new(self.stream(index, ticks), plan)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use esafe_serve::StreamSource;
+    use esafe_serve::{Poll, StreamSource};
 
     #[test]
     fn workload_records_once_and_fans_out() {
@@ -88,7 +99,7 @@ mod tests {
         let mut base = Vec::new();
         let mut member = workload.stream(0, 50);
         let mut f = workload.table().frame();
-        while member.next_frame(&mut f) {
+        while member.poll_frame(&mut f) == Poll::Frame {
             base.push(f.clone());
         }
         assert_eq!(base.len(), 50);
@@ -96,10 +107,34 @@ mod tests {
         // frame i of stream(k) is trace frame (k + i) mod len.
         let mut b = workload.stream(10, 55);
         let mut got = 0usize;
-        while b.next_frame(&mut f) {
+        while b.poll_frame(&mut f) == Poll::Frame {
             assert_eq!(f, base[(10 + got) % 50], "offset replay at tick {got}");
             got += 1;
         }
         assert_eq!(got, 55, "a member may outlive one trace lap");
+    }
+
+    #[test]
+    fn faulty_members_are_deterministic_and_terminate() {
+        let workload = FleetWorkload::elevator(30);
+        let mut f = workload.table().frame();
+        for index in 0..8 {
+            let mut a = workload.faulty_stream(index, 40, 42);
+            let mut b = workload.faulty_stream(index, 40, 42);
+            let mut polls = 0u64;
+            loop {
+                let pa = a.poll_frame(&mut f);
+                let mut g = workload.table().frame();
+                let pb = b.poll_frame(&mut g);
+                assert_eq!(pa, pb, "member {index} must replay identically");
+                match pa {
+                    Poll::Frame => assert_eq!(f, g, "member {index} frames must match"),
+                    Poll::Pending => {}
+                    Poll::End | Poll::Corrupt(_) => break,
+                }
+                polls += 1;
+                assert!(polls < 10_000, "member {index} must terminate");
+            }
+        }
     }
 }

@@ -1,0 +1,381 @@
+//! Deterministic fault injection: wrap any [`StreamSource`] in a
+//! [`FaultySource`] driven by a [`FaultPlan`], and it misbehaves in
+//! exactly the ways a hostile fleet does — stalls, mid-run
+//! disconnects, corrupt frames, duplicated and reordered ticks, and
+//! (explicitly opted into) in-wave panics.
+//!
+//! Everything is deterministic: a plan is either built explicitly or
+//! derived from a seed ([`FaultPlan::seeded`]) with a splitmix64
+//! generator, so a chaos test that fails replays bit-identically from
+//! its seed. The injection points mirror the service's degradation
+//! paths one-to-one:
+//!
+//! | injected fault            | expected service reaction            |
+//! |---------------------------|--------------------------------------|
+//! | stall window              | lane skipped ([`Poll::Pending`]), stall clock, eventual [`EvictReason::Stalled`] |
+//! | disconnect                | clean [`Poll::End`], lane retired    |
+//! | corrupt frame             | [`Poll::Corrupt`] quarantine, [`EvictReason::Corrupt`] |
+//! | duplicate / reorder ticks | monitored as delivered — verdicts shift, nothing crashes |
+//! | in-wave panic             | caught by the shard supervisor → restart ([`EvictReason::ShardRestart`]) |
+//!
+//! [`EvictReason::Stalled`]: crate::report::EvictReason::Stalled
+//! [`EvictReason::Corrupt`]: crate::report::EvictReason::Corrupt
+//! [`EvictReason::ShardRestart`]: crate::report::EvictReason::ShardRestart
+
+use crate::source::{Poll, StreamSource};
+use esafe_logic::Frame;
+
+/// What a [`FaultySource`] does to its inner stream, and when.
+///
+/// Faults are keyed on two deterministic clocks: the *poll* index
+/// (every call to `poll_frame`, i.e. every shard wave that reaches the
+/// stream) and the *delivery* index (frames actually handed over). A
+/// plan composes freely: a stream can stall, recover, duplicate a tick,
+/// and then disconnect.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Half-open poll-index windows `[from, from + waves)` during which
+    /// the source answers [`Poll::Pending`] without consulting the
+    /// inner stream.
+    stalls: Vec<(u64, u64)>,
+    /// After this many delivered frames, answer [`Poll::End`].
+    disconnect_after: Option<u64>,
+    /// After this many delivered frames, answer [`Poll::Corrupt`] with
+    /// the detail.
+    corrupt_after: Option<(u64, String)>,
+    /// Panic inside this poll — the "wave takes the worker down"
+    /// fault. Never produced by [`FaultPlan::seeded`]; opt in
+    /// explicitly.
+    panic_at_poll: Option<u64>,
+    /// Delivery indices whose frame is delivered twice.
+    duplicates: Vec<u64>,
+    /// Delivery indices swapped with their successor.
+    reorders: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: the wrapped source behaves identically to
+    /// the inner one.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Stalls the stream — [`Poll::Pending`] — for `waves` consecutive
+    /// polls starting at poll index `from`.
+    #[must_use]
+    pub fn stall(mut self, from: u64, waves: u64) -> Self {
+        self.stalls.push((from, waves));
+        self
+    }
+
+    /// Ends the stream cleanly after `frames` deliveries — a mid-run
+    /// disconnect.
+    #[must_use]
+    pub fn disconnect_after(mut self, frames: u64) -> Self {
+        self.disconnect_after = Some(frames);
+        self
+    }
+
+    /// Yields a corrupt-transport failure after `frames` deliveries,
+    /// with `detail` as the decoder's diagnosis.
+    #[must_use]
+    pub fn corrupt_after(mut self, frames: u64, detail: &str) -> Self {
+        self.corrupt_after = Some((frames, detail.to_string()));
+        self
+    }
+
+    /// Panics inside poll number `poll` — exercises the shard
+    /// supervisor's catch-and-restart path. Not produced by
+    /// [`seeded`](FaultPlan::seeded).
+    #[must_use]
+    pub fn panic_at_poll(mut self, poll: u64) -> Self {
+        self.panic_at_poll = Some(poll);
+        self
+    }
+
+    /// Delivers the frame at delivery index `index` twice.
+    #[must_use]
+    pub fn duplicate_frame(mut self, index: u64) -> Self {
+        self.duplicates.push(index);
+        self
+    }
+
+    /// Swaps the delivery order of the frames at delivery indices
+    /// `index` and `index + 1` (when the successor is ready in the same
+    /// poll; otherwise the reorder degenerates to normal order).
+    #[must_use]
+    pub fn reorder_at(mut self, index: u64) -> Self {
+        self.reorders.push(index);
+        self
+    }
+
+    /// Derives a reproducible hostile plan from `seed`, scaled to a
+    /// stream of roughly `horizon` ticks: some mix of a stall window, a
+    /// duplicated or reordered tick, and a terminal fault (mid-run
+    /// disconnect or corrupt frame). Never injects a panic — a panic
+    /// kills the whole shard core, so chaos tests opt into it on one
+    /// designated stream via [`panic_at_poll`](FaultPlan::panic_at_poll).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        assert!(horizon > 0, "a seeded plan needs a positive horizon");
+        let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+        let mut next = || splitmix64(&mut state);
+        let mut plan = FaultPlan::new();
+        // Always at least one fault; each kind joins independently.
+        let mut faulted = false;
+        if next() % 2 == 0 {
+            let from = next() % horizon;
+            let waves = 1 + next() % horizon.max(2);
+            plan = plan.stall(from, waves);
+            faulted = true;
+        }
+        if next() % 3 == 0 {
+            plan = plan.duplicate_frame(next() % horizon);
+            faulted = true;
+        }
+        if next() % 3 == 0 {
+            plan = plan.reorder_at(next() % horizon);
+            faulted = true;
+        }
+        match next() % 3 {
+            0 => plan = plan.disconnect_after(1 + next() % horizon),
+            1 => {
+                plan = plan.corrupt_after(1 + next() % horizon, "seeded transport corruption");
+            }
+            _ if !faulted => plan = plan.disconnect_after(1 + next() % horizon),
+            _ => {}
+        }
+        plan
+    }
+}
+
+/// splitmix64 — the same tiny deterministic generator the harness
+/// crates use for seed derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`StreamSource`] adapter that executes a [`FaultPlan`] over an
+/// inner source. Healthy until the plan says otherwise; after a
+/// terminal fault (disconnect, corrupt) the inner source is never
+/// consulted again.
+#[derive(Debug)]
+pub struct FaultySource<S> {
+    inner: S,
+    plan: FaultPlan,
+    /// Polls received so far (the wave clock).
+    polls: u64,
+    /// Frames delivered so far (the delivery clock).
+    delivered: u64,
+    /// A frame owed to the caller before the inner source is consulted
+    /// again (the second half of a duplicate or reorder).
+    held: Option<Frame>,
+    /// Set once a terminal fault fired.
+    finished: bool,
+}
+
+impl<S: StreamSource> FaultySource<S> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultySource {
+            inner,
+            plan,
+            polls: 0,
+            delivered: 0,
+            held: None,
+            finished: false,
+        }
+    }
+
+    fn deliver(&mut self) -> u64 {
+        let index = self.delivered;
+        self.delivered += 1;
+        index
+    }
+}
+
+impl<S: StreamSource> StreamSource for FaultySource<S> {
+    fn poll_frame(&mut self, frame: &mut Frame) -> Poll {
+        let poll = self.polls;
+        self.polls += 1;
+        if self.plan.panic_at_poll == Some(poll) {
+            panic!("injected fault: panic at poll {poll}");
+        }
+        if self.finished {
+            return Poll::End;
+        }
+        if self
+            .plan
+            .stalls
+            .iter()
+            .any(|&(from, waves)| poll >= from && poll - from < waves)
+        {
+            return Poll::Pending;
+        }
+        if let Some((at, detail)) = &self.plan.corrupt_after {
+            if self.delivered >= *at {
+                self.finished = true;
+                return Poll::Corrupt(detail.clone());
+            }
+        }
+        if let Some(at) = self.plan.disconnect_after {
+            if self.delivered >= at {
+                self.finished = true;
+                return Poll::End;
+            }
+        }
+        if let Some(held) = self.held.take() {
+            frame.copy_from(&held);
+            self.deliver();
+            return Poll::Frame;
+        }
+        match self.inner.poll_frame(frame) {
+            Poll::Frame => {
+                let index = self.deliver();
+                if self.plan.duplicates.contains(&index) {
+                    self.held = Some(frame.clone());
+                } else if self.plan.reorders.contains(&index) {
+                    // Try to pull the successor now and emit it first.
+                    let first = frame.clone();
+                    match self.inner.poll_frame(frame) {
+                        Poll::Frame => {
+                            self.held = Some(first);
+                        }
+                        // Successor not ready (or stream over): the
+                        // reorder degenerates — put the original back.
+                        _ => frame.copy_from(&first),
+                    }
+                }
+                Poll::Frame
+            }
+            other => {
+                if !matches!(other, Poll::Pending) {
+                    self.finished = true;
+                }
+                other
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ReplaySource;
+    use esafe_logic::SignalTable;
+    use std::sync::Arc;
+
+    fn trace(table: &Arc<SignalTable>, ticks: u64) -> Arc<Vec<Frame>> {
+        let x = table.id("x").unwrap();
+        Arc::new(
+            (0..ticks)
+                .map(|v| {
+                    let mut f = table.frame();
+                    f.set(x, v as f64);
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    fn drain(source: &mut impl StreamSource, table: &Arc<SignalTable>) -> (Vec<f64>, Poll) {
+        let x = table.id("x").unwrap();
+        let mut scratch = table.frame();
+        let mut seen = Vec::new();
+        loop {
+            match source.poll_frame(&mut scratch) {
+                Poll::Frame => seen.push(scratch.real_or(x, -1.0)),
+                Poll::Pending => continue,
+                terminal => return (seen, terminal),
+            }
+        }
+    }
+
+    fn table() -> Arc<SignalTable> {
+        let mut b = SignalTable::builder();
+        b.real("x");
+        b.finish()
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let table = table();
+        let inner = ReplaySource::new(trace(&table, 4), 0, 4);
+        let mut faulty = FaultySource::new(inner, FaultPlan::new());
+        let (seen, end) = drain(&mut faulty, &table);
+        assert_eq!(seen, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(end, Poll::End);
+    }
+
+    #[test]
+    fn stall_window_answers_pending_then_recovers() {
+        let table = table();
+        let inner = ReplaySource::new(trace(&table, 3), 0, 3);
+        let mut faulty = FaultySource::new(inner, FaultPlan::new().stall(1, 2));
+        let mut scratch = table.frame();
+        assert_eq!(faulty.poll_frame(&mut scratch), Poll::Frame);
+        assert_eq!(faulty.poll_frame(&mut scratch), Poll::Pending);
+        assert_eq!(faulty.poll_frame(&mut scratch), Poll::Pending);
+        assert_eq!(faulty.poll_frame(&mut scratch), Poll::Frame);
+    }
+
+    #[test]
+    fn disconnect_and_corrupt_terminate() {
+        let table = table();
+        let inner = ReplaySource::new(trace(&table, 8), 0, 8);
+        let mut faulty = FaultySource::new(inner, FaultPlan::new().disconnect_after(3));
+        let (seen, end) = drain(&mut faulty, &table);
+        assert_eq!(seen.len(), 3);
+        assert_eq!(end, Poll::End);
+
+        let inner = ReplaySource::new(trace(&table, 8), 0, 8);
+        let mut faulty = FaultySource::new(inner, FaultPlan::new().corrupt_after(2, "bit flip"));
+        let (seen, end) = drain(&mut faulty, &table);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(end, Poll::Corrupt("bit flip".to_string()));
+    }
+
+    #[test]
+    fn duplicate_and_reorder_shuffle_deliveries() {
+        let table = table();
+        let inner = ReplaySource::new(trace(&table, 4), 0, 4);
+        let mut faulty = FaultySource::new(inner, FaultPlan::new().duplicate_frame(1));
+        let (seen, _) = drain(&mut faulty, &table);
+        assert_eq!(seen, vec![0.0, 1.0, 1.0, 2.0, 3.0]);
+
+        let inner = ReplaySource::new(trace(&table, 4), 0, 4);
+        let mut faulty = FaultySource::new(inner, FaultPlan::new().reorder_at(1));
+        let (seen, _) = drain(&mut faulty, &table);
+        assert_eq!(seen, vec![0.0, 2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: panic at poll 2")]
+    fn injected_panic_fires_on_schedule() {
+        let table = table();
+        let inner = ReplaySource::new(trace(&table, 4), 0, 4);
+        let mut faulty = FaultySource::new(inner, FaultPlan::new().panic_at_poll(2));
+        let mut scratch = table.frame();
+        assert_eq!(faulty.poll_frame(&mut scratch), Poll::Frame);
+        assert_eq!(faulty.poll_frame(&mut scratch), Poll::Frame);
+        let _ = faulty.poll_frame(&mut scratch);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_always_faulty() {
+        for seed in 0..64 {
+            let a = FaultPlan::seeded(seed, 100);
+            let b = FaultPlan::seeded(seed, 100);
+            assert_eq!(a, b, "seed {seed} must reproduce");
+            assert_ne!(a, FaultPlan::new(), "seed {seed} must inject something");
+            assert_eq!(a.panic_at_poll, None, "seeded plans never panic");
+        }
+    }
+}

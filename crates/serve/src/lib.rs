@@ -40,6 +40,14 @@
 //! * **Reports** — violations flow through one bounded channel with
 //!   per-stream provenance: stream id, suite generation, and
 //!   stream-local tick intervals.
+//! * **Robustness** — the service assumes a *hostile* fleet. Waves
+//!   never block on a producer ([`source::Poll`]); stalled streams are
+//!   evicted past a deadline; undecodable wire data quarantines only
+//!   its own stream ([`tcp::DecodeError`]); a panicking wave is caught
+//!   by the shard supervisor, which restarts the shard — degraded,
+//!   never dead ([`ReportEvent::ShardRestarted`]). The [`fault`]
+//!   module injects exactly these failures deterministically for chaos
+//!   testing.
 //!
 //! Everything is plain std: `mpsc` channels in-process, optional
 //! length-prefixed TCP ([`tcp`]) on the wire, no async runtime.
@@ -49,15 +57,19 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod report;
 pub mod service;
 pub mod shard;
 pub mod source;
 pub mod tcp;
 
+pub use fault::{FaultPlan, FaultySource};
 pub use report::{
-    ReportEvent, ShardId, StreamId, StreamSummary, StreamViolations, ViolationReport,
+    EvictReason, ReportEvent, ShardId, StreamEviction, StreamId, StreamSummary, StreamViolations,
+    ViolationReport,
 };
-pub use service::{MonitorService, ServeError, ServiceConfig, ShardConnector};
-pub use shard::ShardCore;
-pub use source::{frame_channel, ChannelSource, FrameSender, ReplaySource, StreamSource};
+pub use service::{MonitorService, ReportOverflow, ServeError, ServiceConfig, ShardConnector};
+pub use shard::{ShardConfig, ShardCore};
+pub use source::{frame_channel, ChannelSource, FrameSender, Poll, ReplaySource, StreamSource};
+pub use tcp::DecodeError;

@@ -48,6 +48,73 @@ pub struct ViolationReport {
     pub violations: StreamViolations,
 }
 
+/// Why the service forcibly removed a stream (see
+/// [`ReportEvent::StreamEvicted`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The stream answered `Pending` for more consecutive waves than
+    /// the shard's configured stall deadline
+    /// ([`stall_limit`](crate::shard::ShardConfig::stall_limit)): the
+    /// producer stalled (or maliciously went quiet) while the wave
+    /// front moved on, and its lane was reclaimed.
+    Stalled {
+        /// Consecutive frameless waves at eviction — at least the
+        /// configured deadline.
+        waves: u64,
+    },
+    /// The stream's transport yielded undecodable data
+    /// ([`Poll::Corrupt`](crate::source::Poll::Corrupt)); the detail is
+    /// the decoder's diagnosis. The stream is quarantined — removed
+    /// with its verdicts-so-far — and every other stream on the shard
+    /// is untouched.
+    Corrupt {
+        /// The transport's description of what failed to decode.
+        detail: String,
+    },
+    /// The shard's worker panicked mid-wave and was restarted by the
+    /// supervisor. In-flight streams are lost (their `ticks` and
+    /// violation records went down with the panicked core), reported
+    /// with zero ticks so the loss is visible, and their producers see
+    /// a closed transport. New connects keep landing on the restarted
+    /// shard.
+    ShardRestart,
+}
+
+impl std::fmt::Display for EvictReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictReason::Stalled { waves } => {
+                write!(f, "stalled for {waves} consecutive waves")
+            }
+            EvictReason::Corrupt { detail } => write!(f, "corrupt stream: {detail}"),
+            EvictReason::ShardRestart => write!(f, "lost to a shard restart"),
+        }
+    }
+}
+
+/// A stream the service removed without a clean end-of-stream from its
+/// source: stalled past the deadline, quarantined as corrupt, or lost
+/// to a shard restart. Carries the same provenance as a
+/// [`StreamSummary`] plus the reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEviction {
+    /// The evicted stream.
+    pub stream: StreamId,
+    /// The shard that was monitoring it.
+    pub shard: ShardId,
+    /// The suite generation the stream ran under.
+    pub generation: u64,
+    /// Frames observed before eviction (0 for
+    /// [`EvictReason::ShardRestart`], whose core state is gone).
+    pub ticks: u64,
+    /// Violations recorded up to the eviction point and not yet
+    /// delivered by a periodic drain; open intervals are closed at the
+    /// last observed tick.
+    pub violations: StreamViolations,
+    /// Why the stream was removed.
+    pub reason: EvictReason,
+}
+
 /// A stream's end-of-run record, emitted exactly once per connected
 /// stream when its source ends (or the service shuts down).
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +141,39 @@ pub enum ReportEvent {
     Violations(ViolationReport),
     /// A stream finished; its lane is reclaimable.
     StreamClosed(StreamSummary),
+    /// A stream was forcibly removed — stalled past the deadline,
+    /// quarantined as corrupt, or lost to a shard restart. Emitted
+    /// exactly once per evicted stream, *instead of*
+    /// [`StreamClosed`](ReportEvent::StreamClosed).
+    StreamEvicted(StreamEviction),
+    /// The shard dropped `dropped` report events because the report
+    /// channel was full and the service runs the
+    /// [`DropAndCount`](crate::service::ReportOverflow::DropAndCount)
+    /// overflow policy. Consecutive drops coalesce into one event, so a
+    /// slow consumer sees how much it missed without ever stalling the
+    /// shard.
+    ReportsDropped {
+        /// The shard that had to drop.
+        shard: ShardId,
+        /// Events dropped since the last `ReportsDropped` that got
+        /// through.
+        dropped: u64,
+    },
+    /// A panicked (or evaluation-failed) shard worker was rebuilt by
+    /// its supervisor with the surviving suite configuration. Emitted
+    /// after the corresponding
+    /// [`ShardStopped`](ReportEvent::ShardStopped) `{error: Some(..)}`
+    /// and the per-stream
+    /// [`StreamEvicted`](ReportEvent::StreamEvicted)
+    /// `{reason: ShardRestart}` records: the shard is degraded — those
+    /// streams' verdicts are gone — but never dead, and new connects
+    /// keep landing.
+    ShardRestarted {
+        /// The restarted shard.
+        shard: ShardId,
+        /// Streams (bound and queued) lost with the previous core.
+        streams_lost: usize,
+    },
     /// A drained suite generation left its shard: every stream it was
     /// monitoring has closed, completing the
     /// `load → activate → drain → deactivate → unload` lifecycle.
@@ -83,8 +183,11 @@ pub enum ReportEvent {
         /// The unloaded suite's generation.
         generation: u64,
     },
-    /// A shard worker exited — cleanly on shutdown (`error: None`) or
-    /// fatally on a monitor evaluation error.
+    /// A shard worker's core stopped — cleanly on shutdown
+    /// (`error: None`), or on a wave panic / monitor evaluation error
+    /// (`error: Some`). An erroring stop is followed by a
+    /// [`ShardRestarted`](ReportEvent::ShardRestarted): the supervisor
+    /// rebuilds the core and keeps serving.
     ShardStopped {
         /// The stopped shard.
         shard: ShardId,

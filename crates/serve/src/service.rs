@@ -1,17 +1,54 @@
-//! The multi-worker service: one thread per shard, sharded by
-//! [`SignalTable`] family, with a bounded report channel back to the
+//! The multi-worker service: one supervised thread per shard, sharded
+//! by [`SignalTable`] family, with a bounded report channel back to the
 //! operator.
+//!
+//! # Degraded, never dead
+//!
+//! Each shard worker is wrapped in a *supervisor*: a panic (or monitor
+//! evaluation error) inside a wave is caught with
+//! [`std::panic::catch_unwind`], reported as
+//! [`ReportEvent::ShardStopped`] `{error: Some(..)}`, and the shard is
+//! rebuilt from its surviving suite configuration and keeps serving —
+//! streams that were in flight are reported as
+//! [`ReportEvent::StreamEvicted`] with
+//! [`EvictReason::ShardRestart`],
+//! and a [`ReportEvent::ShardRestarted`] marks the recovery. New
+//! connects keep landing throughout.
+//!
+//! The report channel has a configurable overflow policy
+//! ([`ReportOverflow`]): lossless blocking backpressure (the default),
+//! or count-and-coalesce dropping so a stalled report consumer can
+//! never stall the fleet's monitoring.
 
-use crate::report::{ReportEvent, ShardId, StreamId};
-use crate::shard::ShardCore;
+use crate::report::{EvictReason, ReportEvent, ShardId, StreamEviction, StreamId};
+use crate::shard::{ShardConfig, ShardCore};
 use crate::source::{frame_channel, FrameSender, StreamSource};
 use esafe_logic::SignalTable;
 use esafe_monitor::SuiteTemplate;
+use std::collections::HashSet;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// What a shard worker does when the bounded report channel is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportOverflow {
+    /// Block until the consumer drains — lossless backpressure: a
+    /// consumer that stops draining stalls the fleet rather than losing
+    /// verdicts. The right policy when every verdict matters more than
+    /// liveness.
+    #[default]
+    Block,
+    /// Never block: drop the event, count it, and coalesce the count
+    /// into one [`ReportEvent::ReportsDropped`] delivered as soon as
+    /// the channel has room. The right policy for a hostile-fleet
+    /// deployment where one slow consumer must not become a
+    /// denial-of-service on the monitoring itself.
+    DropAndCount,
+}
 
 /// Service-wide knobs.
 #[derive(Debug, Clone, Copy)]
@@ -19,12 +56,22 @@ pub struct ServiceConfig {
     /// Lanes per shard — the maximum concurrent streams per signal
     /// family; further connections queue.
     pub lanes_per_shard: usize,
-    /// Capacity of the bounded report channel. Shard workers block when
-    /// it fills, so a consumer that stops draining exerts backpressure
-    /// on the whole fleet rather than losing verdicts.
+    /// Capacity of the bounded report channel.
     pub report_capacity: usize,
     /// Periodic violation-drain cadence, in waves per report pass.
     pub report_every: u64,
+    /// Stall deadline in consecutive frameless waves, after which a
+    /// stream is evicted and its lane reclaimed
+    /// ([`ShardConfig::stall_limit`]). `None` (the default) never
+    /// evicts — starved lanes are skipped each wave either way, so a
+    /// stalled producer only ever wastes its own lane.
+    pub stall_limit: Option<u64>,
+    /// How long a worker parks for control messages after a wave in
+    /// which *no* bound stream delivered a frame (all pending). Bounds
+    /// the idle spin rate; a busy shard never parks.
+    pub pending_park: Duration,
+    /// Report-channel overflow policy.
+    pub report_overflow: ReportOverflow,
 }
 
 impl Default for ServiceConfig {
@@ -33,6 +80,9 @@ impl Default for ServiceConfig {
             lanes_per_shard: 1024,
             report_capacity: 4096,
             report_every: 32,
+            stall_limit: None,
+            pending_park: Duration::from_micros(250),
+            report_overflow: ReportOverflow::Block,
         }
     }
 }
@@ -194,11 +244,11 @@ impl MonitorService {
         }
     }
 
-    /// Loads `template` into the service: spawns a new shard worker for
-    /// its signal-table family, or — when that family already has a
-    /// shard — hot-swaps the suite as the shard's next generation (live
-    /// streams finish under the generation they connected to). Returns
-    /// the shard's id.
+    /// Loads `template` into the service: spawns a new supervised shard
+    /// worker for its signal-table family, or — when that family
+    /// already has a shard — hot-swaps the suite as the shard's next
+    /// generation (live streams finish under the generation they
+    /// connected to). Returns the shard's id.
     pub fn load_suite(&mut self, template: &Arc<SuiteTemplate>) -> ShardId {
         if let Some(handle) = self
             .shards
@@ -213,17 +263,32 @@ impl MonitorService {
             return handle.id;
         }
         let id = ShardId(self.shards.len());
-        let core = ShardCore::new(
-            id,
-            template,
-            self.config.lanes_per_shard,
-            self.config.report_every,
-        );
+        let shard_config = ShardConfig {
+            width: self.config.lanes_per_shard,
+            report_every: self.config.report_every,
+            stall_limit: self.config.stall_limit,
+        };
+        let pending_park = self.config.pending_park;
         let (control_tx, control_rx) = mpsc::channel();
-        let reports = self.reports_tx.clone();
+        let reporter = Reporter {
+            shard: id,
+            tx: self.reports_tx.clone(),
+            policy: self.config.report_overflow,
+            dropped: 0,
+        };
+        let worker_template = Arc::clone(template);
         let join = std::thread::Builder::new()
             .name(format!("esafe-serve-{}", id.0))
-            .spawn(move || run_shard(core, control_rx, reports))
+            .spawn(move || {
+                run_shard(
+                    id,
+                    worker_template,
+                    shard_config,
+                    pending_park,
+                    control_rx,
+                    reporter,
+                )
+            })
             .expect("shard worker thread spawns");
         self.shards.push(ShardHandle {
             id,
@@ -316,12 +381,14 @@ impl MonitorService {
     }
 
     /// Stops every shard and returns the remaining report events (final
-    /// stream summaries, suite unloads, and one
+    /// stream summaries, suite unloads, and one clean
     /// [`ReportEvent::ShardStopped`] per shard).
     ///
-    /// Streams still blocked on a live producer keep their worker busy:
-    /// end every stream (drop its sender / close its socket) before
-    /// shutting down, or the join waits for them.
+    /// Waves never block on a producer, so shutdown completes even
+    /// while producers are still live mid-stream: their streams are
+    /// closed out at the frames observed so far and their transports
+    /// drop (a producer sees its next send fail — see
+    /// [`FrameSender::send`]).
     pub fn shutdown(self) -> Vec<ReportEvent> {
         for handle in &self.shards {
             let _ = handle.control.send(ShardMsg::Shutdown);
@@ -334,7 +401,9 @@ impl MonitorService {
         while stopped < self.shards.len() {
             match self.reports_rx.recv() {
                 Ok(event) => {
-                    if matches!(event, ReportEvent::ShardStopped { .. }) {
+                    // Only a *clean* stop ends a worker; an erroring
+                    // stop is followed by a supervisor restart.
+                    if matches!(event, ReportEvent::ShardStopped { error: None, .. }) {
                         stopped += 1;
                     }
                     events.push(event);
@@ -352,62 +421,270 @@ impl MonitorService {
     }
 }
 
-/// The worker loop: park while idle, apply control messages, advance
-/// one wave, forward events — until shutdown or a fatal monitor error.
-fn run_shard(mut core: ShardCore, control: Receiver<ShardMsg>, reports: SyncSender<ReportEvent>) {
+/// The report-channel sending half a worker holds, carrying the
+/// overflow policy: blocking (lossless) or count-and-coalesce
+/// (loss-visible, never stalls the shard).
+struct Reporter {
+    shard: ShardId,
+    tx: SyncSender<ReportEvent>,
+    policy: ReportOverflow,
+    dropped: u64,
+}
+
+/// The consumer hung up; the worker should exit.
+struct ConsumerGone;
+
+impl Reporter {
+    fn send(&mut self, event: ReportEvent) -> Result<(), ConsumerGone> {
+        match self.policy {
+            ReportOverflow::Block => self.tx.send(event).map_err(|_| ConsumerGone),
+            ReportOverflow::DropAndCount => {
+                if self.dropped > 0 {
+                    // Flush the coalesced drop count first so the
+                    // consumer learns of the gap in order.
+                    let pending = ReportEvent::ReportsDropped {
+                        shard: self.shard,
+                        dropped: self.dropped,
+                    };
+                    match self.tx.try_send(pending) {
+                        Ok(()) => self.dropped = 0,
+                        Err(mpsc::TrySendError::Full(_)) => {
+                            self.dropped += 1;
+                            return Ok(());
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => return Err(ConsumerGone),
+                    }
+                }
+                match self.tx.try_send(event) {
+                    Ok(()) => Ok(()),
+                    Err(mpsc::TrySendError::Full(_)) => {
+                        self.dropped += 1;
+                        Ok(())
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => Err(ConsumerGone),
+                }
+            }
+        }
+    }
+}
+
+/// Why one core incarnation ended.
+enum Outcome {
+    /// Clean shutdown, fully flushed — the worker exits.
+    Shutdown,
+    /// The report consumer hung up — the worker exits.
+    ConsumerGone,
+    /// The wave panicked or a monitor evaluation failed — the
+    /// supervisor rebuilds the core and keeps serving.
+    Crashed(String),
+}
+
+/// The supervised worker: runs one [`ShardCore`] incarnation at a time,
+/// and rebuilds it — with the most recently loaded suite template and
+/// fresh generation numbering — whenever a wave panics or errors.
+/// Control messages queued during a crash are preserved: they sit in
+/// the channel and apply to the rebuilt core, so connects issued around
+/// a restart still land.
+fn run_shard(
+    shard: ShardId,
+    mut template: Arc<SuiteTemplate>,
+    config: ShardConfig,
+    pending_park: Duration,
+    control: Receiver<ShardMsg>,
+    mut reporter: Reporter,
+) {
+    // Streams handed to the current core (bound or queued) and not yet
+    // closed — what a crash loses.
+    let mut live: HashSet<StreamId> = HashSet::new();
+    let mut first_generation = 0u64;
+    loop {
+        let mut core = ShardCore::new(shard, &template, config);
+        core.set_first_generation(first_generation);
+        let mut active_generation = first_generation;
+        let outcome = incarnation(
+            &mut core,
+            &mut template,
+            &mut active_generation,
+            &mut live,
+            pending_park,
+            &control,
+            &mut reporter,
+        );
+        match outcome {
+            Outcome::Shutdown | Outcome::ConsumerGone => return,
+            Outcome::Crashed(error) => {
+                // The core's state is unspecified after a panic: drop
+                // it, report the loss with provenance, and rebuild.
+                drop(core);
+                if reporter
+                    .send(ReportEvent::ShardStopped {
+                        shard,
+                        error: Some(error),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                let streams_lost = live.len();
+                for stream in live.drain() {
+                    let evicted = ReportEvent::StreamEvicted(StreamEviction {
+                        stream,
+                        shard,
+                        generation: active_generation,
+                        ticks: 0,
+                        violations: Vec::new(),
+                        reason: EvictReason::ShardRestart,
+                    });
+                    if reporter.send(evicted).is_err() {
+                        return;
+                    }
+                }
+                if reporter
+                    .send(ReportEvent::ShardRestarted {
+                        shard,
+                        streams_lost,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                // Fresh, never-reused generation numbers for the next
+                // incarnation keep verdict provenance unambiguous
+                // across the restart.
+                first_generation = active_generation + 1;
+            }
+        }
+    }
+}
+
+/// One core's life: park while idle, apply control messages, advance
+/// one wave under `catch_unwind`, forward events — until shutdown, a
+/// crash, or the consumer hanging up.
+fn incarnation(
+    core: &mut ShardCore,
+    template: &mut Arc<SuiteTemplate>,
+    active_generation: &mut u64,
+    live: &mut HashSet<StreamId>,
+    pending_park: Duration,
+    control: &Receiver<ShardMsg>,
+    reporter: &mut Reporter,
+) -> Outcome {
     let shard = core.id();
     let mut shutdown = false;
+    let mut parked = false;
     loop {
         if !shutdown && core.is_idle() {
             match control.recv() {
-                Ok(msg) => shutdown = apply(&mut core, msg),
+                Ok(msg) => shutdown = apply(core, template, active_generation, live, msg),
                 Err(_) => shutdown = true,
+            }
+        } else if !shutdown && parked {
+            // Every bound stream was pending last wave: park briefly so
+            // a fully starved shard does not spin, while staying
+            // responsive to control traffic.
+            match control.recv_timeout(pending_park) {
+                Ok(msg) => shutdown = apply(core, template, active_generation, live, msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => shutdown = true,
             }
         }
         while !shutdown {
             match control.try_recv() {
-                Ok(msg) => shutdown = apply(&mut core, msg),
+                Ok(msg) => shutdown = apply(core, template, active_generation, live, msg),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => shutdown = true,
             }
         }
         if shutdown {
             core.shutdown();
-            for event in core.take_events() {
-                if reports.send(event).is_err() {
-                    return;
+            if forward_events(core, live, reporter).is_err() {
+                return Outcome::ConsumerGone;
+            }
+            if reporter
+                .send(ReportEvent::ShardStopped { shard, error: None })
+                .is_err()
+            {
+                return Outcome::ConsumerGone;
+            }
+            return Outcome::Shutdown;
+        }
+        // The wave is the only place third-party code (stream sources)
+        // runs, so it is the unwind boundary: a panicking source takes
+        // down this core incarnation, never the worker.
+        let waved = std::panic::catch_unwind(AssertUnwindSafe(|| core.wave()));
+        match waved {
+            Ok(Ok(pulled)) => {
+                if forward_events(core, live, reporter).is_err() {
+                    return Outcome::ConsumerGone;
                 }
+                parked = pulled == 0 && !core.is_idle();
             }
-            let _ = reports.send(ReportEvent::ShardStopped { shard, error: None });
-            return;
-        }
-        let result = core.wave();
-        for event in core.take_events() {
-            if reports.send(event).is_err() {
-                return;
+            Ok(Err(err)) => {
+                // Evaluation errors leave the event log consistent up
+                // to the failing wave; flush it before restarting.
+                let _ = forward_events(core, live, reporter);
+                return Outcome::Crashed(err.to_string());
             }
-        }
-        if let Err(err) = result {
-            let _ = reports.send(ReportEvent::ShardStopped {
-                shard,
-                error: Some(err.to_string()),
-            });
-            return;
+            Err(panic) => return Outcome::Crashed(panic_message(panic.as_ref())),
         }
     }
 }
 
 /// Applies one control message; returns `true` on shutdown.
-fn apply(core: &mut ShardCore, msg: ShardMsg) -> bool {
+fn apply(
+    core: &mut ShardCore,
+    template: &mut Arc<SuiteTemplate>,
+    active_generation: &mut u64,
+    live: &mut HashSet<StreamId>,
+    msg: ShardMsg,
+) -> bool {
     match msg {
         ShardMsg::Connect { id, source } => {
             core.connect(id, source);
+            live.insert(id);
             false
         }
-        ShardMsg::Load { template } => {
-            core.load_suite(&template);
+        ShardMsg::Load {
+            template: fresh_template,
+        } => {
+            core.load_suite(&fresh_template);
+            *template = fresh_template;
+            *active_generation += 1;
             false
         }
         ShardMsg::Shutdown => true,
+    }
+}
+
+/// Drains the core's events to the report channel, keeping the
+/// supervisor's live-stream set in sync with closes and evictions.
+fn forward_events(
+    core: &mut ShardCore,
+    live: &mut HashSet<StreamId>,
+    reporter: &mut Reporter,
+) -> Result<(), ConsumerGone> {
+    for event in core.take_events() {
+        match &event {
+            ReportEvent::StreamClosed(summary) => {
+                live.remove(&summary.stream);
+            }
+            ReportEvent::StreamEvicted(eviction) => {
+                live.remove(&eviction.stream);
+            }
+            _ => {}
+        }
+        reporter.send(event)?;
+    }
+    Ok(())
+}
+
+/// Renders a caught panic payload as the `ShardStopped` error string.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("wave panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("wave panicked: {s}")
+    } else {
+        "wave panicked".to_string()
     }
 }

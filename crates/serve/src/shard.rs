@@ -2,10 +2,25 @@
 //! [`MonitorSuiteBatch`], deterministic and thread-free.
 //!
 //! A shard owns every stream of one [`SignalTable`] family. Its state
-//! machine is synchronous — [`ShardCore::wave`] advances every live
-//! stream by exactly one frame — so the service's worker thread is a
-//! thin loop around it, and property tests drive the identical code
-//! deterministically.
+//! machine is synchronous — [`ShardCore::wave`] advances each live
+//! stream by at most one frame, **never blocking** on any of them — so
+//! the service's worker thread is a thin loop around it, and property
+//! tests drive the identical code deterministically.
+//!
+//! # Loss-proof waves
+//!
+//! A wave polls every bound stream once and carries exactly the lanes
+//! that delivered a frame (a masked
+//! [`MonitorSuiteBatch::observe_slab_masked`] pass per generation).
+//! Misbehaving constituents degrade only themselves:
+//!
+//! * a **starved** lane (source answered `Pending`) is skipped with its
+//!   monitor history untouched; its stall clock counts consecutive
+//!   frameless waves and, past [`ShardConfig::stall_limit`], the stream
+//!   is evicted with provenance and the lane reclaimed;
+//! * a **corrupt** stream (transport decode failure) is quarantined:
+//!   evicted with the decoder's diagnosis, no other lane perturbed;
+//! * an **ended** stream retires its lane in place, as always.
 //!
 //! # Lanes
 //!
@@ -31,13 +46,45 @@
 //! shard without dropping a single stream, and every verdict is
 //! attributed to the generation that produced it.
 
-use crate::report::{ReportEvent, ShardId, StreamId, StreamSummary, ViolationReport};
-use crate::source::StreamSource;
+use crate::report::{
+    EvictReason, ReportEvent, ShardId, StreamEviction, StreamId, StreamSummary, StreamViolations,
+    ViolationReport,
+};
+use crate::source::{Poll, StreamSource};
 use esafe_harness::LaneAllocator;
 use esafe_logic::{Frame, FrameBatch, SignalTable};
 use esafe_monitor::{BatchMonitorError, MonitorSuiteBatch, SuiteTemplate};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Per-shard robustness knobs, shared by [`ShardCore::new`] and the
+/// service's worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Lane count — the maximum concurrent streams; further connections
+    /// queue.
+    pub width: usize,
+    /// Periodic violation-drain cadence, in waves per report pass.
+    pub report_every: u64,
+    /// Stall deadline: a bound stream that answers
+    /// [`Poll::Pending`] for this many
+    /// *consecutive* waves is evicted
+    /// ([`ReportEvent::StreamEvicted`] with
+    /// [`EvictReason::Stalled`]) and its lane reclaimed. `None` disables
+    /// eviction: a starved lane is still skipped every wave (it can
+    /// never stall the shard), it just stays bound forever.
+    pub stall_limit: Option<u64>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            width: 1024,
+            report_every: 32,
+            stall_limit: None,
+        }
+    }
+}
 
 /// One loaded suite generation: its batch plus the count of lanes it
 /// still monitors.
@@ -63,12 +110,15 @@ impl SuiteSlot {
     }
 }
 
-/// A stream bound to a lane: its identity, its frame source, and the
-/// suite generation monitoring it.
+/// A stream bound to a lane: its identity, its frame source, the suite
+/// generation monitoring it, and its stall clock.
 struct LaneStream {
     id: StreamId,
     source: Box<dyn StreamSource>,
     generation: u64,
+    /// Consecutive waves the source has answered `Pending`; reset to 0
+    /// by every delivered frame.
+    stalled_waves: u64,
 }
 
 impl std::fmt::Debug for LaneStream {
@@ -76,6 +126,7 @@ impl std::fmt::Debug for LaneStream {
         f.debug_struct("LaneStream")
             .field("id", &self.id)
             .field("generation", &self.generation)
+            .field("stalled_waves", &self.stalled_waves)
             .finish_non_exhaustive()
     }
 }
@@ -104,6 +155,10 @@ pub struct ShardCore {
     next_generation: u64,
     pending: VecDeque<PendingStream>,
     report_every: u64,
+    stall_limit: Option<u64>,
+    /// Reusable per-wave liveness mask: `live[lane]` is true iff the
+    /// lane's stream delivered a frame this wave.
+    live: Vec<bool>,
     waves: u64,
     events: Vec<ReportEvent>,
 }
@@ -121,16 +176,26 @@ impl std::fmt::Debug for ShardCore {
 }
 
 impl ShardCore {
-    /// Loads and activates generation 0 of `template` over `width`
-    /// lanes. `report_every` sets the periodic violation-drain cadence
-    /// in waves (1 = report closed intervals every wave).
+    /// Loads and activates generation 0 of `template` over
+    /// `config.width` lanes, with `config.report_every` as the periodic
+    /// violation-drain cadence in waves (1 = report closed intervals
+    /// every wave) and `config.stall_limit` as the eviction deadline.
     ///
     /// # Panics
     ///
-    /// Panics if `width` or `report_every` is zero.
-    pub fn new(shard: ShardId, template: &SuiteTemplate, width: usize, report_every: u64) -> Self {
-        assert!(width > 0, "a shard needs at least one lane");
-        assert!(report_every > 0, "the report cadence must be nonzero");
+    /// Panics if `config.width`, `config.report_every`, or a provided
+    /// `config.stall_limit` is zero.
+    pub fn new(shard: ShardId, template: &SuiteTemplate, config: ShardConfig) -> Self {
+        assert!(config.width > 0, "a shard needs at least one lane");
+        assert!(
+            config.report_every > 0,
+            "the report cadence must be nonzero"
+        );
+        assert!(
+            config.stall_limit != Some(0),
+            "a zero stall deadline would evict every stream instantly"
+        );
+        let width = config.width;
         let table = template.table().clone();
         ShardCore {
             shard,
@@ -142,7 +207,9 @@ impl ShardCore {
             draining: Vec::new(),
             next_generation: 1,
             pending: VecDeque::new(),
-            report_every,
+            report_every: config.report_every,
+            stall_limit: config.stall_limit,
+            live: vec![false; width],
             waves: 0,
             events: Vec::new(),
             table,
@@ -152,6 +219,25 @@ impl ShardCore {
     /// This shard's id.
     pub fn id(&self) -> ShardId {
         self.shard
+    }
+
+    /// Renumbers the freshly built core so its generations continue
+    /// from `first` instead of 0 — the service's supervisor uses this
+    /// after a restart so generation numbers are never reused across
+    /// core incarnations and verdict provenance stays unambiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stream has already connected or a suite swap has
+    /// already happened: renumbering is only sound on a pristine core.
+    pub fn set_first_generation(&mut self, first: u64) {
+        assert!(
+            self.lanes.in_use() == 0 && self.pending.is_empty() && self.draining.is_empty(),
+            "generations renumber only on a pristine core"
+        );
+        self.active.generation = first;
+        self.active.batch.set_generation(first);
+        self.next_generation = first + 1;
     }
 
     /// The signal-table family this shard serves.
@@ -230,45 +316,71 @@ impl ShardCore {
         self.admit_pending();
     }
 
-    /// Advances every live stream by one frame: admits queued
-    /// connections onto free lanes, pulls one frame per bound stream
-    /// (retiring streams whose source ended), runs one batched observe
-    /// pass per generation with bound streams, and — every
-    /// `report_every` waves — drains newly closed violation intervals
+    /// Advances the shard by one lockstep wave: admits queued
+    /// connections onto free lanes, polls one frame per bound stream —
+    /// **without blocking** — and runs one *masked* batched observe
+    /// pass per generation carrying exactly the lanes that delivered a
+    /// frame. Streams that answered
+    /// [`Poll::Pending`] are skipped (and
+    /// evicted once their stall streak passes the configured deadline),
+    /// streams that ended are retired, and streams that answered
+    /// [`Poll::Corrupt`] are quarantined
+    /// — all without perturbing any other lane's verdicts. Every
+    /// `report_every` waves the newly closed violation intervals drain
     /// into [`ReportEvent::Violations`]. Returns the number of frames
-    /// observed (0 when the shard is empty).
+    /// observed (0 when the shard is empty or every stream is pending —
+    /// the caller may briefly park before the next wave).
     ///
     /// # Errors
     ///
-    /// A monitor evaluation error is fatal for the shard, exactly as it
-    /// is for a scalar suite: the caller should report it and stop.
+    /// A monitor evaluation error is fatal for this core, exactly as it
+    /// is for a scalar suite: the caller should report it and rebuild
+    /// (the service's supervisor restarts the shard).
     pub fn wave(&mut self) -> Result<usize, BatchMonitorError> {
         self.admit_pending();
         if self.lanes.in_use() == 0 {
             return Ok(0);
         }
         let width = self.lanes.lanes();
+        self.live[..width].fill(false);
         let mut pulled = 0usize;
         for lane in 0..width {
             let Some(stream) = self.streams[lane].as_mut() else {
                 continue;
             };
-            if stream.source.next_frame(&mut self.scratch) {
-                self.slab.write_lane_from(lane, &self.scratch);
-                pulled += 1;
-            } else {
-                self.retire(lane);
+            match stream.source.poll_frame(&mut self.scratch) {
+                Poll::Frame => {
+                    stream.stalled_waves = 0;
+                    self.slab.write_lane_from(lane, &self.scratch);
+                    self.live[lane] = true;
+                    pulled += 1;
+                }
+                Poll::Pending => {
+                    stream.stalled_waves += 1;
+                    if let Some(limit) = self.stall_limit {
+                        if stream.stalled_waves >= limit {
+                            let waves = stream.stalled_waves;
+                            self.evict(lane, EvictReason::Stalled { waves });
+                        }
+                    }
+                }
+                Poll::End => self.retire(lane),
+                Poll::Corrupt(detail) => {
+                    self.evict(lane, EvictReason::Corrupt { detail });
+                }
             }
         }
         if pulled == 0 {
             return Ok(0);
         }
         if self.active.occupied > 0 {
-            self.active.batch.observe_slab(&self.slab)?;
+            self.active
+                .batch
+                .observe_slab_masked(&self.slab, &self.live)?;
         }
         for slot in &mut self.draining {
             if slot.occupied > 0 {
-                slot.batch.observe_slab(&self.slab)?;
+                slot.batch.observe_slab_masked(&self.slab, &self.live)?;
             }
         }
         self.waves += 1;
@@ -324,43 +436,78 @@ impl ShardCore {
                 id: pending.id,
                 source: pending.source,
                 generation: self.active.generation,
+                stalled_waves: 0,
             });
         }
     }
 
-    /// Ends the stream on `lane`: retires the lane in its generation's
-    /// batch (closing open intervals at the stream's true end), emits
-    /// its [`StreamSummary`], releases the lane for reuse, and unloads
-    /// the generation if this was its last stream while draining.
+    /// Ends the stream on `lane` cleanly: closes out the lane and emits
+    /// the stream's [`StreamSummary`].
     fn retire(&mut self, lane: usize) {
+        let (stream, ticks, violations) = self.close_lane(lane);
+        self.events.push(ReportEvent::StreamClosed(StreamSummary {
+            stream: stream.id,
+            shard: self.shard,
+            generation: stream.generation,
+            ticks,
+            violations,
+        }));
+        self.unload_if_drained(stream.generation);
+    }
+
+    /// Forcibly removes the stream on `lane` — stalled past the
+    /// deadline or quarantined as corrupt — closing out the lane
+    /// exactly like a clean end (open intervals close at the last
+    /// observed tick) but emitting [`ReportEvent::StreamEvicted`] with
+    /// the reason as provenance. Dropping the boxed source closes the
+    /// transport, so the producer observes the eviction as a
+    /// disconnect.
+    fn evict(&mut self, lane: usize, reason: EvictReason) {
+        let (stream, ticks, violations) = self.close_lane(lane);
+        self.events.push(ReportEvent::StreamEvicted(StreamEviction {
+            stream: stream.id,
+            shard: self.shard,
+            generation: stream.generation,
+            ticks,
+            violations,
+            reason,
+        }));
+        self.unload_if_drained(stream.generation);
+    }
+
+    /// The shared lane close-out: retires the lane in its generation's
+    /// batch (closing open intervals at the stream's true end), drains
+    /// its violations, and releases the lane for reuse. Returns the
+    /// unbound stream and its final record.
+    fn close_lane(&mut self, lane: usize) -> (LaneStream, u64, StreamViolations) {
         let stream = self.streams[lane]
             .take()
-            .expect("retire needs a bound lane");
-        let shard = self.shard;
+            .expect("close_lane needs a bound lane");
         let slot = self.slot_mut(stream.generation);
         slot.batch.retire_lane(lane);
         let ticks = slot.batch.steps_observed(lane);
         let violations = slot.batch.take_violations_lane(lane);
         slot.occupied -= 1;
-        let drained = slot.occupied == 0;
-        self.events.push(ReportEvent::StreamClosed(StreamSummary {
-            stream: stream.id,
-            shard,
-            generation: stream.generation,
-            ticks,
-            violations,
-        }));
         self.lanes.release(lane);
-        if drained && stream.generation != self.active.generation {
-            let idx = self
-                .draining
-                .iter()
-                .position(|s| s.generation == stream.generation)
-                .expect("a non-active generation drains in the draining set");
+        (stream, ticks, violations)
+    }
+
+    /// Unloads `generation` if it is draining and its last stream just
+    /// closed.
+    fn unload_if_drained(&mut self, generation: u64) {
+        if generation == self.active.generation {
+            return;
+        }
+        let idx = self
+            .draining
+            .iter()
+            .position(|s| s.generation == generation)
+            .expect("a non-active generation drains in the draining set");
+        if self.draining[idx].occupied == 0 {
             self.draining.remove(idx);
             self.events.push(ReportEvent::SuiteUnloaded {
                 shard: self.shard,
-                generation: stream.generation,
+                generation,
             });
         }
     }

@@ -1,30 +1,58 @@
-//! Stream ingestion: the [`StreamSource`] trait and the in-process
-//! channel transport.
+//! Stream ingestion: the non-blocking [`StreamSource`] trait and the
+//! in-process channel transport.
 //!
-//! A *stream* is one live run's frame sequence. The service pulls
-//! frames — one per shard wave — through the [`StreamSource`] trait, so
-//! the transport is pluggable: the primary in-process transport is a
-//! bounded std [`mpsc`] channel ([`frame_channel`]), the optional wire
-//! transport is length-prefixed TCP ([`crate::tcp`]), and benchmarks
-//! drive shards directly with an allocation-free [`ReplaySource`].
+//! A *stream* is one live run's frame sequence. The service polls
+//! frames — one attempt per shard wave — through the [`StreamSource`]
+//! trait, so the transport is pluggable: the primary in-process
+//! transport is a bounded std [`mpsc`] channel ([`frame_channel`]), the
+//! optional wire transport is length-prefixed TCP ([`crate::tcp`]), and
+//! benchmarks drive shards directly with an allocation-free
+//! [`ReplaySource`].
+//!
+//! Polling **never blocks**: a source with no frame ready answers
+//! [`Poll::Pending`] and the wave moves on without it, so one stalled
+//! or malicious producer cannot freeze the shard's other streams. The
+//! shard's per-stream stall clock counts consecutive `Pending` waves
+//! and evicts the stream once a configured deadline passes (see
+//! [`crate::shard::ShardConfig::stall_limit`]).
 
 use esafe_logic::Frame;
-use std::sync::mpsc;
+use std::sync::mpsc::{self, TryRecvError};
 use std::sync::Arc;
 
-/// One live run's frame feed, pulled by the owning shard.
+/// The outcome of one non-blocking frame poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Poll {
+    /// The stream's next frame was written into the caller's buffer.
+    Frame,
+    /// No frame is available *yet*; the stream is still alive. The wave
+    /// skips this stream and its stall clock advances.
+    Pending,
+    /// The stream ended cleanly: its lane is retired, its final
+    /// violations are reported, and the lane is reused.
+    End,
+    /// The stream produced data the transport could not decode (or hit
+    /// a transport-fatal error). The shard *quarantines* the stream —
+    /// evicts it with the detail as provenance — without disturbing any
+    /// other stream.
+    Corrupt(String),
+}
+
+/// One live run's frame feed, polled by the owning shard.
 ///
-/// `next_frame` is called once per shard wave and may block until the
-/// producer's next frame is available — a shard advances its streams in
-/// lockstep, so the wave runs at the pace of its slowest stream.
-/// Returning `false` ends the stream: the shard retires its lane,
-/// reports its final violations, and reuses the lane for the next
-/// connection.
+/// `poll_frame` is called at most once per shard wave and must **not**
+/// block: return [`Poll::Pending`] when the next frame is not ready.
+/// A shard advances its streams in lockstep waves, but a wave only
+/// carries the lanes whose sources yielded a frame — starved lanes are
+/// skipped, not waited for.
 pub trait StreamSource: Send {
-    /// Writes the stream's next frame into `frame` and returns `true`,
-    /// or returns `false` (leaving `frame` untouched) when the stream
-    /// has ended.
-    fn next_frame(&mut self, frame: &mut Frame) -> bool;
+    /// Attempts to write the stream's next frame into `frame`.
+    ///
+    /// On [`Poll::Frame`] the buffer holds the next frame; on any other
+    /// outcome the buffer's contents are unspecified and must not be
+    /// observed. After [`Poll::End`] or [`Poll::Corrupt`] the source is
+    /// never polled again.
+    fn poll_frame(&mut self, frame: &mut Frame) -> Poll;
 }
 
 /// The producing half of the in-process transport: send one [`Frame`]
@@ -41,27 +69,47 @@ impl FrameSender {
     ///
     /// # Errors
     ///
-    /// Returns the frame back if the consuming shard has shut down.
+    /// Returns the frame back if the consuming shard has shut down or
+    /// evicted the stream. A producer replaying a recorded run on its
+    /// own thread should treat the error as "consumer gone" and end its
+    /// replay gracefully rather than unwrapping — the service evicting
+    /// a stalled stream, restarting a shard, or shutting down are all
+    /// normal lifecycle events, not producer bugs.
     pub fn send(&self, frame: Frame) -> Result<(), Frame> {
         self.tx.send(frame).map_err(|e| e.0)
+    }
+
+    /// Replays every frame of `trace` in order, stopping early —
+    /// gracefully, without panicking — if the consuming shard goes away
+    /// mid-replay. Returns the number of frames delivered.
+    pub fn replay<'a>(&self, trace: impl IntoIterator<Item = &'a Frame>) -> usize {
+        let mut sent = 0;
+        for frame in trace {
+            if self.send(frame.clone()).is_err() {
+                break;
+            }
+            sent += 1;
+        }
+        sent
     }
 }
 
 /// The consuming half of the in-process transport; implements
-/// [`StreamSource`] by blocking on the channel.
+/// [`StreamSource`] by polling the channel.
 #[derive(Debug)]
 pub struct ChannelSource {
     rx: mpsc::Receiver<Frame>,
 }
 
 impl StreamSource for ChannelSource {
-    fn next_frame(&mut self, frame: &mut Frame) -> bool {
-        match self.rx.recv() {
+    fn poll_frame(&mut self, frame: &mut Frame) -> Poll {
+        match self.rx.try_recv() {
             Ok(next) => {
                 *frame = next;
-                true
+                Poll::Frame
             }
-            Err(_) => false,
+            Err(TryRecvError::Empty) => Poll::Pending,
+            Err(TryRecvError::Disconnected) => Poll::End,
         }
     }
 }
@@ -75,10 +123,10 @@ pub fn frame_channel(capacity: usize) -> (FrameSender, ChannelSource) {
     (FrameSender { tx }, ChannelSource { rx })
 }
 
-/// A non-blocking source replaying a shared recorded trace — the
-/// fleet-benchmark workload: thousands of concurrent streams share one
-/// `Arc`'d trace, each starting at its own offset, with zero per-tick
-/// allocation and no producer threads.
+/// A source replaying a shared recorded trace — the fleet-benchmark
+/// workload: thousands of concurrent streams share one `Arc`'d trace,
+/// each starting at its own offset, with zero per-tick allocation and
+/// no producer threads. Always ready: never answers [`Poll::Pending`].
 #[derive(Debug, Clone)]
 pub struct ReplaySource {
     trace: Arc<Vec<Frame>>,
@@ -105,9 +153,9 @@ impl ReplaySource {
 }
 
 impl StreamSource for ReplaySource {
-    fn next_frame(&mut self, frame: &mut Frame) -> bool {
+    fn poll_frame(&mut self, frame: &mut Frame) -> Poll {
         if self.remaining == 0 {
-            return false;
+            return Poll::End;
         }
         self.remaining -= 1;
         frame.copy_from(&self.trace[self.cursor]);
@@ -115,7 +163,7 @@ impl StreamSource for ReplaySource {
         if self.cursor == self.trace.len() {
             self.cursor = 0;
         }
-        true
+        Poll::Frame
     }
 }
 
@@ -138,12 +186,56 @@ mod tests {
         drop(tx);
         let mut scratch = table.frame();
         for v in 0..3 {
-            assert!(src.next_frame(&mut scratch));
+            assert_eq!(src.poll_frame(&mut scratch), Poll::Frame);
             assert_eq!(scratch.real_or(x, -1.0), f64::from(v));
         }
-        assert!(
-            !src.next_frame(&mut scratch),
+        assert_eq!(
+            src.poll_frame(&mut scratch),
+            Poll::End,
             "dropped sender ends the stream"
+        );
+    }
+
+    #[test]
+    fn channel_source_pends_without_blocking() {
+        let mut b = SignalTable::builder();
+        let x = b.real("x");
+        let table = b.finish();
+        let (tx, mut src) = frame_channel(4);
+        let mut scratch = table.frame();
+        assert_eq!(
+            src.poll_frame(&mut scratch),
+            Poll::Pending,
+            "an empty live channel must answer Pending, not block"
+        );
+        let mut f = table.frame();
+        f.set(x, 7.0);
+        tx.send(f).unwrap();
+        assert_eq!(src.poll_frame(&mut scratch), Poll::Frame);
+        assert_eq!(scratch.real_or(x, -1.0), 7.0);
+        assert_eq!(src.poll_frame(&mut scratch), Poll::Pending);
+    }
+
+    #[test]
+    fn sender_replay_ends_gracefully_when_receiver_drops() {
+        let mut b = SignalTable::builder();
+        let x = b.real("x");
+        let table = b.finish();
+        let (tx, src) = frame_channel(2);
+        let trace: Vec<Frame> = (0..8)
+            .map(|v| {
+                let mut f = table.frame();
+                f.set(x, f64::from(v));
+                f
+            })
+            .collect();
+        // The consumer goes away mid-replay (eviction, restart, or
+        // shutdown): the producer must stop, not panic.
+        drop(src);
+        let delivered = tx.replay(&trace);
+        assert!(
+            delivered <= 2,
+            "at most the channel capacity can have been accepted"
         );
     }
 
@@ -162,7 +254,7 @@ mod tests {
         let mut src = ReplaySource::new(Arc::new(trace), 2, 5);
         let mut scratch = table.frame();
         let mut seen = Vec::new();
-        while src.next_frame(&mut scratch) {
+        while src.poll_frame(&mut scratch) == Poll::Frame {
             seen.push(scratch.real_or(x, -1.0));
         }
         assert_eq!(seen, vec![2.0, 0.0, 1.0, 2.0, 0.0]);

@@ -19,13 +19,40 @@
 //!
 //! Signals travel by *name* (and symbols by text), so producer and
 //! service only need to agree on the signal namespace, not on interned
-//! ids. A connection closing between messages ends the stream cleanly;
-//! closing mid-message (or naming an undeclared signal) ends it as an
-//! error — which, for the monitoring shard, also just ends the stream.
+//! ids.
+//!
+//! # Hostile-peer budget
+//!
+//! Every length field is validated against an explicit budget **before
+//! any allocation or loop it sizes**, so a hostile peer cannot make the
+//! service allocate from attacker-controlled numbers:
+//!
+//! * [`MAX_FRAME_BYTES`] caps the message payload (the `u32` prefix is
+//!   checked before the payload buffer is sized);
+//! * [`MAX_FRAME_SIGNALS`] caps the per-frame signal count (checked
+//!   before the decode loop trusts it);
+//! * [`MAX_NAME_BYTES`] / [`MAX_SYMBOL_BYTES`] cap the embedded string
+//!   fields.
+//!
+//! A violation is a [`DecodeError`], and for a connected stream it
+//! becomes [`Poll::Corrupt`]: the shard *quarantines* that one stream —
+//! eviction with the decoder's diagnosis as provenance — and every
+//! other stream is untouched.
+//!
+//! # Non-blocking ingestion
+//!
+//! [`TcpSource`] reads the socket in non-blocking mode and accumulates
+//! partial messages across polls: a slow (or slow-loris) peer yields
+//! [`Poll::Pending`], never a blocked shard. The shard's per-stream
+//! stall clock counts those pending waves, so a peer that trickles
+//! bytes forever is evicted by the ordinary stall deadline
+//! ([`ShardConfig::stall_limit`](crate::shard::ShardConfig::stall_limit))
+//! — the wire transport needs no separate read timeout.
 
 use crate::service::ShardConnector;
+use crate::source::{Poll, StreamSource};
 use esafe_logic::{Frame, Value};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -36,18 +63,131 @@ const TAG_INT: u8 = 1;
 const TAG_REAL: u8 = 2;
 const TAG_SYM: u8 = 3;
 
+/// The largest message payload the decoder will buffer, checked against
+/// the length prefix *before* the payload allocation. Generous: a frame
+/// of [`MAX_FRAME_SIGNALS`] max-size real signals fits with room to
+/// spare.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// The most signals one frame may carry, checked before the decode loop
+/// trusts the wire's count field.
+pub const MAX_FRAME_SIGNALS: u32 = 4096;
+
+/// The longest signal name on the wire.
+pub const MAX_NAME_BYTES: usize = 256;
+
+/// The longest symbol value on the wire.
+pub const MAX_SYMBOL_BYTES: usize = 4096;
+
+/// Why a wire message failed to decode. Carried to the operator as the
+/// `detail` of an [`EvictReason::Corrupt`](crate::report::EvictReason::Corrupt)
+/// quarantine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`]; rejected before
+    /// the payload buffer is sized.
+    FrameTooLarge {
+        /// The prefix's claimed payload length.
+        len: usize,
+    },
+    /// The signal count exceeds [`MAX_FRAME_SIGNALS`]; rejected before
+    /// the decode loop runs.
+    TooManySignals {
+        /// The claimed signal count.
+        count: u32,
+    },
+    /// A signal-name length exceeds [`MAX_NAME_BYTES`].
+    NameTooLong {
+        /// The claimed name length.
+        len: usize,
+    },
+    /// A symbol length exceeds [`MAX_SYMBOL_BYTES`].
+    SymbolTooLong {
+        /// The claimed symbol length.
+        len: usize,
+    },
+    /// A length field points past the end of the payload.
+    Truncated,
+    /// A name or symbol is not valid UTF-8.
+    BadUtf8,
+    /// The named signal is not declared in the shard's table.
+    UndeclaredSignal {
+        /// The undeclared name.
+        name: String,
+    },
+    /// An unknown value tag.
+    UnknownTag {
+        /// The tag byte.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::FrameTooLarge { len } => write!(
+                f,
+                "frame payload of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte budget"
+            ),
+            DecodeError::TooManySignals { count } => write!(
+                f,
+                "frame claims {count} signals, over the {MAX_FRAME_SIGNALS}-signal budget"
+            ),
+            DecodeError::NameTooLong { len } => write!(
+                f,
+                "signal name of {len} bytes exceeds the {MAX_NAME_BYTES}-byte budget"
+            ),
+            DecodeError::SymbolTooLong { len } => write!(
+                f,
+                "symbol of {len} bytes exceeds the {MAX_SYMBOL_BYTES}-byte budget"
+            ),
+            DecodeError::Truncated => write!(f, "message payload truncated"),
+            DecodeError::BadUtf8 => write!(f, "name or symbol is not valid UTF-8"),
+            DecodeError::UndeclaredSignal { name } => {
+                write!(f, "signal `{name}` is not declared in the shard's table")
+            }
+            DecodeError::UnknownTag { tag } => write!(f, "unknown value tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for io::Error {
+    fn from(err: DecodeError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, err)
+    }
+}
+
 /// Encodes one frame as a length-prefixed message.
 ///
 /// # Errors
 ///
-/// Propagates writer errors.
+/// `InvalidInput` if the frame would violate the decode budget (a
+/// symbol over [`MAX_SYMBOL_BYTES`], a name over [`MAX_NAME_BYTES`],
+/// more than [`MAX_FRAME_SIGNALS`] signals, or a payload over
+/// [`MAX_FRAME_BYTES`]) — such a message would be rejected by every
+/// compliant decoder, so it is never put on the wire. Otherwise
+/// propagates writer errors.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let reject = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
     let table = frame.table();
     let mut payload = Vec::with_capacity(frame.len() * 16);
     let count = frame.iter().count() as u32;
+    if count > MAX_FRAME_SIGNALS {
+        return Err(reject(format!(
+            "frame has {count} signals, over the {MAX_FRAME_SIGNALS}-signal wire budget"
+        )));
+    }
     payload.extend_from_slice(&count.to_be_bytes());
     for (id, value) in frame.iter() {
         let name = table.name(id).as_bytes();
+        if name.len() > MAX_NAME_BYTES {
+            return Err(reject(format!(
+                "signal name of {} bytes exceeds the {MAX_NAME_BYTES}-byte wire budget",
+                name.len()
+            )));
+        }
         payload.extend_from_slice(&(name.len() as u16).to_be_bytes());
         payload.extend_from_slice(name);
         match value {
@@ -66,69 +206,104 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
             Value::Sym(s) => {
                 payload.push(TAG_SYM);
                 let text = s.as_str().as_bytes();
+                if text.len() > MAX_SYMBOL_BYTES {
+                    return Err(reject(format!(
+                        "symbol of {} bytes exceeds the {MAX_SYMBOL_BYTES}-byte wire budget",
+                        text.len()
+                    )));
+                }
                 payload.extend_from_slice(&(text.len() as u16).to_be_bytes());
                 payload.extend_from_slice(text);
             }
         }
     }
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(reject(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES}-byte wire budget",
+            payload.len()
+        )));
+    }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(&payload)
 }
 
-/// Decodes the next message into `frame` (cleared first), resolving
-/// signal names against the frame's table. Returns `Ok(false)` on a
-/// clean end of stream (EOF at a message boundary).
+/// Decodes one complete message payload into `frame` (cleared first),
+/// resolving signal names against the frame's table. Every length field
+/// is budget-checked before it sizes a read, so arbitrary payload bytes
+/// can never cause a panic or an oversized allocation — only a
+/// [`DecodeError`].
 ///
 /// # Errors
 ///
-/// `InvalidData` on an undeclared signal name, unknown value tag, or
-/// malformed UTF-8; `UnexpectedEof` when the stream ends mid-message.
+/// Any [`DecodeError`]; on error the frame's contents are unspecified.
+pub fn decode_payload(payload: &[u8], frame: &mut Frame) -> Result<(), DecodeError> {
+    let mut cursor = payload;
+    let count = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("took 4"));
+    if count > MAX_FRAME_SIGNALS {
+        return Err(DecodeError::TooManySignals { count });
+    }
+    frame.clear();
+    for _ in 0..count {
+        let name_len =
+            u16::from_be_bytes(take(&mut cursor, 2)?.try_into().expect("took 2")) as usize;
+        if name_len > MAX_NAME_BYTES {
+            return Err(DecodeError::NameTooLong { len: name_len });
+        }
+        let name =
+            std::str::from_utf8(take(&mut cursor, name_len)?).map_err(|_| DecodeError::BadUtf8)?;
+        let id = frame
+            .table()
+            .id(name)
+            .ok_or_else(|| DecodeError::UndeclaredSignal {
+                name: name.to_string(),
+            })?;
+        let tag = take(&mut cursor, 1)?[0];
+        let value = match tag {
+            TAG_BOOL => Value::Bool(take(&mut cursor, 1)?[0] != 0),
+            TAG_INT => Value::Int(i64::from_le_bytes(
+                take(&mut cursor, 8)?.try_into().expect("took 8"),
+            )),
+            TAG_REAL => Value::Real(f64::from_bits(u64::from_le_bytes(
+                take(&mut cursor, 8)?.try_into().expect("took 8"),
+            ))),
+            TAG_SYM => {
+                let sym_len =
+                    u16::from_be_bytes(take(&mut cursor, 2)?.try_into().expect("took 2")) as usize;
+                if sym_len > MAX_SYMBOL_BYTES {
+                    return Err(DecodeError::SymbolTooLong { len: sym_len });
+                }
+                let text = std::str::from_utf8(take(&mut cursor, sym_len)?)
+                    .map_err(|_| DecodeError::BadUtf8)?;
+                Value::sym(text)
+            }
+            other => return Err(DecodeError::UnknownTag { tag: other }),
+        };
+        frame.set(id, value);
+    }
+    Ok(())
+}
+
+/// Decodes the next message from a blocking reader into `frame`.
+/// Returns `Ok(false)` on a clean end of stream (EOF at a message
+/// boundary). The tooling-side counterpart of [`TcpSource`]'s
+/// non-blocking ingestion; both share [`decode_payload`].
+///
+/// # Errors
+///
+/// `InvalidData` wrapping the [`DecodeError`] on a budget violation or
+/// malformed payload; `UnexpectedEof` when the stream ends mid-message.
 pub fn read_frame(r: &mut impl Read, frame: &mut Frame) -> io::Result<bool> {
     let mut header = [0u8; 4];
     if !read_exact_or_eof(r, &mut header)? {
         return Ok(false);
     }
     let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(DecodeError::FrameTooLarge { len }.into());
+    }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    let mut cursor = &payload[..];
-    let count = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().unwrap());
-    frame.clear();
-    for _ in 0..count {
-        let name_len = u16::from_be_bytes(take(&mut cursor, 2)?.try_into().unwrap()) as usize;
-        let name = std::str::from_utf8(take(&mut cursor, name_len)?)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let id = frame.table().id(name).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("signal `{name}` is not declared in the shard's table"),
-            )
-        })?;
-        let tag = take(&mut cursor, 1)?[0];
-        let value = match tag {
-            TAG_BOOL => Value::Bool(take(&mut cursor, 1)?[0] != 0),
-            TAG_INT => Value::Int(i64::from_le_bytes(
-                take(&mut cursor, 8)?.try_into().unwrap(),
-            )),
-            TAG_REAL => Value::Real(f64::from_bits(u64::from_le_bytes(
-                take(&mut cursor, 8)?.try_into().unwrap(),
-            ))),
-            TAG_SYM => {
-                let sym_len =
-                    u16::from_be_bytes(take(&mut cursor, 2)?.try_into().unwrap()) as usize;
-                let text = std::str::from_utf8(take(&mut cursor, sym_len)?)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                Value::sym(text)
-            }
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unknown value tag {other}"),
-                ))
-            }
-        };
-        frame.set(id, value);
-    }
+    decode_payload(&payload, frame)?;
     Ok(true)
 }
 
@@ -151,12 +326,9 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
     Ok(true)
 }
 
-fn take<'a>(cursor: &mut &'a [u8], n: usize) -> io::Result<&'a [u8]> {
+fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
     if cursor.len() < n {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "message payload truncated",
-        ));
+        return Err(DecodeError::Truncated);
     }
     let (head, rest) = cursor.split_at(n);
     *cursor = rest;
@@ -197,28 +369,122 @@ impl TcpFrameSender {
     }
 }
 
-/// A connected inbound TCP stream as a [`StreamSource`]: each shard
-/// wave reads one length-prefixed frame. Any socket error — including
-/// an abrupt disconnect mid-message — ends the stream.
+/// Where the source is in the current wire message.
+#[derive(Debug)]
+enum WireStage {
+    /// Accumulating the 4-byte length prefix.
+    Header,
+    /// Accumulating a payload of the already-validated length.
+    Payload,
+    /// `End` or `Corrupt` was returned; the source is inert.
+    Done,
+}
+
+/// A connected inbound TCP stream as a non-blocking [`StreamSource`]:
+/// the socket is in non-blocking mode and each poll reads whatever
+/// bytes are available, accumulating partial messages across waves.
 ///
-/// [`StreamSource`]: crate::StreamSource
+/// * a complete message decodes into the wave's frame ([`Poll::Frame`]);
+/// * no complete message yet is [`Poll::Pending`] — the shard's stall
+///   clock handles peers that trickle or go quiet;
+/// * EOF at a message boundary is a clean [`Poll::End`];
+/// * EOF mid-message, a socket error, a length prefix over budget, or
+///   an undecodable payload is [`Poll::Corrupt`] with the diagnosis —
+///   the shard quarantines this stream and no other.
 #[derive(Debug)]
 pub struct TcpSource {
-    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    stage: WireStage,
+    /// The accumulation buffer for the current stage (header bytes,
+    /// then payload bytes); `filled` of `buf.len()` are valid.
+    buf: Vec<u8>,
+    filled: usize,
 }
 
 impl TcpSource {
-    /// Wraps an accepted connection.
-    pub fn new(stream: TcpStream) -> Self {
-        TcpSource {
-            reader: BufReader::new(stream),
+    /// Wraps an accepted connection, switching it to non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `set_nonblocking` failure.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(TcpSource {
+            stream,
+            stage: WireStage::Header,
+            buf: vec![0u8; 4],
+            filled: 0,
+        })
+    }
+
+    /// Reads available bytes into the current stage's buffer. Returns
+    /// `Some(poll)` when polling must stop (pending, end, or corrupt);
+    /// `None` when the stage's buffer is complete.
+    fn fill_stage(&mut self) -> Option<Poll> {
+        while self.filled < self.buf.len() {
+            match self.stream.read(&mut self.buf[self.filled..]) {
+                Ok(0) => {
+                    return if self.filled == 0 && matches!(self.stage, WireStage::Header) {
+                        self.stage = WireStage::Done;
+                        Some(Poll::End)
+                    } else {
+                        self.stage = WireStage::Done;
+                        Some(Poll::Corrupt("connection closed mid-message".to_string()))
+                    };
+                }
+                Ok(n) => self.filled += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Some(Poll::Pending),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.stage = WireStage::Done;
+                    return Some(Poll::Corrupt(format!("socket error: {e}")));
+                }
+            }
         }
+        None
     }
 }
 
-impl crate::source::StreamSource for TcpSource {
-    fn next_frame(&mut self, frame: &mut Frame) -> bool {
-        matches!(read_frame(&mut self.reader, frame), Ok(true))
+impl StreamSource for TcpSource {
+    fn poll_frame(&mut self, frame: &mut Frame) -> Poll {
+        loop {
+            match self.stage {
+                WireStage::Done => return Poll::End,
+                WireStage::Header => {
+                    if let Some(poll) = self.fill_stage() {
+                        return poll;
+                    }
+                    let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4-byte header"))
+                        as usize;
+                    // Budget check BEFORE the attacker-sized resize.
+                    if len > MAX_FRAME_BYTES {
+                        self.stage = WireStage::Done;
+                        return Poll::Corrupt(DecodeError::FrameTooLarge { len }.to_string());
+                    }
+                    self.stage = WireStage::Payload;
+                    self.buf.clear();
+                    self.buf.resize(len, 0);
+                    self.filled = 0;
+                }
+                WireStage::Payload => {
+                    if let Some(poll) = self.fill_stage() {
+                        return poll;
+                    }
+                    let decoded = decode_payload(&self.buf, frame);
+                    self.stage = WireStage::Header;
+                    self.buf.clear();
+                    self.buf.resize(4, 0);
+                    self.filled = 0;
+                    return match decoded {
+                        Ok(()) => Poll::Frame,
+                        Err(err) => {
+                            self.stage = WireStage::Done;
+                            Poll::Corrupt(err.to_string())
+                        }
+                    };
+                }
+            }
+        }
     }
 }
 
@@ -267,7 +533,10 @@ pub fn spawn_acceptor(listener: TcpListener, connector: ShardConnector) -> io::R
                 }
                 let Ok(stream) = inbound else { continue };
                 let _ = stream.set_nodelay(true);
-                if connector.connect(Box::new(TcpSource::new(stream))).is_err() {
+                let Ok(source) = TcpSource::new(stream) else {
+                    continue; // a socket we cannot configure is dropped
+                };
+                if connector.connect(Box::new(source)).is_err() {
                     return; // shard gone; stop serving
                 }
             }
@@ -340,5 +609,85 @@ mod tests {
         let mut decoded = table.frame();
         let err = read_frame(&mut &wire[..], &mut decoded).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut b = SignalTable::builder();
+        b.real("x");
+        let table = b.finish();
+        // A hostile peer claims a 4 GiB - 1 payload; the decoder must
+        // refuse from the prefix alone, never sizing a buffer from it.
+        let wire = u32::MAX.to_be_bytes();
+        let mut decoded = table.frame();
+        let err = read_frame(&mut &wire[..], &mut decoded).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let inner = err.get_ref().expect("carries the decode error");
+        assert!(
+            inner.to_string().contains("exceeds"),
+            "diagnosis names the budget: {inner}"
+        );
+    }
+
+    #[test]
+    fn hostile_signal_count_is_rejected() {
+        let mut b = SignalTable::builder();
+        b.real("x");
+        let table = b.finish();
+        // A minimal payload whose count field alone claims 2^32 - 1
+        // signals.
+        let payload = u32::MAX.to_be_bytes();
+        let mut decoded = table.frame();
+        assert_eq!(
+            decode_payload(&payload, &mut decoded),
+            Err(DecodeError::TooManySignals { count: u32::MAX })
+        );
+    }
+
+    #[test]
+    fn hostile_name_and_symbol_lengths_are_rejected() {
+        let mut b = SignalTable::builder();
+        let cmd = b.sym("cmd");
+        let table = b.finish();
+
+        // Name length over budget.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_be_bytes());
+        payload.extend_from_slice(&(MAX_NAME_BYTES as u16 + 1).to_be_bytes());
+        let mut decoded = table.frame();
+        assert_eq!(
+            decode_payload(&payload, &mut decoded),
+            Err(DecodeError::NameTooLong {
+                len: MAX_NAME_BYTES + 1
+            })
+        );
+
+        // Symbol length over budget, on a declared signal.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_be_bytes());
+        payload.extend_from_slice(&3u16.to_be_bytes());
+        payload.extend_from_slice(b"cmd");
+        payload.push(TAG_SYM);
+        payload.extend_from_slice(&(MAX_SYMBOL_BYTES as u16 + 1).to_be_bytes());
+        let mut decoded = table.frame();
+        assert_eq!(
+            decode_payload(&payload, &mut decoded),
+            Err(DecodeError::SymbolTooLong {
+                len: MAX_SYMBOL_BYTES + 1
+            })
+        );
+        let _ = cmd;
+    }
+
+    #[test]
+    fn oversized_symbol_is_refused_at_encode_time() {
+        let mut b = SignalTable::builder();
+        let cmd = b.sym("cmd");
+        let table = b.finish();
+        let mut frame = table.frame();
+        frame.set(cmd, Value::sym("x".repeat(MAX_SYMBOL_BYTES + 1)));
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, &frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -7,7 +7,7 @@
 
 use esafe_logic::{parse, Frame, SignalTable};
 use esafe_monitor::{Location, MonitorSuite, SuiteTemplate, ViolationInterval};
-use esafe_serve::{ReportEvent, ShardCore, ShardId, StreamId, StreamSource};
+use esafe_serve::{Poll, ReportEvent, ShardConfig, ShardCore, ShardId, StreamId, StreamSource};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -55,13 +55,13 @@ struct ScriptSource {
 }
 
 impl StreamSource for ScriptSource {
-    fn next_frame(&mut self, frame: &mut Frame) -> bool {
+    fn poll_frame(&mut self, frame: &mut Frame) -> Poll {
         match self.frames.next() {
             Some(next) => {
                 *frame = next;
-                true
+                Poll::Frame
             }
-            None => false,
+            None => Poll::End,
         }
     }
 }
@@ -110,7 +110,15 @@ fn scalar_violations(
 /// report (periodic drains + final summary) against its scalar twin.
 fn check_churn(width: usize, report_every: u64, schedule: Vec<(u64, Vec<(f64, bool)>)>) {
     let sigs = sigs();
-    let mut core = ShardCore::new(ShardId(0), &sigs.template, width, report_every);
+    let mut core = ShardCore::new(
+        ShardId(0),
+        &sigs.template,
+        ShardConfig {
+            width,
+            report_every,
+            stall_limit: None,
+        },
+    );
 
     let mut merged: BTreeMap<u64, BTreeMap<String, Vec<ViolationInterval>>> = BTreeMap::new();
     let mut closed: BTreeMap<u64, u64> = BTreeMap::new();

@@ -1,0 +1,142 @@
+//! Fuzzing the TCP frame codec: arbitrary corruption, truncation, and
+//! raw garbage must never panic the decoder (a hostile peer gets a
+//! [`DecodeError`] quarantine, not a crashed shard), while untouched
+//! frames round-trip bit-identically.
+//!
+//! [`DecodeError`]: esafe_serve::DecodeError
+
+use esafe_logic::{Frame, SignalTable, Value};
+use esafe_serve::tcp::{decode_payload, read_frame, write_frame};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn table() -> Arc<SignalTable> {
+    let mut b = SignalTable::builder();
+    b.bool("flag");
+    b.int("count");
+    b.real("x");
+    b.sym("cmd");
+    b.finish()
+}
+
+/// Builds a frame from fuzz picks: each `(selector, bits)` sets one of
+/// the four signals to a value derived from `bits`. Reals are kept
+/// finite and non-NaN so round-trip equality is meaningful.
+fn build(table: &Arc<SignalTable>, picks: &[(u8, u64)]) -> Frame {
+    let mut f = table.frame();
+    for &(sel, bits) in picks {
+        match sel % 4 {
+            0 => f.set(table.id("flag").unwrap(), Value::Bool(bits & 1 == 1)),
+            1 => f.set(table.id("count").unwrap(), Value::Int(bits as i64)),
+            2 => f.set(
+                table.id("x").unwrap(),
+                Value::Real((bits % 1_000_000) as f64 / 8.0 - 1000.0),
+            ),
+            _ => f.set(
+                table.id("cmd").unwrap(),
+                Value::sym(["GO", "STOP", "HOLD", "IDLE"][(bits % 4) as usize]),
+            ),
+        }
+    }
+    f
+}
+
+/// Reads messages until clean EOF or the first error; the property
+/// under test is simply that this returns instead of panicking.
+fn drain_wire(table: &Arc<SignalTable>, wire: &[u8]) -> (usize, bool) {
+    let mut reader = wire;
+    let mut frame = table.frame();
+    let mut decoded = 0usize;
+    loop {
+        match read_frame(&mut reader, &mut frame) {
+            Ok(true) => decoded += 1,
+            Ok(false) => return (decoded, true),
+            Err(_) => return (decoded, false),
+        }
+    }
+}
+
+fn pick() -> impl Strategy<Value = (u8, u64)> {
+    (0u8..8, 0u64..u64::MAX)
+}
+
+proptest! {
+    /// Untouched frames round-trip bit-identically, any mix of value
+    /// kinds, any signal subset (including the empty frame).
+    #[test]
+    fn untouched_frames_round_trip_bit_identically(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(pick(), 0..10),
+            1..6,
+        ),
+    ) {
+        let table = table();
+        let originals: Vec<Frame> = frames.iter().map(|p| build(&table, p)).collect();
+        let mut wire = Vec::new();
+        for frame in &originals {
+            write_frame(&mut wire, frame).unwrap();
+        }
+        let mut reader = &wire[..];
+        let mut decoded = table.frame();
+        for (i, original) in originals.iter().enumerate() {
+            assert!(read_frame(&mut reader, &mut decoded).unwrap(), "frame {i}");
+            assert_eq!(&decoded, original, "frame {i} must survive the wire");
+        }
+        assert!(!read_frame(&mut reader, &mut decoded).unwrap(), "clean EOF");
+    }
+
+    /// Arbitrary byte corruption of a valid wire never panics the
+    /// decoder: it either still decodes (the flip hit a value payload)
+    /// or fails with an error.
+    #[test]
+    fn corrupted_wire_never_panics(
+        picks in proptest::collection::vec(pick(), 0..10),
+        flips in proptest::collection::vec((0usize..4096, 1u8..255), 1..8),
+    ) {
+        let table = table();
+        let frame = build(&table, &picks);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        write_frame(&mut wire, &frame).unwrap();
+        for &(pos, mask) in &flips {
+            let at = pos % wire.len();
+            wire[at] ^= mask;
+        }
+        let _ = drain_wire(&table, &wire);
+    }
+
+    /// Truncation at every possible byte boundary never panics: a cut
+    /// mid-message is an error, a cut at a message boundary is a clean
+    /// EOF, and the complete messages before the cut still decode.
+    #[test]
+    fn truncated_wire_never_panics(
+        picks in proptest::collection::vec(pick(), 0..10),
+        cut in 0usize..100_000,
+    ) {
+        let table = table();
+        let frame = build(&table, &picks);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let message_len = wire.len();
+        write_frame(&mut wire, &frame).unwrap();
+        let keep = cut % (wire.len() + 1);
+        wire.truncate(keep);
+        let (decoded, clean) = drain_wire(&table, &wire);
+        assert_eq!(
+            clean,
+            keep % message_len == 0,
+            "clean EOF iff the cut hit a message boundary (cut at {keep}/{message_len})"
+        );
+        assert_eq!(decoded, keep / message_len, "messages fully before the cut decode");
+    }
+
+    /// Raw garbage fed straight to the payload decoder never panics.
+    #[test]
+    fn arbitrary_payload_bytes_never_panic(
+        bytes in proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..128),
+    ) {
+        let table = table();
+        let mut frame = table.frame();
+        let _ = decode_payload(&bytes, &mut frame);
+    }
+}

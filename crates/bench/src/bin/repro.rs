@@ -8,108 +8,298 @@
 //! repro --grid                 # full scenario × defect sweep, in parallel
 //! repro --grid --json <path>   # …plus a machine-readable timing summary
 //! repro --mega-grid            # ≥10⁴-cell scenario-parameter sweep (batched)
-//! repro --mega-grid --json <path>  # …plus the schema-v4 summary
+//! repro --mega-grid --json <path>  # …plus the schema-v6 summary
+//! repro --mega-grid --subset <n>   # only the grid's first n cells
+//! repro --mega-grid --width <w>    # force the stripe width (skip calibration)
+//! repro --mega-grid --checkpoint <path> [--resume]  # durable journal; resume
+//!                                  # an interrupted sweep bit-identically
 //! repro --serve-bench          # 1000-stream fleet through the monitor service
 //! repro --serve-bench --json <path>  # …plus the serve-bench-v2 summary
 //! repro --serve-bench --faulty <pct> [--json <path>]  # hostile fleet: pct% faulty streams
 //! repro --all                  # everything, in thesis order
 //! repro --json <scenario>      # dump a scenario's figure series as JSON
 //! ```
+//!
+//! Flags are order-insensitive: `repro --json out.json --mega-grid`
+//! and `repro --mega-grid --json out.json` are the same invocation.
 
 use esafe_bench::{
-    ablation, batch_calibration, figure_map, full_grid_timed, full_mega_timed, grid_summary_json,
-    mega_summary_json, observe_calibration, serve_bench, serve_summary_json, thesis_run,
+    ablation, batch_calibration, figure_map, full_grid_timed, full_mega_checkpointed,
+    grid_summary_json, mega_cells_subset, mega_summary_json, mega_timed_over, observe_calibration,
+    serve_bench, serve_summary_json, thesis_run, MegaCheckpointInfo,
 };
 use esafe_core::render;
 use esafe_elevator::ElevatorParams;
 use esafe_scenarios::tables;
 use esafe_vehicle::config::VehicleParams;
 
+const USAGE: &str = "usage: repro --table <id> | --figure <id> | --ablation [n] \
+     | --grid [--json <path>] \
+     | --mega-grid [--subset <n>] [--width <w>] [--checkpoint <path> [--resume]] [--json <path>] \
+     | --serve-bench [--faulty <pct>] [--json <path>] \
+     | --json <n> | --all";
+
+/// Which evaluation artifact one invocation regenerates.
+enum Command {
+    Table(String),
+    Figure(String),
+    Ablation(u8),
+    Grid,
+    MegaGrid,
+    ServeBench,
+    All,
+}
+
+/// The parsed command line: one command plus order-insensitive
+/// modifier flags (each validated against the command at dispatch).
+struct Cli {
+    command: Option<Command>,
+    json: Option<String>,
+    faulty: Option<u32>,
+    checkpoint: Option<String>,
+    resume: bool,
+    subset: Option<usize>,
+    width: Option<usize>,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parses flags in any order. Every flag may appear at most once; a
+/// second command flag is an error.
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        command: None,
+        json: None,
+        faulty: None,
+        checkpoint: None,
+        resume: false,
+        subset: None,
+        width: None,
+    };
+    let set_command = |cli: &mut Cli, command: Command, flag: &str| {
+        if cli.command.is_some() {
+            usage_error(&format!("`{flag}` conflicts with an earlier command flag"));
+        }
+        cli.command = Some(command);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        // A flag's value is the next argument, which must exist and
+        // must not itself look like a flag.
+        let value = |i: usize| -> &str {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v,
+                _ => usage_error(&format!("`{flag}` wants a value")),
+            }
+        };
+        let parsed = |i: usize| -> usize {
+            value(i)
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("`{flag}` wants a number")))
+        };
+        match flag {
+            "--table" => {
+                set_command(&mut cli, Command::Table(value(i).to_owned()), flag);
+                i += 2;
+            }
+            "--figure" => {
+                set_command(&mut cli, Command::Figure(value(i).to_owned()), flag);
+                i += 2;
+            }
+            "--ablation" => {
+                // The scenario number is optional (default 3).
+                let scenario = match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        v.parse().unwrap_or(3)
+                    }
+                    _ => 3,
+                };
+                set_command(&mut cli, Command::Ablation(scenario), flag);
+                i += 1;
+            }
+            "--grid" => {
+                set_command(&mut cli, Command::Grid, flag);
+                i += 1;
+            }
+            "--mega-grid" => {
+                set_command(&mut cli, Command::MegaGrid, flag);
+                i += 1;
+            }
+            "--serve-bench" => {
+                set_command(&mut cli, Command::ServeBench, flag);
+                i += 1;
+            }
+            "--all" => {
+                set_command(&mut cli, Command::All, flag);
+                i += 1;
+            }
+            "--json" => {
+                cli.json = Some(value(i).to_owned());
+                i += 2;
+            }
+            "--faulty" => {
+                cli.faulty = Some(parse_pct(value(i)));
+                i += 2;
+            }
+            "--checkpoint" => {
+                cli.checkpoint = Some(value(i).to_owned());
+                i += 2;
+            }
+            "--resume" => {
+                cli.resume = true;
+                i += 1;
+            }
+            "--subset" => {
+                cli.subset = Some(parsed(i));
+                i += 2;
+            }
+            "--width" => {
+                let w = parsed(i);
+                if w == 0 {
+                    usage_error("`--width` wants a stripe width >= 1");
+                }
+                cli.width = Some(w);
+                i += 2;
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    cli
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [flag, value] if flag == "--table" => print_table(value),
-        [flag, value] if flag == "--figure" => print_figure(value),
-        [flag] if flag == "--ablation" => print_ablation(3),
-        [flag, value] if flag == "--ablation" => {
-            print_ablation(value.parse().unwrap_or(3));
+    if args.is_empty() {
+        usage_error("no command given");
+    }
+    let cli = parse_cli(&args);
+    // Modifier flags only make sense under their command.
+    if cli.faulty.is_some() && !matches!(cli.command, Some(Command::ServeBench)) {
+        usage_error("`--faulty` only applies to --serve-bench");
+    }
+    let mega = matches!(cli.command, Some(Command::MegaGrid));
+    if (cli.checkpoint.is_some() || cli.subset.is_some() || cli.width.is_some()) && !mega {
+        usage_error("`--checkpoint`, `--subset`, and `--width` only apply to --mega-grid");
+    }
+    if cli.resume && cli.checkpoint.is_none() {
+        usage_error("`--resume` wants a `--checkpoint <path>` to resume from");
+    }
+    match &cli.command {
+        Some(Command::Table(id)) => print_table(id),
+        Some(Command::Figure(id)) => print_figure(id),
+        Some(Command::Ablation(scenario)) => print_ablation(*scenario),
+        Some(Command::Grid) => print_grid(cli.json.as_deref()),
+        Some(Command::MegaGrid) => print_mega_grid(&cli),
+        Some(Command::ServeBench) => {
+            print_serve_bench(cli.json.as_deref(), cli.faulty.unwrap_or(0));
         }
-        [flag, value] if flag == "--json" => {
-            let n: u8 = value.parse().expect("scenario number");
-            let report = thesis_run(n);
-            println!("{}", tables::series_json(&report).expect("serializable"));
-        }
-        [flag] if flag == "--grid" => print_grid(None),
-        [grid, json, path] if grid == "--grid" && json == "--json" => {
-            print_grid(Some(path));
-        }
-        [flag] if flag == "--mega-grid" => print_mega_grid(None),
-        [mega, json, path] if mega == "--mega-grid" && json == "--json" => {
-            print_mega_grid(Some(path));
-        }
-        [flag] if flag == "--serve-bench" => print_serve_bench(None, 0),
-        [sb, json, path] if sb == "--serve-bench" && json == "--json" => {
-            print_serve_bench(Some(path), 0);
-        }
-        [sb, faulty, pct] if sb == "--serve-bench" && faulty == "--faulty" => {
-            print_serve_bench(None, parse_pct(pct));
-        }
-        [sb, faulty, pct, json, path]
-            if sb == "--serve-bench" && faulty == "--faulty" && json == "--json" =>
-        {
-            print_serve_bench(Some(path), parse_pct(pct));
-        }
-        [flag] if flag == "--all" => print_all(),
-        _ => {
-            eprintln!(
-                "usage: repro --table <id> | --figure <id> | --ablation [n] \
-                 | --grid [--json <path>] | --mega-grid [--json <path>] \
-                 | --serve-bench [--faulty <pct>] [--json <path>] \
-                 | --json <n> | --all"
-            );
-            std::process::exit(2);
-        }
+        Some(Command::All) => print_all(),
+        None => match &cli.json {
+            // Bare `--json <n>` dumps a scenario's figure series.
+            Some(raw) => {
+                let n: u8 = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("bare `--json` wants a scenario number"));
+                let report = thesis_run(n);
+                println!("{}", tables::series_json(&report).expect("serializable"));
+            }
+            None => usage_error("no command given"),
+        },
     }
 }
 
-/// Runs the ≥10⁴-cell scenario-parameter mega grid: calibrate the
-/// stripe width on live mega-cell stripes (sim + observe), then stream
-/// the whole space through the batched striped engine with
-/// O(workers × width) memory, and (with `json_path`) write the
-/// schema-v5 `BENCH_megagrid.json` summary.
-fn print_mega_grid(json_path: Option<&str>) {
-    let calibration = batch_calibration();
-    println!(
-        "batch-width calibration over {} live mega-cell ticks (sim + 49-monitor fused observe):",
-        calibration.ticks
-    );
-    println!(
-        "  scalar    {:>8.1} ns/tick/run",
-        calibration.scalar_ns_per_tick_per_run
-    );
-    for point in &calibration.widths {
-        println!(
-            "  width {:>3} {:>8.1} ns/tick/run  (sim {:.1} + observe {:.1})",
-            point.width,
-            point.ns_per_tick_per_run,
-            point.sim_ns_per_tick_per_run,
-            point.observe_ns_per_tick_per_run
-        );
-    }
-    let width = calibration.best_width();
-    println!("selected stripe width: {width}");
+/// Runs the ≥10⁴-cell scenario-parameter mega grid (or its `--subset`
+/// prefix): calibrate the stripe width on live mega-cell stripes (sim +
+/// observe) unless `--width` forces one, stream the space through the
+/// batched striped engine with O(workers × width) memory — durably
+/// journaled under `--checkpoint`, resuming bit-identically under
+/// `--resume` — and (with `--json`) write the schema-v6
+/// `BENCH_megagrid.json` summary.
+fn print_mega_grid(cli: &Cli) {
+    let cells = mega_cells_subset(cli.subset);
+    let cell_count = cells.len();
+    let (width, calibration) = match cli.width {
+        Some(w) => {
+            println!("stripe width forced to {w} (--width given, calibration skipped)");
+            (w, None)
+        }
+        None => {
+            let calibration = batch_calibration();
+            println!(
+                "batch-width calibration over {} live mega-cell ticks (sim + 49-monitor fused observe):",
+                calibration.ticks
+            );
+            println!(
+                "  scalar    {:>8.1} ns/tick/run",
+                calibration.scalar_ns_per_tick_per_run
+            );
+            for point in &calibration.widths {
+                println!(
+                    "  width {:>3} {:>8.1} ns/tick/run  (sim {:.1} + observe {:.1})",
+                    point.width,
+                    point.ns_per_tick_per_run,
+                    point.sim_ns_per_tick_per_run,
+                    point.observe_ns_per_tick_per_run
+                );
+            }
+            let width = calibration.best_width();
+            println!("selected stripe width: {width}");
+            (width, Some(calibration))
+        }
+    };
 
     let started = std::time::Instant::now();
-    let (aggregate, stats, cells) = full_mega_timed(width);
+    let (aggregate, stats, checkpoint): (_, _, Option<MegaCheckpointInfo>) = match &cli.checkpoint {
+        Some(path) => {
+            let (aggregate, stats, _, info) =
+                full_mega_checkpointed(cells, width, path, cli.resume).unwrap_or_else(|e| {
+                    eprintln!("checkpointed mega grid failed: {e}");
+                    std::process::exit(1);
+                });
+            (aggregate, stats, Some(info))
+        }
+        None => {
+            let (aggregate, stats) = mega_timed_over(cells, width);
+            (aggregate, stats, None)
+        }
+    };
     let wall = started.elapsed();
     println!(
         "Mega grid: {} cells swept, {} runs ({} early terminations, {} collisions)",
-        cells, aggregate.runs, aggregate.terminated_early, aggregate.terminal_events
+        cell_count, aggregate.runs, aggregate.terminated_early, aggregate.terminal_events
     );
     println!(
         "Classification totals: {} hits, {} false negatives, {} false positives",
         aggregate.hits, aggregate.false_negatives, aggregate.false_positives
     );
+    if let Some(info) = &checkpoint {
+        match &info.resumed_from {
+            Some(journal) => println!(
+                "checkpoint: resumed {} completed cells from {journal}; {} records journaled",
+                info.resumed_cells, info.journal_records
+            ),
+            None => println!("checkpoint: {} records journaled", info.journal_records),
+        }
+    }
+    if !aggregate.quarantined.is_empty() || aggregate.retries > 0 {
+        println!(
+            "fault isolation: {} cells quarantined, {} retries",
+            aggregate.quarantined.len(),
+            aggregate.retries
+        );
+        for failure in &aggregate.quarantined {
+            println!(
+                "  cell {} (seed {:#018x}, {} retries): {:?}",
+                failure.cell, failure.seed, failure.retries, failure.reason
+            );
+        }
+    }
     println!(
         "wall clock: {:.3} s ({:.2} ms/run); worker time: {:.3} s setup + {:.3} s ticking",
         wall.as_secs_f64(),
@@ -121,9 +311,17 @@ fn print_mega_grid(json_path: Option<&str>) {
         "suites: {} compiled, {} instantiated, {} reused",
         stats.suites_compiled, stats.suites_instantiated, stats.suites_reused
     );
-    if let Some(path) = json_path {
-        let json = mega_summary_json(&aggregate, wall, &stats, &calibration, cells, width)
-            .expect("summary serializes");
+    if let Some(path) = &cli.json {
+        let json = mega_summary_json(
+            &aggregate,
+            wall,
+            &stats,
+            calibration.as_ref(),
+            cell_count,
+            width,
+            checkpoint.as_ref(),
+        )
+        .expect("summary serializes");
         std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
         println!("summary written to {path}");
     }

@@ -331,18 +331,91 @@ pub fn full_mega_timed(width: usize) -> (SweepAggregate, SweepStats, usize) {
     (aggregate, stats, count)
 }
 
+/// Runs an explicit mega cell list (typically [`mega_cells_subset`])
+/// through the batched streaming engine, uncheckpointed.
+pub fn mega_timed_over(
+    cells: Vec<esafe_scenarios::mega::MegaCell>,
+    width: usize,
+) -> (SweepAggregate, SweepStats) {
+    mega::run_mega_aggregate(cells, width).expect("mega-grid formulas compile")
+}
+
+/// The mega grid's first `subset` cells (seeds and labels keep their
+/// full-grid positions), or the whole grid when `subset` is `None` —
+/// the `repro --mega-grid --subset` space, sized for smoke runs and
+/// the CI kill-and-resume check.
+pub fn mega_cells_subset(subset: Option<usize>) -> Vec<esafe_scenarios::mega::MegaCell> {
+    let cells = mega::mega_grid();
+    match subset {
+        Some(n) => cells.into_iter().take(n).collect(),
+        None => cells,
+    }
+}
+
+/// Provenance of a checkpointed mega run, carried into the schema-v6
+/// summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MegaCheckpointInfo {
+    /// The journal path a resumed run recovered from (`None` for a
+    /// fresh `--checkpoint` run).
+    pub resumed_from: Option<String>,
+    /// Cells replayed from the journal instead of re-running.
+    pub resumed_cells: usize,
+    /// Intact journal records after the run (recovered + appended).
+    pub journal_records: usize,
+}
+
+/// Runs `cells` through the checkpointed mega engine
+/// ([`mega::run_mega_aggregate_checkpointed`]): `resume` reopens the
+/// journal at `checkpoint` (recovering its intact records and
+/// truncating any torn tail), otherwise a fresh journal is created
+/// there. Fault isolation is on — failing cells land in
+/// [`SweepAggregate::quarantined`], not in an abort.
+///
+/// # Errors
+///
+/// Returns the journal's [`esafe_harness::ExperimentError::Journal`]
+/// on create/open/mismatch/I-O failure, or a cell's error only if the
+/// journal itself failed.
+pub fn full_mega_checkpointed(
+    cells: Vec<esafe_scenarios::mega::MegaCell>,
+    width: usize,
+    checkpoint: &str,
+    resume: bool,
+) -> Result<(SweepAggregate, SweepStats, usize, MegaCheckpointInfo), esafe_harness::ExperimentError>
+{
+    let count = cells.len();
+    let mut journal = if resume {
+        esafe_harness::SweepJournal::open(checkpoint)?
+    } else {
+        mega::create_mega_journal(checkpoint, &cells)?
+    };
+    let resumed_cells = journal.completed_cells();
+    let (aggregate, stats) = mega::run_mega_aggregate_checkpointed(cells, width, &mut journal)?;
+    let info = MegaCheckpointInfo {
+        resumed_from: resume.then(|| checkpoint.to_owned()),
+        resumed_cells,
+        journal_records: journal.records(),
+    };
+    Ok((aggregate, stats, count, info))
+}
+
 /// The machine-readable `repro --mega-grid --json` summary — **schema
-/// v5**, written to `BENCH_megagrid.json`: the ≥10⁴-cell sweep's
+/// v6**, written to `BENCH_megagrid.json`: the ≥10⁴-cell sweep's
 /// wall-clock and worker-time totals, the batch-width calibration that
-/// chose the stripe width (now the full sim+observe stripe loop, with
-/// the chosen width's sim/observe split), and the order-independent
-/// aggregate.
+/// chose the stripe width (the full sim+observe stripe loop, with the
+/// chosen width's sim/observe split), the fault-isolation and
+/// checkpoint/resume provenance, and the order-independent aggregate.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MegaGridSummary {
     /// Summary schema version (v4 introduced the mega-grid fields and
-    /// the monitor-only width calibration; v5 recalibrates over the
-    /// full sim+observe stripe loop and records the chosen width's
-    /// sim/observe split; v1–v3 are the `BENCH_grid.json` history).
+    /// the monitor-only width calibration; v5 recalibrated over the
+    /// full sim+observe stripe loop and recorded the chosen width's
+    /// sim/observe split; v6 adds the robustness provenance —
+    /// `quarantined_cells`, `retries`, `resumed_from`, `resumed_cells`,
+    /// `journal_records` — and zeroes the calibration fields when
+    /// `--width` forces the stripe width; v1–v3 are the
+    /// `BENCH_grid.json` history).
     pub schema: u32,
     /// Cells in the swept parameter space.
     pub cells: usize,
@@ -377,12 +450,28 @@ pub struct MegaGridSummary {
     pub suite_instantiations: usize,
     /// Runs that reset and reused a worker's pooled suite.
     pub suite_reuses: usize,
+    /// Cells quarantined by fault isolation instead of completing
+    /// (`aggregate.quarantined` carries the full per-cell provenance).
+    pub quarantined_cells: usize,
+    /// Retry attempts consumed across the sweep.
+    pub retries: usize,
+    /// The journal path a resumed run recovered from (`null` unless
+    /// `--resume`).
+    pub resumed_from: Option<String>,
+    /// Cells replayed from the journal instead of re-running (0 for a
+    /// fresh or uncheckpointed run).
+    pub resumed_cells: usize,
+    /// Intact journal records after the run (0 when uncheckpointed).
+    pub journal_records: usize,
     /// The order-independent classification totals.
     pub aggregate: SweepAggregate,
 }
 
-/// Serializes the mega-grid aggregate + timing + width calibration as
-/// pretty JSON (schema v5).
+/// Serializes the mega-grid aggregate + timing + width calibration +
+/// checkpoint provenance as pretty JSON (schema v6). `calibration` is
+/// `None` when `--width` forced the stripe width (the calibration
+/// fields are zeroed); `checkpoint` is `None` for an uncheckpointed
+/// run.
 ///
 /// # Errors
 ///
@@ -392,14 +481,15 @@ pub fn mega_summary_json(
     aggregate: &SweepAggregate,
     wall: std::time::Duration,
     stats: &SweepStats,
-    calibration: &BatchCalibration,
+    calibration: Option<&BatchCalibration>,
     cells: usize,
     batch_width: usize,
+    checkpoint: Option<&MegaCheckpointInfo>,
 ) -> Result<String, serde_json::Error> {
     let wall_clock_ms = wall.as_secs_f64() * 1000.0;
-    let best = calibration.best_point();
+    let best = calibration.and_then(BatchCalibration::best_point);
     let summary = MegaGridSummary {
-        schema: 5,
+        schema: 6,
         cells,
         wall_clock_ms,
         ms_per_run: if aggregate.runs == 0 {
@@ -410,14 +500,20 @@ pub fn mega_summary_json(
         setup_ms: stats.setup.as_secs_f64() * 1000.0,
         tick_ms: stats.ticking.as_secs_f64() * 1000.0,
         batch_width,
-        scalar_ns_per_tick_per_run: calibration.scalar_ns_per_tick_per_run,
-        batched_ns_per_tick_per_run: calibration.best_ns_per_tick_per_run(),
+        scalar_ns_per_tick_per_run: calibration.map_or(0.0, |c| c.scalar_ns_per_tick_per_run),
+        batched_ns_per_tick_per_run: calibration
+            .map_or(0.0, BatchCalibration::best_ns_per_tick_per_run),
         batched_sim_ns_per_tick_per_run: best.map_or(0.0, |p| p.sim_ns_per_tick_per_run),
         batched_observe_ns_per_tick_per_run: best.map_or(0.0, |p| p.observe_ns_per_tick_per_run),
-        width_calibration: calibration.widths.clone(),
+        width_calibration: calibration.map_or_else(Vec::new, |c| c.widths.clone()),
         suite_compiles: stats.suites_compiled,
         suite_instantiations: stats.suites_instantiated,
         suite_reuses: stats.suites_reused,
+        quarantined_cells: aggregate.quarantined.len(),
+        retries: aggregate.retries,
+        resumed_from: checkpoint.and_then(|c| c.resumed_from.clone()),
+        resumed_cells: checkpoint.map_or(0, |c| c.resumed_cells),
+        journal_records: checkpoint.map_or(0, |c| c.journal_records),
         aggregate: aggregate.clone(),
     };
     serde_json::to_string_pretty(&summary)

@@ -31,19 +31,28 @@
 //!   the surviving lanes keep ticking, exactly as if each had run alone;
 //! * a monitoring error inside a stripe reruns the whole stripe on the
 //!   scalar path, so per-cell errors surface identically to
-//!   [`Sweep::run`] (earliest-cell-first).
+//!   [`Sweep::run`] (earliest-cell-first);
+//! * with a [`Quarantine`] installed via
+//!   [`Sweep::with_quarantine`], a panic anywhere in a stripe reruns
+//!   every lane on the guarded scalar path: the panicking cell is
+//!   quarantined as a typed [`CellFailure`](crate::sweep::CellFailure)
+//!   while its stripe-mates reproduce their healthy reports
+//!   bit-identically — fault containment at the cell boundary.
 
 use crate::context::{RunContext, RunTiming, SuiteProvenance};
 use crate::experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
+use crate::journal::{CellDelta, JournalRecord, SweepJournal};
 use crate::lanes::LaneAllocator;
 use crate::substrate::Substrate;
-use crate::sweep::{cell_seed, Partial, Sweep, SweepAggregate, SweepReport, SweepStats};
+use crate::sweep::{
+    cell_seed, GuardedOutcome, Partial, Quarantine, Sweep, SweepAggregate, SweepReport, SweepStats,
+};
 use esafe_logic::SignalId;
 use esafe_monitor::MonitorSuiteBatch;
 use esafe_sim::{sample_point, SeriesLog, Simulator, SimulatorBatch};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Default stripe width for batched sweeps: wide enough to amortize the
@@ -63,13 +72,17 @@ enum Unit {
 /// Partitions cells into stripes of up to `width` same-group cells plus
 /// scalar singles. Cells group when they share the same suite template,
 /// signal table, and scheduled duration (`Arc` identity — the family
-/// pattern); template-less cells and one-cell tails run scalar.
-fn plan_units<S: Substrate>(subs: &[S], width: usize) -> Vec<Unit> {
+/// pattern); template-less cells and one-cell tails run scalar. `None`
+/// cells are planned into **no** unit — they are cells the caller is
+/// skipping (already checkpointed) or failed to build (quarantined
+/// separately by the guarded planner).
+fn plan_units<S: Substrate>(subs: &[Option<S>], width: usize) -> Vec<Unit> {
     let width = width.max(1);
     let mut units = Vec::new();
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut by_key: HashMap<(usize, usize, u64), usize> = HashMap::new();
     for (i, sub) in subs.iter().enumerate() {
+        let Some(sub) = sub else { continue };
         match sub.suite_template() {
             None => units.push(Unit::Scalar(i)),
             Some(template) => {
@@ -119,16 +132,26 @@ struct Lane<'s> {
 
 type CellOutcome = (usize, Result<RunReport, ExperimentError>, RunTiming);
 
+/// A planned cell's substrate. Planning only emits units over built
+/// (`Some`) cells, so the lookup cannot fail for a planned index.
+fn built<S>(subs: &[Option<S>], i: usize) -> &S {
+    subs[i].as_ref().expect("planned cells are built")
+}
+
 /// Runs one cell on the scalar experiment loop — the fallback for
 /// template-less cells, one-cell tails, and stripes that hit a
-/// monitoring error.
+/// monitoring error. `budget` is the quarantine's tick budget (always
+/// `None` on the unguarded paths), forwarded so fallback runs fail
+/// exactly where a guarded scalar run would.
 fn run_scalar_cell<S: Substrate>(
     config: ExperimentConfig,
+    budget: Option<u64>,
     substrate: &S,
     index: usize,
 ) -> CellOutcome {
     match Experiment::new(substrate)
         .with_config(config)
+        .with_tick_budget(budget)
         .run_in(&mut RunContext::new())
     {
         Ok((report, timing)) => (index, Ok(report), timing),
@@ -147,15 +170,16 @@ fn run_scalar_cell<S: Substrate>(
 /// a scalar run of the same substrate.
 fn run_stripe<S: Substrate>(
     config: ExperimentConfig,
-    subs: &[S],
+    budget: Option<u64>,
+    subs: &[Option<S>],
     lanes_idx: &[usize],
 ) -> Vec<CellOutcome> {
     let width = lanes_idx.len();
     let setup_started = Instant::now();
-    let template = subs[lanes_idx[0]]
+    let template = built(subs, lanes_idx[0])
         .suite_template()
         .expect("planned stripes carry a template");
-    let group: Vec<&S> = lanes_idx.iter().map(|&i| &subs[i]).collect();
+    let group: Vec<&S> = lanes_idx.iter().map(|&i| built(subs, i)).collect();
     let mut lanes: Vec<Lane<'_>> = group
         .iter()
         .map(|substrate| {
@@ -204,7 +228,7 @@ fn run_stripe<S: Substrate>(
                 // backstop, not a hot path.
                 return lanes_idx
                     .iter()
-                    .map(|&i| run_scalar_cell(config, &subs[i], i))
+                    .map(|&i| run_scalar_cell(config, budget, built(subs, i), i))
                     .collect();
             }
             SimulatorBatch::from_scalar(sims)
@@ -213,17 +237,26 @@ fn run_stripe<S: Substrate>(
     let dt = sim.dt_millis();
 
     let mut batch: MonitorSuiteBatch = template.instantiate_batch(width);
-    let table = Arc::clone(subs[lanes_idx[0]].signal_table());
+    let table = Arc::clone(built(subs, lanes_idx[0]).signal_table());
     // Stripe-owned scratch frames for substrates whose observe /
     // terminal check still runs per lane over a copied frame.
     let mut raw = table.frame();
     let mut observed = table.frame();
-    let scheduled_ticks = subs[lanes_idx[0]].duration_ms().div_ceil(dt);
+    let scheduled_ticks = built(subs, lanes_idx[0]).duration_ms().div_ceil(dt);
     let post_terminal_ticks = config.post_terminal_ms.div_ceil(dt);
     let setup = setup_started.elapsed();
 
+    // Whether the quarantine's tick budget elapsed with lanes still
+    // live; those lanes fail exactly where a scalar guarded run would.
+    let mut budget_tripped = false;
     let tick_started = Instant::now();
     for tick in 1..=scheduled_ticks {
+        if let Some(b) = budget {
+            if tick > b {
+                budget_tripped = true;
+                break;
+            }
+        }
         sim.step();
         for (l, sub) in group.iter().enumerate().take(width) {
             if occupancy.is_claimed(l) {
@@ -236,7 +269,7 @@ fn run_stripe<S: Substrate>(
             // failing cell's error) match `Sweep::run` exactly.
             return lanes_idx
                 .iter()
-                .map(|&i| run_scalar_cell(config, &subs[i], i))
+                .map(|&i| run_scalar_cell(config, budget, built(subs, i), i))
                 .collect();
         }
         for (l, lane) in lanes.iter_mut().enumerate() {
@@ -293,7 +326,15 @@ fn run_stripe<S: Substrate>(
         .enumerate()
         .map(|(l, lane)| {
             let index = lanes_idx[l];
-            let substrate = &subs[index];
+            if budget_tripped && occupancy.is_claimed(l) {
+                let budget = budget.expect("budget trips only when armed");
+                return (
+                    index,
+                    Err(ExperimentError::TickBudget { budget }),
+                    RunTiming::default(),
+                );
+            }
+            let substrate = built(subs, index);
             let correlation = batch.correlate_lane(l, window_ticks);
             let violations = batch.take_violations_lane(l);
             let mut series = lane.series;
@@ -354,6 +395,23 @@ impl<C: Sync> Sweep<C> {
         S: Substrate + Sync,
         F: Fn(&C, u64) -> S + Sync,
     {
+        if let Some(q) = self.quarantine {
+            let subs = self.build_all_guarded(&build);
+            let units = plan_units_with_unbuilt(&subs, width);
+            let per_unit: Vec<Vec<(usize, GuardedOutcome)>> = units
+                .into_par_iter()
+                .map(|unit| self.run_unit_guarded(q, &subs, &unit, &build))
+                .collect();
+            let mut slots: Vec<Option<GuardedOutcome>> = (0..subs.len()).map(|_| None).collect();
+            for (i, outcome) in per_unit.into_iter().flatten() {
+                slots[i] = Some(outcome);
+            }
+            let results: Vec<GuardedOutcome> = slots
+                .into_iter()
+                .map(|slot| slot.expect("every cell is planned into exactly one unit"))
+                .collect();
+            return Ok(Self::collect_guarded(results));
+        }
         let subs = self.build_all(&build);
         let units = plan_units(&subs, width);
         let per_unit: Vec<Vec<CellOutcome>> = units
@@ -392,6 +450,23 @@ impl<C: Sync> Sweep<C> {
         S: Substrate + Sync,
         F: Fn(&C, u64) -> S + Sync,
     {
+        if let Some(q) = self.quarantine {
+            let subs = self.build_all_guarded(&build);
+            let units = plan_units_with_unbuilt(&subs, width);
+            let partial = units
+                .into_par_iter()
+                .map_init(
+                    || (),
+                    |(), unit| self.run_unit_guarded(q, &subs, &unit, &build),
+                )
+                .fold(Partial::default, |acc: Partial, outcomes| {
+                    outcomes
+                        .into_iter()
+                        .fold(acc, |acc, (_, outcome)| acc.absorbed_guarded(outcome))
+                })
+                .reduce(Partial::default, Partial::merged);
+            return partial.finish();
+        }
         let subs = self.build_all(&build);
         let units = plan_units(&subs, width);
         let partial = units
@@ -409,11 +484,135 @@ impl<C: Sync> Sweep<C> {
         partial.finish()
     }
 
+    /// [`Sweep::run_aggregate_batched`] with durable progress: every
+    /// finished cell (healthy or quarantined) is appended to `journal`
+    /// the moment its unit completes, and cells the journal already
+    /// marks done are **skipped** — their contributions replay from the
+    /// journal's records instead of re-running. Interrupt the process
+    /// at any point, reopen the journal ([`SweepJournal::open`] — torn
+    /// tails are truncated), and call this again: the final aggregate
+    /// is bit-identical to an uninterrupted run, because per-cell seeds
+    /// are deterministic ([`cell_seed`]) and every aggregate total is a
+    /// commutative sum over per-cell deltas.
+    ///
+    /// Fault isolation is always on here (the sweep's
+    /// [`Quarantine`] if installed, else the default policy): a sweep
+    /// durable enough to checkpoint should not abort on one bad cell.
+    /// The returned [`SweepStats`] covers only the cells run by *this*
+    /// call — resumed cells contribute no timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Journal`] if the journal does not
+    /// describe this sweep (seed, cell count, or timing policy
+    /// mismatch) or on journal I/O failure.
+    pub fn run_aggregate_batched_checkpointed<S, F>(
+        &self,
+        build: F,
+        width: usize,
+        journal: &mut SweepJournal,
+    ) -> Result<(SweepAggregate, SweepStats), ExperimentError>
+    where
+        S: Substrate + Sync,
+        F: Fn(&C, u64) -> S + Sync,
+    {
+        if journal.base_seed() != self.base_seed
+            || journal.cells() != self.cells.len()
+            || journal.config() != self.config
+        {
+            return Err(ExperimentError::Journal(format!(
+                "journal describes a different sweep: journal has seed {} / {} cells / {:?}, \
+                 this sweep has seed {} / {} cells / {:?}",
+                journal.base_seed(),
+                journal.cells(),
+                journal.config(),
+                self.base_seed,
+                self.cells.len(),
+                self.config,
+            )));
+        }
+        let q = self.quarantine.unwrap_or_default();
+        // Completed cells are `None` (skip); incomplete cells build
+        // under `catch_unwind` like the guarded path.
+        let subs: Vec<Option<S>> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                if journal.is_completed(i) {
+                    None
+                } else {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        build(cell, cell_seed(self.base_seed, i))
+                    }))
+                    .ok()
+                }
+            })
+            .collect();
+        let mut units = plan_units(&subs, width);
+        for (i, sub) in subs.iter().enumerate() {
+            if sub.is_none() && !journal.is_completed(i) {
+                units.push(Unit::Scalar(i));
+            }
+        }
+        // Workers funnel records through one mutex; the first append
+        // error latches and surfaces after the join (remaining cells
+        // still run — they are simply no longer durable).
+        let sink = Mutex::new((journal, None::<ExperimentError>));
+        let stats = units
+            .into_par_iter()
+            .map_init(
+                || (),
+                |(), unit| {
+                    let outcomes = self.run_unit_guarded(q, &subs, &unit, &build);
+                    let mut stats = SweepStats::default();
+                    let mut records = Vec::with_capacity(outcomes.len());
+                    for (i, (result, retries)) in outcomes {
+                        match result {
+                            Ok((report, timing)) => {
+                                stats.absorb(timing);
+                                records.push(JournalRecord::Completed(CellDelta::from_report(
+                                    i, retries, &report,
+                                )));
+                            }
+                            Err(failure) => records.push(JournalRecord::Quarantined(failure)),
+                        }
+                    }
+                    let mut guard = sink.lock().unwrap_or_else(|e| e.into_inner());
+                    for record in records {
+                        if guard.1.is_some() {
+                            break;
+                        }
+                        if let Err(e) = guard.0.append(record) {
+                            guard.1 = Some(e);
+                        }
+                    }
+                    stats
+                },
+            )
+            .fold(SweepStats::default, |mut a, b| {
+                a.merge(b);
+                a
+            })
+            .reduce(SweepStats::default, |mut a, b| {
+                a.merge(b);
+                a
+            });
+        let (journal, error) = sink.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = error {
+            return Err(e);
+        }
+        journal.sync()?;
+        Ok((journal.partial().finish(), stats))
+    }
+
     /// Builds every cell's substrate up front (cells must be inspected
     /// — table, template, duration — before they can be grouped into
     /// stripes). Substrate construction is the cheap, amortized part of
-    /// a run; simulators and suites are still built per stripe.
-    fn build_all<S, F>(&self, build: &F) -> Vec<S>
+    /// a run; simulators and suites are still built per stripe. Every
+    /// slot is `Some` — the `Option` is the planner's shared currency
+    /// with the guarded and checkpoint-resume paths, which skip cells.
+    pub(crate) fn build_all<S, F>(&self, build: &F) -> Vec<Option<S>>
     where
         S: Substrate,
         F: Fn(&C, u64) -> S,
@@ -421,17 +620,101 @@ impl<C: Sync> Sweep<C> {
         self.cells
             .iter()
             .enumerate()
-            .map(|(i, cell)| build(cell, cell_seed(self.base_seed, i)))
+            .map(|(i, cell)| Some(build(cell, cell_seed(self.base_seed, i))))
             .collect()
+    }
+
+    /// [`Sweep::build_all`] under `catch_unwind`: a cell whose *build*
+    /// panics becomes `None` and is later quarantined through the
+    /// guarded scalar ladder (which retries the build per policy).
+    fn build_all_guarded<S, F>(&self, build: &F) -> Vec<Option<S>>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S,
+    {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    build(cell, cell_seed(self.base_seed, i))
+                }))
+                .ok()
+            })
+            .collect()
+    }
+
+    /// Executes one planned unit with fault isolation. Healthy stripe
+    /// lanes keep their (bit-identical) batched reports; any failing
+    /// lane — and, after a panic, the whole stripe — re-runs the full
+    /// guarded scalar ladder so provenance and retries match
+    /// [`Sweep::run_cell_quarantined`] exactly.
+    fn run_unit_guarded<S, F>(
+        &self,
+        q: Quarantine,
+        subs: &[Option<S>],
+        unit: &Unit,
+        build: &F,
+    ) -> Vec<(usize, GuardedOutcome)>
+    where
+        S: Substrate + Sync,
+        F: Fn(&C, u64) -> S + Sync,
+    {
+        let guarded_scalar = |i: usize| {
+            (
+                i,
+                self.run_cell_quarantined(q, &mut RunContext::new(), i, build),
+            )
+        };
+        match unit {
+            Unit::Scalar(i) => vec![guarded_scalar(*i)],
+            Unit::Stripe(lanes) => {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_stripe(self.config, q.tick_budget, subs, lanes)
+                }));
+                match caught {
+                    Ok(outcomes) => outcomes
+                        .into_iter()
+                        .map(|(i, result, timing)| match result {
+                            Ok(report) => (i, (Ok((report, timing)), 0)),
+                            Err(_) => guarded_scalar(i),
+                        })
+                        .collect(),
+                    // A panic anywhere in the stripe: every lane re-runs
+                    // guarded-scalar. The faulty cell is quarantined with
+                    // its own panic payload; stripe-mates reproduce their
+                    // healthy reports bit-identically.
+                    Err(_) => lanes.iter().map(|&i| guarded_scalar(i)).collect(),
+                }
+            }
+        }
     }
 }
 
 /// Executes one planned unit.
-fn run_unit<S: Substrate>(config: ExperimentConfig, subs: &[S], unit: &Unit) -> Vec<CellOutcome> {
+fn run_unit<S: Substrate>(
+    config: ExperimentConfig,
+    subs: &[Option<S>],
+    unit: &Unit,
+) -> Vec<CellOutcome> {
     match unit {
-        Unit::Scalar(i) => vec![run_scalar_cell(config, &subs[*i], *i)],
-        Unit::Stripe(lanes) => run_stripe(config, subs, lanes),
+        Unit::Scalar(i) => vec![run_scalar_cell(config, None, built(subs, *i), *i)],
+        Unit::Stripe(lanes) => run_stripe(config, None, subs, lanes),
     }
+}
+
+/// [`plan_units`] plus explicit scalar units for unbuilt (`None`) cells,
+/// so the guarded runner can rebuild and quarantine them with
+/// provenance. Only the guarded paths use this — on a checkpoint resume
+/// `None` means "already completed, skip", not "rebuild".
+fn plan_units_with_unbuilt<S: Substrate>(subs: &[Option<S>], width: usize) -> Vec<Unit> {
+    let mut units = plan_units(subs, width);
+    for (i, sub) in subs.iter().enumerate() {
+        if sub.is_none() {
+            units.push(Unit::Scalar(i));
+        }
+    }
+    units
 }
 
 #[cfg(test)]
@@ -494,6 +777,33 @@ mod tests {
                 slope,
                 template: Some(Arc::clone(&self.template)),
                 tracked: vec![self.x],
+                panic_at: None,
+            }
+        }
+
+        /// A cell whose simulator panics mid-run, once `x` reaches
+        /// `at` — for fault-isolation tests.
+        fn panicking_substrate(&self, slope: f64, at: f64) -> RampCell {
+            let mut cell = self.substrate(slope);
+            cell.panic_at = Some(at);
+            cell
+        }
+    }
+
+    /// Panics the tick after `x` reaches `at`.
+    struct PanicAt {
+        x: SignalId,
+        at: f64,
+    }
+
+    impl Subsystem for PanicAt {
+        fn name(&self) -> &str {
+            "panic-at"
+        }
+        fn step(&mut self, _t: &SimTime, prev: &Frame, _next: &mut Frame) {
+            let x = prev.real_or(self.x, 0.0);
+            if x >= self.at {
+                panic!("lane melted down at x={x}");
             }
         }
     }
@@ -504,6 +814,7 @@ mod tests {
         slope: f64,
         template: Option<Arc<SuiteTemplate>>,
         tracked: Vec<SignalId>,
+        panic_at: Option<f64>,
     }
 
     impl Substrate for RampCell {
@@ -525,6 +836,9 @@ mod tests {
                 x: self.x,
                 slope: self.slope,
             });
+            if let Some(at) = self.panic_at {
+                sim.add(PanicAt { x: self.x, at });
+            }
             sim.init_with(|f| f.set(self.x, 0.0));
             sim
         }
@@ -667,5 +981,186 @@ mod tests {
             (Err(a), Err(b)) => assert_eq!(format!("{a}"), format!("{b}")),
             (a, b) => panic!("both paths must fail: {a:?} vs {b:?}"),
         }
+    }
+
+    /// The fault-isolation contract at stripe granularity: one cell
+    /// panicking mid-stripe is quarantined with full provenance while
+    /// every stripe-mate's report stays bit-identical to an all-healthy
+    /// run — at every width from degenerate to wider-than-the-grid.
+    #[test]
+    fn panicking_lane_is_quarantined_and_stripe_mates_stay_bit_identical() {
+        use crate::sweep::FailureReason;
+
+        let family = RampFamily::new();
+        let slopes = mixed_slopes();
+        // Cell 4 (slope 3.0) reaches x = 21 at tick 7 — well before any
+        // lane terminates, so the panic fires mid-stripe.
+        let victim = 4usize;
+        let base = 21u64;
+        let healthy = |slope: &f64, _seed: u64| family.substrate(*slope);
+        let poisoned = |slope: &f64, _seed: u64| {
+            if *slope == slopes[victim] {
+                family.panicking_substrate(*slope, 21.0)
+            } else {
+                family.substrate(*slope)
+            }
+        };
+        let sweep = Sweep::new(slopes.clone()).with_base_seed(base);
+        let baseline = sweep.run_serial(healthy).unwrap();
+        let mut expected = baseline.runs.clone();
+        expected.remove(victim);
+        let guarded = sweep.clone().with_quarantine(Quarantine::default());
+
+        for width in [1, 2, 3, 5, 8, 16, 33, 64] {
+            let report = guarded.run_batched(poisoned, width).unwrap();
+            assert_eq!(
+                report.runs, expected,
+                "width {width}: stripe-mates diverged"
+            );
+            assert_eq!(report.quarantined.len(), 1, "width {width}");
+            let failure = &report.quarantined[0];
+            assert_eq!(failure.cell, victim);
+            assert_eq!(failure.seed, cell_seed(base, victim));
+            assert_eq!(failure.retries, 0);
+            assert!(
+                matches!(&failure.reason, FailureReason::Panic { message }
+                    if message.contains("melted down")),
+                "width {width}: {:?}",
+                failure.reason
+            );
+            // The streaming-aggregate form of the same width agrees.
+            let (agg, _) = guarded.run_aggregate_batched(poisoned, width).unwrap();
+            assert_eq!(agg, report.aggregate(), "width {width} aggregate diverged");
+        }
+    }
+
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("esafe-batch-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    /// The checkpoint/resume contract: interrupt a checkpointed sweep
+    /// anywhere — a clean record boundary or a torn mid-record tail —
+    /// reopen the journal, resume, and the final aggregate is
+    /// bit-identical to the uninterrupted run, with only the lost cells
+    /// re-running.
+    #[test]
+    fn checkpointed_sweep_resumes_bit_identically() {
+        use crate::journal::{decode_record, DecodeOutcome, HEADER_BYTES};
+
+        let family = RampFamily::new();
+        let build = |slope: &f64, _seed: u64| family.substrate(*slope);
+        let slopes = mixed_slopes();
+        let cells = slopes.len();
+        let sweep = Sweep::new(slopes).with_base_seed(17);
+        let (reference, _) = sweep.run_aggregate_batched(build, 4).unwrap();
+
+        // An uninterrupted checkpointed run matches the plain aggregate.
+        let full_path = temp_journal("full");
+        let mut journal =
+            SweepJournal::create(&full_path, 17, cells, ExperimentConfig::default()).unwrap();
+        let (agg, stats) = sweep
+            .run_aggregate_batched_checkpointed(build, 4, &mut journal)
+            .unwrap();
+        assert_eq!(agg, reference);
+        assert_eq!(stats.runs(), cells);
+        assert_eq!(journal.completed_cells(), cells);
+        drop(journal);
+
+        // Simulate a crash: keep the header, the first three records,
+        // and a torn fragment of the fourth.
+        let bytes = std::fs::read(&full_path).unwrap();
+        let mut boundary = HEADER_BYTES;
+        for _ in 0..3 {
+            match decode_record(&bytes[boundary..]) {
+                DecodeOutcome::Record(_, consumed) => boundary += consumed,
+                other => panic!("journal must hold intact records: {other:?}"),
+            }
+        }
+        for (name, cut) in [("boundary", boundary), ("torn", boundary + 9)] {
+            let cut_path = temp_journal(name);
+            std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+            let mut resumed = SweepJournal::open(&cut_path).unwrap();
+            assert_eq!(resumed.recovered_records(), 3, "{name}");
+            let (resumed_agg, resumed_stats) = sweep
+                .run_aggregate_batched_checkpointed(build, 4, &mut resumed)
+                .unwrap();
+            assert_eq!(
+                resumed_agg, reference,
+                "{name}: resume must be bit-identical"
+            );
+            assert_eq!(
+                resumed_stats.runs(),
+                cells - 3,
+                "{name}: only the lost cells re-run"
+            );
+            drop(resumed);
+
+            // Resuming the now-complete journal runs nothing and still
+            // reproduces the aggregate, purely from records.
+            let mut done = SweepJournal::open(&cut_path).unwrap();
+            let (replayed, replay_stats) = sweep
+                .run_aggregate_batched_checkpointed(build, 4, &mut done)
+                .unwrap();
+            assert_eq!(replayed, reference, "{name}");
+            assert_eq!(replay_stats.runs(), 0, "{name}");
+            std::fs::remove_file(&cut_path).unwrap();
+        }
+        std::fs::remove_file(&full_path).unwrap();
+    }
+
+    /// Quarantined cells are durable too: a resume replays the failure
+    /// provenance from the journal instead of re-running the cell.
+    #[test]
+    fn checkpointed_resume_replays_quarantined_cells() {
+        let family = RampFamily::new();
+        let slopes = vec![4.0, 0.2, 1.0, 0.4];
+        let poisoned = |slope: &f64, _seed: u64| {
+            if *slope == 1.0 {
+                family.panicking_substrate(*slope, 15.0)
+            } else {
+                family.substrate(*slope)
+            }
+        };
+        let sweep = Sweep::new(slopes.clone()).with_base_seed(5);
+        let path = temp_journal("quarantined");
+        let mut journal =
+            SweepJournal::create(&path, 5, slopes.len(), ExperimentConfig::default()).unwrap();
+        // Checkpointed runs quarantine by default — no explicit policy.
+        let (agg, _) = sweep
+            .run_aggregate_batched_checkpointed(poisoned, 2, &mut journal)
+            .unwrap();
+        assert_eq!(agg.quarantined.len(), 1);
+        assert_eq!(agg.quarantined[0].cell, 2);
+        assert_eq!(agg.runs, 3);
+        drop(journal);
+
+        let mut reopened = SweepJournal::open(&path).unwrap();
+        let (replayed, stats) = sweep
+            .run_aggregate_batched_checkpointed(poisoned, 2, &mut reopened)
+            .unwrap();
+        assert_eq!(replayed, agg, "provenance must survive the journal");
+        assert_eq!(stats.runs(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rejects_a_journal_for_a_different_sweep() {
+        let family = RampFamily::new();
+        let build = |slope: &f64, _seed: u64| family.substrate(*slope);
+        let sweep = Sweep::new(vec![1.0, 2.0]).with_base_seed(3);
+        let path = temp_journal("mismatch");
+        // Wrong seed and wrong cell count.
+        let mut journal = SweepJournal::create(&path, 99, 7, ExperimentConfig::default()).unwrap();
+        let err = sweep
+            .run_aggregate_batched_checkpointed(build, 4, &mut journal)
+            .unwrap_err();
+        assert!(
+            format!("{err}").contains("different sweep"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -40,6 +40,18 @@ pub enum ExperimentError {
     Compile(EvalError),
     /// A monitor referenced a signal missing from the observed state.
     Monitor(MonitorError),
+    /// The run's watchdog tick budget ([`Experiment::with_tick_budget`])
+    /// elapsed with the run still live — the sweep-level quarantine
+    /// treats this as a runaway cell.
+    TickBudget {
+        /// The budget that was exceeded, in ticks.
+        budget: u64,
+    },
+    /// A sweep checkpoint journal failed — an I/O error, a corrupt
+    /// header, or a journal that does not describe this sweep. Carried
+    /// as a rendered message so [`ExperimentError`] stays `Clone` +
+    /// `PartialEq` for the error-ordering contracts.
+    Journal(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -47,6 +59,10 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Compile(e) => write!(f, "goal compilation failed: {e}"),
             ExperimentError::Monitor(e) => write!(f, "monitoring failed: {e}"),
+            ExperimentError::TickBudget { budget } => {
+                write!(f, "run exceeded its watchdog tick budget of {budget} ticks")
+            }
+            ExperimentError::Journal(msg) => write!(f, "sweep journal failed: {msg}"),
         }
     }
 }
@@ -56,6 +72,7 @@ impl std::error::Error for ExperimentError {
         match self {
             ExperimentError::Compile(e) => Some(e),
             ExperimentError::Monitor(e) => Some(e),
+            ExperimentError::TickBudget { .. } | ExperimentError::Journal(_) => None,
         }
     }
 }
@@ -141,6 +158,7 @@ pub struct Experiment<'a, S: Substrate> {
     substrate: &'a S,
     config: ExperimentConfig,
     record_frames: bool,
+    tick_budget: Option<u64>,
 }
 
 impl<'a, S: Substrate> Experiment<'a, S> {
@@ -150,12 +168,25 @@ impl<'a, S: Substrate> Experiment<'a, S> {
             substrate,
             config: ExperimentConfig::default(),
             record_frames: false,
+            tick_budget: None,
         }
     }
 
     /// Replaces the timing policy.
     pub fn with_config(mut self, config: ExperimentConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Arms a watchdog: a run still live after `budget` ticks fails with
+    /// [`ExperimentError::TickBudget`] instead of running to its
+    /// schedule. The budget is deliberately *not* part of
+    /// [`ExperimentConfig`] — it is an execution-policy knob (set by the
+    /// sweep quarantine), not a classification policy, and it never
+    /// appears in a [`RunReport`]. A run whose schedule fits the budget
+    /// is bit-identical to an unbudgeted run.
+    pub fn with_tick_budget(mut self, budget: Option<u64>) -> Self {
+        self.tick_budget = budget;
         self
     }
 
@@ -274,6 +305,14 @@ impl<'a, S: Substrate> Experiment<'a, S> {
 
         let tick_started = Instant::now();
         for tick in 1..=scheduled_ticks {
+            if let Some(budget) = self.tick_budget {
+                if tick > budget {
+                    // The context's pooled suite was taken out and is now
+                    // mid-run; dropping it here (instead of putting it
+                    // back) keeps the pool free of half-stepped state.
+                    return Err(ExperimentError::TickBudget { budget });
+                }
+            }
             sim.step();
             substrate.observe(sim.state(), &mut observed);
             if let Some(trace) = &mut trace {
@@ -614,6 +653,29 @@ mod tests {
             recorded.violations,
             "offline re-monitoring must reproduce the live verdicts"
         );
+    }
+
+    #[test]
+    fn tick_budget_watchdog_aborts_runaway_runs() {
+        // 10 s at dt=10 ms schedules 1000 ticks; a 40-tick budget trips.
+        let substrate = RampSubstrate::new(1e9, 10_000);
+        let err = Experiment::new(&substrate)
+            .with_tick_budget(Some(40))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::TickBudget { budget: 40 });
+        assert!(err.to_string().contains("watchdog tick budget of 40"));
+    }
+
+    #[test]
+    fn tick_budget_covering_the_schedule_is_invisible() {
+        let substrate = RampSubstrate::new(5.0, 10_000);
+        let unbudgeted = Experiment::new(&substrate).run().unwrap();
+        let budgeted = Experiment::new(&substrate)
+            .with_tick_budget(Some(10_000))
+            .run()
+            .unwrap();
+        assert_eq!(budgeted, unbudgeted);
     }
 
     #[test]

@@ -32,7 +32,13 @@
 //!   [`Substrate::suite_template`], so a sweep compiles each goal
 //!   formula once, not once per cell; [`Sweep::run_timed`] reports the
 //!   resulting setup/ticking split and amortization counters
-//!   ([`SweepStats`]).
+//!   ([`SweepStats`]);
+//! * [`Quarantine`] / [`SweepJournal`] — fault isolation and durable
+//!   checkpoint/resume for fleet-scale sweeps: with a quarantine
+//!   installed a panicking, erroring, or runaway cell is recorded as a
+//!   typed [`CellFailure`] (with retry policy) instead of aborting the
+//!   run, and a journal persists completed cells so an interrupted
+//!   sweep resumes bit-identically, skipping work already done.
 //!
 //! A substrate constructs its [`SignalTable`](esafe_logic::SignalTable)
 //! **once**; the experiment loop, every sweep cell, every compiled
@@ -95,6 +101,7 @@
 pub mod batch;
 pub mod context;
 pub mod experiment;
+pub mod journal;
 pub mod lanes;
 pub mod substrate;
 pub mod sweep;
@@ -102,6 +109,10 @@ pub mod sweep;
 pub use batch::DEFAULT_BATCH_WIDTH;
 pub use context::{RunContext, RunTiming, SuiteProvenance};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
+pub use journal::{CellDelta, JournalRecord, SweepJournal};
 pub use lanes::LaneAllocator;
 pub use substrate::Substrate;
-pub use sweep::{cell_seed, AggregateBuilder, Sweep, SweepAggregate, SweepReport, SweepStats};
+pub use sweep::{
+    cell_seed, retry_seed, AggregateBuilder, CellFailure, FailureReason, Quarantine, RetryPolicy,
+    Sweep, SweepAggregate, SweepReport, SweepStats,
+};

@@ -36,6 +36,110 @@ pub fn cell_seed(base: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Deterministic seed for retry attempt `attempt` of a cell. Attempt 0
+/// is exactly [`cell_seed`], so a sweep with retries disabled (or whose
+/// cells never fail) is bit-identical to one that never heard of
+/// retries; reseeded attempts mix the attempt number into the base so
+/// every retry is itself reproducible.
+pub fn retry_seed(base: u64, index: usize, attempt: u32) -> u64 {
+    if attempt == 0 {
+        cell_seed(base, index)
+    } else {
+        cell_seed(
+            base ^ u64::from(attempt).wrapping_mul(0xa076_1d64_78bd_642f),
+            index,
+        )
+    }
+}
+
+/// Why a quarantined cell failed — the `reason` leg of a
+/// [`CellFailure`]'s provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureReason {
+    /// Building or running the cell panicked. The payload is rendered to
+    /// text (`&str`/`String` payloads verbatim) so provenance survives
+    /// serialization.
+    Panic {
+        /// The panic payload's message.
+        message: String,
+    },
+    /// The run returned an [`ExperimentError`] (compile failure, missing
+    /// signal, …), rendered via `Display`.
+    Error {
+        /// The error's rendering.
+        message: String,
+    },
+    /// The quarantine's tick-budget watchdog fired: the run was still
+    /// live after `budget` ticks. Deliberately *not* retried — the
+    /// harness is deterministic, so a runaway run stays runaway.
+    TickBudgetExceeded {
+        /// The budget that was exceeded, in ticks.
+        budget: u64,
+    },
+}
+
+/// Full provenance of one quarantined cell: which cell, under which
+/// seed, after how many retries, and why. Carried in
+/// [`SweepAggregate::quarantined`] / [`SweepReport::quarantined`] so a
+/// fleet-scale sweep reports its casualties instead of aborting on them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// The cell's index in the sweep's grid.
+    pub cell: usize,
+    /// The seed of the final (failing) attempt.
+    pub seed: u64,
+    /// Retry attempts consumed before quarantining (0 = failed on the
+    /// first try).
+    pub retries: u32,
+    /// What went wrong on the final attempt.
+    pub reason: FailureReason,
+}
+
+/// Bounded retry policy for quarantined cells. The default retries
+/// nothing: a failure is quarantined on first sight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 disables retries).
+    pub attempts: u32,
+    /// Whether each retry derives a fresh deterministic seed
+    /// ([`retry_seed`]) instead of re-running the identical attempt.
+    pub reseed: bool,
+}
+
+/// Fault-isolation policy for a sweep ([`Sweep::with_quarantine`]).
+///
+/// With a quarantine installed, a panicking or erroring cell no longer
+/// aborts the sweep: the failure is caught (`catch_unwind` around the
+/// cell), optionally retried per [`RetryPolicy`], and finally recorded
+/// as a typed [`CellFailure`] in the aggregate while every other cell's
+/// report stays bit-identical to an all-healthy run. The default policy
+/// isolates faults but sets no tick budget and no retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Quarantine {
+    /// Per-cell watchdog: a run still live after this many ticks is
+    /// quarantined as [`FailureReason::TickBudgetExceeded`]. `None`
+    /// disarms the watchdog.
+    pub tick_budget: Option<u64>,
+    /// Retry policy for panics and errors (tick-budget trips are
+    /// deterministic and never retried).
+    pub retry: RetryPolicy,
+}
+
+/// Renders a caught panic payload for [`FailureReason::Panic`].
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// One guarded cell outcome: the successful report and its timing, or
+/// the final attempt's failure — plus the retries consumed either way.
+pub(crate) type GuardedOutcome = (Result<(RunReport, RunTiming), CellFailure>, u32);
+
 /// A grid of experiment cells to fan across cores.
 ///
 /// A cell is any description of one run — a `(Scenario, DefectSet)`
@@ -49,6 +153,7 @@ pub struct Sweep<C> {
     pub(crate) cells: Vec<C>,
     pub(crate) config: ExperimentConfig,
     pub(crate) base_seed: u64,
+    pub(crate) quarantine: Option<Quarantine>,
 }
 
 impl<C: Sync> Sweep<C> {
@@ -58,6 +163,7 @@ impl<C: Sync> Sweep<C> {
             cells,
             config: ExperimentConfig::default(),
             base_seed: 0,
+            quarantine: None,
         }
     }
 
@@ -70,6 +176,15 @@ impl<C: Sync> Sweep<C> {
     /// Sets the base seed mixed into every cell's deterministic seed.
     pub fn with_base_seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
+        self
+    }
+
+    /// Installs a fault-isolation policy: failing cells are quarantined
+    /// as [`CellFailure`]s in the result instead of aborting the sweep.
+    /// Off by default — without a quarantine every run path keeps the
+    /// documented earliest-cell-error semantics unchanged.
+    pub fn with_quarantine(mut self, quarantine: Quarantine) -> Self {
+        self.quarantine = Some(quarantine);
         self
     }
 
@@ -113,6 +228,15 @@ impl<C: Sync> Sweep<C> {
         F: Fn(&C, u64) -> S + Sync,
     {
         let indices: Vec<usize> = (0..self.cells.len()).collect();
+        if let Some(q) = self.quarantine {
+            let results: Vec<GuardedOutcome> = indices
+                .into_par_iter()
+                .map_init(RunContext::new, |ctx, i| {
+                    self.run_cell_quarantined(q, ctx, i, &build)
+                })
+                .collect();
+            return Ok(Self::collect_guarded(results));
+        }
         let results: Vec<(Result<RunReport, ExperimentError>, RunTiming)> = indices
             .into_par_iter()
             .map_init(RunContext::new, |ctx, i| self.run_cell(ctx, i, &build))
@@ -149,6 +273,12 @@ impl<C: Sync> Sweep<C> {
         F: Fn(&C, u64) -> S,
     {
         let mut ctx = RunContext::new();
+        if let Some(q) = self.quarantine {
+            let results: Vec<GuardedOutcome> = (0..self.cells.len())
+                .map(|i| self.run_cell_quarantined(q, &mut ctx, i, &build))
+                .collect();
+            return Ok(Self::collect_guarded(results));
+        }
         let results: Vec<(Result<RunReport, ExperimentError>, RunTiming)> = (0..self.cells.len())
             .map(|i| self.run_cell(&mut ctx, i, &build))
             .collect();
@@ -175,6 +305,18 @@ impl<C: Sync> Sweep<C> {
         F: Fn(&C, u64) -> S + Sync,
     {
         let indices: Vec<usize> = (0..self.cells.len()).collect();
+        if let Some(q) = self.quarantine {
+            let partial = indices
+                .into_par_iter()
+                .map_init(RunContext::new, |ctx, i| {
+                    self.run_cell_quarantined(q, ctx, i, &build)
+                })
+                .fold(Partial::default, |acc: Partial, outcome| {
+                    acc.absorbed_guarded(outcome)
+                })
+                .reduce(Partial::default, Partial::merged);
+            return partial.finish();
+        }
         let partial = indices
             .into_par_iter()
             .map_init(RunContext::new, |ctx, i| (i, self.run_cell(ctx, i, &build)))
@@ -202,6 +344,13 @@ impl<C: Sync> Sweep<C> {
     {
         let mut ctx = RunContext::new();
         let mut partial = Partial::default();
+        if let Some(q) = self.quarantine {
+            for i in 0..self.cells.len() {
+                partial =
+                    partial.absorbed_guarded(self.run_cell_quarantined(q, &mut ctx, i, &build));
+            }
+            return partial.finish();
+        }
         for i in 0..self.cells.len() {
             partial = partial.absorbed(i, self.run_cell(&mut ctx, i, &build));
         }
@@ -228,6 +377,91 @@ impl<C: Sync> Sweep<C> {
         }
     }
 
+    /// One fault-isolated cell: `catch_unwind` around build + run,
+    /// tick-budget trips translated to
+    /// [`FailureReason::TickBudgetExceeded`], panics and errors retried
+    /// per the quarantine's [`RetryPolicy`]. A healthy cell's report is
+    /// bit-identical to the unguarded [`Sweep::run_cell`]'s — the guard
+    /// only changes what happens to failures.
+    pub(crate) fn run_cell_quarantined<S, F>(
+        &self,
+        q: Quarantine,
+        ctx: &mut RunContext,
+        index: usize,
+        build: &F,
+    ) -> GuardedOutcome
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S,
+    {
+        let mut attempt = 0u32;
+        loop {
+            let seed = if q.retry.reseed {
+                retry_seed(self.base_seed, index, attempt)
+            } else {
+                cell_seed(self.base_seed, index)
+            };
+            match self.attempt_cell(q, ctx, index, seed, build) {
+                Ok(ok) => return (Ok(ok), attempt),
+                Err(reason) => {
+                    let deterministic = matches!(reason, FailureReason::TickBudgetExceeded { .. });
+                    if !deterministic && attempt < q.retry.attempts {
+                        attempt += 1;
+                        continue;
+                    }
+                    return (
+                        Err(CellFailure {
+                            cell: index,
+                            seed,
+                            retries: attempt,
+                            reason,
+                        }),
+                        attempt,
+                    );
+                }
+            }
+        }
+    }
+
+    fn attempt_cell<S, F>(
+        &self,
+        q: Quarantine,
+        ctx: &mut RunContext,
+        index: usize,
+        seed: u64,
+        build: &F,
+    ) -> Result<(RunReport, RunTiming), FailureReason>
+    where
+        S: Substrate,
+        F: Fn(&C, u64) -> S,
+    {
+        // `AssertUnwindSafe`: on a caught panic the context (the only
+        // mutable state crossing the boundary) is discarded and rebuilt,
+        // so no torn pooled state can leak into a later run.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let substrate = build(&self.cells[index], seed);
+            Experiment::new(&substrate)
+                .with_config(self.config)
+                .with_tick_budget(q.tick_budget)
+                .run_in(ctx)
+        }));
+        match caught {
+            Ok(Ok(ok)) => Ok(ok),
+            Ok(Err(ExperimentError::TickBudget { budget })) => {
+                Err(FailureReason::TickBudgetExceeded { budget })
+            }
+            Ok(Err(e)) => Err(FailureReason::Error {
+                message: e.to_string(),
+            }),
+            Err(payload) => {
+                *ctx = RunContext::new();
+                Err(FailureReason::Panic {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
     pub(crate) fn collect_reports(
         results: Vec<(Result<RunReport, ExperimentError>, RunTiming)>,
     ) -> Result<(SweepReport, SweepStats), ExperimentError> {
@@ -237,7 +471,34 @@ impl<C: Sync> Sweep<C> {
             runs.push(result?);
             stats.absorb(timing);
         }
-        Ok((SweepReport { runs }, stats))
+        Ok((
+            SweepReport {
+                runs,
+                ..SweepReport::default()
+            },
+            stats,
+        ))
+    }
+
+    /// Assembles a guarded sweep's results: healthy reports in cell
+    /// order, quarantined cells sorted by index, retries summed.
+    /// [`SweepStats`] covers healthy runs only — a quarantined cell
+    /// produced no meaningful timing.
+    pub(crate) fn collect_guarded(results: Vec<GuardedOutcome>) -> (SweepReport, SweepStats) {
+        let mut report = SweepReport::default();
+        let mut stats = SweepStats::default();
+        for (result, retries) in results {
+            report.retries += retries as usize;
+            match result {
+                Ok((run, timing)) => {
+                    report.runs.push(run);
+                    stats.absorb(timing);
+                }
+                Err(failure) => report.quarantined.push(failure),
+            }
+        }
+        report.quarantined.sort_by_key(|f| f.cell);
+        (report, stats)
     }
 }
 
@@ -268,6 +529,21 @@ impl Partial {
                     self.error = Some((index, e));
                 }
             }
+        }
+        self
+    }
+
+    /// Folds one guarded cell's outcome in: healthy reports and
+    /// quarantined failures both land in the aggregate (a guarded sweep
+    /// never carries an error), failed attempts contribute no timing.
+    pub(crate) fn absorbed_guarded(mut self, (result, retries): GuardedOutcome) -> Partial {
+        self.aggregate.add_retries(retries as usize);
+        match result {
+            Ok((report, timing)) => {
+                self.stats.absorb(timing);
+                self.aggregate.absorb(&report);
+            }
+            Err(failure) => self.aggregate.absorb_failure(failure),
         }
         self
     }
@@ -306,6 +582,8 @@ pub struct AggregateBuilder {
     false_negatives: usize,
     false_positives: usize,
     violations_by_monitor: BTreeMap<String, usize>,
+    quarantined: Vec<CellFailure>,
+    retries: usize,
 }
 
 impl AggregateBuilder {
@@ -331,6 +609,33 @@ impl AggregateBuilder {
         }
     }
 
+    /// Folds one journaled cell delta in — the checkpoint-resume
+    /// mirror of [`AggregateBuilder::absorb`]: replaying a
+    /// [`CellDelta`](crate::journal::CellDelta) extracted from a report
+    /// adds exactly what absorbing the report itself would have.
+    pub fn absorb_delta(&mut self, delta: &crate::journal::CellDelta) {
+        self.runs += 1;
+        self.terminated_early += usize::from(delta.terminated_early);
+        self.terminal_events += usize::from(delta.terminal_event);
+        self.hits += delta.hits as usize;
+        self.false_negatives += delta.false_negatives as usize;
+        self.false_positives += delta.false_positives as usize;
+        for (id, count) in &delta.violations {
+            *self.violations_by_monitor.entry(id.clone()).or_default() += *count as usize;
+        }
+        self.retries += delta.retries as usize;
+    }
+
+    /// Records one quarantined cell's provenance.
+    pub fn absorb_failure(&mut self, failure: CellFailure) {
+        self.quarantined.push(failure);
+    }
+
+    /// Adds retry attempts consumed by cells (successful or not).
+    pub fn add_retries(&mut self, retries: usize) {
+        self.retries += retries;
+    }
+
     /// Merges another accumulator in (the sweep's join step).
     pub fn merge(&mut self, other: AggregateBuilder) {
         self.runs += other.runs;
@@ -342,10 +647,15 @@ impl AggregateBuilder {
         for (id, count) in other.violations_by_monitor {
             *self.violations_by_monitor.entry(id).or_default() += count;
         }
+        self.quarantined.extend(other.quarantined);
+        self.retries += other.retries;
     }
 
-    /// The order-independent totals (per-monitor counts sorted by id).
+    /// The order-independent totals (per-monitor counts sorted by id,
+    /// quarantined cells sorted by index).
     pub fn finish(self) -> SweepAggregate {
+        let mut quarantined = self.quarantined;
+        quarantined.sort_by_key(|f| f.cell);
         SweepAggregate {
             runs: self.runs,
             terminated_early: self.terminated_early,
@@ -354,6 +664,8 @@ impl AggregateBuilder {
             false_negatives: self.false_negatives,
             false_positives: self.false_positives,
             violations_by_monitor: self.violations_by_monitor.into_iter().collect(),
+            quarantined,
+            retries: self.retries,
         }
     }
 }
@@ -381,7 +693,7 @@ pub struct SweepStats {
 
 impl SweepStats {
     /// Folds one run's timing into the totals.
-    fn absorb(&mut self, timing: RunTiming) {
+    pub(crate) fn absorb(&mut self, timing: RunTiming) {
         self.setup += timing.setup;
         self.ticking += timing.ticking;
         match timing.suite {
@@ -409,8 +721,13 @@ impl SweepStats {
 /// All reports of a sweep, in cell order.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
-    /// One report per cell.
+    /// One report per healthy cell; quarantined cells are absent.
     pub runs: Vec<RunReport>,
+    /// Cells quarantined by fault isolation, sorted by cell index.
+    /// Empty unless the sweep ran [`Sweep::with_quarantine`].
+    pub quarantined: Vec<CellFailure>,
+    /// Retry attempts consumed across all cells.
+    pub retries: usize,
 }
 
 impl SweepReport {
@@ -429,6 +746,10 @@ impl SweepReport {
         for run in &self.runs {
             builder.absorb(run);
         }
+        for failure in &self.quarantined {
+            builder.absorb_failure(failure.clone());
+        }
+        builder.add_retries(self.retries);
         builder.finish()
     }
 }
@@ -450,6 +771,12 @@ pub struct SweepAggregate {
     pub false_positives: usize,
     /// Violation-interval counts per monitor id, sorted by id.
     pub violations_by_monitor: Vec<(String, usize)>,
+    /// Cells quarantined by fault isolation, sorted by cell index, with
+    /// full provenance. Empty unless the sweep ran
+    /// [`Sweep::with_quarantine`].
+    pub quarantined: Vec<CellFailure>,
+    /// Retry attempts consumed across all cells.
+    pub retries: usize,
 }
 
 #[cfg(test)]
@@ -672,5 +999,193 @@ mod tests {
         let label = &report.runs[0].label;
         assert!(report.for_label(label).is_some());
         assert!(report.for_label("nope").is_none());
+    }
+
+    /// The golden earliest-cell-error contract, quarantine OFF (the
+    /// default): every run path — parallel, serial, batched, and all
+    /// three streaming-aggregate forms — surfaces cell 0's error with
+    /// an identical rendering, regardless of scheduling.
+    #[test]
+    fn every_run_path_reports_the_earliest_cell_error_identically() {
+        let sweep = Sweep::new((0..8).collect::<Vec<u64>>()).with_base_seed(3);
+        let renderings: Vec<String> = [
+            sweep.run(build_broken).err(),
+            sweep.run_serial(build_broken).err(),
+            sweep.run_batched(build_broken, 4).err(),
+            sweep.run_aggregate(build_broken).map(|_| ()).err(),
+            sweep.run_aggregate_serial(build_broken).map(|_| ()).err(),
+            sweep
+                .run_aggregate_batched(build_broken, 4)
+                .map(|_| ())
+                .err(),
+        ]
+        .into_iter()
+        .map(|e| format!("{}", e.expect("every path must fail")))
+        .collect();
+        assert!(renderings[0].contains("cell-0"), "{}", renderings[0]);
+        for (i, rendering) in renderings.iter().enumerate() {
+            assert_eq!(rendering, &renderings[0], "path {i} diverged");
+        }
+    }
+
+    /// Panics in cell 2's build, caught: builds the rest normally.
+    fn build_panicky(cell: &u64, seed: u64) -> EmitSubstrate {
+        if *cell == 2 {
+            panic!("cell {cell} exploded during build");
+        }
+        build(cell, seed)
+    }
+
+    #[test]
+    fn quarantine_isolates_a_panicking_cell_with_provenance() {
+        let base = 31u64;
+        let sweep = Sweep::new((0..6).collect::<Vec<u64>>()).with_base_seed(base);
+        let baseline = sweep.run_serial(build).unwrap();
+        let guarded = sweep.clone().with_quarantine(Quarantine::default());
+
+        let report = guarded.run(build_panicky).unwrap();
+        let serial = guarded.run_serial(build_panicky).unwrap();
+        assert_eq!(report, serial, "guarded parallel must match guarded serial");
+
+        // Every healthy cell's report is bit-identical to the
+        // all-healthy sweep; only the panicking cell is missing.
+        let mut expected = baseline.runs.clone();
+        expected.remove(2);
+        assert_eq!(report.runs, expected);
+        assert_eq!(report.retries, 0);
+        assert_eq!(
+            report.quarantined,
+            vec![CellFailure {
+                cell: 2,
+                seed: cell_seed(base, 2),
+                retries: 0,
+                reason: FailureReason::Panic {
+                    message: "cell 2 exploded during build".to_owned(),
+                },
+            }]
+        );
+
+        // The streaming-aggregate paths carry the same provenance.
+        let (agg, _) = guarded.run_aggregate(build_panicky).unwrap();
+        let (agg_serial, _) = guarded.run_aggregate_serial(build_panicky).unwrap();
+        assert_eq!(agg, report.aggregate());
+        assert_eq!(agg_serial, agg);
+        assert_eq!(agg.quarantined, report.quarantined);
+    }
+
+    #[test]
+    fn quarantine_retries_flaky_cells_with_fresh_seeds() {
+        let base = 77u64;
+        let cells: Vec<u64> = (0..4).collect();
+        // Cell values equal indices here, so a build can recognize a
+        // first-attempt seed and flake exactly once per cell.
+        let flaky = |cell: &u64, seed: u64| {
+            if seed == cell_seed(base, *cell as usize) {
+                panic!("first attempt flake");
+            }
+            build(cell, seed)
+        };
+        let sweep = Sweep::new(cells)
+            .with_base_seed(base)
+            .with_quarantine(Quarantine {
+                tick_budget: None,
+                retry: RetryPolicy {
+                    attempts: 1,
+                    reseed: true,
+                },
+            });
+        let report = sweep.run_serial(flaky).unwrap();
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.retries, 4, "each cell burned one retry");
+        for (i, run) in report.runs.iter().enumerate() {
+            let reseeded = retry_seed(base, i, 1);
+            assert_eq!(run.label, format!("cell-{i}-seed-{reseeded:016x}"));
+        }
+        assert_eq!(report.aggregate().retries, 4);
+    }
+
+    #[test]
+    fn quarantine_exhausts_retries_then_records_the_final_seed() {
+        let base = 13u64;
+        let always_panics = |cell: &u64, _seed: u64| -> EmitSubstrate {
+            panic!("cell {cell} always fails");
+        };
+        let sweep = Sweep::new(vec![0u64])
+            .with_base_seed(base)
+            .with_quarantine(Quarantine {
+                tick_budget: None,
+                retry: RetryPolicy {
+                    attempts: 2,
+                    reseed: true,
+                },
+            });
+        let report = sweep.run_serial(always_panics).unwrap();
+        assert!(report.runs.is_empty());
+        assert_eq!(report.retries, 2);
+        assert_eq!(
+            report.quarantined,
+            vec![CellFailure {
+                cell: 0,
+                seed: retry_seed(base, 0, 2),
+                retries: 2,
+                reason: FailureReason::Panic {
+                    message: "cell 0 always fails".to_owned(),
+                },
+            }]
+        );
+        // Without reseeding, every attempt (and the recorded seed) is
+        // the canonical cell seed.
+        let fixed = Sweep::new(vec![0u64])
+            .with_base_seed(base)
+            .with_quarantine(Quarantine {
+                tick_budget: None,
+                retry: RetryPolicy {
+                    attempts: 1,
+                    reseed: false,
+                },
+            });
+        let report = fixed.run_serial(always_panics).unwrap();
+        assert_eq!(report.quarantined[0].seed, cell_seed(base, 0));
+        assert_eq!(report.quarantined[0].retries, 1);
+    }
+
+    #[test]
+    fn tick_budget_trips_are_quarantined_and_never_retried() {
+        // EmitSubstrate runs 20 ticks; a budget of 5 trips every cell.
+        // The trip is deterministic, so the retry policy must not burn
+        // attempts on it.
+        let sweep = Sweep::new((0..3).collect::<Vec<u64>>())
+            .with_base_seed(9)
+            .with_quarantine(Quarantine {
+                tick_budget: Some(5),
+                retry: RetryPolicy {
+                    attempts: 3,
+                    reseed: true,
+                },
+            });
+        let report = sweep.run_serial(build).unwrap();
+        assert!(report.runs.is_empty());
+        assert_eq!(report.retries, 0, "deterministic trips are not retried");
+        assert_eq!(report.quarantined.len(), 3);
+        for (i, failure) in report.quarantined.iter().enumerate() {
+            assert_eq!(failure.cell, i);
+            assert_eq!(failure.retries, 0);
+            assert_eq!(
+                failure.reason,
+                FailureReason::TickBudgetExceeded { budget: 5 }
+            );
+        }
+        // A budget covering the schedule changes nothing.
+        let roomy = Sweep::new((0..3).collect::<Vec<u64>>())
+            .with_base_seed(9)
+            .with_quarantine(Quarantine {
+                tick_budget: Some(20),
+                retry: RetryPolicy::default(),
+            });
+        let unguarded = Sweep::new((0..3).collect::<Vec<u64>>()).with_base_seed(9);
+        assert_eq!(
+            roomy.run_serial(build).unwrap().runs,
+            unguarded.run_serial(build).unwrap().runs
+        );
     }
 }

@@ -23,10 +23,13 @@
 //! monitored runs**, swept through the batched striped engine with
 //! O(workers × stripe width) memory ([`run_mega_aggregate`]) — the
 //! `repro --mega-grid` workload, summarized in `BENCH_megagrid.json`
-//! (schema v4).
+//! (schema v6). [`run_mega_aggregate_checkpointed`] is the durable
+//! form behind `repro --mega-grid --checkpoint`: fault-isolated cells
+//! plus a crash-recoverable [`SweepJournal`] so an interrupted sweep
+//! resumes bit-identically.
 
 use crate::runner;
-use esafe_harness::{ExperimentError, Sweep, SweepAggregate, SweepStats};
+use esafe_harness::{ExperimentError, Quarantine, Sweep, SweepAggregate, SweepJournal, SweepStats};
 use esafe_vehicle::config::DefectSet;
 use esafe_vehicle::driver::DriverAction;
 use esafe_vehicle::dynamics::{Scene, SceneObject};
@@ -160,6 +163,49 @@ pub fn run_mega_aggregate(
         .run_aggregate_batched(|cell, seed| build_mega_cell_in(&family, cell, seed), width)
 }
 
+/// Creates a fresh checkpoint journal describing a mega sweep over
+/// `cells` — the header pins the sweep's base seed, cell count, and
+/// timing policy, so [`run_mega_aggregate_checkpointed`] can refuse a
+/// journal that belongs to a different sweep.
+///
+/// # Errors
+///
+/// Fails if `path` already exists (resume with [`SweepJournal::open`])
+/// or on I/O failure.
+pub fn create_mega_journal(
+    path: impl AsRef<std::path::Path>,
+    cells: &[MegaCell],
+) -> Result<SweepJournal, ExperimentError> {
+    SweepJournal::create(path, 0, cells.len(), runner::thesis_config())
+}
+
+/// [`run_mega_aggregate`] with durable progress: completed cells are
+/// appended to `journal` as they finish, cells the journal already
+/// holds are skipped and replayed from their records, and the final
+/// aggregate is bit-identical to an uninterrupted run. Fault isolation
+/// is on (the default [`Quarantine`]): a panicking or erroring cell is
+/// recorded in [`SweepAggregate::quarantined`] instead of aborting a
+/// multi-hour sweep.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Journal`] on a journal/sweep mismatch or
+/// journal I/O failure.
+pub fn run_mega_aggregate_checkpointed(
+    cells: Vec<MegaCell>,
+    width: usize,
+    journal: &mut SweepJournal,
+) -> Result<(SweepAggregate, SweepStats), ExperimentError> {
+    let family = VehicleFamily::default();
+    mega_sweep(cells)
+        .with_quarantine(Quarantine::default())
+        .run_aggregate_batched_checkpointed(
+            |cell, seed| build_mega_cell_in(&family, cell, seed),
+            width,
+            journal,
+        )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +261,40 @@ mod tests {
         // Sanity: a mega substrate runs the advertised schedule.
         let sub = build_mega_cell_in(&family, &mega_grid()[0], 0);
         assert_eq!(sub.duration_ms(), (MEGA_DURATION_S * 1000.0) as u64);
+    }
+
+    #[test]
+    fn mega_checkpointed_resume_matches_the_uninterrupted_aggregate() {
+        let configs = vec![
+            ("none".to_owned(), DefectSet::none()),
+            ("thesis (all)".to_owned(), DefectSet::thesis()),
+        ];
+        let cells = mega_cells(&[6.0, 30.0], &[0.0], &[0.12, 0.33], &configs);
+        assert_eq!(cells.len(), 8);
+        let (reference, _) = run_mega_aggregate(cells.clone(), 2).unwrap();
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("esafe-mega-journal-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut journal = create_mega_journal(&path, &cells).unwrap();
+        let (checkpointed, stats) =
+            run_mega_aggregate_checkpointed(cells.clone(), 2, &mut journal).unwrap();
+        assert_eq!(
+            checkpointed, reference,
+            "checkpointing must not change results"
+        );
+        assert_eq!(stats.runs(), 8);
+        assert_eq!(journal.completed_cells(), 8);
+        drop(journal);
+
+        // A resume of the completed journal replays everything from
+        // records: same aggregate, zero cells re-run.
+        let mut reopened = SweepJournal::open(&path).unwrap();
+        let (resumed, resumed_stats) =
+            run_mega_aggregate_checkpointed(cells, 2, &mut reopened).unwrap();
+        assert_eq!(resumed, reference);
+        assert_eq!(resumed_stats.runs(), 0);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -1,0 +1,81 @@
+//! Offline re-monitoring throughput: replaying an archived trace
+//! corpus through a goal suite, end to end — open nothing, simulate
+//! nothing, just decode columns into the lane slab and sweep the fused
+//! DAG across stripes.
+//!
+//! * `decode_only` — the codec floor: materializing every archived
+//!   run's columns (delta/varint/dictionary decode), no monitoring;
+//! * `replay_strict_w{N}` — the full `repro --replay-corpus` path at
+//!   stripe width N: per-group suite compilation, column decode
+//!   straight into the [`FrameBatch`] slab, `observe_slab` per tick,
+//!   correlation and violation extraction per lane.
+//!
+//! Each iteration covers the whole corpus (printed below as runs ×
+//! ticks); divide by total ticks for the ns/tick/run figure the
+//! acceptance bound in `repro --replay-corpus --json` reports against
+//! `BENCH_megagrid.json`.
+//!
+//! [`FrameBatch`]: esafe_logic::FrameBatch
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esafe_scenarios::corpus::{record_grid_corpus, suite_for};
+use esafe_scenarios::grid;
+
+fn corpus_replay(c: &mut Criterion) {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("esafe-bench-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cells = grid::cells(&[1, 2, 10], &grid::ablation_configs()[..4]);
+    let (_, _, stats) = record_grid_corpus(&dir, cells).expect("recording succeeds");
+    let reader = esafe_harness::TraceCorpusReader::open(&dir).expect("committed corpus opens");
+    println!(
+        "corpus: {} runs, {} ticks, {} bytes ({:.2} bytes/tick)",
+        stats.runs,
+        stats.ticks,
+        stats.data_bytes,
+        stats.data_bytes as f64 / stats.ticks.max(1) as f64,
+    );
+
+    let mut group = c.benchmark_group("corpus_replay");
+    group.sample_size(10);
+
+    group.bench_function("decode_only", |b| {
+        b.iter(|| {
+            for i in 0..reader.len() {
+                let trace = reader.decode_trace(i).expect("archived runs decode");
+                assert_eq!(trace.len() as u64, reader.meta(i).ticks);
+            }
+        })
+    });
+
+    group.bench_function("decode_into_slab_w8", |b| {
+        let table = reader.table(0).expect("one table");
+        let mut slab = esafe_logic::FrameBatch::new(table, 8);
+        b.iter(|| {
+            let mut decoders: Vec<_> = (0..reader.len())
+                .map(|i| reader.decoder(i).expect("archived runs open"))
+                .collect();
+            for (lane, dec) in decoders.iter_mut().enumerate() {
+                while dec.write_tick(&mut slab, lane % 8, reader.dict()).is_some() {}
+            }
+        })
+    });
+
+    for width in [1usize, 4, 12] {
+        group.bench_function(format!("replay_strict_w{width}"), |b| {
+            b.iter(|| {
+                let replay = esafe_harness::replay_corpus(&reader, width, |substrate, table| {
+                    suite_for("strict", substrate, table)
+                })
+                .expect("replay succeeds");
+                assert_eq!(replay.runs, reader.len());
+            })
+        });
+    }
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, corpus_replay);
+criterion_main!(benches);

@@ -16,6 +16,12 @@
 //! repro --serve-bench          # 1000-stream fleet through the monitor service
 //! repro --serve-bench --json <path>  # …plus the serve-bench-v2 summary
 //! repro --serve-bench --faulty <pct> [--json <path>]  # hostile fleet: pct% faulty streams
+//! repro --grid --record-corpus <dir> [--subset <n>]       # archive the sweep's
+//!                                  # traces into an on-disk columnar corpus
+//! repro --mega-grid --record-corpus <dir> [--subset <n>]  # same, mega cells
+//! repro --replay-corpus <dir> [--suite <name>] [--width <w>]  # re-monitor the
+//!                                  # archive with a registered suite, zero simulation
+//! repro --grid --suite <name> [--subset <n>]  # live reference for the same suite
 //! repro --all                  # everything, in thesis order
 //! repro --json <scenario>      # dump a scenario's figure series as JSON
 //! ```
@@ -24,9 +30,10 @@
 //! and `repro --mega-grid --json out.json` are the same invocation.
 
 use esafe_bench::{
-    ablation, batch_calibration, figure_map, full_grid_timed, full_mega_checkpointed,
-    grid_summary_json, mega_cells_subset, mega_summary_json, mega_timed_over, observe_calibration,
-    serve_bench, serve_summary_json, thesis_run, MegaCheckpointInfo,
+    ablation, batch_calibration, corpus_summary_json, figure_map, full_grid_timed,
+    full_mega_checkpointed, grid_summary_json, mega_cells_subset, mega_summary_json,
+    mega_timed_over, observe_calibration, record_corpus_timed, replay_corpus_timed, serve_bench,
+    serve_summary_json, suite_reference_timed, thesis_run, MegaCheckpointInfo,
 };
 use esafe_core::render;
 use esafe_elevator::ElevatorParams;
@@ -34,8 +41,10 @@ use esafe_scenarios::tables;
 use esafe_vehicle::config::VehicleParams;
 
 const USAGE: &str = "usage: repro --table <id> | --figure <id> | --ablation [n] \
-     | --grid [--json <path>] \
-     | --mega-grid [--subset <n>] [--width <w>] [--checkpoint <path> [--resume]] [--json <path>] \
+     | --grid [--suite <name> | --record-corpus <dir>] [--subset <n>] [--json <path>] \
+     | --mega-grid [--subset <n>] [--width <w>] [--checkpoint <path> [--resume]] \
+       [--record-corpus <dir>] [--json <path>] \
+     | --replay-corpus <dir> [--suite <name>] [--width <w>] [--json <path>] \
      | --serve-bench [--faulty <pct>] [--json <path>] \
      | --json <n> | --all";
 
@@ -46,6 +55,7 @@ enum Command {
     Ablation(u8),
     Grid,
     MegaGrid,
+    ReplayCorpus(String),
     ServeBench,
     All,
 }
@@ -60,6 +70,8 @@ struct Cli {
     resume: bool,
     subset: Option<usize>,
     width: Option<usize>,
+    record_corpus: Option<String>,
+    suite: Option<String>,
 }
 
 fn usage_error(message: &str) -> ! {
@@ -79,6 +91,8 @@ fn parse_cli(args: &[String]) -> Cli {
         resume: false,
         subset: None,
         width: None,
+        record_corpus: None,
+        suite: None,
     };
     let set_command = |cli: &mut Cli, command: Command, flag: &str| {
         if cli.command.is_some() {
@@ -131,6 +145,10 @@ fn parse_cli(args: &[String]) -> Cli {
                 set_command(&mut cli, Command::MegaGrid, flag);
                 i += 1;
             }
+            "--replay-corpus" => {
+                set_command(&mut cli, Command::ReplayCorpus(value(i).to_owned()), flag);
+                i += 2;
+            }
             "--serve-bench" => {
                 set_command(&mut cli, Command::ServeBench, flag);
                 i += 1;
@@ -159,6 +177,14 @@ fn parse_cli(args: &[String]) -> Cli {
                 cli.subset = Some(parsed(i));
                 i += 2;
             }
+            "--record-corpus" => {
+                cli.record_corpus = Some(value(i).to_owned());
+                i += 2;
+            }
+            "--suite" => {
+                cli.suite = Some(value(i).to_owned());
+                i += 2;
+            }
             "--width" => {
                 let w = parsed(i);
                 if w == 0 {
@@ -184,18 +210,56 @@ fn main() {
         usage_error("`--faulty` only applies to --serve-bench");
     }
     let mega = matches!(cli.command, Some(Command::MegaGrid));
-    if (cli.checkpoint.is_some() || cli.subset.is_some() || cli.width.is_some()) && !mega {
-        usage_error("`--checkpoint`, `--subset`, and `--width` only apply to --mega-grid");
+    let grid = matches!(cli.command, Some(Command::Grid));
+    let replay = matches!(cli.command, Some(Command::ReplayCorpus(_)));
+    if cli.checkpoint.is_some() && !mega {
+        usage_error("`--checkpoint` only applies to --mega-grid");
+    }
+    if cli.subset.is_some() && !(mega || grid) {
+        usage_error("`--subset` only applies to --grid and --mega-grid");
+    }
+    if cli.width.is_some() && !(mega || replay) {
+        usage_error("`--width` only applies to --mega-grid and --replay-corpus");
     }
     if cli.resume && cli.checkpoint.is_none() {
         usage_error("`--resume` wants a `--checkpoint <path>` to resume from");
+    }
+    if cli.record_corpus.is_some() && !(mega || grid) {
+        usage_error("`--record-corpus` only applies to --grid and --mega-grid");
+    }
+    if cli.record_corpus.is_some() && (cli.suite.is_some() || cli.checkpoint.is_some()) {
+        usage_error("`--record-corpus` conflicts with `--suite` and `--checkpoint`");
+    }
+    if cli.suite.is_some() && !(grid || replay) {
+        usage_error("`--suite` only applies to --grid and --replay-corpus");
     }
     match &cli.command {
         Some(Command::Table(id)) => print_table(id),
         Some(Command::Figure(id)) => print_figure(id),
         Some(Command::Ablation(scenario)) => print_ablation(*scenario),
-        Some(Command::Grid) => print_grid(cli.json.as_deref()),
-        Some(Command::MegaGrid) => print_mega_grid(&cli),
+        Some(Command::Grid) => match (&cli.record_corpus, &cli.suite) {
+            (Some(dir), _) => print_record_corpus(dir, false, cli.subset, cli.json.as_deref()),
+            (None, Some(suite)) => print_suite_reference(suite, cli.subset, cli.json.as_deref()),
+            (None, None) => {
+                if cli.subset.is_some() {
+                    usage_error(
+                        "`--grid --subset` wants `--suite <name>` or `--record-corpus <dir>` \
+                         (the plain grid always runs all 140 cells)",
+                    );
+                }
+                print_grid(cli.json.as_deref());
+            }
+        },
+        Some(Command::MegaGrid) => match &cli.record_corpus {
+            Some(dir) => print_record_corpus(dir, true, cli.subset, cli.json.as_deref()),
+            None => print_mega_grid(&cli),
+        },
+        Some(Command::ReplayCorpus(dir)) => print_replay_corpus(
+            dir,
+            cli.suite.as_deref().unwrap_or("thesis"),
+            cli.width.unwrap_or(esafe_harness::DEFAULT_REPLAY_WIDTH),
+            cli.json.as_deref(),
+        ),
         Some(Command::ServeBench) => {
             print_serve_bench(cli.json.as_deref(), cli.faulty.unwrap_or(0));
         }
@@ -322,6 +386,124 @@ fn print_mega_grid(cli: &Cli) {
             checkpoint.as_ref(),
         )
         .expect("summary serializes");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+        println!("summary written to {path}");
+    }
+}
+
+/// Records a grid or mega-grid cell prefix into a fresh on-disk trace
+/// corpus: every run executes serially with frame recording on, its
+/// columns archived as it finishes, and the commit manifest published
+/// atomically at the end. With `--json`, writes the schema-v7
+/// `corpus-record` summary.
+fn print_record_corpus(dir: &str, mega: bool, subset: Option<usize>, json_path: Option<&str>) {
+    let workload = if mega { "--mega-grid" } else { "--grid" };
+    match subset {
+        Some(n) => println!("recording the first {n} {workload} cells into corpus {dir}"),
+        None => println!("recording the full {workload} sweep into corpus {dir}"),
+    }
+    let summary = record_corpus_timed(dir, mega, subset).unwrap_or_else(|e| {
+        eprintln!("corpus recording failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "archived {} runs / {} ticks in {:.3} s: {} bytes ({:.2} bytes/tick), \
+         {} dictionary symbols, {} signal tables",
+        summary.corpus_runs,
+        summary.corpus_ticks,
+        summary.wall_clock_ms / 1000.0,
+        summary.corpus_bytes,
+        summary.bytes_per_tick,
+        summary.dict_entries,
+        summary.tables
+    );
+    println!(
+        "recording aggregate: {} runs, {} hits, {} false negatives, {} false positives",
+        summary.aggregate.runs,
+        summary.aggregate.hits,
+        summary.aggregate.false_negatives,
+        summary.aggregate.false_positives
+    );
+    if let Some(path) = json_path {
+        let json = corpus_summary_json(&summary).expect("summary serializes");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+        println!("summary written to {path}");
+    }
+}
+
+/// Re-monitors an archived corpus with a registered goal suite —
+/// including one the corpus was never recorded with — at batched-
+/// observe speed with zero simulation. With `--json`, writes the
+/// schema-v7 `corpus-replay` summary.
+fn print_replay_corpus(dir: &str, suite: &str, width: usize, json_path: Option<&str>) {
+    println!("replaying corpus {dir} with suite `{suite}` at stripe width {width}");
+    let summary = replay_corpus_timed(dir, suite, width).unwrap_or_else(|e| {
+        eprintln!("corpus replay failed: {e}");
+        std::process::exit(1);
+    });
+    if summary.recovered {
+        println!(
+            "corpus had no commit manifest (torn recording): recovered {} complete runs",
+            summary.corpus_runs
+        );
+    }
+    println!(
+        "re-monitored {} runs / {} ticks in {:.3} s \
+         (open {:.1} ms + replay engine {:.1} ns/tick/run)",
+        summary.corpus_runs,
+        summary.corpus_ticks,
+        summary.wall_clock_ms / 1000.0,
+        summary.open_ms,
+        summary.replay_ns_per_tick_per_run
+    );
+    println!(
+        "replay aggregate: {} runs, {} hits, {} false negatives, {} false positives, \
+         {} early terminations, {} collisions",
+        summary.aggregate.runs,
+        summary.aggregate.hits,
+        summary.aggregate.false_negatives,
+        summary.aggregate.false_positives,
+        summary.aggregate.terminated_early,
+        summary.aggregate.terminal_events
+    );
+    println!("{:<24} total violation intervals", "monitor");
+    for (id, count) in &summary.aggregate.violations_by_monitor {
+        println!("{id:<24} {count}");
+    }
+    if let Some(path) = json_path {
+        let json = corpus_summary_json(&summary).expect("summary serializes");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+        println!("summary written to {path}");
+    }
+}
+
+/// Runs a grid cell prefix live and scores the recorded runs with a
+/// registered suite — the reference a `--replay-corpus --suite` run
+/// over the same cells is pinned against. With `--json`, writes the
+/// schema-v7 `suite-reference` summary.
+fn print_suite_reference(suite: &str, subset: Option<usize>, json_path: Option<&str>) {
+    match subset {
+        Some(n) => println!("live reference: first {n} grid cells scored with suite `{suite}`"),
+        None => println!("live reference: full grid scored with suite `{suite}`"),
+    }
+    let summary = suite_reference_timed(subset, suite).unwrap_or_else(|e| {
+        eprintln!("live suite reference failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "scored {} cells in {:.3} s",
+        summary.cells,
+        summary.wall_clock_ms / 1000.0
+    );
+    println!(
+        "reference aggregate: {} runs, {} hits, {} false negatives, {} false positives",
+        summary.aggregate.runs,
+        summary.aggregate.hits,
+        summary.aggregate.false_negatives,
+        summary.aggregate.false_positives
+    );
+    if let Some(path) = json_path {
+        let json = corpus_summary_json(&summary).expect("summary serializes");
         std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
         println!("summary written to {path}");
     }

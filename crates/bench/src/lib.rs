@@ -827,6 +827,226 @@ pub fn serve_summary_json(summary: &ServeBenchSummary) -> Result<String, serde_j
     serde_json::to_string_pretty(summary)
 }
 
+/// The evaluation grid's first `subset` cells (or the whole 140-cell
+/// grid when `subset` is `None`) — the `repro --grid --subset` space,
+/// sized for corpus smoke runs and the CI record/replay check.
+pub fn grid_cells_subset(subset: Option<usize>) -> Vec<esafe_scenarios::grid::GridCell> {
+    let cells = grid::full_grid();
+    match subset {
+        Some(n) => cells.into_iter().take(n).collect(),
+        None => cells,
+    }
+}
+
+/// The machine-readable `repro --grid/--mega-grid --record-corpus
+/// --json` summary — **schema v7 (`corpus-record`)**: what one
+/// recording sweep archived (runs, ticks, bytes, dictionary and table
+/// counts) plus the live aggregate the recording produced, which any
+/// later `thesis`-suite replay of the corpus must reproduce bit for
+/// bit.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CorpusRecordSummary {
+    /// Corpus summary schema version (v7 introduces the trace-corpus
+    /// record/replay summaries; v1–v6 are the grid/mega/serve
+    /// histories).
+    pub schema: u32,
+    /// Which sweep was recorded (`grid` or `mega-grid`).
+    pub workload: String,
+    /// Cells the recording sweep ran.
+    pub cells: usize,
+    /// Runs archived into the corpus.
+    pub corpus_runs: usize,
+    /// Ticks archived across all runs.
+    pub corpus_ticks: u64,
+    /// Bytes of committed corpus data (header + records).
+    pub corpus_bytes: u64,
+    /// Corpus-global symbol-dictionary entries.
+    pub dict_entries: usize,
+    /// Archived signal tables.
+    pub tables: usize,
+    /// Bytes per archived tick — the columnar-codec density.
+    pub bytes_per_tick: f64,
+    /// Recording wall-clock (simulate + monitor + archive), ms.
+    pub wall_clock_ms: f64,
+    /// The recording sweep's live aggregate.
+    pub aggregate: SweepAggregate,
+}
+
+/// Records a grid or mega-grid cell prefix into a fresh corpus at
+/// `dir` — the `repro --record-corpus` workload.
+///
+/// # Errors
+///
+/// Propagates [`esafe_harness::CorpusError`] from the recording sweep
+/// (existing corpus, failing run, I/O failure).
+pub fn record_corpus_timed(
+    dir: &str,
+    mega: bool,
+    subset: Option<usize>,
+) -> Result<CorpusRecordSummary, esafe_harness::CorpusError> {
+    let started = std::time::Instant::now();
+    let (workload, cells, aggregate, stats) = if mega {
+        let cells = mega_cells_subset(subset);
+        let count = cells.len();
+        let (aggregate, _, stats) = esafe_scenarios::corpus::record_mega_corpus(dir, cells)?;
+        ("mega-grid", count, aggregate, stats)
+    } else {
+        let cells = grid_cells_subset(subset);
+        let count = cells.len();
+        let (aggregate, _, stats) = esafe_scenarios::corpus::record_grid_corpus(dir, cells)?;
+        ("grid", count, aggregate, stats)
+    };
+    Ok(CorpusRecordSummary {
+        schema: 7,
+        workload: workload.to_owned(),
+        cells,
+        corpus_runs: stats.runs,
+        corpus_ticks: stats.ticks,
+        corpus_bytes: stats.data_bytes,
+        dict_entries: stats.dict_len,
+        tables: stats.tables,
+        bytes_per_tick: stats.data_bytes as f64 / (stats.ticks.max(1)) as f64,
+        wall_clock_ms: started.elapsed().as_secs_f64() * 1000.0,
+        aggregate,
+    })
+}
+
+/// The machine-readable `repro --replay-corpus --json` summary —
+/// **schema v7 (`corpus-replay`)**: the archive that was re-monitored,
+/// the suite provenance (name + stripe width), whether the corpus was
+/// recovered from a torn recording, the batched replay cost per
+/// archived tick per run, and the aggregate the suite produced — for
+/// the `thesis` suite, bit-identical to the recording sweep's; for any
+/// other suite, bit-identical to running that suite live over the same
+/// cells.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CorpusReplaySummary {
+    /// Corpus summary schema version (see [`CorpusRecordSummary`]).
+    pub schema: u32,
+    /// The registered suite the corpus was re-monitored with.
+    pub suite: String,
+    /// Lanes per replay stripe.
+    pub width: usize,
+    /// Whether the corpus was opened without a commit manifest (a torn
+    /// recording recovered to its complete runs).
+    pub recovered: bool,
+    /// Runs re-monitored.
+    pub corpus_runs: usize,
+    /// Ticks re-observed across all runs.
+    pub corpus_ticks: u64,
+    /// Bytes of valid corpus data behind the replay.
+    pub corpus_bytes: u64,
+    /// Corpus-global symbol-dictionary entries.
+    pub dict_entries: usize,
+    /// Archived signal tables.
+    pub tables: usize,
+    /// Opening the corpus (read, CRC-scan, table/dictionary decode), ms
+    /// — a fixed per-archive cost, excluded from the per-tick figure.
+    pub open_ms: f64,
+    /// End-to-end wall-clock (open + suite compile + decode + batched
+    /// observe + correlate), ms.
+    pub wall_clock_ms: f64,
+    /// Replay-engine cost per archived tick per run, nanoseconds
+    /// (suite compile + decode + observe + correlate; excludes the
+    /// one-time archive open) — the acceptance quantity, compared
+    /// against the live batched-observe figure in
+    /// `BENCH_megagrid.json`.
+    pub replay_ns_per_tick_per_run: f64,
+    /// The aggregate the replayed suite produced.
+    pub aggregate: SweepAggregate,
+}
+
+/// Re-monitors the corpus at `dir` with a registered suite — the
+/// `repro --replay-corpus` workload. Zero simulation: archived ticks
+/// stream straight into the batched observer.
+///
+/// # Errors
+///
+/// Propagates [`esafe_harness::CorpusError`] (unopenable corpus,
+/// unknown suite, replay failure).
+pub fn replay_corpus_timed(
+    dir: &str,
+    suite: &str,
+    width: usize,
+) -> Result<CorpusReplaySummary, esafe_harness::CorpusError> {
+    let started = std::time::Instant::now();
+    let reader = esafe_harness::TraceCorpusReader::open(dir)?;
+    let open = started.elapsed();
+    let replay = esafe_harness::replay_corpus(&reader, width, |substrate, table| {
+        esafe_scenarios::corpus::suite_for(suite, substrate, table)
+    })?;
+    let wall = started.elapsed();
+    let engine = wall - open;
+    let stats = reader.stats();
+    Ok(CorpusReplaySummary {
+        schema: 7,
+        suite: suite.to_owned(),
+        width,
+        recovered: reader.recovered(),
+        corpus_runs: replay.runs,
+        corpus_ticks: replay.ticks,
+        corpus_bytes: stats.data_bytes,
+        dict_entries: stats.dict_len,
+        tables: stats.tables,
+        open_ms: open.as_secs_f64() * 1000.0,
+        wall_clock_ms: wall.as_secs_f64() * 1000.0,
+        replay_ns_per_tick_per_run: engine.as_nanos() as f64 / (replay.ticks.max(1)) as f64,
+        aggregate: replay.aggregate,
+    })
+}
+
+/// The machine-readable `repro --grid --suite <name> --json` summary —
+/// **schema v7 (`suite-reference`)**: the live reference a corpus
+/// replay of the same suite over the same cells is pinned against.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SuiteReferenceSummary {
+    /// Corpus summary schema version (see [`CorpusRecordSummary`]).
+    pub schema: u32,
+    /// The registered suite the live runs were scored with.
+    pub suite: String,
+    /// Grid cells run live.
+    pub cells: usize,
+    /// Live wall-clock (simulate + record + re-score), ms.
+    pub wall_clock_ms: f64,
+    /// The aggregate the suite produced over the live runs.
+    pub aggregate: SweepAggregate,
+}
+
+/// Runs a grid cell prefix live and scores it with a registered suite
+/// — the `repro --grid --suite` reference workload behind the corpus
+/// equivalence checks.
+///
+/// # Errors
+///
+/// Propagates [`esafe_harness::CorpusError`] (failing run, unknown
+/// suite).
+pub fn suite_reference_timed(
+    subset: Option<usize>,
+    suite: &str,
+) -> Result<SuiteReferenceSummary, esafe_harness::CorpusError> {
+    let started = std::time::Instant::now();
+    let cells = grid_cells_subset(subset);
+    let count = cells.len();
+    let (aggregate, _) = esafe_scenarios::corpus::live_reference(cells, suite)?;
+    Ok(SuiteReferenceSummary {
+        schema: 7,
+        suite: suite.to_owned(),
+        cells: count,
+        wall_clock_ms: started.elapsed().as_secs_f64() * 1000.0,
+        aggregate,
+    })
+}
+
+/// Serializes any schema-v7 corpus summary as pretty JSON.
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` if serialization fails (never expected
+/// for these types).
+pub fn corpus_summary_json<T: serde::Serialize>(summary: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

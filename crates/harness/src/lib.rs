@@ -100,6 +100,7 @@
 
 pub mod batch;
 pub mod context;
+pub mod corpus;
 pub mod experiment;
 pub mod journal;
 pub mod lanes;
@@ -108,6 +109,10 @@ pub mod sweep;
 
 pub use batch::DEFAULT_BATCH_WIDTH;
 pub use context::{RunContext, RunTiming, SuiteProvenance};
+pub use corpus::{
+    replay_corpus, replay_corpus_reports, CorpusError, CorpusReplay, CorpusStats,
+    TraceCorpusReader, TraceCorpusWriter, DEFAULT_REPLAY_WIDTH,
+};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentError, RunReport};
 pub use journal::{CellDelta, JournalRecord, SweepJournal};
 pub use lanes::LaneAllocator;

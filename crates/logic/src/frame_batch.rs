@@ -74,8 +74,11 @@ impl SignalWrite for Frame {
 /// [module docs](self).
 #[derive(Clone)]
 pub struct FrameBatch {
-    /// Lane-major: `slots[sig.index() * lanes + lane]`.
-    slots: Vec<Option<Value>>,
+    /// Lane-major: `slots[sig.index() * lanes + lane]`. Crate-visible
+    /// so the corpus decoder can stream archived samples straight into
+    /// lanes (including `None` for recorded-absent slots, which the
+    /// kind-checked public `set` cannot express).
+    pub(crate) slots: Vec<Option<Value>>,
     table: Arc<SignalTable>,
     lanes: usize,
 }

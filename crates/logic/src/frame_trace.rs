@@ -80,6 +80,25 @@ impl FrameTrace {
         t
     }
 
+    /// Assembles a trace directly from raw columns — the corpus decode
+    /// path, which already holds the data column-per-signal.
+    pub(crate) fn from_columns(
+        table: &Arc<SignalTable>,
+        tick_millis: u64,
+        len: usize,
+        columns: Vec<Vec<Option<Value>>>,
+    ) -> Self {
+        assert!(tick_millis > 0, "tick period must be positive");
+        assert_eq!(columns.len(), table.len(), "one column per signal");
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        FrameTrace {
+            table: Arc::clone(table),
+            columns,
+            len,
+            tick_millis,
+        }
+    }
+
     /// The namespace every sample is indexed by.
     pub fn table(&self) -> &Arc<SignalTable> {
         &self.table

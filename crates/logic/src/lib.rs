@@ -74,6 +74,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod error;
 pub mod eval;
 pub mod expr;
@@ -86,6 +87,7 @@ pub mod signal;
 pub mod state;
 pub mod value;
 
+pub use corpus::{RunDecoder, RunMeta, SymDict};
 pub use error::{EvalError, ParseError, PropError};
 pub use expr::{CmpOp, Expr, Operand};
 pub use frame_batch::{FrameBatch, LaneMut, LaneRef, SignalRead, SignalWrite};

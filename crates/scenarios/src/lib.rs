@@ -32,6 +32,7 @@
 //! ```
 
 pub mod catalog;
+pub mod corpus;
 pub mod fleet;
 pub mod grid;
 pub mod mega;

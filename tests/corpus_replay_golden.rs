@@ -1,0 +1,69 @@
+//! Offline re-monitoring golden: a recorded grid subset, re-judged by
+//! the `strict` suite (which the corpus was **not** recorded with),
+//! must produce an aggregate byte-identical to running the strict
+//! suite live over the same cells — and both are pinned against
+//! `tests/golden/corpus_strict_replay_aggregate.json`.
+//!
+//! The pin makes suite-semantics drift visible: a change to the goal
+//! formulas, the monitor engine, the corpus codec, or the batched
+//! replay backend that alters *any* strict verdict on the archived
+//! evidence fails this test with a JSON diff.
+//!
+//! Regenerate (after an intentional semantic change) with:
+//! `UPDATE_GOLDEN=1 cargo test --test corpus_replay_golden`.
+
+use emergent_safety::scenarios::{corpus, grid};
+
+const GOLDEN: &str = include_str!("golden/corpus_strict_replay_aggregate.json");
+
+/// The pinned subset: scenarios 1 and 2 across `none`, `thesis (all)`,
+/// and the first single-defect ablation — colliding, clean, and
+/// partially-degraded cells.
+fn pinned_cells() -> Vec<grid::GridCell> {
+    grid::cells(&[1, 2], &grid::ablation_configs()[..3])
+}
+
+#[test]
+fn strict_replay_of_a_recorded_grid_matches_live_and_the_golden_pin() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("esafe-corpus-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (recorded, _, stats) = corpus::record_grid_corpus(&dir, pinned_cells()).unwrap();
+    assert_eq!(stats.runs, 6);
+
+    // Replay the archive with the strict suite at two stripe widths:
+    // both must agree (width is an execution detail, not semantics).
+    let (wide, reader) = corpus::replay_with_suite(&dir, "strict", 8).unwrap();
+    let (narrow, _) = corpus::replay_with_suite(&dir, "strict", 1).unwrap();
+    assert!(!reader.recovered());
+    assert_eq!(wide.aggregate, narrow.aggregate);
+    assert_ne!(
+        wide.aggregate, recorded,
+        "strict must judge the archived runs differently than the recording suite"
+    );
+
+    // The live reference: same cells, same dynamics, strict monitoring.
+    let (live, _) = corpus::live_reference(pinned_cells(), "strict").unwrap();
+    let replayed_json = serde_json::to_string_pretty(&wide.aggregate).unwrap();
+    let live_json = serde_json::to_string_pretty(&live).unwrap();
+    assert_eq!(
+        replayed_json, live_json,
+        "offline strict replay diverged from live strict monitoring"
+    );
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/corpus_strict_replay_aggregate.json"
+        );
+        std::fs::write(path, format!("{replayed_json}\n")).unwrap();
+    } else {
+        assert_eq!(
+            replayed_json.trim(),
+            GOLDEN.trim(),
+            "strict replay aggregate diverged from the golden pin"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
